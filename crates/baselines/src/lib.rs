@@ -1,0 +1,45 @@
+//! # moqo-baselines — the competitor algorithms of the paper's evaluation
+//!
+//! Every algorithm RMQ is compared against in §6 (plus one extension):
+//!
+//! * [`dp::DpOptimizer`] — **DP(α)**: the dynamic-programming approximation
+//!   scheme of Trummer & Koch (SIGMOD 2014). Exhaustive over table subsets
+//!   with α-pruned partial-plan frontiers; exponential in the query size, so
+//!   it only finishes for small queries — exactly the behavior Figures 1–9
+//!   report. `α = ∞` keeps one plan per output format, `α = 1` computes the
+//!   exact Pareto frontier (used as ground truth for Figures 8–9).
+//! * [`ii::IterativeImprovement`] — **II**: restart-based multi-objective
+//!   iterative improvement using the same fast climbing function as RMQ
+//!   (§6.1: "all algorithms using hill climbing use the same efficient
+//!   climbing function").
+//! * [`sa::SimulatedAnnealing`] — **SA**: the multi-objective
+//!   generalization of the SAIO variant, accepting moves by the *average
+//!   relative cost difference* over all metrics.
+//! * [`two_phase::TwoPhase`] — **2P**: ten II iterations, then SA from the
+//!   best plan found.
+//! * [`nsga2::Nsga2`] — **NSGA-II**: the non-dominated sorting genetic
+//!   algorithm with the ordinal plan encoding and single-point crossover of
+//!   the query-optimization literature, population 200.
+//! * [`weighted_sum::WeightedSum`] — **WS** (extension): scalarizes with
+//!   rotating weight vectors; §2 notes this recovers at most the convex hull
+//!   of the Pareto frontier, which the tests demonstrate.
+//!
+//! All optimizers implement [`moqo_core::optimizer::Optimizer`] and are
+//! deterministic given their seed.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod dp;
+pub mod ii;
+pub mod nsga2;
+pub mod sa;
+pub mod two_phase;
+pub mod weighted_sum;
+
+pub use dp::DpOptimizer;
+pub use ii::IterativeImprovement;
+pub use nsga2::Nsga2;
+pub use sa::SimulatedAnnealing;
+pub use two_phase::TwoPhase;
+pub use weighted_sum::WeightedSum;

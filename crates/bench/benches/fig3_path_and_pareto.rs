@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure 3: median climbing path length from a
+//! random plan to the next local Pareto optimum, and the median number of
+//! Pareto plans found by RMQ (three cost metrics), side by side with the
+//! §5 statistical model's prediction.
+use moqo_harness::fig3::{run_fig3, Fig3Spec};
+use moqo_harness::report::render_fig3;
+
+fn main() {
+    let spec = Fig3Spec::default();
+    let rows = run_fig3(&spec);
+    print!("{}", render_fig3(&rows));
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper's Figure 9 (see DESIGN.md experiment index).
+//! Budgets/cases are scaled; override with MOQO_TIME_SCALE / MOQO_CASES.
+use moqo_harness::figures::FigureSpec;
+use moqo_harness::report::render_figure;
+use moqo_harness::runner::run_figure;
+use moqo_harness::EnvConfig;
+
+fn main() {
+    let env = EnvConfig::from_env();
+    let spec = FigureSpec::fig9(&env);
+    let result = run_figure(&spec);
+    print!("{}", render_figure(&result));
+}

@@ -1,0 +1,146 @@
+//! Criterion micro-benchmarks of the optimizer's hot paths: random plan
+//! generation (Lemma 1: O(n)), one `ParetoStep` (Lemma 2: O(n)), full
+//! climbs (fast vs. naive — the §4.2 optimization), frontier approximation
+//! (Theorem 4), the ε-indicator, and one NSGA-II generation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use moqo_baselines::nsga2::{Nsga2, Nsga2Params};
+use moqo_core::cache::PlanCache;
+use moqo_core::climb::{naive_climb, pareto_climb, pareto_step, ClimbConfig};
+use moqo_core::mutations::MutationSet;
+use moqo_core::cost::CostVector;
+use moqo_core::frontier::approximate_frontiers;
+use moqo_core::optimizer::Optimizer;
+use moqo_core::pareto::PrunePolicy;
+use moqo_core::random_plan::random_plan;
+use moqo_cost::{ResourceCostModel, ResourceMetric};
+use moqo_metrics::epsilon_indicator;
+use moqo_workload::{GraphShape, SelectivityMethod, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn model_for(n: usize) -> (ResourceCostModel, moqo_core::TableSet) {
+    let (catalog, query) = WorkloadSpec {
+        tables: n,
+        shape: GraphShape::Cycle,
+        selectivity: SelectivityMethod::Steinbrunn,
+        seed: 7,
+    }
+    .generate();
+    (
+        ResourceCostModel::new(catalog, &[ResourceMetric::Time, ResourceMetric::Buffer]),
+        query.tables(),
+    )
+}
+
+fn bench_random_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_plan");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    for n in [10usize, 50, 100] {
+        let (model, query) = model_for(n);
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(random_plan(&model, query, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pareto_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto_step");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for n in [10usize, 50, 100] {
+        let (model, query) = model_for(n);
+        let mut rng = StdRng::seed_from_u64(2);
+        let plan = random_plan(&model, query, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(pareto_step(&plan, &model, PrunePolicy::OnePerFormat, MutationSet::Bushy)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_climb_fast_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("climb");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let cfg = ClimbConfig::default();
+    for n in [10usize, 25] {
+        let (model, query) = model_for(n);
+        group.bench_with_input(BenchmarkId::new("fast", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let p = random_plan(&model, query, &mut rng);
+                black_box(pareto_climb(p, &model, &cfg))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let p = random_plan(&model, query, &mut rng);
+                black_box(naive_climb(p, &model, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_frontier_approximation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approximate_frontiers");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for n in [10usize, 50] {
+        let (model, query) = model_for(n);
+        let mut rng = StdRng::seed_from_u64(4);
+        let plan = random_plan(&model, query, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut cache = PlanCache::new();
+                approximate_frontiers(&plan, &model, &mut cache, 2.0);
+                black_box(cache.total_plans())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_epsilon_indicator(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut mk = |k: usize| -> Vec<CostVector> {
+        (0..k)
+            .map(|_| CostVector::new(&[rng.random::<f64>() + 0.1, rng.random::<f64>() + 0.1]))
+            .collect()
+    };
+    let reference = mk(100);
+    let approx = mk(50);
+    c.bench_function("epsilon_indicator_100x50", |b| {
+        b.iter(|| black_box(epsilon_indicator(&reference, &approx)))
+    });
+}
+
+fn bench_nsga2_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nsga2_generation");
+    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    let (model, query) = model_for(25);
+    group.bench_function("pop200_n25", |b| {
+        let mut ga = Nsga2::with_params(&model, query, 1, Nsga2Params::default());
+        b.iter(|| {
+            ga.step();
+            black_box(ga.generations())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_random_plan,
+    bench_pareto_step,
+    bench_climb_fast_vs_naive,
+    bench_frontier_approximation,
+    bench_epsilon_indicator,
+    bench_nsga2_generation
+);
+criterion_main!(benches);

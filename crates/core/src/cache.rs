@@ -1,0 +1,175 @@
+//! The partial-plan cache `P` of Algorithm 1.
+//!
+//! The cache maps every intermediate result (a table set `s ⊆ q`)
+//! encountered so far to a set of non-dominated partial plans generating it.
+//! It is the paper's mechanism for sharing information across iterations of
+//! the main loop (§4.3): newly generated plans are decomposed and dominated
+//! sub-plans are replaced by cached partial plans, so over time the cache
+//! approaches the partial-plan tables of the dynamic-programming
+//! approximation schemes — but only for table sets that actually occur in
+//! locally Pareto-optimal plans.
+
+use crate::fxhash::FxHashMap;
+use crate::pareto::ParetoSet;
+use crate::plan::PlanRef;
+use crate::tables::TableSet;
+
+/// Plan cache: intermediate result (table set) → pruned partial plans.
+#[derive(Default, Debug)]
+pub struct PlanCache {
+    map: FxHashMap<TableSet, ParetoSet>,
+    insertions: u64,
+    rejections: u64,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// The cached frontier for table set `rel` (`P[rel]` in the paper);
+    /// empty if the table set was never seen.
+    #[inline]
+    pub fn frontier(&self, rel: TableSet) -> &[PlanRef] {
+        self.map.get(&rel).map_or(&[], |s| s.plans())
+    }
+
+    /// Inserts `plan` into the frontier of its own table set using
+    /// approximate pruning with factor `alpha` (Algorithm 3's `Prune`).
+    /// Returns `true` iff the plan was kept.
+    pub fn insert(&mut self, plan: PlanRef, alpha: f64) -> bool {
+        let rel = plan.rel();
+        let kept = self.map.entry(rel).or_default().insert_approx(plan, alpha);
+        if kept {
+            self.insertions += 1;
+        } else {
+            self.rejections += 1;
+        }
+        kept
+    }
+
+    /// Number of distinct table sets with a cached frontier.
+    pub fn num_table_sets(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of cached plans over all table sets.
+    pub fn total_plans(&self) -> usize {
+        self.map.values().map(|s| s.len()).sum()
+    }
+
+    /// Size of the largest per-table-set frontier (for Lemma 6 checks).
+    pub fn max_frontier_size(&self) -> usize {
+        self.map.values().map(|s| s.len()).max().unwrap_or(0)
+    }
+
+    /// Lifetime counters: `(kept, rejected)` insertion attempts.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.insertions, self.rejections)
+    }
+
+    /// Iterates over `(table set, frontier)` entries in unspecified order.
+    pub fn entries(&self) -> impl Iterator<Item = (TableSet, &[PlanRef])> {
+        self.map.iter().map(|(k, v)| (*k, v.plans()))
+    }
+
+    /// Removes every cached entry (used by cache-ablation experiments).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Debug check: every stored plan is filed under its own table set and
+    /// every per-set frontier satisfies the Pareto-set invariant.
+    pub fn check_invariant(&self) -> bool {
+        self.map.iter().all(|(rel, set)| {
+            set.check_invariant() && set.iter().all(|p| p.rel() == *rel)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testing::StubModel;
+    use crate::model::{JoinOpId, ScanOpId};
+    use crate::plan::Plan;
+    use crate::tables::TableId;
+
+    fn model() -> StubModel {
+        StubModel::line(3, 2, 7)
+    }
+
+    #[test]
+    fn empty_cache_has_empty_frontiers() {
+        let cache = PlanCache::new();
+        assert!(cache.frontier(TableSet::prefix(2)).is_empty());
+        assert_eq!(cache.num_table_sets(), 0);
+        assert_eq!(cache.total_plans(), 0);
+        assert_eq!(cache.max_frontier_size(), 0);
+    }
+
+    #[test]
+    fn insert_files_plans_under_their_rel() {
+        let m = model();
+        let mut cache = PlanCache::new();
+        let s0 = Plan::scan(&m, TableId::new(0), ScanOpId(0));
+        let s1 = Plan::scan(&m, TableId::new(1), ScanOpId(0));
+        let j = Plan::join(&m, s0.clone(), s1.clone(), JoinOpId(0));
+        assert!(cache.insert(s0.clone(), 1.0));
+        assert!(cache.insert(s1, 1.0));
+        assert!(cache.insert(j.clone(), 1.0));
+        assert_eq!(cache.num_table_sets(), 3);
+        assert_eq!(cache.frontier(j.rel()).len(), 1);
+        assert_eq!(cache.frontier(s0.rel()).len(), 1);
+        assert!(cache.check_invariant());
+    }
+
+    #[test]
+    fn coarse_alpha_caps_frontier_growth() {
+        let m = model();
+        let mut cache = PlanCache::new();
+        let s0 = Plan::scan(&m, TableId::new(0), ScanOpId(0));
+        let s1 = Plan::scan(&m, TableId::new(1), ScanOpId(0));
+        // With a huge alpha, at most one plan per output format survives
+        // per table set, regardless of how many tradeoffs we insert.
+        for op in 0..3u16 {
+            cache.insert(
+                Plan::join(&m, s0.clone(), s1.clone(), JoinOpId(op)),
+                1e12,
+            );
+        }
+        // Ops 0 and 1 share format 0, op 2 has format 1.
+        assert!(cache.frontier(TableSet::prefix(2)).len() <= 2);
+
+        // With alpha = 1, the two incomparable format-0 plans both survive.
+        let mut fine = PlanCache::new();
+        for op in 0..3u16 {
+            fine.insert(Plan::join(&m, s0.clone(), s1.clone(), JoinOpId(op)), 1.0);
+        }
+        assert_eq!(fine.frontier(TableSet::prefix(2)).len(), 3);
+    }
+
+    #[test]
+    fn counters_track_keeps_and_rejections() {
+        let m = model();
+        let mut cache = PlanCache::new();
+        let s0 = Plan::scan(&m, TableId::new(0), ScanOpId(0));
+        assert!(cache.insert(s0.clone(), 1.0));
+        // The original weakly dominates the duplicate (equal cost), so
+        // SigBetter rejects the re-insertion.
+        assert!(!cache.insert(s0, 1.0));
+        let (kept, rejected) = cache.counters();
+        assert_eq!((kept, rejected), (1, 1));
+        assert_eq!(cache.total_plans(), 1);
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let m = model();
+        let mut cache = PlanCache::new();
+        cache.insert(Plan::scan(&m, TableId::new(0), ScanOpId(0)), 1.0);
+        cache.clear();
+        assert_eq!(cache.num_table_sets(), 0);
+    }
+}

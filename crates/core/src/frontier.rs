@@ -1,0 +1,220 @@
+//! `ApproximateFrontiers` (Algorithm 3): Pareto frontier approximation for
+//! every intermediate result of a locally optimal plan.
+//!
+//! Given the plan produced by hill climbing, the function traverses its join
+//! tree in post-order and approximates, for each intermediate result,
+//! the Pareto frontier over (a) every operator combination for that join
+//! order and (b) every non-dominated partial plan already cached for the
+//! same intermediate result — cached plans may use *different join orders*
+//! discovered in earlier iterations, which is how information is shared
+//! across iterations of the main loop (§4.3).
+//!
+//! The per-table-set frontiers are pruned with an approximation factor that
+//! starts coarse and is refined as iterations progress:
+//! `α(i) = 25 · 0.99^⌊i/25⌋` (clamped below at 1; the paper's formula
+//! eventually drops below 1 where α-dominance is undefined). Coarse early
+//! precision keeps the dominant-cost frontier approximation cheap while many
+//! join orders are still being explored; late fine precision converges the
+//! cached frontiers towards the true Pareto sets.
+
+use crate::cache::PlanCache;
+use crate::model::CostModel;
+use crate::plan::{Plan, PlanKind, PlanRef};
+
+/// Precision schedule for the approximation factor `α` as a function of the
+/// main-loop iteration counter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AlphaSchedule {
+    /// Geometric refinement `α(i) = max(1, start · decay^⌊i/period⌋)`.
+    Geometric {
+        /// Initial approximation factor.
+        start: f64,
+        /// Multiplicative decay applied every `period` iterations.
+        decay: f64,
+        /// Number of iterations between decay steps.
+        period: u64,
+    },
+    /// Constant approximation factor (used by the α-schedule ablation).
+    Fixed(f64),
+}
+
+impl AlphaSchedule {
+    /// The paper's schedule: `α(i) = 25 · 0.99^⌊i/25⌋`.
+    pub const fn paper() -> Self {
+        AlphaSchedule::Geometric {
+            start: 25.0,
+            decay: 0.99,
+            period: 25,
+        }
+    }
+
+    /// The approximation factor for iteration `i` (1-based), clamped at 1.
+    pub fn alpha(&self, iteration: u64) -> f64 {
+        match *self {
+            AlphaSchedule::Geometric {
+                start,
+                decay,
+                period,
+            } => {
+                let exponent = (iteration / period.max(1)) as f64;
+                (start * decay.powf(exponent)).max(1.0)
+            }
+            AlphaSchedule::Fixed(alpha) => alpha.max(1.0),
+        }
+    }
+}
+
+impl Default for AlphaSchedule {
+    fn default() -> Self {
+        AlphaSchedule::paper()
+    }
+}
+
+/// Approximates the Pareto frontiers of all intermediate results occurring
+/// in `p`, inserting the non-dominated partial plans into `cache` with
+/// approximation factor `alpha` (Algorithm 3, with the α choice hoisted to
+/// the caller so the same code serves the ablation schedules).
+pub fn approximate_frontiers<M>(p: &PlanRef, model: &M, cache: &mut PlanCache, alpha: f64)
+where
+    M: CostModel + ?Sized,
+{
+    match p.kind() {
+        PlanKind::Scan { table, .. } => {
+            for &op in model.scan_ops(*table) {
+                cache.insert(Plan::scan(model, *table, op), alpha);
+            }
+        }
+        PlanKind::Join { outer, inner, .. } => {
+            // Approximate the operand frontiers first (post-order).
+            approximate_frontiers(outer, model, cache, alpha);
+            approximate_frontiers(inner, model, cache, alpha);
+            // Combine every cached outer/inner Pareto plan pair with every
+            // applicable join operator. The cached plans may stem from
+            // other join orders found in earlier iterations.
+            let outer_plans: Vec<PlanRef> = cache.frontier(outer.rel()).to_vec();
+            let inner_plans: Vec<PlanRef> = cache.frontier(inner.rel()).to_vec();
+            let mut ops = Vec::new();
+            for o in &outer_plans {
+                for i in &inner_plans {
+                    ops.clear();
+                    model.join_ops(o, i, &mut ops);
+                    for &op in &ops {
+                        cache.insert(Plan::join(model, o.clone(), i.clone(), op), alpha);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::climb::{pareto_climb, ClimbConfig};
+    use crate::model::testing::StubModel;
+    use crate::random_plan::random_plan;
+    use crate::tables::TableSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_schedule_values() {
+        let s = AlphaSchedule::paper();
+        assert_eq!(s.alpha(1), 25.0);
+        assert_eq!(s.alpha(24), 25.0);
+        assert!((s.alpha(25) - 25.0 * 0.99).abs() < 1e-12);
+        assert!((s.alpha(250) - 25.0 * 0.99f64.powi(10)).abs() < 1e-12);
+        // Eventually clamped at 1 instead of dropping below.
+        assert_eq!(s.alpha(1_000_000), 1.0);
+    }
+
+    #[test]
+    fn fixed_schedule_is_constant_and_clamped() {
+        assert_eq!(AlphaSchedule::Fixed(2.5).alpha(1), 2.5);
+        assert_eq!(AlphaSchedule::Fixed(2.5).alpha(999), 2.5);
+        assert_eq!(AlphaSchedule::Fixed(0.5).alpha(1), 1.0);
+    }
+
+    #[test]
+    fn frontiers_cover_every_intermediate_result() {
+        let m = StubModel::line(6, 2, 3);
+        let q = TableSet::prefix(6);
+        let p = random_plan(&m, q, &mut StdRng::seed_from_u64(1));
+        let mut cache = PlanCache::new();
+        approximate_frontiers(&p, &m, &mut cache, 1.0);
+        // Every node of p has a non-empty cached frontier.
+        p.visit_post_order(&mut |node| {
+            assert!(
+                !cache.frontier(node.rel()).is_empty(),
+                "no frontier for {}",
+                node.rel()
+            );
+        });
+        assert!(cache.check_invariant());
+        // A plan with n tables has 2n-1 nodes but n leaf rels may repeat
+        // only if tables repeat (they don't): distinct rel count = 2n-1.
+        assert_eq!(cache.num_table_sets(), 11);
+    }
+
+    #[test]
+    fn cached_root_plans_are_valid_and_include_tradeoffs() {
+        let m = StubModel::line(5, 2, 7);
+        let q = TableSet::prefix(5);
+        let p = random_plan(&m, q, &mut StdRng::seed_from_u64(2));
+        let mut cache = PlanCache::new();
+        approximate_frontiers(&p, &m, &mut cache, 1.0);
+        let frontier = cache.frontier(q);
+        assert!(!frontier.is_empty());
+        for plan in frontier {
+            assert!(plan.validate(q).is_ok());
+        }
+        // With exact pruning and StubModel's antagonistic operators, the
+        // root frontier should retain more than one tradeoff.
+        assert!(
+            frontier.len() >= 2,
+            "expected multiple tradeoffs, got {}",
+            frontier.len()
+        );
+    }
+
+    #[test]
+    fn coarser_alpha_yields_no_larger_frontiers() {
+        let m = StubModel::line(6, 3, 9);
+        let q = TableSet::prefix(6);
+        let p = random_plan(&m, q, &mut StdRng::seed_from_u64(3));
+        let mut fine = PlanCache::new();
+        approximate_frontiers(&p, &m, &mut fine, 1.0);
+        let mut coarse = PlanCache::new();
+        approximate_frontiers(&p, &m, &mut coarse, 10.0);
+        assert!(
+            coarse.frontier(q).len() <= fine.frontier(q).len(),
+            "coarse {} > fine {}",
+            coarse.frontier(q).len(),
+            fine.frontier(q).len()
+        );
+        assert!(coarse.total_plans() <= fine.total_plans());
+    }
+
+    #[test]
+    fn repeated_invocations_reuse_cached_partial_plans() {
+        // Running the approximation for a *different* plan over the same
+        // tables must consider (and possibly keep) plans cached earlier:
+        // the root frontier never regresses across iterations.
+        let m = StubModel::line(6, 2, 11);
+        let q = TableSet::prefix(6);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cache = PlanCache::new();
+        let cfg = ClimbConfig::default();
+        let mut prev_len = 0usize;
+        for _ in 0..5 {
+            let p = random_plan(&m, q, &mut rng);
+            let (opt, _) = pareto_climb(p, &m, &cfg);
+            approximate_frontiers(&opt, &m, &mut cache, 1.0);
+            let len = cache.frontier(q).len();
+            assert!(len >= prev_len.min(len)); // never empty once filled
+            prev_len = len;
+            assert!(!cache.frontier(q).is_empty());
+        }
+        assert!(cache.check_invariant());
+    }
+}

@@ -1,0 +1,133 @@
+//! A minimal FxHash-style hasher for hot hash maps.
+//!
+//! The partial-plan cache is keyed by [`crate::tables::TableSet`] (`u128`)
+//! and is probed on every plan construction during frontier approximation.
+//! The standard library's SipHash is collision-resistant but slow for short
+//! integer keys; following common practice in database engines (and the Rust
+//! performance guide), we use the Firefox `FxHasher` multiplication-based
+//! mix. The implementation is ~40 lines, so we inline it rather than adding
+//! a dependency outside the allowed crate set.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash mixing function: rotate, xor, multiply.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_to_hash(n as u64);
+        self.add_to_hash((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::{TableId, TableSet};
+
+    #[test]
+    fn deterministic_for_equal_keys() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u128(0xdead_beef_cafe);
+        b.write_u128(0xdead_beef_cafe);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u128 {
+            let mut h = FxHasher::default();
+            h.write_u128(i);
+            seen.insert(h.finish());
+        }
+        // No collisions among small consecutive keys.
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn works_as_map_hasher_for_table_sets() {
+        let mut m: FxHashMap<TableSet, usize> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert(TableSet::prefix(i + 1), i);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m[&TableSet::singleton(TableId::new(0))], 0);
+        assert_eq!(m[&TableSet::prefix(100)], 99);
+    }
+
+    #[test]
+    fn byte_stream_handles_remainders() {
+        // Writes that are not multiples of 8 bytes must still hash all data.
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write(b"hello, moqo");
+        b.write(b"hello, moqp");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,524 @@
+//! Local transformation rules for bushy query plans.
+//!
+//! These are the "standard mutations for bushy query plans" of Steinbrunn et
+//! al. that the paper assumes for every node of the plan tree (§4.2):
+//!
+//! * **operator change** — replace the scan/join implementation;
+//! * **commutativity** — `A ⋈ B → B ⋈ A`;
+//! * **associativity** — both rotations,
+//!   `(A ⋈ B) ⋈ C → A ⋈ (B ⋈ C)` and `A ⋈ (B ⋈ C) → (A ⋈ B) ⋈ C`;
+//! * **left join exchange** — `(A ⋈ B) ⋈ C → (A ⋈ C) ⋈ B`;
+//! * **right join exchange** — `A ⋈ (B ⋈ C) → B ⋈ (A ⋈ C)`.
+//!
+//! Structural rules build new join nodes whose operand formats may differ
+//! from the original's; each new join keeps the original operator when it is
+//! still applicable and otherwise falls back to the first applicable
+//! implementation (operator *diversity* is explored by the dedicated
+//! operator-change rule and by `ApproximateFrontiers`, keeping the neighbor
+//! count per node `O(r)` as in the paper's complexity analysis §5).
+//!
+//! All rules operate at the *root* of the given (sub-)plan and share its
+//! sub-trees; rebuilding whole-plan neighbors from inner-node mutations is
+//! the job of the callers ([`crate::climb`], [`random_neighbor`]).
+
+use rand::{Rng, RngExt};
+
+use crate::model::{CostModel, JoinOpId};
+use crate::plan::{Plan, PlanKind, PlanRef};
+
+/// Joins `outer` and `inner`, preferring `preferred` operators when
+/// applicable and falling back to the first applicable implementation.
+/// Returns `None` if the model offers no applicable operator (contract
+/// violation; callers treat it as "rule not applicable").
+pub fn join_preferring<M>(
+    model: &M,
+    outer: &PlanRef,
+    inner: &PlanRef,
+    preferred: &[JoinOpId],
+) -> Option<PlanRef>
+where
+    M: CostModel + ?Sized,
+{
+    let mut ops = Vec::new();
+    model.join_ops(outer, inner, &mut ops);
+    let op = preferred
+        .iter()
+        .find(|p| ops.contains(p))
+        .copied()
+        .or_else(|| ops.first().copied())?;
+    Some(Plan::join(model, outer.clone(), inner.clone(), op))
+}
+
+/// Which transformation rules local search applies at each node. The paper
+/// (§4.1) notes RMQ "can easily be adapted to consider different join order
+/// spaces (e.g., left-deep plans) by exchanging the random plan generation
+/// method and the set of considered local transformations" — this enum is
+/// that second exchange point.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MutationSet {
+    /// The full bushy-plan rule set (module docs).
+    #[default]
+    Bushy,
+    /// Only rules that preserve left-deep shape: operator changes,
+    /// commutativity at the bottom-most join (both children scans), and the
+    /// left join exchange `(A ⋈ B) ⋈ C → (A ⋈ C) ⋈ B` (an adjacent
+    /// transposition of the join sequence). Adjacent transpositions plus
+    /// the bottom swap generate every left-deep order, so the neighborhood
+    /// stays connected.
+    LeftDeep,
+}
+
+impl MutationSet {
+    /// Appends the root mutations of `p` under this rule set to `out`.
+    pub fn emit<M>(self, p: &PlanRef, model: &M, out: &mut Vec<PlanRef>)
+    where
+        M: CostModel + ?Sized,
+    {
+        match self {
+            MutationSet::Bushy => root_mutations(p, model, out),
+            MutationSet::LeftDeep => left_deep_root_mutations(p, model, out),
+        }
+    }
+}
+
+/// Appends to `out` every neighbor obtainable by one transformation at the
+/// root of `p`. Sub-trees are shared, not copied. The plan `p` itself is
+/// *not* included.
+pub fn root_mutations<M>(p: &PlanRef, model: &M, out: &mut Vec<PlanRef>)
+where
+    M: CostModel + ?Sized,
+{
+    match p.kind() {
+        PlanKind::Scan { table, op } => {
+            for &alt in model.scan_ops(*table) {
+                if alt != *op {
+                    out.push(Plan::scan(model, *table, alt));
+                }
+            }
+        }
+        PlanKind::Join { outer, inner, op } => {
+            // Operator change.
+            let mut ops = Vec::new();
+            model.join_ops(outer, inner, &mut ops);
+            for &alt in &ops {
+                if alt != *op {
+                    out.push(Plan::join(model, outer.clone(), inner.clone(), alt));
+                }
+            }
+            // Commutativity: B ⋈ A.
+            if let Some(np) = join_preferring(model, inner, outer, &[*op]) {
+                out.push(np);
+            }
+            // Rules consuming the outer child's structure.
+            if let PlanKind::Join {
+                outer: ll,
+                inner: lr,
+                op: lop,
+            } = outer.kind()
+            {
+                // Right rotation: (LL ⋈ LR) ⋈ R → LL ⋈ (LR ⋈ R).
+                if let Some(new_inner) = join_preferring(model, lr, inner, &[*op, *lop]) {
+                    if let Some(np) = join_preferring(model, ll, &new_inner, &[*lop, *op]) {
+                        out.push(np);
+                    }
+                }
+                // Left join exchange: (LL ⋈ LR) ⋈ R → (LL ⋈ R) ⋈ LR.
+                if let Some(new_outer) = join_preferring(model, ll, inner, &[*lop, *op]) {
+                    if let Some(np) = join_preferring(model, &new_outer, lr, &[*op, *lop]) {
+                        out.push(np);
+                    }
+                }
+            }
+            // Rules consuming the inner child's structure.
+            if let PlanKind::Join {
+                outer: rl,
+                inner: rr,
+                op: rop,
+            } = inner.kind()
+            {
+                // Left rotation: L ⋈ (RL ⋈ RR) → (L ⋈ RL) ⋈ RR.
+                if let Some(new_outer) = join_preferring(model, outer, rl, &[*op, *rop]) {
+                    if let Some(np) = join_preferring(model, &new_outer, rr, &[*rop, *op]) {
+                        out.push(np);
+                    }
+                }
+                // Right join exchange: L ⋈ (RL ⋈ RR) → RL ⋈ (L ⋈ RR).
+                if let Some(new_inner) = join_preferring(model, outer, rr, &[*rop, *op]) {
+                    if let Some(np) = join_preferring(model, rl, &new_inner, &[*op, *rop]) {
+                        out.push(np);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Appends to `out` the left-deep-preserving root mutations of `p` (see
+/// [`MutationSet::LeftDeep`]). When `p` is left-deep, every emitted plan is
+/// left-deep as well.
+pub fn left_deep_root_mutations<M>(p: &PlanRef, model: &M, out: &mut Vec<PlanRef>)
+where
+    M: CostModel + ?Sized,
+{
+    match p.kind() {
+        PlanKind::Scan { table, op } => {
+            for &alt in model.scan_ops(*table) {
+                if alt != *op {
+                    out.push(Plan::scan(model, *table, alt));
+                }
+            }
+        }
+        PlanKind::Join { outer, inner, op } => {
+            // Operator change (always shape-preserving).
+            let mut ops = Vec::new();
+            model.join_ops(outer, inner, &mut ops);
+            for &alt in &ops {
+                if alt != *op {
+                    out.push(Plan::join(model, outer.clone(), inner.clone(), alt));
+                }
+            }
+            // Commutativity only at the bottom-most join: with a scan
+            // outer, swapping keeps the tree left-deep.
+            if !outer.is_join() {
+                if let Some(np) = join_preferring(model, inner, outer, &[*op]) {
+                    out.push(np);
+                }
+            }
+            // Left join exchange: (LL ⋈ LR) ⋈ R → (LL ⋈ R) ⋈ LR — swaps
+            // the last two tables of the join sequence.
+            if let PlanKind::Join {
+                outer: ll,
+                inner: lr,
+                op: lop,
+            } = outer.kind()
+            {
+                if let Some(new_outer) = join_preferring(model, ll, inner, &[*lop, *op]) {
+                    if let Some(np) = join_preferring(model, &new_outer, lr, &[*op, *lop]) {
+                        out.push(np);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Rebuilds `p` with the node at pre-order index `target` replaced by the
+/// result of `replace` applied to it; indices count `p` itself as 0.
+/// Returns `None` if `replace` declines or the index is out of range.
+fn rebuild_at<M, F>(p: &PlanRef, model: &M, target: usize, replace: &mut F) -> Option<PlanRef>
+where
+    M: CostModel + ?Sized,
+    F: FnMut(&PlanRef) -> Option<PlanRef>,
+{
+    fn rec<M, F>(
+        p: &PlanRef,
+        model: &M,
+        target: usize,
+        next: &mut usize,
+        replace: &mut F,
+    ) -> Option<Option<PlanRef>>
+    where
+        M: CostModel + ?Sized,
+        F: FnMut(&PlanRef) -> Option<PlanRef>,
+    {
+        let idx = *next;
+        *next += 1;
+        if idx == target {
+            return Some(replace(p));
+        }
+        if let PlanKind::Join { outer, inner, op } = p.kind() {
+            if let Some(new_outer) = rec(outer, model, target, next, replace) {
+                return Some(new_outer.and_then(|no| join_preferring(model, &no, inner, &[*op])));
+            }
+            if let Some(new_inner) = rec(inner, model, target, next, replace) {
+                return Some(new_inner.and_then(|ni| join_preferring(model, outer, &ni, &[*op])));
+            }
+        }
+        None
+    }
+    let mut next = 0;
+    rec(p, model, target, &mut next, replace).flatten()
+}
+
+/// Picks a uniformly random node of `root` and applies a uniformly random
+/// applicable transformation there, rebuilding the path to the root
+/// (operators along the rebuilt path are kept when applicable). Used by the
+/// simulated-annealing baseline, which moves to *one* random neighbor.
+///
+/// Returns `None` when the chosen node admits no transformation (e.g. a
+/// scan with a single scan operator).
+pub fn random_neighbor<M, R>(root: &PlanRef, model: &M, rng: &mut R) -> Option<PlanRef>
+where
+    M: CostModel + ?Sized,
+    R: Rng + ?Sized,
+{
+    let target = rng.random_range(0..root.node_count());
+    let mut scratch = Vec::new();
+    rebuild_at(root, model, target, &mut |node| {
+        scratch.clear();
+        root_mutations(node, model, &mut scratch);
+        if scratch.is_empty() {
+            None
+        } else {
+            Some(scratch[rng.random_range(0..scratch.len())].clone())
+        }
+    })
+}
+
+/// Enumerates **all** whole-plan neighbors of `root`: for every node, every
+/// root mutation at that node, rebuilt into a complete plan. This is the
+/// neighborhood used by the naive hill-climbing variant (§4.2) and has
+/// quadratic cost per step — kept for ablation experiments and tests.
+pub fn all_neighbors<M>(root: &PlanRef, model: &M) -> Vec<PlanRef>
+where
+    M: CostModel + ?Sized,
+{
+    let mut result = Vec::new();
+    let n = root.node_count();
+    let mut muts = Vec::new();
+    for target in 0..n {
+        // Collect the mutations available at this node first.
+        muts.clear();
+        let mut probe_idx = 0usize;
+        collect_at(root, target, &mut probe_idx, &mut |node| {
+            root_mutations(node, model, &mut muts)
+        });
+        for m in muts.drain(..) {
+            let mut replacement = Some(m);
+            if let Some(np) = rebuild_at(root, model, target, &mut |_| replacement.take()) {
+                result.push(np);
+            }
+        }
+    }
+    result
+}
+
+fn collect_at(p: &PlanRef, target: usize, next: &mut usize, f: &mut impl FnMut(&PlanRef)) {
+    let idx = *next;
+    *next += 1;
+    if idx == target {
+        f(p);
+        return;
+    }
+    if let PlanKind::Join { outer, inner, .. } = p.kind() {
+        collect_at(outer, target, next, f);
+        if *next <= target {
+            collect_at(inner, target, next, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testing::StubModel;
+    use crate::random_plan::random_plan;
+    use crate::tables::TableSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize) -> (StubModel, PlanRef, TableSet) {
+        let m = StubModel::line(n, 2, 3);
+        let q = TableSet::prefix(n);
+        let p = random_plan(&m, q, &mut StdRng::seed_from_u64(11));
+        (m, p, q)
+    }
+
+    #[test]
+    fn root_mutations_preserve_table_sets() {
+        let (m, p, q) = setup(6);
+        let mut out = Vec::new();
+        root_mutations(&p, &m, &mut out);
+        assert!(!out.is_empty());
+        for np in &out {
+            assert_eq!(np.rel(), q);
+            assert!(np.validate(q).is_ok(), "invalid mutation {}", np.display(&m));
+        }
+    }
+
+    #[test]
+    fn scan_mutations_switch_operators() {
+        let (m, _, _) = setup(2);
+        let t = crate::tables::TableId::new(0);
+        let scan = Plan::scan(&m, t, m.scan_ops(t)[0]);
+        let mut out = Vec::new();
+        root_mutations(&scan, &m, &mut out);
+        assert_eq!(out.len(), 1, "StubModel has two scan ops");
+        assert!(!out[0].is_join());
+        assert_ne!(out[0].cost().as_slice(), scan.cost().as_slice());
+    }
+
+    #[test]
+    fn join_mutations_include_commute_and_op_change() {
+        let (m, _, _) = setup(2);
+        use crate::model::{JoinOpId, ScanOpId};
+        use crate::tables::TableId;
+        let s0 = Plan::scan(&m, TableId::new(0), ScanOpId(0));
+        let s1 = Plan::scan(&m, TableId::new(1), ScanOpId(0));
+        let j = Plan::join(&m, s0, s1, JoinOpId(0));
+        let mut out = Vec::new();
+        root_mutations(&j, &m, &mut out);
+        // 2 operator changes (ops 1, 2) + 1 commute = 3 (no rotations on a
+        // two-scan join).
+        assert_eq!(out.len(), 3);
+        let commuted = out
+            .iter()
+            .filter(|p| p.outer().unwrap().table() == Some(TableId::new(1)))
+            .count();
+        assert!(commuted >= 1, "commutativity neighbor missing");
+    }
+
+    #[test]
+    fn rotations_change_tree_shape() {
+        let (m, _, _) = setup(3);
+        use crate::model::{JoinOpId, ScanOpId};
+        use crate::tables::TableId;
+        let s0 = Plan::scan(&m, TableId::new(0), ScanOpId(0));
+        let s1 = Plan::scan(&m, TableId::new(1), ScanOpId(0));
+        let s2 = Plan::scan(&m, TableId::new(2), ScanOpId(0));
+        // (T0 ⋈ T1) ⋈ T2: right rotation must produce T0 ⋈ (T1 ⋈ T2).
+        let left = Plan::join(&m, s0, s1, JoinOpId(0));
+        let root = Plan::join(&m, left, s2, JoinOpId(0));
+        let mut out = Vec::new();
+        root_mutations(&root, &m, &mut out);
+        let rotated = out.iter().any(|p| {
+            p.outer().map(|o| !o.is_join()).unwrap_or(false)
+                && p.inner().map(|i| i.is_join()).unwrap_or(false)
+                && p.outer().unwrap().table() == Some(TableId::new(0))
+        });
+        assert!(rotated, "right rotation missing from neighborhood");
+        // Left join exchange must produce (T0 ⋈ T2) ⋈ T1.
+        let exchanged = out.iter().any(|p| {
+            p.inner().map(|i| i.table() == Some(TableId::new(1))).unwrap_or(false)
+                && p.outer().map(|o| o.is_join()).unwrap_or(false)
+        });
+        assert!(exchanged, "left join exchange missing from neighborhood");
+    }
+
+    #[test]
+    fn random_neighbor_is_valid_and_differs() {
+        let (m, p, q) = setup(10);
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut changed = 0;
+        for _ in 0..50 {
+            if let Some(nb) = random_neighbor(&p, &m, &mut rng) {
+                assert!(nb.validate(q).is_ok());
+                if nb.display(&m) != p.display(&m) {
+                    changed += 1;
+                }
+            }
+        }
+        assert!(changed > 30, "random neighbors rarely differ: {changed}/50");
+    }
+
+    #[test]
+    fn all_neighbors_are_valid_full_plans() {
+        let (m, p, q) = setup(6);
+        let neighbors = all_neighbors(&p, &m);
+        assert!(!neighbors.is_empty());
+        for nb in &neighbors {
+            assert!(nb.validate(q).is_ok());
+        }
+        // Neighborhood size grows with plan size: at least one mutation per
+        // scan node (operator change) plus join mutations.
+        assert!(neighbors.len() >= 6, "too few neighbors: {}", neighbors.len());
+    }
+
+    #[test]
+    fn all_neighbors_contains_root_mutations() {
+        let (m, p, _) = setup(5);
+        let mut root_only = Vec::new();
+        root_mutations(&p, &m, &mut root_only);
+        let neighbors = all_neighbors(&p, &m);
+        for rm in &root_only {
+            assert!(
+                neighbors.iter().any(|nb| nb.display(&m) == rm.display(&m)),
+                "root mutation missing from all_neighbors"
+            );
+        }
+    }
+
+    #[test]
+    fn left_deep_mutations_preserve_shape_and_tables() {
+        use crate::random_plan::random_left_deep_plan;
+        let m = StubModel::line(7, 2, 5);
+        let q = TableSet::prefix(7);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10 {
+            let p = random_left_deep_plan(&m, q, &mut rng);
+            assert!(p.is_left_deep());
+            let mut out = Vec::new();
+            left_deep_root_mutations(&p, &m, &mut out);
+            assert!(!out.is_empty());
+            for np in &out {
+                assert_eq!(np.rel(), q);
+                assert!(np.is_left_deep(), "mutation broke shape: {}", np.display(&m));
+                assert!(np.validate(q).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn left_deep_exchange_swaps_last_two_tables() {
+        use crate::model::{JoinOpId, ScanOpId};
+        use crate::tables::TableId;
+        let m = StubModel::line(3, 2, 3);
+        let s0 = Plan::scan(&m, TableId::new(0), ScanOpId(0));
+        let s1 = Plan::scan(&m, TableId::new(1), ScanOpId(0));
+        let s2 = Plan::scan(&m, TableId::new(2), ScanOpId(0));
+        // (T0 ⋈ T1) ⋈ T2 → the exchange must yield (T0 ⋈ T2) ⋈ T1.
+        let bottom = Plan::join(&m, s0, s1, JoinOpId(0));
+        let root = Plan::join(&m, bottom, s2, JoinOpId(0));
+        let mut out = Vec::new();
+        left_deep_root_mutations(&root, &m, &mut out);
+        let exchanged = out.iter().any(|p| {
+            p.inner().map(|i| i.table() == Some(TableId::new(1))).unwrap_or(false)
+                && p.outer()
+                    .and_then(|o| o.inner())
+                    .map(|i| i.table() == Some(TableId::new(2)))
+                    .unwrap_or(false)
+        });
+        assert!(exchanged, "left-deep exchange missing");
+        // No mutation commutes the *root* (T2 cannot become the outer of a
+        // left-deep root unless the other side is a scan).
+        for p in &out {
+            assert!(p.is_left_deep());
+        }
+    }
+
+    #[test]
+    fn bottom_commute_is_the_only_left_deep_swap_at_depth_two() {
+        use crate::model::{JoinOpId, ScanOpId};
+        use crate::tables::TableId;
+        let m = StubModel::line(2, 2, 3);
+        let s0 = Plan::scan(&m, TableId::new(0), ScanOpId(0));
+        let s1 = Plan::scan(&m, TableId::new(1), ScanOpId(0));
+        let j = Plan::join(&m, s0, s1, JoinOpId(0));
+        let mut out = Vec::new();
+        left_deep_root_mutations(&j, &m, &mut out);
+        let commuted = out
+            .iter()
+            .filter(|p| p.outer().unwrap().table() == Some(TableId::new(1)))
+            .count();
+        assert!(commuted >= 1, "bottom commutativity missing");
+    }
+
+    #[test]
+    fn mutation_set_emit_dispatches() {
+        let (m, p, q) = setup(5);
+        let mut bushy = Vec::new();
+        MutationSet::Bushy.emit(&p, &m, &mut bushy);
+        let mut root_only = Vec::new();
+        root_mutations(&p, &m, &mut root_only);
+        assert_eq!(bushy.len(), root_only.len());
+        // The left-deep set is a subset of the bushy rule applications in
+        // count (never more rules fire).
+        use crate::random_plan::random_left_deep_plan;
+        let ld = random_left_deep_plan(&m, q, &mut StdRng::seed_from_u64(3));
+        let mut ld_bushy = Vec::new();
+        MutationSet::Bushy.emit(&ld, &m, &mut ld_bushy);
+        let mut ld_only = Vec::new();
+        MutationSet::LeftDeep.emit(&ld, &m, &mut ld_only);
+        assert!(ld_only.len() <= ld_bushy.len());
+    }
+}

@@ -1,0 +1,207 @@
+//! Anytime optimizer interface shared by RMQ and all baselines.
+//!
+//! The paper compares algorithms "in terms of the α values that they produce
+//! after certain amounts of optimization time" (§3): every algorithm is
+//! *anytime* — it can be interrupted and asked for its current frontier.
+//! [`Optimizer`] abstracts that: [`Optimizer::step`] performs one bounded
+//! unit of work (one RMQ/II iteration, one NSGA-II generation, one batch of
+//! DP subsets, ...) and [`Optimizer::frontier`] returns the current result
+//! plan set. [`drive`] runs an optimizer under a [`Budget`], notifying an
+//! [`Observer`] after every step so harnesses can record trajectories.
+
+use std::time::{Duration, Instant};
+
+use crate::plan::PlanRef;
+
+/// A stopping criterion for [`drive`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Budget {
+    /// Stop after the given wall-clock time (checked between steps).
+    Time(Duration),
+    /// Stop after the given number of steps (deterministic; used in tests).
+    Iterations(u64),
+}
+
+/// Statistics returned by [`drive`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DriveStats {
+    /// Number of optimizer steps executed.
+    pub steps: u64,
+    /// Total elapsed wall-clock time.
+    pub elapsed: Duration,
+    /// Whether the optimizer exhausted its work (e.g. DP completed) before
+    /// the budget ran out.
+    pub exhausted: bool,
+}
+
+/// An anytime multi-objective query optimizer.
+pub trait Optimizer {
+    /// Short display name (e.g. `"RMQ"`, `"NSGA-II"`, `"DP(2)"`).
+    fn name(&self) -> &str;
+
+    /// Performs one bounded unit of work. Returns `false` when the
+    /// algorithm has exhausted its work and further calls are useless.
+    fn step(&mut self) -> bool;
+
+    /// The current result frontier: plans for the full query produced so
+    /// far. May be empty (e.g. DP before completion).
+    fn frontier(&self) -> Vec<PlanRef>;
+}
+
+/// Observer notified after every optimizer step. The `frontier` closure
+/// materializes the current frontier lazily — implementations should only
+/// invoke it when they actually record a snapshot.
+pub trait Observer {
+    /// Called after each step with the elapsed time since `drive` started,
+    /// the 1-based step counter, and lazy access to the current frontier.
+    fn on_step(
+        &mut self,
+        elapsed: Duration,
+        step: u64,
+        frontier: &mut dyn FnMut() -> Vec<PlanRef>,
+    );
+}
+
+/// An [`Observer`] that ignores all notifications.
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn on_step(&mut self, _: Duration, _: u64, _: &mut dyn FnMut() -> Vec<PlanRef>) {}
+}
+
+/// Runs `opt` until the budget is exhausted or the optimizer reports
+/// completion, notifying `observer` after every step.
+pub fn drive<O>(opt: &mut O, budget: Budget, observer: &mut dyn Observer) -> DriveStats
+where
+    O: Optimizer + ?Sized,
+{
+    let start = Instant::now();
+    let mut stats = DriveStats::default();
+    loop {
+        match budget {
+            Budget::Iterations(n) if stats.steps >= n => break,
+            Budget::Time(limit) if start.elapsed() >= limit => break,
+            _ => {}
+        }
+        let more = opt.step();
+        stats.steps += 1;
+        observer.on_step(start.elapsed(), stats.steps, &mut || opt.frontier());
+        if !more {
+            stats.exhausted = true;
+            break;
+        }
+    }
+    stats.elapsed = start.elapsed();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostVector;
+    use crate::model::testing::StubModel;
+    use crate::model::CostModel;
+    use crate::plan::Plan;
+    use crate::tables::TableId;
+
+    /// A fake optimizer that produces one scan plan per step, up to a cap.
+    struct Counting {
+        model: StubModel,
+        produced: Vec<PlanRef>,
+        cap: usize,
+    }
+
+    impl Counting {
+        fn new(cap: usize) -> Self {
+            Counting {
+                model: StubModel::line(1, 2, 1),
+                produced: Vec::new(),
+                cap,
+            }
+        }
+    }
+
+    impl Optimizer for Counting {
+        fn name(&self) -> &str {
+            "Counting"
+        }
+        fn step(&mut self) -> bool {
+            let t = TableId::new(0);
+            self.produced
+                .push(Plan::scan(&self.model, t, self.model.scan_ops(t)[0]));
+            self.produced.len() < self.cap
+        }
+        fn frontier(&self) -> Vec<PlanRef> {
+            self.produced.clone()
+        }
+    }
+
+    #[test]
+    fn iteration_budget_is_exact() {
+        let mut opt = Counting::new(usize::MAX);
+        let stats = drive(&mut opt, Budget::Iterations(7), &mut NullObserver);
+        assert_eq!(stats.steps, 7);
+        assert!(!stats.exhausted);
+        assert_eq!(opt.frontier().len(), 7);
+    }
+
+    #[test]
+    fn exhaustion_stops_early() {
+        let mut opt = Counting::new(3);
+        let stats = drive(&mut opt, Budget::Iterations(100), &mut NullObserver);
+        assert_eq!(stats.steps, 3);
+        assert!(stats.exhausted);
+    }
+
+    #[test]
+    fn time_budget_terminates() {
+        let mut opt = Counting::new(usize::MAX);
+        let stats = drive(
+            &mut opt,
+            Budget::Time(Duration::from_millis(20)),
+            &mut NullObserver,
+        );
+        assert!(stats.elapsed >= Duration::from_millis(20));
+        assert!(stats.steps > 0);
+    }
+
+    #[test]
+    fn observer_sees_every_step_with_lazy_frontier() {
+        struct Recorder {
+            steps_seen: Vec<u64>,
+            frontier_sizes: Vec<usize>,
+        }
+        impl Observer for Recorder {
+            fn on_step(
+                &mut self,
+                _: Duration,
+                step: u64,
+                frontier: &mut dyn FnMut() -> Vec<PlanRef>,
+            ) {
+                self.steps_seen.push(step);
+                // Only materialize on even steps to prove laziness works.
+                if step % 2 == 0 {
+                    self.frontier_sizes.push(frontier().len());
+                }
+            }
+        }
+        let mut opt = Counting::new(usize::MAX);
+        let mut rec = Recorder {
+            steps_seen: Vec::new(),
+            frontier_sizes: Vec::new(),
+        };
+        drive(&mut opt, Budget::Iterations(4), &mut rec);
+        assert_eq!(rec.steps_seen, vec![1, 2, 3, 4]);
+        assert_eq!(rec.frontier_sizes, vec![2, 4]);
+    }
+
+    #[test]
+    fn cost_vectors_survive_the_round_trip() {
+        // Sanity: the frontier plans expose usable cost vectors.
+        let mut opt = Counting::new(2);
+        drive(&mut opt, Budget::Iterations(2), &mut NullObserver);
+        let costs: Vec<CostVector> = opt.frontier().iter().map(|p| *p.cost()).collect();
+        assert_eq!(costs.len(), 2);
+        assert!(costs.iter().all(CostVector::is_valid));
+    }
+}

@@ -1,0 +1,418 @@
+//! Pareto-set maintenance: the two `Prune` functions of the paper.
+//!
+//! Algorithm 2 (hill climbing) and Algorithm 3 (frontier approximation) use
+//! different pruning rules:
+//!
+//! * **Climb pruning** (Alg. 2): `Better(p1, p2) = SameOutput ∧ p1 ≺ p2`.
+//!   A new plan is inserted unless an existing plan with the same output
+//!   format strictly dominates it; inserting removes the same-format plans
+//!   it strictly dominates. The comment in the paper says this "keeps one
+//!   Pareto plan per output format" and Lemma 2 assumes "each instance of
+//!   ParetoStep returns only one non-dominated plan" — with several metrics,
+//!   however, the literal rule can retain *incomparable* same-format plans.
+//!   We therefore support both readings via [`PrunePolicy`]: the default
+//!   [`PrunePolicy::OnePerFormat`] keeps the incumbent when plans are
+//!   incomparable (matching the complexity analysis); the literal
+//!   [`PrunePolicy::KeepIncomparable`] follows the pseudo-code exactly.
+//!
+//! * **Approximate pruning** (Alg. 3): `SigBetter(p1, p2, α) = SameOutput ∧
+//!   p1 ⪯_α p2`. A new plan is inserted only if no stored same-format plan
+//!   α-approximately dominates it; insertion removes stored plans the new
+//!   plan weakly dominates (α = 1). This keeps the per-table-set frontier
+//!   size polynomially bounded (Lemma 6).
+
+use crate::plan::{Plan, PlanRef};
+
+/// `Better(p1, p2)` of Algorithm 2: same output format and strictly
+/// dominating cost.
+#[inline]
+pub fn better(p1: &Plan, p2: &Plan) -> bool {
+    p1.same_output(p2) && p1.cost().strictly_dominates(p2.cost())
+}
+
+/// `SigBetter(p1, p2, α)` of Algorithm 3: same output format and
+/// α-approximately dominating cost.
+#[inline]
+pub fn sig_better(p1: &Plan, p2: &Plan, alpha: f64) -> bool {
+    p1.same_output(p2) && p1.cost().approx_dominates(p2.cost(), alpha)
+}
+
+/// How climb pruning treats incomparable plans with the same output format.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PrunePolicy {
+    /// Keep at most one plan per output format: a new incomparable plan is
+    /// discarded in favour of the incumbent. Matches the assumption of the
+    /// paper's Lemma 2 and is the production default.
+    #[default]
+    OnePerFormat,
+    /// Keep all mutually non-dominated plans per output format — the literal
+    /// reading of Algorithm 2's `Prune`.
+    KeepIncomparable,
+}
+
+/// A pruned set of plans over the same table set.
+///
+/// Invariant: no member strictly dominates another member with the same
+/// output format (both policies and the approximate rule preserve this).
+#[derive(Clone, Default, Debug)]
+pub struct ParetoSet {
+    plans: Vec<PlanRef>,
+}
+
+impl ParetoSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ParetoSet { plans: Vec::new() }
+    }
+
+    /// The current members.
+    #[inline]
+    pub fn plans(&self) -> &[PlanRef] {
+        &self.plans
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Removes all members.
+    pub fn clear(&mut self) {
+        self.plans.clear();
+    }
+
+    /// Climb pruning (Algorithm 2's `Prune`). Returns `true` iff the plan
+    /// was inserted.
+    pub fn insert_climb(&mut self, new_plan: PlanRef, policy: PrunePolicy) -> bool {
+        match policy {
+            PrunePolicy::KeepIncomparable => {
+                if self.plans.iter().any(|p| better(p, &new_plan)) {
+                    return false;
+                }
+                // Also drop exact same-format cost duplicates: the paper's
+                // strict rule would accumulate them without bound.
+                if self
+                    .plans
+                    .iter()
+                    .any(|p| p.same_output(&new_plan) && p.cost() == new_plan.cost())
+                {
+                    return false;
+                }
+                self.plans.retain(|p| !better(&new_plan, p));
+                self.plans.push(new_plan);
+                true
+            }
+            PrunePolicy::OnePerFormat => {
+                if let Some(idx) = self.plans.iter().position(|p| p.same_output(&new_plan)) {
+                    if new_plan.cost().strictly_dominates(self.plans[idx].cost()) {
+                        self.plans[idx] = new_plan;
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    self.plans.push(new_plan);
+                    true
+                }
+            }
+        }
+    }
+
+    /// Approximate pruning (Algorithm 3's `Prune` with factor `alpha`).
+    /// Returns `true` iff the plan was inserted.
+    pub fn insert_approx(&mut self, new_plan: PlanRef, alpha: f64) -> bool {
+        if self.plans.iter().any(|p| sig_better(p, &new_plan, alpha)) {
+            return false;
+        }
+        self.plans.retain(|p| !sig_better(&new_plan, p, 1.0));
+        self.plans.push(new_plan);
+        true
+    }
+
+    /// Inserts keeping the exact cost-Pareto frontier, ignoring output
+    /// formats (used for result archives where only cost tradeoffs matter).
+    /// Returns `true` iff the plan was inserted.
+    pub fn insert_cost_frontier(&mut self, new_plan: PlanRef) -> bool {
+        if self.plans.iter().any(|p| {
+            p.cost().strictly_dominates(new_plan.cost()) || p.cost() == new_plan.cost()
+        }) {
+            return false;
+        }
+        self.plans
+            .retain(|p| !new_plan.cost().strictly_dominates(p.cost()));
+        self.plans.push(new_plan);
+        true
+    }
+
+    /// Consumes the set, returning the plans.
+    pub fn into_plans(self) -> Vec<PlanRef> {
+        self.plans
+    }
+
+    /// Iterates over members.
+    pub fn iter(&self) -> impl Iterator<Item = &PlanRef> {
+        self.plans.iter()
+    }
+
+    /// Debug check of the set invariant: no member strictly dominates
+    /// another member with the same output format.
+    pub fn check_invariant(&self) -> bool {
+        for (i, a) in self.plans.iter().enumerate() {
+            for (j, b) in self.plans.iter().enumerate() {
+                if i != j && better(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl FromIterator<PlanRef> for ParetoSet {
+    /// Collects plans into an exact cost-Pareto frontier (format-agnostic).
+    fn from_iter<I: IntoIterator<Item = PlanRef>>(iter: I) -> Self {
+        let mut set = ParetoSet::new();
+        for p in iter {
+            set.insert_cost_frontier(p);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostVector;
+    use crate::model::{CostModel, JoinOpId, OutputFormat, PlanProps, ScanOpId};
+    use crate::plan::Plan;
+    use crate::tables::TableId;
+
+    /// A model with hand-picked costs so dominance relations are exact:
+    /// join op 0 adds (1, 2), op 1 adds (2, 1) — incomparable, format 0;
+    /// op 2 adds (1.5, 1.5) with format 1; scan op 0 costs (1, 1) and scan
+    /// op 1 costs (2, 2) — strictly dominated.
+    struct ManualModel {
+        scan_ops: Vec<ScanOpId>,
+    }
+
+    impl ManualModel {
+        fn new() -> Self {
+            ManualModel {
+                scan_ops: vec![ScanOpId(0), ScanOpId(1)],
+            }
+        }
+    }
+
+    impl CostModel for ManualModel {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn metric_name(&self, _k: usize) -> &str {
+            "m"
+        }
+        fn num_tables(&self) -> usize {
+            2
+        }
+        fn scan_ops(&self, _table: TableId) -> &[ScanOpId] {
+            &self.scan_ops
+        }
+        fn join_ops(&self, _outer: &Plan, _inner: &Plan, out: &mut Vec<JoinOpId>) {
+            out.extend([JoinOpId(0), JoinOpId(1), JoinOpId(2)]);
+        }
+        fn scan_props(&self, _table: TableId, op: ScanOpId) -> PlanProps {
+            let c = if op.0 == 0 { 1.0 } else { 2.0 };
+            PlanProps {
+                cost: CostVector::new(&[c, c]),
+                rows: 100.0,
+                pages: 1.0,
+                format: OutputFormat(0),
+            }
+        }
+        fn join_props(&self, outer: &Plan, inner: &Plan, op: JoinOpId) -> PlanProps {
+            let extra = match op.0 {
+                0 => [1.0, 2.0],
+                1 => [2.0, 1.0],
+                _ => [1.5, 1.5],
+            };
+            let cost = outer
+                .cost()
+                .add(inner.cost())
+                .add(&CostVector::new(&extra));
+            PlanProps {
+                cost,
+                rows: 100.0,
+                pages: 1.0,
+                format: if op.0 == 2 {
+                    OutputFormat(1)
+                } else {
+                    OutputFormat(0)
+                },
+            }
+        }
+        fn scan_op_name(&self, _op: ScanOpId) -> String {
+            "scan".into()
+        }
+        fn join_op_name(&self, _op: JoinOpId) -> String {
+            "join".into()
+        }
+        fn num_formats(&self) -> usize {
+            2
+        }
+    }
+
+    /// Builds join plans over the same two tables with each operator so we
+    /// get plans with controlled formats and genuinely different costs:
+    /// `plans[0]` (3,4), `plans[1]` (4,3) — incomparable, format 0;
+    /// `plans[2]` (3.5,3.5), format 1; `plans[3]` (5,6), format 0,
+    /// strictly dominated by `plans[0]`.
+    fn sample_plans() -> (ManualModel, Vec<PlanRef>) {
+        let m = ManualModel::new();
+        let s0 = Plan::scan(&m, TableId::new(0), ScanOpId(0));
+        let s1 = Plan::scan(&m, TableId::new(1), ScanOpId(0));
+        let mut plans = Vec::new();
+        for op in 0..3u16 {
+            plans.push(Plan::join(&m, s0.clone(), s1.clone(), JoinOpId(op)));
+        }
+        // A strictly worse variant of plan 0 (same format, higher cost):
+        // built from the strictly more expensive scans.
+        let e0 = Plan::scan(&m, TableId::new(0), ScanOpId(1));
+        let e1 = Plan::scan(&m, TableId::new(1), ScanOpId(1));
+        plans.push(Plan::join(&m, e0, e1, JoinOpId(0)));
+        (m, plans)
+    }
+
+    #[test]
+    fn climb_prune_discards_strictly_dominated() {
+        let (_, plans) = sample_plans();
+        let good = plans[0].clone();
+        let bad = plans[3].clone();
+        assert!(better(&good, &bad), "fixture: plan 0 must dominate plan 3");
+
+        let mut set = ParetoSet::new();
+        assert!(set.insert_climb(good.clone(), PrunePolicy::OnePerFormat));
+        assert!(!set.insert_climb(bad.clone(), PrunePolicy::OnePerFormat));
+        assert_eq!(set.len(), 1);
+
+        // Inserting in the reverse order replaces the dominated plan.
+        let mut set = ParetoSet::new();
+        assert!(set.insert_climb(bad, PrunePolicy::OnePerFormat));
+        assert!(set.insert_climb(good.clone(), PrunePolicy::OnePerFormat));
+        assert_eq!(set.len(), 1);
+        assert!(std::sync::Arc::ptr_eq(&set.plans()[0], &good));
+    }
+
+    #[test]
+    fn climb_prune_keeps_one_plan_per_format() {
+        let (_, plans) = sample_plans();
+        // plans[0] and plans[1] are format 0 and incomparable; plans[2] is format 1.
+        let mut set = ParetoSet::new();
+        assert!(set.insert_climb(plans[0].clone(), PrunePolicy::OnePerFormat));
+        assert!(!set.insert_climb(plans[1].clone(), PrunePolicy::OnePerFormat));
+        assert!(set.insert_climb(plans[2].clone(), PrunePolicy::OnePerFormat));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn literal_prune_keeps_incomparable_same_format_plans() {
+        let (_, plans) = sample_plans();
+        let mut set = ParetoSet::new();
+        assert!(set.insert_climb(plans[0].clone(), PrunePolicy::KeepIncomparable));
+        assert!(set.insert_climb(plans[1].clone(), PrunePolicy::KeepIncomparable));
+        assert_eq!(set.len(), 2);
+        // Exact duplicates are rejected.
+        assert!(!set.insert_climb(plans[0].clone(), PrunePolicy::KeepIncomparable));
+        assert!(set.check_invariant());
+    }
+
+    #[test]
+    fn approx_prune_rejects_alpha_covered_plans() {
+        let (_, plans) = sample_plans();
+        let good = plans[0].clone();
+        let bad = plans[3].clone();
+        let alpha_needed = bad
+            .cost()
+            .as_slice()
+            .iter()
+            .zip(good.cost().as_slice())
+            .map(|(b, g)| b / g)
+            .fold(f64::INFINITY, f64::min);
+        // With a huge alpha, the worse plan is "covered" and rejected.
+        let mut set = ParetoSet::new();
+        assert!(set.insert_approx(good.clone(), 1e9));
+        assert!(!set.insert_approx(bad.clone(), 1e9));
+        // With alpha = 1 it is still rejected (strictly dominated)...
+        let mut set = ParetoSet::new();
+        assert!(set.insert_approx(good.clone(), 1.0));
+        assert!(!set.insert_approx(bad.clone(), 1.0));
+        let _ = alpha_needed;
+    }
+
+    #[test]
+    fn approx_prune_keeps_distinct_tradeoffs_at_low_alpha() {
+        let (_, plans) = sample_plans();
+        let mut set = ParetoSet::new();
+        assert!(set.insert_approx(plans[0].clone(), 1.0));
+        assert!(set.insert_approx(plans[1].clone(), 1.0));
+        assert_eq!(set.len(), 2, "incomparable plans both kept at alpha=1");
+    }
+
+    #[test]
+    fn approx_prune_insertion_removes_weakly_dominated() {
+        let (_, plans) = sample_plans();
+        let good = plans[0].clone();
+        let bad = plans[3].clone();
+        let mut set = ParetoSet::new();
+        // Insert the worse plan first with alpha=1, then the better one:
+        // the worse plan must be evicted.
+        assert!(set.insert_approx(bad, 1.0));
+        assert!(set.insert_approx(good.clone(), 1.0));
+        assert_eq!(set.len(), 1);
+        assert!(std::sync::Arc::ptr_eq(&set.plans()[0], &good));
+    }
+
+    #[test]
+    fn cost_frontier_ignores_format() {
+        let (_, plans) = sample_plans();
+        let mut set = ParetoSet::new();
+        for p in &plans {
+            set.insert_cost_frontier(p.clone());
+        }
+        // plans[3] is dominated by plans[0]; the rest are incomparable.
+        assert_eq!(set.len(), 3);
+        // No member dominates another.
+        for a in set.iter() {
+            for b in set.iter() {
+                if !std::sync::Arc::ptr_eq(a, b) {
+                    assert!(!a.cost().strictly_dominates(b.cost()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_iterator_builds_cost_frontier() {
+        let (_, plans) = sample_plans();
+        let set: ParetoSet = plans.into_iter().collect();
+        assert_eq!(set.len(), 3);
+        assert!(set.check_invariant());
+    }
+
+    #[test]
+    fn helpers_cover_empty_and_clear() {
+        let mut set = ParetoSet::new();
+        assert!(set.is_empty());
+        let (_, plans) = sample_plans();
+        set.insert_cost_frontier(plans[0].clone());
+        assert!(!set.is_empty());
+        set.clear();
+        assert!(set.is_empty());
+        assert_eq!(set.into_plans().len(), 0);
+    }
+}

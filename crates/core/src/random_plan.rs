@@ -1,0 +1,269 @@
+//! Uniform random bushy plan generation in `O(n)` (Lemma 1).
+//!
+//! `RandomPlan` in Algorithm 1 samples a random bushy query plan: a uniform
+//! random binary tree whose leaves are a random permutation of the query
+//! tables, with operators drawn uniformly among the applicable
+//! implementations. The paper cites Quiroz's linear-time random tree
+//! generation; we use Rémy's classic algorithm, which grows a uniform
+//! leaf-labelled binary tree by repeatedly splitting a uniformly chosen node
+//! — also `O(n)` and uniform over leaf-labelled tree shapes.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+use crate::model::CostModel;
+use crate::plan::{Plan, PlanRef};
+use crate::tables::{TableId, TableSet};
+
+#[derive(Clone, Copy)]
+enum RNode {
+    Leaf,
+    Internal { left: usize, right: usize },
+}
+
+/// Generates a uniform random bushy plan for `query` under `model`.
+///
+/// # Panics
+/// Panics if `query` is empty.
+pub fn random_plan<M, R>(model: &M, query: TableSet, rng: &mut R) -> PlanRef
+where
+    M: CostModel + ?Sized,
+    R: Rng + ?Sized,
+{
+    let mut tables: Vec<TableId> = query.iter().collect();
+    assert!(!tables.is_empty(), "cannot plan an empty query");
+    tables.shuffle(rng);
+    let n = tables.len();
+
+    if n == 1 {
+        return random_scan(model, tables[0], rng);
+    }
+
+    // Rémy's algorithm: grow a uniform binary tree with n leaves.
+    let mut nodes: Vec<RNode> = Vec::with_capacity(2 * n - 1);
+    let mut parent: Vec<usize> = Vec::with_capacity(2 * n - 1);
+    const NO_PARENT: usize = usize::MAX;
+    nodes.push(RNode::Leaf);
+    parent.push(NO_PARENT);
+    let mut root = 0usize;
+
+    for _ in 1..n {
+        // Choose a uniform existing node to split.
+        let v = rng.random_range(0..nodes.len());
+        let leaf = nodes.len();
+        nodes.push(RNode::Leaf);
+        parent.push(NO_PARENT);
+        let internal = nodes.len();
+        let (left, right) = if rng.random_bool(0.5) {
+            (v, leaf)
+        } else {
+            (leaf, v)
+        };
+        nodes.push(RNode::Internal { left, right });
+        parent.push(parent[v]);
+
+        let p = parent[v];
+        if p == NO_PARENT {
+            root = internal;
+        } else if let RNode::Internal {
+            ref mut left,
+            ref mut right,
+        } = nodes[p]
+        {
+            if *left == v {
+                *left = internal;
+            } else {
+                debug_assert_eq!(*right, v);
+                *right = internal;
+            }
+        }
+        parent[v] = internal;
+        parent[leaf] = internal;
+    }
+
+    // Assign the shuffled tables to leaves and build the plan bottom-up.
+    let mut next_table = 0usize;
+    build(model, &nodes, root, &tables, &mut next_table, rng)
+}
+
+fn build<M, R>(
+    model: &M,
+    nodes: &[RNode],
+    idx: usize,
+    tables: &[TableId],
+    next_table: &mut usize,
+    rng: &mut R,
+) -> PlanRef
+where
+    M: CostModel + ?Sized,
+    R: Rng + ?Sized,
+{
+    match nodes[idx] {
+        RNode::Leaf => {
+            let t = tables[*next_table];
+            *next_table += 1;
+            random_scan(model, t, rng)
+        }
+        RNode::Internal { left, right } => {
+            let outer = build(model, nodes, left, tables, next_table, rng);
+            let inner = build(model, nodes, right, tables, next_table, rng);
+            random_join(model, outer, inner, rng)
+        }
+    }
+}
+
+/// Builds a scan of `table` with a uniformly chosen scan operator.
+pub fn random_scan<M, R>(model: &M, table: TableId, rng: &mut R) -> PlanRef
+where
+    M: CostModel + ?Sized,
+    R: Rng + ?Sized,
+{
+    let ops = model.scan_ops(table);
+    assert!(!ops.is_empty(), "model must offer a scan operator");
+    let op = ops[rng.random_range(0..ops.len())];
+    Plan::scan(model, table, op)
+}
+
+/// Joins two plans with a uniformly chosen applicable join operator.
+///
+/// # Panics
+/// Panics if the model offers no applicable join operator (a violation of
+/// the [`CostModel`] contract).
+pub fn random_join<M, R>(model: &M, outer: PlanRef, inner: PlanRef, rng: &mut R) -> PlanRef
+where
+    M: CostModel + ?Sized,
+    R: Rng + ?Sized,
+{
+    let mut ops = Vec::new();
+    model.join_ops(&outer, &inner, &mut ops);
+    assert!(
+        !ops.is_empty(),
+        "model must offer a join operator for every operand format pair"
+    );
+    let op = ops[rng.random_range(0..ops.len())];
+    Plan::join(model, outer, inner, op)
+}
+
+/// Generates a random **left-deep** plan: the paper notes (§4.1) that the
+/// algorithm adapts to restricted join-order spaces by exchanging the random
+/// plan generator; this is the standard alternative space.
+pub fn random_left_deep_plan<M, R>(model: &M, query: TableSet, rng: &mut R) -> PlanRef
+where
+    M: CostModel + ?Sized,
+    R: Rng + ?Sized,
+{
+    let mut tables: Vec<TableId> = query.iter().collect();
+    assert!(!tables.is_empty(), "cannot plan an empty query");
+    tables.shuffle(rng);
+    let mut plan = random_scan(model, tables[0], rng);
+    for &t in &tables[1..] {
+        let scan = random_scan(model, t, rng);
+        plan = random_join(model, plan, scan, rng);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testing::StubModel;
+    use crate::plan::PlanKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_table_yields_scan() {
+        let m = StubModel::line(1, 2, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = random_plan(&m, TableSet::prefix(1), &mut rng);
+        assert!(!p.is_join());
+        assert!(p.validate(TableSet::prefix(1)).is_ok());
+    }
+
+    #[test]
+    fn plans_are_structurally_valid() {
+        let m = StubModel::line(12, 2, 1);
+        let q = TableSet::prefix(12);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let p = random_plan(&m, q, &mut rng);
+            assert!(p.validate(q).is_ok());
+            assert_eq!(p.node_count(), 2 * 12 - 1);
+        }
+    }
+
+    #[test]
+    fn subsets_of_tables_are_respected() {
+        let m = StubModel::line(8, 2, 1);
+        let q = TableSet::from_bits(0b1010_1010);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = random_plan(&m, q, &mut rng);
+        assert!(p.validate(q).is_ok());
+        assert_eq!(p.rel(), q);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let m = StubModel::line(10, 2, 1);
+        let q = TableSet::prefix(10);
+        let a = random_plan(&m, q, &mut StdRng::seed_from_u64(42));
+        let b = random_plan(&m, q, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a.display(&m), b.display(&m));
+        assert_eq!(a.cost().as_slice(), b.cost().as_slice());
+    }
+
+    #[test]
+    fn tree_shapes_are_spread_out() {
+        // For 4 leaves there are 5 binary tree shapes; a uniform sampler
+        // must produce several distinct shapes (and left-deep trees must not
+        // absorb all the mass).
+        let m = StubModel::line(4, 1, 1);
+        let q = TableSet::prefix(4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut shapes = std::collections::HashSet::new();
+        let mut bushy = 0usize;
+        for _ in 0..200 {
+            let p = random_plan(&m, q, &mut rng);
+            shapes.insert(shape_string(&p));
+            if p.depth() == 3 {
+                bushy += 1; // balanced shape: depth 3 instead of 4
+            }
+        }
+        assert!(shapes.len() >= 4, "only {} shapes observed", shapes.len());
+        assert!(bushy > 10, "balanced shapes too rare: {bushy}/200");
+    }
+
+    fn shape_string(p: &PlanRef) -> String {
+        match p.kind() {
+            PlanKind::Scan { .. } => "L".into(),
+            PlanKind::Join { outer, inner, .. } => {
+                format!("({}{})", shape_string(outer), shape_string(inner))
+            }
+        }
+    }
+
+    #[test]
+    fn left_deep_plans_have_scan_inners() {
+        let m = StubModel::line(9, 2, 1);
+        let q = TableSet::prefix(9);
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = random_left_deep_plan(&m, q, &mut rng);
+        assert!(p.validate(q).is_ok());
+        let mut node = p;
+        while let PlanKind::Join { outer, inner, .. } = node.kind() {
+            assert!(!inner.is_join(), "left-deep plan has a join inner");
+            node = outer.clone();
+        }
+    }
+
+    #[test]
+    fn leaf_labels_are_shuffled() {
+        // Two different seeds should (almost surely) produce different
+        // table orders for a 10-table query.
+        let m = StubModel::line(10, 2, 1);
+        let q = TableSet::prefix(10);
+        let a = random_plan(&m, q, &mut StdRng::seed_from_u64(1));
+        let b = random_plan(&m, q, &mut StdRng::seed_from_u64(2));
+        assert_ne!(a.display(&m), b.display(&m));
+    }
+}

@@ -1,0 +1,368 @@
+//! The `RandomMOQO` main loop (Algorithm 1): the RMQ optimizer.
+//!
+//! Each iteration performs three steps:
+//!
+//! 1. **Random plan generation** — a uniform random bushy plan
+//!    ([`crate::random_plan`]);
+//! 2. **Local search** — multi-objective hill climbing to a local Pareto
+//!    optimum ([`crate::climb::pareto_climb`]);
+//! 3. **Frontier approximation** — approximate the Pareto frontier of every
+//!    intermediate result used by the locally optimal plan, sharing partial
+//!    plans across iterations through the plan cache
+//!    ([`crate::frontier::approximate_frontiers`]), with a precision that
+//!    refines as iterations progress.
+//!
+//! The result plan set is the cached frontier of the full query table set,
+//! `P[q]`. The optimizer is *anytime*: it implements
+//! [`crate::optimizer::Optimizer`] and can be run under any budget.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cache::PlanCache;
+use crate::climb::{pareto_climb, ClimbConfig, ClimbStats};
+use crate::frontier::{approximate_frontiers, AlphaSchedule};
+use crate::model::CostModel;
+use crate::mutations::MutationSet;
+use crate::optimizer::Optimizer;
+use crate::pareto::ParetoSet;
+use crate::plan::PlanRef;
+use crate::random_plan::{random_left_deep_plan, random_plan};
+use crate::tables::TableSet;
+
+/// Which join-order space the optimizer explores (§4.1 notes the algorithm
+/// adapts to different spaces "by exchanging the random plan generation
+/// method and the set of considered local transformations" — selecting
+/// [`PlanSpace::LeftDeep`] exchanges both).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PlanSpace {
+    /// Unconstrained bushy plans (the paper's evaluation space).
+    #[default]
+    Bushy,
+    /// Left-deep plans only: the random generator draws left-deep trees and
+    /// local search applies only shape-preserving transformations
+    /// ([`MutationSet::LeftDeep`]).
+    LeftDeep,
+}
+
+/// Configuration of the RMQ optimizer.
+#[derive(Clone, Copy, Debug)]
+pub struct RmqConfig {
+    /// RNG seed (every run is deterministic given the seed and model).
+    pub seed: u64,
+    /// Hill-climbing configuration.
+    pub climb: ClimbConfig,
+    /// Approximation-precision schedule for the frontier approximation.
+    pub alpha: AlphaSchedule,
+    /// Whether the plan cache is shared across iterations (§4.3). Disabling
+    /// this is the cache ablation: each iteration approximates frontiers in
+    /// a private cache and only final query plans are archived.
+    pub share_cache: bool,
+    /// Join-order space for the random plan generator.
+    pub space: PlanSpace,
+}
+
+impl Default for RmqConfig {
+    fn default() -> Self {
+        RmqConfig {
+            seed: 0,
+            climb: ClimbConfig::default(),
+            alpha: AlphaSchedule::paper(),
+            share_cache: true,
+            space: PlanSpace::Bushy,
+        }
+    }
+}
+
+impl RmqConfig {
+    /// Default configuration with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        RmqConfig {
+            seed,
+            ..RmqConfig::default()
+        }
+    }
+}
+
+/// Aggregate statistics over an RMQ run.
+#[derive(Clone, Debug, Default)]
+pub struct RmqStats {
+    /// Completed main-loop iterations.
+    pub iterations: u64,
+    /// Climbing path length (improving moves) of every iteration — the
+    /// quantity plotted in the paper's Figure 3 (left).
+    pub path_lengths: Vec<usize>,
+    /// The approximation factor used by the most recent iteration.
+    pub last_alpha: f64,
+}
+
+impl RmqStats {
+    /// Median climbing path length, if any iterations ran.
+    pub fn median_path_length(&self) -> Option<f64> {
+        if self.path_lengths.is_empty() {
+            return None;
+        }
+        let mut sorted = self.path_lengths.clone();
+        sorted.sort_unstable();
+        let mid = sorted.len() / 2;
+        Some(if sorted.len() % 2 == 0 {
+            (sorted[mid - 1] + sorted[mid]) as f64 / 2.0
+        } else {
+            sorted[mid] as f64
+        })
+    }
+}
+
+/// The RMQ optimizer (Algorithm 1).
+pub struct Rmq<'a, M: CostModel + ?Sized> {
+    model: &'a M,
+    query: TableSet,
+    cfg: RmqConfig,
+    cache: PlanCache,
+    /// Result archive used when `share_cache` is disabled.
+    results: ParetoSet,
+    iteration: u64,
+    rng: StdRng,
+    stats: RmqStats,
+}
+
+impl<'a, M: CostModel + ?Sized> Rmq<'a, M> {
+    /// Creates an optimizer for `query` over `model`.
+    ///
+    /// # Panics
+    /// Panics if `query` is empty.
+    pub fn new(model: &'a M, query: TableSet, cfg: RmqConfig) -> Self {
+        assert!(!query.is_empty(), "cannot optimize an empty query");
+        Rmq {
+            model,
+            query,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            cache: PlanCache::new(),
+            results: ParetoSet::new(),
+            iteration: 0,
+            stats: RmqStats::default(),
+        }
+    }
+
+    /// Runs one iteration of the main loop; returns the climb statistics.
+    pub fn iterate(&mut self) -> ClimbStats {
+        self.iteration += 1;
+        // 1. Generate a random bushy (or left-deep) query plan. The plan
+        //    space governs both the generator and the climbing rule set
+        //    (§4.1: both are exchanged together).
+        let (plan, climb_cfg) = match self.cfg.space {
+            PlanSpace::Bushy => (
+                random_plan(self.model, self.query, &mut self.rng),
+                self.cfg.climb,
+            ),
+            PlanSpace::LeftDeep => (
+                random_left_deep_plan(self.model, self.query, &mut self.rng),
+                ClimbConfig {
+                    mutations: MutationSet::LeftDeep,
+                    ..self.cfg.climb
+                },
+            ),
+        };
+        // 2. Improve the plan via fast local search.
+        let (opt_plan, climb_stats) = pareto_climb(plan, self.model, &climb_cfg);
+        // 3. Approximate the Pareto frontiers of its intermediate results.
+        let alpha = self.cfg.alpha.alpha(self.iteration);
+        if self.cfg.share_cache {
+            approximate_frontiers(&opt_plan, self.model, &mut self.cache, alpha);
+        } else {
+            let mut private = PlanCache::new();
+            approximate_frontiers(&opt_plan, self.model, &mut private, alpha);
+            for p in private.frontier(self.query) {
+                self.results.insert_approx(p.clone(), alpha);
+            }
+        }
+        self.stats.iterations = self.iteration;
+        self.stats.path_lengths.push(climb_stats.steps);
+        self.stats.last_alpha = alpha;
+        climb_stats
+    }
+
+    /// The current approximate Pareto plan set for the query (`P[q]`).
+    pub fn frontier(&self) -> Vec<PlanRef> {
+        if self.cfg.share_cache {
+            self.cache.frontier(self.query).to_vec()
+        } else {
+            self.results.plans().to_vec()
+        }
+    }
+
+    /// Run statistics (iterations, climb path lengths, last α).
+    pub fn stats(&self) -> &RmqStats {
+        &self.stats
+    }
+
+    /// The partial-plan cache (read access for diagnostics and tests).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// The query being optimized.
+    pub fn query(&self) -> TableSet {
+        self.query
+    }
+}
+
+impl<M: CostModel + ?Sized> Optimizer for Rmq<'_, M> {
+    fn name(&self) -> &str {
+        "RMQ"
+    }
+
+    fn step(&mut self) -> bool {
+        self.iterate();
+        true
+    }
+
+    fn frontier(&self) -> Vec<PlanRef> {
+        Rmq::frontier(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testing::StubModel;
+    use crate::optimizer::{drive, Budget, NullObserver};
+
+    fn run(n: usize, dim: usize, iters: u64, cfg: RmqConfig) -> (StubModel, Vec<PlanRef>) {
+        let model = StubModel::line(n, dim, 17);
+        let query = TableSet::prefix(n);
+        let mut rmq = Rmq::new(&model, query, cfg);
+        drive(&mut rmq, Budget::Iterations(iters), &mut NullObserver);
+        let frontier = rmq.frontier();
+        (model, frontier)
+    }
+
+    #[test]
+    fn produces_valid_frontier_plans() {
+        let (_, frontier) = run(7, 2, 30, RmqConfig::seeded(5));
+        assert!(!frontier.is_empty());
+        for p in &frontier {
+            assert!(p.validate(TableSet::prefix(7)).is_ok());
+        }
+    }
+
+    #[test]
+    fn frontier_members_are_mutually_nondominated_modulo_format() {
+        let (_, frontier) = run(6, 2, 40, RmqConfig::seeded(6));
+        for a in &frontier {
+            for b in &frontier {
+                if !std::sync::Arc::ptr_eq(a, b) && a.same_output(b) {
+                    assert!(
+                        !a.cost().strictly_dominates(b.cost()),
+                        "cached frontier contains dominated plan"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (m1, f1) = run(6, 2, 20, RmqConfig::seeded(9));
+        let (_, f2) = run(6, 2, 20, RmqConfig::seeded(9));
+        let d1: Vec<String> = f1.iter().map(|p| p.display(&m1)).collect();
+        let d2: Vec<String> = f2.iter().map(|p| p.display(&m1)).collect();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let (m, f1) = run(8, 2, 5, RmqConfig::seeded(1));
+        let (_, f2) = run(8, 2, 5, RmqConfig::seeded(2));
+        let d1: Vec<String> = f1.iter().map(|p| p.display(&m)).collect();
+        let d2: Vec<String> = f2.iter().map(|p| p.display(&m)).collect();
+        assert_ne!(d1, d2, "different seeds should not coincide after 5 iters");
+    }
+
+    #[test]
+    fn stats_track_iterations_and_paths() {
+        let model = StubModel::line(6, 2, 3);
+        let mut rmq = Rmq::new(&model, TableSet::prefix(6), RmqConfig::seeded(4));
+        for _ in 0..10 {
+            rmq.iterate();
+        }
+        assert_eq!(rmq.stats().iterations, 10);
+        assert_eq!(rmq.stats().path_lengths.len(), 10);
+        assert_eq!(rmq.stats().last_alpha, 25.0);
+        assert!(rmq.stats().median_path_length().is_some());
+        assert!(rmq.cache().num_table_sets() > 0);
+    }
+
+    #[test]
+    fn cache_ablation_still_produces_results() {
+        let cfg = RmqConfig {
+            share_cache: false,
+            ..RmqConfig::seeded(8)
+        };
+        let (_, frontier) = run(6, 2, 25, cfg);
+        assert!(!frontier.is_empty());
+    }
+
+    #[test]
+    fn left_deep_space_produces_left_deep_results() {
+        let cfg = RmqConfig {
+            space: PlanSpace::LeftDeep,
+            ..RmqConfig::seeded(3)
+        };
+        let model = StubModel::line(5, 2, 3);
+        let mut rmq = Rmq::new(&model, TableSet::prefix(5), cfg);
+        for _ in 0..15 {
+            rmq.iterate();
+        }
+        // Generator and climbing rules are both left-deep-preserving, and
+        // the frontier approximation reuses the same join orders, so every
+        // result plan stays left-deep.
+        let frontier = rmq.frontier();
+        assert!(!frontier.is_empty());
+        for p in frontier {
+            assert!(p.validate(TableSet::prefix(5)).is_ok());
+            assert!(p.is_left_deep(), "bushy plan leaked into left-deep space");
+        }
+    }
+
+    #[test]
+    fn single_table_query_works() {
+        let (_, frontier) = run(1, 2, 3, RmqConfig::seeded(2));
+        assert!(!frontier.is_empty());
+        assert!(frontier.iter().all(|p| !p.is_join()));
+    }
+
+    #[test]
+    fn more_iterations_never_hurt_frontier_quality() {
+        // The cached frontier after more iterations must weakly dominate
+        // the earlier frontier: for each early plan there is a later plan
+        // that is no worse in every metric... within the same alpha level
+        // this holds because insertions only evict dominated plans.
+        let model = StubModel::line(6, 2, 21);
+        let query = TableSet::prefix(6);
+        let mut rmq = Rmq::new(&model, query, RmqConfig::seeded(10));
+        for _ in 0..10 {
+            rmq.iterate();
+        }
+        let early = rmq.frontier();
+        for _ in 0..40 {
+            rmq.iterate();
+        }
+        let late = rmq.frontier();
+        for e in &early {
+            let covered = late.iter().any(|l| {
+                l.cost()
+                    .approx_dominates(e.cost(), 1.0 + 1e-9)
+            });
+            assert!(covered, "later frontier lost coverage of an early plan");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty query")]
+    fn empty_query_panics() {
+        let model = StubModel::line(3, 2, 1);
+        let _ = Rmq::new(&model, TableSet::empty(), RmqConfig::default());
+    }
+}

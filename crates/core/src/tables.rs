@@ -1,0 +1,358 @@
+//! Compact table identifiers and table sets.
+//!
+//! The paper's formal model (§3) treats a query as a set of tables and every
+//! (partial) plan `p` carries the set `p.rel` of tables it joins. Those sets
+//! are the keys of the partial-plan cache, so set operations and hashing must
+//! be cheap: we represent a set as a `u128` bitset, supporting queries of up
+//! to [`MAX_TABLES`] tables (the paper evaluates up to 100).
+
+use std::fmt;
+
+/// Maximum number of tables representable in a [`TableSet`].
+pub const MAX_TABLES: usize = 128;
+
+/// Identifier of a base table: a dense index in `0..MAX_TABLES`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TableId(u8);
+
+impl TableId {
+    /// Creates a table id.
+    ///
+    /// # Panics
+    /// Panics if `idx >= MAX_TABLES`.
+    #[inline]
+    pub fn new(idx: usize) -> Self {
+        assert!(idx < MAX_TABLES, "table index {idx} out of range");
+        TableId(idx as u8)
+    }
+
+    /// The dense index of this table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A set of tables, stored as a `u128` bitset.
+///
+/// This is the `p.rel` of the paper: `ScanPlan(q, op).rel = q` and
+/// `JoinPlan(o, i, op).rel = o.rel ∪ i.rel`. All operations are O(1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct TableSet(u128);
+
+impl TableSet {
+    /// The empty set.
+    #[inline]
+    pub const fn empty() -> Self {
+        TableSet(0)
+    }
+
+    /// The singleton set `{t}`.
+    #[inline]
+    pub fn singleton(t: TableId) -> Self {
+        TableSet(1u128 << t.0)
+    }
+
+    /// The set `{0, 1, .., n-1}` of the first `n` tables.
+    ///
+    /// # Panics
+    /// Panics if `n > MAX_TABLES`.
+    #[inline]
+    pub fn prefix(n: usize) -> Self {
+        assert!(n <= MAX_TABLES);
+        if n == MAX_TABLES {
+            TableSet(u128::MAX)
+        } else {
+            TableSet((1u128 << n) - 1)
+        }
+    }
+
+    /// Builds a set from raw bits. Intended for tests and serialization.
+    #[inline]
+    pub const fn from_bits(bits: u128) -> Self {
+        TableSet(bits)
+    }
+
+    /// The raw bits of this set.
+    #[inline]
+    pub const fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// Whether the set contains no tables.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of tables in the set.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether this is a single-table set (`|q| = 1` in the paper).
+    #[inline]
+    pub const fn is_singleton(self) -> bool {
+        self.0 != 0 && self.0 & (self.0 - 1) == 0
+    }
+
+    /// Whether `t` is a member.
+    #[inline]
+    pub fn contains(self, t: TableId) -> bool {
+        self.0 & (1u128 << t.0) != 0
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(self, other: TableSet) -> TableSet {
+        TableSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub const fn intersect(self, other: TableSet) -> TableSet {
+        TableSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub const fn difference(self, other: TableSet) -> TableSet {
+        TableSet(self.0 & !other.0)
+    }
+
+    /// Whether the two sets share no table.
+    #[inline]
+    pub const fn is_disjoint(self, other: TableSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub const fn is_subset(self, other: TableSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Inserts a table, returning the extended set.
+    #[inline]
+    pub fn with(self, t: TableId) -> TableSet {
+        TableSet(self.0 | (1u128 << t.0))
+    }
+
+    /// Removes a table, returning the reduced set.
+    #[inline]
+    pub fn without(self, t: TableId) -> TableSet {
+        TableSet(self.0 & !(1u128 << t.0))
+    }
+
+    /// The member with the smallest index, if any.
+    #[inline]
+    pub fn first(self) -> Option<TableId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(TableId(self.0.trailing_zeros() as u8))
+        }
+    }
+
+    /// Iterates over members in increasing index order.
+    #[inline]
+    pub fn iter(self) -> TableSetIter {
+        TableSetIter(self.0)
+    }
+}
+
+impl FromIterator<TableId> for TableSet {
+    fn from_iter<I: IntoIterator<Item = TableId>>(iter: I) -> Self {
+        let mut s = TableSet::empty();
+        for t in iter {
+            s = s.with(t);
+        }
+        s
+    }
+}
+
+impl IntoIterator for TableSet {
+    type Item = TableId;
+    type IntoIter = TableSetIter;
+    fn into_iter(self) -> TableSetIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`TableSet`].
+pub struct TableSetIter(u128);
+
+impl Iterator for TableSetIter {
+    type Item = TableId;
+
+    #[inline]
+    fn next(&mut self) -> Option<TableId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let idx = self.0.trailing_zeros() as u8;
+            self.0 &= self.0 - 1;
+            Some(TableId(idx))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for TableSetIter {}
+
+fn fmt_braced(set: TableSet, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "{{")?;
+    let mut first = true;
+    for t in set.iter() {
+        if !first {
+            write!(f, ",")?;
+        }
+        write!(f, "{}", t.index())?;
+        first = false;
+    }
+    write!(f, "}}")
+}
+
+impl fmt::Debug for TableSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_braced(*self, f)
+    }
+}
+
+impl fmt::Display for TableSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_braced(*self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn ts(ids: &[usize]) -> TableSet {
+        ids.iter().map(|&i| TableId::new(i)).collect()
+    }
+
+    #[test]
+    fn empty_set_basics() {
+        let e = TableSet::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert!(!e.is_singleton());
+        assert_eq!(e.first(), None);
+        assert_eq!(e.iter().count(), 0);
+    }
+
+    #[test]
+    fn singleton_and_membership() {
+        let t = TableId::new(5);
+        let s = TableSet::singleton(t);
+        assert!(s.is_singleton());
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(t));
+        assert!(!s.contains(TableId::new(4)));
+        assert_eq!(s.first(), Some(t));
+    }
+
+    #[test]
+    fn prefix_sets() {
+        assert_eq!(TableSet::prefix(0), TableSet::empty());
+        assert_eq!(TableSet::prefix(3), ts(&[0, 1, 2]));
+        assert_eq!(TableSet::prefix(MAX_TABLES).len(), MAX_TABLES);
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = ts(&[0, 1, 2]);
+        let b = ts(&[2, 3]);
+        assert_eq!(a.union(b), ts(&[0, 1, 2, 3]));
+        assert_eq!(a.intersect(b), ts(&[2]));
+        assert_eq!(a.difference(b), ts(&[0, 1]));
+        assert!(!a.is_disjoint(b));
+        assert!(ts(&[0]).is_disjoint(ts(&[1])));
+    }
+
+    #[test]
+    fn subset_relation() {
+        assert!(ts(&[1, 2]).is_subset(ts(&[0, 1, 2])));
+        assert!(!ts(&[1, 4]).is_subset(ts(&[0, 1, 2])));
+        assert!(TableSet::empty().is_subset(ts(&[7])));
+        let s = ts(&[3, 9]);
+        assert!(s.is_subset(s));
+    }
+
+    #[test]
+    fn with_and_without() {
+        let s = ts(&[1, 2]);
+        assert_eq!(s.with(TableId::new(4)), ts(&[1, 2, 4]));
+        assert_eq!(s.without(TableId::new(2)), ts(&[1]));
+        // Removing an absent member is a no-op.
+        assert_eq!(s.without(TableId::new(9)), s);
+    }
+
+    #[test]
+    fn iteration_order_is_ascending() {
+        let s = ts(&[9, 1, 120, 4]);
+        let v: Vec<usize> = s.iter().map(|t| t.index()).collect();
+        assert_eq!(v, vec![1, 4, 9, 120]);
+        assert_eq!(s.iter().len(), 4);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ts(&[2, 0]).to_string(), "{0,2}");
+        assert_eq!(TableSet::empty().to_string(), "{}");
+        assert_eq!(TableId::new(3).to_string(), "T3");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn table_id_out_of_range_panics() {
+        let _ = TableId::new(MAX_TABLES);
+    }
+
+    #[test]
+    fn from_bits_round_trip() {
+        let s = ts(&[0, 63, 127]);
+        assert_eq!(TableSet::from_bits(s.bits()), s);
+    }
+
+    proptest::proptest! {
+        /// Bitset operations agree with a reference BTreeSet model.
+        #[test]
+        fn matches_btreeset_model(a in proptest::collection::btree_set(0usize..MAX_TABLES, 0..20),
+                                  b in proptest::collection::btree_set(0usize..MAX_TABLES, 0..20)) {
+            let sa: TableSet = a.iter().map(|&i| TableId::new(i)).collect();
+            let sb: TableSet = b.iter().map(|&i| TableId::new(i)).collect();
+            let union: BTreeSet<usize> = a.union(&b).copied().collect();
+            let inter: BTreeSet<usize> = a.intersection(&b).copied().collect();
+            let diff: BTreeSet<usize> = a.difference(&b).copied().collect();
+            let as_model = |s: TableSet| -> BTreeSet<usize> { s.iter().map(|t| t.index()).collect() };
+            proptest::prop_assert_eq!(as_model(sa.union(sb)), union);
+            proptest::prop_assert_eq!(as_model(sa.intersect(sb)), inter);
+            proptest::prop_assert_eq!(as_model(sa.difference(sb)), diff);
+            proptest::prop_assert_eq!(sa.len(), a.len());
+            proptest::prop_assert_eq!(sa.is_subset(sb), a.is_subset(&b));
+            proptest::prop_assert_eq!(sa.is_disjoint(sb), a.is_disjoint(&b));
+        }
+
+        /// `is_singleton` is equivalent to `len() == 1`.
+        #[test]
+        fn singleton_iff_len_one(a in proptest::collection::btree_set(0usize..MAX_TABLES, 0..5)) {
+            let s: TableSet = a.iter().map(|&i| TableId::new(i)).collect();
+            proptest::prop_assert_eq!(s.is_singleton(), s.len() == 1);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! The statistical model behind the paper's complexity analysis (§5).
+//!
+//! The analysis models the cost of a random plan per metric as independent
+//! random variables and derives:
+//!
+//! * **Lemma 3** — a random plan dominates another with probability `(1/2)^l`;
+//! * **Lemma 4** — `u(n, i) = (1 − (1/2)^{l·i})^n` is the probability that
+//!   none of `n` neighbor plans dominates all `i` plans on the climbing path;
+//! * **Theorem 1** — the expected number of plans visited until a local
+//!   Pareto optimum is `Σ_i i · u(n,i) · Π_{j<i} (1 − u(n,j))`;
+//! * **Theorem 2** — that expectation is `O(n)`;
+//! * **Lemma 5** — a random plan is a local Pareto optimum with probability
+//!   `O((1 − (1/2)^l)^n)`.
+//!
+//! This module evaluates the closed-form expressions and provides
+//! Monte-Carlo simulators of the abstract model — both the independence
+//! approximation used in the proofs and a "real vectors" variant that draws
+//! actual cost vectors (no pairwise-independence assumption) — so the
+//! analysis itself is reproducible and testable, and Figure 3 (left) can be
+//! compared against the model's prediction.
+
+use rand::{Rng, RngExt};
+
+/// `u(n, i)` of Lemma 4: the probability that none of `n` random plans
+/// dominates all of `i` plans, with `l` cost metrics.
+pub fn u(n: usize, i: usize, l: usize) -> f64 {
+    let p_dominate_all = 0.5f64.powi((l * i) as i32);
+    (1.0 - p_dominate_all).powi(n as i32)
+}
+
+/// Lemma 3: probability that one random plan dominates another.
+pub fn dominate_probability(l: usize) -> f64 {
+    0.5f64.powi(l as i32)
+}
+
+/// Lemma 5: probability that a random plan with `n` neighbors is a local
+/// Pareto optimum.
+pub fn local_optimum_probability(n: usize, l: usize) -> f64 {
+    (1.0 - dominate_probability(l)).powi(n as i32)
+}
+
+/// Theorem 1: expected number of plans visited by hill climbing until a
+/// local Pareto optimum, `Σ_i i · u(n,i) · Π_{j<i}(1 − u(n,j))`.
+///
+/// The series is evaluated until the survival probability
+/// `Π_{j≤i}(1 − u(n,j))` drops below `1e-12` (it decays geometrically once
+/// `u` approaches 1).
+pub fn expected_path_length(n: usize, l: usize) -> f64 {
+    let mut expectation = 0.0;
+    let mut survival = 1.0; // Π_{j<i} (1 - u(n, j))
+    for i in 1..100_000usize {
+        let stop_here = u(n, i, l);
+        expectation += i as f64 * stop_here * survival;
+        survival *= 1.0 - stop_here;
+        if survival < 1e-12 {
+            break;
+        }
+    }
+    expectation
+}
+
+/// Samples a climbing path length from the abstract model's distribution:
+/// starting from one visited plan, each additional step occurs with
+/// probability `1 − u(n, i)` (some neighbor dominates all `i` plans so far).
+pub fn sample_path_length<R: Rng + ?Sized>(n: usize, l: usize, rng: &mut R) -> usize {
+    let mut i = 1usize;
+    while rng.random::<f64>() < 1.0 - u(n, i, l) {
+        i += 1;
+        if i > 1_000_000 {
+            break; // unreachable in practice; guards pathological inputs
+        }
+    }
+    i
+}
+
+/// Simulates climbing over *actual* random cost vectors in `[0,1)^l`
+/// without the pairwise-independence assumption of Lemma 4: at every step,
+/// `n` neighbor vectors are drawn and the walk moves to the first neighbor
+/// that strictly dominates the current vector. Returns the number of
+/// vectors visited (including the start).
+pub fn simulate_vector_path<R: Rng + ?Sized>(n: usize, l: usize, rng: &mut R) -> usize {
+    assert!(l >= 1 && l <= 16);
+    let mut current: Vec<f64> = (0..l).map(|_| rng.random()).collect();
+    let mut visited = 1usize;
+    'outer: loop {
+        for _ in 0..n {
+            let candidate: Vec<f64> = (0..l).map(|_| rng.random()).collect();
+            let dominates = candidate
+                .iter()
+                .zip(&current)
+                .all(|(c, x)| c <= x)
+                && candidate != current;
+            if dominates {
+                current = candidate;
+                visited += 1;
+                if visited > 1_000_000 {
+                    break 'outer;
+                }
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    visited
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn u_matches_closed_form() {
+        // u(1, 1) with l = 1: (1 - 1/2)^1 = 0.5.
+        assert!((u(1, 1, 1) - 0.5).abs() < 1e-12);
+        // u(2, 1) with l = 2: (1 - 1/4)^2 = 0.5625.
+        assert!((u(2, 1, 2) - 0.5625).abs() < 1e-12);
+        // u grows towards 1 in i (domination gets harder).
+        assert!(u(10, 5, 2) > u(10, 1, 2));
+    }
+
+    #[test]
+    fn dominance_probability_lemma3() {
+        assert_eq!(dominate_probability(1), 0.5);
+        assert_eq!(dominate_probability(2), 0.25);
+        assert_eq!(dominate_probability(3), 0.125);
+    }
+
+    #[test]
+    fn local_optimum_probability_decays_exponentially_in_n() {
+        let l = 2;
+        let p10 = local_optimum_probability(10, l);
+        let p20 = local_optimum_probability(20, l);
+        // Exponential decay: p20 ≈ p10².
+        assert!((p20 - p10 * p10).abs() < 1e-12);
+        assert!(p10 < 1.0 && p10 > 0.0);
+    }
+
+    #[test]
+    fn expected_path_length_is_finite_and_reasonable() {
+        for l in 1..=3usize {
+            for n in [10usize, 25, 50, 100] {
+                let e = expected_path_length(n, l);
+                assert!(e.is_finite() && e >= 1.0, "E[path] = {e} for n={n}, l={l}");
+                // Theorem 2: expected length is O(n); generously check <= 3n.
+                assert!(e <= 3.0 * n as f64, "E[path]={e} exceeds bound for n={n}, l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn expected_path_length_grows_slowly() {
+        // Fig. 3 (left) shows path lengths of ~4-6 for 10..100 tables with
+        // l = 3; the model should be in the same small range.
+        let e10 = expected_path_length(10, 3);
+        let e100 = expected_path_length(100, 3);
+        assert!(e10 >= 1.0 && e10 <= 12.0, "e10 = {e10}");
+        assert!(e100 >= e10, "path length must grow with n");
+        assert!(e100 <= 20.0, "e100 = {e100} unreasonably large");
+    }
+
+    #[test]
+    fn sampled_lengths_match_expectation() {
+        let (n, l) = (25usize, 2usize);
+        let analytic = expected_path_length(n, l);
+        let mut rng = StdRng::seed_from_u64(99);
+        let samples = 20_000;
+        let mean: f64 = (0..samples)
+            .map(|_| sample_path_length(n, l, &mut rng) as f64)
+            .sum::<f64>()
+            / samples as f64;
+        let rel_err = (mean - analytic).abs() / analytic;
+        assert!(
+            rel_err < 0.05,
+            "MC mean {mean} vs analytic {analytic} (rel err {rel_err:.3})"
+        );
+    }
+
+    #[test]
+    fn vector_simulation_is_in_the_same_ballpark() {
+        // The independence assumption is only an approximation; the vector
+        // walk should still land within a small constant factor.
+        let (n, l) = (20usize, 2usize);
+        let analytic = expected_path_length(n, l);
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples = 3_000;
+        let mean: f64 = (0..samples)
+            .map(|_| simulate_vector_path(n, l, &mut rng) as f64)
+            .sum::<f64>()
+            / samples as f64;
+        assert!(
+            mean > analytic / 4.0 && mean < analytic * 4.0,
+            "vector walk mean {mean} too far from analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn more_metrics_shorten_paths() {
+        // Dominating neighbors get sparser as l grows (§4.2), so expected
+        // paths shrink with more metrics.
+        let e1 = expected_path_length(50, 1);
+        let e3 = expected_path_length(50, 3);
+        assert!(e3 < e1, "e3={e3} should be below e1={e1}");
+    }
+}

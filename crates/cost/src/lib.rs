@@ -1,0 +1,40 @@
+//! # moqo-cost — multi-metric cost models and the physical operator library
+//!
+//! Implementations of the [`moqo_core::model::CostModel`] trait used by the
+//! paper reproduction:
+//!
+//! * [`resource::ResourceCostModel`] — the evaluation setting of §6.1:
+//!   execution **time**, **buffer** space, and **disk** space, over an
+//!   operator library with buffer-graded block-nested-loop joins, in-memory
+//!   and Grace hash joins, external sort-merge joins, pipelined vs.
+//!   materialized transfer, and two access paths per table.
+//! * [`cloud::CloudCostModel`] — the motivating cloud scenario (§1):
+//!   execution **time** vs. **monetary fees**, with degree-of-parallelism
+//!   operator variants.
+//! * [`aqp::AqpCostModel`] — the approximate-query-processing scenario
+//!   (§1, footnote 2): execution **time** vs. **precision loss**, with
+//!   sample-density scan variants whose sampling shrinks cardinalities —
+//!   the paper's §4.3 witness that join order and operator selection
+//!   cannot be optimized separately.
+//! * [`energy::EnergyCostModel`] — the PET scenario (§3, citing [22]):
+//!   execution **time** vs. **energy**, with frequency-graded operator
+//!   variants and an interior energy-optimal frequency.
+//! * [`cardinality`] — shared selectivity-based cardinality estimation.
+//!
+//! All models keep every metric additive along the plan tree, preserving
+//! the principle of optimality the optimizer exploits (paper footnote 1).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod aqp;
+pub mod cardinality;
+pub mod cloud;
+pub mod energy;
+pub mod operators;
+pub mod resource;
+
+pub use aqp::AqpCostModel;
+pub use cloud::CloudCostModel;
+pub use energy::EnergyCostModel;
+pub use resource::{ResourceCostModel, ResourceMetric};

@@ -1,0 +1,392 @@
+//! The physical operator library of the resource cost model.
+//!
+//! The paper's footnote 2 sketches how one plan-space formalization yields
+//! multi-dimensional tradeoffs: "different versions of the standard join
+//! operators that work with different amounts of buffer space", plus
+//! materialized vs. pipelined data transfer. This module implements that
+//! recipe with textbook cost formulas over three resource metrics:
+//!
+//! | operator | time | buffer | disk |
+//! |---|---|---|---|
+//! | sequential scan | `pages` | prefetch window | — |
+//! | index scan | `2.2 · pages` (random I/O) | 1 page | — |
+//! | block nested loop (B=4 / B=64) | `p_o + ⌈p_o/(B−2)⌉ · p_i` | `B` | — |
+//! | in-memory hash join | `p_o + p_i` | `1.4 · p_i` | — |
+//! | Grace hash join | `3 (p_o + p_i)` | `√p_i + 2` | `p_o + p_i` |
+//! | external sort-merge join | `2.5 (p_o + p_i)` | 16 | `p_o + p_i` |
+//!
+//! Every join operator additionally comes in a **pipelined** variant
+//! (output format [`STREAM`]) and a **materializing** variant (output format
+//! [`STORED`], surcharge `time += p_out`, `disk += p_out`). Block nested
+//! loop joins require a [`STORED`] inner (they re-scan it); base-table scans
+//! produce [`STORED`] output because base tables are re-scannable. This
+//! gives `SameOutput` pruning real semantics and creates plans whose
+//! frontier spans genuine time/buffer/disk tradeoffs.
+
+use moqo_core::model::{JoinOpId, OutputFormat, ScanOpId};
+
+/// Pipelined output: consumable once, no disk footprint.
+pub const STREAM: OutputFormat = OutputFormat(0);
+
+/// Materialized (or base-table) output: re-scannable.
+pub const STORED: OutputFormat = OutputFormat(1);
+
+/// Scan operator implementations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScanKind {
+    /// Sequential scan: fast, uses a prefetch window of buffer pages.
+    Sequential,
+    /// Full index scan: slower (random I/O), minimal buffer footprint.
+    Index,
+}
+
+impl ScanKind {
+    /// All scan kinds.
+    pub const ALL: [ScanKind; 2] = [ScanKind::Sequential, ScanKind::Index];
+
+    /// Decodes a [`ScanOpId`].
+    pub fn from_id(op: ScanOpId) -> ScanKind {
+        match op.0 {
+            0 => ScanKind::Sequential,
+            1 => ScanKind::Index,
+            other => panic!("unknown scan operator id {other}"),
+        }
+    }
+
+    /// Encodes as a [`ScanOpId`].
+    pub fn id(self) -> ScanOpId {
+        match self {
+            ScanKind::Sequential => ScanOpId(0),
+            ScanKind::Index => ScanOpId(1),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScanKind::Sequential => "SeqScan",
+            ScanKind::Index => "IdxScan",
+        }
+    }
+}
+
+/// Join algorithm families.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JoinKind {
+    /// Block nested loop with a small (4-page) block buffer.
+    BnlSmall,
+    /// Block nested loop with a large (64-page) block buffer.
+    BnlLarge,
+    /// In-memory (classic) hash join; builds on the inner input.
+    Hash,
+    /// Grace hash join: partitions both inputs to disk first.
+    GraceHash,
+    /// External sort-merge join.
+    SortMerge,
+}
+
+impl JoinKind {
+    /// All join kinds.
+    pub const ALL: [JoinKind; 5] = [
+        JoinKind::BnlSmall,
+        JoinKind::BnlLarge,
+        JoinKind::Hash,
+        JoinKind::GraceHash,
+        JoinKind::SortMerge,
+    ];
+
+    /// Whether this algorithm re-scans its inner input and therefore
+    /// requires it to be [`STORED`].
+    pub fn requires_stored_inner(self) -> bool {
+        matches!(self, JoinKind::BnlSmall | JoinKind::BnlLarge)
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinKind::BnlSmall => "BNL4",
+            JoinKind::BnlLarge => "BNL64",
+            JoinKind::Hash => "Hash",
+            JoinKind::GraceHash => "Grace",
+            JoinKind::SortMerge => "SortMerge",
+        }
+    }
+}
+
+/// A concrete join operator: an algorithm plus an output-transfer mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct JoinOp {
+    /// The join algorithm.
+    pub kind: JoinKind,
+    /// Whether the output is materialized ([`STORED`]) or pipelined
+    /// ([`STREAM`]).
+    pub materialize: bool,
+}
+
+impl JoinOp {
+    /// Decodes a [`JoinOpId`] (`id = kind_index · 2 + materialize`).
+    pub fn from_id(op: JoinOpId) -> JoinOp {
+        let idx = (op.0 / 2) as usize;
+        assert!(idx < JoinKind::ALL.len(), "unknown join operator id {}", op.0);
+        JoinOp {
+            kind: JoinKind::ALL[idx],
+            materialize: op.0 % 2 == 1,
+        }
+    }
+
+    /// Encodes as a [`JoinOpId`].
+    pub fn id(self) -> JoinOpId {
+        let idx = JoinKind::ALL
+            .iter()
+            .position(|k| *k == self.kind)
+            .expect("kind in ALL") as u16;
+        JoinOpId(idx * 2 + self.materialize as u16)
+    }
+
+    /// Output format produced by this operator.
+    pub fn output_format(self) -> OutputFormat {
+        if self.materialize {
+            STORED
+        } else {
+            STREAM
+        }
+    }
+
+    /// Display name, e.g. `Hash→mat`.
+    pub fn name(self) -> String {
+        if self.materialize {
+            format!("{}→mat", self.kind.name())
+        } else {
+            self.kind.name().to_string()
+        }
+    }
+
+    /// Every concrete join operator (10 = 5 algorithms × 2 transfer modes).
+    pub fn all() -> impl Iterator<Item = JoinOp> {
+        JoinKind::ALL.iter().flat_map(|&kind| {
+            [false, true]
+                .into_iter()
+                .map(move |materialize| JoinOp { kind, materialize })
+        })
+    }
+}
+
+/// Tunable constants of the resource cost formulas.
+#[derive(Clone, Copy, Debug)]
+pub struct ResourceParams {
+    /// Tuples per page (row → page conversion).
+    pub tuples_per_page: f64,
+    /// Prefetch window of the sequential scan, in pages.
+    pub seq_scan_buffer: f64,
+    /// Random-I/O penalty factor of the index scan.
+    pub index_scan_penalty: f64,
+    /// Block buffer of the small BNL variant, in pages (≥ 3).
+    pub bnl_small_buffer: f64,
+    /// Block buffer of the large BNL variant, in pages (≥ 3).
+    pub bnl_large_buffer: f64,
+    /// Hash-table space overhead factor of the in-memory hash join.
+    pub hash_buffer_factor: f64,
+    /// Time factor of the Grace hash join (partition write + read + probe).
+    pub grace_time_factor: f64,
+    /// Time factor of the external sort-merge join.
+    pub smj_time_factor: f64,
+    /// Merge buffer of the external sort-merge join, in pages.
+    pub smj_buffer: f64,
+}
+
+impl Default for ResourceParams {
+    fn default() -> Self {
+        ResourceParams {
+            tuples_per_page: 100.0,
+            seq_scan_buffer: 8.0,
+            index_scan_penalty: 2.2,
+            bnl_small_buffer: 4.0,
+            bnl_large_buffer: 64.0,
+            hash_buffer_factor: 1.4,
+            grace_time_factor: 3.0,
+            smj_time_factor: 2.5,
+            smj_buffer: 16.0,
+        }
+    }
+}
+
+/// Raw per-operator resource consumption (before metric selection).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResourceUse {
+    /// Execution time, in page-I/O units.
+    pub time: f64,
+    /// Buffer space, in pages.
+    pub buffer: f64,
+    /// Temporary/materialized disk space, in pages.
+    pub disk: f64,
+}
+
+/// Resource consumption of a scan of `pages` pages.
+pub fn scan_use(kind: ScanKind, pages: f64, p: &ResourceParams) -> ResourceUse {
+    match kind {
+        ScanKind::Sequential => ResourceUse {
+            time: pages,
+            buffer: p.seq_scan_buffer,
+            disk: 0.0,
+        },
+        ScanKind::Index => ResourceUse {
+            time: p.index_scan_penalty * pages,
+            buffer: 1.0,
+            disk: 0.0,
+        },
+    }
+}
+
+/// Resource consumption of one join operator application, **including** the
+/// materialization surcharge when `op.materialize` is set.
+///
+/// `po`/`pi` are the outer/inner input sizes in pages, `pout` the estimated
+/// output size in pages.
+pub fn join_use(op: JoinOp, po: f64, pi: f64, pout: f64, p: &ResourceParams) -> ResourceUse {
+    let base = match op.kind {
+        JoinKind::BnlSmall => bnl_use(po, pi, p.bnl_small_buffer),
+        JoinKind::BnlLarge => bnl_use(po, pi, p.bnl_large_buffer),
+        JoinKind::Hash => ResourceUse {
+            time: po + pi,
+            buffer: p.hash_buffer_factor * pi,
+            disk: 0.0,
+        },
+        JoinKind::GraceHash => ResourceUse {
+            time: p.grace_time_factor * (po + pi),
+            buffer: pi.sqrt() + 2.0,
+            disk: po + pi,
+        },
+        JoinKind::SortMerge => ResourceUse {
+            time: p.smj_time_factor * (po + pi),
+            buffer: p.smj_buffer,
+            disk: po + pi,
+        },
+    };
+    if op.materialize {
+        ResourceUse {
+            time: base.time + pout,
+            buffer: base.buffer,
+            disk: base.disk + pout,
+        }
+    } else {
+        base
+    }
+}
+
+fn bnl_use(po: f64, pi: f64, block: f64) -> ResourceUse {
+    debug_assert!(block >= 3.0);
+    let passes = (po / (block - 2.0)).ceil().max(1.0);
+    ResourceUse {
+        time: po + passes * pi,
+        buffer: block,
+        disk: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        for kind in ScanKind::ALL {
+            assert_eq!(ScanKind::from_id(kind.id()), kind);
+        }
+        for op in JoinOp::all() {
+            assert_eq!(JoinOp::from_id(op.id()), op);
+        }
+        assert_eq!(JoinOp::all().count(), 10);
+    }
+
+    #[test]
+    fn output_formats() {
+        let pipe = JoinOp {
+            kind: JoinKind::Hash,
+            materialize: false,
+        };
+        let mat = JoinOp {
+            kind: JoinKind::Hash,
+            materialize: true,
+        };
+        assert_eq!(pipe.output_format(), STREAM);
+        assert_eq!(mat.output_format(), STORED);
+        assert!(mat.name().contains("mat"));
+    }
+
+    #[test]
+    fn bnl_requires_stored_inner() {
+        assert!(JoinKind::BnlSmall.requires_stored_inner());
+        assert!(JoinKind::BnlLarge.requires_stored_inner());
+        assert!(!JoinKind::Hash.requires_stored_inner());
+        assert!(!JoinKind::GraceHash.requires_stored_inner());
+        assert!(!JoinKind::SortMerge.requires_stored_inner());
+    }
+
+    #[test]
+    fn scan_formulas() {
+        let p = ResourceParams::default();
+        let seq = scan_use(ScanKind::Sequential, 100.0, &p);
+        let idx = scan_use(ScanKind::Index, 100.0, &p);
+        assert_eq!(seq.time, 100.0);
+        assert_eq!(seq.buffer, 8.0);
+        assert!((idx.time - 220.0).abs() < 1e-9);
+        assert_eq!(idx.buffer, 1.0);
+        // Tradeoff: neither dominates the other across (time, buffer).
+        assert!(seq.time < idx.time && seq.buffer > idx.buffer);
+    }
+
+    #[test]
+    fn bnl_time_grows_with_outer_blocks() {
+        let p = ResourceParams::default();
+        let small = join_use(
+            JoinOp { kind: JoinKind::BnlSmall, materialize: false },
+            100.0,
+            50.0,
+            10.0,
+            &p,
+        );
+        let large = join_use(
+            JoinOp { kind: JoinKind::BnlLarge, materialize: false },
+            100.0,
+            50.0,
+            10.0,
+            &p,
+        );
+        // 100 pages in 2-page blocks: 50 passes; in 62-page blocks: 2 passes.
+        assert_eq!(small.time, 100.0 + 50.0 * 50.0);
+        assert_eq!(large.time, 100.0 + 2.0 * 50.0);
+        assert!(small.buffer < large.buffer);
+    }
+
+    #[test]
+    fn operator_space_spans_three_way_tradeoffs() {
+        let p = ResourceParams::default();
+        let (po, pi, pout) = (200.0, 150.0, 40.0);
+        let hash = join_use(JoinOp { kind: JoinKind::Hash, materialize: false }, po, pi, pout, &p);
+        let grace = join_use(JoinOp { kind: JoinKind::GraceHash, materialize: false }, po, pi, pout, &p);
+        let bnl = join_use(JoinOp { kind: JoinKind::BnlSmall, materialize: false }, po, pi, pout, &p);
+        // Hash is fastest but most buffer-hungry.
+        assert!(hash.time < grace.time && hash.time < bnl.time);
+        assert!(hash.buffer > grace.buffer && hash.buffer > bnl.buffer);
+        // Grace trades disk for buffer.
+        assert!(grace.disk > 0.0 && hash.disk == 0.0 && bnl.disk == 0.0);
+        // BNL-4 has the smallest buffer.
+        assert!(bnl.buffer <= grace.buffer);
+    }
+
+    #[test]
+    fn materialization_surcharge() {
+        let p = ResourceParams::default();
+        let pipe = join_use(JoinOp { kind: JoinKind::Hash, materialize: false }, 10.0, 10.0, 5.0, &p);
+        let mat = join_use(JoinOp { kind: JoinKind::Hash, materialize: true }, 10.0, 10.0, 5.0, &p);
+        assert_eq!(mat.time, pipe.time + 5.0);
+        assert_eq!(mat.disk, pipe.disk + 5.0);
+        assert_eq!(mat.buffer, pipe.buffer);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown join operator id")]
+    fn unknown_join_id_panics() {
+        let _ = JoinOp::from_id(JoinOpId(99));
+    }
+}

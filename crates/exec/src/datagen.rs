@@ -1,0 +1,210 @@
+//! Synthetic data generation realizing a catalog's statistics.
+//!
+//! Every table gets one `i64` key column **per incident join edge**. For an
+//! edge with selectivity `s`, both endpoint columns draw uniformly from the
+//! domain `0..round(1/s)`: two uniform draws collide with probability
+//! `s`, so the equi-join on that column realizes the catalog's selectivity
+//! in expectation. Cardinalities can be scaled down (`max_rows`) while
+//! *selectivities are preserved*, so executions stay fast without
+//! distorting which plans are relatively cheap.
+
+use moqo_catalog::Catalog;
+use moqo_core::tables::TableId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of synthetic data generation.
+#[derive(Clone, Copy, Debug)]
+pub struct DataGenConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Cap on generated rows per table. Catalog cardinalities above the cap
+    /// are scaled down proportionally (the largest table maps to the cap).
+    pub max_rows: usize,
+}
+
+impl Default for DataGenConfig {
+    fn default() -> Self {
+        DataGenConfig {
+            seed: 0,
+            max_rows: 4_096,
+        }
+    }
+}
+
+/// One synthetic table: a key column per incident edge, column-major.
+#[derive(Clone, Debug)]
+pub struct TableData {
+    /// Number of rows.
+    pub rows: usize,
+    /// `columns[e]` is the key column for incident edge index `e` (order
+    /// matches [`Database::edge_index`]).
+    pub columns: Vec<Vec<i64>>,
+}
+
+/// A generated database over a catalog.
+pub struct Database {
+    catalog_tables: usize,
+    /// Per table: generated data.
+    tables: Vec<TableData>,
+    /// Per table: the edge ids (indices into `catalog.edges()`) incident to
+    /// it, in column order.
+    incident_edges: Vec<Vec<usize>>,
+}
+
+impl Database {
+    /// Generates data for every table of `catalog`.
+    pub fn generate(catalog: &Catalog, config: DataGenConfig) -> Self {
+        let n = catalog.num_tables();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Scale factor: largest catalog table maps to at most max_rows.
+        let largest = (0..n)
+            .map(|t| catalog.rows(TableId::new(t)))
+            .fold(1.0f64, f64::max);
+        let scale = (config.max_rows as f64 / largest).min(1.0);
+
+        let mut incident_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (e, edge) in catalog.edges().iter().enumerate() {
+            incident_edges[edge.a.index()].push(e);
+            incident_edges[edge.b.index()].push(e);
+        }
+
+        let mut tables = Vec::with_capacity(n);
+        for t in 0..n {
+            let rows = ((catalog.rows(TableId::new(t)) * scale).round() as usize).max(2);
+            let columns = incident_edges[t]
+                .iter()
+                .map(|&e| {
+                    let sel = catalog.edges()[e].selectivity;
+                    // Domain size ~ 1/sel realizes the selectivity for a
+                    // uniform equi-join; at least 1 (cross-product-like).
+                    let domain = (1.0 / sel).round().max(1.0) as i64;
+                    (0..rows).map(|_| rng.random_range(0..domain)).collect()
+                })
+                .collect();
+            tables.push(TableData { rows, columns });
+        }
+        Database {
+            catalog_tables: n,
+            tables,
+            incident_edges,
+        }
+    }
+
+    /// Number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.catalog_tables
+    }
+
+    /// The generated data of table `t`.
+    pub fn table(&self, t: TableId) -> &TableData {
+        &self.tables[t.index()]
+    }
+
+    /// Column index of edge `edge_id` within table `t`'s data, if incident.
+    pub fn edge_index(&self, t: TableId, edge_id: usize) -> Option<usize> {
+        self.incident_edges[t.index()]
+            .iter()
+            .position(|&e| e == edge_id)
+    }
+
+    /// The key value of `row` of table `t` for edge `edge_id`.
+    ///
+    /// # Panics
+    /// Panics if the edge is not incident to `t`.
+    pub fn key(&self, t: TableId, edge_id: usize, row: usize) -> i64 {
+        let col = self
+            .edge_index(t, edge_id)
+            .expect("edge incident to table");
+        self.tables[t.index()].columns[col][row]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqo_workload::{GraphShape, SelectivityMethod, WorkloadSpec};
+
+    fn small_db(seed: u64) -> (std::sync::Arc<Catalog>, Database) {
+        let (catalog, _) = WorkloadSpec {
+            tables: 5,
+            shape: GraphShape::Chain,
+            selectivity: SelectivityMethod::MinMax,
+            seed,
+        }
+        .generate();
+        let db = Database::generate(&catalog, DataGenConfig { seed, max_rows: 500 });
+        (catalog, db)
+    }
+
+    #[test]
+    fn tables_respect_row_cap_and_scaling() {
+        let (catalog, db) = small_db(3);
+        for t in 0..catalog.num_tables() {
+            let t = TableId::new(t);
+            assert!(db.table(t).rows <= 500);
+            assert!(db.table(t).rows >= 2);
+        }
+        // Relative sizes preserved: the biggest catalog table is the
+        // biggest generated table.
+        let biggest_catalog = (0..5)
+            .max_by(|&a, &b| {
+                catalog
+                    .rows(TableId::new(a))
+                    .total_cmp(&catalog.rows(TableId::new(b)))
+            })
+            .unwrap();
+        let biggest_data = (0..5)
+            .max_by_key(|&t| db.table(TableId::new(t)).rows)
+            .unwrap();
+        assert_eq!(biggest_catalog, biggest_data);
+    }
+
+    #[test]
+    fn one_column_per_incident_edge() {
+        let (catalog, db) = small_db(5);
+        // Chain: endpoints have 1 incident edge, middles 2.
+        assert_eq!(db.table(TableId::new(0)).columns.len(), 1);
+        assert_eq!(db.table(TableId::new(2)).columns.len(), 2);
+        for (e, edge) in catalog.edges().iter().enumerate() {
+            assert!(db.edge_index(edge.a, e).is_some());
+            assert!(db.edge_index(edge.b, e).is_some());
+        }
+        assert!(db.edge_index(TableId::new(0), 3).is_none());
+    }
+
+    #[test]
+    fn realized_selectivity_matches_catalog() {
+        let (catalog, db) = small_db(7);
+        // For the first edge, count matches by brute force and compare to
+        // |A||B|*sel within generous sampling tolerance.
+        let edge = catalog.edges()[0];
+        let (a, b) = (edge.a, edge.b);
+        let (ra, rb) = (db.table(a).rows, db.table(b).rows);
+        let mut matches = 0usize;
+        for i in 0..ra {
+            for j in 0..rb {
+                if db.key(a, 0, i) == db.key(b, 0, j) {
+                    matches += 1;
+                }
+            }
+        }
+        let expected = ra as f64 * rb as f64 * edge.selectivity;
+        // Expected counts are large for MinMax joins; allow 3x slack.
+        assert!(
+            (matches as f64) > expected / 3.0 && (matches as f64) < expected * 3.0,
+            "matches {matches} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, db1) = small_db(11);
+        let (_, db2) = small_db(11);
+        for t in 0..5 {
+            let t = TableId::new(t);
+            assert_eq!(db1.table(t).columns, db2.table(t).columns);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Execution statistics: the measured counterparts of the cost model's
+//! three resource metrics.
+
+use std::ops::AddAssign;
+
+/// Resource usage measured while executing a plan.
+///
+/// The counters mirror the resource cost model's metrics: `tuples_processed`
+/// tracks work (the model's *time* proxy), `peak_buffer_rows` tracks the
+/// largest number of rows held in memory by any single operator (the
+/// model's *buffer* metric counts pages additively; peak vs. sum is
+/// reported separately via `total_buffer_rows`), and `spilled_rows` counts
+/// rows written to simulated temporary storage (the *disk* metric).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Total tuples read, probed, or emitted across all operators.
+    pub tuples_processed: u64,
+    /// Rows held in memory by the hungriest single operator.
+    pub peak_buffer_rows: u64,
+    /// Sum over operators of their peak buffered rows (additive, like the
+    /// cost model's buffer metric).
+    pub total_buffer_rows: u64,
+    /// Rows written to temporary storage (partitions, runs,
+    /// materializations).
+    pub spilled_rows: u64,
+    /// Number of times an inner input was re-scanned (block nested loops).
+    pub inner_rescans: u64,
+}
+
+impl ExecStats {
+    /// Records an operator's local usage into the plan-level totals.
+    pub fn absorb_operator(&mut self, op: OperatorStats) {
+        self.tuples_processed += op.tuples;
+        self.peak_buffer_rows = self.peak_buffer_rows.max(op.buffered_rows);
+        self.total_buffer_rows += op.buffered_rows;
+        self.spilled_rows += op.spilled_rows;
+        self.inner_rescans += op.rescans;
+    }
+}
+
+impl AddAssign for ExecStats {
+    fn add_assign(&mut self, other: ExecStats) {
+        self.tuples_processed += other.tuples_processed;
+        self.peak_buffer_rows = self.peak_buffer_rows.max(other.peak_buffer_rows);
+        self.total_buffer_rows += other.total_buffer_rows;
+        self.spilled_rows += other.spilled_rows;
+        self.inner_rescans += other.inner_rescans;
+    }
+}
+
+/// Usage of a single operator application.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OperatorStats {
+    /// Tuples read/probed/emitted by this operator.
+    pub tuples: u64,
+    /// Peak rows buffered by this operator.
+    pub buffered_rows: u64,
+    /// Rows spilled by this operator.
+    pub spilled_rows: u64,
+    /// Inner re-scans performed by this operator.
+    pub rescans: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates_and_tracks_peak() {
+        let mut total = ExecStats::default();
+        total.absorb_operator(OperatorStats {
+            tuples: 100,
+            buffered_rows: 50,
+            spilled_rows: 10,
+            rescans: 0,
+        });
+        total.absorb_operator(OperatorStats {
+            tuples: 10,
+            buffered_rows: 80,
+            spilled_rows: 0,
+            rescans: 3,
+        });
+        assert_eq!(total.tuples_processed, 110);
+        assert_eq!(total.peak_buffer_rows, 80);
+        assert_eq!(total.total_buffer_rows, 130);
+        assert_eq!(total.spilled_rows, 10);
+        assert_eq!(total.inner_rescans, 3);
+    }
+
+    #[test]
+    fn add_assign_merges_subtrees() {
+        let mut a = ExecStats {
+            tuples_processed: 5,
+            peak_buffer_rows: 9,
+            total_buffer_rows: 9,
+            spilled_rows: 1,
+            inner_rescans: 0,
+        };
+        a += ExecStats {
+            tuples_processed: 7,
+            peak_buffer_rows: 4,
+            total_buffer_rows: 4,
+            spilled_rows: 2,
+            inner_rescans: 1,
+        };
+        assert_eq!(a.tuples_processed, 12);
+        assert_eq!(a.peak_buffer_rows, 9);
+        assert_eq!(a.total_buffer_rows, 13);
+        assert_eq!(a.spilled_rows, 3);
+        assert_eq!(a.inner_rescans, 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Algorithm registry: the competitor set of the paper's figures.
+
+use moqo_core::optimizer::Optimizer;
+use moqo_core::rmq::{Rmq, RmqConfig};
+use moqo_core::tables::TableSet;
+use moqo_cost::ResourceCostModel;
+
+use moqo_baselines::{
+    DpOptimizer, IterativeImprovement, Nsga2, SimulatedAnnealing, TwoPhase, WeightedSum,
+};
+
+/// The algorithms of the paper's evaluation (plus the WS extension).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AlgorithmKind {
+    /// DP approximation scheme with `α = ∞`.
+    DpInfinity,
+    /// DP approximation scheme with `α = 1000`.
+    Dp1000,
+    /// DP approximation scheme with `α = 2`.
+    Dp2,
+    /// DP approximation scheme with `α = 1.01` (reference generator).
+    Dp101,
+    /// Multi-objective simulated annealing.
+    Sa,
+    /// Two-phase optimization.
+    TwoPhase,
+    /// Non-dominated sorting genetic algorithm II.
+    NsgaII,
+    /// Multi-objective iterative improvement.
+    Ii,
+    /// The paper's randomized multi-objective query optimizer.
+    Rmq,
+    /// Weighted-sum scalarization (extension; not in the paper's figures).
+    WeightedSum,
+}
+
+impl AlgorithmKind {
+    /// The eight algorithms shown in every figure, in the paper's legend
+    /// order: DP(∞), DP(1000), DP(2), SA, 2P, NSGA-II, II, RMQ.
+    pub const PAPER_SET: [AlgorithmKind; 8] = [
+        AlgorithmKind::DpInfinity,
+        AlgorithmKind::Dp1000,
+        AlgorithmKind::Dp2,
+        AlgorithmKind::Sa,
+        AlgorithmKind::TwoPhase,
+        AlgorithmKind::NsgaII,
+        AlgorithmKind::Ii,
+        AlgorithmKind::Rmq,
+    ];
+
+    /// Display name (matches the paper's legend).
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::DpInfinity => "DP(Infinity)",
+            AlgorithmKind::Dp1000 => "DP(1000)",
+            AlgorithmKind::Dp2 => "DP(2)",
+            AlgorithmKind::Dp101 => "DP(1.01)",
+            AlgorithmKind::Sa => "SA",
+            AlgorithmKind::TwoPhase => "2P",
+            AlgorithmKind::NsgaII => "NSGA-II",
+            AlgorithmKind::Ii => "II",
+            AlgorithmKind::Rmq => "RMQ",
+            AlgorithmKind::WeightedSum => "WS",
+        }
+    }
+
+    /// Instantiates the optimizer over the given model and query.
+    pub fn build<'a>(
+        self,
+        model: &'a ResourceCostModel,
+        query: TableSet,
+        seed: u64,
+    ) -> Box<dyn Optimizer + 'a> {
+        match self {
+            AlgorithmKind::DpInfinity => {
+                Box::new(DpOptimizer::new(model, query, f64::INFINITY))
+            }
+            AlgorithmKind::Dp1000 => Box::new(DpOptimizer::new(model, query, 1000.0)),
+            AlgorithmKind::Dp2 => Box::new(DpOptimizer::new(model, query, 2.0)),
+            AlgorithmKind::Dp101 => Box::new(DpOptimizer::new(model, query, 1.01)),
+            AlgorithmKind::Sa => Box::new(SimulatedAnnealing::new(model, query, seed)),
+            AlgorithmKind::TwoPhase => Box::new(TwoPhase::new(model, query, seed)),
+            AlgorithmKind::NsgaII => Box::new(Nsga2::new(model, query, seed)),
+            AlgorithmKind::Ii => Box::new(IterativeImprovement::new(model, query, seed)),
+            AlgorithmKind::Rmq => {
+                Box::new(Rmq::new(model, query, RmqConfig::seeded(seed)))
+            }
+            AlgorithmKind::WeightedSum => Box::new(WeightedSum::new(model, query, seed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqo_catalog::Query;
+    use moqo_core::optimizer::{drive, Budget, NullObserver};
+    use moqo_workload::WorkloadSpec;
+
+    #[test]
+    fn every_algorithm_builds_and_steps() {
+        let (catalog, query) = WorkloadSpec::chain(5, 3).generate();
+        let model = ResourceCostModel::full(catalog);
+        let all = [
+            AlgorithmKind::DpInfinity,
+            AlgorithmKind::Dp1000,
+            AlgorithmKind::Dp2,
+            AlgorithmKind::Dp101,
+            AlgorithmKind::Sa,
+            AlgorithmKind::TwoPhase,
+            AlgorithmKind::NsgaII,
+            AlgorithmKind::Ii,
+            AlgorithmKind::Rmq,
+            AlgorithmKind::WeightedSum,
+        ];
+        for kind in all {
+            let mut opt = kind.build(&model, query.tables(), 7);
+            assert_eq!(opt.name(), kind.name());
+            drive(&mut *opt, Budget::Iterations(3), &mut NullObserver);
+            for p in opt.frontier() {
+                assert!(p.validate(query.tables()).is_ok(), "{}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn paper_set_order_matches_legend() {
+        let names: Vec<&str> = AlgorithmKind::PAPER_SET.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec!["DP(Infinity)", "DP(1000)", "DP(2)", "SA", "2P", "NSGA-II", "II", "RMQ"]
+        );
+    }
+
+    #[test]
+    fn queries_from_workloads_are_compatible() {
+        let (catalog, query) = WorkloadSpec::chain(4, 1).generate();
+        let q2 = Query::all(&catalog);
+        assert_eq!(query, q2);
+    }
+}

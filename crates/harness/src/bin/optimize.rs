@@ -1,0 +1,203 @@
+//! `optimize` — multi-objective query optimization from the command line.
+//!
+//! ```text
+//! Usage: optimize [OPTIONS]
+//!
+//!   --catalog FILE     catalog JSON (CatalogSpec format); omit for a demo
+//!   --model NAME       resource (default) | cloud | aqp | energy
+//!   --metrics LIST     resource model only: comma list of time,buffer,disk
+//!   --budget-ms N      optimization budget (default 500)
+//!   --seed N           RNG seed (default 42)
+//!   --weights LIST     select a plan: comma list of per-metric weights
+//!   --bound K=V        upper bound on metric index K (repeatable)
+//!   --scatter          also draw the ASCII frontier scatter plot
+//! ```
+//!
+//! Example catalog file:
+//!
+//! ```json
+//! {
+//!   "tables": [
+//!     {"name": "orders",    "rows": 1000000},
+//!     {"name": "customers", "rows": 50000}
+//!   ],
+//!   "joins": [
+//!     {"a": 0, "b": 1, "selectivity": 0.00002}
+//!   ]
+//! }
+//! ```
+
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+use moqo_catalog::{Catalog, CatalogSpec};
+use moqo_core::model::CostModel;
+use moqo_core::optimizer::{drive, Budget, NullObserver};
+use moqo_core::plan::PlanRef;
+use moqo_core::rmq::{Rmq, RmqConfig};
+use moqo_cost::{AqpCostModel, CloudCostModel, EnergyCostModel, ResourceCostModel, ResourceMetric};
+use moqo_metrics::{frontier_table, scatter_plans, Preferences, ScatterConfig};
+use moqo_workload::WorkloadSpec;
+
+struct Options {
+    catalog: Option<String>,
+    model: String,
+    metrics: Vec<ResourceMetric>,
+    budget: Duration,
+    seed: u64,
+    weights: Option<Vec<f64>>,
+    bounds: Vec<(usize, f64)>,
+    scatter: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: optimize [--catalog FILE] [--model resource|cloud|aqp|energy] \
+         [--metrics time,buffer,disk] [--budget-ms N] [--seed N] \
+         [--weights w0,w1,..] [--bound K=V]... [--scatter]"
+    );
+    exit(2)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(1)
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        catalog: None,
+        model: "resource".to_string(),
+        metrics: vec![ResourceMetric::Time, ResourceMetric::Buffer],
+        budget: Duration::from_millis(500),
+        seed: 42,
+        weights: None,
+        bounds: Vec::new(),
+        scatter: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| {
+            eprintln!("{name} requires a value");
+            usage()
+        });
+        match arg.as_str() {
+            "--catalog" => opts.catalog = Some(value("--catalog")),
+            "--model" => opts.model = value("--model"),
+            "--metrics" => {
+                opts.metrics = value("--metrics")
+                    .split(',')
+                    .map(|m| match m.trim() {
+                        "time" => ResourceMetric::Time,
+                        "buffer" => ResourceMetric::Buffer,
+                        "disk" => ResourceMetric::Disk,
+                        other => fail(&format!("unknown metric '{other}'")),
+                    })
+                    .collect();
+            }
+            "--budget-ms" => {
+                let ms: u64 = value("--budget-ms").parse().unwrap_or_else(|_| usage());
+                opts.budget = Duration::from_millis(ms);
+            }
+            "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--weights" => {
+                opts.weights = Some(
+                    value("--weights")
+                        .split(',')
+                        .map(|w| w.trim().parse().unwrap_or_else(|_| usage()))
+                        .collect(),
+                );
+            }
+            "--bound" => {
+                let spec = value("--bound");
+                let Some((k, v)) = spec.split_once('=') else { usage() };
+                let k: usize = k.parse().unwrap_or_else(|_| usage());
+                let v: f64 = v.parse().unwrap_or_else(|_| usage());
+                opts.bounds.push((k, v));
+            }
+            "--scatter" => opts.scatter = true,
+            "--help" | "-h" => usage(),
+            other => fail(&format!("unknown argument '{other}'")),
+        }
+    }
+    opts
+}
+
+fn load_catalog(opts: &Options) -> Arc<Catalog> {
+    match &opts.catalog {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+            let spec: CatalogSpec = serde_json::from_str(&text)
+                .unwrap_or_else(|e| fail(&format!("invalid catalog JSON: {e}")));
+            Arc::new(
+                spec.build()
+                    .unwrap_or_else(|e| fail(&format!("invalid catalog: {e}"))),
+            )
+        }
+        None => {
+            eprintln!("(no --catalog given: using a demo 8-table chain workload)");
+            WorkloadSpec::chain(8, opts.seed).generate().0
+        }
+    }
+}
+
+fn optimize_and_report<M: CostModel>(model: &M, opts: &Options) {
+    let query = moqo_core::TableSet::prefix(model.num_tables());
+    let mut rmq = Rmq::new(model, query, RmqConfig::seeded(opts.seed));
+    let stats = drive(&mut rmq, Budget::Time(opts.budget), &mut NullObserver);
+    let mut frontier: Vec<PlanRef> = rmq.frontier();
+    frontier.sort_by(|a, b| a.cost()[0].total_cmp(&b.cost()[0]));
+    println!(
+        "{} iterations in {:?}; {} Pareto plan(s)\n",
+        stats.steps,
+        stats.elapsed,
+        frontier.len()
+    );
+    println!("{}", frontier_table(&frontier, model));
+    if opts.scatter && model.dim() >= 2 {
+        println!("{}", scatter_plans(&frontier, model, &ScatterConfig::default()));
+    }
+    if let Some(weights) = &opts.weights {
+        if weights.len() != model.dim() {
+            fail(&format!(
+                "--weights needs {} components for this model",
+                model.dim()
+            ));
+        }
+        let mut prefs = Preferences::weighted(weights);
+        for &(k, v) in &opts.bounds {
+            if k >= model.dim() {
+                fail(&format!("--bound index {k} out of range"));
+            }
+            prefs = prefs.with_bound(k, v);
+        }
+        match prefs.select(&frontier) {
+            Ok(plan) => {
+                println!("selected plan (weights {weights:?}):");
+                println!("  {}", plan.display(model));
+                for k in 0..model.dim() {
+                    println!("  {:>12}: {:.3}", model.metric_name(k), plan.cost()[k]);
+                }
+            }
+            Err(e) => fail(&format!("plan selection failed: {e}")),
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let catalog = load_catalog(&opts);
+    println!("{catalog}");
+    match opts.model.as_str() {
+        "resource" => {
+            let model = ResourceCostModel::new(catalog, &opts.metrics);
+            optimize_and_report(&model, &opts);
+        }
+        "cloud" => optimize_and_report(&CloudCostModel::new(catalog), &opts),
+        "aqp" => optimize_and_report(&AqpCostModel::new(catalog), &opts),
+        "energy" => optimize_and_report(&EnergyCostModel::new(catalog), &opts),
+        other => fail(&format!("unknown model '{other}'")),
+    }
+}

@@ -1,0 +1,175 @@
+//! Figure 3: climbing path lengths and Pareto-plan counts.
+//!
+//! The paper's Figure 3 reports, for three cost metrics over chain, cycle
+//! and star queries of 10–100 tables: (left) the **median path length from
+//! a random plan to the next local Pareto optimum**, corroborating the O(n)
+//! expectation of §5, and (right) the **median number of Pareto plans found
+//! by RMQ**, which grows with the query size and explains why approximation
+//! gets harder for large queries. We additionally report the statistical
+//! model's predicted path length ([`moqo_core::theory`]) next to the
+//! measurement.
+//!
+//! Path lengths are iteration statistics (no wall clock involved), so test
+//! cases run in parallel via crossbeam's scoped threads.
+
+use moqo_core::optimizer::{drive, Budget, NullObserver};
+use moqo_core::rmq::{Rmq, RmqConfig};
+use moqo_core::theory;
+use moqo_cost::{ResourceCostModel, ResourceMetric};
+use moqo_workload::{GraphShape, SelectivityMethod, WorkloadSpec};
+
+use crate::derive_seed;
+use crate::stats::{median, median_usize};
+
+/// Specification of the Figure 3 experiment.
+#[derive(Clone, Debug)]
+pub struct Fig3Spec {
+    /// Join graph shapes.
+    pub shapes: Vec<GraphShape>,
+    /// Query sizes.
+    pub sizes: Vec<usize>,
+    /// RMQ iterations per test case.
+    pub iterations: u64,
+    /// Test cases per data point.
+    pub cases: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for Fig3Spec {
+    fn default() -> Self {
+        Fig3Spec {
+            shapes: GraphShape::PAPER.to_vec(),
+            sizes: vec![10, 25, 50, 75, 100],
+            iterations: 25,
+            cases: 3,
+            seed: 0x0F16_0003,
+        }
+    }
+}
+
+/// One data point of Figure 3.
+#[derive(Clone, Debug)]
+pub struct Fig3Row {
+    /// Join graph shape.
+    pub shape: GraphShape,
+    /// Query size in tables.
+    pub size: usize,
+    /// Median measured climbing path length (improving moves per climb).
+    pub median_path_length: f64,
+    /// Expected path length under the §5 statistical model.
+    pub predicted_path_length: f64,
+    /// Median number of Pareto plans in RMQ's final frontier.
+    pub median_pareto_plans: f64,
+}
+
+/// Runs the Figure 3 experiment.
+pub fn run_fig3(spec: &Fig3Spec) -> Vec<Fig3Row> {
+    let mut rows = Vec::new();
+    for &shape in &spec.shapes {
+        for &size in &spec.sizes {
+            rows.push(run_point(spec, shape, size));
+        }
+    }
+    rows
+}
+
+fn run_point(spec: &Fig3Spec, shape: GraphShape, size: usize) -> Fig3Row {
+    let shape_idx = match shape {
+        GraphShape::Chain => 0u64,
+        GraphShape::Cycle => 1,
+        GraphShape::Star => 2,
+        GraphShape::Clique => 3,
+    };
+    // Independent test cases in parallel: path-length statistics are
+    // iteration-based, so wall-clock contention cannot distort them.
+    let case_results: Vec<(Vec<usize>, usize)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.cases)
+            .map(|case| {
+                scope.spawn(move |_| {
+                    let workload = WorkloadSpec {
+                        tables: size,
+                        shape,
+                        selectivity: SelectivityMethod::Steinbrunn,
+                        seed: derive_seed(spec.seed, &[shape_idx, size as u64, case as u64, 1]),
+                    };
+                    let (catalog, query) = workload.generate();
+                    // Figure 3 uses three cost metrics.
+                    let model = ResourceCostModel::new(catalog, &ResourceMetric::ALL);
+                    let mut rmq = Rmq::new(
+                        &model,
+                        query.tables(),
+                        RmqConfig::seeded(derive_seed(
+                            spec.seed,
+                            &[shape_idx, size as u64, case as u64, 2],
+                        )),
+                    );
+                    drive(&mut rmq, Budget::Iterations(spec.iterations), &mut NullObserver);
+                    (rmq.stats().path_lengths.clone(), rmq.frontier().len())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("case thread")).collect()
+    })
+    .expect("crossbeam scope");
+
+    let all_paths: Vec<usize> = case_results.iter().flat_map(|(p, _)| p.clone()).collect();
+    let pareto_counts: Vec<usize> = case_results.iter().map(|(_, c)| *c).collect();
+    Fig3Row {
+        shape,
+        size,
+        median_path_length: median_usize(&all_paths).unwrap_or(0.0),
+        predicted_path_length: theory::expected_path_length(size, ResourceMetric::ALL.len()),
+        median_pareto_plans: median(
+            &pareto_counts.iter().map(|&c| c as f64).collect::<Vec<_>>(),
+        )
+        .unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_produces_rows_with_sane_statistics() {
+        let spec = Fig3Spec {
+            shapes: vec![GraphShape::Chain, GraphShape::Star],
+            sizes: vec![8, 16],
+            iterations: 8,
+            cases: 2,
+            seed: 0xF3,
+        };
+        let rows = run_fig3(&spec);
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            // Paths are short (Fig 3 reports ~4-6 for up to 100 tables).
+            assert!(
+                row.median_path_length >= 0.0 && row.median_path_length <= 40.0,
+                "path length {} out of range",
+                row.median_path_length
+            );
+            assert!(row.predicted_path_length >= 1.0);
+            assert!(row.median_pareto_plans >= 1.0);
+        }
+    }
+
+    #[test]
+    fn pareto_plan_count_grows_with_query_size() {
+        // The paper's Fig 3 (right): more tables → more Pareto plans.
+        let spec = Fig3Spec {
+            shapes: vec![GraphShape::Chain],
+            sizes: vec![4, 20],
+            iterations: 30,
+            cases: 2,
+            seed: 0xF4,
+        };
+        let rows = run_fig3(&spec);
+        assert!(
+            rows[1].median_pareto_plans >= rows[0].median_pareto_plans,
+            "{} < {}",
+            rows[1].median_pareto_plans,
+            rows[0].median_pareto_plans
+        );
+    }
+}

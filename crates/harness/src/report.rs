@@ -1,0 +1,118 @@
+//! ASCII rendering of figure results (the series the paper plots).
+
+use std::fmt::Write as _;
+
+use crate::fig3::Fig3Row;
+use crate::runner::FigureResult;
+use crate::stats::format_alpha;
+
+/// Renders a figure result as a set of per-panel tables: rows are
+/// checkpoints, columns are algorithms, cells are median α — exactly the
+/// series the paper's figures plot on log axes.
+pub fn render_figure(result: &FigureResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", "=".repeat(100));
+    let _ = writeln!(
+        out,
+        "{} — {} (budget {:?}/algorithm, {} cases/panel, l={})",
+        result.id.to_uppercase(),
+        result.title,
+        result.budget,
+        result.cases,
+        result.metrics
+    );
+    let _ = writeln!(out, "{}", "=".repeat(100));
+    for panel in &result.panels {
+        let _ = writeln!(out, "-- {}, {} tables --", panel.shape.name(), panel.size);
+        // Header.
+        let _ = write!(out, "{:>9} |", "t(ms)");
+        for (name, _) in &panel.series {
+            let _ = write!(out, "{name:>13} |");
+        }
+        let _ = writeln!(out);
+        // One row per checkpoint.
+        for (cp_idx, cp) in panel.checkpoints.iter().enumerate() {
+            let _ = write!(out, "{:>9.1} |", cp.as_secs_f64() * 1e3);
+            for (_, series) in &panel.series {
+                let _ = write!(
+                    out,
+                    "{:>13} |",
+                    format_alpha(series[cp_idx], result.alpha_cap)
+                );
+            }
+            let _ = writeln!(out);
+        }
+        if let Some((winner, alpha)) = panel.winner() {
+            let _ = writeln!(
+                out,
+                "   best final: {winner} (alpha {})",
+                format_alpha(alpha, result.alpha_cap)
+            );
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the Figure 3 tables (path lengths and Pareto-plan counts).
+pub fn render_fig3(rows: &[Fig3Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", "=".repeat(78));
+    let _ = writeln!(
+        out,
+        "FIG3 — Median climb path length & number of Pareto plans (paper Fig. 3, l=3)"
+    );
+    let _ = writeln!(out, "{}", "=".repeat(78));
+    let _ = writeln!(
+        out,
+        "{:>7} {:>8} | {:>12} {:>15} | {:>13}",
+        "shape", "tables", "path(median)", "path(model E)", "#Pareto plans"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:>7} {:>8} | {:>12.1} {:>15.2} | {:>13.1}",
+            row.shape.name(),
+            row.size,
+            row.median_path_length,
+            row.predicted_path_length,
+            row.median_pareto_plans
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::FigureSpec;
+    use crate::runner::run_figure;
+
+    #[test]
+    fn figure_rendering_contains_all_series() {
+        let result = run_figure(&FigureSpec::smoke());
+        let text = render_figure(&result);
+        assert!(text.contains("SMOKE"));
+        assert!(text.contains("Chain, 5 tables"));
+        assert!(text.contains("RMQ"));
+        assert!(text.contains("II"));
+        assert!(text.contains("best final:"));
+        // One row per checkpoint (3) plus headers.
+        assert!(text.lines().count() > 7);
+    }
+
+    #[test]
+    fn fig3_rendering_has_one_line_per_row() {
+        let rows = vec![Fig3Row {
+            shape: moqo_workload::GraphShape::Chain,
+            size: 10,
+            median_path_length: 4.0,
+            predicted_path_length: 4.2,
+            median_pareto_plans: 12.0,
+        }];
+        let text = render_fig3(&rows);
+        assert!(text.contains("Chain"));
+        assert!(text.contains("4.2"));
+        assert!(text.contains("12.0"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Figure execution: runs every algorithm over the experiment grid and
+//! aggregates median-α trajectories per panel.
+
+use std::time::Duration;
+
+use moqo_core::optimizer::{drive, Budget};
+use moqo_cost::ResourceCostModel;
+use moqo_metrics::trajectory::checkpoints;
+use moqo_metrics::{ReferenceFrontier, Trajectory, TrajectoryRecorder};
+use moqo_workload::{pick_metrics, GraphShape, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::algorithms::AlgorithmKind;
+use crate::figures::{FigureSpec, ReferenceKind};
+use crate::stats::median;
+use crate::derive_seed;
+
+/// Aggregated result of one panel (one shape × size cell of a figure).
+#[derive(Clone, Debug)]
+pub struct PanelResult {
+    /// Join graph shape of the panel.
+    pub shape: GraphShape,
+    /// Query size in tables.
+    pub size: usize,
+    /// Measurement checkpoints.
+    pub checkpoints: Vec<Duration>,
+    /// Per algorithm: median α at every checkpoint (paper's plotted lines).
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl PanelResult {
+    /// The algorithm with the lowest final median α, with that α.
+    pub fn winner(&self) -> Option<(&str, f64)> {
+        self.series
+            .iter()
+            .filter_map(|(name, s)| s.last().map(|&a| (name.as_str(), a)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Final median α of a given algorithm.
+    pub fn final_alpha(&self, algorithm: &str) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|(name, _)| name == algorithm)
+            .and_then(|(_, s)| s.last().copied())
+    }
+}
+
+/// Aggregated result of one figure.
+#[derive(Clone, Debug)]
+pub struct FigureResult {
+    /// Figure id (e.g. `"fig1"`).
+    pub id: String,
+    /// Figure title.
+    pub title: String,
+    /// Per-algorithm budget used.
+    pub budget: Duration,
+    /// Number of cost metrics.
+    pub metrics: usize,
+    /// Test cases per panel.
+    pub cases: usize,
+    /// Display cap on α.
+    pub alpha_cap: Option<f64>,
+    /// One result per (shape, size) cell, shapes outermost.
+    pub panels: Vec<PanelResult>,
+}
+
+impl FigureResult {
+    /// Looks up a panel.
+    pub fn panel(&self, shape: GraphShape, size: usize) -> Option<&PanelResult> {
+        self.panels
+            .iter()
+            .find(|p| p.shape == shape && p.size == size)
+    }
+}
+
+/// Runs a complete figure experiment.
+pub fn run_figure(spec: &FigureSpec) -> FigureResult {
+    let mut panels = Vec::new();
+    for &shape in &spec.shapes {
+        for &size in &spec.sizes {
+            panels.push(run_panel(spec, shape, size));
+        }
+    }
+    FigureResult {
+        id: spec.id.to_string(),
+        title: spec.title.to_string(),
+        budget: spec.budget,
+        metrics: spec.metrics,
+        cases: spec.cases,
+        alpha_cap: spec.alpha_cap,
+        panels,
+    }
+}
+
+fn shape_index(shape: GraphShape) -> u64 {
+    match shape {
+        GraphShape::Chain => 0,
+        GraphShape::Cycle => 1,
+        GraphShape::Star => 2,
+        GraphShape::Clique => 3,
+    }
+}
+
+fn run_panel(spec: &FigureSpec, shape: GraphShape, size: usize) -> PanelResult {
+    let cps = checkpoints::linear(spec.checkpoints, spec.budget);
+    // alpha_series[algorithm][case] = α per checkpoint.
+    let mut alpha_series: Vec<Vec<Vec<f64>>> = vec![Vec::new(); spec.algorithms.len()];
+    for case in 0..spec.cases {
+        let case_parts = [shape_index(shape), size as u64, case as u64];
+        let workload = WorkloadSpec {
+            tables: size,
+            shape,
+            selectivity: spec.selectivity,
+            seed: derive_seed(spec.seed, &[case_parts[0], case_parts[1], case_parts[2], 1]),
+        };
+        let (catalog, query) = workload.generate();
+        let mut metric_rng = StdRng::seed_from_u64(derive_seed(
+            spec.seed,
+            &[case_parts[0], case_parts[1], case_parts[2], 2],
+        ));
+        let metrics = pick_metrics(spec.metrics, &mut metric_rng);
+        let model = ResourceCostModel::new(catalog, &metrics);
+
+        // Run every algorithm under the same budget, recording trajectories.
+        let trajectories: Vec<Trajectory> = spec
+            .algorithms
+            .iter()
+            .enumerate()
+            .map(|(ai, algo)| {
+                let seed = derive_seed(
+                    spec.seed,
+                    &[case_parts[0], case_parts[1], case_parts[2], 3 + ai as u64],
+                );
+                let mut opt = algo.build(&model, query.tables(), seed);
+                let mut recorder = TrajectoryRecorder::new(cps.clone());
+                drive(&mut *opt, Budget::Time(spec.budget), &mut recorder);
+                recorder.finish()
+            })
+            .collect();
+
+        // Reference frontier for this test case.
+        let reference = match spec.reference {
+            ReferenceKind::UnionOfAll => {
+                let all: Vec<_> = trajectories.iter().flat_map(|t| t.all_costs()).collect();
+                ReferenceFrontier::from_costs(&all)
+            }
+            ReferenceKind::ExactDp => {
+                let mut dp = AlgorithmKind::Dp101.build(&model, query.tables(), 0);
+                // Run to completion (small queries only: bounded subsets).
+                drive(&mut *dp, Budget::Iterations(u64::MAX), &mut NoopObserver);
+                let plans = dp.frontier();
+                assert!(
+                    !plans.is_empty(),
+                    "exact DP reference did not complete for {size} tables"
+                );
+                ReferenceFrontier::from_plan_sets([plans.as_slice()])
+            }
+        };
+
+        for (ai, traj) in trajectories.iter().enumerate() {
+            alpha_series[ai].push(traj.alpha_series(&reference));
+        }
+    }
+
+    // Median per algorithm per checkpoint across cases.
+    let series = spec
+        .algorithms
+        .iter()
+        .zip(&alpha_series)
+        .map(|(algo, per_case)| {
+            let medians: Vec<f64> = (0..spec.checkpoints)
+                .map(|cp| {
+                    let samples: Vec<f64> = per_case.iter().map(|s| s[cp]).collect();
+                    median(&samples).unwrap_or(f64::INFINITY)
+                })
+                .collect();
+            (algo.name().to_string(), medians)
+        })
+        .collect();
+
+    PanelResult {
+        shape,
+        size,
+        checkpoints: cps,
+        series,
+    }
+}
+
+struct NoopObserver;
+impl moqo_core::optimizer::Observer for NoopObserver {
+    fn on_step(
+        &mut self,
+        _: Duration,
+        _: u64,
+        _: &mut dyn FnMut() -> Vec<moqo_core::plan::PlanRef>,
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::FigureSpec;
+
+    #[test]
+    fn smoke_figure_produces_full_grid() {
+        let spec = FigureSpec::smoke();
+        let result = run_figure(&spec);
+        assert_eq!(result.panels.len(), 1);
+        let panel = &result.panels[0];
+        assert_eq!(panel.series.len(), 2);
+        assert_eq!(panel.checkpoints.len(), 3);
+        for (name, series) in &panel.series {
+            assert_eq!(series.len(), 3, "{name} series wrong length");
+            // α values are always ≥ 1 (or ∞ before first result).
+            assert!(series.iter().all(|&a| a >= 1.0));
+        }
+        // Both II and RMQ produce results within the budget on 5 tables.
+        let (winner, alpha) = panel.winner().expect("winner exists");
+        assert!(winner == "RMQ" || winner == "II");
+        assert!(alpha.is_finite());
+        assert!(result.panel(GraphShape::Chain, 5).is_some());
+        assert!(result.panel(GraphShape::Star, 5).is_none());
+    }
+
+    #[test]
+    fn exact_dp_reference_works_on_tiny_queries() {
+        let mut spec = FigureSpec::smoke();
+        spec.sizes = vec![4];
+        spec.reference = ReferenceKind::ExactDp;
+        spec.alpha_cap = Some(2.0);
+        let result = run_figure(&spec);
+        let panel = &result.panels[0];
+        // Against an exact reference, finite α values are still ≥ 1.
+        for (_, series) in &panel.series {
+            assert!(series.iter().all(|&a| a >= 1.0));
+        }
+    }
+
+    #[test]
+    fn panel_final_alpha_lookup() {
+        let spec = FigureSpec::smoke();
+        let result = run_figure(&spec);
+        let panel = &result.panels[0];
+        assert!(panel.final_alpha("RMQ").is_some());
+        assert!(panel.final_alpha("nope").is_none());
+    }
+}

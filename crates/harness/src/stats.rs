@@ -1,0 +1,76 @@
+//! Small statistics helpers for experiment aggregation.
+
+/// Median of a slice (handles `inf`; NaN-free by construction). Returns
+/// `None` for an empty slice.
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    Some(if sorted.len() % 2 == 0 {
+        // Averaging with inf stays inf, as intended for α medians.
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    })
+}
+
+/// Median over `usize` samples.
+pub fn median_usize(values: &[usize]) -> Option<f64> {
+    let as_f64: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+    median(&as_f64)
+}
+
+/// Formats an α value the way the paper's axes do: `1.23`, `4.5e3`, `inf`;
+/// values above `cap` print as `>cap`.
+pub fn format_alpha(alpha: f64, cap: Option<f64>) -> String {
+    if alpha.is_infinite() {
+        return "inf".to_string();
+    }
+    if let Some(cap) = cap {
+        if alpha > cap {
+            return format!(">{}", format_alpha(cap, None));
+        }
+    }
+    if alpha < 1_000.0 {
+        format!("{alpha:.3}")
+    } else {
+        format!("{alpha:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_basics() {
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[3.0]), Some(3.0));
+        assert_eq!(median(&[1.0, 3.0]), Some(2.0));
+        assert_eq!(median(&[5.0, 1.0, 3.0]), Some(3.0));
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+        assert_eq!(median_usize(&[1, 2, 3]), Some(2.0));
+    }
+
+    #[test]
+    fn median_with_infinities() {
+        assert_eq!(median(&[1.0, f64::INFINITY, 2.0]), Some(2.0));
+        assert_eq!(
+            median(&[f64::INFINITY, f64::INFINITY, 2.0]),
+            Some(f64::INFINITY)
+        );
+    }
+
+    #[test]
+    fn alpha_formatting() {
+        assert_eq!(format_alpha(1.2345, None), "1.234");
+        assert_eq!(format_alpha(f64::INFINITY, None), "inf");
+        assert_eq!(format_alpha(4.5e6, None), "4.50e6");
+        assert_eq!(format_alpha(3.0, Some(2.0)), ">2.000");
+        assert_eq!(format_alpha(1.5, Some(2.0)), "1.500");
+        assert_eq!(format_alpha(f64::INFINITY, Some(1e10)), "inf");
+    }
+}

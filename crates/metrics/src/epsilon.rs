@@ -1,0 +1,168 @@
+//! The multiplicative ε-indicator (the paper's α quality measure).
+//!
+//! For a reference frontier `R` and an approximation `A`, the indicator is
+//! the smallest `α ≥ 1` such that every reference point is α-approximately
+//! dominated by some point of `A`:
+//!
+//! `α(A, R) = max_{r ∈ R} min_{a ∈ A} max_k a_k / r_k` (clamped at 1).
+//!
+//! Lower is better; `α = 1` means `A` covers the whole reference frontier.
+//! An empty approximation has `α = ∞` (the convention the paper's plots use
+//! for DP runs that produced no result).
+
+use moqo_core::cost::CostVector;
+
+/// The lowest `α` such that `approx` α-approximately dominates every vector
+/// of `reference`. Returns `f64::INFINITY` when `approx` is empty and
+/// `reference` is not; returns `1.0` when `reference` is empty.
+pub fn epsilon_indicator(reference: &[CostVector], approx: &[CostVector]) -> f64 {
+    if reference.is_empty() {
+        return 1.0;
+    }
+    if approx.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut alpha: f64 = 1.0;
+    for r in reference {
+        let mut best = f64::INFINITY;
+        for a in approx {
+            best = best.min(a.approx_factor(r));
+            if best <= 1.0 {
+                break;
+            }
+        }
+        alpha = alpha.max(best);
+    }
+    alpha
+}
+
+/// Removes strictly dominated vectors and exact duplicates, returning the
+/// Pareto frontier of `costs`.
+pub fn pareto_filter(costs: &[CostVector]) -> Vec<CostVector> {
+    let mut frontier: Vec<CostVector> = Vec::new();
+    for c in costs {
+        if frontier
+            .iter()
+            .any(|f| f.strictly_dominates(c) || f == c)
+        {
+            continue;
+        }
+        frontier.retain(|f| !c.strictly_dominates(f));
+        frontier.push(*c);
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cv(v: &[f64]) -> CostVector {
+        CostVector::new(v)
+    }
+
+    #[test]
+    fn perfect_coverage_scores_one() {
+        let r = vec![cv(&[1.0, 4.0]), cv(&[3.0, 2.0])];
+        assert_eq!(epsilon_indicator(&r, &r), 1.0);
+        // A superset of the reference also scores 1.
+        let sup = vec![cv(&[1.0, 4.0]), cv(&[3.0, 2.0]), cv(&[10.0, 10.0])];
+        assert_eq!(epsilon_indicator(&r, &sup), 1.0);
+    }
+
+    #[test]
+    fn missing_tradeoff_raises_alpha() {
+        let r = vec![cv(&[1.0, 4.0]), cv(&[4.0, 1.0])];
+        // Approximation covers only one corner; the other costs 4x in one
+        // metric.
+        let a = vec![cv(&[1.0, 4.0])];
+        assert!((epsilon_indicator(&r, &a) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets_follow_conventions() {
+        let r = vec![cv(&[1.0])];
+        assert_eq!(epsilon_indicator(&r, &[]), f64::INFINITY);
+        assert_eq!(epsilon_indicator(&[], &r), 1.0);
+    }
+
+    #[test]
+    fn scaling_costs_scales_alpha() {
+        let r = vec![cv(&[1.0, 2.0]), cv(&[2.0, 1.0])];
+        let a: Vec<CostVector> = r.iter().map(|c| c.scale(3.0)).collect();
+        assert!((epsilon_indicator(&r, &a) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_filter_removes_dominated_and_duplicates() {
+        let costs = vec![
+            cv(&[1.0, 4.0]),
+            cv(&[4.0, 1.0]),
+            cv(&[2.0, 5.0]), // dominated by (1,4)
+            cv(&[1.0, 4.0]), // duplicate
+            cv(&[2.0, 2.0]),
+        ];
+        let f = pareto_filter(&costs);
+        assert_eq!(f.len(), 3);
+        for a in &f {
+            for b in &f {
+                if a.as_slice() != b.as_slice() {
+                    assert!(!a.strictly_dominates(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_filter_insertion_order_independent() {
+        let costs = vec![cv(&[2.0, 5.0]), cv(&[1.0, 4.0])];
+        let f = pareto_filter(&costs);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].as_slice(), &[1.0, 4.0]);
+    }
+
+    fn arb_costs(dim: usize, max_len: usize) -> impl Strategy<Value = Vec<CostVector>> {
+        proptest::collection::vec(
+            proptest::collection::vec(0.1f64..1e3, dim).prop_map(|v| CostVector::new(&v)),
+            1..max_len,
+        )
+    }
+
+    proptest! {
+        /// alpha(A, R) = 1 iff A covers R; adding plans to A never hurts.
+        #[test]
+        fn indicator_is_monotone_in_approx(r in arb_costs(2, 8), a in arb_costs(2, 8), extra in arb_costs(2, 4)) {
+            let base = epsilon_indicator(&r, &a);
+            let mut bigger = a.clone();
+            bigger.extend(extra);
+            prop_assert!(epsilon_indicator(&r, &bigger) <= base + 1e-12);
+        }
+
+        /// Self-indicator is always exactly 1.
+        #[test]
+        fn self_indicator_is_one(r in arb_costs(3, 8)) {
+            prop_assert_eq!(epsilon_indicator(&r, &r), 1.0);
+        }
+
+        /// The filtered frontier has the same indicator as the raw set:
+        /// dominated points never define coverage.
+        #[test]
+        fn filter_preserves_indicator(r in arb_costs(2, 8), a in arb_costs(2, 8)) {
+            let filtered = pareto_filter(&a);
+            let d1 = epsilon_indicator(&r, &a);
+            let d2 = epsilon_indicator(&r, &filtered);
+            prop_assert!((d1 - d2).abs() < 1e-9, "{d1} vs {d2}");
+        }
+
+        /// Filtering reference to its Pareto frontier can only weakly
+        /// reduce the indicator (dominated reference points are easier to
+        /// cover... they are covered iff their dominators are within the
+        /// same factor, so alpha over the filtered set is <= raw alpha).
+        #[test]
+        fn filtered_reference_not_harder(r in arb_costs(2, 8), a in arb_costs(2, 8)) {
+            let fr = pareto_filter(&r);
+            prop_assert!(epsilon_indicator(&fr, &a) <= epsilon_indicator(&r, &a) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Hypervolume indicator (extension).
+//!
+//! The volume of the cost-space region dominated by a frontier, bounded by
+//! a reference point — the other standard quality measure in multi-objective
+//! optimization, used here to cross-check ε-indicator rankings. Exact sweep
+//! for two metrics; the "hypervolume by slicing objectives" scheme for
+//! three or more (adequate for the small frontiers that query optimization
+//! produces).
+
+use moqo_core::cost::CostVector;
+
+use crate::epsilon::pareto_filter;
+
+/// Hypervolume of `points` with respect to `reference` (worse than every
+/// point in every metric). Points not strictly below the reference point in
+/// some metric contribute no volume in that direction; dominated points are
+/// filtered out first. Returns 0 for an empty set.
+///
+/// # Panics
+/// Panics if dimensions are inconsistent.
+pub fn hypervolume(points: &[CostVector], reference: &CostVector) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let dim = reference.dim();
+    assert!(points.iter().all(|p| p.dim() == dim));
+    // Clamp points into the reference box; dominated points add nothing.
+    let frontier = pareto_filter(points);
+    let clamped: Vec<Vec<f64>> = frontier
+        .iter()
+        .map(|p| (0..dim).map(|k| p[k].min(reference[k])).collect())
+        .collect();
+    hv_rec(&clamped, reference.as_slice())
+}
+
+fn hv_rec(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let dim = reference.len();
+    match dim {
+        1 => {
+            let best = points.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min);
+            (reference[0] - best).max(0.0)
+        }
+        2 => hv2(points, reference),
+        _ => {
+            // Slice along the last objective.
+            let last = dim - 1;
+            let mut order: Vec<usize> = (0..points.len()).collect();
+            order.sort_by(|&a, &b| points[a][last].total_cmp(&points[b][last]));
+            let mut volume = 0.0;
+            for (rank, &idx) in order.iter().enumerate() {
+                let z_lo = points[idx][last];
+                let z_hi = order
+                    .get(rank + 1)
+                    .map_or(reference[last], |&next| points[next][last]);
+                let depth = (z_hi - z_lo).max(0.0);
+                if depth == 0.0 {
+                    continue;
+                }
+                // All points at or below z_lo participate in this slab.
+                let slab: Vec<Vec<f64>> = order[..=rank]
+                    .iter()
+                    .map(|&i| points[i][..last].to_vec())
+                    .collect();
+                volume += hv_rec(&slab, &reference[..last]) * depth;
+            }
+            volume
+        }
+    }
+}
+
+fn hv2(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let mut pts: Vec<(f64, f64)> = points.iter().map(|p| (p[0], p[1])).collect();
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let mut volume = 0.0;
+    let mut y_bound = reference[1];
+    for (x, y) in pts {
+        if y < y_bound {
+            volume += (reference[0] - x).max(0.0) * (y_bound - y);
+            y_bound = y;
+        }
+    }
+    volume
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cv(v: &[f64]) -> CostVector {
+        CostVector::new(v)
+    }
+
+    #[test]
+    fn single_point_rectangle() {
+        let hv = hypervolume(&[cv(&[1.0, 2.0])], &cv(&[3.0, 4.0]));
+        assert!((hv - (3.0 - 1.0) * (4.0 - 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_point_staircase() {
+        // (1,3) and (2,1) vs ref (4,4): 2x1 + 1x3... compute: sweep x asc:
+        // (1,3): (4-1)*(4-3)=3; (2,1): (4-2)*(3-1)=4; total 7.
+        let hv = hypervolume(&[cv(&[1.0, 3.0]), cv(&[2.0, 1.0])], &cv(&[4.0, 4.0]));
+        assert!((hv - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominated_points_add_nothing() {
+        let base = hypervolume(&[cv(&[1.0, 1.0])], &cv(&[2.0, 2.0]));
+        let with_dominated =
+            hypervolume(&[cv(&[1.0, 1.0]), cv(&[1.5, 1.5])], &cv(&[2.0, 2.0]));
+        assert!((base - with_dominated).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_out_of_box() {
+        assert_eq!(hypervolume(&[], &cv(&[1.0, 1.0])), 0.0);
+        // A point beyond the reference contributes zero volume.
+        let hv = hypervolume(&[cv(&[5.0, 5.0])], &cv(&[1.0, 1.0]));
+        assert_eq!(hv, 0.0);
+    }
+
+    #[test]
+    fn one_dimensional_case() {
+        let hv = hypervolume(&[cv(&[2.0]), cv(&[3.0])], &cv(&[10.0]));
+        assert!((hv - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_dimensional_box_union() {
+        // Two boxes: (1,1,1) and (2,2,0.5) vs ref (3,3,3).
+        // Box A: 2*2*2 = 8. Box B: 1*1*2.5 = 2.5. Intersection: 1*1*2 = 2.
+        // Union = 8.5.
+        let hv = hypervolume(
+            &[cv(&[1.0, 1.0, 1.0]), cv(&[2.0, 2.0, 0.5])],
+            &cv(&[3.0, 3.0, 3.0]),
+        );
+        assert!((hv - 8.5).abs() < 1e-9, "hv = {hv}");
+    }
+
+    proptest! {
+        /// Hypervolume is monotone: adding points never shrinks it.
+        #[test]
+        fn monotone_in_points(
+            a in proptest::collection::vec(proptest::collection::vec(0.1f64..9.0, 2), 1..6),
+            b in proptest::collection::vec(0.1f64..9.0, 2),
+        ) {
+            let pts: Vec<CostVector> = a.iter().map(|v| CostVector::new(v)).collect();
+            let reference = cv(&[10.0, 10.0]);
+            let before = hypervolume(&pts, &reference);
+            let mut more = pts.clone();
+            more.push(CostVector::new(&b));
+            prop_assert!(hypervolume(&more, &reference) >= before - 1e-9);
+        }
+
+        /// 3-D slicing agrees with 2-D sweep when the third coordinate is
+        /// constant: hv3 = hv2 * depth.
+        #[test]
+        fn slicing_consistent_with_sweep(
+            a in proptest::collection::vec(proptest::collection::vec(0.1f64..9.0, 2), 1..6),
+            z in 0.1f64..5.0,
+        ) {
+            let flat: Vec<CostVector> = a.iter().map(|v| {
+                CostVector::new(&[v[0], v[1], z])
+            }).collect();
+            let hv3 = hypervolume(&flat, &cv(&[10.0, 10.0, 10.0]));
+            let flat2: Vec<CostVector> = a.iter().map(|v| CostVector::new(v)).collect();
+            let hv2 = hypervolume(&flat2, &cv(&[10.0, 10.0]));
+            prop_assert!((hv3 - hv2 * (10.0 - z)).abs() < 1e-6, "{hv3} vs {}", hv2 * (10.0 - z));
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # moqo-metrics — frontier quality measurement
+//!
+//! The paper judges "the set of query plans produced by a certain algorithm
+//! by the lowest approximation factor α such that the produced plan set is
+//! an α-approximate Pareto plan set" (§6.1) — the multiplicative ε-indicator
+//! of Zitzler & Thiele with `α = 1 + ε`. This crate implements:
+//!
+//! * [`epsilon`] — the indicator itself plus exact Pareto filtering;
+//! * [`hypervolume`] — the hypervolume indicator (extension; a second
+//!   standard frontier-quality measure used for cross-checks);
+//! * [`reference`] — reference-frontier construction (union of all
+//!   algorithms' outputs, or an exact frontier for small queries);
+//! * [`trajectory`] — anytime recording: frontier snapshots at configurable
+//!   time checkpoints, turned into α-vs-time series;
+//! * [`preferences`] — automatic plan selection from a frontier via user
+//!   cost weights and cost bounds (the paper's §1 second consumer, [18]);
+//! * [`viz`] — ASCII scatter plots and frontier tables (the paper's §1
+//!   first consumer: visualize tradeoffs for manual selection, [19]).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod epsilon;
+pub mod hypervolume;
+pub mod preferences;
+pub mod reference;
+pub mod trajectory;
+pub mod viz;
+
+pub use epsilon::{epsilon_indicator, pareto_filter};
+pub use preferences::{Preferences, SelectionError};
+pub use reference::ReferenceFrontier;
+pub use trajectory::{checkpoints, Trajectory, TrajectoryRecorder};
+pub use viz::{frontier_table, scatter, scatter_plans, ScatterConfig};

@@ -1,0 +1,111 @@
+//! Reference-frontier construction.
+//!
+//! For large queries, computing the true Pareto frontier is infeasible, so
+//! the paper compares "against an approximation of the real Pareto frontier
+//! that is obtained by running all algorithms … and taking the union of the
+//! obtained result plans" (§6.1). For small queries, the exact frontier
+//! from DP(α≈1) replaces the union (the appendix's "precise approximation
+//! error" experiments, Figures 8–9). [`ReferenceFrontier`] covers both: it
+//! is built from any collection of cost vectors and Pareto-filters them.
+
+use moqo_core::cost::CostVector;
+use moqo_core::plan::PlanRef;
+
+use crate::epsilon::{epsilon_indicator, pareto_filter};
+
+/// A Pareto-filtered reference frontier in cost space.
+#[derive(Clone, Debug, Default)]
+pub struct ReferenceFrontier {
+    costs: Vec<CostVector>,
+}
+
+impl ReferenceFrontier {
+    /// Builds a reference frontier from raw cost vectors (filtered here).
+    pub fn from_costs(costs: &[CostVector]) -> Self {
+        ReferenceFrontier {
+            costs: pareto_filter(costs),
+        }
+    }
+
+    /// Builds a reference frontier from the union of several plan sets.
+    pub fn from_plan_sets<'a, I>(sets: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [PlanRef]>,
+    {
+        let all: Vec<CostVector> = sets
+            .into_iter()
+            .flat_map(|s| s.iter().map(|p| *p.cost()))
+            .collect();
+        Self::from_costs(&all)
+    }
+
+    /// The frontier's cost vectors.
+    pub fn costs(&self) -> &[CostVector] {
+        &self.costs
+    }
+
+    /// Number of reference tradeoffs.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Whether the frontier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// The α quality of an approximation set against this reference: the
+    /// paper's per-checkpoint measurement.
+    pub fn alpha_of(&self, approx: &[CostVector]) -> f64 {
+        epsilon_indicator(&self.costs, approx)
+    }
+
+    /// Convenience: α of a plan set.
+    pub fn alpha_of_plans(&self, plans: &[PlanRef]) -> f64 {
+        let costs: Vec<CostVector> = plans.iter().map(|p| *p.cost()).collect();
+        self.alpha_of(&costs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqo_core::model::testing::StubModel;
+    use moqo_core::model::{CostModel, ScanOpId};
+    use moqo_core::plan::Plan;
+    use moqo_core::tables::TableId;
+
+    fn cv(v: &[f64]) -> CostVector {
+        CostVector::new(v)
+    }
+
+    #[test]
+    fn union_is_filtered() {
+        let r = ReferenceFrontier::from_costs(&[
+            cv(&[1.0, 3.0]),
+            cv(&[3.0, 1.0]),
+            cv(&[2.0, 4.0]), // dominated
+        ]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn alpha_against_reference() {
+        let r = ReferenceFrontier::from_costs(&[cv(&[1.0, 2.0]), cv(&[2.0, 1.0])]);
+        assert_eq!(r.alpha_of(r.costs()), 1.0);
+        assert!((r.alpha_of(&[cv(&[2.0, 2.0])]) - 2.0).abs() < 1e-12);
+        assert_eq!(r.alpha_of(&[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn from_plan_sets_unions_algorithm_outputs() {
+        let m = StubModel::line(2, 2, 3);
+        let a = vec![Plan::scan(&m, TableId::new(0), m.scan_ops(TableId::new(0))[0])];
+        let b = vec![Plan::scan(&m, TableId::new(0), ScanOpId(1))];
+        let r = ReferenceFrontier::from_plan_sets([a.as_slice(), b.as_slice()]);
+        // The two scan variants are incomparable tradeoffs in StubModel.
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.alpha_of_plans(&a).max(r.alpha_of_plans(&b)), 2.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Anytime trajectory recording.
+//!
+//! The paper "measure[s] the approximation quality in regular intervals
+//! during optimization" (§6.1) to compare algorithms over time.
+//! [`TrajectoryRecorder`] implements the core [`Observer`] interface: it
+//! snapshots the frontier's cost vectors at configurable wall-clock
+//! checkpoints — each checkpoint holds the frontier as of the last step
+//! that *completed before* the checkpoint, which matches "what would the
+//! algorithm return if interrupted at time t". [`Trajectory`] turns the
+//! snapshots into an α-vs-time series against a reference frontier.
+
+use std::time::Duration;
+
+use moqo_core::cost::CostVector;
+use moqo_core::optimizer::Observer;
+use moqo_core::plan::PlanRef;
+
+use crate::reference::ReferenceFrontier;
+
+/// Checkpoint grids.
+pub mod checkpoints {
+    use std::time::Duration;
+
+    /// `count` evenly spaced checkpoints over `(0, total]`.
+    pub fn linear(count: usize, total: Duration) -> Vec<Duration> {
+        assert!(count >= 1);
+        (1..=count).map(|i| total * i as u32 / count as u32).collect()
+    }
+
+    /// `count` geometrically spaced checkpoints ending at `total` (denser
+    /// early, where anytime algorithms differ most).
+    pub fn geometric(count: usize, total: Duration) -> Vec<Duration> {
+        assert!(count >= 1);
+        let total_s = total.as_secs_f64();
+        let first = total_s / 2f64.powi(count as i32 - 1);
+        (0..count)
+            .map(|i| Duration::from_secs_f64(first * 2f64.powi(i as i32)))
+            .collect()
+    }
+}
+
+/// Records frontier snapshots at fixed elapsed-time checkpoints.
+pub struct TrajectoryRecorder {
+    checkpoints: Vec<Duration>,
+    snapshots: Vec<Option<Vec<CostVector>>>,
+    last_frontier: Vec<CostVector>,
+    next: usize,
+}
+
+impl TrajectoryRecorder {
+    /// Creates a recorder for the given (ascending) checkpoints.
+    pub fn new(checkpoints: Vec<Duration>) -> Self {
+        debug_assert!(checkpoints.windows(2).all(|w| w[0] <= w[1]));
+        let n = checkpoints.len();
+        TrajectoryRecorder {
+            checkpoints,
+            snapshots: vec![None; n],
+            last_frontier: Vec::new(),
+            next: 0,
+        }
+    }
+
+    /// Finalizes: open checkpoints get the final frontier state.
+    pub fn finish(mut self) -> Trajectory {
+        for slot in &mut self.snapshots[self.next..] {
+            *slot = Some(self.last_frontier.clone());
+        }
+        Trajectory {
+            checkpoints: self.checkpoints,
+            snapshots: self.snapshots.into_iter().map(Option::unwrap).collect(),
+        }
+    }
+}
+
+impl Observer for TrajectoryRecorder {
+    fn on_step(
+        &mut self,
+        elapsed: Duration,
+        _step: u64,
+        frontier: &mut dyn FnMut() -> Vec<PlanRef>,
+    ) {
+        // Checkpoints passed before this step completed hold the previous
+        // frontier (the state an interrupt at that moment would have seen).
+        while self.next < self.checkpoints.len() && self.checkpoints[self.next] < elapsed {
+            self.snapshots[self.next] = Some(self.last_frontier.clone());
+            self.next += 1;
+        }
+        self.last_frontier = frontier().iter().map(|p| *p.cost()).collect();
+    }
+}
+
+/// A finished anytime trajectory: one frontier snapshot per checkpoint.
+#[derive(Clone, Debug)]
+pub struct Trajectory {
+    checkpoints: Vec<Duration>,
+    snapshots: Vec<Vec<CostVector>>,
+}
+
+impl Trajectory {
+    /// Constructs a trajectory directly (useful in tests).
+    pub fn from_parts(checkpoints: Vec<Duration>, snapshots: Vec<Vec<CostVector>>) -> Self {
+        assert_eq!(checkpoints.len(), snapshots.len());
+        Trajectory {
+            checkpoints,
+            snapshots,
+        }
+    }
+
+    /// The checkpoint grid.
+    pub fn checkpoints(&self) -> &[Duration] {
+        &self.checkpoints
+    }
+
+    /// The frontier snapshot at checkpoint `i`.
+    pub fn snapshot(&self, i: usize) -> &[CostVector] {
+        &self.snapshots[i]
+    }
+
+    /// All cost vectors that ever appeared in a snapshot (for building
+    /// union reference frontiers).
+    pub fn all_costs(&self) -> Vec<CostVector> {
+        self.snapshots.iter().flatten().copied().collect()
+    }
+
+    /// The final snapshot's costs.
+    pub fn final_costs(&self) -> &[CostVector] {
+        self.snapshots.last().map_or(&[], |s| s.as_slice())
+    }
+
+    /// α at every checkpoint against `reference`.
+    pub fn alpha_series(&self, reference: &ReferenceFrontier) -> Vec<f64> {
+        self.snapshots
+            .iter()
+            .map(|s| reference.alpha_of(s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqo_core::model::testing::StubModel;
+    use moqo_core::model::CostModel;
+    use moqo_core::plan::Plan;
+    use moqo_core::tables::TableId;
+
+    fn ms(x: u64) -> Duration {
+        Duration::from_millis(x)
+    }
+
+    fn some_plan(seed: u64) -> PlanRef {
+        let m = StubModel::line(1, 2, seed);
+        Plan::scan(&m, TableId::new(0), m.scan_ops(TableId::new(0))[0])
+    }
+
+    #[test]
+    fn checkpoint_grids() {
+        let lin = checkpoints::linear(4, ms(100));
+        assert_eq!(lin, vec![ms(25), ms(50), ms(75), ms(100)]);
+        let geo = checkpoints::geometric(3, ms(100));
+        assert_eq!(geo, vec![ms(25), ms(50), ms(100)]);
+    }
+
+    #[test]
+    fn snapshots_reflect_state_before_checkpoint() {
+        let mut rec = TrajectoryRecorder::new(vec![ms(10), ms(20), ms(30)]);
+        let p1 = some_plan(1);
+        let p2 = some_plan(2);
+        // Step 1 completes at 5ms with frontier {p1}.
+        rec.on_step(ms(5), 1, &mut || vec![p1.clone()]);
+        // Step 2 completes at 25ms: checkpoints 10ms and 20ms passed while
+        // the frontier was still {p1}.
+        rec.on_step(ms(25), 2, &mut || vec![p1.clone(), p2.clone()]);
+        let t = rec.finish();
+        assert_eq!(t.snapshot(0).len(), 1);
+        assert_eq!(t.snapshot(1).len(), 1);
+        // Final checkpoint filled at finish with the last state.
+        assert_eq!(t.snapshot(2).len(), 2);
+        assert_eq!(t.final_costs().len(), 2);
+        assert_eq!(t.all_costs().len(), 4);
+    }
+
+    #[test]
+    fn empty_run_yields_empty_snapshots() {
+        let rec = TrajectoryRecorder::new(vec![ms(10)]);
+        let t = rec.finish();
+        assert!(t.snapshot(0).is_empty());
+        let r = ReferenceFrontier::from_costs(&[CostVector::new(&[1.0])]);
+        assert_eq!(t.alpha_series(&r), vec![f64::INFINITY]);
+    }
+
+    #[test]
+    fn alpha_series_is_non_increasing_for_growing_archives() {
+        // Snapshots that only gain plans can only improve alpha.
+        let c1 = CostVector::new(&[4.0, 1.0]);
+        let c2 = CostVector::new(&[1.0, 4.0]);
+        let t = Trajectory::from_parts(
+            vec![ms(1), ms(2)],
+            vec![vec![c1], vec![c1, c2]],
+        );
+        let r = ReferenceFrontier::from_costs(&[c1, c2]);
+        let series = t.alpha_series(&r);
+        assert!(series[0] >= series[1]);
+        assert_eq!(series[1], 1.0);
+    }
+}

@@ -1,0 +1,308 @@
+//! ASCII visualization of Pareto frontiers.
+//!
+//! The paper's interactive scenario (§1/§4.1, citing [19]) presents "a
+//! visualization of the available tradeoffs" to the user, who then selects
+//! a plan. This module renders that visualization for terminals: a 2-D
+//! scatter plot of cost vectors on optionally log-scaled axes, and a
+//! tabular listing of the frontier. Both renderers are deterministic, so
+//! tests can assert on their output.
+
+use moqo_core::cost::CostVector;
+use moqo_core::model::CostModel;
+use moqo_core::plan::PlanRef;
+
+/// Configuration for the scatter renderer.
+#[derive(Clone, Copy, Debug)]
+pub struct ScatterConfig {
+    /// Plot width in characters (axis included).
+    pub width: usize,
+    /// Plot height in characters (axis included).
+    pub height: usize,
+    /// Metric index on the x axis.
+    pub x_metric: usize,
+    /// Metric index on the y axis.
+    pub y_metric: usize,
+    /// Log-scale both axes (plan costs commonly span orders of magnitude).
+    pub log_scale: bool,
+}
+
+impl Default for ScatterConfig {
+    fn default() -> Self {
+        ScatterConfig {
+            width: 60,
+            height: 20,
+            x_metric: 0,
+            y_metric: 1,
+            log_scale: true,
+        }
+    }
+}
+
+fn axis_value(v: f64, log: bool) -> f64 {
+    if log {
+        v.max(f64::MIN_POSITIVE).ln()
+    } else {
+        v
+    }
+}
+
+/// Renders cost vectors as a 2-D ASCII scatter plot. Points that fall on
+/// the same character cell are merged; cells holding multiple points are
+/// drawn as `*`, single points as `o`.
+///
+/// # Panics
+/// Panics if the configured metric indices are out of range for the given
+/// cost vectors, or if the plot area is degenerate (width/height < 8).
+pub fn scatter(costs: &[CostVector], cfg: &ScatterConfig) -> String {
+    assert!(cfg.width >= 8 && cfg.height >= 8, "plot area too small");
+    let mut out = String::new();
+    if costs.is_empty() {
+        out.push_str("(empty frontier)\n");
+        return out;
+    }
+    for c in costs {
+        assert!(
+            cfg.x_metric < c.dim() && cfg.y_metric < c.dim(),
+            "metric index out of range"
+        );
+    }
+    let xs: Vec<f64> = costs
+        .iter()
+        .map(|c| axis_value(c[cfg.x_metric], cfg.log_scale))
+        .collect();
+    let ys: Vec<f64> = costs
+        .iter()
+        .map(|c| axis_value(c[cfg.y_metric], cfg.log_scale))
+        .collect();
+    let (xmin, xmax) = min_max(&xs);
+    let (ymin, ymax) = min_max(&ys);
+    let plot_w = cfg.width - 2;
+    let plot_h = cfg.height - 2;
+    let scale = |v: f64, lo: f64, hi: f64, cells: usize| -> usize {
+        if hi - lo < 1e-300 {
+            0
+        } else {
+            (((v - lo) / (hi - lo)) * (cells - 1) as f64).round() as usize
+        }
+    };
+    let mut grid = vec![vec![b' '; plot_w]; plot_h];
+    for (x, y) in xs.iter().zip(&ys) {
+        let col = scale(*x, xmin, xmax, plot_w);
+        // Higher cost = higher row index in data space, but rows render
+        // top-down: flip so that cheap-y plans sit at the bottom.
+        let row = plot_h - 1 - scale(*y, ymin, ymax, plot_h);
+        grid[row][col] = match grid[row][col] {
+            b' ' => b'o',
+            _ => b'*',
+        };
+    }
+    for row in &grid {
+        out.push('|');
+        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(plot_w));
+    out.push('\n');
+    out
+}
+
+/// Renders a labeled scatter plot of a plan frontier with axis captions
+/// taken from the cost model's metric names.
+pub fn scatter_plans<M: CostModel + ?Sized>(
+    plans: &[PlanRef],
+    model: &M,
+    cfg: &ScatterConfig,
+) -> String {
+    let costs: Vec<CostVector> = plans.iter().map(|p| *p.cost()).collect();
+    let mut out = format!(
+        "{} (y) vs {} (x){} — {} plan(s)\n",
+        model.metric_name(cfg.y_metric),
+        model.metric_name(cfg.x_metric),
+        if cfg.log_scale { ", log-log" } else { "" },
+        plans.len()
+    );
+    out.push_str(&scatter(&costs, cfg));
+    out
+}
+
+/// Renders the frontier as a table: one row per plan, one column per
+/// metric, plans sorted by the first metric. The table is what the
+/// interactive scenario's user would pick from.
+pub fn frontier_table<M: CostModel + ?Sized>(plans: &[PlanRef], model: &M) -> String {
+    if plans.is_empty() {
+        return "(empty frontier)\n".to_string();
+    }
+    let dim = plans[0].cost().dim();
+    let mut order: Vec<usize> = (0..plans.len()).collect();
+    order.sort_by(|&a, &b| {
+        plans[a].cost()[0]
+            .partial_cmp(&plans[b].cost()[0])
+            .expect("finite costs")
+    });
+    let mut out = String::from("  # ");
+    for k in 0..dim {
+        out.push_str(&format!("{:>14}", model.metric_name(k)));
+    }
+    out.push_str("  plan\n");
+    for (rank, &i) in order.iter().enumerate() {
+        out.push_str(&format!("{:>3} ", rank + 1));
+        for k in 0..dim {
+            out.push_str(&format!("{:>14.3}", plans[i].cost()[k]));
+        }
+        out.push_str("  ");
+        out.push_str(&plans[i].display(model));
+        out.push('\n');
+    }
+    out
+}
+
+fn min_max(vs: &[f64]) -> (f64, f64) {
+    let mut lo = f64::MAX;
+    let mut hi = f64::MIN;
+    for &v in vs {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqo_core::model::testing::StubModel;
+    use moqo_core::optimizer::{drive, Budget, NullObserver};
+    use moqo_core::rmq::{Rmq, RmqConfig};
+    use moqo_core::tables::TableSet;
+
+    fn costs(points: &[(f64, f64)]) -> Vec<CostVector> {
+        points.iter().map(|&(x, y)| CostVector::new(&[x, y])).collect()
+    }
+
+    #[test]
+    fn empty_frontier_renders_placeholder() {
+        let cfg = ScatterConfig::default();
+        assert!(scatter(&[], &cfg).contains("empty frontier"));
+    }
+
+    #[test]
+    fn plot_dimensions_match_config() {
+        let cfg = ScatterConfig {
+            width: 30,
+            height: 10,
+            ..ScatterConfig::default()
+        };
+        let s = scatter(&costs(&[(1.0, 2.0), (2.0, 1.0)]), &cfg);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 9, "8 plot rows + 1 axis row");
+        for l in &lines[..8] {
+            assert_eq!(l.len(), 29, "1 axis col + 28 plot cols");
+            assert!(l.starts_with('|'));
+        }
+        assert!(lines[8].starts_with('+'));
+    }
+
+    #[test]
+    fn tradeoff_points_land_on_the_antidiagonal() {
+        // Two extreme tradeoff points: (cheap x, dear y) must render in the
+        // top-left and (dear x, cheap y) in the bottom-right.
+        let cfg = ScatterConfig {
+            width: 12,
+            height: 10,
+            log_scale: false,
+            ..ScatterConfig::default()
+        };
+        let s = scatter(&costs(&[(1.0, 100.0), (100.0, 1.0)]), &cfg);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0].chars().nth(1), Some('o'), "top-left point");
+        let last_plot = lines[7];
+        assert_eq!(last_plot.chars().last(), Some('o'), "bottom-right point");
+    }
+
+    #[test]
+    fn coincident_points_merge_to_star() {
+        let cfg = ScatterConfig {
+            width: 10,
+            height: 8,
+            log_scale: false,
+            ..ScatterConfig::default()
+        };
+        let s = scatter(&costs(&[(1.0, 1.0), (1.0, 1.0), (5.0, 5.0)]), &cfg);
+        assert!(s.contains('*'), "duplicate cell must render as *:\n{s}");
+        assert!(s.contains('o'), "singleton cell must render as o:\n{s}");
+    }
+
+    #[test]
+    fn log_scale_spreads_wide_ranges() {
+        // With costs spanning 6 orders of magnitude, linear scaling crams
+        // the small points into one column; log scaling separates them.
+        let pts = costs(&[(1.0, 1.0), (10.0, 10.0), (1e6, 1e6)]);
+        let lin = ScatterConfig {
+            log_scale: false,
+            width: 40,
+            height: 12,
+            ..ScatterConfig::default()
+        };
+        let log = ScatterConfig {
+            log_scale: true,
+            ..lin
+        };
+        let occupied = |s: &str| {
+            s.lines()
+                .flat_map(|l| l.chars().enumerate())
+                .filter(|(_, c)| *c == 'o' || *c == '*')
+                .map(|(i, _)| i)
+                .collect::<std::collections::HashSet<usize>>()
+                .len()
+        };
+        assert!(occupied(&scatter(&pts, &log)) >= occupied(&scatter(&pts, &lin)));
+        assert_eq!(occupied(&scatter(&pts, &log)), 3, "log separates all 3");
+    }
+
+    #[test]
+    fn degenerate_single_point_does_not_panic() {
+        let cfg = ScatterConfig::default();
+        let s = scatter(&costs(&[(3.0, 4.0)]), &cfg);
+        assert_eq!(s.matches('o').count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "metric index out of range")]
+    fn metric_bounds_checked() {
+        let cfg = ScatterConfig {
+            y_metric: 5,
+            ..ScatterConfig::default()
+        };
+        let _ = scatter(&costs(&[(1.0, 2.0)]), &cfg);
+    }
+
+    #[test]
+    fn table_sorts_by_first_metric_and_names_columns() {
+        let model = StubModel::line(5, 2, 3);
+        let mut rmq = Rmq::new(&model, TableSet::prefix(5), RmqConfig::seeded(4));
+        drive(&mut rmq, Budget::Iterations(30), &mut NullObserver);
+        let f = rmq.frontier();
+        let t = frontier_table(&f, &model);
+        assert!(t.contains("m0") && t.contains("m1"), "metric headers:\n{t}");
+        // Rows sorted ascending in metric 0.
+        let col0: Vec<f64> = t
+            .lines()
+            .skip(1)
+            .filter_map(|l| l.split_whitespace().nth(1)?.parse().ok())
+            .collect();
+        assert_eq!(col0.len(), f.len());
+        for w in col0.windows(2) {
+            assert!(w[0] <= w[1], "rows out of order: {col0:?}");
+        }
+    }
+
+    #[test]
+    fn scatter_plans_labels_axes() {
+        let model = StubModel::line(4, 2, 5);
+        let mut rmq = Rmq::new(&model, TableSet::prefix(4), RmqConfig::seeded(6));
+        drive(&mut rmq, Budget::Iterations(20), &mut NullObserver);
+        let s = scatter_plans(&rmq.frontier(), &model, &ScatterConfig::default());
+        assert!(s.starts_with("m1 (y) vs m0 (x)"));
+        assert!(s.contains("log-log"));
+    }
+}

@@ -1,0 +1,363 @@
+//! # moqo-workload — random query generation
+//!
+//! Reproduces the query-generation methodology of the paper's evaluation
+//! (§6.1 and appendix): random queries with a given number of tables over
+//! **chain**, **cycle**, and **star** join graphs (plus a clique extension),
+//! table cardinalities drawn by **stratified sampling**, and join predicate
+//! selectivities drawn by either
+//!
+//! * [`SelectivityMethod::Steinbrunn`] — a wide log-uniform range per edge
+//!   (stand-in for Steinbrunn et al.'s distribution, which is not specified
+//!   in machine-readable form; documented in DESIGN.md §3), or
+//! * [`SelectivityMethod::MinMax`] — Bruno's MinMax method, implemented
+//!   exactly as the appendix describes: "each join has an output cardinality
+//!   between the cardinalities of the two input relations".
+//!
+//! All sampling is deterministic given the seed.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::sync::Arc;
+
+use moqo_catalog::{Catalog, CatalogBuilder, Query};
+use moqo_cost::ResourceMetric;
+use moqo_core::tables::TableId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Join graph shapes evaluated in the paper (clique is an extension).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum GraphShape {
+    /// `T0 – T1 – … – Tn-1`.
+    Chain,
+    /// Chain plus the closing edge `Tn-1 – T0`.
+    Cycle,
+    /// Hub `T0` joined with every satellite.
+    Star,
+    /// Every pair of tables joined (extension; not in the paper's figures).
+    Clique,
+}
+
+impl GraphShape {
+    /// The three shapes of the paper's figures.
+    pub const PAPER: [GraphShape; 3] = [GraphShape::Chain, GraphShape::Cycle, GraphShape::Star];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphShape::Chain => "Chain",
+            GraphShape::Cycle => "Cycle",
+            GraphShape::Star => "Star",
+            GraphShape::Clique => "Clique",
+        }
+    }
+
+    /// The edges of the shape over `n` tables.
+    pub fn edges(self, n: usize) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        match self {
+            GraphShape::Chain | GraphShape::Cycle => {
+                for i in 0..n.saturating_sub(1) {
+                    edges.push((i, i + 1));
+                }
+                if self == GraphShape::Cycle && n > 2 {
+                    edges.push((n - 1, 0));
+                }
+            }
+            GraphShape::Star => {
+                for i in 1..n {
+                    edges.push((0, i));
+                }
+            }
+            GraphShape::Clique => {
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        edges.push((i, j));
+                    }
+                }
+            }
+        }
+        edges
+    }
+}
+
+/// How join-predicate selectivities are drawn.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum SelectivityMethod {
+    /// Wide log-uniform selectivities: from "one output row" up to "output
+    /// ten times the smaller input" (clamped to 1). Stand-in for the
+    /// Steinbrunn et al. distribution used in §6.1.
+    Steinbrunn,
+    /// Bruno's MinMax method (appendix): the join output cardinality is
+    /// uniform between the two input cardinalities.
+    MinMax,
+}
+
+impl SelectivityMethod {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SelectivityMethod::Steinbrunn => "Steinbrunn",
+            SelectivityMethod::MinMax => "MinMax",
+        }
+    }
+
+    /// Draws a selectivity for an edge between tables of `ca` and `cb` rows.
+    pub fn draw<R: Rng + ?Sized>(self, ca: f64, cb: f64, rng: &mut R) -> f64 {
+        match self {
+            SelectivityMethod::Steinbrunn => {
+                let lo = 1.0 / (ca * cb);
+                let hi = (10.0 / ca.max(cb)).min(1.0);
+                debug_assert!(lo <= hi);
+                log_uniform(lo, hi, rng)
+            }
+            SelectivityMethod::MinMax => {
+                let (lo, hi) = (ca.min(cb), ca.max(cb));
+                let target = rng.random_range(lo..=hi);
+                (target / (ca * cb)).min(1.0)
+            }
+        }
+    }
+}
+
+/// The stratified cardinality distribution: `(low, high, weight)` strata,
+/// log-uniform within each stratum (weights mirror Steinbrunn et al.'s
+/// emphasis on mid-sized relations).
+pub const CARDINALITY_STRATA: [(f64, f64, f64); 4] = [
+    (10.0, 100.0, 0.15),
+    (100.0, 1_000.0, 0.35),
+    (1_000.0, 10_000.0, 0.35),
+    (10_000.0, 100_000.0, 0.15),
+];
+
+/// Draws a table cardinality by stratified sampling.
+pub fn draw_cardinality<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let total: f64 = CARDINALITY_STRATA.iter().map(|s| s.2).sum();
+    let mut pick = rng.random::<f64>() * total;
+    for &(lo, hi, w) in &CARDINALITY_STRATA {
+        if pick < w {
+            return log_uniform(lo, hi, rng).round().max(lo);
+        }
+        pick -= w;
+    }
+    // Floating-point slack: fall into the last stratum.
+    let (lo, hi, _) = CARDINALITY_STRATA[CARDINALITY_STRATA.len() - 1];
+    log_uniform(lo, hi, rng).round().max(lo)
+}
+
+fn log_uniform<R: Rng + ?Sized>(lo: f64, hi: f64, rng: &mut R) -> f64 {
+    debug_assert!(lo > 0.0 && lo <= hi);
+    (lo.ln() + rng.random::<f64>() * (hi.ln() - lo.ln())).exp()
+}
+
+/// Specification of one random test query.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadSpec {
+    /// Number of tables to join (the paper's `n`).
+    pub tables: usize,
+    /// Join graph shape.
+    pub shape: GraphShape,
+    /// Selectivity method.
+    pub selectivity: SelectivityMethod,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A chain query with Steinbrunn selectivities.
+    pub fn chain(tables: usize, seed: u64) -> Self {
+        WorkloadSpec {
+            tables,
+            shape: GraphShape::Chain,
+            selectivity: SelectivityMethod::Steinbrunn,
+            seed,
+        }
+    }
+
+    /// Generates the catalog and the query joining all its tables.
+    pub fn generate(&self) -> (Arc<Catalog>, Query) {
+        assert!(self.tables >= 1, "queries need at least one table");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut b = CatalogBuilder::default();
+        let cards: Vec<f64> = (0..self.tables).map(|_| draw_cardinality(&mut rng)).collect();
+        let ids: Vec<TableId> = cards
+            .iter()
+            .enumerate()
+            .map(|(i, &rows)| b.add_table(format!("t{i}"), rows))
+            .collect();
+        for (i, j) in self.shape.edges(self.tables) {
+            let sel = self.selectivity.draw(cards[i], cards[j], &mut rng);
+            b.add_join(ids[i], ids[j], sel);
+        }
+        let catalog = Arc::new(b.build());
+        let query = Query::all(&catalog);
+        (catalog, query)
+    }
+}
+
+/// Picks `l` distinct resource metrics uniformly at random (the paper:
+/// "for less than three cost metrics, we select the specified number of
+/// cost metrics with uniform distribution from the total set", §6.1).
+pub fn pick_metrics<R: Rng + ?Sized>(l: usize, rng: &mut R) -> Vec<ResourceMetric> {
+    assert!(l >= 1 && l <= ResourceMetric::ALL.len());
+    let mut all = ResourceMetric::ALL;
+    all.shuffle(rng);
+    let mut picked = all[..l].to_vec();
+    // Canonical order keeps cost-vector components comparable across runs.
+    picked.sort_by_key(|m| ResourceMetric::ALL.iter().position(|x| x == m));
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_have_expected_edge_counts() {
+        assert_eq!(GraphShape::Chain.edges(5).len(), 4);
+        assert_eq!(GraphShape::Cycle.edges(5).len(), 5);
+        assert_eq!(GraphShape::Star.edges(5).len(), 4);
+        assert_eq!(GraphShape::Clique.edges(5).len(), 10);
+        // Degenerate sizes.
+        assert_eq!(GraphShape::Cycle.edges(2).len(), 1, "no duplicate edge");
+        assert!(GraphShape::Chain.edges(1).is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec {
+            tables: 10,
+            shape: GraphShape::Cycle,
+            selectivity: SelectivityMethod::Steinbrunn,
+            seed: 42,
+        };
+        let (c1, q1) = spec.generate();
+        let (c2, q2) = spec.generate();
+        assert_eq!(q1, q2);
+        for t in 0..10 {
+            let t = TableId::new(t);
+            assert_eq!(c1.rows(t), c2.rows(t));
+        }
+        for (e1, e2) in c1.edges().iter().zip(c2.edges()) {
+            assert_eq!(e1, e2);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mk = |seed| WorkloadSpec::chain(8, seed).generate().0.rows(TableId::new(0));
+        assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn cardinalities_respect_strata_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let c = draw_cardinality(&mut rng);
+            assert!((10.0..=100_000.0).contains(&c), "cardinality {c} out of range");
+        }
+    }
+
+    #[test]
+    fn cardinalities_cover_all_strata() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 4];
+        for _ in 0..2_000 {
+            let c = draw_cardinality(&mut rng);
+            let idx = CARDINALITY_STRATA
+                .iter()
+                .position(|&(lo, hi, _)| c >= lo && c <= hi)
+                .expect("in some stratum");
+            counts[idx] += 1;
+        }
+        for (i, &n) in counts.iter().enumerate() {
+            assert!(n > 100, "stratum {i} undersampled: {n}/2000");
+        }
+        // Middle strata carry more weight than the extremes.
+        assert!(counts[1] > counts[0] && counts[2] > counts[3]);
+    }
+
+    #[test]
+    fn minmax_keeps_output_between_inputs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let ca = draw_cardinality(&mut rng);
+            let cb = draw_cardinality(&mut rng);
+            let sel = SelectivityMethod::MinMax.draw(ca, cb, &mut rng);
+            let out = ca * cb * sel;
+            assert!(
+                out >= ca.min(cb) * 0.999 && out <= ca.max(cb) * 1.001,
+                "MinMax violated: |A|={ca} |B|={cb} out={out}"
+            );
+        }
+    }
+
+    #[test]
+    fn steinbrunn_selectivities_are_valid_and_spread() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (ca, cb) = (10_000.0, 2_000.0);
+        let mut min_sel = f64::MAX;
+        let mut max_sel: f64 = 0.0;
+        for _ in 0..500 {
+            let s = SelectivityMethod::Steinbrunn.draw(ca, cb, &mut rng);
+            assert!(s > 0.0 && s <= 1.0);
+            min_sel = min_sel.min(s);
+            max_sel = max_sel.max(s);
+        }
+        // Wide dynamic range: at least 3 orders of magnitude observed.
+        assert!(max_sel / min_sel > 1e3, "range too narrow: {min_sel}..{max_sel}");
+    }
+
+    #[test]
+    fn star_graph_connects_all_satellites_through_hub() {
+        let (catalog, query) = WorkloadSpec {
+            tables: 6,
+            shape: GraphShape::Star,
+            selectivity: SelectivityMethod::MinMax,
+            seed: 9,
+        }
+        .generate();
+        assert!(catalog.is_connected(query.tables()));
+        assert_eq!(catalog.neighbors(TableId::new(0)).len(), 5);
+        assert_eq!(catalog.neighbors(TableId::new(3)).len(), 1);
+    }
+
+    #[test]
+    fn pick_metrics_subsets() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for l in 1..=3 {
+            let m = pick_metrics(l, &mut rng);
+            assert_eq!(m.len(), l);
+            // Distinct members.
+            for (i, a) in m.iter().enumerate() {
+                assert!(!m[..i].contains(a));
+            }
+        }
+        // With l = 3 the full set always comes back, canonically ordered.
+        assert_eq!(pick_metrics(3, &mut rng), ResourceMetric::ALL.to_vec());
+        // Over many draws with l = 2, different subsets must occur.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(format!("{:?}", pick_metrics(2, &mut rng)));
+        }
+        assert!(seen.len() == 3, "expected all 3 two-metric subsets, got {}", seen.len());
+    }
+
+    proptest::proptest! {
+        /// Generated workloads are structurally valid for every shape/size.
+        #[test]
+        fn workloads_are_valid(n in 2usize..20, shape_idx in 0usize..4, seed in 0u64..1000) {
+            let shape = [GraphShape::Chain, GraphShape::Cycle, GraphShape::Star, GraphShape::Clique][shape_idx];
+            let spec = WorkloadSpec { tables: n, shape, selectivity: SelectivityMethod::MinMax, seed };
+            let (catalog, query) = spec.generate();
+            proptest::prop_assert_eq!(catalog.num_tables(), n);
+            proptest::prop_assert_eq!(query.len(), n);
+            proptest::prop_assert!(catalog.is_connected(query.tables()));
+            for e in catalog.edges() {
+                proptest::prop_assert!(e.selectivity > 0.0 && e.selectivity <= 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! A miniature version of the paper's evaluation: all eight algorithms on
+//! one panel (chain, 25 tables, 2 metrics), printing the median-α-vs-time
+//! table the figures plot. Uses the same harness as the full benchmark
+//! suite (`cargo bench -p moqo-bench`).
+//!
+//! ```sh
+//! cargo run --release --example algorithm_shootout
+//! ```
+
+use std::time::Duration;
+
+use moqo_harness::figures::FigureSpec;
+use moqo_harness::report::render_figure;
+use moqo_harness::runner::run_figure;
+use moqo_harness::AlgorithmKind;
+use moqo_workload::{GraphShape, SelectivityMethod};
+
+fn main() {
+    let spec = FigureSpec {
+        id: "shootout",
+        title: "Mini shootout: all algorithms, chain query, 25 tables, 2 metrics",
+        shapes: vec![GraphShape::Chain],
+        sizes: vec![25],
+        metrics: 2,
+        selectivity: SelectivityMethod::Steinbrunn,
+        budget: Duration::from_millis(400),
+        checkpoints: 6,
+        cases: 3,
+        algorithms: AlgorithmKind::PAPER_SET.to_vec(),
+        reference: moqo_harness::ReferenceKind::UnionOfAll,
+        alpha_cap: None,
+        seed: 0xCAFE,
+    };
+    let result = run_figure(&spec);
+    print!("{}", render_figure(&result));
+    println!(
+        "Reading guide: α is the paper's quality measure — the smallest factor\n\
+         by which the produced plan set approximates the union reference\n\
+         frontier (lower is better, 1.0 is perfect; 'inf' means no result\n\
+         yet, which is what the DP schemes show beyond small queries)."
+    );
+}

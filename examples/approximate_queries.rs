@@ -1,0 +1,94 @@
+//! Approximate query processing: trade answer precision for latency.
+//!
+//! The paper's introduction motivates MOQO with approximate query
+//! processing "where users care about execution time and result precision"
+//! (BlinkDB-style interactive analytics). Footnote 2 gives the operator
+//! recipe: scan variants with different sample densities. This example
+//! optimizes a star-schema analytics query under the AQP cost model,
+//! prints the (time, precision-loss) Pareto frontier, visualizes it, and
+//! then auto-selects plans for two different users: an interactive
+//! dashboard with a hard latency budget, and a nightly report that wants
+//! exact answers.
+//!
+//! ```sh
+//! cargo run --release --example approximate_queries
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use moqo_catalog::CatalogBuilder;
+use moqo_core::frontier::AlphaSchedule;
+use moqo_core::optimizer::{drive, Budget, NullObserver};
+use moqo_core::rmq::{Rmq, RmqConfig};
+use moqo_cost::AqpCostModel;
+use moqo_metrics::{frontier_table, scatter_plans, Preferences, ScatterConfig};
+
+fn main() {
+    // A small analytics star schema: one fact table of page views and
+    // four dimensions.
+    let mut b = CatalogBuilder::default();
+    let views = b.add_table("page_views", 5_000_000.0);
+    let users = b.add_table("users", 200_000.0);
+    let pages = b.add_table("pages", 50_000.0);
+    let geo = b.add_table("geo", 5_000.0);
+    let dates = b.add_table("dates", 3_650.0);
+    b.add_join(views, users, 1.0 / 200_000.0);
+    b.add_join(views, pages, 1.0 / 50_000.0);
+    b.add_join(views, geo, 1.0 / 5_000.0);
+    b.add_join(views, dates, 1.0 / 3_650.0);
+    let catalog = Arc::new(b.build());
+    let query = catalog.all_tables();
+
+    let model = AqpCostModel::new(catalog);
+    let cfg = RmqConfig {
+        alpha: AlphaSchedule::Fixed(1.0),
+        ..RmqConfig::seeded(2016)
+    };
+    let mut rmq = Rmq::new(&model, query, cfg);
+    let stats = drive(
+        &mut rmq,
+        Budget::Time(Duration::from_millis(400)),
+        &mut NullObserver,
+    );
+
+    let mut frontier = rmq.frontier();
+    frontier.sort_by(|a, b| a.cost()[0].total_cmp(&b.cost()[0]));
+    println!(
+        "RMQ explored {} iterations; {} Pareto tradeoff(s) between latency and precision:\n",
+        stats.steps,
+        frontier.len()
+    );
+    println!("{}", frontier_table(&frontier, &model));
+    println!(
+        "{}",
+        scatter_plans(&frontier, &model, &ScatterConfig::default())
+    );
+
+    // User 1: an interactive dashboard. Hard latency bound (in the model's
+    // page-I/O units), then minimize precision loss within it.
+    let latency_bound = 2_000.0;
+    let dashboard = Preferences::weighted(&[0.0, 1.0]).with_bound(0, latency_bound);
+    match dashboard.select(&frontier) {
+        Ok(plan) => println!(
+            "dashboard (time <= {latency_bound}): {}\n  -> time {:.0}, {:.1} bits precision lost",
+            plan.display(&model),
+            plan.cost()[0],
+            plan.cost()[1]
+        ),
+        Err(e) => println!("dashboard: no plan fits the latency budget ({e})"),
+    }
+
+    // User 2: a nightly batch report. Precision is non-negotiable
+    // (loss bounded near zero), time merely tie-breaks.
+    let report = Preferences::weighted(&[1.0, 0.0]).with_bound(1, 0.1);
+    match report.select(&frontier) {
+        Ok(plan) => println!(
+            "nightly report (exact answers): {}\n  -> time {:.0}, {:.3} bits precision lost",
+            plan.display(&model),
+            plan.cost()[0],
+            plan.cost()[1]
+        ),
+        Err(e) => println!("nightly report: {e}"),
+    }
+}

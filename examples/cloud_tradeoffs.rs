@@ -1,0 +1,87 @@
+//! Cloud scenario (the paper's §1 motivation): trade execution time against
+//! monetary fees by varying operator degrees of parallelism, then pick a
+//! plan automatically from user preferences (cost weights + bounds, as in
+//! Trummer & Koch's many-objective framework).
+//!
+//! ```sh
+//! cargo run --release --example cloud_tradeoffs
+//! ```
+
+use std::time::Duration;
+
+use moqo_core::frontier::AlphaSchedule;
+use moqo_core::optimizer::{drive, Budget, NullObserver};
+use moqo_core::plan::PlanRef;
+use moqo_core::rmq::{Rmq, RmqConfig};
+use moqo_cost::CloudCostModel;
+use moqo_workload::{GraphShape, SelectivityMethod, WorkloadSpec};
+
+/// Picks the cheapest plan by weighted cost among plans within the bounds.
+fn select_plan<'a>(
+    frontier: &'a [PlanRef],
+    weights: &[f64],
+    bounds: &[f64],
+) -> Option<&'a PlanRef> {
+    frontier
+        .iter()
+        .filter(|p| {
+            p.cost()
+                .as_slice()
+                .iter()
+                .zip(bounds)
+                .all(|(c, b)| c <= b)
+        })
+        .min_by(|a, b| {
+            a.cost()
+                .weighted_sum(weights)
+                .total_cmp(&b.cost().weighted_sum(weights))
+        })
+}
+
+fn main() {
+    let (catalog, query) = WorkloadSpec {
+        tables: 8,
+        shape: GraphShape::Star,
+        selectivity: SelectivityMethod::MinMax,
+        seed: 11,
+    }
+    .generate();
+    let model = CloudCostModel::new(catalog);
+
+    let cfg = RmqConfig {
+        alpha: AlphaSchedule::Fixed(1.0),
+        ..RmqConfig::seeded(3)
+    };
+    let mut rmq = Rmq::new(&model, query.tables(), cfg);
+    drive(
+        &mut rmq,
+        Budget::Time(Duration::from_millis(300)),
+        &mut NullObserver,
+    );
+
+    let mut frontier = rmq.frontier();
+    frontier.sort_by(|a, b| a.cost()[0].total_cmp(&b.cost()[0]));
+    println!("time/money Pareto frontier ({} plans):", frontier.len());
+    println!("{:>12} {:>12}", "time", "money");
+    for p in &frontier {
+        println!("{:>12.2} {:>12.2}", p.cost()[0], p.cost()[1]);
+    }
+
+    // Scenario A: a latency-critical dashboard — time matters 10x more
+    // than money, but the bill must stay under 50 units.
+    let a = select_plan(&frontier, &[10.0, 1.0], &[f64::INFINITY, 50.0]);
+    // Scenario B: a nightly batch job — minimize money, finish within 500.
+    let b = select_plan(&frontier, &[0.0, 1.0], &[500.0, f64::INFINITY]);
+
+    for (name, choice) in [("latency-critical", a), ("nightly batch", b)] {
+        match choice {
+            Some(p) => println!(
+                "\n{name}: time {:.2}, money {:.2}\n  {}",
+                p.cost()[0],
+                p.cost()[1],
+                p.display(&model)
+            ),
+            None => println!("\n{name}: no plan satisfies the bounds"),
+        }
+    }
+}

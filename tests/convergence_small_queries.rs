@@ -1,0 +1,142 @@
+//! The paper's Figures 8/9 claim, verified deterministically: on small
+//! queries (4–8 tables) the randomized algorithms converge toward the exact
+//! Pareto frontier, RMQ reaching a perfect approximation (α = 1 with exact
+//! pruning), while DP(2)'s observed error stays far below its worst-case
+//! guarantee.
+
+use moqo_baselines::{DpOptimizer, IterativeImprovement};
+use moqo_core::frontier::AlphaSchedule;
+use moqo_core::optimizer::{drive, Budget, NullObserver, Optimizer};
+use moqo_core::rmq::{Rmq, RmqConfig};
+use moqo_cost::{ResourceCostModel, ResourceMetric};
+use moqo_metrics::ReferenceFrontier;
+use moqo_workload::{GraphShape, SelectivityMethod, WorkloadSpec};
+
+/// Builds a random star query and a DP reference frontier with pruning
+/// precision `ref_alpha`. The paper's Figures 8/9 use DP(1.01) as the
+/// reference ("guaranteed to be precise within a very small tolerance");
+/// `ref_alpha = 1.0` yields the exact frontier and is affordable only for
+/// the smallest queries in debug builds.
+fn setup(
+    n: usize,
+    metrics: &[ResourceMetric],
+    seed: u64,
+    ref_alpha: f64,
+) -> (ResourceCostModel, moqo_core::TableSet, ReferenceFrontier) {
+    let (catalog, query) = WorkloadSpec {
+        tables: n,
+        shape: GraphShape::Star,
+        selectivity: SelectivityMethod::Steinbrunn,
+        seed,
+    }
+    .generate();
+    let model = ResourceCostModel::new(catalog, metrics);
+    let mut dp = DpOptimizer::new(&model, query.tables(), ref_alpha);
+    drive(&mut dp, Budget::Iterations(u64::MAX), &mut NullObserver);
+    let reference = ReferenceFrontier::from_plan_sets([dp.frontier().as_slice()]);
+    (model, query.tables(), reference)
+}
+
+#[test]
+fn rmq_reaches_perfect_approximation_on_four_tables() {
+    for l in [2usize, 3] {
+        let (model, query, reference) = setup(4, &ResourceMetric::ALL[..l], 41, 1.0);
+        let cfg = RmqConfig {
+            alpha: AlphaSchedule::Fixed(1.0),
+            ..RmqConfig::seeded(5)
+        };
+        let mut rmq = Rmq::new(&model, query, cfg);
+        drive(&mut rmq, Budget::Iterations(80), &mut NullObserver);
+        let alpha = reference.alpha_of_plans(&rmq.frontier());
+        assert!(
+            (alpha - 1.0).abs() < 1e-9,
+            "l={l}: RMQ alpha {alpha} != 1 after 80 iterations"
+        );
+    }
+}
+
+#[test]
+fn dp2_error_is_far_below_worst_case_bound() {
+    // The paper (§appendix): "the approximation error is much lower than
+    // the theoretical worst case bound". DP(2) prunes each table-set
+    // frontier with factor 2, and the error compounds across join levels:
+    // the worst-case guarantee at n tables is 2^(n-1) (= 32 for n = 6).
+    // Assert the observed error stays close to the *single-level* factor —
+    // far below the compounded bound.
+    let n = 6;
+    let (model, query, reference) = setup(n, &ResourceMetric::ALL[..2], 43, 1.0);
+    let mut dp2 = DpOptimizer::new(&model, query, 2.0);
+    drive(&mut dp2, Budget::Iterations(u64::MAX), &mut NullObserver);
+    assert!(dp2.is_complete());
+    let alpha = reference.alpha_of_plans(&dp2.frontier());
+    let worst_case = 2f64.powi(n as i32 - 1);
+    assert!(
+        alpha < worst_case / 4.0,
+        "DP(2) error {alpha} not far below the compounded bound {worst_case}"
+    );
+    assert!(alpha >= 1.0 - 1e-9, "alpha below 1 is impossible: {alpha}");
+}
+
+#[test]
+fn ii_converges_close_but_rmq_at_least_matches_it() {
+    // Figure 9 (8 tables, 3 metrics): RMQ is the only randomized algorithm
+    // achieving a perfect approximation; II comes close. Assert the stable
+    // part — RMQ's final alpha <= II's final alpha on the same budget — at
+    // 7 tables against the paper's DP(1.01) reference (exact DP at 8 tables
+    // and 3 metrics is infeasible in debug builds; the full-size experiment
+    // lives in the fig9 bench target).
+    let (model, query, reference) = setup(7, &ResourceMetric::ALL, 47, 1.01);
+    let cfg = RmqConfig {
+        alpha: AlphaSchedule::Fixed(1.0),
+        ..RmqConfig::seeded(7)
+    };
+    let mut rmq = Rmq::new(&model, query, cfg);
+    drive(&mut rmq, Budget::Iterations(60), &mut NullObserver);
+    let mut ii = IterativeImprovement::new(&model, query, 7);
+    drive(&mut ii, Budget::Iterations(60), &mut NullObserver);
+
+    let alpha_rmq = reference.alpha_of_plans(&rmq.frontier());
+    let alpha_ii = reference.alpha_of_plans(&ii.frontier());
+    assert!(
+        alpha_rmq <= alpha_ii + 1e-9,
+        "RMQ {alpha_rmq} worse than II {alpha_ii}"
+    );
+}
+
+#[test]
+fn exact_frontier_sizes_grow_with_metric_count() {
+    // More metrics → more incomparable tradeoffs (the effect driving the
+    // paper's observation that approximation gets harder with l).
+    let (_, _, ref2) = setup(5, &ResourceMetric::ALL[..2], 49, 1.0);
+    let (_, _, ref3) = setup(5, &ResourceMetric::ALL, 49, 1.0);
+    assert!(
+        ref3.len() >= ref2.len(),
+        "3-metric frontier ({}) smaller than 2-metric ({})",
+        ref3.len(),
+        ref2.len()
+    );
+}
+
+#[test]
+fn frontier_plans_expose_executable_structure() {
+    // The result is not just cost vectors: each Pareto plan is a complete
+    // operator tree a downstream executor could run.
+    let (model, query, _) = setup(5, &ResourceMetric::ALL, 51, 1.01);
+    let cfg = RmqConfig {
+        alpha: AlphaSchedule::Fixed(1.0),
+        ..RmqConfig::seeded(9)
+    };
+    let mut rmq = Rmq::new(&model, query, cfg);
+    drive(&mut rmq, Budget::Iterations(30), &mut NullObserver);
+    for plan in rmq.frontier() {
+        let rendered = plan.display(&model);
+        assert!(rendered.contains("⋈"), "missing join: {rendered}");
+        assert!(
+            rendered.contains("Scan"),
+            "missing scan operator: {rendered}"
+        );
+        assert_eq!(plan.rel(), query);
+        assert!(plan.rows() >= 1.0);
+        assert!(plan.pages() > 0.0);
+    }
+}

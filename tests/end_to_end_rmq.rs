@@ -1,0 +1,133 @@
+//! End-to-end: RMQ over the production resource cost model converges to the
+//! exact Pareto frontier computed by DP on small queries — the core
+//! correctness claim behind the paper's Figures 8/9.
+
+use moqo_baselines::DpOptimizer;
+use moqo_core::frontier::AlphaSchedule;
+use moqo_core::optimizer::{drive, Budget, NullObserver, Optimizer};
+use moqo_core::rmq::{Rmq, RmqConfig};
+use moqo_cost::{ResourceCostModel, ResourceMetric};
+use moqo_metrics::ReferenceFrontier;
+use moqo_workload::{GraphShape, SelectivityMethod, WorkloadSpec};
+
+fn exact_frontier(model: &ResourceCostModel, query: moqo_core::TableSet) -> ReferenceFrontier {
+    let mut dp = DpOptimizer::new(model, query, 1.0);
+    drive(&mut dp, Budget::Iterations(u64::MAX), &mut NullObserver);
+    assert!(dp.is_complete());
+    let plans = dp.frontier();
+    ReferenceFrontier::from_plan_sets([plans.as_slice()])
+}
+
+#[test]
+fn rmq_converges_to_exact_frontier_on_small_queries() {
+    for shape in [GraphShape::Chain, GraphShape::Star] {
+        let (catalog, query) = WorkloadSpec {
+            tables: 5,
+            shape,
+            selectivity: SelectivityMethod::Steinbrunn,
+            seed: 21,
+        }
+        .generate();
+        let model =
+            ResourceCostModel::new(catalog, &[ResourceMetric::Time, ResourceMetric::Buffer]);
+        let reference = exact_frontier(&model, query.tables());
+        assert!(!reference.is_empty());
+
+        // RMQ with exact pruning: alpha must reach 1 (perfect coverage).
+        let cfg = RmqConfig {
+            alpha: AlphaSchedule::Fixed(1.0),
+            ..RmqConfig::seeded(3)
+        };
+        let mut rmq = Rmq::new(&model, query.tables(), cfg);
+        drive(&mut rmq, Budget::Iterations(60), &mut NullObserver);
+        let alpha = reference.alpha_of_plans(&rmq.frontier());
+        assert!(
+            alpha < 1.0 + 1e-9,
+            "{:?}: RMQ alpha {alpha} did not converge to 1",
+            shape
+        );
+    }
+}
+
+#[test]
+fn rmq_alpha_improves_monotonically_with_more_iterations() {
+    let (catalog, query) = WorkloadSpec::chain(6, 5).generate();
+    let model = ResourceCostModel::full(catalog);
+    let reference = exact_frontier(&model, query.tables());
+
+    let cfg = RmqConfig {
+        alpha: AlphaSchedule::Fixed(1.0),
+        ..RmqConfig::seeded(11)
+    };
+    let mut rmq = Rmq::new(&model, query.tables(), cfg);
+    let mut last_alpha = f64::INFINITY;
+    for _ in 0..6 {
+        drive(&mut rmq, Budget::Iterations(10), &mut NullObserver);
+        let alpha = reference.alpha_of_plans(&rmq.frontier());
+        assert!(
+            alpha <= last_alpha + 1e-9,
+            "alpha regressed: {alpha} > {last_alpha}"
+        );
+        last_alpha = alpha;
+    }
+    assert!(last_alpha < 4.0, "alpha after 60 iterations: {last_alpha}");
+}
+
+#[test]
+fn paper_alpha_schedule_converges_more_slowly_but_converges() {
+    // The default schedule starts at alpha = 25: coarse coverage early.
+    let (catalog, query) = WorkloadSpec::chain(5, 9).generate();
+    let model = ResourceCostModel::full(catalog);
+    let reference = exact_frontier(&model, query.tables());
+
+    let mut rmq = Rmq::new(&model, query.tables(), RmqConfig::seeded(2));
+    drive(&mut rmq, Budget::Iterations(40), &mut NullObserver);
+    let coarse_alpha = reference.alpha_of_plans(&rmq.frontier());
+    // Coarse pruning still guarantees coverage within the pruning factor
+    // times the plan depth; sanity-bound it generously.
+    assert!(coarse_alpha.is_finite());
+    assert!(coarse_alpha < 25.0f64.powi(5), "alpha {coarse_alpha} absurd");
+}
+
+#[test]
+fn rmq_handles_all_shapes_and_both_selectivity_methods() {
+    for shape in [
+        GraphShape::Chain,
+        GraphShape::Cycle,
+        GraphShape::Star,
+        GraphShape::Clique,
+    ] {
+        for sel in [SelectivityMethod::Steinbrunn, SelectivityMethod::MinMax] {
+            let (catalog, query) = WorkloadSpec {
+                tables: 7,
+                shape,
+                selectivity: sel,
+                seed: 33,
+            }
+            .generate();
+            let model = ResourceCostModel::full(catalog);
+            let mut rmq = Rmq::new(&model, query.tables(), RmqConfig::seeded(4));
+            drive(&mut rmq, Budget::Iterations(10), &mut NullObserver);
+            let frontier = rmq.frontier();
+            assert!(!frontier.is_empty(), "{shape:?}/{sel:?} empty frontier");
+            for p in &frontier {
+                assert!(p.validate(query.tables()).is_ok());
+                assert!(p.cost().is_valid());
+            }
+        }
+    }
+}
+
+#[test]
+fn optimizer_trait_object_round_trip() {
+    // The harness drives RMQ through `Box<dyn Optimizer>`; verify the
+    // trait-object path end to end.
+    let (catalog, query) = WorkloadSpec::chain(5, 13).generate();
+    let model = ResourceCostModel::full(catalog);
+    let mut rmq: Box<dyn Optimizer> =
+        Box::new(Rmq::new(&model, query.tables(), RmqConfig::seeded(6)));
+    assert_eq!(rmq.name(), "RMQ");
+    let stats = drive(&mut *rmq, Budget::Iterations(5), &mut NullObserver);
+    assert_eq!(stats.steps, 5);
+    assert!(!rmq.frontier().is_empty());
+}

@@ -1,0 +1,105 @@
+//! Smoke tests of the figure harness: miniature versions of every figure
+//! run end to end and produce well-formed reports.
+
+use std::time::Duration;
+
+use moqo_harness::fig3::{run_fig3, Fig3Spec};
+use moqo_harness::figures::FigureSpec;
+use moqo_harness::report::{render_fig3, render_figure};
+use moqo_harness::runner::run_figure;
+use moqo_harness::{AlgorithmKind, EnvConfig, ReferenceKind};
+use moqo_workload::GraphShape;
+
+/// Shrinks any figure spec to smoke-test size.
+fn shrink(mut spec: FigureSpec) -> FigureSpec {
+    spec.shapes.truncate(1);
+    spec.sizes.truncate(1);
+    if let Some(first) = spec.sizes.first_mut() {
+        *first = (*first).min(6);
+    }
+    spec.budget = Duration::from_millis(25);
+    spec.checkpoints = 2;
+    spec.cases = 1;
+    // Keep one DP, one restart-based, and RMQ for coverage.
+    spec.algorithms = vec![
+        AlgorithmKind::DpInfinity,
+        AlgorithmKind::Ii,
+        AlgorithmKind::Rmq,
+    ];
+    spec
+}
+
+#[test]
+fn all_figure_specs_run_in_miniature() {
+    let env = EnvConfig::fixed(1.0, None);
+    let specs = [
+        FigureSpec::fig1(&env),
+        FigureSpec::fig2(&env),
+        FigureSpec::fig4(&env),
+        FigureSpec::fig5(&env),
+        FigureSpec::fig6(&env),
+        FigureSpec::fig7(&env),
+        FigureSpec::fig8(&env),
+        FigureSpec::fig9(&env),
+    ];
+    for spec in specs {
+        let id = spec.id;
+        let mini = shrink(spec);
+        let result = run_figure(&mini);
+        assert_eq!(result.panels.len(), 1, "{id}");
+        let text = render_figure(&result);
+        assert!(text.contains("RMQ"), "{id} report misses RMQ:\n{text}");
+        assert!(
+            text.lines().count() >= mini.checkpoints + 3,
+            "{id} report too short"
+        );
+    }
+}
+
+#[test]
+fn fig3_miniature_runs_and_renders() {
+    let spec = Fig3Spec {
+        shapes: vec![GraphShape::Chain],
+        sizes: vec![6],
+        iterations: 5,
+        cases: 2,
+        seed: 1,
+    };
+    let rows = run_fig3(&spec);
+    assert_eq!(rows.len(), 1);
+    let text = render_fig3(&rows);
+    assert!(text.contains("Chain"));
+    assert!(text.contains("FIG3"));
+}
+
+#[test]
+fn exact_reference_figures_assert_coverage_bounds() {
+    // Figures 8/9 use the DP(1.01) reference: RMQ's final alpha must be a
+    // sane finite value on a tiny query even with a 25 ms budget.
+    let env = EnvConfig::fixed(1.0, None);
+    let mut spec = shrink(FigureSpec::fig8(&env));
+    spec.sizes = vec![4];
+    spec.reference = ReferenceKind::ExactDp;
+    spec.budget = Duration::from_millis(60);
+    let result = run_figure(&spec);
+    let panel = &result.panels[0];
+    let alpha = panel.final_alpha("RMQ").expect("RMQ series");
+    assert!(alpha.is_finite(), "RMQ produced nothing in 60ms on 4 tables");
+    assert!(alpha >= 1.0);
+}
+
+#[test]
+fn env_overrides_are_respected_end_to_end() {
+    let env = EnvConfig {
+        time_scale: 0.02,
+        cases_override: Some(1),
+        max_sizes: Some(1),
+    };
+    let spec = FigureSpec::fig1(&env);
+    assert_eq!(spec.cases, 1);
+    assert_eq!(spec.sizes, vec![10]);
+    assert_eq!(spec.budget, Duration::from_millis(20));
+    // And it actually runs in miniature without truncation elsewhere.
+    let result = run_figure(&spec);
+    assert_eq!(result.panels.len(), 3, "3 shapes x 1 size");
+}
