@@ -29,8 +29,8 @@ use moqo_core::plan::{Plan, PlanRef};
 use moqo_core::tables::{TableId, TableSet};
 
 /// The DP(α) optimizer.
-pub struct DpOptimizer<'a, M: CostModel + ?Sized> {
-    model: &'a M,
+pub struct DpOptimizer<M: CostModel> {
+    model: M,
     /// Dense table order: bit `k` of a mask refers to `tables[k]`.
     tables: Vec<TableId>,
     alpha: f64,
@@ -44,14 +44,14 @@ pub struct DpOptimizer<'a, M: CostModel + ?Sized> {
     plans_built: u64,
 }
 
-impl<'a, M: CostModel + ?Sized> DpOptimizer<'a, M> {
+impl<M: CostModel> DpOptimizer<M> {
     /// Creates a DP optimizer with approximation threshold `alpha ≥ 1`
     /// (may be `f64::INFINITY`).
     ///
     /// # Panics
     /// Panics if `query` is empty or exceeds 128 tables (mask width), or if
     /// `alpha < 1`.
-    pub fn new(model: &'a M, query: TableSet, alpha: f64) -> Self {
+    pub fn new(model: M, query: TableSet, alpha: f64) -> Self {
         assert!(!query.is_empty(), "cannot optimize an empty query");
         assert!(alpha >= 1.0, "alpha {alpha} must be >= 1");
         let tables: Vec<TableId> = query.iter().collect();
@@ -100,7 +100,7 @@ impl<'a, M: CostModel + ?Sized> DpOptimizer<'a, M> {
             let t = self.tables[mask.trailing_zeros() as usize];
             let entry = self.frontiers.entry(mask).or_default();
             for &op in self.model.scan_ops(t) {
-                entry.insert_approx(Plan::scan(self.model, t, op), self.alpha);
+                entry.insert_approx(Plan::scan(&self.model, t, op), self.alpha);
                 self.plans_built += 1;
             }
             return;
@@ -125,7 +125,7 @@ impl<'a, M: CostModel + ?Sized> DpOptimizer<'a, M> {
                     self.model.join_ops(o, i, &mut ops);
                     for &op in &ops {
                         result.insert_approx(
-                            Plan::join(self.model, o.clone(), i.clone(), op),
+                            Plan::join(&self.model, o.clone(), i.clone(), op),
                             self.alpha,
                         );
                         self.plans_built += 1;
@@ -159,7 +159,7 @@ impl<'a, M: CostModel + ?Sized> DpOptimizer<'a, M> {
     }
 }
 
-impl<M: CostModel + ?Sized> Optimizer for DpOptimizer<'_, M> {
+impl<M: CostModel> Optimizer for DpOptimizer<M> {
     fn name(&self) -> &str {
         &self.name
     }
@@ -342,7 +342,10 @@ mod tests {
         let model = StubModel::line(3, 2, 1);
         let q = TableSet::prefix(3);
         assert_eq!(DpOptimizer::new(&model, q, 2.0).name(), "DP(2)");
-        assert_eq!(DpOptimizer::new(&model, q, f64::INFINITY).name(), "DP(Infinity)");
+        assert_eq!(
+            DpOptimizer::new(&model, q, f64::INFINITY).name(),
+            "DP(Infinity)"
+        );
         assert_eq!(DpOptimizer::new(&model, q, 1.01).name(), "DP(1.01)");
     }
 

@@ -20,8 +20,8 @@ use moqo_core::random_plan::random_plan;
 use moqo_core::tables::TableSet;
 
 /// The II optimizer.
-pub struct IterativeImprovement<'a, M: CostModel + ?Sized> {
-    model: &'a M,
+pub struct IterativeImprovement<M: CostModel> {
+    model: M,
     query: TableSet,
     climb: ClimbConfig,
     archive: ParetoSet,
@@ -29,12 +29,12 @@ pub struct IterativeImprovement<'a, M: CostModel + ?Sized> {
     iterations: u64,
 }
 
-impl<'a, M: CostModel + ?Sized> IterativeImprovement<'a, M> {
+impl<M: CostModel> IterativeImprovement<M> {
     /// Creates an II optimizer for `query` over `model`.
     ///
     /// # Panics
     /// Panics if `query` is empty.
-    pub fn new(model: &'a M, query: TableSet, seed: u64) -> Self {
+    pub fn new(model: M, query: TableSet, seed: u64) -> Self {
         assert!(!query.is_empty(), "cannot optimize an empty query");
         IterativeImprovement {
             model,
@@ -52,14 +52,14 @@ impl<'a, M: CostModel + ?Sized> IterativeImprovement<'a, M> {
     }
 }
 
-impl<M: CostModel + ?Sized> Optimizer for IterativeImprovement<'_, M> {
+impl<M: CostModel> Optimizer for IterativeImprovement<M> {
     fn name(&self) -> &str {
         "II"
     }
 
     fn step(&mut self) -> bool {
-        let start = random_plan(self.model, self.query, &mut self.rng);
-        let (optimum, _) = pareto_climb(start, self.model, &self.climb);
+        let start = random_plan(&self.model, self.query, &mut self.rng);
+        let (optimum, _) = pareto_climb(start, &self.model, &self.climb);
         self.archive.insert_cost_frontier(optimum);
         self.iterations += 1;
         true

@@ -17,7 +17,7 @@
 //! (Deb's settings, as the paper adopts them).
 
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use moqo_core::cost::CostVector;
 use moqo_core::model::CostModel;
@@ -57,8 +57,8 @@ struct Individual {
 }
 
 /// The NSGA-II optimizer.
-pub struct Nsga2<'a, M: CostModel + ?Sized> {
-    model: &'a M,
+pub struct Nsga2<M: CostModel> {
+    model: M,
     tables: Vec<TableId>,
     params: Nsga2Params,
 
@@ -68,22 +68,17 @@ pub struct Nsga2<'a, M: CostModel + ?Sized> {
     generations: u64,
 }
 
-impl<'a, M: CostModel + ?Sized> Nsga2<'a, M> {
+impl<M: CostModel> Nsga2<M> {
     /// Creates an NSGA-II optimizer with default parameters.
     ///
     /// # Panics
     /// Panics if `query` is empty.
-    pub fn new(model: &'a M, query: TableSet, seed: u64) -> Self {
+    pub fn new(model: M, query: TableSet, seed: u64) -> Self {
         Self::with_params(model, query, seed, Nsga2Params::default())
     }
 
     /// Creates an NSGA-II optimizer with explicit parameters.
-    pub fn with_params(
-        model: &'a M,
-        query: TableSet,
-        seed: u64,
-        params: Nsga2Params,
-    ) -> Self {
+    pub fn with_params(model: M, query: TableSet, seed: u64, params: Nsga2Params) -> Self {
         assert!(!query.is_empty(), "cannot optimize an empty query");
         assert!(params.population >= 2);
         let tables: Vec<TableId> = query.iter().collect();
@@ -97,7 +92,7 @@ impl<'a, M: CostModel + ?Sized> Nsga2<'a, M> {
         let mut population = Vec::with_capacity(params.population);
         for _ in 0..params.population {
             let genome: Genome = (0..genome_len).map(|_| rng.random()).collect();
-            let plan = decode(model, &tables, &genome);
+            let plan = decode(&model, &tables, &genome);
             population.push(Individual {
                 genome,
                 plan,
@@ -156,12 +151,11 @@ impl<'a, M: CostModel + ?Sized> Nsga2<'a, M> {
             let w2 = self.tournament();
             let p1 = self.population[w1].genome.clone();
             let p2 = self.population[w2].genome.clone();
-            let (mut c1, mut c2) =
-                if self.rng.random::<f64>() < self.params.crossover_probability {
-                    single_point_crossover(&p1, &p2, &mut self.rng)
-                } else {
-                    (p1, p2)
-                };
+            let (mut c1, mut c2) = if self.rng.random::<f64>() < self.params.crossover_probability {
+                single_point_crossover(&p1, &p2, &mut self.rng)
+            } else {
+                (p1, p2)
+            };
             self.mutate(&mut c1);
             self.mutate(&mut c2);
             offspring.push(c1);
@@ -286,6 +280,9 @@ pub fn crowding_distances(costs: &[CostVector], front: &[usize]) -> Vec<f64> {
     }
     let dim = costs[front[0]].dim();
     let mut order: Vec<usize> = (0..m).collect();
+    // `k` indexes cost-vector components (not a slice), so iterator-style
+    // rewriting does not apply.
+    #[allow(clippy::needless_range_loop)]
     for k in 0..dim {
         order.sort_by(|&x, &y| costs[front[x]][k].total_cmp(&costs[front[y]][k]));
         let lo = costs[front[order[0]]][k];
@@ -301,7 +298,7 @@ pub fn crowding_distances(costs: &[CostVector], front: &[usize]) -> Vec<f64> {
     dist
 }
 
-impl<M: CostModel + ?Sized> Optimizer for Nsga2<'_, M> {
+impl<M: CostModel> Optimizer for Nsga2<M> {
     fn name(&self) -> &str {
         "NSGA-II"
     }
@@ -310,7 +307,7 @@ impl<M: CostModel + ?Sized> Optimizer for Nsga2<'_, M> {
         let offspring = self.make_offspring();
         // Evaluate offspring and pool with parents (elitism).
         for genome in offspring {
-            let plan = decode(self.model, &self.tables, &genome);
+            let plan = decode(&self.model, &self.tables, &genome);
             self.population.push(Individual {
                 genome,
                 plan,
@@ -321,8 +318,10 @@ impl<M: CostModel + ?Sized> Optimizer for Nsga2<'_, M> {
         let costs: Vec<CostVector> = self.population.iter().map(|i| *i.plan.cost()).collect();
         let fronts = fast_non_dominated_sort(&costs);
         let mut survivors: Vec<Individual> = Vec::with_capacity(self.params.population);
-        let mut drained: Vec<Option<Individual>> =
-            std::mem::take(&mut self.population).into_iter().map(Some).collect();
+        let mut drained: Vec<Option<Individual>> = std::mem::take(&mut self.population)
+            .into_iter()
+            .map(Some)
+            .collect();
         'fill: for front in &fronts {
             let mut members: Vec<(usize, f64)> = {
                 let d = crowding_distances(&costs, front);
@@ -403,7 +402,9 @@ mod tests {
         assert!(d[0].is_infinite() && d[3].is_infinite());
         assert!(d[1] > 0.0 && d[2] > 0.0);
         // Tiny fronts: everyone is a boundary.
-        assert!(crowding_distances(&costs, &[0, 1]).iter().all(|x| x.is_infinite()));
+        assert!(crowding_distances(&costs, &[0, 1])
+            .iter()
+            .all(|x| x.is_infinite()));
         assert!(crowding_distances(&costs, &[]).is_empty());
     }
 
@@ -470,7 +471,7 @@ mod tests {
             ..Nsga2Params::default()
         };
         let mut ga = Nsga2::with_params(&model, q, 3, params);
-        let best = |ga: &Nsga2<StubModel>| {
+        let best = |ga: &Nsga2<&StubModel>| {
             ga.frontier()
                 .iter()
                 .map(|p| p.cost().mean())
@@ -496,8 +497,11 @@ mod tests {
             };
             let mut ga = Nsga2::with_params(&model, q, seed, params);
             drive(&mut ga, Budget::Iterations(5), &mut NullObserver);
-            let mut costs: Vec<String> =
-                ga.frontier().iter().map(|p| format!("{:?}", p.cost())).collect();
+            let mut costs: Vec<String> = ga
+                .frontier()
+                .iter()
+                .map(|p| format!("{:?}", p.cost()))
+                .collect();
             costs.sort();
             costs
         };

@@ -17,7 +17,7 @@
 //! poorly (the paper's finding).
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use moqo_core::model::CostModel;
 use moqo_core::mutations::random_neighbor;
@@ -52,8 +52,8 @@ impl Default for SaParams {
 }
 
 /// The SA optimizer.
-pub struct SimulatedAnnealing<'a, M: CostModel + ?Sized> {
-    model: &'a M,
+pub struct SimulatedAnnealing<M: CostModel> {
+    model: M,
     query: TableSet,
     params: SaParams,
     current: PlanRef,
@@ -65,20 +65,20 @@ pub struct SimulatedAnnealing<'a, M: CostModel + ?Sized> {
     proposed: u64,
 }
 
-impl<'a, M: CostModel + ?Sized> SimulatedAnnealing<'a, M> {
+impl<M: CostModel> SimulatedAnnealing<M> {
     /// Creates an SA optimizer starting from a random plan.
     ///
     /// # Panics
     /// Panics if `query` is empty.
-    pub fn new(model: &'a M, query: TableSet, seed: u64) -> Self {
+    pub fn new(model: M, query: TableSet, seed: u64) -> Self {
         Self::with_params(model, query, seed, SaParams::default())
     }
 
     /// Creates an SA optimizer with explicit parameters.
-    pub fn with_params(model: &'a M, query: TableSet, seed: u64, params: SaParams) -> Self {
+    pub fn with_params(model: M, query: TableSet, seed: u64, params: SaParams) -> Self {
         assert!(!query.is_empty(), "cannot optimize an empty query");
         let mut rng = StdRng::seed_from_u64(seed);
-        let current = random_plan(model, query, &mut rng);
+        let current = random_plan(&model, query, &mut rng);
         let mut archive = ParetoSet::new();
         archive.insert_cost_frontier(current.clone());
         SimulatedAnnealing {
@@ -129,7 +129,7 @@ impl<'a, M: CostModel + ?Sized> SimulatedAnnealing<'a, M> {
     }
 }
 
-impl<M: CostModel + ?Sized> Optimizer for SimulatedAnnealing<'_, M> {
+impl<M: CostModel> Optimizer for SimulatedAnnealing<M> {
     fn name(&self) -> &str {
         "SA"
     }
@@ -137,20 +137,19 @@ impl<M: CostModel + ?Sized> Optimizer for SimulatedAnnealing<'_, M> {
     fn step(&mut self) -> bool {
         if self.temperature < self.params.frozen {
             // Frozen: restart from a fresh random plan at full temperature.
-            self.current = random_plan(self.model, self.query, &mut self.rng);
+            self.current = random_plan(&self.model, self.query, &mut self.rng);
             self.archive.insert_cost_frontier(self.current.clone());
             self.temperature = self.params.initial_temperature;
         }
         let moves = self.params.moves_per_table * self.query.len().max(1);
         for _ in 0..moves {
-            let Some(candidate) = random_neighbor(&self.current, self.model, &mut self.rng)
-            else {
+            let Some(candidate) = random_neighbor(&self.current, &self.model, &mut self.rng) else {
                 continue;
             };
             self.proposed += 1;
             let delta = Self::relative_delta(&self.current, &candidate);
-            let accept = delta <= 0.0
-                || self.rng.random::<f64>() < (-delta / self.temperature).exp();
+            let accept =
+                delta <= 0.0 || self.rng.random::<f64>() < (-delta / self.temperature).exp();
             if accept {
                 self.current = candidate;
                 self.archive.insert_cost_frontier(self.current.clone());

@@ -23,32 +23,36 @@ use crate::sa::{SaParams, SimulatedAnnealing};
 pub const PHASE_ONE_ITERATIONS: u64 = 10;
 
 /// The 2P optimizer.
-pub struct TwoPhase<'a, M: CostModel + ?Sized> {
-    ii: IterativeImprovement<'a, M>,
-    sa: SimulatedAnnealing<'a, M>,
+pub struct TwoPhase<M: CostModel> {
+    ii: IterativeImprovement<M>,
+    sa: SimulatedAnnealing<M>,
     phase_one_left: u64,
     switched: bool,
 }
 
-impl<'a, M: CostModel + ?Sized> TwoPhase<'a, M> {
-    /// Creates a 2P optimizer for `query` over `model`.
+impl<M: CostModel + Clone> TwoPhase<M> {
+    /// Creates a 2P optimizer for `query` over `model`. Both phases need
+    /// the model, so it must be cheaply cloneable — which the two holding
+    /// modes are (`&M` is `Copy`, `Arc<M>` bumps a refcount).
     ///
     /// # Panics
     /// Panics if `query` is empty.
-    pub fn new(model: &'a M, query: TableSet, seed: u64) -> Self {
+    pub fn new(model: M, query: TableSet, seed: u64) -> Self {
         let sa_params = SaParams {
             // Phase two starts cooler: the start plan is already good.
             initial_temperature: 0.2,
             ..SaParams::default()
         };
         TwoPhase {
-            ii: IterativeImprovement::new(model, query, seed),
+            ii: IterativeImprovement::new(model.clone(), query, seed),
             sa: SimulatedAnnealing::with_params(model, query, seed ^ 0x2b, sa_params),
             phase_one_left: PHASE_ONE_ITERATIONS,
             switched: false,
         }
     }
+}
 
+impl<M: CostModel> TwoPhase<M> {
     /// Whether phase two (SA) has started.
     pub fn in_phase_two(&self) -> bool {
         self.switched
@@ -80,7 +84,7 @@ impl<'a, M: CostModel + ?Sized> TwoPhase<'a, M> {
     }
 }
 
-impl<M: CostModel + ?Sized> Optimizer for TwoPhase<'_, M> {
+impl<M: CostModel> Optimizer for TwoPhase<M> {
     fn name(&self) -> &str {
         "2P"
     }

@@ -24,8 +24,8 @@ use moqo_core::tables::TableSet;
 pub const WEIGHT_STEPS: usize = 11;
 
 /// The weighted-sum optimizer.
-pub struct WeightedSum<'a, M: CostModel + ?Sized> {
-    model: &'a M,
+pub struct WeightedSum<M: CostModel> {
+    model: M,
     query: TableSet,
     weights: Vec<Vec<f64>>,
     next_weight: usize,
@@ -33,12 +33,12 @@ pub struct WeightedSum<'a, M: CostModel + ?Sized> {
     rng: StdRng,
 }
 
-impl<'a, M: CostModel + ?Sized> WeightedSum<'a, M> {
+impl<M: CostModel> WeightedSum<M> {
     /// Creates a WS optimizer for `query` over `model`.
     ///
     /// # Panics
     /// Panics if `query` is empty.
-    pub fn new(model: &'a M, query: TableSet, seed: u64) -> Self {
+    pub fn new(model: M, query: TableSet, seed: u64) -> Self {
         assert!(!query.is_empty(), "cannot optimize an empty query");
         WeightedSum {
             weights: weight_schedule(model.dim()),
@@ -59,7 +59,7 @@ impl<'a, M: CostModel + ?Sized> WeightedSum<'a, M> {
     fn scalar_climb(&mut self, mut plan: PlanRef, weights: &[f64]) -> PlanRef {
         loop {
             let current = plan.cost().weighted_sum(weights);
-            let better = all_neighbors(&plan, self.model)
+            let better = all_neighbors(&plan, &self.model)
                 .into_iter()
                 .find(|nb| nb.cost().weighted_sum(weights) < current - 1e-12);
             match better {
@@ -88,7 +88,13 @@ pub fn weight_schedule(dim: usize) -> Vec<Vec<f64>> {
     } else {
         // Lattice over the first dim-1 coordinates; remainder to the last.
         let coarse = 4usize;
-        fn rec(dim: usize, left: usize, coarse: usize, acc: &mut Vec<usize>, out: &mut Vec<Vec<f64>>) {
+        fn rec(
+            dim: usize,
+            left: usize,
+            coarse: usize,
+            acc: &mut Vec<usize>,
+            out: &mut Vec<Vec<f64>>,
+        ) {
             if dim == 1 {
                 let mut w: Vec<f64> = acc.iter().map(|&x| x as f64 / coarse as f64).collect();
                 w.push(left as f64 / coarse as f64);
@@ -106,7 +112,7 @@ pub fn weight_schedule(dim: usize) -> Vec<Vec<f64>> {
     out
 }
 
-impl<M: CostModel + ?Sized> Optimizer for WeightedSum<'_, M> {
+impl<M: CostModel> Optimizer for WeightedSum<M> {
     fn name(&self) -> &str {
         "WS"
     }
@@ -114,7 +120,7 @@ impl<M: CostModel + ?Sized> Optimizer for WeightedSum<'_, M> {
     fn step(&mut self) -> bool {
         let weights = self.weights[self.next_weight].clone();
         self.next_weight = (self.next_weight + 1) % self.weights.len();
-        let start = random_plan(self.model, self.query, &mut self.rng);
+        let start = random_plan(&self.model, self.query, &mut self.rng);
         let optimum = self.scalar_climb(start, &weights);
         self.archive.insert_cost_frontier(optimum);
         true

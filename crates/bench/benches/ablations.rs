@@ -38,7 +38,11 @@ fn model_for(n: usize, seed: u64) -> (ResourceCostModel, moqo_core::TableSet) {
     (
         ResourceCostModel::new(
             catalog,
-            &[ResourceMetric::Time, ResourceMetric::Buffer, ResourceMetric::Disk],
+            &[
+                ResourceMetric::Time,
+                ResourceMetric::Buffer,
+                ResourceMetric::Disk,
+            ],
         ),
         query.tables(),
     )
@@ -54,7 +58,9 @@ fn ablation_climb() {
         let (model, query) = model_for(n, 3);
         let starts: Vec<PlanRef> = {
             let mut rng = StdRng::seed_from_u64(17);
-            (0..8).map(|_| random_plan(&model, query, &mut rng)).collect()
+            (0..8)
+                .map(|_| random_plan(&model, query, &mut rng))
+                .collect()
         };
         let cfg = ClimbConfig::default();
         let t0 = Instant::now();
@@ -94,7 +100,11 @@ fn rmq_alpha_with(cfg: RmqConfig, n: usize, budget: Duration) -> f64 {
             ..RmqConfig::seeded(99)
         },
     );
-    drive(&mut reference_rmq, Budget::Time(budget * 4), &mut NullObserver);
+    drive(
+        &mut reference_rmq,
+        Budget::Time(budget * 4),
+        &mut NullObserver,
+    );
     let variant_frontier = variant.frontier();
     let reference = ReferenceFrontier::from_plan_sets([
         reference_rmq.frontier().as_slice(),
@@ -105,7 +115,10 @@ fn rmq_alpha_with(cfg: RmqConfig, n: usize, budget: Duration) -> f64 {
 
 fn ablation_cache() {
     println!("\n== Ablation 2: plan cache shared across iterations vs private ==");
-    println!("{:>7} | {:>14} | {:>14}", "tables", "cache ON alpha", "cache OFF alpha");
+    println!(
+        "{:>7} | {:>14} | {:>14}",
+        "tables", "cache ON alpha", "cache OFF alpha"
+    );
     for n in [10usize, 25] {
         let budget = Duration::from_millis(250);
         let on = rmq_alpha_with(RmqConfig::seeded(7), n, budget);
@@ -202,10 +215,7 @@ fn ablation_sampling() {
 
 fn ablation_plan_space() {
     println!("\n== Ablation 5: bushy vs left-deep random plan space (§4.1 note) ==");
-    println!(
-        "{:>7} | {:>12} | {:>12}",
-        "tables", "bushy", "left-deep"
-    );
+    println!("{:>7} | {:>12} | {:>12}", "tables", "bushy", "left-deep");
     for n in [10usize, 25] {
         let budget = Duration::from_millis(250);
         let bushy = rmq_alpha_with(RmqConfig::seeded(29), n, budget);

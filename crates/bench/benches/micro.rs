@@ -11,9 +11,9 @@ use std::hint::black_box;
 use moqo_baselines::nsga2::{Nsga2, Nsga2Params};
 use moqo_core::cache::PlanCache;
 use moqo_core::climb::{naive_climb, pareto_climb, pareto_step, ClimbConfig};
-use moqo_core::mutations::MutationSet;
 use moqo_core::cost::CostVector;
 use moqo_core::frontier::approximate_frontiers;
+use moqo_core::mutations::MutationSet;
 use moqo_core::optimizer::Optimizer;
 use moqo_core::pareto::PrunePolicy;
 use moqo_core::random_plan::random_plan;
@@ -21,7 +21,7 @@ use moqo_cost::{ResourceCostModel, ResourceMetric};
 use moqo_metrics::epsilon_indicator;
 use moqo_workload::{GraphShape, SelectivityMethod, WorkloadSpec};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 fn model_for(n: usize) -> (ResourceCostModel, moqo_core::TableSet) {
     let (catalog, query) = WorkloadSpec {
@@ -39,7 +39,9 @@ fn model_for(n: usize) -> (ResourceCostModel, moqo_core::TableSet) {
 
 fn bench_random_plan(c: &mut Criterion) {
     let mut group = c.benchmark_group("random_plan");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
     for n in [10usize, 50, 100] {
         let (model, query) = model_for(n);
         let mut rng = StdRng::seed_from_u64(1);
@@ -52,13 +54,22 @@ fn bench_random_plan(c: &mut Criterion) {
 
 fn bench_pareto_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("pareto_step");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for n in [10usize, 50, 100] {
         let (model, query) = model_for(n);
         let mut rng = StdRng::seed_from_u64(2);
         let plan = random_plan(&model, query, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(pareto_step(&plan, &model, PrunePolicy::OnePerFormat, MutationSet::Bushy)))
+            b.iter(|| {
+                black_box(pareto_step(
+                    &plan,
+                    &model,
+                    PrunePolicy::OnePerFormat,
+                    MutationSet::Bushy,
+                ))
+            })
         });
     }
     group.finish();
@@ -66,7 +77,9 @@ fn bench_pareto_step(c: &mut Criterion) {
 
 fn bench_climb_fast_vs_naive(c: &mut Criterion) {
     let mut group = c.benchmark_group("climb");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
     let cfg = ClimbConfig::default();
     for n in [10usize, 25] {
         let (model, query) = model_for(n);
@@ -90,7 +103,9 @@ fn bench_climb_fast_vs_naive(c: &mut Criterion) {
 
 fn bench_frontier_approximation(c: &mut Criterion) {
     let mut group = c.benchmark_group("approximate_frontiers");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for n in [10usize, 50] {
         let (model, query) = model_for(n);
         let mut rng = StdRng::seed_from_u64(4);
@@ -122,7 +137,9 @@ fn bench_epsilon_indicator(c: &mut Criterion) {
 
 fn bench_nsga2_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("nsga2_generation");
-    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
     let (model, query) = model_for(25);
     group.bench_function("pop200_n25", |b| {
         let mut ga = Nsga2::with_params(&model, query, 1, Nsga2Params::default());

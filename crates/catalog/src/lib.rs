@@ -117,6 +117,44 @@ impl Catalog {
         TableSet::prefix(self.tables.len())
     }
 
+    /// A stable 64-bit fingerprint of the catalog's contents (table names,
+    /// cardinalities, and join edges with selectivities, in declaration
+    /// order). Catalogs built through the same construction sequence get
+    /// the same fingerprint; the hash is order-sensitive, so logically
+    /// identical catalogs assembled in a different table/edge order
+    /// fingerprint differently (a safe false-negative for cache keying —
+    /// never a false sharing). This keys caches that share optimizer
+    /// state *across queries over the same database* — partial plans
+    /// costed against one catalog are only meaningful for sessions seeing
+    /// identical statistics. Cost-model configuration is *not* part of the
+    /// catalog;
+    /// combine this with a model discriminator when the cache key must
+    /// distinguish cost semantics (see `moqo-service`).
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over a canonical byte rendering.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&(self.tables.len() as u64).to_le_bytes());
+        for t in &self.tables {
+            eat(t.name.as_bytes());
+            eat(&[0xff]); // name terminator
+            eat(&t.rows.to_bits().to_le_bytes());
+        }
+        eat(&(self.edges.len() as u64).to_le_bytes());
+        for e in &self.edges {
+            eat(&[e.a.index() as u8, e.b.index() as u8]);
+            eat(&e.selectivity.to_bits().to_le_bytes());
+        }
+        h
+    }
+
     /// Whether the join graph restricted to `q` is connected (queries over
     /// disconnected sets require cross products).
     pub fn is_connected(&self, q: TableSet) -> bool {
@@ -167,7 +205,10 @@ impl CatalogBuilder {
     /// positive finite number.
     pub fn add_table(&mut self, name: impl Into<String>, rows: f64) -> TableId {
         assert!(self.tables.len() < MAX_TABLES, "catalog full");
-        assert!(rows.is_finite() && rows >= 1.0, "invalid cardinality {rows}");
+        assert!(
+            rows.is_finite() && rows >= 1.0,
+            "invalid cardinality {rows}"
+        );
         let id = TableId::new(self.tables.len());
         self.tables.push(TableMeta {
             name: name.into(),
@@ -554,6 +595,36 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_distinguishes_catalog_contents() {
+        let a = chain_catalog(4);
+        let b = chain_catalog(4);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same contents, same fp");
+        assert_ne!(
+            a.fingerprint(),
+            chain_catalog(5).fingerprint(),
+            "different table count"
+        );
+        // Same shape, one selectivity differs.
+        let mut builder = Catalog::builder();
+        let ids: Vec<TableId> = (0..4)
+            .map(|i| builder.add_table(format!("t{i}"), 100.0 * (i + 1) as f64))
+            .collect();
+        for w in ids.windows(2) {
+            builder.add_join(w[0], w[1], 0.02);
+        }
+        assert_ne!(a.fingerprint(), builder.build().fingerprint());
+        // Same structure, one table renamed.
+        let mut builder = Catalog::builder();
+        let ids: Vec<TableId> = (0..4)
+            .map(|i| builder.add_table(format!("u{i}"), 100.0 * (i + 1) as f64))
+            .collect();
+        for w in ids.windows(2) {
+            builder.add_join(w[0], w[1], 0.01);
+        }
+        assert_ne!(a.fingerprint(), builder.build().fingerprint());
+    }
+
+    #[test]
     fn spec_round_trips_through_catalog() {
         let c = chain_catalog(5);
         let spec = CatalogSpec::from_catalog(&c);
@@ -573,11 +644,17 @@ mod tests {
 
     #[test]
     fn spec_validation_rejects_bad_inputs() {
-        let empty = CatalogSpec { tables: vec![], joins: vec![] };
+        let empty = CatalogSpec {
+            tables: vec![],
+            joins: vec![],
+        };
         assert_eq!(empty.build().unwrap_err(), SpecError::NoTables);
 
         let bad_rows = CatalogSpec {
-            tables: vec![TableSpec { name: "t".into(), rows: -5.0 }],
+            tables: vec![TableSpec {
+                name: "t".into(),
+                rows: -5.0,
+            }],
             joins: vec![],
         };
         assert!(matches!(
@@ -585,34 +662,65 @@ mod tests {
             SpecError::BadCardinality(_, _)
         ));
 
-        let two = || vec![
-            TableSpec { name: "a".into(), rows: 10.0 },
-            TableSpec { name: "b".into(), rows: 10.0 },
-        ];
+        let two = || {
+            vec![
+                TableSpec {
+                    name: "a".into(),
+                    rows: 10.0,
+                },
+                TableSpec {
+                    name: "b".into(),
+                    rows: 10.0,
+                },
+            ]
+        };
         let bad_endpoint = CatalogSpec {
             tables: two(),
-            joins: vec![JoinSpec { a: 0, b: 7, selectivity: 0.5 }],
+            joins: vec![JoinSpec {
+                a: 0,
+                b: 7,
+                selectivity: 0.5,
+            }],
         };
-        assert_eq!(bad_endpoint.build().unwrap_err(), SpecError::BadJoinEndpoint(7));
+        assert_eq!(
+            bad_endpoint.build().unwrap_err(),
+            SpecError::BadJoinEndpoint(7)
+        );
 
         let self_loop = CatalogSpec {
             tables: two(),
-            joins: vec![JoinSpec { a: 1, b: 1, selectivity: 0.5 }],
+            joins: vec![JoinSpec {
+                a: 1,
+                b: 1,
+                selectivity: 0.5,
+            }],
         };
         assert_eq!(self_loop.build().unwrap_err(), SpecError::BadJoinPair(1, 1));
 
         let dup = CatalogSpec {
             tables: two(),
             joins: vec![
-                JoinSpec { a: 0, b: 1, selectivity: 0.5 },
-                JoinSpec { a: 1, b: 0, selectivity: 0.2 },
+                JoinSpec {
+                    a: 0,
+                    b: 1,
+                    selectivity: 0.5,
+                },
+                JoinSpec {
+                    a: 1,
+                    b: 0,
+                    selectivity: 0.2,
+                },
             ],
         };
         assert_eq!(dup.build().unwrap_err(), SpecError::BadJoinPair(1, 0));
 
         let bad_sel = CatalogSpec {
             tables: two(),
-            joins: vec![JoinSpec { a: 0, b: 1, selectivity: 1.5 }],
+            joins: vec![JoinSpec {
+                a: 0,
+                b: 1,
+                selectivity: 1.5,
+            }],
         };
         assert_eq!(bad_sel.build().unwrap_err(), SpecError::BadSelectivity(1.5));
     }

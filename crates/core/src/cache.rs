@@ -82,9 +82,9 @@ impl PlanCache {
     /// Debug check: every stored plan is filed under its own table set and
     /// every per-set frontier satisfies the Pareto-set invariant.
     pub fn check_invariant(&self) -> bool {
-        self.map.iter().all(|(rel, set)| {
-            set.check_invariant() && set.iter().all(|p| p.rel() == *rel)
-        })
+        self.map
+            .iter()
+            .all(|(rel, set)| set.check_invariant() && set.iter().all(|p| p.rel() == *rel))
     }
 }
 
@@ -134,10 +134,7 @@ mod tests {
         // With a huge alpha, at most one plan per output format survives
         // per table set, regardless of how many tradeoffs we insert.
         for op in 0..3u16 {
-            cache.insert(
-                Plan::join(&m, s0.clone(), s1.clone(), JoinOpId(op)),
-                1e12,
-            );
+            cache.insert(Plan::join(&m, s0.clone(), s1.clone(), JoinOpId(op)), 1e12);
         }
         // Ops 0 and 1 share format 0, op 2 has format 1.
         assert!(cache.frontier(TableSet::prefix(2)).len() <= 2);

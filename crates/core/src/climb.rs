@@ -293,7 +293,9 @@ mod tests {
         let mut naive_total = 0usize;
         for _ in 0..10 {
             let start = random_plan(&m, q, &mut rng);
-            fast_total += pareto_climb(start.clone(), &m, &ClimbConfig::default()).1.steps;
+            fast_total += pareto_climb(start.clone(), &m, &ClimbConfig::default())
+                .1
+                .steps;
             naive_total += naive_climb(start, &m, &ClimbConfig::default()).1.steps;
         }
         assert!(

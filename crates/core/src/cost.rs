@@ -59,7 +59,7 @@ impl CostVector {
     /// The all-zero vector of the given dimension.
     #[inline]
     pub fn zeros(dim: usize) -> Self {
-        assert!(dim >= 1 && dim <= MAX_COST_DIM);
+        assert!((1..=MAX_COST_DIM).contains(&dim));
         CostVector {
             values: [0.0; MAX_COST_DIM],
             dim: dim as u8,

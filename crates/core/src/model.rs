@@ -98,6 +98,56 @@ pub trait CostModel: Sync {
     fn num_formats(&self) -> usize;
 }
 
+/// Delegates every [`CostModel`] method through a smart-pointer-like type,
+/// so optimizers can be generic over *how* they hold their model: borrowed
+/// (`&M`, the classic one-shot usage) or shared-owned (`Arc<M>`, required
+/// for `'static` + `Send` optimizer sessions in the optimization service).
+macro_rules! delegate_cost_model {
+    () => {
+        fn dim(&self) -> usize {
+            (**self).dim()
+        }
+        fn metric_name(&self, k: usize) -> &str {
+            (**self).metric_name(k)
+        }
+        fn num_tables(&self) -> usize {
+            (**self).num_tables()
+        }
+        fn scan_ops(&self, table: TableId) -> &[ScanOpId] {
+            (**self).scan_ops(table)
+        }
+        fn join_ops(&self, outer: &Plan, inner: &Plan, out: &mut Vec<JoinOpId>) {
+            (**self).join_ops(outer, inner, out)
+        }
+        fn scan_props(&self, table: TableId, op: ScanOpId) -> PlanProps {
+            (**self).scan_props(table, op)
+        }
+        fn join_props(&self, outer: &Plan, inner: &Plan, op: JoinOpId) -> PlanProps {
+            (**self).join_props(outer, inner, op)
+        }
+        fn scan_op_name(&self, op: ScanOpId) -> String {
+            (**self).scan_op_name(op)
+        }
+        fn join_op_name(&self, op: JoinOpId) -> String {
+            (**self).join_op_name(op)
+        }
+        fn format_name(&self, format: OutputFormat) -> String {
+            (**self).format_name(format)
+        }
+        fn num_formats(&self) -> usize {
+            (**self).num_formats()
+        }
+    };
+}
+
+impl<M: CostModel + ?Sized> CostModel for &M {
+    delegate_cost_model!();
+}
+
+impl<M: CostModel + Send + ?Sized> CostModel for std::sync::Arc<M> {
+    delegate_cost_model!();
+}
+
 /// Deterministic test model used across the workspace's test suites.
 pub mod testing {
     use super::*;
@@ -172,8 +222,8 @@ pub mod testing {
             for i in 0..self.n.saturating_sub(1) {
                 let t1 = TableId::new(i);
                 let t2 = TableId::new(i + 1);
-                let crossing = (a.contains(t1) && b.contains(t2))
-                    || (a.contains(t2) && b.contains(t1));
+                let crossing =
+                    (a.contains(t1) && b.contains(t2)) || (a.contains(t2) && b.contains(t1));
                 if crossing {
                     sel *= 1.0 / self.rows[i].max(self.rows[i + 1]);
                 }

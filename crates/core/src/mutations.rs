@@ -21,7 +21,7 @@
 //! sub-trees; rebuilding whole-plan neighbors from inner-node mutations is
 //! the job of the callers ([`crate::climb`], [`random_neighbor`]).
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::model::{CostModel, JoinOpId};
 use crate::plan::{Plan, PlanKind, PlanRef};
@@ -332,7 +332,11 @@ mod tests {
         assert!(!out.is_empty());
         for np in &out {
             assert_eq!(np.rel(), q);
-            assert!(np.validate(q).is_ok(), "invalid mutation {}", np.display(&m));
+            assert!(
+                np.validate(q).is_ok(),
+                "invalid mutation {}",
+                np.display(&m)
+            );
         }
     }
 
@@ -389,7 +393,9 @@ mod tests {
         assert!(rotated, "right rotation missing from neighborhood");
         // Left join exchange must produce (T0 ⋈ T2) ⋈ T1.
         let exchanged = out.iter().any(|p| {
-            p.inner().map(|i| i.table() == Some(TableId::new(1))).unwrap_or(false)
+            p.inner()
+                .map(|i| i.table() == Some(TableId::new(1)))
+                .unwrap_or(false)
                 && p.outer().map(|o| o.is_join()).unwrap_or(false)
         });
         assert!(exchanged, "left join exchange missing from neighborhood");
@@ -421,7 +427,11 @@ mod tests {
         }
         // Neighborhood size grows with plan size: at least one mutation per
         // scan node (operator change) plus join mutations.
-        assert!(neighbors.len() >= 6, "too few neighbors: {}", neighbors.len());
+        assert!(
+            neighbors.len() >= 6,
+            "too few neighbors: {}",
+            neighbors.len()
+        );
     }
 
     #[test]
@@ -452,7 +462,11 @@ mod tests {
             assert!(!out.is_empty());
             for np in &out {
                 assert_eq!(np.rel(), q);
-                assert!(np.is_left_deep(), "mutation broke shape: {}", np.display(&m));
+                assert!(
+                    np.is_left_deep(),
+                    "mutation broke shape: {}",
+                    np.display(&m)
+                );
                 assert!(np.validate(q).is_ok());
             }
         }
@@ -472,7 +486,9 @@ mod tests {
         let mut out = Vec::new();
         left_deep_root_mutations(&root, &m, &mut out);
         let exchanged = out.iter().any(|p| {
-            p.inner().map(|i| i.table() == Some(TableId::new(1))).unwrap_or(false)
+            p.inner()
+                .map(|i| i.table() == Some(TableId::new(1)))
+                .unwrap_or(false)
                 && p.outer()
                     .and_then(|o| o.inner())
                     .map(|i| i.table() == Some(TableId::new(2)))

@@ -20,6 +20,30 @@ pub enum Budget {
     Time(Duration),
     /// Stop after the given number of steps (deterministic; used in tests).
     Iterations(u64),
+    /// Stop at an absolute point in time (checked between steps). Unlike
+    /// [`Budget::Time`], the clock starts at budget creation rather than at
+    /// [`drive`] entry, so one deadline can span several `drive` calls —
+    /// the contract service schedulers need when an optimizer is stepped in
+    /// slices interleaved with other sessions.
+    Deadline(Instant),
+}
+
+impl Budget {
+    /// A deadline the given duration from now (convenience for
+    /// [`Budget::Deadline`]).
+    pub fn deadline_in(timeout: Duration) -> Budget {
+        Budget::Deadline(Instant::now() + timeout)
+    }
+
+    /// Whether the budget is exhausted after `steps` completed steps given
+    /// the drive started at `start`.
+    pub fn exhausted(&self, start: Instant, steps: u64) -> bool {
+        match *self {
+            Budget::Iterations(n) => steps >= n,
+            Budget::Time(limit) => start.elapsed() >= limit,
+            Budget::Deadline(at) => Instant::now() >= at,
+        }
+    }
 }
 
 /// Statistics returned by [`drive`].
@@ -54,12 +78,7 @@ pub trait Optimizer {
 pub trait Observer {
     /// Called after each step with the elapsed time since `drive` started,
     /// the 1-based step counter, and lazy access to the current frontier.
-    fn on_step(
-        &mut self,
-        elapsed: Duration,
-        step: u64,
-        frontier: &mut dyn FnMut() -> Vec<PlanRef>,
-    );
+    fn on_step(&mut self, elapsed: Duration, step: u64, frontier: &mut dyn FnMut() -> Vec<PlanRef>);
 }
 
 /// An [`Observer`] that ignores all notifications.
@@ -78,10 +97,8 @@ where
     let start = Instant::now();
     let mut stats = DriveStats::default();
     loop {
-        match budget {
-            Budget::Iterations(n) if stats.steps >= n => break,
-            Budget::Time(limit) if start.elapsed() >= limit => break,
-            _ => {}
+        if budget.exhausted(start, stats.steps) {
+            break;
         }
         let more = opt.step();
         stats.steps += 1;
@@ -163,6 +180,19 @@ mod tests {
         );
         assert!(stats.elapsed >= Duration::from_millis(20));
         assert!(stats.steps > 0);
+    }
+
+    #[test]
+    fn deadline_budget_spans_multiple_drives() {
+        // One absolute deadline governs several drive calls: the service
+        // scheduler steps optimizers in slices against a shared deadline.
+        let mut opt = Counting::new(usize::MAX);
+        let budget = Budget::deadline_in(Duration::from_millis(30));
+        let first = drive(&mut opt, budget, &mut NullObserver);
+        assert!(first.steps > 0);
+        std::thread::sleep(Duration::from_millis(35));
+        let after = drive(&mut opt, budget, &mut NullObserver);
+        assert_eq!(after.steps, 0, "expired deadline must not step");
     }
 
     #[test]

@@ -140,9 +140,11 @@ impl ParetoSet {
     /// formats (used for result archives where only cost tradeoffs matter).
     /// Returns `true` iff the plan was inserted.
     pub fn insert_cost_frontier(&mut self, new_plan: PlanRef) -> bool {
-        if self.plans.iter().any(|p| {
-            p.cost().strictly_dominates(new_plan.cost()) || p.cost() == new_plan.cost()
-        }) {
+        if self
+            .plans
+            .iter()
+            .any(|p| p.cost().strictly_dominates(new_plan.cost()) || p.cost() == new_plan.cost())
+        {
             return false;
         }
         self.plans
@@ -241,10 +243,7 @@ mod tests {
                 1 => [2.0, 1.0],
                 _ => [1.5, 1.5],
             };
-            let cost = outer
-                .cost()
-                .add(inner.cost())
-                .add(&CostVector::new(&extra));
+            let cost = outer.cost().add(inner.cost()).add(&CostVector::new(&extra));
             PlanProps {
                 cost,
                 rows: 100.0,

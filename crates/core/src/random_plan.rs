@@ -9,7 +9,7 @@
 //! — also `O(n)` and uniform over leaf-labelled tree shapes.
 
 use rand::seq::SliceRandom;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::model::CostModel;
 use crate::plan::{Plan, PlanRef};

@@ -114,8 +114,13 @@ impl RmqStats {
 }
 
 /// The RMQ optimizer (Algorithm 1).
-pub struct Rmq<'a, M: CostModel + ?Sized> {
-    model: &'a M,
+///
+/// Generic over how the model is held: pass `&model` for the classic
+/// borrowed one-shot usage, or an `Arc<Model>` to obtain a `'static`,
+/// `Send` optimizer that the optimization service can schedule across
+/// worker threads (see the blanket [`CostModel`] impls for `&M`/`Arc<M>`).
+pub struct Rmq<M: CostModel> {
+    model: M,
     query: TableSet,
     cfg: RmqConfig,
     cache: PlanCache,
@@ -126,12 +131,12 @@ pub struct Rmq<'a, M: CostModel + ?Sized> {
     stats: RmqStats,
 }
 
-impl<'a, M: CostModel + ?Sized> Rmq<'a, M> {
+impl<M: CostModel> Rmq<M> {
     /// Creates an optimizer for `query` over `model`.
     ///
     /// # Panics
     /// Panics if `query` is empty.
-    pub fn new(model: &'a M, query: TableSet, cfg: RmqConfig) -> Self {
+    pub fn new(model: M, query: TableSet, cfg: RmqConfig) -> Self {
         assert!(!query.is_empty(), "cannot optimize an empty query");
         Rmq {
             model,
@@ -153,11 +158,11 @@ impl<'a, M: CostModel + ?Sized> Rmq<'a, M> {
         //    (§4.1: both are exchanged together).
         let (plan, climb_cfg) = match self.cfg.space {
             PlanSpace::Bushy => (
-                random_plan(self.model, self.query, &mut self.rng),
+                random_plan(&self.model, self.query, &mut self.rng),
                 self.cfg.climb,
             ),
             PlanSpace::LeftDeep => (
-                random_left_deep_plan(self.model, self.query, &mut self.rng),
+                random_left_deep_plan(&self.model, self.query, &mut self.rng),
                 ClimbConfig {
                     mutations: MutationSet::LeftDeep,
                     ..self.cfg.climb
@@ -165,14 +170,14 @@ impl<'a, M: CostModel + ?Sized> Rmq<'a, M> {
             ),
         };
         // 2. Improve the plan via fast local search.
-        let (opt_plan, climb_stats) = pareto_climb(plan, self.model, &climb_cfg);
+        let (opt_plan, climb_stats) = pareto_climb(plan, &self.model, &climb_cfg);
         // 3. Approximate the Pareto frontiers of its intermediate results.
         let alpha = self.cfg.alpha.alpha(self.iteration);
         if self.cfg.share_cache {
-            approximate_frontiers(&opt_plan, self.model, &mut self.cache, alpha);
+            approximate_frontiers(&opt_plan, &self.model, &mut self.cache, alpha);
         } else {
             let mut private = PlanCache::new();
-            approximate_frontiers(&opt_plan, self.model, &mut private, alpha);
+            approximate_frontiers(&opt_plan, &self.model, &mut private, alpha);
             for p in private.frontier(self.query) {
                 self.results.insert_approx(p.clone(), alpha);
             }
@@ -202,13 +207,45 @@ impl<'a, M: CostModel + ?Sized> Rmq<'a, M> {
         &self.cache
     }
 
+    /// The cost model the optimizer runs against.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Warm-starts the optimizer by seeding its partial-plan cache with
+    /// previously optimized plans (§4.3's sharing mechanism, extended
+    /// across queries: the optimization service injects partial plans from
+    /// completed sessions over the same catalog). Only plans for strict
+    /// subsets-or-equal of this query's table set are useful; others are
+    /// ignored. Plans are inserted with exact pruning (α = 1) so a warm
+    /// start can never evict better plans found later. Returns the number
+    /// of plans absorbed into the cache.
+    ///
+    /// No effect when `share_cache` is disabled (the ablation mode has no
+    /// cross-iteration cache to seed).
+    pub fn warm_start<I>(&mut self, plans: I) -> usize
+    where
+        I: IntoIterator<Item = PlanRef>,
+    {
+        if !self.cfg.share_cache {
+            return 0;
+        }
+        let mut absorbed = 0;
+        for plan in plans {
+            if plan.rel().is_subset(self.query) && self.cache.insert(plan, 1.0) {
+                absorbed += 1;
+            }
+        }
+        absorbed
+    }
+
     /// The query being optimized.
     pub fn query(&self) -> TableSet {
         self.query
     }
 }
 
-impl<M: CostModel + ?Sized> Optimizer for Rmq<'_, M> {
+impl<M: CostModel> Optimizer for Rmq<M> {
     fn name(&self) -> &str {
         "RMQ"
     }
@@ -351,10 +388,9 @@ mod tests {
         }
         let late = rmq.frontier();
         for e in &early {
-            let covered = late.iter().any(|l| {
-                l.cost()
-                    .approx_dominates(e.cost(), 1.0 + 1e-9)
-            });
+            let covered = late
+                .iter()
+                .any(|l| l.cost().approx_dominates(e.cost(), 1.0 + 1e-9));
             assert!(covered, "later frontier lost coverage of an early plan");
         }
     }

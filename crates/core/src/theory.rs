@@ -19,7 +19,7 @@
 //! analysis itself is reproducible and testable, and Figure 3 (left) can be
 //! compared against the model's prediction.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// `u(n, i)` of Lemma 4: the probability that none of `n` random plans
 /// dominates all of `i` plans, with `l` cost metrics.
@@ -79,17 +79,14 @@ pub fn sample_path_length<R: Rng + ?Sized>(n: usize, l: usize, rng: &mut R) -> u
 /// that strictly dominates the current vector. Returns the number of
 /// vectors visited (including the start).
 pub fn simulate_vector_path<R: Rng + ?Sized>(n: usize, l: usize, rng: &mut R) -> usize {
-    assert!(l >= 1 && l <= 16);
+    assert!((1..=16).contains(&l));
     let mut current: Vec<f64> = (0..l).map(|_| rng.random()).collect();
     let mut visited = 1usize;
     'outer: loop {
         for _ in 0..n {
             let candidate: Vec<f64> = (0..l).map(|_| rng.random()).collect();
-            let dominates = candidate
-                .iter()
-                .zip(&current)
-                .all(|(c, x)| c <= x)
-                && candidate != current;
+            let dominates =
+                candidate.iter().zip(&current).all(|(c, x)| c <= x) && candidate != current;
             if dominates {
                 current = candidate;
                 visited += 1;
@@ -144,7 +141,10 @@ mod tests {
                 let e = expected_path_length(n, l);
                 assert!(e.is_finite() && e >= 1.0, "E[path] = {e} for n={n}, l={l}");
                 // Theorem 2: expected length is O(n); generously check <= 3n.
-                assert!(e <= 3.0 * n as f64, "E[path]={e} exceeds bound for n={n}, l={l}");
+                assert!(
+                    e <= 3.0 * n as f64,
+                    "E[path]={e} exceeds bound for n={n}, l={l}"
+                );
             }
         }
     }
@@ -155,7 +155,7 @@ mod tests {
         // l = 3; the model should be in the same small range.
         let e10 = expected_path_length(10, 3);
         let e100 = expected_path_length(100, 3);
-        assert!(e10 >= 1.0 && e10 <= 12.0, "e10 = {e10}");
+        assert!((1.0..=12.0).contains(&e10), "e10 = {e10}");
         assert!(e100 >= e10, "path length must grow with n");
         assert!(e100 <= 20.0, "e100 = {e100} unreasonably large");
     }

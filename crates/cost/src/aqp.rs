@@ -249,7 +249,10 @@ mod tests {
         let t = TableId::new(0);
         let exact = Plan::scan(&m, t, ScanOpId(4)); // density 1.0
         let sampled = Plan::scan(&m, t, ScanOpId(1)); // density 0.01
-        assert!(sampled.cost()[0] < exact.cost()[0], "sampling must be faster");
+        assert!(
+            sampled.cost()[0] < exact.cost()[0],
+            "sampling must be faster"
+        );
         assert!(
             sampled.cost()[1] > exact.cost()[1],
             "sampling must lose precision"
@@ -322,10 +325,17 @@ mod tests {
         let mut rmq = Rmq::new(&m, q, cfg);
         drive(&mut rmq, Budget::Iterations(80), &mut NullObserver);
         let frontier = rmq.frontier();
-        assert!(frontier.len() >= 3, "expected a rich frontier, got {}", frontier.len());
+        assert!(
+            frontier.len() >= 3,
+            "expected a rich frontier, got {}",
+            frontier.len()
+        );
         // The frontier must span from near-exact (low loss, slow) to
         // heavily sampled (high loss, fast).
-        let loss_min = frontier.iter().map(|p| p.cost()[1]).fold(f64::MAX, f64::min);
+        let loss_min = frontier
+            .iter()
+            .map(|p| p.cost()[1])
+            .fold(f64::MAX, f64::min);
         let loss_max = frontier.iter().map(|p| p.cost()[1]).fold(0.0, f64::max);
         assert!(loss_max > loss_min + 1.0, "no real precision spread");
         let time_of_precise = frontier

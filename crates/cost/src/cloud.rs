@@ -119,9 +119,8 @@ impl CloudCostModel {
     fn time_money(&self, work: f64, dop: u16) -> (f64, f64) {
         let dop_f = dop as f64;
         let time = work / dop_f.powf(self.params.parallel_efficiency);
-        let money =
-            self.params.rate * work * dop_f.powf(1.0 - self.params.parallel_efficiency)
-                + self.params.provisioning * dop_f;
+        let money = self.params.rate * work * dop_f.powf(1.0 - self.params.parallel_efficiency)
+            + self.params.provisioning * dop_f;
         (time.max(MIN_COST), money.max(MIN_COST))
     }
 }
@@ -170,9 +169,7 @@ impl CostModel for CloudCostModel {
             // Partition both sides, then probe.
             CloudJoinKind::Hash => 1.5 * (outer.pages() + inner.pages()) + 0.1 * pages,
             // Ship the inner to every worker: cheap for small inners.
-            CloudJoinKind::Broadcast => {
-                outer.pages() + inner.pages() * dop as f64 + 0.1 * pages
-            }
+            CloudJoinKind::Broadcast => outer.pages() + inner.pages() * dop as f64 + 0.1 * pages,
         };
         let (time, money) = self.time_money(work, dop);
         PlanProps {
@@ -269,7 +266,11 @@ mod tests {
         let mut rmq = Rmq::new(&m, q, cfg);
         drive(&mut rmq, Budget::Iterations(80), &mut NullObserver);
         let frontier = rmq.frontier();
-        assert!(frontier.len() >= 3, "expected a rich frontier, got {}", frontier.len());
+        assert!(
+            frontier.len() >= 3,
+            "expected a rich frontier, got {}",
+            frontier.len()
+        );
         // Frontier must be sorted-compatible: no plan dominates another.
         for a in &frontier {
             for b in &frontier {
@@ -279,7 +280,10 @@ mod tests {
             }
         }
         // And it must span a real tradeoff range.
-        let tmin = frontier.iter().map(|p| p.cost()[0]).fold(f64::MAX, f64::min);
+        let tmin = frontier
+            .iter()
+            .map(|p| p.cost()[0])
+            .fold(f64::MAX, f64::min);
         let tmax = frontier.iter().map(|p| p.cost()[0]).fold(0.0, f64::max);
         assert!(tmax / tmin > 1.5, "degenerate time range {tmin}..{tmax}");
     }

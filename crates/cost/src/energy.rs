@@ -322,10 +322,17 @@ mod tests {
         let mut rmq = Rmq::new(&m, q, cfg);
         drive(&mut rmq, Budget::Iterations(80), &mut NullObserver);
         let frontier = rmq.frontier();
-        assert!(frontier.len() >= 2, "expected a tradeoff, got {}", frontier.len());
+        assert!(
+            frontier.len() >= 2,
+            "expected a tradeoff, got {}",
+            frontier.len()
+        );
         // No frontier plan may run everything below the energy-optimal
         // frequency band: such plans are dominated (see above).
-        let tmin = frontier.iter().map(|p| p.cost()[0]).fold(f64::MAX, f64::min);
+        let tmin = frontier
+            .iter()
+            .map(|p| p.cost()[0])
+            .fold(f64::MAX, f64::min);
         let tmax = frontier.iter().map(|p| p.cost()[0]).fold(0.0, f64::max);
         assert!(tmax > tmin, "degenerate frontier");
     }

@@ -127,7 +127,11 @@ impl JoinOp {
     /// Decodes a [`JoinOpId`] (`id = kind_index · 2 + materialize`).
     pub fn from_id(op: JoinOpId) -> JoinOp {
         let idx = (op.0 / 2) as usize;
-        assert!(idx < JoinKind::ALL.len(), "unknown join operator id {}", op.0);
+        assert!(
+            idx < JoinKind::ALL.len(),
+            "unknown join operator id {}",
+            op.0
+        );
         JoinOp {
             kind: JoinKind::ALL[idx],
             materialize: op.0 % 2 == 1,
@@ -339,14 +343,20 @@ mod tests {
     fn bnl_time_grows_with_outer_blocks() {
         let p = ResourceParams::default();
         let small = join_use(
-            JoinOp { kind: JoinKind::BnlSmall, materialize: false },
+            JoinOp {
+                kind: JoinKind::BnlSmall,
+                materialize: false,
+            },
             100.0,
             50.0,
             10.0,
             &p,
         );
         let large = join_use(
-            JoinOp { kind: JoinKind::BnlLarge, materialize: false },
+            JoinOp {
+                kind: JoinKind::BnlLarge,
+                materialize: false,
+            },
             100.0,
             50.0,
             10.0,
@@ -362,9 +372,36 @@ mod tests {
     fn operator_space_spans_three_way_tradeoffs() {
         let p = ResourceParams::default();
         let (po, pi, pout) = (200.0, 150.0, 40.0);
-        let hash = join_use(JoinOp { kind: JoinKind::Hash, materialize: false }, po, pi, pout, &p);
-        let grace = join_use(JoinOp { kind: JoinKind::GraceHash, materialize: false }, po, pi, pout, &p);
-        let bnl = join_use(JoinOp { kind: JoinKind::BnlSmall, materialize: false }, po, pi, pout, &p);
+        let hash = join_use(
+            JoinOp {
+                kind: JoinKind::Hash,
+                materialize: false,
+            },
+            po,
+            pi,
+            pout,
+            &p,
+        );
+        let grace = join_use(
+            JoinOp {
+                kind: JoinKind::GraceHash,
+                materialize: false,
+            },
+            po,
+            pi,
+            pout,
+            &p,
+        );
+        let bnl = join_use(
+            JoinOp {
+                kind: JoinKind::BnlSmall,
+                materialize: false,
+            },
+            po,
+            pi,
+            pout,
+            &p,
+        );
         // Hash is fastest but most buffer-hungry.
         assert!(hash.time < grace.time && hash.time < bnl.time);
         assert!(hash.buffer > grace.buffer && hash.buffer > bnl.buffer);
@@ -377,8 +414,26 @@ mod tests {
     #[test]
     fn materialization_surcharge() {
         let p = ResourceParams::default();
-        let pipe = join_use(JoinOp { kind: JoinKind::Hash, materialize: false }, 10.0, 10.0, 5.0, &p);
-        let mat = join_use(JoinOp { kind: JoinKind::Hash, materialize: true }, 10.0, 10.0, 5.0, &p);
+        let pipe = join_use(
+            JoinOp {
+                kind: JoinKind::Hash,
+                materialize: false,
+            },
+            10.0,
+            10.0,
+            5.0,
+            &p,
+        );
+        let mat = join_use(
+            JoinOp {
+                kind: JoinKind::Hash,
+                materialize: true,
+            },
+            10.0,
+            10.0,
+            5.0,
+            &p,
+        );
         assert_eq!(mat.time, pipe.time + 5.0);
         assert_eq!(mat.disk, pipe.disk + 5.0);
         assert_eq!(mat.buffer, pipe.buffer);

@@ -224,9 +224,9 @@ mod tests {
     use super::*;
     use moqo_catalog::CatalogBuilder;
     use moqo_core::climb::{pareto_climb, ClimbConfig};
+    use moqo_core::optimizer::{drive, Budget, NullObserver};
     use moqo_core::random_plan::random_plan;
     use moqo_core::rmq::{Rmq, RmqConfig};
-    use moqo_core::optimizer::{drive, Budget, NullObserver};
     use moqo_core::tables::TableSet;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -244,10 +244,7 @@ mod tests {
     #[test]
     fn metric_projection_orders_components() {
         let c = star_catalog(3);
-        let m = ResourceCostModel::new(
-            c,
-            &[ResourceMetric::Disk, ResourceMetric::Time],
-        );
+        let m = ResourceCostModel::new(c, &[ResourceMetric::Disk, ResourceMetric::Time]);
         assert_eq!(m.dim(), 2);
         assert_eq!(m.metric_name(0), "disk");
         assert_eq!(m.metric_name(1), "time");
@@ -286,7 +283,11 @@ mod tests {
             &m,
             s0,
             s1,
-            JoinOp { kind: crate::operators::JoinKind::Hash, materialize: false }.id(),
+            JoinOp {
+                kind: crate::operators::JoinKind::Hash,
+                materialize: false,
+            }
+            .id(),
         );
         assert_eq!(pipe.format(), STREAM);
         let mut ops = Vec::new();
@@ -300,7 +301,11 @@ mod tests {
             &m,
             pipe.outer().unwrap().clone(),
             pipe.inner().unwrap().clone(),
-            JoinOp { kind: crate::operators::JoinKind::Hash, materialize: true }.id(),
+            JoinOp {
+                kind: crate::operators::JoinKind::Hash,
+                materialize: true,
+            }
+            .id(),
         );
         assert_eq!(mat.format(), STORED);
         ops.clear();
@@ -373,7 +378,13 @@ mod tests {
         let m = ResourceCostModel::full(c);
         assert_eq!(m.scan_op_name(ScanKind::Index.id()), "IdxScan");
         assert!(m
-            .join_op_name(JoinOp { kind: crate::operators::JoinKind::GraceHash, materialize: true }.id())
+            .join_op_name(
+                JoinOp {
+                    kind: crate::operators::JoinKind::GraceHash,
+                    materialize: true
+                }
+                .id()
+            )
             .contains("Grace"));
         assert_eq!(m.format_name(STREAM), "stream");
         assert_eq!(m.format_name(STORED), "stored");

@@ -11,7 +11,7 @@
 use moqo_catalog::Catalog;
 use moqo_core::tables::TableId;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Configuration of synthetic data generation.
 #[derive(Clone, Copy, Debug)]
@@ -71,9 +71,9 @@ impl Database {
         }
 
         let mut tables = Vec::with_capacity(n);
-        for t in 0..n {
+        for (t, edges) in incident_edges.iter().enumerate() {
             let rows = ((catalog.rows(TableId::new(t)) * scale).round() as usize).max(2);
-            let columns = incident_edges[t]
+            let columns = edges
                 .iter()
                 .map(|&e| {
                     let sel = catalog.edges()[e].selectivity;
@@ -114,9 +114,7 @@ impl Database {
     /// # Panics
     /// Panics if the edge is not incident to `t`.
     pub fn key(&self, t: TableId, edge_id: usize, row: usize) -> i64 {
-        let col = self
-            .edge_index(t, edge_id)
-            .expect("edge incident to table");
+        let col = self.edge_index(t, edge_id).expect("edge incident to table");
         self.tables[t.index()].columns[col][row]
     }
 }
@@ -134,7 +132,13 @@ mod tests {
             seed,
         }
         .generate();
-        let db = Database::generate(&catalog, DataGenConfig { seed, max_rows: 500 });
+        let db = Database::generate(
+            &catalog,
+            DataGenConfig {
+                seed,
+                max_rows: 500,
+            },
+        );
         (catalog, db)
     }
 
@@ -176,8 +180,21 @@ mod tests {
 
     #[test]
     fn realized_selectivity_matches_catalog() {
-        let (catalog, db) = small_db(7);
-        // For the first edge, count matches by brute force and compare to
+        // Fixed cardinalities/selectivity so the expected match count is
+        // large regardless of the RNG stream backing table generation.
+        let mut builder = Catalog::builder();
+        let ta = builder.add_table("a", 300.0);
+        let tb = builder.add_table("b", 400.0);
+        builder.add_join(ta, tb, 0.01);
+        let catalog = builder.build();
+        let db = Database::generate(
+            &catalog,
+            DataGenConfig {
+                seed: 7,
+                max_rows: 500,
+            },
+        );
+        // For the only edge, count matches by brute force and compare to
         // |A||B|*sel within generous sampling tolerance.
         let edge = catalog.edges()[0];
         let (a, b) = (edge.a, edge.b);

@@ -28,6 +28,6 @@ pub mod datagen;
 pub mod engine;
 pub mod stats;
 
-pub use datagen::{Database, DataGenConfig};
+pub use datagen::{DataGenConfig, Database};
 pub use engine::{execute, ExecError, ResultSet};
 pub use stats::ExecStats;

@@ -72,9 +72,7 @@ impl AlgorithmKind {
         seed: u64,
     ) -> Box<dyn Optimizer + 'a> {
         match self {
-            AlgorithmKind::DpInfinity => {
-                Box::new(DpOptimizer::new(model, query, f64::INFINITY))
-            }
+            AlgorithmKind::DpInfinity => Box::new(DpOptimizer::new(model, query, f64::INFINITY)),
             AlgorithmKind::Dp1000 => Box::new(DpOptimizer::new(model, query, 1000.0)),
             AlgorithmKind::Dp2 => Box::new(DpOptimizer::new(model, query, 2.0)),
             AlgorithmKind::Dp101 => Box::new(DpOptimizer::new(model, query, 1.01)),
@@ -82,9 +80,7 @@ impl AlgorithmKind {
             AlgorithmKind::TwoPhase => Box::new(TwoPhase::new(model, query, seed)),
             AlgorithmKind::NsgaII => Box::new(Nsga2::new(model, query, seed)),
             AlgorithmKind::Ii => Box::new(IterativeImprovement::new(model, query, seed)),
-            AlgorithmKind::Rmq => {
-                Box::new(Rmq::new(model, query, RmqConfig::seeded(seed)))
-            }
+            AlgorithmKind::Rmq => Box::new(Rmq::new(model, query, RmqConfig::seeded(seed))),
             AlgorithmKind::WeightedSum => Box::new(WeightedSum::new(model, query, seed)),
         }
     }
@@ -128,7 +124,16 @@ mod tests {
         let names: Vec<&str> = AlgorithmKind::PAPER_SET.iter().map(|k| k.name()).collect();
         assert_eq!(
             names,
-            vec!["DP(Infinity)", "DP(1000)", "DP(2)", "SA", "2P", "NSGA-II", "II", "RMQ"]
+            vec![
+                "DP(Infinity)",
+                "DP(1000)",
+                "DP(2)",
+                "SA",
+                "2P",
+                "NSGA-II",
+                "II",
+                "RMQ"
+            ]
         );
     }
 

@@ -7,16 +7,46 @@ use moqo_harness::AlgorithmKind;
 use moqo_workload::{GraphShape, SelectivityMethod, WorkloadSpec};
 
 fn main() {
-    for (n, shape) in [(10, GraphShape::Chain), (25, GraphShape::Star), (50, GraphShape::Cycle), (100, GraphShape::Star)] {
-        let (catalog, query) = WorkloadSpec { tables: n, shape, selectivity: SelectivityMethod::Steinbrunn, seed: 1 }.generate();
-        let model = ResourceCostModel::new(catalog, &[ResourceMetric::Time, ResourceMetric::Buffer]);
+    for (n, shape) in [
+        (10, GraphShape::Chain),
+        (25, GraphShape::Star),
+        (50, GraphShape::Cycle),
+        (100, GraphShape::Star),
+    ] {
+        let (catalog, query) = WorkloadSpec {
+            tables: n,
+            shape,
+            selectivity: SelectivityMethod::Steinbrunn,
+            seed: 1,
+        }
+        .generate();
+        let model =
+            ResourceCostModel::new(catalog, &[ResourceMetric::Time, ResourceMetric::Buffer]);
         println!("== n={n} {:?} ==", shape);
-        for kind in [AlgorithmKind::DpInfinity, AlgorithmKind::Dp2, AlgorithmKind::Rmq, AlgorithmKind::Ii, AlgorithmKind::NsgaII, AlgorithmKind::Sa] {
+        for kind in [
+            AlgorithmKind::DpInfinity,
+            AlgorithmKind::Dp2,
+            AlgorithmKind::Rmq,
+            AlgorithmKind::Ii,
+            AlgorithmKind::NsgaII,
+            AlgorithmKind::Sa,
+        ] {
             let mut opt = kind.build(&model, query.tables(), 7);
             let t0 = Instant::now();
-            let stats = drive(&mut *opt, Budget::Time(std::time::Duration::from_millis(1000)), &mut NullObserver);
+            let stats = drive(
+                &mut *opt,
+                Budget::Time(std::time::Duration::from_millis(1000)),
+                &mut NullObserver,
+            );
             let f = opt.frontier();
-            println!("  {:<13} steps={:<8} exhausted={} frontier={} elapsed={:?}", kind.name(), stats.steps, stats.exhausted, f.len(), t0.elapsed());
+            println!(
+                "  {:<13} steps={:<8} exhausted={} frontier={} elapsed={:?}",
+                kind.name(),
+                stats.steps,
+                stats.exhausted,
+                f.len(),
+                t0.elapsed()
+            );
         }
     }
 }

@@ -92,10 +92,8 @@ fn main() {
             print!("{}", render_fig3(&rows));
             if let Some(dir) = &out_dir {
                 std::fs::create_dir_all(dir).expect("create output dir");
-                std::fs::write(dir.join("fig3.txt"), render_fig3(&rows))
-                    .expect("write fig3.txt");
-                std::fs::write(dir.join("fig3.csv"), fig3_to_csv(&rows))
-                    .expect("write fig3.csv");
+                std::fs::write(dir.join("fig3.txt"), render_fig3(&rows)).expect("write fig3.txt");
+                std::fs::write(dir.join("fig3.csv"), fig3_to_csv(&rows)).expect("write fig3.csv");
             }
         } else {
             let spec = spec_for(id, &env).expect("validated above");

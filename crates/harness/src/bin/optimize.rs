@@ -78,10 +78,12 @@ fn parse_args() -> Options {
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut value = |name: &str| args.next().unwrap_or_else(|| {
-            eprintln!("{name} requires a value");
-            usage()
-        });
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                usage()
+            })
+        };
         match arg.as_str() {
             "--catalog" => opts.catalog = Some(value("--catalog")),
             "--model" => opts.model = value("--model"),
@@ -111,7 +113,9 @@ fn parse_args() -> Options {
             }
             "--bound" => {
                 let spec = value("--bound");
-                let Some((k, v)) = spec.split_once('=') else { usage() };
+                let Some((k, v)) = spec.split_once('=') else {
+                    usage()
+                };
                 let k: usize = k.parse().unwrap_or_else(|_| usage());
                 let v: f64 = v.parse().unwrap_or_else(|_| usage());
                 opts.bounds.push((k, v));
@@ -157,7 +161,10 @@ fn optimize_and_report<M: CostModel>(model: &M, opts: &Options) {
     );
     println!("{}", frontier_table(&frontier, model));
     if opts.scatter && model.dim() >= 2 {
-        println!("{}", scatter_plans(&frontier, model, &ScatterConfig::default()));
+        println!(
+            "{}",
+            scatter_plans(&frontier, model, &ScatterConfig::default())
+        );
     }
     if let Some(weights) = &opts.weights {
         if weights.len() != model.dim() {

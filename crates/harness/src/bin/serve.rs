@@ -1,0 +1,220 @@
+//! `serve` — replay generated query traffic against the optimization
+//! service and report serving metrics.
+//!
+//! ```text
+//! Usage: serve [OPTIONS]
+//!
+//!   --sessions N       total sessions to replay (default 24)
+//!   --waves K          submit sessions in K waves; later waves warm-start
+//!                      from earlier waves' published plans (default 3)
+//!   --workers W        scheduler worker threads (default 3)
+//!   --tables T         tables in the shared catalog (default 12)
+//!   --min-tables N     minimum tables per query (default T/2)
+//!   --max-tables N     maximum tables per query (default T)
+//!   --budget-ms MS     per-session time budget (default: iterations)
+//!   --iters N          per-session iteration budget (default 60)
+//!   --seed S           RNG seed (default 42)
+//! ```
+//!
+//! Prints one line per session (steps, frontier size, warm-start plans,
+//! time to first frontier) and a closing service summary: throughput,
+//! p50/p99 time-to-first-frontier, and the cross-query cache hit rate.
+
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+use moqo_catalog::Catalog;
+use moqo_core::optimizer::Budget;
+use moqo_core::rmq::{Rmq, RmqConfig};
+use moqo_cost::{ResourceCostModel, ResourceMetric};
+use moqo_service::{
+    context_fingerprint, OptimizationService, ServiceConfig, SessionHandle, SessionRequest,
+};
+use moqo_workload::{GraphShape, SelectivityMethod, TrafficSpec};
+
+struct Options {
+    sessions: usize,
+    waves: usize,
+    workers: usize,
+    tables: usize,
+    min_tables: Option<usize>,
+    max_tables: Option<usize>,
+    budget_ms: Option<u64>,
+    iters: u64,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--sessions N] [--waves K] [--workers W] [--tables T] \
+         [--min-tables N] [--max-tables N] [--budget-ms MS] [--iters N] [--seed S]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        sessions: 24,
+        waves: 3,
+        workers: 3,
+        tables: 12,
+        min_tables: None,
+        max_tables: None,
+        budget_ms: None,
+        iters: 60,
+        seed: 42,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                usage()
+            })
+        };
+        let parsed = |name: &str, v: String| -> u64 {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--sessions" => opts.sessions = parsed("--sessions", value("--sessions")) as usize,
+            "--waves" => opts.waves = parsed("--waves", value("--waves")).max(1) as usize,
+            // At least one worker: zero would admit sessions nothing steps.
+            "--workers" => opts.workers = parsed("--workers", value("--workers")).max(1) as usize,
+            "--tables" => opts.tables = parsed("--tables", value("--tables")) as usize,
+            "--min-tables" => {
+                opts.min_tables = Some(parsed("--min-tables", value("--min-tables")) as usize)
+            }
+            "--max-tables" => {
+                opts.max_tables = Some(parsed("--max-tables", value("--max-tables")) as usize)
+            }
+            "--budget-ms" => opts.budget_ms = Some(parsed("--budget-ms", value("--budget-ms"))),
+            "--iters" => opts.iters = parsed("--iters", value("--iters")),
+            "--seed" => opts.seed = parsed("--seed", value("--seed")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage()
+            }
+        }
+    }
+    opts
+}
+
+fn fmt_ms(d: Option<Duration>) -> String {
+    match d {
+        Some(d) => format!("{:.2}ms", d.as_secs_f64() * 1e3),
+        None => "-".to_string(),
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let spec = TrafficSpec {
+        catalog_tables: opts.tables,
+        shape: GraphShape::Chain,
+        selectivity: SelectivityMethod::Steinbrunn,
+        queries: opts.sessions,
+        min_query_tables: opts.min_tables.unwrap_or((opts.tables / 2).max(2)),
+        max_query_tables: opts.max_tables.unwrap_or(opts.tables),
+        seed: opts.seed,
+    };
+    let (catalog, queries) = spec.generate();
+    let metrics = [ResourceMetric::Time, ResourceMetric::Buffer];
+    let model = Arc::new(ResourceCostModel::new(Arc::clone(&catalog), &metrics));
+    let context = context_fingerprint(catalog.fingerprint(), "resource:time,buffer");
+    let budget = match opts.budget_ms {
+        Some(ms) => Budget::Time(Duration::from_millis(ms)),
+        None => Budget::Iterations(opts.iters),
+    };
+
+    println!(
+        "serve: {} sessions in {} wave(s), {} workers, catalog fp {:016x}",
+        opts.sessions,
+        opts.waves,
+        opts.workers,
+        catalog.fingerprint()
+    );
+    print_catalog_summary(&catalog);
+
+    let wave_size = opts.sessions.div_ceil(opts.waves);
+    let mut config = ServiceConfig {
+        workers: opts.workers,
+        ..ServiceConfig::default()
+    };
+    // A whole wave is submitted before waiting, so admission must have
+    // room for it — otherwise large `--sessions` runs abort on QueueFull.
+    config.admission.max_live_sessions = config.admission.max_live_sessions.max(wave_size);
+    let service = OptimizationService::new(config);
+
+    let mut session_no = 0usize;
+    for (wave, chunk) in queries.chunks(wave_size.max(1)).enumerate() {
+        println!("-- wave {} ({} sessions)", wave + 1, chunk.len());
+        let handles: Vec<(usize, usize, SessionHandle)> = chunk
+            .iter()
+            .map(|query| {
+                let seed = opts.seed ^ (session_no as u64).wrapping_mul(0x9e37);
+                let request = SessionRequest {
+                    optimizer: Box::new(Rmq::new(
+                        Arc::clone(&model),
+                        query.tables(),
+                        RmqConfig::seeded(seed),
+                    )),
+                    budget,
+                    query: query.tables(),
+                    context,
+                };
+                session_no += 1;
+                let handle = service.submit(request).unwrap_or_else(|e| {
+                    eprintln!("session rejected: {e}");
+                    exit(1)
+                });
+                (session_no - 1, query.len(), handle)
+            })
+            .collect();
+        for (no, tables, handle) in handles {
+            let done = handle
+                .wait_done(Duration::from_secs(600))
+                .expect("session completes");
+            println!(
+                "  s{no:<3} tables={tables:<2} steps={:<5} frontier={:<3} warm-start={:<3} status={:?}",
+                done.steps,
+                done.plans.len(),
+                handle.absorbed_plans(),
+                done.status,
+            );
+        }
+    }
+
+    let stats = service.stats();
+    println!("-- service summary");
+    println!("  submitted       {}", stats.submitted);
+    println!("  completed       {}", stats.completed);
+    println!("  rejected        {}", stats.rejected);
+    println!("  total steps     {}", stats.total_steps);
+    println!(
+        "  throughput      {:.1} sessions/s",
+        stats.throughput_per_sec
+    );
+    println!("  ttff p50        {}", fmt_ms(stats.ttff_p50));
+    println!("  ttff p99        {}", fmt_ms(stats.ttff_p99));
+    println!(
+        "  cache           {} plans / {} entries, hit rate {:.0}% ({} hits / {} lookups)",
+        stats.cache.plans,
+        stats.cache.entries,
+        stats.cache.hit_rate() * 100.0,
+        stats.cache.hits,
+        stats.cache.lookups,
+    );
+}
+
+fn print_catalog_summary(catalog: &Catalog) {
+    println!(
+        "catalog: {} tables, {} join edges",
+        catalog.num_tables(),
+        catalog.edges().len()
+    );
+}

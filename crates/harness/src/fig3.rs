@@ -10,7 +10,7 @@
 //! measurement.
 //!
 //! Path lengths are iteration statistics (no wall clock involved), so test
-//! cases run in parallel via crossbeam's scoped threads.
+//! cases run in parallel via `std::thread::scope`.
 
 use moqo_core::optimizer::{drive, Budget, NullObserver};
 use moqo_core::rmq::{Rmq, RmqConfig};
@@ -83,10 +83,10 @@ fn run_point(spec: &Fig3Spec, shape: GraphShape, size: usize) -> Fig3Row {
     };
     // Independent test cases in parallel: path-length statistics are
     // iteration-based, so wall-clock contention cannot distort them.
-    let case_results: Vec<(Vec<usize>, usize)> = crossbeam::thread::scope(|scope| {
+    let case_results: Vec<(Vec<usize>, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..spec.cases)
             .map(|case| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let workload = WorkloadSpec {
                         tables: size,
                         shape,
@@ -104,14 +104,20 @@ fn run_point(spec: &Fig3Spec, shape: GraphShape, size: usize) -> Fig3Row {
                             &[shape_idx, size as u64, case as u64, 2],
                         )),
                     );
-                    drive(&mut rmq, Budget::Iterations(spec.iterations), &mut NullObserver);
+                    drive(
+                        &mut rmq,
+                        Budget::Iterations(spec.iterations),
+                        &mut NullObserver,
+                    );
                     (rmq.stats().path_lengths.clone(), rmq.frontier().len())
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("case thread")).collect()
-    })
-    .expect("crossbeam scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("case thread"))
+            .collect()
+    });
 
     let all_paths: Vec<usize> = case_results.iter().flat_map(|(p, _)| p.clone()).collect();
     let pareto_counts: Vec<usize> = case_results.iter().map(|(_, c)| *c).collect();
@@ -120,10 +126,8 @@ fn run_point(spec: &Fig3Spec, shape: GraphShape, size: usize) -> Fig3Row {
         size,
         median_path_length: median_usize(&all_paths).unwrap_or(0.0),
         predicted_path_length: theory::expected_path_length(size, ResourceMetric::ALL.len()),
-        median_pareto_plans: median(
-            &pareto_counts.iter().map(|&c| c as f64).collect::<Vec<_>>(),
-        )
-        .unwrap_or(0.0),
+        median_pareto_plans: median(&pareto_counts.iter().map(|&c| c as f64).collect::<Vec<_>>())
+            .unwrap_or(0.0),
     }
 }
 
@@ -157,11 +161,13 @@ mod tests {
     #[test]
     fn pareto_plan_count_grows_with_query_size() {
         // The paper's Fig 3 (right): more tables → more Pareto plans.
+        // Enough cases/iterations that the median is a stable statistic
+        // regardless of the RNG stream backing plan generation.
         let spec = Fig3Spec {
             shapes: vec![GraphShape::Chain],
             sizes: vec![4, 20],
-            iterations: 30,
-            cases: 2,
+            iterations: 60,
+            cases: 4,
             seed: 0xF4,
         };
         let rows = run_fig3(&spec);

@@ -59,9 +59,8 @@ pub struct FigureSpec {
 
 impl FigureSpec {
     fn apply(mut self, env: &EnvConfig) -> Self {
-        self.budget = Duration::from_secs_f64(
-            (self.budget.as_secs_f64() * env.time_scale).max(0.001),
-        );
+        self.budget =
+            Duration::from_secs_f64((self.budget.as_secs_f64() * env.time_scale).max(0.001));
         if let Some(cases) = env.cases_override {
             self.cases = cases.max(1);
         }
@@ -208,7 +207,7 @@ impl FigureSpec {
             algorithms: vec![AlgorithmKind::Ii, AlgorithmKind::Rmq],
             reference: ReferenceKind::UnionOfAll,
             alpha_cap: None,
-            seed: 0x5770_7e,
+            seed: 0x0057_707e,
         }
     }
 }

@@ -12,9 +12,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::algorithms::AlgorithmKind;
+use crate::derive_seed;
 use crate::figures::{FigureSpec, ReferenceKind};
 use crate::stats::median;
-use crate::derive_seed;
 
 /// Aggregated result of one panel (one shape × size cell of a figure).
 #[derive(Clone, Debug)]

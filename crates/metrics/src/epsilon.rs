@@ -41,10 +41,7 @@ pub fn epsilon_indicator(reference: &[CostVector], approx: &[CostVector]) -> f64
 pub fn pareto_filter(costs: &[CostVector]) -> Vec<CostVector> {
     let mut frontier: Vec<CostVector> = Vec::new();
     for c in costs {
-        if frontier
-            .iter()
-            .any(|f| f.strictly_dominates(c) || f == c)
-        {
+        if frontier.iter().any(|f| f.strictly_dominates(c) || f == c) {
             continue;
         }
         frontier.retain(|f| !c.strictly_dominates(f));

@@ -108,8 +108,7 @@ mod tests {
     #[test]
     fn dominated_points_add_nothing() {
         let base = hypervolume(&[cv(&[1.0, 1.0])], &cv(&[2.0, 2.0]));
-        let with_dominated =
-            hypervolume(&[cv(&[1.0, 1.0]), cv(&[1.5, 1.5])], &cv(&[2.0, 2.0]));
+        let with_dominated = hypervolume(&[cv(&[1.0, 1.0]), cv(&[1.5, 1.5])], &cv(&[2.0, 2.0]));
         assert!((base - with_dominated).abs() < 1e-12);
     }
 

@@ -119,7 +119,7 @@ impl Preferences {
         self.bounds
             .iter()
             .enumerate()
-            .all(|(k, b)| b.map_or(true, |b| cost[k] <= b))
+            .all(|(k, b)| b.is_none_or(|b| cost[k] <= b))
     }
 
     /// The weighted scalar cost of a cost vector.
@@ -237,9 +237,7 @@ mod tests {
         // inside the hull's chord but Pareto-optimal.
         let model = StubModel::line(1, 2, 1);
         let t = moqo_core::tables::TableId::new(0);
-        let mk = |_i: usize| {
-            moqo_core::plan::Plan::scan(&model, t, model.scan_ops(t)[0])
-        };
+        let mk = |_i: usize| moqo_core::plan::Plan::scan(&model, t, model.scan_ops(t)[0]);
         // Use the real plan only as a carrier; test utility math directly.
         let p = mk(0);
         let hull_a = CostVector::new(&[1.0, 10.0]);

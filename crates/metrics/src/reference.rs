@@ -101,7 +101,11 @@ mod tests {
     #[test]
     fn from_plan_sets_unions_algorithm_outputs() {
         let m = StubModel::line(2, 2, 3);
-        let a = vec![Plan::scan(&m, TableId::new(0), m.scan_ops(TableId::new(0))[0])];
+        let a = vec![Plan::scan(
+            &m,
+            TableId::new(0),
+            m.scan_ops(TableId::new(0))[0],
+        )];
         let b = vec![Plan::scan(&m, TableId::new(0), ScanOpId(1))];
         let r = ReferenceFrontier::from_plan_sets([a.as_slice(), b.as_slice()]);
         // The two scan variants are incomparable tradeoffs in StubModel.

@@ -24,7 +24,9 @@ pub mod checkpoints {
     /// `count` evenly spaced checkpoints over `(0, total]`.
     pub fn linear(count: usize, total: Duration) -> Vec<Duration> {
         assert!(count >= 1);
-        (1..=count).map(|i| total * i as u32 / count as u32).collect()
+        (1..=count)
+            .map(|i| total * i as u32 / count as u32)
+            .collect()
     }
 
     /// `count` geometrically spaced checkpoints ending at `total` (denser
@@ -194,10 +196,7 @@ mod tests {
         // Snapshots that only gain plans can only improve alpha.
         let c1 = CostVector::new(&[4.0, 1.0]);
         let c2 = CostVector::new(&[1.0, 4.0]);
-        let t = Trajectory::from_parts(
-            vec![ms(1), ms(2)],
-            vec![vec![c1], vec![c1, c2]],
-        );
+        let t = Trajectory::from_parts(vec![ms(1), ms(2)], vec![vec![c1], vec![c1, c2]]);
         let r = ReferenceFrontier::from_costs(&[c1, c2]);
         let series = t.alpha_series(&r);
         assert!(series[0] >= series[1]);

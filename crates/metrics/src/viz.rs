@@ -176,7 +176,10 @@ mod tests {
     use moqo_core::tables::TableSet;
 
     fn costs(points: &[(f64, f64)]) -> Vec<CostVector> {
-        points.iter().map(|&(x, y)| CostVector::new(&[x, y])).collect()
+        points
+            .iter()
+            .map(|&(x, y)| CostVector::new(&[x, y]))
+            .collect()
     }
 
     #[test]

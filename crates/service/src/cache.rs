@@ -1,0 +1,370 @@
+//! The bounded cross-query partial-plan cache.
+//!
+//! RMQ's in-optimizer plan cache shares partial plans **across iterations**
+//! of one query (§4.3 of the paper). This module extends that sharing
+//! **across queries**: when a session finishes, its non-dominated partial
+//! plans are published here keyed by `(context fingerprint, table set)`;
+//! when a new session is admitted, every published frontier whose table set
+//! is contained in the new query is injected into the fresh optimizer's
+//! cache (an exact-pruning warm start, see `Rmq::warm_start`).
+//!
+//! The **context fingerprint** must capture everything that makes two
+//! sessions' cost vectors comparable: the catalog statistics *and* the cost
+//! model configuration (metrics, model kind). Use
+//! [`context_fingerprint`](crate::context_fingerprint) to derive one from
+//! `Catalog::fingerprint` plus a model tag.
+//!
+//! The cache is bounded by total stored plans; eviction is
+//! least-recently-used at entry (table-set) granularity.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use moqo_core::plan::PlanRef;
+use moqo_core::tables::TableSet;
+
+/// Configuration of the cross-query plan cache.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Upper bound on the total number of cached plans across all entries.
+    /// `0` disables cross-query caching entirely.
+    pub max_plans: usize,
+    /// Upper bound on plans kept per `(context, table set)` entry. When a
+    /// publish would grow an entry past the cap, the established frontier
+    /// is kept and the newcomer is dropped (a newcomer that *dominates*
+    /// cached plans always gets in, because its victims are evicted
+    /// first). With dominance pruning, entries rarely approach the cap.
+    pub max_plans_per_entry: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            max_plans: 50_000,
+            max_plans_per_entry: 64,
+        }
+    }
+}
+
+/// Point-in-time counters of the cross-query cache.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Warm-start lookups performed (one per admitted session).
+    pub lookups: u64,
+    /// Lookups that returned at least one plan.
+    pub hits: u64,
+    /// Plans currently stored.
+    pub plans: usize,
+    /// Entries (distinct `(context, table set)` keys) currently stored.
+    pub entries: usize,
+    /// Plans ever published into the cache.
+    pub published: u64,
+    /// Plans evicted by the size bound.
+    pub evicted: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that found overlapping cached state.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+struct Entry {
+    plans: Vec<PlanRef>,
+    last_used: u64,
+}
+
+struct CacheInner {
+    /// Two-level map: context fingerprint → table set → entry, so
+    /// warm-start lookups stay confined to one context's entries instead
+    /// of walking every cached context. (Global eviction still scans all
+    /// entries — once per overflowing publish, see `publish`.)
+    map: HashMap<u64, HashMap<TableSet, Entry>>,
+    clock: u64,
+    total_plans: usize,
+    lookups: u64,
+    hits: u64,
+    published: u64,
+    evicted: u64,
+}
+
+/// The shared, bounded cross-query plan cache.
+pub(crate) struct SharedPlanCache {
+    config: CacheConfig,
+    inner: Mutex<CacheInner>,
+}
+
+impl SharedPlanCache {
+    pub(crate) fn new(config: CacheConfig) -> Self {
+        SharedPlanCache {
+            config,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                clock: 0,
+                total_plans: 0,
+                lookups: 0,
+                hits: 0,
+                published: 0,
+                evicted: 0,
+            }),
+        }
+    }
+
+    /// Collects every cached plan for `context` whose table set is
+    /// contained in `query` — the warm-start set for a new session. Only
+    /// the matching context's entries are scanned.
+    pub(crate) fn lookup(&self, context: u64, query: TableSet) -> Vec<PlanRef> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.lookups += 1;
+        inner.clock += 1;
+        let clock = inner.clock;
+        let mut out = Vec::new();
+        if let Some(entries) = inner.map.get_mut(&context) {
+            for (rel, entry) in entries.iter_mut() {
+                if rel.is_subset(query) {
+                    entry.last_used = clock;
+                    out.extend_from_slice(&entry.plans);
+                }
+            }
+        }
+        if !out.is_empty() {
+            inner.hits += 1;
+        }
+        out
+    }
+
+    /// Publishes a finished session's partial plans under `context`,
+    /// grouping them by table set, pruning by Pareto dominance within
+    /// each `(table set, output format)` group, and enforcing the size
+    /// bounds.
+    pub(crate) fn publish(&self, context: u64, plans: Vec<PlanRef>) {
+        if self.config.max_plans == 0 || plans.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let per_entry_cap = self.config.max_plans_per_entry;
+        for plan in plans {
+            let rel = plan.rel();
+            let mut stored = false;
+            let mut removed = 0usize;
+            {
+                let entries = inner.map.entry(context).or_default();
+                let entry = entries.entry(rel).or_insert(Entry {
+                    plans: Vec::new(),
+                    last_used: clock,
+                });
+                entry.last_used = clock;
+                // Dominance pruning mirrors the optimizer-internal Pareto
+                // sets: skip the new plan if an equal-format plan already
+                // (weakly) dominates it, otherwise evict the equal-format
+                // plans it strictly dominates. Entries therefore hold only
+                // mutually non-dominated plans per output format, across
+                // *all* publishing sessions.
+                let dominated = entry
+                    .plans
+                    .iter()
+                    .any(|p| p.format() == plan.format() && p.cost().dominates(plan.cost()));
+                if !dominated {
+                    let before = entry.plans.len();
+                    entry.plans.retain(|p| {
+                        !(p.format() == plan.format() && plan.cost().strictly_dominates(p.cost()))
+                    });
+                    removed = before - entry.plans.len();
+                    // Cap guard (rare once dominance-pruned): keep the
+                    // established frontier, drop the newcomer.
+                    if entry.plans.len() < per_entry_cap {
+                        entry.plans.push(plan);
+                        stored = true;
+                    }
+                }
+            }
+            if stored {
+                inner.published += 1;
+                inner.total_plans += 1;
+            }
+            inner.total_plans -= removed;
+            inner.evicted += removed as u64;
+        }
+        // Global bound: evict least-recently-used entries until under the
+        // cap. One scan collects every entry's recency; victims are then
+        // taken in LRU order — O(total entries log total entries) once per
+        // overflowing publish, not per evicted entry.
+        if inner.total_plans > self.config.max_plans {
+            let mut recency: Vec<(u64, u64, TableSet)> = inner
+                .map
+                .iter()
+                .flat_map(|(ctx, entries)| {
+                    entries
+                        .iter()
+                        .map(|(rel, entry)| (entry.last_used, *ctx, *rel))
+                })
+                .collect();
+            recency.sort_unstable_by_key(|&(last_used, _, _)| last_used);
+            let mut victims = recency.into_iter();
+            while inner.total_plans > self.config.max_plans {
+                let Some((_, ctx, rel)) = victims.next() else {
+                    break;
+                };
+                let entries = inner.map.get_mut(&ctx).expect("victim context exists");
+                let entry = entries.remove(&rel).expect("victim entry exists");
+                if entries.is_empty() {
+                    inner.map.remove(&ctx);
+                }
+                inner.total_plans -= entry.plans.len();
+                inner.evicted += entry.plans.len() as u64;
+            }
+        }
+    }
+
+    /// Current counters.
+    pub(crate) fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            lookups: inner.lookups,
+            hits: inner.hits,
+            plans: inner.total_plans,
+            entries: inner.map.values().map(HashMap::len).sum(),
+            published: inner.published,
+            evicted: inner.evicted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqo_core::model::testing::StubModel;
+    use moqo_core::model::CostModel;
+    use moqo_core::plan::Plan;
+    use moqo_core::tables::TableId;
+
+    fn scan(model: &StubModel, t: usize, op: usize) -> PlanRef {
+        Plan::scan(model, TableId::new(t), model.scan_ops(TableId::new(t))[op])
+    }
+
+    #[test]
+    fn lookup_returns_contained_table_sets_only() {
+        let model = StubModel::line(4, 2, 1);
+        let cache = SharedPlanCache::new(CacheConfig::default());
+        cache.publish(7, vec![scan(&model, 0, 0), scan(&model, 2, 0)]);
+
+        // Query {0, 1}: only the T0 scan is contained.
+        let hits = cache.lookup(7, TableSet::prefix(2));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rel(), TableSet::singleton(TableId::new(0)));
+        // Wrong context: nothing.
+        assert!(cache.lookup(8, TableSet::prefix(4)).is_empty());
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, 2);
+        assert_eq!(stats.hits, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_plans_are_not_stored_twice() {
+        let model = StubModel::line(2, 2, 1);
+        let cache = SharedPlanCache::new(CacheConfig::default());
+        cache.publish(1, vec![scan(&model, 0, 0), scan(&model, 0, 0)]);
+        assert_eq!(cache.stats().plans, 1);
+        // A different operator has an incomparable cost profile: kept.
+        cache.publish(1, vec![scan(&model, 0, 1)]);
+        assert_eq!(cache.stats().plans, 2);
+    }
+
+    #[test]
+    fn dominated_plans_are_pruned_across_publishes() {
+        use moqo_core::model::{JoinOpId, ScanOpId};
+        // On a 3-table chain, joining the non-adjacent pair first forces a
+        // cross product: same operators, same rel, same format, strictly
+        // larger work in every metric — a strictly dominated plan.
+        let model = StubModel::line(3, 2, 1);
+        let scan = |t: usize| Plan::scan(&model, TableId::new(t), ScanOpId(0));
+        let good = Plan::join(
+            &model,
+            Plan::join(&model, scan(0), scan(1), JoinOpId(0)),
+            scan(2),
+            JoinOpId(0),
+        );
+        let bad = Plan::join(
+            &model,
+            Plan::join(&model, scan(0), scan(2), JoinOpId(0)),
+            scan(1),
+            JoinOpId(0),
+        );
+        assert!(good.cost().strictly_dominates(bad.cost()), "fixture");
+        let rel = TableSet::prefix(3);
+
+        // Dominated publish after the good plan: dropped.
+        let cache = SharedPlanCache::new(CacheConfig::default());
+        cache.publish(1, vec![good.clone()]);
+        cache.publish(1, vec![bad.clone()]);
+        assert_eq!(cache.stats().plans, 1, "dominated publish must be dropped");
+        assert_eq!(
+            cache.lookup(1, rel)[0].cost().as_slice(),
+            good.cost().as_slice()
+        );
+
+        // Dominating publish after the bad plan: evicts it.
+        let cache = SharedPlanCache::new(CacheConfig::default());
+        cache.publish(2, vec![bad]);
+        cache.publish(2, vec![good.clone()]);
+        let stats = cache.stats();
+        assert_eq!(stats.plans, 1, "dominating publish must evict");
+        assert!(stats.evicted >= 1);
+        assert_eq!(
+            cache.lookup(2, rel)[0].cost().as_slice(),
+            good.cost().as_slice()
+        );
+    }
+
+    #[test]
+    fn global_bound_evicts_lru_entries() {
+        let model = StubModel::line(8, 2, 1);
+        let cache = SharedPlanCache::new(CacheConfig {
+            max_plans: 4,
+            max_plans_per_entry: 8,
+        });
+        for t in 0..4 {
+            cache.publish(1, vec![scan(&model, t, 0)]);
+        }
+        assert_eq!(cache.stats().plans, 4);
+        // Touch tables 1..4 so table 0 becomes the LRU entry.
+        for t in 1..4 {
+            let _ = cache.lookup(1, TableSet::singleton(TableId::new(t)));
+        }
+        cache.publish(1, vec![scan(&model, 5, 0)]);
+        let stats = cache.stats();
+        assert_eq!(stats.plans, 4, "bound enforced");
+        assert!(stats.evicted >= 1);
+        assert!(
+            cache
+                .lookup(1, TableSet::singleton(TableId::new(0)))
+                .is_empty(),
+            "LRU entry (T0) evicted"
+        );
+        assert_eq!(
+            cache.lookup(1, TableSet::singleton(TableId::new(5))).len(),
+            1,
+            "newest entry survives"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let model = StubModel::line(2, 2, 1);
+        let cache = SharedPlanCache::new(CacheConfig {
+            max_plans: 0,
+            max_plans_per_entry: 8,
+        });
+        cache.publish(1, vec![scan(&model, 0, 0)]);
+        assert_eq!(cache.stats().plans, 0);
+        assert!(cache.lookup(1, TableSet::prefix(2)).is_empty());
+    }
+}

@@ -1,0 +1,339 @@
+//! # moqo-service — a concurrent anytime optimization service
+//!
+//! The paper's central property — RMQ is an *anytime* algorithm with
+//! polynomial per-iteration cost — makes it uniquely suited to **serving**:
+//! many interleaved optimization requests, each with its own budget or
+//! deadline, multiplexed over a fixed worker pool. This crate is that
+//! serving layer:
+//!
+//! * [`OptimizationService`] — a long-running scheduler stepping many
+//!   concurrent sessions' optimizers cooperatively (round-robin slices on
+//!   a bounded worker pool; see [`scheduler`'s docs](self) for why anytime
+//!   algorithms need no preemption).
+//! * [`SessionHandle`] — the client view: on-demand frontier snapshots,
+//!   epoch-numbered improvement notifications, a streaming
+//!   [`updates`](SessionHandle::updates) subscription, cancellation.
+//! * A **cross-query plan cache** ([`CacheConfig`], [`CacheStats`]) —
+//!   bounded, keyed by `(context fingerprint, table set)`, warm-starting
+//!   new sessions from the partial plans of previously optimized
+//!   overlapping queries (the cross-query extension of the paper's §4.3
+//!   plan sharing; cf. optd's persisted re-optimization state).
+//! * **Admission control** ([`AdmissionConfig`], [`AdmissionError`]) — a
+//!   bounded live-session queue that rejects rather than backlogs.
+//! * **Service statistics** ([`ServiceStats`]) — throughput, p50/p99
+//!   time-to-first-frontier, cache hit rate.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//! use moqo_core::model::testing::StubModel;
+//! use moqo_core::optimizer::Budget;
+//! use moqo_core::rmq::{Rmq, RmqConfig};
+//! use moqo_core::tables::TableSet;
+//! use moqo_service::{OptimizationService, ServiceConfig, SessionRequest};
+//!
+//! let service = OptimizationService::new(ServiceConfig::default());
+//! let model = Arc::new(StubModel::line(6, 2, 42));
+//! let query = TableSet::prefix(6);
+//! let handle = service
+//!     .submit(SessionRequest {
+//!         optimizer: Box::new(Rmq::new(model, query, RmqConfig::seeded(7))),
+//!         budget: Budget::Iterations(40),
+//!         query,
+//!         context: 0xC0FFEE,
+//!     })
+//!     .expect("admitted");
+//! let done = handle.wait_done(Duration::from_secs(10)).expect("finishes");
+//! assert!(!done.plans.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod admission;
+mod cache;
+mod scheduler;
+mod session;
+mod stats;
+
+pub use admission::{AdmissionConfig, AdmissionError};
+pub use cache::{CacheConfig, CacheStats};
+pub use session::{
+    DoneReason, FrontierSnapshot, FrontierUpdates, SessionHandle, SessionId, SessionStatus,
+};
+pub use stats::ServiceStats;
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use moqo_core::model::CostModel;
+use moqo_core::optimizer::{Budget, Optimizer};
+use moqo_core::plan::PlanRef;
+use moqo_core::rmq::Rmq;
+use moqo_core::tables::TableSet;
+
+use scheduler::{finalize, worker_loop, ActiveSession, RemainingBudget, SchedState, ServiceCore};
+use session::SessionShared;
+
+/// An optimizer the service can schedule: anytime ([`Optimizer`]),
+/// movable across worker threads (`Send`), and optionally able to exchange
+/// partial plans with the cross-query cache.
+///
+/// The exchange hooks default to no-ops so any `Optimizer + Send` can be
+/// served (wrap it in [`NoExchange`]); [`Rmq`] implements them natively
+/// through its partial-plan cache.
+pub trait ServiceOptimizer: Optimizer + Send {
+    /// Absorbs previously optimized partial plans (warm start). Returns
+    /// how many plans were actually incorporated.
+    fn absorb_plans(&mut self, plans: &[PlanRef]) -> usize {
+        let _ = plans;
+        0
+    }
+
+    /// Exports partial plans for reuse by future overlapping sessions.
+    fn export_plans(&self) -> Vec<PlanRef> {
+        Vec::new()
+    }
+}
+
+impl<M: CostModel + Send> ServiceOptimizer for Rmq<M> {
+    fn absorb_plans(&mut self, plans: &[PlanRef]) -> usize {
+        // Guard against foreign cost dimensions: a mis-keyed context would
+        // otherwise corrupt the cache's Pareto invariant.
+        let dim = self.model().dim();
+        self.warm_start(plans.iter().filter(|p| p.cost().dim() == dim).cloned())
+    }
+
+    fn export_plans(&self) -> Vec<PlanRef> {
+        let mut out = Vec::new();
+        for (_, plans) in self.cache().entries() {
+            out.extend_from_slice(plans);
+        }
+        out
+    }
+}
+
+/// Adapter serving any `Optimizer + Send` without cross-query plan
+/// exchange (e.g. the NSGA-II / SA / II baselines).
+pub struct NoExchange<T: Optimizer + Send>(pub T);
+
+impl<T: Optimizer + Send> Optimizer for NoExchange<T> {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+    fn step(&mut self) -> bool {
+        self.0.step()
+    }
+    fn frontier(&self) -> Vec<PlanRef> {
+        self.0.frontier()
+    }
+}
+
+impl<T: Optimizer + Send> ServiceOptimizer for NoExchange<T> {}
+
+/// Derives a cache **context fingerprint** from a catalog fingerprint
+/// (`Catalog::fingerprint`) and a cost-model discriminator. Partial plans
+/// are only reusable between sessions whose cost vectors are comparable —
+/// same catalog statistics *and* same cost model configuration — so both
+/// must feed the cache key.
+pub fn context_fingerprint(catalog_fingerprint: u64, model_tag: &str) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = catalog_fingerprint ^ 0x0146_50FB_0431_u64.wrapping_mul(PRIME);
+    for b in model_tag.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// One optimization request.
+pub struct SessionRequest {
+    /// The session's optimizer, already bound to its model and query.
+    pub optimizer: Box<dyn ServiceOptimizer>,
+    /// Stopping criterion. `Budget::Time` counts from admission (queueing
+    /// delay spends budget, like a request timeout); use
+    /// `Budget::Deadline` for an absolute cutoff and
+    /// `Budget::Iterations` for deterministic tests.
+    pub budget: Budget,
+    /// The query's table set (used to select warm-start plans).
+    pub query: TableSet,
+    /// Cache context fingerprint — see [`context_fingerprint`].
+    pub context: u64,
+}
+
+/// Configuration of the optimization service.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads stepping sessions. `0` admits sessions without
+    /// running them (useful for admission tests and manual draining).
+    pub workers: usize,
+    /// Optimizer steps per scheduling slice for iteration-budget sessions.
+    pub steps_per_slice: u64,
+    /// Wall-clock length of one slice for time/deadline-budget sessions.
+    pub slice_duration: Duration,
+    /// Admission control.
+    pub admission: AdmissionConfig,
+    /// Cross-query plan cache sizing.
+    pub cache: CacheConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(4))
+                .unwrap_or(2),
+            steps_per_slice: 16,
+            slice_duration: Duration::from_millis(2),
+            admission: AdmissionConfig::default(),
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+/// The concurrent anytime optimization service. Dropping it shuts the
+/// worker pool down; unfinished sessions complete with
+/// [`DoneReason::ServiceShutdown`].
+pub struct OptimizationService {
+    core: Arc<ServiceCore>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl OptimizationService {
+    /// Starts a service with the given configuration.
+    pub fn new(config: ServiceConfig) -> Self {
+        let core = Arc::new(ServiceCore {
+            config,
+            sched: Mutex::new(SchedState {
+                ready: VecDeque::new(),
+                live: 0,
+                shutdown: false,
+            }),
+            sched_cond: Condvar::new(),
+            cache: cache::SharedPlanCache::new(config.cache),
+            stats: stats::StatsCollector::new(),
+            next_id: AtomicU64::new(1),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("moqo-worker-{i}"))
+                    .spawn(move || worker_loop(core))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        OptimizationService { core, workers }
+    }
+
+    /// Submits a session. On admission the optimizer is warm-started from
+    /// the cross-query cache and queued for scheduling; the returned
+    /// handle observes its progress.
+    ///
+    /// # Errors
+    /// [`AdmissionError::QueueFull`] when the live-session bound is
+    /// reached, [`AdmissionError::ShuttingDown`] during shutdown.
+    pub fn submit(&self, request: SessionRequest) -> Result<SessionHandle, AdmissionError> {
+        let SessionRequest {
+            mut optimizer,
+            budget,
+            query,
+            context,
+        } = request;
+        // Admission + live-slot reservation.
+        {
+            let mut sched = self.core.sched.lock().unwrap();
+            if sched.shutdown {
+                drop(sched);
+                self.core.stats.record_rejected();
+                return Err(AdmissionError::ShuttingDown);
+            }
+            let limit = self.core.config.admission.max_live_sessions;
+            if sched.live >= limit {
+                let live = sched.live;
+                drop(sched);
+                self.core.stats.record_rejected();
+                return Err(AdmissionError::QueueFull { live, limit });
+            }
+            sched.live += 1;
+        }
+        // Warm start outside the scheduler lock: cache lookups and plan
+        // absorption can be comparatively slow.
+        let warm = self.core.cache.lookup(context, query);
+        let absorbed = if warm.is_empty() {
+            0
+        } else {
+            optimizer.absorb_plans(&warm)
+        };
+        let now = Instant::now();
+        let id = SessionId(self.core.next_id.fetch_add(1, Ordering::Relaxed));
+        let shared = SessionShared::new(now);
+        shared.state.lock().unwrap().absorbed = absorbed;
+        let session = ActiveSession {
+            optimizer,
+            remaining: RemainingBudget::from_budget(budget, now),
+            shared: Arc::clone(&shared),
+            context,
+            last_sig: 0,
+        };
+        {
+            let mut sched = self.core.sched.lock().unwrap();
+            if sched.shutdown {
+                // Shutdown raced in while we warm-started: undo the
+                // reservation and reject.
+                sched.live -= 1;
+                drop(sched);
+                self.core.stats.record_rejected();
+                return Err(AdmissionError::ShuttingDown);
+            }
+            sched.ready.push_back(session);
+        }
+        self.core.sched_cond.notify_one();
+        self.core.stats.record_submitted();
+        Ok(SessionHandle { id, shared })
+    }
+
+    /// Current service statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let live = self.core.sched.lock().unwrap().live;
+        self.core.stats.snapshot(live, self.core.cache.stats())
+    }
+
+    /// Current cross-query cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.core.cache.stats()
+    }
+
+    /// Number of sessions waiting in the ready queue right now.
+    pub fn queued(&self) -> usize {
+        self.core.sched.lock().unwrap().ready.len()
+    }
+
+    /// Shuts the service down (equivalent to dropping it): stops
+    /// admitting, aborts queued sessions, joins the workers.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+}
+
+impl Drop for OptimizationService {
+    fn drop(&mut self) {
+        let drained: Vec<ActiveSession> = {
+            let mut sched = self.core.sched.lock().unwrap();
+            sched.shutdown = true;
+            sched.ready.drain(..).collect()
+        };
+        self.core.sched_cond.notify_all();
+        for session in drained {
+            finalize(&self.core, session, DoneReason::ServiceShutdown);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

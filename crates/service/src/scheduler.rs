@@ -1,0 +1,266 @@
+//! The cooperative scheduler: a fixed worker pool stepping many anytime
+//! optimizers round-robin.
+//!
+//! Sessions live in a single ready queue. Each worker pops the
+//! longest-waiting session, runs one bounded **slice** of its optimizer
+//! (`steps_per_slice` iterations, or `slice_duration` wall-clock for
+//! deadline budgets) through the core [`drive`] loop, then requeues it.
+//! Because every algorithm behind the [`Optimizer`] trait is *anytime*
+//! with polynomial per-step cost (the paper's headline property of RMQ),
+//! slicing needs no preemption: a slice is short by construction, so a
+//! fixed pool interleaves hundreds of sessions with bounded latency per
+//! session — the property that makes RMQ suited to serving interleaved
+//! optimization requests under deadlines.
+
+use std::collections::VecDeque;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use moqo_core::fxhash::FxHasher;
+use moqo_core::optimizer::{drive, Budget, Observer};
+use moqo_core::plan::PlanRef;
+
+use crate::cache::SharedPlanCache;
+use crate::session::{DoneReason, SessionShared, SessionStatus};
+use crate::stats::StatsCollector;
+use crate::{ServiceConfig, ServiceOptimizer};
+
+use std::hash::Hasher;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What is left of a session's budget, normalized at admission.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum RemainingBudget {
+    /// `Budget::Iterations`: deterministic step counting.
+    Steps {
+        /// Steps executed so far.
+        done: u64,
+        /// Total step budget.
+        total: u64,
+    },
+    /// `Budget::Time` / `Budget::Deadline`: an absolute point in time.
+    Deadline(Instant),
+}
+
+impl RemainingBudget {
+    pub(crate) fn from_budget(budget: Budget, now: Instant) -> Self {
+        match budget {
+            Budget::Iterations(n) => RemainingBudget::Steps { done: 0, total: n },
+            // `Time` counts from admission: queueing delay spends budget,
+            // exactly like a request timeout in a serving system.
+            Budget::Time(d) => RemainingBudget::Deadline(now + d),
+            Budget::Deadline(at) => RemainingBudget::Deadline(at),
+        }
+    }
+}
+
+/// A session owned by the scheduler (at most one worker holds it at a
+/// time, so the optimizer needs no internal synchronization).
+pub(crate) struct ActiveSession {
+    pub optimizer: Box<dyn ServiceOptimizer>,
+    pub remaining: RemainingBudget,
+    pub shared: Arc<SessionShared>,
+    pub context: u64,
+    /// Signature of the last frontier reported to the session state, used
+    /// to detect improvements cheaply.
+    pub last_sig: u64,
+}
+
+/// Scheduler state behind the mutex.
+pub(crate) struct SchedState {
+    pub ready: VecDeque<ActiveSession>,
+    pub live: usize,
+    pub shutdown: bool,
+}
+
+/// Everything the workers share.
+pub(crate) struct ServiceCore {
+    pub config: ServiceConfig,
+    pub sched: Mutex<SchedState>,
+    pub sched_cond: Condvar,
+    pub cache: SharedPlanCache,
+    pub stats: StatsCollector,
+    pub next_id: AtomicU64,
+}
+
+/// Order-independent signature of a plan set: used to detect frontier
+/// changes without diffing plan vectors.
+pub(crate) fn frontier_signature(plans: &[PlanRef]) -> u64 {
+    let mut acc: u64 = plans.len() as u64;
+    for p in plans {
+        let mut h = FxHasher::default();
+        h.write_u128(p.rel().bits());
+        h.write_u8(p.format().0);
+        for &c in p.cost().as_slice() {
+            h.write_u64(c.to_bits());
+        }
+        acc = acc.wrapping_add(h.finish());
+    }
+    acc
+}
+
+/// Observer bridging the core `drive` loop to the session's shared state:
+/// every step that changes the frontier bumps the session epoch and wakes
+/// subscribers. This is the "existing Observer seam" — the service adds no
+/// new hooks to the optimizers themselves.
+struct SliceObserver<'a> {
+    shared: &'a SessionShared,
+    last_sig: &'a mut u64,
+}
+
+impl Observer for SliceObserver<'_> {
+    fn on_step(
+        &mut self,
+        _elapsed: Duration,
+        _step: u64,
+        frontier: &mut dyn FnMut() -> Vec<PlanRef>,
+    ) {
+        let plans = frontier();
+        if plans.is_empty() {
+            return;
+        }
+        let sig = frontier_signature(&plans);
+        if sig == *self.last_sig {
+            return;
+        }
+        *self.last_sig = sig;
+        let mut state = self.shared.state.lock().unwrap();
+        state.epoch += 1;
+        if state.first_frontier_at.is_none() {
+            state.first_frontier_at = Some(Instant::now());
+        }
+        state.frontier = plans;
+        drop(state);
+        self.shared.cond.notify_all();
+    }
+}
+
+/// Runs one scheduling slice. Returns `Some(reason)` when the session is
+/// finished and must be finalized.
+pub(crate) fn run_slice(core: &ServiceCore, sess: &mut ActiveSession) -> Option<DoneReason> {
+    {
+        let mut state = sess.shared.state.lock().unwrap();
+        if state.cancel_requested {
+            return Some(DoneReason::Cancelled);
+        }
+        state.status = SessionStatus::Running;
+    }
+    let slice_budget = match sess.remaining {
+        RemainingBudget::Steps { done, total } => {
+            if done >= total {
+                return Some(DoneReason::BudgetExhausted);
+            }
+            Budget::Iterations((total - done).min(core.config.steps_per_slice))
+        }
+        RemainingBudget::Deadline(at) => {
+            let now = Instant::now();
+            if now >= at {
+                return Some(DoneReason::BudgetExhausted);
+            }
+            Budget::Deadline(at.min(now + core.config.slice_duration))
+        }
+    };
+    let mut observer = SliceObserver {
+        shared: &sess.shared,
+        last_sig: &mut sess.last_sig,
+    };
+    let stats = drive(sess.optimizer.as_mut(), slice_budget, &mut observer);
+    sess.shared.state.lock().unwrap().steps += stats.steps;
+    if stats.exhausted {
+        return Some(DoneReason::OptimizerExhausted);
+    }
+    match sess.remaining {
+        RemainingBudget::Steps {
+            ref mut done,
+            total,
+        } => {
+            *done += stats.steps;
+            if *done >= total {
+                return Some(DoneReason::BudgetExhausted);
+            }
+        }
+        RemainingBudget::Deadline(at) => {
+            if Instant::now() >= at {
+                return Some(DoneReason::BudgetExhausted);
+            }
+        }
+    }
+    None
+}
+
+/// Completes a session: publishes its partial plans to the cross-query
+/// cache (unless it was aborted), installs the final frontier, flips the
+/// status, and updates service statistics.
+pub(crate) fn finalize(core: &ServiceCore, sess: ActiveSession, reason: DoneReason) {
+    let publish = matches!(
+        reason,
+        DoneReason::BudgetExhausted | DoneReason::OptimizerExhausted
+    );
+    if publish {
+        let exported = sess.optimizer.export_plans();
+        core.cache.publish(sess.context, exported);
+    }
+    let final_frontier = sess.optimizer.frontier();
+    let (steps, ttff) = {
+        let mut state = sess.shared.state.lock().unwrap();
+        if !final_frontier.is_empty() {
+            let sig = frontier_signature(&final_frontier);
+            if sig != sess.last_sig {
+                state.epoch += 1;
+                if state.first_frontier_at.is_none() {
+                    state.first_frontier_at = Some(Instant::now());
+                }
+            }
+            state.frontier = final_frontier;
+        }
+        let ttff = state
+            .first_frontier_at
+            .map(|at| at.duration_since(state.submitted_at));
+        (state.steps, ttff)
+    };
+    // Account *before* flipping the status: a client that wakes from
+    // `wait_done` must observe the completed counters.
+    let aborted = matches!(reason, DoneReason::Cancelled | DoneReason::ServiceShutdown);
+    core.stats.record_completed(steps, ttff, aborted);
+    core.sched.lock().unwrap().live -= 1;
+    sess.shared.state.lock().unwrap().status = SessionStatus::Done(reason);
+    sess.shared.cond.notify_all();
+}
+
+/// The worker thread body: pop, slice, requeue (or finalize) — forever,
+/// until shutdown.
+pub(crate) fn worker_loop(core: Arc<ServiceCore>) {
+    loop {
+        let popped = {
+            let mut sched = core.sched.lock().unwrap();
+            loop {
+                if let Some(sess) = sched.ready.pop_front() {
+                    break Some(sess);
+                }
+                if sched.shutdown {
+                    break None;
+                }
+                sched = core.sched_cond.wait(sched).unwrap();
+            }
+        };
+        let Some(mut sess) = popped else {
+            return;
+        };
+        match run_slice(&core, &mut sess) {
+            Some(reason) => finalize(&core, sess, reason),
+            None => {
+                let mut sched = core.sched.lock().unwrap();
+                if sched.shutdown {
+                    drop(sched);
+                    finalize(&core, sess, DoneReason::ServiceShutdown);
+                } else {
+                    sched.ready.push_back(sess);
+                    drop(sched);
+                    core.sched_cond.notify_one();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Service-level statistics: throughput, time-to-first-frontier
+//! percentiles, and session counters.
+//!
+//! *Time to first frontier* (TTFF) is the anytime-optimizer analogue of
+//! time-to-first-byte: how long after submission a session first had a
+//! non-empty result frontier a client could act on. The paper's central
+//! claim — RMQ produces usable frontiers within milliseconds while
+//! refining forever — makes TTFF the service's headline latency metric;
+//! p50/p99 summarize it the way serving systems conventionally do.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::cache::CacheStats;
+
+/// A point-in-time snapshot of service statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceStats {
+    /// Sessions admitted.
+    pub submitted: u64,
+    /// Submissions rejected by admission control.
+    pub rejected: u64,
+    /// Sessions that finished (any [`DoneReason`](crate::DoneReason)).
+    pub completed: u64,
+    /// Completed sessions that were cancelled or aborted by shutdown.
+    pub cancelled: u64,
+    /// Live sessions (admitted, not yet finished).
+    pub live: usize,
+    /// Total optimizer steps executed across all sessions.
+    pub total_steps: u64,
+    /// Completed sessions per second since service start.
+    pub throughput_per_sec: f64,
+    /// Median time to first non-empty frontier (`None` until a session
+    /// produced one).
+    pub ttff_p50: Option<Duration>,
+    /// 99th-percentile time to first non-empty frontier.
+    pub ttff_p99: Option<Duration>,
+    /// Cross-query plan cache counters.
+    pub cache: CacheStats,
+}
+
+/// Bound on retained TTFF samples. Percentiles are computed over a
+/// sliding window of the most recent samples (ring-buffer overwrite), so
+/// a long-running service neither grows without bound nor pays more than
+/// `O(CAP log CAP)` per stats snapshot — and recent-window percentiles
+/// are the conventional choice for serving latency metrics anyway.
+const TTFF_SAMPLE_CAP: usize = 4096;
+
+struct StatsInner {
+    submitted: u64,
+    rejected: u64,
+    completed: u64,
+    cancelled: u64,
+    total_steps: u64,
+    ttff_samples: Vec<Duration>,
+    /// TTFF samples ever recorded (ring-buffer write cursor).
+    ttff_count: u64,
+}
+
+/// Internal collector behind the service.
+pub(crate) struct StatsCollector {
+    started: Instant,
+    inner: Mutex<StatsInner>,
+}
+
+impl StatsCollector {
+    pub(crate) fn new() -> Self {
+        StatsCollector {
+            started: Instant::now(),
+            inner: Mutex::new(StatsInner {
+                submitted: 0,
+                rejected: 0,
+                completed: 0,
+                cancelled: 0,
+                total_steps: 0,
+                ttff_samples: Vec::new(),
+                ttff_count: 0,
+            }),
+        }
+    }
+
+    pub(crate) fn record_submitted(&self) {
+        self.inner.lock().unwrap().submitted += 1;
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.inner.lock().unwrap().rejected += 1;
+    }
+
+    pub(crate) fn record_completed(&self, steps: u64, ttff: Option<Duration>, aborted: bool) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.completed += 1;
+        inner.total_steps += steps;
+        if aborted {
+            inner.cancelled += 1;
+        }
+        if let Some(ttff) = ttff {
+            let slot = (inner.ttff_count % TTFF_SAMPLE_CAP as u64) as usize;
+            if inner.ttff_samples.len() < TTFF_SAMPLE_CAP {
+                inner.ttff_samples.push(ttff);
+            } else {
+                inner.ttff_samples[slot] = ttff;
+            }
+            inner.ttff_count += 1;
+        }
+    }
+
+    pub(crate) fn snapshot(&self, live: usize, cache: CacheStats) -> ServiceStats {
+        let inner = self.inner.lock().unwrap();
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let mut samples = inner.ttff_samples.clone();
+        samples.sort_unstable();
+        ServiceStats {
+            submitted: inner.submitted,
+            rejected: inner.rejected,
+            completed: inner.completed,
+            cancelled: inner.cancelled,
+            live,
+            total_steps: inner.total_steps,
+            throughput_per_sec: inner.completed as f64 / elapsed,
+            ttff_p50: percentile(&samples, 0.50),
+            ttff_p99: percentile(&samples, 0.99),
+            cache,
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+fn percentile(sorted: &[Duration], q: f64) -> Option<Duration> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let ms = |n: u64| Duration::from_millis(n);
+        let samples: Vec<Duration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&samples, 0.50), Some(ms(50)));
+        assert_eq!(percentile(&samples, 0.99), Some(ms(99)));
+        assert_eq!(percentile(&samples, 1.0), Some(ms(100)));
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[ms(7)], 0.99), Some(ms(7)));
+    }
+
+    #[test]
+    fn ttff_samples_are_bounded() {
+        let c = StatsCollector::new();
+        for i in 0..(TTFF_SAMPLE_CAP + 100) {
+            c.record_completed(1, Some(Duration::from_micros(i as u64)), false);
+        }
+        let inner = c.inner.lock().unwrap();
+        assert_eq!(inner.ttff_samples.len(), TTFF_SAMPLE_CAP);
+        assert_eq!(inner.ttff_count, (TTFF_SAMPLE_CAP + 100) as u64);
+        // Ring overwrite: the oldest samples were replaced by the newest.
+        assert!(inner
+            .ttff_samples
+            .contains(&Duration::from_micros((TTFF_SAMPLE_CAP + 99) as u64)));
+        assert!(!inner.ttff_samples.contains(&Duration::from_micros(0)));
+    }
+
+    #[test]
+    fn collector_aggregates() {
+        let c = StatsCollector::new();
+        c.record_submitted();
+        c.record_submitted();
+        c.record_rejected();
+        c.record_completed(10, Some(Duration::from_millis(3)), false);
+        c.record_completed(5, None, true);
+        let s = c.snapshot(1, CacheStats::default());
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.total_steps, 15);
+        assert_eq!(s.live, 1);
+        assert_eq!(s.ttff_p50, Some(Duration::from_millis(3)));
+        assert!(s.throughput_per_sec > 0.0);
+    }
+}

@@ -21,11 +21,11 @@
 use std::sync::Arc;
 
 use moqo_catalog::{Catalog, CatalogBuilder, Query};
-use moqo_cost::ResourceMetric;
 use moqo_core::tables::TableId;
+use moqo_cost::ResourceMetric;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Join graph shapes evaluated in the paper (clique is an extension).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -181,7 +181,9 @@ impl WorkloadSpec {
         assert!(self.tables >= 1, "queries need at least one table");
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut b = CatalogBuilder::default();
-        let cards: Vec<f64> = (0..self.tables).map(|_| draw_cardinality(&mut rng)).collect();
+        let cards: Vec<f64> = (0..self.tables)
+            .map(|_| draw_cardinality(&mut rng))
+            .collect();
         let ids: Vec<TableId> = cards
             .iter()
             .enumerate()
@@ -195,6 +197,115 @@ impl WorkloadSpec {
         let query = Query::all(&catalog);
         (catalog, query)
     }
+}
+
+/// Specification of **service traffic**: many queries over one shared
+/// catalog, each joining a random *connected* subset of its tables.
+///
+/// Unlike [`WorkloadSpec`] — which generates an independent catalog per
+/// test case, matching the paper's evaluation methodology — service
+/// traffic models a live system: one database, a stream of queries whose
+/// table sets overlap. Overlap is what makes cross-query plan caching
+/// meaningful (partial plans for `{T2, T3}` computed for one query
+/// warm-start every later query containing those tables).
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficSpec {
+    /// Tables in the shared catalog.
+    pub catalog_tables: usize,
+    /// Join graph shape of the catalog.
+    pub shape: GraphShape,
+    /// Selectivity method for the catalog's predicates.
+    pub selectivity: SelectivityMethod,
+    /// Number of queries to generate.
+    pub queries: usize,
+    /// Minimum tables joined per query (inclusive).
+    pub min_query_tables: usize,
+    /// Maximum tables joined per query (inclusive).
+    pub max_query_tables: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TrafficSpec {
+    /// Chain-catalog traffic with Steinbrunn selectivities and mid-sized
+    /// queries.
+    pub fn chain(catalog_tables: usize, queries: usize, seed: u64) -> Self {
+        TrafficSpec {
+            catalog_tables,
+            shape: GraphShape::Chain,
+            selectivity: SelectivityMethod::Steinbrunn,
+            queries,
+            min_query_tables: (catalog_tables / 2).max(2),
+            max_query_tables: catalog_tables.max(2),
+            seed,
+        }
+    }
+
+    /// Generates the shared catalog and the query stream. Every query's
+    /// table set is connected in the catalog's join graph (no forced cross
+    /// products), and all sampling is deterministic given the seed.
+    ///
+    /// # Panics
+    /// Panics unless
+    /// `2 <= min_query_tables <= max_query_tables <= catalog_tables`.
+    pub fn generate(&self) -> (Arc<Catalog>, Vec<Query>) {
+        assert!(
+            2 <= self.min_query_tables
+                && self.min_query_tables <= self.max_query_tables
+                && self.max_query_tables <= self.catalog_tables,
+            "invalid query-size bounds {}..={} for a {}-table catalog",
+            self.min_query_tables,
+            self.max_query_tables,
+            self.catalog_tables,
+        );
+        let (catalog, _) = WorkloadSpec {
+            tables: self.catalog_tables,
+            shape: self.shape,
+            selectivity: self.selectivity,
+            seed: self.seed,
+        }
+        .generate();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x7ea0_f1c0);
+        let queries = (0..self.queries)
+            .map(|_| {
+                let target = rng.random_range(self.min_query_tables..=self.max_query_tables);
+                let tables = random_connected_subset(&catalog, target, &mut rng);
+                Query::new(&catalog, tables).expect("connected subset is a valid query")
+            })
+            .collect();
+        (catalog, queries)
+    }
+}
+
+/// Draws a connected `target`-table subset of the catalog's join graph by
+/// randomized growth: start at a random table, repeatedly annex a random
+/// neighbor of the current set.
+fn random_connected_subset<R: Rng + ?Sized>(
+    catalog: &Catalog,
+    target: usize,
+    rng: &mut R,
+) -> moqo_core::TableSet {
+    let n = catalog.num_tables();
+    let start = TableId::new(rng.random_range(0..n));
+    let mut set = moqo_core::TableSet::singleton(start);
+    let mut frontier: Vec<TableId> = catalog.neighbors(start).iter().map(|&(t, _)| t).collect();
+    while set.len() < target {
+        // The catalog graphs are connected, so the frontier is only empty
+        // once the set covers everything.
+        frontier.retain(|&t| !set.contains(t));
+        let Some(&next) = frontier.get(rng.random_range(0..frontier.len().max(1))) else {
+            break;
+        };
+        set = set.with(next);
+        frontier.extend(
+            catalog
+                .neighbors(next)
+                .iter()
+                .map(|&(t, _)| t)
+                .filter(|&t| !set.contains(t)),
+        );
+    }
+    set
 }
 
 /// Picks `l` distinct resource metrics uniformly at random (the paper:
@@ -247,7 +358,12 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let mk = |seed| WorkloadSpec::chain(8, seed).generate().0.rows(TableId::new(0));
+        let mk = |seed| {
+            WorkloadSpec::chain(8, seed)
+                .generate()
+                .0
+                .rows(TableId::new(0))
+        };
         assert_ne!(mk(1), mk(2));
     }
 
@@ -256,7 +372,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..1_000 {
             let c = draw_cardinality(&mut rng);
-            assert!((10.0..=100_000.0).contains(&c), "cardinality {c} out of range");
+            assert!(
+                (10.0..=100_000.0).contains(&c),
+                "cardinality {c} out of range"
+            );
         }
     }
 
@@ -307,7 +426,10 @@ mod tests {
             max_sel = max_sel.max(s);
         }
         // Wide dynamic range: at least 3 orders of magnitude observed.
-        assert!(max_sel / min_sel > 1e3, "range too narrow: {min_sel}..{max_sel}");
+        assert!(
+            max_sel / min_sel > 1e3,
+            "range too narrow: {min_sel}..{max_sel}"
+        );
     }
 
     #[test]
@@ -322,6 +444,69 @@ mod tests {
         assert!(catalog.is_connected(query.tables()));
         assert_eq!(catalog.neighbors(TableId::new(0)).len(), 5);
         assert_eq!(catalog.neighbors(TableId::new(3)).len(), 1);
+    }
+
+    #[test]
+    fn traffic_queries_are_connected_and_sized() {
+        for shape in [GraphShape::Chain, GraphShape::Star, GraphShape::Cycle] {
+            let spec = TrafficSpec {
+                catalog_tables: 12,
+                shape,
+                selectivity: SelectivityMethod::MinMax,
+                queries: 20,
+                min_query_tables: 3,
+                max_query_tables: 9,
+                seed: 31,
+            };
+            let (catalog, queries) = spec.generate();
+            assert_eq!(queries.len(), 20);
+            for q in &queries {
+                assert!((3..=9).contains(&q.len()), "size {} out of range", q.len());
+                assert!(catalog.is_connected(q.tables()), "disconnected query");
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_is_deterministic_and_seed_sensitive() {
+        let spec = TrafficSpec::chain(10, 8, 5);
+        let (c1, q1) = spec.generate();
+        let (c2, q2) = spec.generate();
+        assert_eq!(q1, q2);
+        assert_eq!(c1.fingerprint(), c2.fingerprint());
+        let (_, q3) = TrafficSpec::chain(10, 8, 6).generate();
+        assert_ne!(q1, q3, "different seeds must differ");
+    }
+
+    #[test]
+    fn traffic_queries_overlap() {
+        // Mid-sized queries over a small catalog necessarily share tables —
+        // the premise of cross-query plan caching.
+        let (_, queries) = TrafficSpec::chain(10, 8, 7).generate();
+        let mut overlaps = 0;
+        for (i, a) in queries.iter().enumerate() {
+            for b in &queries[i + 1..] {
+                if !a.tables().intersect(b.tables()).is_empty() {
+                    overlaps += 1;
+                }
+            }
+        }
+        assert!(overlaps > 0, "no overlapping query pair in traffic");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid query-size bounds")]
+    fn traffic_rejects_bad_bounds() {
+        let _ = TrafficSpec {
+            catalog_tables: 5,
+            shape: GraphShape::Chain,
+            selectivity: SelectivityMethod::MinMax,
+            queries: 1,
+            min_query_tables: 4,
+            max_query_tables: 9,
+            seed: 0,
+        }
+        .generate();
     }
 
     #[test]
@@ -342,7 +527,11 @@ mod tests {
         for _ in 0..100 {
             seen.insert(format!("{:?}", pick_metrics(2, &mut rng)));
         }
-        assert!(seen.len() == 3, "expected all 3 two-metric subsets, got {}", seen.len());
+        assert!(
+            seen.len() == 3,
+            "expected all 3 two-metric subsets, got {}",
+            seen.len()
+        );
     }
 
     proptest::proptest! {

@@ -24,13 +24,7 @@ fn select_plan<'a>(
 ) -> Option<&'a PlanRef> {
     frontier
         .iter()
-        .filter(|p| {
-            p.cost()
-                .as_slice()
-                .iter()
-                .zip(bounds)
-                .all(|(c, b)| c <= b)
-        })
+        .filter(|p| p.cost().as_slice().iter().zip(bounds).all(|(c, b)| c <= b))
         .min_by(|a, b| {
             a.cost()
                 .weighted_sum(weights)

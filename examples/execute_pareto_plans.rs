@@ -14,7 +14,7 @@ use moqo_core::frontier::AlphaSchedule;
 use moqo_core::optimizer::{drive, Budget, NullObserver};
 use moqo_core::rmq::{Rmq, RmqConfig};
 use moqo_cost::ResourceCostModel;
-use moqo_exec::{execute, Database, DataGenConfig};
+use moqo_exec::{execute, DataGenConfig, Database};
 use moqo_workload::{GraphShape, SelectivityMethod, WorkloadSpec};
 
 fn main() {

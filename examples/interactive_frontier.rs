@@ -66,10 +66,7 @@ fn main() {
         seed: 5,
     }
     .generate();
-    let model = ResourceCostModel::new(
-        catalog,
-        &[ResourceMetric::Time, ResourceMetric::Buffer],
-    );
+    let model = ResourceCostModel::new(catalog, &[ResourceMetric::Time, ResourceMetric::Buffer]);
     // The paper's coarse-to-fine schedule: quick coverage first, precision
     // later — exactly what an interactive user wants.
     let mut rmq = Rmq::new(&model, query.tables(), RmqConfig::seeded(1));
@@ -92,9 +89,7 @@ fn main() {
     let frontier = rmq.frontier();
     let pick = frontier
         .iter()
-        .min_by(|a, b| {
-            (a.cost()[0] * a.cost()[1]).total_cmp(&(b.cost()[0] * b.cost()[1]))
-        })
+        .min_by(|a, b| (a.cost()[0] * a.cost()[1]).total_cmp(&(b.cost()[0] * b.cost()[1])))
         .expect("non-empty frontier");
     println!(
         "user selects: time {:.1}, buffer {:.1}\n  {}",

@@ -10,11 +10,11 @@
 
 use std::time::Duration;
 
+use moqo_baselines::DpOptimizer;
 use moqo_core::optimizer::{drive, Budget, NullObserver, Optimizer};
 use moqo_core::rmq::{Rmq, RmqConfig};
 use moqo_core::theory;
 use moqo_cost::{ResourceCostModel, ResourceMetric};
-use moqo_baselines::DpOptimizer;
 use moqo_workload::{GraphShape, SelectivityMethod, WorkloadSpec};
 
 fn main() {
@@ -33,7 +33,11 @@ fn main() {
         .generate();
         let model = ResourceCostModel::new(
             catalog,
-            &[ResourceMetric::Time, ResourceMetric::Buffer, ResourceMetric::Disk],
+            &[
+                ResourceMetric::Time,
+                ResourceMetric::Buffer,
+                ResourceMetric::Disk,
+            ],
         );
 
         let mut rmq = Rmq::new(&model, query.tables(), RmqConfig::seeded(9));

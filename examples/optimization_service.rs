@@ -1,0 +1,180 @@
+//! The optimization service end to end: many concurrent sessions on a
+//! bounded worker pool, streaming monotonically improving frontiers, with
+//! cross-query plan caching warming up later sessions.
+//!
+//! ```text
+//! cargo run --release --example optimization_service
+//! ```
+//!
+//! The example replays two waves of overlapping queries over one shared
+//! catalog. Wave 1 runs cold; its sessions publish their partial plans
+//! into the service's cross-query cache. Wave 2's overlapping queries
+//! warm-start from that cache (a non-zero hit rate is asserted). One
+//! session's frontier stream is followed live to show the anytime
+//! behavior: epochs only go up, and the final frontier covers every
+//! intermediate one.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use moqo_core::optimizer::Budget;
+use moqo_core::rmq::{Rmq, RmqConfig};
+use moqo_cost::{ResourceCostModel, ResourceMetric};
+use moqo_service::{
+    context_fingerprint, OptimizationService, ServiceConfig, SessionHandle, SessionRequest,
+};
+use moqo_workload::TrafficSpec;
+
+const WAVE: usize = 8;
+const WORKERS: usize = 3;
+const ITERS: u64 = 60;
+
+fn main() {
+    // One shared 12-table catalog; 16 overlapping queries joining 6..=12
+    // of its tables.
+    let (catalog, queries) = TrafficSpec::chain(12, 2 * WAVE, 20_260_729).generate();
+    // Three cost metrics: richer tradeoffs, hence more frontier
+    // improvements to stream.
+    let metrics = [
+        ResourceMetric::Time,
+        ResourceMetric::Buffer,
+        ResourceMetric::Disk,
+    ];
+    let model = Arc::new(ResourceCostModel::new(Arc::clone(&catalog), &metrics));
+    let context = context_fingerprint(catalog.fingerprint(), "resource:time,buffer,disk");
+
+    let service = OptimizationService::new(ServiceConfig {
+        workers: WORKERS,
+        ..ServiceConfig::default()
+    });
+    println!(
+        "service: {WORKERS} workers, {} overlapping queries over a {}-table catalog\n",
+        queries.len(),
+        catalog.num_tables()
+    );
+
+    let submit = |query: &moqo_catalog::Query, seed: u64| -> SessionHandle {
+        service
+            .submit(SessionRequest {
+                optimizer: Box::new(Rmq::new(
+                    Arc::clone(&model),
+                    query.tables(),
+                    RmqConfig::seeded(seed),
+                )),
+                budget: Budget::Iterations(ITERS),
+                query: query.tables(),
+                context,
+            })
+            .expect("session admitted")
+    };
+
+    // ---- Wave 1: cold cache, 8 sessions in flight on 3 workers. --------
+    println!("wave 1 (cold): {WAVE} concurrent sessions");
+    let wave1: Vec<SessionHandle> = queries[..WAVE]
+        .iter()
+        .enumerate()
+        .map(|(i, q)| submit(q, 1000 + i as u64))
+        .collect();
+
+    // Stream one session's improvements while the rest run concurrently.
+    let mut snapshots = Vec::new();
+    for snap in wave1[0].updates() {
+        println!(
+            "  {} epoch {:>2}: frontier {:>2} plan(s) after {:>3} steps",
+            wave1[0].id(),
+            snap.epoch,
+            snap.plans.len(),
+            snap.steps
+        );
+        snapshots.push(snap);
+    }
+    // Monotonicity: epochs never decrease (each yield before the final one
+    // is a strict improvement; the final yield may repeat the last epoch),
+    // and the final frontier α-covers every intermediate frontier (the
+    // anytime guarantee).
+    for pair in snapshots.windows(2) {
+        assert!(pair[0].epoch <= pair[1].epoch, "epochs must not decrease");
+        assert!(
+            pair[0].epoch < pair[1].epoch || pair[1].status.is_done(),
+            "only the final yield may repeat an epoch"
+        );
+    }
+    assert!(
+        snapshots.last().is_some_and(|s| s.status.is_done()),
+        "stream must end with the completion snapshot"
+    );
+    let last = snapshots.last().expect("at least the final snapshot");
+    for snap in &snapshots {
+        for plan in &snap.plans {
+            assert!(
+                last.plans
+                    .iter()
+                    .any(|l| l.cost().approx_dominates(plan.cost(), 1.0 + 1e-9)),
+                "final frontier must cover every intermediate frontier"
+            );
+        }
+    }
+    println!("  {}: monotone improvement verified\n", wave1[0].id());
+
+    for handle in &wave1 {
+        let done = handle.wait_done(Duration::from_secs(600)).expect("done");
+        assert!(!done.plans.is_empty(), "every session produces a frontier");
+        assert_eq!(done.steps, ITERS);
+    }
+
+    // ---- Wave 2: the cache is warm; overlapping queries hit it. --------
+    println!("wave 2 (warm): {WAVE} concurrent sessions over overlapping queries");
+    let wave2: Vec<SessionHandle> = queries[WAVE..]
+        .iter()
+        .enumerate()
+        .map(|(i, q)| submit(q, 2000 + i as u64))
+        .collect();
+    let mut warm_started = 0;
+    for handle in &wave2 {
+        let done = handle.wait_done(Duration::from_secs(600)).expect("done");
+        assert!(!done.plans.is_empty());
+        if handle.absorbed_plans() > 0 {
+            warm_started += 1;
+        }
+        println!(
+            "  {} absorbed {:>3} cached partial plan(s), frontier {} plan(s)",
+            handle.id(),
+            handle.absorbed_plans(),
+            done.plans.len()
+        );
+    }
+    assert!(
+        warm_started > 0,
+        "overlapping traffic must produce cross-query cache hits"
+    );
+
+    // ---- Service summary. ----------------------------------------------
+    let stats = service.stats();
+    println!("\nservice summary:");
+    println!("  sessions completed  {}", stats.completed);
+    println!("  total steps         {}", stats.total_steps);
+    println!(
+        "  throughput          {:.1} sessions/s",
+        stats.throughput_per_sec
+    );
+    if let (Some(p50), Some(p99)) = (stats.ttff_p50, stats.ttff_p99) {
+        println!(
+            "  time to 1st frontier p50 {:.2}ms / p99 {:.2}ms",
+            p50.as_secs_f64() * 1e3,
+            p99.as_secs_f64() * 1e3
+        );
+    }
+    println!(
+        "  cross-query cache   {} plans, hit rate {:.0}% ({} hits / {} lookups)",
+        stats.cache.plans,
+        stats.cache.hit_rate() * 100.0,
+        stats.cache.hits,
+        stats.cache.lookups
+    );
+    assert!(stats.cache.hit_rate() > 0.0, "non-zero cache hit rate");
+    assert_eq!(stats.completed, 2 * WAVE as u64);
+    println!(
+        "\nok: {} sessions, ≥1 warm start, monotone frontiers",
+        stats.completed
+    );
+}

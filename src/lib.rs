@@ -1,0 +1,26 @@
+//! # moqo — multi-objective query optimization, as a system
+//!
+//! Facade crate re-exporting the whole workspace: the RMQ optimizer and its
+//! plan-space machinery ([`core`]), database catalogs ([`catalog`]),
+//! production cost models ([`cost`]), random workload generation
+//! ([`workload`]), baseline algorithms ([`baselines`]), a toy execution
+//! engine ([`exec`]), frontier-quality metrics ([`metrics`]), the paper's
+//! experiment harness ([`harness`]), and the concurrent anytime
+//! optimization service ([`service`]).
+//!
+//! The root package also owns the workspace-wide integration tests
+//! (`tests/`) and runnable examples (`examples/`). See the repository
+//! `README.md` for the crate map and a quickstart.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use moqo_baselines as baselines;
+pub use moqo_catalog as catalog;
+pub use moqo_core as core;
+pub use moqo_cost as cost;
+pub use moqo_exec as exec;
+pub use moqo_harness as harness;
+pub use moqo_metrics as metrics;
+pub use moqo_service as service;
+pub use moqo_workload as workload;

@@ -5,6 +5,7 @@
 //! correct (valid plans, terminating climbs, non-dominated frontiers) on all
 //! of them.
 
+use moqo_baselines::{DpOptimizer, IterativeImprovement, Nsga2, SimulatedAnnealing};
 use moqo_core::climb::{pareto_climb, ClimbConfig};
 use moqo_core::cost::{CostVector, MAX_COST_DIM};
 use moqo_core::model::{CostModel, JoinOpId, OutputFormat, PlanProps, ScanOpId};
@@ -13,7 +14,6 @@ use moqo_core::plan::Plan;
 use moqo_core::random_plan::random_plan;
 use moqo_core::rmq::{Rmq, RmqConfig};
 use moqo_core::tables::{TableId, TableSet};
-use moqo_baselines::{DpOptimizer, IterativeImprovement, Nsga2, SimulatedAnnealing};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -146,7 +146,10 @@ fn single_metric_model(n: usize) -> AdversarialModel {
             // join order genuinely matters.
             let rows = (outer.rows() * inner.rows() / 1_000.0).max(1.0);
             PlanProps {
-                cost: outer.cost().add(inner.cost()).add(&CostVector::new(&[rows])),
+                cost: outer
+                    .cost()
+                    .add(inner.cost())
+                    .add(&CostVector::new(&[rows])),
                 rows,
                 pages: rows / 100.0,
                 format: OutputFormat(0),
@@ -166,7 +169,11 @@ fn max_dim_model(n: usize) -> AdversarialModel {
         scan_cost: |m, t, op| {
             let mut c = CostVector::zeros(m.dim);
             for k in 0..m.dim {
-                let w = if (k + op.0 as usize) % 2 == 0 { 1.0 } else { 3.0 };
+                let w = if (k + op.0 as usize) % 2 == 0 {
+                    1.0
+                } else {
+                    3.0
+                };
                 c = c.add_component(k, w);
             }
             PlanProps {
@@ -179,7 +186,11 @@ fn max_dim_model(n: usize) -> AdversarialModel {
         join_cost: |m, outer, inner, op| {
             let mut step = CostVector::zeros(m.dim);
             for k in 0..m.dim {
-                let w = if (k + op.0 as usize) % 2 == 0 { 1.0 } else { 3.0 };
+                let w = if (k + op.0 as usize) % 2 == 0 {
+                    1.0
+                } else {
+                    3.0
+                };
                 step = step.add_component(k, w);
             }
             PlanProps {

@@ -123,11 +123,8 @@ fn randomized_algorithms_beat_sa_on_mid_size_queries() {
     let ii = run(AlgorithmKind::Ii, 30);
     let sa = run(AlgorithmKind::Sa, 30);
 
-    let reference = ReferenceFrontier::from_plan_sets([
-        rmq.as_slice(),
-        ii.as_slice(),
-        sa.as_slice(),
-    ]);
+    let reference =
+        ReferenceFrontier::from_plan_sets([rmq.as_slice(), ii.as_slice(), sa.as_slice()]);
     let alpha_rmq = reference.alpha_of_plans(&rmq);
     let alpha_sa = reference.alpha_of_plans(&sa);
     assert!(

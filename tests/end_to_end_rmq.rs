@@ -86,7 +86,10 @@ fn paper_alpha_schedule_converges_more_slowly_but_converges() {
     // Coarse pruning still guarantees coverage within the pruning factor
     // times the plan depth; sanity-bound it generously.
     assert!(coarse_alpha.is_finite());
-    assert!(coarse_alpha < 25.0f64.powi(5), "alpha {coarse_alpha} absurd");
+    assert!(
+        coarse_alpha < 25.0f64.powi(5),
+        "alpha {coarse_alpha} absurd"
+    );
 }
 
 #[test]

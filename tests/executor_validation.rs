@@ -11,12 +11,20 @@ use moqo_core::optimizer::{drive, Budget, NullObserver};
 use moqo_core::random_plan::random_plan;
 use moqo_core::rmq::{Rmq, RmqConfig};
 use moqo_cost::{ResourceCostModel, ResourceMetric};
-use moqo_exec::{execute, Database, DataGenConfig};
+use moqo_exec::{execute, DataGenConfig, Database};
 use moqo_workload::{GraphShape, SelectivityMethod, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn setup(seed: u64, n: usize) -> (Arc<Catalog>, ResourceCostModel, Database, moqo_core::TableSet) {
+fn setup(
+    seed: u64,
+    n: usize,
+) -> (
+    Arc<Catalog>,
+    ResourceCostModel,
+    Database,
+    moqo_core::TableSet,
+) {
     let (catalog, query) = WorkloadSpec {
         tables: n,
         shape: GraphShape::Chain,
@@ -83,9 +91,7 @@ fn modeled_time_rank_correlates_with_measured_work() {
         for j in (i + 1)..samples.len() {
             let model_order = samples[i].0.total_cmp(&samples[j].0);
             let meas_order = samples[i].1.cmp(&samples[j].1);
-            if model_order == std::cmp::Ordering::Equal
-                || meas_order == std::cmp::Ordering::Equal
-            {
+            if model_order == std::cmp::Ordering::Equal || meas_order == std::cmp::Ordering::Equal {
                 continue;
             }
             if model_order == meas_order {
@@ -152,7 +158,8 @@ fn disk_metric_predicts_spills() {
         let modeled_disk = plan.cost()[2];
         if modeled_disk < 0.01 {
             assert_eq!(
-                exec.stats.spilled_rows, 0,
+                exec.stats.spilled_rows,
+                0,
                 "zero-disk plan {} spilled",
                 plan.display(&model)
             );

@@ -84,7 +84,10 @@ fn exact_reference_figures_assert_coverage_bounds() {
     let result = run_figure(&spec);
     let panel = &result.panels[0];
     let alpha = panel.final_alpha("RMQ").expect("RMQ series");
-    assert!(alpha.is_finite(), "RMQ produced nothing in 60ms on 4 tables");
+    assert!(
+        alpha.is_finite(),
+        "RMQ produced nothing in 60ms on 4 tables"
+    );
     assert!(alpha >= 1.0);
 }
 

@@ -11,6 +11,9 @@
 //! root-level prune adds one more factor), so the root-level guarantee is
 //! `α^depth`, analogous to DP(α)'s compounded bound.
 
+use moqo_baselines::dp::enumerate_all_plans;
+use moqo_baselines::nsga2::fast_non_dominated_sort;
+use moqo_baselines::DpOptimizer;
 use moqo_core::cache::PlanCache;
 use moqo_core::cost::CostVector;
 use moqo_core::frontier::{approximate_frontiers, AlphaSchedule};
@@ -21,9 +24,6 @@ use moqo_core::plan::{Plan, PlanRef};
 use moqo_core::random_plan::random_plan;
 use moqo_core::rmq::{Rmq, RmqConfig};
 use moqo_core::tables::TableSet;
-use moqo_baselines::dp::enumerate_all_plans;
-use moqo_baselines::nsga2::fast_non_dominated_sort;
-use moqo_baselines::DpOptimizer;
 use moqo_metrics::hypervolume::hypervolume;
 use moqo_metrics::{pareto_filter, ReferenceFrontier};
 use proptest::prelude::*;
@@ -278,8 +278,14 @@ fn cache_frontier_sizes_respect_lemma6_growth() {
     let fine = max_frontier(1.01);
     let coarse = max_frontier(2.0);
     let one_per = max_frontier(1e12);
-    assert!(coarse <= fine, "coarser α grew the cache: {coarse} > {fine}");
+    assert!(
+        coarse <= fine,
+        "coarser α grew the cache: {coarse} > {fine}"
+    );
     // With an absurdly large α each table set keeps a single plan per
     // output format (the stub model has two formats).
-    assert!(one_per <= 2, "α=1e12 kept {one_per} plans for one table set");
+    assert!(
+        one_per <= 2,
+        "α=1e12 kept {one_per} plans for one table set"
+    );
 }

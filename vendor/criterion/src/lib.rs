@@ -1,0 +1,265 @@
+//! Hermetic stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness (see `vendor/README.md` for why external crates are
+//! vendored).
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher`, `criterion_group!`,
+//! `criterion_main!` — with a simple measurement loop: a short warm-up, then
+//! timed batches until the measurement budget is spent, reporting the mean
+//! and min/max per-iteration time. No statistical analysis, HTML reports,
+//! or baseline comparisons.
+
+#![deny(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures; runs the measured routine.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    report_label: String,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Config {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            measurement_time: Duration::from_millis(300),
+            sample_size: 50,
+        }
+    }
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`, running it repeatedly and reporting per-iteration
+    /// timing to stdout.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a few iterations, also used to estimate batch size.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_iters < 3
+            || (warmup_start.elapsed() < self.config.measurement_time / 10 && warmup_iters < 1_000)
+        {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed() / warmup_iters.max(1) as u32;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.config.sample_size);
+        let deadline = Instant::now() + self.config.measurement_time;
+        for _ in 0..self.config.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            samples.push(t0.elapsed().as_secs_f64());
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{:<50} time: [{} {} {}]  ({} samples, warmup {}/iter)",
+            self.report_label,
+            fmt_secs(min),
+            fmt_secs(mean),
+            fmt_secs(max),
+            samples.len(),
+            fmt_secs(per_iter.as_secs_f64()),
+        );
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.2} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    criterion: &'a mut Criterion,
+    name: String,
+    config: Config,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.config.measurement_time = time;
+        self
+    }
+
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark identified by `id` with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut b = Bencher {
+            config: &self.config,
+            report_label: format!("{}/{}", self.name, id.id),
+        };
+        f(&mut b, input);
+        self
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            config: &self.config,
+            report_label: format!("{}/{}", self.name, id.id),
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored by the shim,
+    /// so `cargo bench -- <filter>` invocations do not error out).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let config = self.config;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            config,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            config: &self.config,
+            report_label: id.id,
+        };
+        f(&mut b);
+        self
+    }
+}
+
+/// Defines a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs_closures() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group
+                .measurement_time(Duration::from_millis(5))
+                .sample_size(3);
+            group.bench_with_input(BenchmarkId::new("f", 7), &7usize, |b, &n| {
+                b.iter(|| n * 2);
+                calls += 1;
+            });
+            group.bench_function("plain", |b| b.iter(|| 1 + 1));
+            group.finish();
+        }
+        c.bench_function("standalone", |b| b.iter(|| "x".len()));
+        assert_eq!(calls, 1);
+    }
+}

@@ -1,0 +1,428 @@
+//! Hermetic stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, implementing the API subset this workspace's test suites use (see
+//! `vendor/README.md` for why external crates are vendored).
+//!
+//! Semantics: each `proptest!` test runs its body for [`ProptestConfig::cases`]
+//! deterministically seeded random cases. Unlike the real proptest there is
+//! **no shrinking** and no failure-persistence file — a failing case reports
+//! its case number and the deterministic seed reproduces it on re-run.
+
+#![deny(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+/// The RNG driving test-case generation.
+pub type TestRng = StdRng;
+
+/// Error produced by a failing `prop_assert!` family macro.
+pub type TestCaseError = String;
+
+/// Per-test configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest defaults to 256; 64 keeps the hermetic suite
+        // fast while still exercising a meaningful sample.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-test RNG: seeded from the test's name so every test
+/// draws an independent, reproducible stream.
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// A value generator. The real proptest separates strategies from value
+/// trees to support shrinking; this shim only generates.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy yielding a constant value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over the given alternatives.
+    ///
+    /// # Panics
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.random_range(0..self.options.len());
+        self.options[i].sample(rng)
+    }
+}
+
+/// Size specification for collection strategies: a fixed size or a range.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.random_range(self.lo..self.hi_exclusive)
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Strategy producing `Vec`s of values from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeSet`s of values from `element`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates sets with up to the drawn number of elements (duplicates
+    /// collapse, as in the real proptest).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The common imports of proptest-based tests.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (with an optional formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($a),
+            stringify!($b),
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($a),
+            stringify!($b),
+            left
+        );
+    }};
+}
+
+/// Boxes a strategy for storage in a [`Union`] (used by [`prop_oneof!`]).
+#[doc(hidden)]
+pub fn __boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(strategy)
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::__boxed($strategy)),+])
+    };
+}
+
+/// Defines property-based tests: each `fn` runs its body over many sampled
+/// inputs. Mirrors the real macro's surface syntax (`arg in strategy`
+/// parameters, optional `#![proptest_config(..)]` header).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!(
+                        "proptest case {}/{} of {} failed: {}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        message
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn arb_parity() -> impl Strategy<Value = bool> {
+        prop_oneof![Just(true), Just(false)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..17, x in 0.5f64..2.5) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((0.5..2.5).contains(&x));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (1u32..10, 1u32..10).prop_map(|(a, b)| a + b),
+            flag in arb_parity(),
+        ) {
+            prop_assert!((2..=18).contains(&pair));
+            prop_assert!(u8::from(flag) <= 1);
+            prop_assert_eq!(pair, pair);
+            prop_assert_ne!(pair, pair + 1);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in crate::collection::vec(0u8..5, 2..6),
+            s in crate::collection::btree_set(0usize..100, 0..10),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+            prop_assert!(s.len() < 10);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_case_number() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(5))]
+                #[allow(unused)]
+                fn always_fails(n in 0usize..10) {
+                    prop_assert!(false, "boom {n}");
+                }
+            }
+            always_fails();
+        });
+        let err = result.expect_err("must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("case 1/5"), "unexpected message: {msg}");
+        assert!(msg.contains("boom"), "unexpected message: {msg}");
+    }
+}

@@ -1,0 +1,257 @@
+//! Hermetic stand-in for the [`serde`](https://crates.io/crates/serde) crate
+//! (see `vendor/README.md` for why external crates are vendored).
+//!
+//! Instead of serde's visitor-based data model, this shim serializes through
+//! a concrete JSON [`Value`] tree: [`Serialize`] renders into a `Value`,
+//! [`Deserialize`] reads back out of one. The derive macros (re-exported
+//! from `serde_derive`) generate those impls for named-field structs,
+//! honoring `#[serde(default)]`. The companion `serde_json` crate provides
+//! the string-level API (`to_string_pretty`, `from_str`).
+
+#![deny(unsafe_code)]
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::Value;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types renderable into a JSON [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a JSON value.
+    fn to_value(&self) -> Value;
+}
+
+/// Types readable back out of a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Reads a value of `Self` out of `value`.
+    ///
+    /// # Errors
+    /// Fails when the value's shape does not match `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {other}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {other}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Number(n) => Ok(*n),
+            other => Err(Error::msg(format!("expected number, got {other}"))),
+        }
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = f64::from_value(value)?;
+                let cast = n as $t;
+                if cast as f64 == n {
+                    Ok(cast)
+                } else {
+                    Err(Error::msg(format!(
+                        "number {n} is not a valid {}",
+                        stringify!($t)
+                    )))
+                }
+            }
+        }
+    )*};
+}
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {other}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+/// Derive-macro helper: extracts and deserializes a required object field.
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+    match value {
+        Value::Object(fields) => match fields.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => {
+                T::from_value(v).map_err(|e| Error::msg(format!("field '{name}': {e}")))
+            }
+            None => Err(Error::msg(format!("missing field '{name}'"))),
+        },
+        other => Err(Error::msg(format!("expected object, got {other}"))),
+    }
+}
+
+/// Derive-macro helper: extracts an optional (`#[serde(default)]`) field.
+#[doc(hidden)]
+pub fn __field_or_default<T: Deserialize + Default>(value: &Value, name: &str) -> Result<T, Error> {
+    match value {
+        Value::Object(fields) => match fields.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => {
+                T::from_value(v).map_err(|e| Error::msg(format!("field '{name}': {e}")))
+            }
+            None => Ok(T::default()),
+        },
+        other => Err(Error::msg(format!("expected object, got {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(f64::from_value(&2.5f64.to_value()).unwrap(), 2.5);
+        assert_eq!(usize::from_value(&7usize.to_value()).unwrap(), 7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert!(usize::from_value(&Value::Number(2.5)).is_err());
+        assert!(f64::from_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn options_use_null() {
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<f64>::from_value(&Value::Number(1.0)).unwrap(),
+            Some(1.0)
+        );
+        assert_eq!(None::<f64>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn vec_round_trips() {
+        let v = vec![1.0f64, 2.0, 3.0];
+        let round = Vec::<f64>::from_value(&v.to_value()).unwrap();
+        assert_eq!(round, v);
+    }
+
+    #[test]
+    fn field_helpers() {
+        let obj = Value::Object(vec![("x".into(), Value::Number(3.0))]);
+        assert_eq!(__field::<f64>(&obj, "x").unwrap(), 3.0);
+        assert!(__field::<f64>(&obj, "y").is_err());
+        assert_eq!(__field_or_default::<Vec<f64>>(&obj, "y").unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Hermetic stand-in for the [`serde_derive`] proc-macro crate.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the only
+//! shape this workspace derives on: non-generic structs with named fields.
+//! The single supported field attribute is `#[serde(default)]`. The parser
+//! walks the raw `TokenStream` directly (no `syn`/`quote` — the build is
+//! fully offline), which is robust for this restricted grammar: attributes
+//! are `#` followed by a bracket group, and field boundaries are top-level
+//! commas outside angle brackets.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+struct Struct {
+    name: String,
+    fields: Vec<Field>,
+}
+
+fn parse_struct(input: TokenStream) -> Struct {
+    let mut tokens = input.into_iter().peekable();
+    let mut name = None;
+    // Find `struct <Name>`, skipping attributes and visibility.
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("expected struct name, found {other:?}"),
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("serde shim derive: no `struct` keyword found");
+    // Find the brace-delimited field body (skips over any generics, though
+    // the workspace derives only on non-generic structs).
+    let body = tokens
+        .find_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .expect("serde shim derive supports only structs with named fields");
+
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Field attributes.
+        let mut has_default = false;
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.next() {
+                        has_default |= attr_is_serde_default(&g.stream());
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Visibility: `pub` optionally followed by a parenthesized modifier.
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(
+                iter.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                iter.next();
+            }
+        }
+        let Some(TokenTree::Ident(field_name)) = iter.next() else {
+            break; // end of fields (or trailing comma already consumed)
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field name, found {other:?}"),
+        }
+        // Skip the type: tokens until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                _ => {
+                    iter.next();
+                }
+            }
+        }
+        fields.push(Field {
+            name: field_name.to_string(),
+            has_default,
+        });
+    }
+    Struct { name, fields }
+}
+
+/// Whether an attribute body (the tokens inside `#[...]`) is
+/// `serde(default)`.
+fn attr_is_serde_default(stream: &TokenStream) -> bool {
+    let mut iter = stream.clone().into_iter();
+    match (iter.next(), iter.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(tt, TokenTree::Ident(i) if i.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Derives the shim's `serde::Serialize` (renders into a JSON value).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_struct(input);
+    let mut pushes = String::new();
+    for f in &parsed.fields {
+        pushes.push_str(&format!(
+            "fields.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+            n = f.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =\n\
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+             }}\n\
+         }}",
+        name = parsed.name,
+    )
+    .parse()
+    .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+/// Derives the shim's `serde::Deserialize` (reads out of a JSON value,
+/// honoring `#[serde(default)]`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_struct(input);
+    let mut inits = String::new();
+    for f in &parsed.fields {
+        let helper = if f.has_default {
+            "__field_or_default"
+        } else {
+            "__field"
+        };
+        inits.push_str(&format!(
+            "{n}: ::serde::{helper}(value, \"{n}\")?,\n",
+            n = f.name
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value)\n\
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name} {{\n\
+                     {inits}\
+                 }})\n\
+             }}\n\
+         }}",
+        name = parsed.name,
+    )
+    .parse()
+    .expect("serde shim derive: generated invalid Deserialize impl")
+}

@@ -1,0 +1,56 @@
+//! Hermetic stand-in for the [`serde_json`] crate: string-level JSON API on
+//! top of the `serde` shim's [`Value`] tree (see `vendor/README.md`).
+
+#![deny(unsafe_code)]
+
+pub use serde::{Error, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+/// Never fails in this shim (kept as `Result` for API compatibility).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json())
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+/// Never fails in this shim (kept as `Result` for API compatibility).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Parses a `T` from JSON text.
+///
+/// # Errors
+/// Fails on JSON syntax errors or when the document's shape does not match
+/// `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = Value::parse(text).map_err(Error::msg)?;
+    T::from_value(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip_through_strings() {
+        let v: Value = from_str(r#"{"a": [1, 2.5, "x"], "b": null}"#).unwrap();
+        assert_eq!(v["a"][1], 2.5);
+        let compact = to_string(&v).unwrap();
+        let reparsed: Value = from_str(&compact).unwrap();
+        assert_eq!(reparsed, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let reparsed: Value = from_str(&pretty).unwrap();
+        assert_eq!(reparsed, v);
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(from_str::<Value>("{oops}").is_err());
+    }
+}
