@@ -40,8 +40,9 @@ pub struct DpOptimizer<M: CostModel> {
     current_mask: u128,
     full_mask: u128,
     done: bool,
-    /// Number of plans constructed so far (diagnostics).
-    plans_built: u64,
+    /// Number of candidate plans costed so far (diagnostics). Candidates
+    /// rejected by α-pruning are costed but never materialized.
+    plans_costed: u64,
 }
 
 impl<M: CostModel> DpOptimizer<M> {
@@ -76,7 +77,7 @@ impl<M: CostModel> DpOptimizer<M> {
             current_mask: 1,
             full_mask,
             done: false,
-            plans_built: 0,
+            plans_costed: 0,
         }
     }
 
@@ -85,9 +86,9 @@ impl<M: CostModel> DpOptimizer<M> {
         self.done
     }
 
-    /// Number of plans constructed so far.
-    pub fn plans_built(&self) -> u64 {
-        self.plans_built
+    /// Number of candidate plans costed so far (admitted or pruned).
+    pub fn plans_costed(&self) -> u64 {
+        self.plans_costed
     }
 
     /// The frontier of an arbitrary subset mask (diagnostics/tests).
@@ -98,11 +99,18 @@ impl<M: CostModel> DpOptimizer<M> {
     fn process_subset(&mut self, mask: u128) {
         if mask.count_ones() == 1 {
             let t = self.tables[mask.trailing_zeros() as usize];
-            let entry = self.frontiers.entry(mask).or_default();
+            // Cost each scan candidate first; materialize on admission only
+            // (`insert_approx_with`): under a coarse α most candidates are
+            // pruned without allocating.
+            let mut entry = self.frontiers.remove(&mask).unwrap_or_default();
             for &op in self.model.scan_ops(t) {
-                entry.insert_approx(Plan::scan(&self.model, t, op), self.alpha);
-                self.plans_built += 1;
+                let props = self.model.scan_props(t, op);
+                entry.insert_approx_with(&props.cost, props.format, self.alpha, || {
+                    Plan::scan_from_props(t, op, props)
+                });
+                self.plans_costed += 1;
             }
+            self.frontiers.insert(mask, entry);
             return;
         }
         // Enumerate every proper non-empty split (outer, inner): the
@@ -124,11 +132,11 @@ impl<M: CostModel> DpOptimizer<M> {
                     ops.clear();
                     self.model.join_ops(o, i, &mut ops);
                     for &op in &ops {
-                        result.insert_approx(
-                            Plan::join(&self.model, o.clone(), i.clone(), op),
-                            self.alpha,
-                        );
-                        self.plans_built += 1;
+                        let props = self.model.join_props(o, i, op);
+                        result.insert_approx_with(&props.cost, props.format, self.alpha, || {
+                            Plan::join_from_props(o.clone(), i.clone(), op, props)
+                        });
+                        self.plans_costed += 1;
                     }
                 }
             }
@@ -357,7 +365,7 @@ mod tests {
         let mut dp = DpOptimizer::new(&model, q, 2.0);
         let stats = drive(&mut dp, Budget::Iterations(1 << 20), &mut NullObserver);
         assert_eq!(stats.steps, 15);
-        assert!(dp.plans_built() > 0);
+        assert!(dp.plans_costed() > 0);
     }
 
     #[test]

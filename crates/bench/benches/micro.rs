@@ -9,6 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use moqo_baselines::nsga2::{Nsga2, Nsga2Params};
+use moqo_bench::resource_model as model_for;
 use moqo_core::cache::PlanCache;
 use moqo_core::climb::{naive_climb, pareto_climb, pareto_step, ClimbConfig};
 use moqo_core::cost::CostVector;
@@ -17,25 +18,9 @@ use moqo_core::mutations::MutationSet;
 use moqo_core::optimizer::Optimizer;
 use moqo_core::pareto::PrunePolicy;
 use moqo_core::random_plan::random_plan;
-use moqo_cost::{ResourceCostModel, ResourceMetric};
 use moqo_metrics::epsilon_indicator;
-use moqo_workload::{GraphShape, SelectivityMethod, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-
-fn model_for(n: usize) -> (ResourceCostModel, moqo_core::TableSet) {
-    let (catalog, query) = WorkloadSpec {
-        tables: n,
-        shape: GraphShape::Cycle,
-        selectivity: SelectivityMethod::Steinbrunn,
-        seed: 7,
-    }
-    .generate();
-    (
-        ResourceCostModel::new(catalog, &[ResourceMetric::Time, ResourceMetric::Buffer]),
-        query.tables(),
-    )
-}
 
 fn bench_random_plan(c: &mut Criterion) {
     let mut group = c.benchmark_group("random_plan");

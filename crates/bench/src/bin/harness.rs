@@ -1,0 +1,311 @@
+//! Deterministic perf-baseline harness: measures the Pareto-pruning kernel
+//! and an end-to-end anytime RMQ run, and writes the results to a
+//! machine-readable JSON file (`BENCH_rmq.json` by default) that future PRs
+//! diff against.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p moqo-bench --bin harness -- [--quick] [--out PATH]
+//! ```
+//!
+//! (or `scripts/bench.sh`, which CI's `bench-smoke` job also uses — see the
+//! README's "Benchmarks & perf baseline" section for the JSON schema.)
+//!
+//! All workloads and seeds are fixed, so the *structural* fields (frontier
+//! sizes, iteration counts, cache occupancy, climb path lengths) are
+//! bit-for-bit reproducible anywhere; the timing fields depend on the
+//! machine and are meaningful relative to other runs on the same hardware
+//! — most importantly the bucketed-vs-linear speedup ratios, which divide
+//! out the machine. `--quick` shrinks repetition counts and the RMQ budget
+//! for CI smoke runs; the checked-in baseline is a full run.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use moqo_bench::{candidate_stream, cost_pairs, resource_model};
+use moqo_core::climb::{pareto_step_with, StepScratch};
+use moqo_core::mutations::MutationSet;
+use moqo_core::pareto::{LinearParetoSet, ParetoSet, PrunePolicy};
+use moqo_core::random_plan::random_plan;
+use moqo_core::rmq::{Rmq, RmqConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Schema version of the emitted JSON; bump on incompatible changes.
+const SCHEMA_VERSION: u32 = 1;
+
+#[derive(Serialize)]
+struct Baseline {
+    schema_version: u32,
+    /// "quick" (CI smoke) or "full" (checked-in baseline).
+    mode: String,
+    /// Kernel micro-measurements (nanoseconds per operation).
+    micro: Vec<MicroResult>,
+    /// Bucketed-vs-linear speedup ratios derived from `micro`
+    /// (linear ns / bucketed ns; > 1 means the bucketed set is faster).
+    speedups: Speedups,
+    /// End-to-end anytime RMQ runs.
+    rmq: Vec<RmqResult>,
+}
+
+#[derive(Serialize)]
+struct MicroResult {
+    /// Kernel name, e.g. `insert_approx_bucketed`.
+    name: String,
+    /// Operations per timed round.
+    ops_per_round: u64,
+    /// Timed rounds (best-of is reported).
+    rounds: u32,
+    /// Best observed nanoseconds per operation.
+    ns_per_op: f64,
+}
+
+#[derive(Serialize)]
+struct Speedups {
+    insert_approx_bucketed_vs_linear: f64,
+    insert_climb_bucketed_vs_linear: f64,
+}
+
+#[derive(Serialize)]
+struct RmqResult {
+    tables: usize,
+    metrics: usize,
+    seed: u64,
+    /// Anytime trajectory: cumulative elapsed time and result-set shape at
+    /// each iteration checkpoint. The non-timing fields are deterministic.
+    checkpoints: Vec<RmqCheckpoint>,
+    median_path_length: f64,
+    cache_table_sets: usize,
+    cache_plans: usize,
+}
+
+#[derive(Serialize)]
+struct RmqCheckpoint {
+    iterations: u64,
+    elapsed_ms: f64,
+    frontier_size: usize,
+}
+
+/// Times `op` over `rounds` rounds of `ops_per_round` operations each and
+/// returns the best-observed ns/op (minimum is the standard low-noise
+/// estimator for microbenchmarks).
+fn time_ns_per_op(
+    name: &str,
+    rounds: u32,
+    ops_per_round: u64,
+    mut op: impl FnMut(),
+) -> MicroResult {
+    // One untimed warm-up round.
+    op();
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        op();
+        let ns = start.elapsed().as_nanos() as f64 / ops_per_round as f64;
+        best = best.min(ns);
+    }
+    MicroResult {
+        name: name.to_string(),
+        ops_per_round,
+        rounds,
+        ns_per_op: best,
+    }
+}
+
+fn run_micro(quick: bool) -> (Vec<MicroResult>, Speedups) {
+    let rounds: u32 = if quick { 5 } else { 30 };
+    let mut out = Vec::new();
+
+    // 1. Raw dominance relations (dim 4).
+    let pairs = cost_pairs(1024, 4, 11);
+    out.push(time_ns_per_op(
+        "dominance_strict_d4",
+        rounds,
+        pairs.len() as u64,
+        || {
+            let mut n = 0usize;
+            for (a, b) in &pairs {
+                n += usize::from(a.strictly_dominates(b));
+            }
+            std::hint::black_box(n);
+        },
+    ));
+
+    // 2. Pareto insertion, bucketed vs. linear, identical streams. Four
+    // metrics keep a large mutually incomparable frontier alive — the
+    // many-objective regime (arXiv:1404.0046) that motivates fast
+    // dominance rejection.
+    let stream = candidate_stream(1024, 4, 4, 13);
+    let ops = stream.len() as u64;
+    out.push(time_ns_per_op(
+        "insert_approx_bucketed",
+        rounds,
+        ops,
+        || {
+            let mut set = ParetoSet::new();
+            for p in &stream {
+                set.insert_approx(p.clone(), 1.0);
+            }
+            std::hint::black_box(set.len());
+        },
+    ));
+    out.push(time_ns_per_op("insert_approx_linear", rounds, ops, || {
+        let mut set = LinearParetoSet::new();
+        for p in &stream {
+            set.insert_approx(p.clone(), 1.0);
+        }
+        std::hint::black_box(set.len());
+    }));
+    out.push(time_ns_per_op("insert_climb_bucketed", rounds, ops, || {
+        let mut set = ParetoSet::new();
+        for p in &stream {
+            set.insert_climb(p.clone(), PrunePolicy::KeepIncomparable);
+        }
+        std::hint::black_box(set.len());
+    }));
+    out.push(time_ns_per_op("insert_climb_linear", rounds, ops, || {
+        let mut set = LinearParetoSet::new();
+        for p in &stream {
+            set.insert_climb(p.clone(), PrunePolicy::KeepIncomparable);
+        }
+        std::hint::black_box(set.len());
+    }));
+
+    // 3. One ParetoStep with reused scratch on a 50-table cycle query.
+    let (model, query) = resource_model(if quick { 20 } else { 50 });
+    let plan = random_plan(&model, query, &mut StdRng::seed_from_u64(2));
+    let mut scratch = StepScratch::default();
+    out.push(time_ns_per_op("climb_step", rounds.min(10), 1, || {
+        std::hint::black_box(pareto_step_with(
+            &plan,
+            &model,
+            PrunePolicy::OnePerFormat,
+            MutationSet::Bushy,
+            &mut scratch,
+        ));
+    }));
+
+    let ns = |name: &str| {
+        out.iter()
+            .find(|m| m.name == name)
+            .map(|m| m.ns_per_op)
+            .unwrap_or(f64::NAN)
+    };
+    let speedups = Speedups {
+        insert_approx_bucketed_vs_linear: ns("insert_approx_linear") / ns("insert_approx_bucketed"),
+        insert_climb_bucketed_vs_linear: ns("insert_climb_linear") / ns("insert_climb_bucketed"),
+    };
+    (out, speedups)
+}
+
+fn run_rmq(quick: bool) -> Vec<RmqResult> {
+    let configs: &[(usize, u64)] = if quick {
+        &[(15, 40)]
+    } else {
+        &[(20, 200), (30, 100)]
+    };
+    let mut results = Vec::new();
+    for &(tables, iterations) in configs {
+        let (model, query) = resource_model(tables);
+        let seed = 42u64;
+        let mut rmq = Rmq::new(&model, query, RmqConfig::seeded(seed));
+        let mut checkpoints = Vec::new();
+        let marks: Vec<u64> = [10u64, 25, 50, 100, 200]
+            .into_iter()
+            .filter(|&m| m <= iterations)
+            .collect();
+        let start = Instant::now();
+        for i in 1..=iterations {
+            rmq.iterate();
+            if marks.contains(&i) || i == iterations {
+                checkpoints.push(RmqCheckpoint {
+                    iterations: i,
+                    elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+                    frontier_size: rmq.frontier().len(),
+                });
+            }
+        }
+        checkpoints.dedup_by_key(|c| c.iterations);
+        results.push(RmqResult {
+            tables,
+            metrics: 2,
+            seed,
+            checkpoints,
+            median_path_length: rmq.stats().median_path_length().unwrap_or(0.0),
+            cache_table_sets: rmq.cache().num_table_sets(),
+            cache_plans: rmq.cache().total_plans(),
+        });
+    }
+    results
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_rmq.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path argument");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                println!("usage: harness [--quick] [--out PATH]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "perf-baseline harness ({} mode)...",
+        if quick { "quick" } else { "full" }
+    );
+    let (micro, speedups) = run_micro(quick);
+    for m in &micro {
+        eprintln!("  {:<28} {:>12.1} ns/op", m.name, m.ns_per_op);
+    }
+    eprintln!(
+        "  insert_approx speedup (bucketed vs linear): {:.2}x",
+        speedups.insert_approx_bucketed_vs_linear
+    );
+    eprintln!(
+        "  insert_climb  speedup (bucketed vs linear): {:.2}x",
+        speedups.insert_climb_bucketed_vs_linear
+    );
+    let rmq = run_rmq(quick);
+    for r in &rmq {
+        let last = r.checkpoints.last().expect("at least one checkpoint");
+        eprintln!(
+            "  rmq n={:<3} {} iters in {:.1} ms ({:.1} iters/s), frontier {}, cache {} plans",
+            r.tables,
+            last.iterations,
+            last.elapsed_ms,
+            last.iterations as f64 / (last.elapsed_ms / 1e3),
+            last.frontier_size,
+            r.cache_plans
+        );
+    }
+
+    let baseline = Baseline {
+        schema_version: SCHEMA_VERSION,
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        micro,
+        speedups,
+        rmq,
+    };
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    std::fs::write(&out_path, json + "\n").unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+}

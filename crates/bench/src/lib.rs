@@ -1,1 +1,76 @@
-//! Benchmark-only crate; see `benches/`.
+//! Shared fixtures for the benchmark targets (`benches/`) and the
+//! deterministic perf-baseline harness (`src/bin/harness.rs`).
+//!
+//! Everything here is seeded and deterministic: the same inputs drive the
+//! Criterion micro-benchmarks and the `BENCH_rmq.json` baseline runs, so
+//! numbers from either source are comparable across PRs.
+
+use moqo_core::cost::CostVector;
+use moqo_core::model::{OutputFormat, PlanProps, ScanOpId};
+use moqo_core::plan::{Plan, PlanRef};
+use moqo_core::{TableId, TableSet};
+use moqo_cost::{ResourceCostModel, ResourceMetric};
+use moqo_workload::{GraphShape, SelectivityMethod, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The standard benchmark workload: an `n`-table cycle query over the
+/// time/buffer resource cost model (the two-metric configuration of the
+/// paper's main figures), deterministically seeded.
+pub fn resource_model(n: usize) -> (ResourceCostModel, TableSet) {
+    let (catalog, query) = WorkloadSpec {
+        tables: n,
+        shape: GraphShape::Cycle,
+        selectivity: SelectivityMethod::Steinbrunn,
+        seed: 7,
+    }
+    .generate();
+    (
+        ResourceCostModel::new(catalog, &[ResourceMetric::Time, ResourceMetric::Buffer]),
+        query.tables(),
+    )
+}
+
+/// A deterministic stream of fabricated plans with random cost vectors and
+/// output formats — the candidate stream for the Pareto-insert benches.
+///
+/// The plans are single-scan nodes built through `Plan::scan_from_props`
+/// (the pruning structures read only cost and format, so the tree shape is
+/// irrelevant); costs are uniform in `[0.1, 100.1)` per metric, which keeps
+/// a large mutually incomparable frontier alive and makes the insert path —
+/// not trivial rejections — the measured work.
+pub fn candidate_stream(len: usize, dim: usize, formats: u8, seed: u64) -> Vec<PlanRef> {
+    assert!(formats >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let cost: Vec<f64> = (0..dim)
+                .map(|_| rng.random::<f64>() * 100.0 + 0.1)
+                .collect();
+            let format = OutputFormat(rng.random_range(0..formats));
+            Plan::scan_from_props(
+                TableId::new(0),
+                ScanOpId(0),
+                PlanProps {
+                    cost: CostVector::new(&cost),
+                    rows: 1.0,
+                    pages: 1.0,
+                    format,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Deterministic pairs of random cost vectors for dominance-relation
+/// benches.
+pub fn cost_pairs(len: usize, dim: usize, seed: u64) -> Vec<(CostVector, CostVector)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let draw = |rng: &mut StdRng| {
+        let v: Vec<f64> = (0..dim)
+            .map(|_| rng.random::<f64>() * 100.0 + 0.1)
+            .collect();
+        CostVector::new(&v)
+    };
+    (0..len).map(|_| (draw(&mut rng), draw(&mut rng))).collect()
+}

@@ -9,7 +9,9 @@
 //! approximation schemes — but only for table sets that actually occur in
 //! locally Pareto-optimal plans.
 
+use crate::cost::CostVector;
 use crate::fxhash::FxHashMap;
+use crate::model::OutputFormat;
 use crate::pareto::ParetoSet;
 use crate::plan::PlanRef;
 use crate::tables::TableSet;
@@ -40,7 +42,34 @@ impl PlanCache {
     /// Returns `true` iff the plan was kept.
     pub fn insert(&mut self, plan: PlanRef, alpha: f64) -> bool {
         let rel = plan.rel();
-        let kept = self.map.entry(rel).or_default().insert_approx(plan, alpha);
+        let cost = *plan.cost();
+        let format = plan.format();
+        self.insert_with(rel, &cost, format, alpha, move || plan)
+    }
+
+    /// Inserts a candidate described by its table set, cost vector and
+    /// output format, materializing it via `make` only on admission
+    /// (`ParetoSet::insert_approx_with`) — the hot-path entry point of the
+    /// frontier approximation, where most operator combinations are pruned
+    /// and must not allocate. The materialized plan must match `rel`,
+    /// `cost` and `format`. Returns `true` iff the candidate was kept.
+    pub fn insert_with(
+        &mut self,
+        rel: TableSet,
+        cost: &CostVector,
+        format: OutputFormat,
+        alpha: f64,
+        make: impl FnOnce() -> PlanRef,
+    ) -> bool {
+        let kept = self
+            .map
+            .entry(rel)
+            .or_default()
+            .insert_approx_with(cost, format, alpha, || {
+                let plan = make();
+                debug_assert_eq!(plan.rel(), rel, "plan filed under wrong table set");
+                plan
+            });
         if kept {
             self.insertions += 1;
         } else {

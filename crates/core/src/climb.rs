@@ -17,11 +17,22 @@
 //! frontiers are pruned per output format *before* being combined upward.
 //! The naive variant ([`naive_climb`]) is retained for the ablation
 //! experiments.
+//!
+//! # Hot-path discipline
+//!
+//! `ParetoStep` runs inside every climbing step, and most of the candidates
+//! it generates are rejected by pruning. The step therefore costs each
+//! candidate through the model *first* and probes the frontier via
+//! `ParetoSet::insert_climb_with`, materializing the `Arc<Plan>` only on
+//! admission — a rejected candidate allocates nothing. Reusable buffers
+//! live in [`StepScratch`], which [`pareto_climb_with`] threads through the
+//! whole climb (and the RMQ main loop carries across iterations) so the
+//! inner loops run allocation-free in steady state.
 
 use crate::model::CostModel;
-use crate::mutations::{all_neighbors, join_preferring, MutationSet};
+use crate::mutations::{all_neighbors, MutationSet};
 use crate::pareto::{ParetoSet, PrunePolicy};
-use crate::plan::{PlanKind, PlanRef};
+use crate::plan::{Plan, PlanKind, PlanRef};
 
 /// Configuration for [`pareto_climb`].
 #[derive(Clone, Copy, Debug)]
@@ -54,6 +65,16 @@ pub struct ClimbStats {
     pub steps: usize,
 }
 
+/// Reusable buffers for [`pareto_step_with`]: operator lists queried from
+/// the cost model in the innermost candidate loops. One scratch serves a
+/// whole climb (the recursion uses each buffer transiently between
+/// recursive calls), and the RMQ main loop reuses one across iterations.
+#[derive(Debug, Default)]
+pub struct StepScratch {
+    ops: Vec<crate::model::JoinOpId>,
+    structural_ops: Vec<crate::model::JoinOpId>,
+}
+
 /// One transformation step (`ParetoStep`): returns the pruned set of
 /// Pareto-optimal mutations of `p`, possibly mutating several independent
 /// sub-trees simultaneously. The set contains at most one plan per output
@@ -68,35 +89,86 @@ pub fn pareto_step<M>(
 where
     M: CostModel + ?Sized,
 {
+    pareto_step_with(p, model, policy, mutations, &mut StepScratch::default())
+}
+
+/// [`pareto_step`] with caller-provided scratch buffers (the allocation-free
+/// steady-state entry point; see the module docs).
+pub fn pareto_step_with<M>(
+    p: &PlanRef,
+    model: &M,
+    policy: PrunePolicy,
+    mutations: MutationSet,
+    scratch: &mut StepScratch,
+) -> Vec<PlanRef>
+where
+    M: CostModel + ?Sized,
+{
     let mut frontier = ParetoSet::new();
-    let mut scratch = Vec::new();
     match p.kind() {
-        PlanKind::Scan { .. } => {
-            // Identity first, then the scan-operator mutations.
+        PlanKind::Scan { table, op } => {
+            // Identity first, then the scan-operator mutations (identity
+            // first so OnePerFormat keeps the incumbent on ties).
             frontier.insert_climb(p.clone(), policy);
-            mutations.emit(p, model, &mut scratch);
-            for m in scratch.drain(..) {
-                frontier.insert_climb(m, policy);
+            for &alt in model.scan_ops(*table) {
+                if alt != *op {
+                    let props = model.scan_props(*table, alt);
+                    frontier.insert_climb_with(&props.cost, props.format, policy, || {
+                        Plan::scan_from_props(*table, alt, props)
+                    });
+                }
             }
         }
         PlanKind::Join { outer, inner, op } => {
-            // Improve sub-plans by recursive calls.
-            let outer_pareto = pareto_step(outer, model, policy, mutations);
-            let inner_pareto = pareto_step(inner, model, policy, mutations);
+            // Improve sub-plans by recursive calls (both complete before
+            // this level touches the scratch buffers again).
+            let outer_pareto = pareto_step_with(outer, model, policy, mutations, scratch);
+            let inner_pareto = pareto_step_with(inner, model, policy, mutations, scratch);
             // Iterate over all improved sub-plan pairs.
             for o in &outer_pareto {
                 for i in &inner_pareto {
-                    // The recombined plan (identity mutation at the root;
-                    // the original operator is kept when applicable).
-                    let Some(rebuilt) = join_preferring(model, o, i, &[*op]) else {
+                    scratch.ops.clear();
+                    model.join_ops(o, i, &mut scratch.ops);
+                    // The recombined plan (identity mutation at the root):
+                    // the original operator when applicable, else the first
+                    // applicable one — exactly `join_preferring`'s pick. A
+                    // model violating its non-empty contract skips the pair.
+                    let Some(root_op) = scratch
+                        .ops
+                        .iter()
+                        .find(|&&a| a == *op)
+                        .or_else(|| scratch.ops.first())
+                        .copied()
+                    else {
                         continue;
                     };
-                    scratch.clear();
-                    mutations.emit(&rebuilt, model, &mut scratch);
-                    frontier.insert_climb(rebuilt, policy);
-                    for m in scratch.drain(..) {
-                        frontier.insert_climb(m, policy);
+                    let props = model.join_props(o, i, root_op);
+                    frontier.insert_climb_with(&props.cost, props.format, policy, || {
+                        Plan::join_from_props(o.clone(), i.clone(), root_op, props)
+                    });
+                    // Operator changes at the root.
+                    for &alt in &scratch.ops {
+                        if alt != root_op {
+                            let props = model.join_props(o, i, alt);
+                            frontier.insert_climb_with(&props.cost, props.format, policy, || {
+                                Plan::join_from_props(o.clone(), i.clone(), alt, props)
+                            });
+                        }
                     }
+                    // Structural rules (commutativity, rotations,
+                    // exchanges), root allocation deferred to admission.
+                    mutations.visit_structural(
+                        o,
+                        i,
+                        root_op,
+                        model,
+                        &mut scratch.structural_ops,
+                        &mut |a, b, jop, props| {
+                            frontier.insert_climb_with(&props.cost, props.format, policy, || {
+                                Plan::join_from_props(a.clone(), b.clone(), jop, props)
+                            });
+                        },
+                    );
                 }
             }
         }
@@ -111,10 +183,24 @@ pub fn pareto_climb<M>(start: PlanRef, model: &M, cfg: &ClimbConfig) -> (PlanRef
 where
     M: CostModel + ?Sized,
 {
+    pareto_climb_with(start, model, cfg, &mut StepScratch::default())
+}
+
+/// [`pareto_climb`] with caller-provided scratch buffers, reused across all
+/// steps of the climb (and, by the RMQ main loop, across iterations).
+pub fn pareto_climb_with<M>(
+    start: PlanRef,
+    model: &M,
+    cfg: &ClimbConfig,
+    scratch: &mut StepScratch,
+) -> (PlanRef, ClimbStats)
+where
+    M: CostModel + ?Sized,
+{
     let mut current = start;
     let mut stats = ClimbStats::default();
     while stats.steps < cfg.max_steps {
-        let mutations = pareto_step(&current, model, cfg.policy, cfg.mutations);
+        let mutations = pareto_step_with(&current, model, cfg.policy, cfg.mutations, scratch);
         // Several mutations may strictly dominate the current plan without
         // dominating each other; the paper arbitrarily selects one rather
         // than branching (§4.2). We take the first found.
@@ -172,6 +258,7 @@ where
 mod tests {
     use super::*;
     use crate::model::testing::StubModel;
+    use crate::mutations::{join_preferring, root_mutations};
     use crate::random_plan::random_plan;
     use crate::tables::TableSet;
     use rand::rngs::StdRng;
@@ -212,6 +299,62 @@ mod tests {
     }
 
     #[test]
+    fn pareto_step_matches_materializing_reference() {
+        // The deferred-allocation step must produce exactly the plans the
+        // old insert-everything formulation produced: rebuild the reference
+        // per (outer, inner) pair with join_preferring + root_mutations and
+        // prune through a fresh ParetoSet.
+        fn reference_step(p: &PlanRef, m: &StubModel, policy: PrunePolicy) -> Vec<PlanRef> {
+            let mut frontier = ParetoSet::new();
+            let mut scratch = Vec::new();
+            match p.kind() {
+                PlanKind::Scan { .. } => {
+                    frontier.insert_climb(p.clone(), policy);
+                    root_mutations(p, m, &mut scratch);
+                    for mutation in scratch.drain(..) {
+                        frontier.insert_climb(mutation, policy);
+                    }
+                }
+                PlanKind::Join { outer, inner, op } => {
+                    let outer_pareto = reference_step(outer, m, policy);
+                    let inner_pareto = reference_step(inner, m, policy);
+                    for o in &outer_pareto {
+                        for i in &inner_pareto {
+                            let Some(rebuilt) = join_preferring(m, o, i, &[*op]) else {
+                                continue;
+                            };
+                            scratch.clear();
+                            root_mutations(&rebuilt, m, &mut scratch);
+                            frontier.insert_climb(rebuilt, policy);
+                            for mutation in scratch.drain(..) {
+                                frontier.insert_climb(mutation, policy);
+                            }
+                        }
+                    }
+                }
+            }
+            frontier.into_plans()
+        }
+
+        let (m, q) = setup(7, 2, 13);
+        let mut rng = StdRng::seed_from_u64(21);
+        for policy in [PrunePolicy::OnePerFormat, PrunePolicy::KeepIncomparable] {
+            for _ in 0..10 {
+                let p = random_plan(&m, q, &mut rng);
+                let fast: Vec<String> = pareto_step(&p, &m, policy, MutationSet::Bushy)
+                    .iter()
+                    .map(|s| s.display(&m))
+                    .collect();
+                let reference: Vec<String> = reference_step(&p, &m, policy)
+                    .iter()
+                    .map(|s| s.display(&m))
+                    .collect();
+                assert_eq!(fast, reference, "step diverged under {policy:?}");
+            }
+        }
+    }
+
+    #[test]
     fn one_per_format_bounds_step_size() {
         let (m, q) = setup(10, 3, 7);
         let p = random_plan(&m, q, &mut StdRng::seed_from_u64(3));
@@ -227,9 +370,11 @@ mod tests {
     fn climb_reaches_local_optimum() {
         let (m, q) = setup(7, 2, 11);
         let mut rng = StdRng::seed_from_u64(4);
+        let mut scratch = StepScratch::default();
         for _ in 0..10 {
             let start = random_plan(&m, q, &mut rng);
-            let (opt, stats) = pareto_climb(start.clone(), &m, &ClimbConfig::default());
+            let (opt, stats) =
+                pareto_climb_with(start.clone(), &m, &ClimbConfig::default(), &mut scratch);
             assert!(opt.validate(q).is_ok());
             // The result must weakly improve on the start in the Pareto sense:
             // it is never strictly dominated by the start.

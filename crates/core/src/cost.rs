@@ -149,6 +149,29 @@ impl CostVector {
         alpha
     }
 
+    /// Cached aggregate dominance-rejection key: the component sum.
+    ///
+    /// Weak dominance `a ⪯ b` implies `a.agg_key() <= b.agg_key()`: f64
+    /// rounding is monotone and both keys are accumulated in the same
+    /// (index) order, so the implication holds *exactly* in floating point,
+    /// never just approximately. Pruning structures cache this key per
+    /// member and skip the full `O(d)` component comparison whenever the
+    /// key ordering already rules dominance out ([`crate::pareto`]).
+    #[inline]
+    pub fn agg_key(&self) -> f64 {
+        self.as_slice().iter().sum()
+    }
+
+    /// The aggregate key of the α-scaled vector, with each component
+    /// rounded exactly like [`approx_dominates`](Self::approx_dominates)
+    /// computes `α · b_k`. Consequently `a ⪯_α b` implies
+    /// `a.agg_key() <= b.scaled_agg_key(α)` exactly, making the key a sound
+    /// rejection filter for α-dominance as well.
+    #[inline]
+    pub fn scaled_agg_key(&self, alpha: f64) -> f64 {
+        self.as_slice().iter().map(|c| alpha * c).sum()
+    }
+
     /// Weighted sum `Σ_k w_k · c_k` (used by scalarizing baselines).
     #[inline]
     pub fn weighted_sum(&self, weights: &[f64]) -> f64 {
@@ -349,6 +372,24 @@ mod tests {
         fn addition_preserves_dominance(a in arb_cost(3), b in arb_cost(3), c in arb_cost(3)) {
             if a.dominates(&b) {
                 prop_assert!(a.add(&c).dominates(&b.add(&c)));
+            }
+        }
+
+        /// The aggregate key is an exactly sound dominance-rejection filter:
+        /// weak dominance implies key ordering, even under f64 rounding.
+        #[test]
+        fn agg_key_sound_for_dominance(a in arb_cost(6), b in arb_cost(6)) {
+            if a.dominates(&b) {
+                prop_assert!(a.agg_key() <= b.agg_key());
+            }
+        }
+
+        /// Likewise for α-dominance against the α-scaled key.
+        #[test]
+        fn scaled_agg_key_sound_for_alpha_dominance(a in arb_cost(4), b in arb_cost(4),
+                                                    alpha in 1.0f64..1e6) {
+            if a.approx_dominates(&b, alpha) {
+                prop_assert!(a.agg_key() <= b.scaled_agg_key(alpha));
             }
         }
     }

@@ -18,8 +18,9 @@
 //! cached frontiers towards the true Pareto sets.
 
 use crate::cache::PlanCache;
-use crate::model::CostModel;
+use crate::model::{CostModel, JoinOpId};
 use crate::plan::{Plan, PlanKind, PlanRef};
+use crate::tables::TableSet;
 
 /// Precision schedule for the approximation factor `α` as a function of the
 /// main-loop iteration counter.
@@ -70,6 +71,19 @@ impl Default for AlphaSchedule {
     }
 }
 
+/// Reusable buffers for [`approximate_frontiers_with`]: the operand
+/// frontier snapshots (copied out because the cache is mutated while the
+/// pairs are combined) and the per-pair operator list. One scratch serves a
+/// whole traversal — the recursion uses the buffers transiently between
+/// recursive calls — and the RMQ main loop reuses one across iterations so
+/// the traversal runs allocation-free in steady state.
+#[derive(Debug, Default)]
+pub struct FrontierScratch {
+    outer_plans: Vec<PlanRef>,
+    inner_plans: Vec<PlanRef>,
+    ops: Vec<JoinOpId>,
+}
+
 /// Approximates the Pareto frontiers of all intermediate results occurring
 /// in `p`, inserting the non-dominated partial plans into `cache` with
 /// approximation factor `alpha` (Algorithm 3, with the α choice hoisted to
@@ -78,28 +92,61 @@ pub fn approximate_frontiers<M>(p: &PlanRef, model: &M, cache: &mut PlanCache, a
 where
     M: CostModel + ?Sized,
 {
+    approximate_frontiers_with(p, model, cache, alpha, &mut FrontierScratch::default())
+}
+
+/// [`approximate_frontiers`] with caller-provided scratch buffers.
+///
+/// Candidate partial plans are costed first and admission-tested against
+/// the cached frontier ([`PlanCache::insert_with`]); the `Arc<Plan>` is
+/// only allocated for the candidates that survive pruning, which under a
+/// coarse α is a small fraction of the operator combinations enumerated.
+pub fn approximate_frontiers_with<M>(
+    p: &PlanRef,
+    model: &M,
+    cache: &mut PlanCache,
+    alpha: f64,
+    scratch: &mut FrontierScratch,
+) where
+    M: CostModel + ?Sized,
+{
     match p.kind() {
         PlanKind::Scan { table, .. } => {
+            let rel = TableSet::singleton(*table);
             for &op in model.scan_ops(*table) {
-                cache.insert(Plan::scan(model, *table, op), alpha);
+                let props = model.scan_props(*table, op);
+                cache.insert_with(rel, &props.cost, props.format, alpha, || {
+                    Plan::scan_from_props(*table, op, props)
+                });
             }
         }
         PlanKind::Join { outer, inner, .. } => {
-            // Approximate the operand frontiers first (post-order).
-            approximate_frontiers(outer, model, cache, alpha);
-            approximate_frontiers(inner, model, cache, alpha);
+            // Approximate the operand frontiers first (post-order; both
+            // recursive calls finish before this level uses the scratch).
+            approximate_frontiers_with(outer, model, cache, alpha, scratch);
+            approximate_frontiers_with(inner, model, cache, alpha, scratch);
             // Combine every cached outer/inner Pareto plan pair with every
             // applicable join operator. The cached plans may stem from
             // other join orders found in earlier iterations.
-            let outer_plans: Vec<PlanRef> = cache.frontier(outer.rel()).to_vec();
-            let inner_plans: Vec<PlanRef> = cache.frontier(inner.rel()).to_vec();
-            let mut ops = Vec::new();
-            for o in &outer_plans {
-                for i in &inner_plans {
+            let FrontierScratch {
+                outer_plans,
+                inner_plans,
+                ops,
+            } = scratch;
+            outer_plans.clear();
+            outer_plans.extend_from_slice(cache.frontier(outer.rel()));
+            inner_plans.clear();
+            inner_plans.extend_from_slice(cache.frontier(inner.rel()));
+            for o in outer_plans.iter() {
+                for i in inner_plans.iter() {
                     ops.clear();
-                    model.join_ops(o, i, &mut ops);
-                    for &op in &ops {
-                        cache.insert(Plan::join(model, o.clone(), i.clone(), op), alpha);
+                    model.join_ops(o, i, ops);
+                    let rel = o.rel().union(i.rel());
+                    for &op in ops.iter() {
+                        let props = model.join_props(o, i, op);
+                        cache.insert_with(rel, &props.cost, props.format, alpha, || {
+                            Plan::join_from_props(o.clone(), i.clone(), op, props)
+                        });
                     }
                 }
             }
@@ -133,6 +180,43 @@ mod tests {
         assert_eq!(AlphaSchedule::Fixed(2.5).alpha(1), 2.5);
         assert_eq!(AlphaSchedule::Fixed(2.5).alpha(999), 2.5);
         assert_eq!(AlphaSchedule::Fixed(0.5).alpha(1), 1.0);
+    }
+
+    #[test]
+    fn geometric_schedule_never_yields_alpha_below_one() {
+        // The doc contract says α is "clamped below at 1": α-dominance is
+        // undefined for α < 1 (`approx_dominates` debug-asserts α ≥ 1), so
+        // a sub-1 α would panic deep inside frontier pruning. Sweep the
+        // paper schedule far past its clamp point plus adversarial
+        // parameterizations (sub-1 start, zero decay, degenerate period,
+        // iteration extremes) and require α ≥ 1 everywhere.
+        let schedules = [
+            AlphaSchedule::paper(),
+            AlphaSchedule::Geometric {
+                start: 0.25, // starts below the clamp already
+                decay: 0.5,
+                period: 1,
+            },
+            AlphaSchedule::Geometric {
+                start: 1e9,
+                decay: 0.0, // collapses to 0 after one period
+                period: 3,
+            },
+            AlphaSchedule::Geometric {
+                start: 25.0,
+                decay: 0.99,
+                period: 0, // degenerate period must not divide by zero
+            },
+        ];
+        for schedule in schedules {
+            for i in (0..10_000).chain([100_000, 10_000_000, u64::MAX - 1, u64::MAX]) {
+                let alpha = schedule.alpha(i);
+                assert!(
+                    alpha >= 1.0,
+                    "{schedule:?} yielded alpha {alpha} < 1 at iteration {i}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -23,8 +23,32 @@
 
 use rand::Rng;
 
-use crate::model::{CostModel, JoinOpId};
+use crate::model::{CostModel, JoinOpId, PlanProps};
 use crate::plan::{Plan, PlanKind, PlanRef};
+
+/// Resolves the operator for joining `outer` and `inner`: the first entry
+/// of `preferred` that is applicable, falling back to the first applicable
+/// implementation. `ops` is a reusable scratch buffer; it is clobbered.
+/// Returns `None` if the model offers no applicable operator (contract
+/// violation; callers treat it as "rule not applicable").
+fn resolve_op<M>(
+    model: &M,
+    outer: &PlanRef,
+    inner: &PlanRef,
+    preferred: &[JoinOpId],
+    ops: &mut Vec<JoinOpId>,
+) -> Option<JoinOpId>
+where
+    M: CostModel + ?Sized,
+{
+    ops.clear();
+    model.join_ops(outer, inner, ops);
+    preferred
+        .iter()
+        .find(|p| ops.contains(p))
+        .copied()
+        .or_else(|| ops.first().copied())
+}
 
 /// Joins `outer` and `inner`, preferring `preferred` operators when
 /// applicable and falling back to the first applicable implementation.
@@ -40,12 +64,7 @@ where
     M: CostModel + ?Sized,
 {
     let mut ops = Vec::new();
-    model.join_ops(outer, inner, &mut ops);
-    let op = preferred
-        .iter()
-        .find(|p| ops.contains(p))
-        .copied()
-        .or_else(|| ops.first().copied())?;
+    let op = resolve_op(model, outer, inner, preferred, &mut ops)?;
     Some(Plan::join(model, outer.clone(), inner.clone(), op))
 }
 
@@ -79,6 +98,103 @@ impl MutationSet {
             MutationSet::LeftDeep => left_deep_root_mutations(p, model, out),
         }
     }
+
+    /// Enumerates the *structural* root candidates of the join
+    /// `outer ⋈[root_op] inner` under this rule set — commutativity,
+    /// rotations, and join exchanges, but not operator changes — without
+    /// materializing any candidate's root node. For each candidate, `f`
+    /// receives the operand plans, the resolved operator
+    /// (preferred-then-first-applicable, exactly as [`join_preferring`]
+    /// picks it), and the root's precomputed [`PlanProps`]; the callback
+    /// decides whether to materialize, typically by probing a frontier via
+    /// `ParetoSet::insert_climb_with` so that *rejected candidates never
+    /// allocate*. Intermediate nodes a rotated sub-tree needs are still
+    /// built eagerly — only the candidate's root is deferred.
+    ///
+    /// Candidates are visited in the same order [`root_mutations`] emits
+    /// them (commutativity, outer-child rules, inner-child rules), which
+    /// callers rely on for deterministic tie-breaking.
+    ///
+    /// `ops` is a reusable operator scratch buffer; it is clobbered.
+    pub fn visit_structural<M>(
+        self,
+        outer: &PlanRef,
+        inner: &PlanRef,
+        root_op: JoinOpId,
+        model: &M,
+        ops: &mut Vec<JoinOpId>,
+        f: &mut impl FnMut(&PlanRef, &PlanRef, JoinOpId, PlanProps),
+    ) where
+        M: CostModel + ?Sized,
+    {
+        let mut candidate = |a: &PlanRef, b: &PlanRef, op: JoinOpId| {
+            // One closure so every rule costs its root the same way.
+            f(a, b, op, model.join_props(a, b, op));
+        };
+        // Intermediate nodes also resolve their operator through the shared
+        // scratch (same preferred-else-first pick as `join_preferring`,
+        // without its per-call Vec).
+        let build = |a: &PlanRef, b: &PlanRef, preferred: &[JoinOpId], ops: &mut Vec<JoinOpId>| {
+            let op = resolve_op(model, a, b, preferred, ops)?;
+            Some(Plan::join(model, a.clone(), b.clone(), op))
+        };
+        // Commutativity: B ⋈ A. The left-deep rule set only commutes the
+        // bottom-most join (scan outer keeps the tree left-deep).
+        let commute = match self {
+            MutationSet::Bushy => true,
+            MutationSet::LeftDeep => !outer.is_join(),
+        };
+        if commute {
+            if let Some(op) = resolve_op(model, inner, outer, &[root_op], ops) {
+                candidate(inner, outer, op);
+            }
+        }
+        // Rules consuming the outer child's structure.
+        if let PlanKind::Join {
+            outer: ll,
+            inner: lr,
+            op: lop,
+        } = outer.kind()
+        {
+            if self == MutationSet::Bushy {
+                // Right rotation: (LL ⋈ LR) ⋈ R → LL ⋈ (LR ⋈ R).
+                if let Some(new_inner) = build(lr, inner, &[root_op, *lop], ops) {
+                    if let Some(op) = resolve_op(model, ll, &new_inner, &[*lop, root_op], ops) {
+                        candidate(ll, &new_inner, op);
+                    }
+                }
+            }
+            // Left join exchange: (LL ⋈ LR) ⋈ R → (LL ⋈ R) ⋈ LR (preserves
+            // left-deep shape, so both rule sets apply it).
+            if let Some(new_outer) = build(ll, inner, &[*lop, root_op], ops) {
+                if let Some(op) = resolve_op(model, &new_outer, lr, &[root_op, *lop], ops) {
+                    candidate(&new_outer, lr, op);
+                }
+            }
+        }
+        // Rules consuming the inner child's structure (bushy only).
+        if self == MutationSet::Bushy {
+            if let PlanKind::Join {
+                outer: rl,
+                inner: rr,
+                op: rop,
+            } = inner.kind()
+            {
+                // Left rotation: L ⋈ (RL ⋈ RR) → (L ⋈ RL) ⋈ RR.
+                if let Some(new_outer) = build(outer, rl, &[root_op, *rop], ops) {
+                    if let Some(op) = resolve_op(model, &new_outer, rr, &[*rop, root_op], ops) {
+                        candidate(&new_outer, rr, op);
+                    }
+                }
+                // Right join exchange: L ⋈ (RL ⋈ RR) → RL ⋈ (L ⋈ RR).
+                if let Some(new_inner) = build(outer, rr, &[*rop, root_op], ops) {
+                    if let Some(op) = resolve_op(model, rl, &new_inner, &[root_op, *rop], ops) {
+                        candidate(rl, &new_inner, op);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Appends to `out` every neighbor obtainable by one transformation at the
@@ -88,75 +204,25 @@ pub fn root_mutations<M>(p: &PlanRef, model: &M, out: &mut Vec<PlanRef>)
 where
     M: CostModel + ?Sized,
 {
-    match p.kind() {
-        PlanKind::Scan { table, op } => {
-            for &alt in model.scan_ops(*table) {
-                if alt != *op {
-                    out.push(Plan::scan(model, *table, alt));
-                }
-            }
-        }
-        PlanKind::Join { outer, inner, op } => {
-            // Operator change.
-            let mut ops = Vec::new();
-            model.join_ops(outer, inner, &mut ops);
-            for &alt in &ops {
-                if alt != *op {
-                    out.push(Plan::join(model, outer.clone(), inner.clone(), alt));
-                }
-            }
-            // Commutativity: B ⋈ A.
-            if let Some(np) = join_preferring(model, inner, outer, &[*op]) {
-                out.push(np);
-            }
-            // Rules consuming the outer child's structure.
-            if let PlanKind::Join {
-                outer: ll,
-                inner: lr,
-                op: lop,
-            } = outer.kind()
-            {
-                // Right rotation: (LL ⋈ LR) ⋈ R → LL ⋈ (LR ⋈ R).
-                if let Some(new_inner) = join_preferring(model, lr, inner, &[*op, *lop]) {
-                    if let Some(np) = join_preferring(model, ll, &new_inner, &[*lop, *op]) {
-                        out.push(np);
-                    }
-                }
-                // Left join exchange: (LL ⋈ LR) ⋈ R → (LL ⋈ R) ⋈ LR.
-                if let Some(new_outer) = join_preferring(model, ll, inner, &[*lop, *op]) {
-                    if let Some(np) = join_preferring(model, &new_outer, lr, &[*op, *lop]) {
-                        out.push(np);
-                    }
-                }
-            }
-            // Rules consuming the inner child's structure.
-            if let PlanKind::Join {
-                outer: rl,
-                inner: rr,
-                op: rop,
-            } = inner.kind()
-            {
-                // Left rotation: L ⋈ (RL ⋈ RR) → (L ⋈ RL) ⋈ RR.
-                if let Some(new_outer) = join_preferring(model, outer, rl, &[*op, *rop]) {
-                    if let Some(np) = join_preferring(model, &new_outer, rr, &[*rop, *op]) {
-                        out.push(np);
-                    }
-                }
-                // Right join exchange: L ⋈ (RL ⋈ RR) → RL ⋈ (L ⋈ RR).
-                if let Some(new_inner) = join_preferring(model, outer, rr, &[*rop, *op]) {
-                    if let Some(np) = join_preferring(model, rl, &new_inner, &[*op, *rop]) {
-                        out.push(np);
-                    }
-                }
-            }
-        }
-    }
+    emit_root_mutations(MutationSet::Bushy, p, model, out)
 }
 
 /// Appends to `out` the left-deep-preserving root mutations of `p` (see
 /// [`MutationSet::LeftDeep`]). When `p` is left-deep, every emitted plan is
 /// left-deep as well.
 pub fn left_deep_root_mutations<M>(p: &PlanRef, model: &M, out: &mut Vec<PlanRef>)
+where
+    M: CostModel + ?Sized,
+{
+    emit_root_mutations(MutationSet::LeftDeep, p, model, out)
+}
+
+/// Shared materializing emitter behind [`root_mutations`] and
+/// [`left_deep_root_mutations`]: operator changes first, then the
+/// structural rules of [`MutationSet::visit_structural`], every candidate
+/// built eagerly. The pruning hot path in [`crate::climb`] does not go
+/// through here — it visits the same candidates unmaterialized.
+fn emit_root_mutations<M>(set: MutationSet, p: &PlanRef, model: &M, out: &mut Vec<PlanRef>)
 where
     M: CostModel + ?Sized,
 {
@@ -177,27 +243,16 @@ where
                     out.push(Plan::join(model, outer.clone(), inner.clone(), alt));
                 }
             }
-            // Commutativity only at the bottom-most join: with a scan
-            // outer, swapping keeps the tree left-deep.
-            if !outer.is_join() {
-                if let Some(np) = join_preferring(model, inner, outer, &[*op]) {
-                    out.push(np);
-                }
-            }
-            // Left join exchange: (LL ⋈ LR) ⋈ R → (LL ⋈ R) ⋈ LR — swaps
-            // the last two tables of the join sequence.
-            if let PlanKind::Join {
-                outer: ll,
-                inner: lr,
-                op: lop,
-            } = outer.kind()
-            {
-                if let Some(new_outer) = join_preferring(model, ll, inner, &[*lop, *op]) {
-                    if let Some(np) = join_preferring(model, &new_outer, lr, &[*op, *lop]) {
-                        out.push(np);
-                    }
-                }
-            }
+            set.visit_structural(
+                outer,
+                inner,
+                *op,
+                model,
+                &mut ops,
+                &mut |a, b, jop, props| {
+                    out.push(Plan::join_from_props(a.clone(), b.clone(), jop, props));
+                },
+            );
         }
     }
 }

@@ -20,7 +20,34 @@
 //!   α-approximately dominates it; insertion removes stored plans the new
 //!   plan weakly dominates (α = 1). This keeps the per-table-set frontier
 //!   size polynomially bounded (Lemma 6).
+//!
+//! # Hot-path representation
+//!
+//! `Prune`/`SigBetter` run inside every hill-climbing step and every
+//! `ApproximateFrontiers` traversal, so the paper's per-iteration complexity
+//! argument hinges on these checks being cheap. [`ParetoSet`] therefore
+//!
+//! * **buckets members by output format** — the `SameOutput` conjunct of
+//!   both rules becomes a hash-map lookup followed by a scan of one format's
+//!   members instead of a scan of the whole set;
+//! * **caches cost vectors and an aggregate key inline** — dominance checks
+//!   read a dense metadata array instead of chasing every member's
+//!   `Arc<Plan>`, and a member whose key already rules dominance out is
+//!   skipped without touching its components (see
+//!   [`CostVector::agg_key`]);
+//! * **defers plan materialization** — the `*_with` insertion variants take
+//!   the candidate's cost and format plus a closure producing the plan, so
+//!   *rejected candidates never allocate* (callers cost a candidate, probe
+//!   the set, and only build the `Arc<Plan>` on admission).
+//!
+//! The pre-bucketing flat-`Vec` implementation is retained as
+//! [`LinearParetoSet`] for differential tests and the `pruning`
+//! micro-benchmark; both implementations make identical keep/evict
+//! decisions and store survivors in the same order.
 
+use crate::cost::CostVector;
+use crate::fxhash::FxHashMap;
+use crate::model::OutputFormat;
 use crate::plan::{Plan, PlanRef};
 
 /// `Better(p1, p2)` of Algorithm 2: same output format and strictly
@@ -50,19 +77,50 @@ pub enum PrunePolicy {
     KeepIncomparable,
 }
 
+/// Inline per-member pruning metadata: the cost vector, its cached
+/// aggregate key, and the output format. Dominance checks touch only this
+/// dense array; the member's `Arc<Plan>` is never dereferenced.
+#[derive(Clone, Copy, Debug)]
+struct Meta {
+    cost: CostVector,
+    /// `cost.agg_key()`, cached at insertion.
+    key: f64,
+    format: OutputFormat,
+}
+
+impl Meta {
+    #[inline]
+    fn of(cost: &CostVector, format: OutputFormat) -> Self {
+        Meta {
+            cost: *cost,
+            key: cost.agg_key(),
+            format,
+        }
+    }
+}
+
 /// A pruned set of plans over the same table set.
 ///
 /// Invariant: no member strictly dominates another member with the same
 /// output format (both policies and the approximate rule preserve this).
+///
+/// Members are stored in insertion order (evictions compact in place), with
+/// a per-output-format index on the side so same-format probes never scan
+/// members of other formats. See the module docs for the full hot-path
+/// rationale.
 #[derive(Clone, Default, Debug)]
 pub struct ParetoSet {
     plans: Vec<PlanRef>,
+    /// Parallel to `plans`: inline cost metadata.
+    meta: Vec<Meta>,
+    /// Output format → ascending indices into `plans`/`meta`.
+    buckets: FxHashMap<OutputFormat, Vec<u32>>,
 }
 
 impl ParetoSet {
     /// Creates an empty set.
     pub fn new() -> Self {
-        ParetoSet { plans: Vec::new() }
+        ParetoSet::default()
     }
 
     /// The current members.
@@ -86,18 +144,311 @@ impl ParetoSet {
     /// Removes all members.
     pub fn clear(&mut self) {
         self.plans.clear();
+        self.meta.clear();
+        for bucket in self.buckets.values_mut() {
+            bucket.clear();
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, plan: PlanRef, meta: Meta) {
+        debug_assert_eq!(
+            meta.cost.as_slice(),
+            plan.cost().as_slice(),
+            "metadata disagrees with materialized plan cost"
+        );
+        debug_assert_eq!(meta.format, plan.format());
+        let idx = self.plans.len() as u32;
+        self.plans.push(plan);
+        self.buckets.entry(meta.format).or_default().push(idx);
+        self.meta.push(meta);
+    }
+
+    /// Removes the members at the given ascending indices, preserving the
+    /// relative order of the survivors (mirrors `Vec::retain`, which the
+    /// linear reference implementation uses), then rebuilds the format
+    /// index. Eviction is the rare path — insertions evict only when the
+    /// newcomer dominates stored members — so the O(len) compaction does
+    /// not affect the rejection fast path.
+    fn remove_sorted(&mut self, dead: &[u32]) {
+        debug_assert!(dead.windows(2).all(|w| w[0] < w[1]));
+        let mut di = 0usize;
+        let mut idx = 0u32;
+        self.plans.retain(|_| {
+            let drop = di < dead.len() && dead[di] == idx;
+            if drop {
+                di += 1;
+            }
+            idx += 1;
+            !drop
+        });
+        di = 0;
+        idx = 0;
+        self.meta.retain(|_| {
+            let drop = di < dead.len() && dead[di] == idx;
+            if drop {
+                di += 1;
+            }
+            idx += 1;
+            !drop
+        });
+        for bucket in self.buckets.values_mut() {
+            bucket.clear();
+        }
+        for (i, m) in self.meta.iter().enumerate() {
+            self.buckets.entry(m.format).or_default().push(i as u32);
+        }
     }
 
     /// Climb pruning (Algorithm 2's `Prune`). Returns `true` iff the plan
     /// was inserted.
+    pub fn insert_climb(&mut self, new_plan: PlanRef, policy: PrunePolicy) -> bool {
+        let cost = *new_plan.cost();
+        let format = new_plan.format();
+        self.insert_climb_with(&cost, format, policy, move || new_plan)
+    }
+
+    /// Climb pruning on a candidate described by its cost and output format
+    /// alone: `make` is invoked — and the plan allocated — only if the
+    /// candidate is admitted. The materialized plan must have exactly the
+    /// given cost and format. Returns `true` iff the candidate was inserted.
+    pub fn insert_climb_with(
+        &mut self,
+        cost: &CostVector,
+        format: OutputFormat,
+        policy: PrunePolicy,
+        make: impl FnOnce() -> PlanRef,
+    ) -> bool {
+        match policy {
+            PrunePolicy::KeepIncomparable => {
+                let key = cost.agg_key();
+                if let Some(bucket) = self.buckets.get(&format) {
+                    for &i in bucket {
+                        let m = &self.meta[i as usize];
+                        // A strictly dominating member — or an exact
+                        // duplicate, which the paper's strict rule would
+                        // accumulate without bound — cannot have a larger
+                        // aggregate key than the candidate.
+                        if m.key <= key && (m.cost.strictly_dominates(cost) || m.cost == *cost) {
+                            return false;
+                        }
+                    }
+                }
+                // Evict the same-format members the candidate strictly
+                // dominates; their keys are at least the candidate's.
+                let mut dead: Vec<u32> = Vec::new();
+                if let Some(bucket) = self.buckets.get(&format) {
+                    for &i in bucket {
+                        let m = &self.meta[i as usize];
+                        if key <= m.key && cost.strictly_dominates(&m.cost) {
+                            dead.push(i);
+                        }
+                    }
+                }
+                if !dead.is_empty() {
+                    self.remove_sorted(&dead);
+                }
+                self.push(make(), Meta::of(cost, format));
+                true
+            }
+            PrunePolicy::OnePerFormat => {
+                match self.buckets.get(&format).and_then(|b| b.first().copied()) {
+                    Some(idx) => {
+                        let incumbent = &self.meta[idx as usize];
+                        if cost.strictly_dominates(&incumbent.cost) {
+                            self.meta[idx as usize] = Meta::of(cost, format);
+                            self.plans[idx as usize] = make();
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    None => {
+                        self.push(make(), Meta::of(cost, format));
+                        true
+                    }
+                }
+            }
+        }
+    }
+
+    /// Approximate pruning (Algorithm 3's `Prune` with factor `alpha`).
+    /// Returns `true` iff the plan was inserted.
+    pub fn insert_approx(&mut self, new_plan: PlanRef, alpha: f64) -> bool {
+        let cost = *new_plan.cost();
+        let format = new_plan.format();
+        self.insert_approx_with(&cost, format, alpha, move || new_plan)
+    }
+
+    /// Approximate pruning on a candidate described by its cost and output
+    /// format alone; like [`insert_climb_with`](Self::insert_climb_with),
+    /// `make` runs only on admission, so rejected candidates never
+    /// allocate. Returns `true` iff the candidate was inserted.
+    pub fn insert_approx_with(
+        &mut self,
+        cost: &CostVector,
+        format: OutputFormat,
+        alpha: f64,
+        make: impl FnOnce() -> PlanRef,
+    ) -> bool {
+        // A member α-dominating the candidate satisfies
+        // `m.key <= cost.scaled_agg_key(alpha)` exactly (see CostVector).
+        let alpha_key = cost.scaled_agg_key(alpha);
+        if let Some(bucket) = self.buckets.get(&format) {
+            for &i in bucket {
+                let m = &self.meta[i as usize];
+                if m.key <= alpha_key && m.cost.approx_dominates(cost, alpha) {
+                    return false;
+                }
+            }
+        }
+        // Insertion removes the same-format members the candidate weakly
+        // dominates (`SigBetter` with α = 1).
+        let key = cost.agg_key();
+        let mut dead: Vec<u32> = Vec::new();
+        if let Some(bucket) = self.buckets.get(&format) {
+            for &i in bucket {
+                let m = &self.meta[i as usize];
+                if key <= m.key && cost.dominates(&m.cost) {
+                    dead.push(i);
+                }
+            }
+        }
+        if !dead.is_empty() {
+            self.remove_sorted(&dead);
+        }
+        self.push(make(), Meta::of(cost, format));
+        true
+    }
+
+    /// Inserts keeping the exact cost-Pareto frontier, ignoring output
+    /// formats (used for result archives where only cost tradeoffs matter).
+    /// Returns `true` iff the plan was inserted.
+    pub fn insert_cost_frontier(&mut self, new_plan: PlanRef) -> bool {
+        let key = new_plan.cost().agg_key();
+        let cost = *new_plan.cost();
+        for m in &self.meta {
+            if m.key <= key && (m.cost.strictly_dominates(&cost) || m.cost == cost) {
+                return false;
+            }
+        }
+        let mut dead: Vec<u32> = Vec::new();
+        for (i, m) in self.meta.iter().enumerate() {
+            if key <= m.key && cost.strictly_dominates(&m.cost) {
+                dead.push(i as u32);
+            }
+        }
+        if !dead.is_empty() {
+            self.remove_sorted(&dead);
+        }
+        let format = new_plan.format();
+        self.push(new_plan, Meta::of(&cost, format));
+        true
+    }
+
+    /// Consumes the set, returning the plans.
+    pub fn into_plans(self) -> Vec<PlanRef> {
+        self.plans
+    }
+
+    /// Iterates over members.
+    pub fn iter(&self) -> impl Iterator<Item = &PlanRef> {
+        self.plans.iter()
+    }
+
+    /// Debug check of the set invariant: no member strictly dominates
+    /// another member with the same output format, and the inline metadata
+    /// and format index agree with the stored plans.
+    pub fn check_invariant(&self) -> bool {
+        if self.plans.len() != self.meta.len() {
+            return false;
+        }
+        for (p, m) in self.plans.iter().zip(&self.meta) {
+            if p.cost().as_slice() != m.cost.as_slice()
+                || p.format() != m.format
+                || m.key != m.cost.agg_key()
+            {
+                return false;
+            }
+        }
+        let indexed: usize = self.buckets.values().map(Vec::len).sum();
+        if indexed != self.meta.len() {
+            return false;
+        }
+        for (format, bucket) in &self.buckets {
+            for &i in bucket {
+                match self.meta.get(i as usize) {
+                    Some(m) if m.format == *format => {}
+                    _ => return false,
+                }
+            }
+        }
+        for (i, a) in self.meta.iter().enumerate() {
+            for (j, b) in self.meta.iter().enumerate() {
+                if i != j && a.format == b.format && a.cost.strictly_dominates(&b.cost) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl FromIterator<PlanRef> for ParetoSet {
+    /// Collects plans into an exact cost-Pareto frontier (format-agnostic).
+    fn from_iter<I: IntoIterator<Item = PlanRef>>(iter: I) -> Self {
+        let mut set = ParetoSet::new();
+        for p in iter {
+            set.insert_cost_frontier(p);
+        }
+        set
+    }
+}
+
+/// The pre-bucketing reference implementation: a flat `Vec<PlanRef>` with
+/// O(n·d) dominance scans per insert that dereference every member's
+/// `Arc<Plan>`.
+///
+/// Kept (verbatim from the original `ParetoSet`) for two purposes only:
+/// differential tests proving the bucketed set makes identical decisions,
+/// and the `pruning` micro-benchmark quantifying the speedup. Not used on
+/// any hot path.
+#[derive(Clone, Default, Debug)]
+pub struct LinearParetoSet {
+    plans: Vec<PlanRef>,
+}
+
+impl LinearParetoSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        LinearParetoSet { plans: Vec::new() }
+    }
+
+    /// The current members.
+    #[inline]
+    pub fn plans(&self) -> &[PlanRef] {
+        &self.plans
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Climb pruning by linear scan (the original Algorithm 2 `Prune`).
     pub fn insert_climb(&mut self, new_plan: PlanRef, policy: PrunePolicy) -> bool {
         match policy {
             PrunePolicy::KeepIncomparable => {
                 if self.plans.iter().any(|p| better(p, &new_plan)) {
                     return false;
                 }
-                // Also drop exact same-format cost duplicates: the paper's
-                // strict rule would accumulate them without bound.
                 if self
                     .plans
                     .iter()
@@ -125,8 +476,8 @@ impl ParetoSet {
         }
     }
 
-    /// Approximate pruning (Algorithm 3's `Prune` with factor `alpha`).
-    /// Returns `true` iff the plan was inserted.
+    /// Approximate pruning by linear scan (the original Algorithm 3
+    /// `Prune`).
     pub fn insert_approx(&mut self, new_plan: PlanRef, alpha: f64) -> bool {
         if self.plans.iter().any(|p| sig_better(p, &new_plan, alpha)) {
             return false;
@@ -136,9 +487,7 @@ impl ParetoSet {
         true
     }
 
-    /// Inserts keeping the exact cost-Pareto frontier, ignoring output
-    /// formats (used for result archives where only cost tradeoffs matter).
-    /// Returns `true` iff the plan was inserted.
+    /// Format-agnostic exact cost-frontier insertion by linear scan.
     pub fn insert_cost_frontier(&mut self, new_plan: PlanRef) -> bool {
         if self
             .plans
@@ -151,40 +500,6 @@ impl ParetoSet {
             .retain(|p| !new_plan.cost().strictly_dominates(p.cost()));
         self.plans.push(new_plan);
         true
-    }
-
-    /// Consumes the set, returning the plans.
-    pub fn into_plans(self) -> Vec<PlanRef> {
-        self.plans
-    }
-
-    /// Iterates over members.
-    pub fn iter(&self) -> impl Iterator<Item = &PlanRef> {
-        self.plans.iter()
-    }
-
-    /// Debug check of the set invariant: no member strictly dominates
-    /// another member with the same output format.
-    pub fn check_invariant(&self) -> bool {
-        for (i, a) in self.plans.iter().enumerate() {
-            for (j, b) in self.plans.iter().enumerate() {
-                if i != j && better(a, b) {
-                    return false;
-                }
-            }
-        }
-        true
-    }
-}
-
-impl FromIterator<PlanRef> for ParetoSet {
-    /// Collects plans into an exact cost-Pareto frontier (format-agnostic).
-    fn from_iter<I: IntoIterator<Item = PlanRef>>(iter: I) -> Self {
-        let mut set = ParetoSet::new();
-        for p in iter {
-            set.insert_cost_frontier(p);
-        }
-        set
     }
 }
 
@@ -412,6 +727,170 @@ mod tests {
         assert!(!set.is_empty());
         set.clear();
         assert!(set.is_empty());
+        assert!(set.check_invariant());
         assert_eq!(set.into_plans().len(), 0);
+    }
+
+    #[test]
+    fn deferred_materialization_skips_rejected_candidates() {
+        let (_, plans) = sample_plans();
+        let good = plans[0].clone();
+        let bad = plans[3].clone();
+        let mut set = ParetoSet::new();
+        assert!(set.insert_climb(good, PrunePolicy::OnePerFormat));
+        // The rejected candidate's closure must never run.
+        let bad_cost = *bad.cost();
+        let bad_format = bad.format();
+        let mut made = false;
+        assert!(
+            !set.insert_climb_with(&bad_cost, bad_format, PrunePolicy::OnePerFormat, || {
+                made = true;
+                bad
+            })
+        );
+        assert!(!made, "rejected candidate was materialized");
+
+        let mut set = ParetoSet::new();
+        assert!(set.insert_approx(plans[0].clone(), 1e9));
+        let mut made = false;
+        assert!(!set.insert_approx_with(&bad_cost, bad_format, 1e9, || {
+            made = true;
+            plans[3].clone()
+        }));
+        assert!(!made, "rejected approx candidate was materialized");
+    }
+
+    /// Fabricates a plan with arbitrary cost and format through the
+    /// props-based constructor (the table/operator are irrelevant to
+    /// `ParetoSet`, which only reads cost and format).
+    fn synthetic_plan(cost: &[f64], format: u8) -> PlanRef {
+        Plan::scan_from_props(
+            TableId::new(0),
+            ScanOpId(0),
+            PlanProps {
+                cost: CostVector::new(cost),
+                rows: 1.0,
+                pages: 1.0,
+                format: OutputFormat(format),
+            },
+        )
+    }
+
+    #[test]
+    fn bucketed_matches_linear_on_handpicked_eviction_chain() {
+        // A chain designed to hit rejection, replacement, and multi-member
+        // eviction in both implementations.
+        let stream: Vec<(Vec<f64>, u8)> = vec![
+            (vec![4.0, 4.0, 4.0], 0),
+            (vec![5.0, 3.0, 5.0], 0),
+            (vec![3.0, 5.0, 5.0], 0),
+            (vec![6.0, 6.0, 6.0], 1),
+            (vec![2.0, 2.0, 2.0], 0), // dominates all three format-0 members
+            (vec![2.0, 2.0, 2.0], 0), // duplicate
+            (vec![1.0, 9.0, 1.0], 1),
+        ];
+        for alpha in [1.0, 1.5, 10.0] {
+            let mut bucketed = ParetoSet::new();
+            let mut linear = LinearParetoSet::new();
+            for (cost, format) in &stream {
+                let p = synthetic_plan(cost, *format);
+                assert_eq!(
+                    bucketed.insert_approx(p.clone(), alpha),
+                    linear.insert_approx(p, alpha),
+                    "decision diverged at alpha={alpha}"
+                );
+            }
+            assert_eq!(bucketed.len(), linear.len());
+            assert!(bucketed.check_invariant());
+        }
+    }
+
+    mod differential {
+        //! Satellite: proptests that (a) both prune policies preserve the
+        //! Pareto-set invariant and (b) the bucketed implementation makes
+        //! exactly the decisions — and stores exactly the survivors, in the
+        //! same order — as the linear-scan reference.
+
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Candidate streams: small integer-ish costs maximize dominance /
+        /// equality collisions, few formats maximize bucket contention.
+        fn arb_stream() -> impl Strategy<Value = Vec<(Vec<f64>, u8)>> {
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec((0..8u8).prop_map(f64::from), 3),
+                    0..3u8,
+                ),
+                1..40,
+            )
+        }
+
+        fn survivors(plans: &[PlanRef]) -> Vec<(Vec<f64>, u8)> {
+            plans
+                .iter()
+                .map(|p| (p.cost().as_slice().to_vec(), p.format().0))
+                .collect()
+        }
+
+        proptest! {
+            /// Both climb policies preserve the invariant (no member
+            /// strictly dominates a same-format member), and bucketed
+            /// pruning returns the same surviving set as the linear scan.
+            #[test]
+            fn climb_policies_match_linear_and_keep_invariant(stream in arb_stream()) {
+                for policy in [PrunePolicy::OnePerFormat, PrunePolicy::KeepIncomparable] {
+                    let mut bucketed = ParetoSet::new();
+                    let mut linear = LinearParetoSet::new();
+                    for (cost, format) in &stream {
+                        let p = synthetic_plan(cost, *format);
+                        let kept_b = bucketed.insert_climb(p.clone(), policy);
+                        let kept_l = linear.insert_climb(p, policy);
+                        prop_assert_eq!(kept_b, kept_l, "decision diverged under {:?}", policy);
+                    }
+                    prop_assert!(bucketed.check_invariant());
+                    prop_assert_eq!(
+                        survivors(bucketed.plans()),
+                        survivors(linear.plans()),
+                        "survivors diverged under {:?}", policy
+                    );
+                }
+            }
+
+            /// Approximate pruning: same decisions and survivors for a range
+            /// of α, and the invariant holds.
+            #[test]
+            fn approx_prune_matches_linear_and_keeps_invariant(
+                stream in arb_stream(),
+                alpha in prop_oneof![Just(1.0f64), 1.0f64..4.0, Just(1e12f64)],
+            ) {
+                let mut bucketed = ParetoSet::new();
+                let mut linear = LinearParetoSet::new();
+                for (cost, format) in &stream {
+                    let p = synthetic_plan(cost, *format);
+                    let kept_b = bucketed.insert_approx(p.clone(), alpha);
+                    let kept_l = linear.insert_approx(p, alpha);
+                    prop_assert_eq!(kept_b, kept_l, "decision diverged at alpha={}", alpha);
+                }
+                prop_assert!(bucketed.check_invariant());
+                prop_assert_eq!(survivors(bucketed.plans()), survivors(linear.plans()));
+            }
+
+            /// Format-agnostic cost-frontier insertion matches as well.
+            #[test]
+            fn cost_frontier_matches_linear(stream in arb_stream()) {
+                let mut bucketed = ParetoSet::new();
+                let mut linear = LinearParetoSet::new();
+                for (cost, format) in &stream {
+                    let p = synthetic_plan(cost, *format);
+                    prop_assert_eq!(
+                        bucketed.insert_cost_frontier(p.clone()),
+                        linear.insert_cost_frontier(p)
+                    );
+                }
+                prop_assert!(bucketed.check_invariant());
+                prop_assert_eq!(survivors(bucketed.plans()), survivors(linear.plans()));
+            }
+        }
     }
 }

@@ -16,7 +16,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use crate::cost::CostVector;
-use crate::model::{CostModel, JoinOpId, OutputFormat, ScanOpId};
+use crate::model::{CostModel, JoinOpId, OutputFormat, PlanProps, ScanOpId};
 use crate::tables::{TableId, TableSet};
 
 /// Shared handle to an immutable plan node.
@@ -58,7 +58,17 @@ impl Plan {
     /// Builds a scan plan for `table` using scan operator `op`, with cost and
     /// output properties supplied by `model`.
     pub fn scan<M: CostModel + ?Sized>(model: &M, table: TableId, op: ScanOpId) -> PlanRef {
-        let props = model.scan_props(table, op);
+        Plan::scan_from_props(table, op, model.scan_props(table, op))
+    }
+
+    /// Builds a scan plan from properties already computed by a cost model.
+    ///
+    /// The pruning hot paths cost candidates *before* materializing them
+    /// (see `ParetoSet::insert_climb_with`); this constructor turns an
+    /// admitted candidate into a plan node without re-invoking the model.
+    /// `props` must come from `scan_props(table, op)` of the model the
+    /// surrounding optimization runs against.
+    pub fn scan_from_props(table: TableId, op: ScanOpId, props: PlanProps) -> PlanRef {
         debug_assert!(props.cost.is_valid(), "scan produced invalid cost");
         Arc::new(Plan {
             kind: PlanKind::Scan { table, op },
@@ -80,13 +90,28 @@ impl Plan {
         inner: PlanRef,
         op: JoinOpId,
     ) -> PlanRef {
+        let props = model.join_props(&outer, &inner, op);
+        Plan::join_from_props(outer, inner, op, props)
+    }
+
+    /// Builds a join plan from properties already computed by a cost model
+    /// (the join analogue of [`Plan::scan_from_props`]). `props` must come
+    /// from `join_props(&outer, &inner, op)` of the surrounding model.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the operand table sets overlap.
+    pub fn join_from_props(
+        outer: PlanRef,
+        inner: PlanRef,
+        op: JoinOpId,
+        props: PlanProps,
+    ) -> PlanRef {
         debug_assert!(
             outer.rel.is_disjoint(inner.rel),
             "join operands overlap: {} vs {}",
             outer.rel,
             inner.rel
         );
-        let props = model.join_props(&outer, &inner, op);
         debug_assert!(props.cost.is_valid(), "join produced invalid cost");
         let rel = outer.rel.union(inner.rel);
         Arc::new(Plan {

@@ -20,8 +20,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::cache::PlanCache;
-use crate::climb::{pareto_climb, ClimbConfig, ClimbStats};
-use crate::frontier::{approximate_frontiers, AlphaSchedule};
+use crate::climb::{pareto_climb_with, ClimbConfig, ClimbStats, StepScratch};
+use crate::frontier::{approximate_frontiers_with, AlphaSchedule, FrontierScratch};
 use crate::model::CostModel;
 use crate::mutations::MutationSet;
 use crate::optimizer::Optimizer;
@@ -129,6 +129,11 @@ pub struct Rmq<M: CostModel> {
     iteration: u64,
     rng: StdRng,
     stats: RmqStats,
+    /// Hill-climbing scratch buffers, reused across iterations so the
+    /// climb's inner loops run allocation-free in steady state.
+    climb_scratch: StepScratch,
+    /// Frontier-approximation scratch buffers, likewise reused.
+    frontier_scratch: FrontierScratch,
 }
 
 impl<M: CostModel> Rmq<M> {
@@ -147,6 +152,8 @@ impl<M: CostModel> Rmq<M> {
             results: ParetoSet::new(),
             iteration: 0,
             stats: RmqStats::default(),
+            climb_scratch: StepScratch::default(),
+            frontier_scratch: FrontierScratch::default(),
         }
     }
 
@@ -170,14 +177,27 @@ impl<M: CostModel> Rmq<M> {
             ),
         };
         // 2. Improve the plan via fast local search.
-        let (opt_plan, climb_stats) = pareto_climb(plan, &self.model, &climb_cfg);
+        let (opt_plan, climb_stats) =
+            pareto_climb_with(plan, &self.model, &climb_cfg, &mut self.climb_scratch);
         // 3. Approximate the Pareto frontiers of its intermediate results.
         let alpha = self.cfg.alpha.alpha(self.iteration);
         if self.cfg.share_cache {
-            approximate_frontiers(&opt_plan, &self.model, &mut self.cache, alpha);
+            approximate_frontiers_with(
+                &opt_plan,
+                &self.model,
+                &mut self.cache,
+                alpha,
+                &mut self.frontier_scratch,
+            );
         } else {
             let mut private = PlanCache::new();
-            approximate_frontiers(&opt_plan, &self.model, &mut private, alpha);
+            approximate_frontiers_with(
+                &opt_plan,
+                &self.model,
+                &mut private,
+                alpha,
+                &mut self.frontier_scratch,
+            );
             for p in private.frontier(self.query) {
                 self.results.insert_approx(p.clone(), alpha);
             }

@@ -20,6 +20,8 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
+use moqo_core::cost::CostVector;
+use moqo_core::model::OutputFormat;
 use moqo_core::plan::PlanRef;
 use moqo_core::tables::TableSet;
 
@@ -74,8 +76,32 @@ impl CacheStats {
     }
 }
 
+/// A cached plan with its pruning metadata held inline: publish-time
+/// dominance checks read the dense `(cost, key, format)` triple instead of
+/// dereferencing every member's `Arc<Plan>`, and the aggregate key rejects
+/// most comparisons outright (see `CostVector::agg_key` — the same
+/// representation `moqo_core::pareto::ParetoSet` uses in-optimizer).
+struct CachedPlan {
+    plan: PlanRef,
+    cost: CostVector,
+    key: f64,
+    format: OutputFormat,
+}
+
+impl CachedPlan {
+    fn new(plan: PlanRef) -> Self {
+        let cost = *plan.cost();
+        CachedPlan {
+            key: cost.agg_key(),
+            format: plan.format(),
+            cost,
+            plan,
+        }
+    }
+}
+
 struct Entry {
-    plans: Vec<PlanRef>,
+    plans: Vec<CachedPlan>,
     last_used: u64,
 }
 
@@ -128,7 +154,7 @@ impl SharedPlanCache {
             for (rel, entry) in entries.iter_mut() {
                 if rel.is_subset(query) {
                     entry.last_used = clock;
-                    out.extend_from_slice(&entry.plans);
+                    out.extend(entry.plans.iter().map(|c| c.plan.clone()));
                 }
             }
         }
@@ -152,6 +178,7 @@ impl SharedPlanCache {
         let per_entry_cap = self.config.max_plans_per_entry;
         for plan in plans {
             let rel = plan.rel();
+            let candidate = CachedPlan::new(plan);
             let mut stored = false;
             let mut removed = 0usize;
             {
@@ -166,21 +193,25 @@ impl SharedPlanCache {
                 // (weakly) dominates it, otherwise evict the equal-format
                 // plans it strictly dominates. Entries therefore hold only
                 // mutually non-dominated plans per output format, across
-                // *all* publishing sessions.
-                let dominated = entry
-                    .plans
-                    .iter()
-                    .any(|p| p.format() == plan.format() && p.cost().dominates(plan.cost()));
+                // *all* publishing sessions. The aggregate key rules most
+                // pairs out before the component comparison runs.
+                let dominated = entry.plans.iter().any(|p| {
+                    p.format == candidate.format
+                        && p.key <= candidate.key
+                        && p.cost.dominates(&candidate.cost)
+                });
                 if !dominated {
                     let before = entry.plans.len();
                     entry.plans.retain(|p| {
-                        !(p.format() == plan.format() && plan.cost().strictly_dominates(p.cost()))
+                        !(p.format == candidate.format
+                            && candidate.key <= p.key
+                            && candidate.cost.strictly_dominates(&p.cost))
                     });
                     removed = before - entry.plans.len();
                     // Cap guard (rare once dominance-pruned): keep the
                     // established frontier, drop the newcomer.
                     if entry.plans.len() < per_entry_cap {
-                        entry.plans.push(plan);
+                        entry.plans.push(candidate);
                         stored = true;
                     }
                 }

@@ -48,7 +48,7 @@ fn main() {
         let dp_status = if dp.is_complete() {
             format!("finished ({} plans)", dp.frontier().len())
         } else {
-            format!("unfinished ({} plans built)", dp.plans_built())
+            format!("unfinished ({} plans costed)", dp.plans_costed())
         };
 
         println!(

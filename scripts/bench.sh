@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Single entry point for perf-baseline runs. CI's bench-smoke job and local
+# runs both go through this script so the invocation (release profile,
+# harness bin, flags) stays identical everywhere.
+#
+#   scripts/bench.sh                 # full run, writes BENCH_rmq.json
+#   scripts/bench.sh --quick         # CI smoke mode (smaller budgets)
+#   scripts/bench.sh --out foo.json  # custom output path
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run --release -p moqo-bench --bin harness -- "$@"
