@@ -21,6 +21,7 @@
 //! empty set until the computation has completed, reproducing the paper's
 //! "did not return any results within the time frame" semantics.
 
+use moqo_core::arena::{PlanArena, PlanId};
 use moqo_core::fxhash::FxHashMap;
 use moqo_core::model::CostModel;
 use moqo_core::optimizer::Optimizer;
@@ -35,7 +36,11 @@ pub struct DpOptimizer<M: CostModel> {
     tables: Vec<TableId>,
     alpha: f64,
     name: String,
-    frontiers: FxHashMap<u128, ParetoSet>,
+    /// All partial plans live in one hash-consed arena: DP builds every
+    /// subset's frontier out of smaller subsets' plans, so interning shares
+    /// the sub-structure the approximation-scheme literature relies on.
+    arena: PlanArena,
+    frontiers: FxHashMap<u128, ParetoSet<PlanId>>,
     current_size: usize,
     current_mask: u128,
     full_mask: u128,
@@ -72,6 +77,7 @@ impl<M: CostModel> DpOptimizer<M> {
             tables,
             alpha,
             name,
+            arena: PlanArena::new(),
             frontiers: FxHashMap::default(),
             current_size: 1,
             current_mask: 1,
@@ -91,22 +97,32 @@ impl<M: CostModel> DpOptimizer<M> {
         self.plans_costed
     }
 
-    /// The frontier of an arbitrary subset mask (diagnostics/tests).
-    pub fn subset_frontier(&self, mask: u128) -> &[PlanRef] {
-        self.frontiers.get(&mask).map_or(&[], |s| s.plans())
+    /// The frontier of an arbitrary subset mask (diagnostics/tests),
+    /// exported from the optimizer's arena.
+    pub fn subset_frontier(&self, mask: u128) -> Vec<PlanRef> {
+        self.frontiers.get(&mask).map_or_else(Vec::new, |s| {
+            s.plans().iter().map(|&id| self.arena.export(id)).collect()
+        })
+    }
+
+    /// The optimizer's plan arena (diagnostics: occupancy and dedup rate).
+    pub fn arena(&self) -> &PlanArena {
+        &self.arena
     }
 
     fn process_subset(&mut self, mask: u128) {
+        let arena = &mut self.arena;
+        let model = &self.model;
         if mask.count_ones() == 1 {
             let t = self.tables[mask.trailing_zeros() as usize];
-            // Cost each scan candidate first; materialize on admission only
+            // Cost each scan candidate first; intern on admission only
             // (`insert_approx_with`): under a coarse α most candidates are
             // pruned without allocating.
             let mut entry = self.frontiers.remove(&mask).unwrap_or_default();
-            for &op in self.model.scan_ops(t) {
-                let props = self.model.scan_props(t, op);
+            for &op in model.scan_ops(t) {
+                let props = model.scan_props(t, op);
                 entry.insert_approx_with(&props.cost, props.format, self.alpha, || {
-                    Plan::scan_from_props(t, op, props)
+                    arena.scan_from_props(t, op, props)
                 });
                 self.plans_costed += 1;
             }
@@ -116,7 +132,7 @@ impl<M: CostModel> DpOptimizer<M> {
         // Enumerate every proper non-empty split (outer, inner): the
         // standard sub = (sub - 1) & mask walk visits each ordered pair
         // exactly once, covering join commutativity.
-        let mut result = ParetoSet::new();
+        let mut result: ParetoSet<PlanId> = ParetoSet::new();
         let mut ops = Vec::new();
         let mut sub = (mask.wrapping_sub(1)) & mask;
         while sub != 0 {
@@ -127,14 +143,14 @@ impl<M: CostModel> DpOptimizer<M> {
                 sub = (sub - 1) & mask;
                 continue;
             };
-            for o in outer_set.plans() {
-                for i in inner_set.plans() {
+            for &o in outer_set.plans() {
+                for &i in inner_set.plans() {
                     ops.clear();
-                    self.model.join_ops(o, i, &mut ops);
+                    model.join_ops(&arena.view(o), &arena.view(i), &mut ops);
                     for &op in &ops {
-                        let props = self.model.join_props(o, i, op);
+                        let props = model.join_props(&arena.view(o), &arena.view(i), op);
                         result.insert_approx_with(&props.cost, props.format, self.alpha, || {
-                            Plan::join_from_props(o.clone(), i.clone(), op, props)
+                            arena.join_from_props(o, i, op, props)
                         });
                         self.plans_costed += 1;
                     }
@@ -189,7 +205,9 @@ impl<M: CostModel> Optimizer for DpOptimizer<M> {
         }
         self.frontiers
             .get(&self.full_mask)
-            .map_or_else(Vec::new, |s| s.plans().to_vec())
+            .map_or_else(Vec::new, |s| {
+                s.plans().iter().map(|&id| self.arena.export(id)).collect()
+            })
     }
 }
 
@@ -226,7 +244,7 @@ pub fn enumerate_all_plans<M: CostModel + ?Sized>(model: &M, query: TableSet) ->
                 for o in rec(model, outer_set, memo) {
                     for i in rec(model, inner_set, memo) {
                         ops.clear();
-                        model.join_ops(&o, &i, &mut ops);
+                        model.join_ops(o.view(), i.view(), &mut ops);
                         for &op in &ops {
                             plans.push(Plan::join(model, o.clone(), i.clone(), op));
                         }

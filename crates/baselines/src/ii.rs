@@ -11,12 +11,13 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use moqo_core::climb::{pareto_climb, ClimbConfig};
+use moqo_core::arena::{PlanArena, PlanId};
+use moqo_core::climb::{pareto_climb_in, ClimbConfig, StepScratch};
 use moqo_core::model::CostModel;
 use moqo_core::optimizer::Optimizer;
 use moqo_core::pareto::ParetoSet;
 use moqo_core::plan::PlanRef;
-use moqo_core::random_plan::random_plan;
+use moqo_core::random_plan::random_plan_in;
 use moqo_core::tables::TableSet;
 
 /// The II optimizer.
@@ -24,7 +25,11 @@ pub struct IterativeImprovement<M: CostModel> {
     model: M,
     query: TableSet,
     climb: ClimbConfig,
-    archive: ParetoSet,
+    /// Per-optimizer plan arena: restarts rediscover subplans constantly,
+    /// which interning turns into allocation-free hash probes.
+    arena: PlanArena,
+    archive: ParetoSet<PlanId>,
+    scratch: StepScratch,
     rng: StdRng,
     iterations: u64,
 }
@@ -40,7 +45,9 @@ impl<M: CostModel> IterativeImprovement<M> {
             model,
             query,
             climb: ClimbConfig::default(),
+            arena: PlanArena::new(),
             archive: ParetoSet::new(),
+            scratch: StepScratch::default(),
             rng: StdRng::seed_from_u64(seed),
             iterations: 0,
         }
@@ -58,15 +65,27 @@ impl<M: CostModel> Optimizer for IterativeImprovement<M> {
     }
 
     fn step(&mut self) -> bool {
-        let start = random_plan(&self.model, self.query, &mut self.rng);
-        let (optimum, _) = pareto_climb(start, &self.model, &self.climb);
-        self.archive.insert_cost_frontier(optimum);
+        let start = random_plan_in(&mut self.arena, &self.model, self.query, &mut self.rng);
+        let (optimum, _) = pareto_climb_in(
+            &mut self.arena,
+            start,
+            &self.model,
+            &self.climb,
+            &mut self.scratch,
+        );
+        let view = self.arena.view(optimum);
+        self.archive
+            .insert_cost_frontier_with(&view.cost, view.format, || optimum);
         self.iterations += 1;
         true
     }
 
     fn frontier(&self) -> Vec<PlanRef> {
-        self.archive.plans().to_vec()
+        self.archive
+            .plans()
+            .iter()
+            .map(|&id| self.arena.export(id))
+            .collect()
     }
 }
 

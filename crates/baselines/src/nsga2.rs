@@ -19,11 +19,12 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use moqo_core::arena::{PlanArena, PlanId};
 use moqo_core::cost::CostVector;
 use moqo_core::model::CostModel;
 use moqo_core::optimizer::Optimizer;
 use moqo_core::pareto::ParetoSet;
-use moqo_core::plan::{Plan, PlanRef};
+use moqo_core::plan::PlanRef;
 use moqo_core::tables::{TableId, TableSet};
 
 /// NSGA-II parameters (defaults per the paper's experimental setup).
@@ -51,7 +52,11 @@ type Genome = Vec<u32>;
 
 struct Individual {
     genome: Genome,
-    plan: PlanRef,
+    /// The decoded plan, interned in the optimizer's arena (re-decoding a
+    /// surviving genome across generations is a pure intern hit).
+    plan: PlanId,
+    /// Cost of `plan`, cached inline so ranking never chases the arena.
+    cost: CostVector,
     rank: usize,
     crowding: f64,
 }
@@ -61,6 +66,8 @@ pub struct Nsga2<M: CostModel> {
     model: M,
     tables: Vec<TableId>,
     params: Nsga2Params,
+    /// Per-optimizer plan arena: every decoded genome lives here.
+    arena: PlanArena,
 
     mutation_p: f64,
     population: Vec<Individual>,
@@ -89,13 +96,16 @@ impl<M: CostModel> Nsga2<M> {
             .mutation_probability
             .unwrap_or(1.0 / genome_len.max(1) as f64);
         let mut rng = StdRng::seed_from_u64(seed);
+        let mut arena = PlanArena::new();
         let mut population = Vec::with_capacity(params.population);
         for _ in 0..params.population {
             let genome: Genome = (0..genome_len).map(|_| rng.random()).collect();
-            let plan = decode(&model, &tables, &genome);
+            let plan = decode(&mut arena, &model, &tables, &genome);
+            let cost = *arena.node(plan).cost();
             population.push(Individual {
                 genome,
                 plan,
+                cost,
                 rank: 0,
                 crowding: 0.0,
             });
@@ -104,6 +114,7 @@ impl<M: CostModel> Nsga2<M> {
             model,
             tables,
             params,
+            arena,
 
             mutation_p,
             population,
@@ -120,7 +131,7 @@ impl<M: CostModel> Nsga2<M> {
     }
 
     fn rank_population(&mut self) {
-        let costs: Vec<CostVector> = self.population.iter().map(|i| *i.plan.cost()).collect();
+        let costs: Vec<CostVector> = self.population.iter().map(|i| i.cost).collect();
         let fronts = fast_non_dominated_sort(&costs);
         for (rank, front) in fronts.iter().enumerate() {
             let distances = crowding_distances(&costs, front);
@@ -180,20 +191,23 @@ fn ordered(x: f64) -> u64 {
     x.to_bits()
 }
 
-/// Decodes an ordinal genome into a valid bushy plan.
+/// Decodes an ordinal genome into a valid bushy plan, interned in `arena`
+/// (decoding a genome seen before — elitist survivors every generation — is
+/// a chain of intern hits and allocates nothing).
 pub(crate) fn decode<M: CostModel + ?Sized>(
+    arena: &mut PlanArena,
     model: &M,
     tables: &[TableId],
     genome: &[u32],
-) -> PlanRef {
+) -> PlanId {
     let n = tables.len();
     debug_assert_eq!(genome.len(), n + 3 * n.saturating_sub(1));
-    let mut items: Vec<PlanRef> = tables
+    let mut items: Vec<PlanId> = tables
         .iter()
         .enumerate()
         .map(|(k, &t)| {
             let ops = model.scan_ops(t);
-            Plan::scan(model, t, ops[genome[k] as usize % ops.len()])
+            arena.scan(model, t, ops[genome[k] as usize % ops.len()])
         })
         .collect();
     let mut ops = Vec::new();
@@ -202,10 +216,10 @@ pub(crate) fn decode<M: CostModel + ?Sized>(
         let outer = items.swap_remove(g[0] as usize % items.len());
         let inner = items.swap_remove(g[1] as usize % items.len());
         ops.clear();
-        model.join_ops(&outer, &inner, &mut ops);
+        model.join_ops(&arena.view(outer), &arena.view(inner), &mut ops);
         debug_assert!(!ops.is_empty(), "cost-model contract violation");
         let op = ops[g[2] as usize % ops.len()];
-        items.push(Plan::join(model, outer, inner, op));
+        items.push(arena.join(model, outer, inner, op));
     }
     items.pop().expect("non-empty query")
 }
@@ -307,15 +321,17 @@ impl<M: CostModel> Optimizer for Nsga2<M> {
         let offspring = self.make_offspring();
         // Evaluate offspring and pool with parents (elitism).
         for genome in offspring {
-            let plan = decode(&self.model, &self.tables, &genome);
+            let plan = decode(&mut self.arena, &self.model, &self.tables, &genome);
+            let cost = *self.arena.node(plan).cost();
             self.population.push(Individual {
                 genome,
                 plan,
+                cost,
                 rank: 0,
                 crowding: 0.0,
             });
         }
-        let costs: Vec<CostVector> = self.population.iter().map(|i| *i.plan.cost()).collect();
+        let costs: Vec<CostVector> = self.population.iter().map(|i| i.cost).collect();
         let fronts = fast_non_dominated_sort(&costs);
         let mut survivors: Vec<Individual> = Vec::with_capacity(self.params.population);
         let mut drained: Vec<Option<Individual>> = std::mem::take(&mut self.population)
@@ -343,12 +359,17 @@ impl<M: CostModel> Optimizer for Nsga2<M> {
     }
 
     fn frontier(&self) -> Vec<PlanRef> {
-        // Rank-0 members of the current population, cost-deduplicated.
-        let mut set = ParetoSet::new();
+        // Rank-0 members of the current population, cost-deduplicated,
+        // exported from the arena at the API boundary.
+        let mut set: ParetoSet<PlanId> = ParetoSet::new();
         for ind in self.population.iter().filter(|i| i.rank == 0) {
-            set.insert_cost_frontier(ind.plan.clone());
+            let format = self.arena.node(ind.plan).format();
+            set.insert_cost_frontier_with(&ind.cost, format, || ind.plan);
         }
         set.into_plans()
+            .into_iter()
+            .map(|id| self.arena.export(id))
+            .collect()
     }
 }
 
@@ -415,10 +436,11 @@ mod tests {
         let tables: Vec<TableId> = q.iter().collect();
         let mut rng = StdRng::seed_from_u64(5);
         let len = 6 + 3 * 5;
+        let mut arena = PlanArena::new();
         for _ in 0..100 {
             let genome: Genome = (0..len).map(|_| rng.random()).collect();
-            let plan = decode(&model, &tables, &genome);
-            assert!(plan.validate(q).is_ok());
+            let plan = decode(&mut arena, &model, &tables, &genome);
+            assert!(arena.validate(plan, q).is_ok());
         }
     }
 

@@ -19,12 +19,14 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use moqo_core::arena::{PlanArena, PlanId};
+use moqo_core::cost::CostVector;
 use moqo_core::model::CostModel;
-use moqo_core::mutations::random_neighbor;
+use moqo_core::mutations::random_neighbor_in;
 use moqo_core::optimizer::Optimizer;
 use moqo_core::pareto::ParetoSet;
 use moqo_core::plan::PlanRef;
-use moqo_core::random_plan::random_plan;
+use moqo_core::random_plan::random_plan_in;
 use moqo_core::tables::TableSet;
 
 /// Tunable parameters of the annealing schedule.
@@ -56,9 +58,12 @@ pub struct SimulatedAnnealing<M: CostModel> {
     model: M,
     query: TableSet,
     params: SaParams,
-    current: PlanRef,
+    /// Per-optimizer plan arena: the random walk keeps re-visiting
+    /// neighborhoods, so proposals are mostly intern hits.
+    arena: PlanArena,
+    current: PlanId,
     temperature: f64,
-    archive: ParetoSet,
+    archive: ParetoSet<PlanId>,
     rng: StdRng,
     stages: u64,
     accepted: u64,
@@ -78,13 +83,16 @@ impl<M: CostModel> SimulatedAnnealing<M> {
     pub fn with_params(model: M, query: TableSet, seed: u64, params: SaParams) -> Self {
         assert!(!query.is_empty(), "cannot optimize an empty query");
         let mut rng = StdRng::seed_from_u64(seed);
-        let current = random_plan(&model, query, &mut rng);
-        let mut archive = ParetoSet::new();
-        archive.insert_cost_frontier(current.clone());
+        let mut arena = PlanArena::new();
+        let current = random_plan_in(&mut arena, &model, query, &mut rng);
+        let mut archive: ParetoSet<PlanId> = ParetoSet::new();
+        let view = arena.view(current);
+        archive.insert_cost_frontier_with(&view.cost, view.format, || current);
         SimulatedAnnealing {
             model,
             query,
             params,
+            arena,
             current,
             temperature: params.initial_temperature,
             archive,
@@ -96,18 +104,22 @@ impl<M: CostModel> SimulatedAnnealing<M> {
     }
 
     /// Restarts annealing from the given plan at the given temperature
-    /// (used by the two-phase optimizer).
+    /// (used by the two-phase optimizer). The plan is imported into the
+    /// optimizer's arena (the `Arc<Plan>` boundary conversion).
     pub fn restart_from(&mut self, plan: PlanRef, temperature: f64) {
-        self.archive.insert_cost_frontier(plan.clone());
-        self.current = plan;
+        let id = self.arena.import(&plan);
+        let view = self.arena.view(id);
+        self.archive
+            .insert_cost_frontier_with(&view.cost, view.format, || id);
+        self.current = id;
         self.temperature = temperature;
     }
 
     /// Average relative cost difference over all metrics (the acceptance
     /// criterion's Δ): positive when `candidate` is worse on average.
-    fn relative_delta(current: &PlanRef, candidate: &PlanRef) -> f64 {
-        let c = current.cost();
-        let n = candidate.cost();
+    fn relative_delta(current: &CostVector, candidate: &CostVector) -> f64 {
+        let c = current;
+        let n = candidate;
         let mut delta = 0.0;
         for k in 0..c.dim() {
             delta += (n[k] - c[k]) / c[k].max(moqo_core::cost::MIN_COST);
@@ -137,22 +149,31 @@ impl<M: CostModel> Optimizer for SimulatedAnnealing<M> {
     fn step(&mut self) -> bool {
         if self.temperature < self.params.frozen {
             // Frozen: restart from a fresh random plan at full temperature.
-            self.current = random_plan(&self.model, self.query, &mut self.rng);
-            self.archive.insert_cost_frontier(self.current.clone());
+            self.current = random_plan_in(&mut self.arena, &self.model, self.query, &mut self.rng);
+            let view = self.arena.view(self.current);
+            let id = self.current;
+            self.archive
+                .insert_cost_frontier_with(&view.cost, view.format, || id);
             self.temperature = self.params.initial_temperature;
         }
         let moves = self.params.moves_per_table * self.query.len().max(1);
         for _ in 0..moves {
-            let Some(candidate) = random_neighbor(&self.current, &self.model, &mut self.rng) else {
+            let Some(candidate) =
+                random_neighbor_in(&mut self.arena, self.current, &self.model, &mut self.rng)
+            else {
                 continue;
             };
             self.proposed += 1;
-            let delta = Self::relative_delta(&self.current, &candidate);
+            let current_cost = *self.arena.node(self.current).cost();
+            let candidate_cost = *self.arena.node(candidate).cost();
+            let delta = Self::relative_delta(&current_cost, &candidate_cost);
             let accept =
                 delta <= 0.0 || self.rng.random::<f64>() < (-delta / self.temperature).exp();
             if accept {
                 self.current = candidate;
-                self.archive.insert_cost_frontier(self.current.clone());
+                let format = self.arena.node(candidate).format();
+                self.archive
+                    .insert_cost_frontier_with(&candidate_cost, format, || candidate);
                 self.accepted += 1;
             }
         }
@@ -162,7 +183,11 @@ impl<M: CostModel> Optimizer for SimulatedAnnealing<M> {
     }
 
     fn frontier(&self) -> Vec<PlanRef> {
-        self.archive.plans().to_vec()
+        self.archive
+            .plans()
+            .iter()
+            .map(|&id| self.arena.export(id))
+            .collect()
     }
 }
 
@@ -171,6 +196,7 @@ mod tests {
     use super::*;
     use moqo_core::model::testing::StubModel;
     use moqo_core::optimizer::{drive, Budget, NullObserver};
+    use moqo_core::random_plan::random_plan;
 
     #[test]
     fn anneals_and_archives_valid_plans() {
@@ -244,8 +270,8 @@ mod tests {
         for _ in 0..20 {
             let a = random_plan(&model, q, &mut rng);
             let b = random_plan(&model, q, &mut rng);
-            let dab = SimulatedAnnealing::<StubModel>::relative_delta(&a, &b);
-            let dba = SimulatedAnnealing::<StubModel>::relative_delta(&b, &a);
+            let dab = SimulatedAnnealing::<StubModel>::relative_delta(a.cost(), b.cost());
+            let dba = SimulatedAnnealing::<StubModel>::relative_delta(b.cost(), a.cost());
             if dab.abs() > 1e-12 {
                 assert!(dab.signum() != dba.signum(), "dab={dab} dba={dba}");
             }

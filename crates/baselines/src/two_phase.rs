@@ -9,6 +9,12 @@
 //! "Best" among mutually non-dominated multi-objective plans is resolved by
 //! the smallest mean relative cost over the phase-one archive (each metric
 //! normalized by the archive minimum) — a scalarization-free tie-break.
+//!
+//! Both phases run on their own hash-consed plan arenas (see
+//! [`moqo_core::arena`]); the phase hand-off crosses the arena boundary
+//! through the `Arc<Plan>` exchange format: phase one's best plan is
+//! exported from II's arena and re-interned into SA's via
+//! [`SimulatedAnnealing::restart_from`].
 
 use moqo_core::model::CostModel;
 use moqo_core::optimizer::Optimizer;

@@ -1,0 +1,311 @@
+//! Regression gate for the perf baseline: diffs a freshly generated
+//! `BENCH_rmq.json` against a checked-in baseline and fails (exit 1) on
+//! regressions. CI's `bench-smoke` job runs the harness in `--quick` mode
+//! and diffs the output against the checked-in quick baseline
+//! (`BENCH_rmq.quick.json`).
+//!
+//! Two classes of checks:
+//!
+//! * **Structural** (exact): the deterministic fields — RMQ frontier sizes
+//!   per checkpoint, median climbing path lengths, plan-cache occupancy,
+//!   arena occupancy and dedup rate. These are bit-for-bit reproducible on
+//!   any machine, so *any* drift is a behavior change that must be
+//!   explained (and the baseline regenerated deliberately).
+//! * **Timing** (generous noise margins): per-kernel ns/op may not exceed
+//!   `baseline × --timing-margin` (default 5, CI runners are noisy), and
+//!   each speedup ratio may not fall below `baseline ÷ --speedup-margin`
+//!   (default 2; ratios divide out the machine, so this is already lax).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p moqo-bench --bin bench_diff -- \
+//!     --baseline BENCH_rmq.quick.json --candidate BENCH_rmq.ci.json \
+//!     [--timing-margin 5.0] [--speedup-margin 2.0] [--skip-timing]
+//! ```
+
+use serde_json::Value;
+
+struct Gate {
+    violations: Vec<String>,
+    checks: usize,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Gate {
+            violations: Vec::new(),
+            checks: 0,
+        }
+    }
+
+    fn check(&mut self, ok: bool, msg: impl FnOnce() -> String) {
+        self.checks += 1;
+        if !ok {
+            self.violations.push(msg());
+        }
+    }
+}
+
+fn f64_field(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_f64)
+}
+
+fn structural_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Exact comparison of the deterministic fields of one RMQ run.
+fn diff_rmq(gate: &mut Gate, base: &Value, cand: &Value, tag: &str) {
+    for key in [
+        "median_path_length",
+        "cache_table_sets",
+        "cache_plans",
+        "arena_nodes",
+        "arena_dedup_rate",
+    ] {
+        match (f64_field(base, key), f64_field(cand, key)) {
+            (Some(b), Some(c)) => gate.check(structural_eq(b, c), || {
+                format!("{tag}: structural field `{key}` drifted: baseline {b} vs candidate {c}")
+            }),
+            (Some(_), None) => gate
+                .violations
+                .push(format!("{tag}: candidate dropped structural field `{key}`")),
+            _ => {}
+        }
+    }
+    let (Some(bc), Some(cc)) = (
+        base.get("checkpoints").and_then(Value::as_array),
+        cand.get("checkpoints").and_then(Value::as_array),
+    ) else {
+        gate.violations.push(format!("{tag}: missing checkpoints"));
+        return;
+    };
+    gate.check(bc.len() == cc.len(), || {
+        format!(
+            "{tag}: checkpoint count changed: {} vs {}",
+            bc.len(),
+            cc.len()
+        )
+    });
+    for (b, c) in bc.iter().zip(cc) {
+        let iters = f64_field(b, "iterations").unwrap_or(-1.0);
+        for key in ["iterations", "frontier_size"] {
+            if let (Some(bv), Some(cv)) = (f64_field(b, key), f64_field(c, key)) {
+                gate.check(structural_eq(bv, cv), || {
+                    format!(
+                        "{tag} checkpoint @{iters}: `{key}` drifted: baseline {bv} vs candidate {cv}"
+                    )
+                });
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut baseline_path = None;
+    let mut candidate_path = None;
+    let mut timing_margin = 5.0f64;
+    let mut speedup_margin = 2.0f64;
+    let mut skip_timing = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} requires an argument");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--baseline" => baseline_path = Some(take("--baseline")),
+            "--candidate" => candidate_path = Some(take("--candidate")),
+            "--timing-margin" => {
+                timing_margin = take("--timing-margin").parse().unwrap_or_else(|_| {
+                    eprintln!("--timing-margin must be a number");
+                    std::process::exit(2);
+                })
+            }
+            "--speedup-margin" => {
+                speedup_margin = take("--speedup-margin").parse().unwrap_or_else(|_| {
+                    eprintln!("--speedup-margin must be a number");
+                    std::process::exit(2);
+                })
+            }
+            "--skip-timing" => skip_timing = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_diff --baseline A.json --candidate B.json \
+                     [--timing-margin F] [--speedup-margin F] [--skip-timing]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(baseline_path), Some(candidate_path)) = (baseline_path, candidate_path) else {
+        eprintln!("bench_diff: --baseline and --candidate are required (see --help)");
+        std::process::exit(2);
+    };
+    let load = |path: &str| -> Value {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let base = load(&baseline_path);
+    let cand = load(&candidate_path);
+    let mut gate = Gate::new();
+
+    // Schemas are additive: the candidate must be at least the baseline's
+    // version, and both files must stem from the same mode.
+    let bv = f64_field(&base, "schema_version").unwrap_or(0.0);
+    let cv = f64_field(&cand, "schema_version").unwrap_or(0.0);
+    gate.check(cv >= bv, || {
+        format!("schema_version regressed: baseline {bv} vs candidate {cv}")
+    });
+    let mode = |v: &Value| {
+        v.get("mode")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    gate.check(mode(&base) == mode(&cand), || {
+        format!(
+            "mode mismatch: baseline '{}' vs candidate '{}' (compare like with like)",
+            mode(&base),
+            mode(&cand)
+        )
+    });
+
+    // Structural: the build kernel's interning stats are deterministic
+    // (fixed seeds, fixed workload), so the arena block must match exactly.
+    match (base.get("arena"), cand.get("arena")) {
+        (Some(ba), Some(ca)) => {
+            for key in ["nodes", "dedup_hits", "dedup_rate"] {
+                match (f64_field(ba, key), f64_field(ca, key)) {
+                    (Some(b), Some(c)) => gate.check(structural_eq(b, c), || {
+                        format!("arena: structural field `{key}` drifted: baseline {b} vs candidate {c}")
+                    }),
+                    (Some(_), None) => gate
+                        .violations
+                        .push(format!("arena: candidate dropped field `{key}`")),
+                    _ => {}
+                }
+            }
+        }
+        (Some(_), None) => gate
+            .violations
+            .push("candidate dropped the `arena` stats block".to_string()),
+        _ => {}
+    }
+
+    // Structural: every baseline RMQ run must exist in the candidate with
+    // identical deterministic fields.
+    let rmq = |v: &Value| {
+        v.get("rmq")
+            .and_then(Value::as_array)
+            .cloned()
+            .unwrap_or_default()
+    };
+    for b in &rmq(&base) {
+        let tables = f64_field(b, "tables").unwrap_or(-1.0);
+        let seed = f64_field(b, "seed").unwrap_or(-1.0);
+        let tag = format!("rmq(tables={tables}, seed={seed})");
+        match rmq(&cand)
+            .iter()
+            .find(|c| f64_field(c, "tables") == Some(tables) && f64_field(c, "seed") == Some(seed))
+        {
+            Some(c) => diff_rmq(&mut gate, b, c, &tag),
+            None => gate
+                .violations
+                .push(format!("{tag}: missing from candidate")),
+        }
+    }
+
+    if !skip_timing {
+        // Per-kernel ns/op with a generous absolute margin.
+        let micro = |v: &Value| {
+            v.get("micro")
+                .and_then(Value::as_array)
+                .cloned()
+                .unwrap_or_default()
+        };
+        for b in &micro(&base) {
+            let name = b
+                .get("name")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string();
+            let Some(c) = micro(&cand)
+                .iter()
+                .find(|c| c.get("name").and_then(Value::as_str) == Some(&name))
+                .cloned()
+            else {
+                gate.violations
+                    .push(format!("micro `{name}`: missing from candidate"));
+                continue;
+            };
+            if let (Some(bn), Some(cn)) = (f64_field(b, "ns_per_op"), f64_field(&c, "ns_per_op")) {
+                gate.check(cn <= bn * timing_margin, || {
+                    format!(
+                        "micro `{name}`: {cn:.1} ns/op exceeds baseline {bn:.1} × margin {timing_margin}"
+                    )
+                });
+            }
+        }
+        // Speedup ratios divide out the machine; require each to stay
+        // within a factor of the baseline. A baseline ratio the candidate
+        // dropped — or a dropped `speedups` block — is itself a violation,
+        // never a silent skip.
+        match (base.get("speedups"), cand.get("speedups")) {
+            (Some(bs), Some(cs)) => {
+                for key in [
+                    "insert_approx_bucketed_vs_linear",
+                    "insert_climb_bucketed_vs_linear",
+                    "plan_build_arena_vs_arc",
+                    "plan_mutate_arena_vs_arc",
+                    "plan_eq_arena_vs_arc",
+                ] {
+                    match (f64_field(bs, key), f64_field(cs, key)) {
+                        (Some(b), Some(c)) => gate.check(c >= b / speedup_margin, || {
+                            format!(
+                                "speedup `{key}`: {c:.2}x fell below baseline {b:.2}x ÷ margin {speedup_margin}"
+                            )
+                        }),
+                        (Some(_), None) => gate
+                            .violations
+                            .push(format!("speedup `{key}`: missing from candidate")),
+                        _ => {}
+                    }
+                }
+            }
+            (Some(_), None) => gate
+                .violations
+                .push("candidate dropped the `speedups` block".to_string()),
+            _ => {}
+        }
+    }
+
+    if gate.violations.is_empty() {
+        eprintln!(
+            "bench_diff: OK — {} checks against {baseline_path}, no regressions",
+            gate.checks
+        );
+    } else {
+        eprintln!(
+            "bench_diff: {} regression(s) against {baseline_path}:",
+            gate.violations.len()
+        );
+        for v in &gate.violations {
+            eprintln!("  ✗ {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -25,16 +25,21 @@ use std::time::Instant;
 use serde::Serialize;
 
 use moqo_bench::{candidate_stream, cost_pairs, resource_model};
+use moqo_core::arena::PlanArena;
 use moqo_core::climb::{pareto_step_with, StepScratch};
 use moqo_core::mutations::MutationSet;
 use moqo_core::pareto::{LinearParetoSet, ParetoSet, PrunePolicy};
-use moqo_core::random_plan::random_plan;
+use moqo_core::plan::{PlanKind, PlanRef};
+use moqo_core::random_plan::{random_plan, random_plan_in};
 use moqo_core::rmq::{Rmq, RmqConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Schema version of the emitted JSON; bump on incompatible changes.
-const SCHEMA_VERSION: u32 = 1;
+/// v2 (additive over v1): arena-vs-Arc plan kernels in `micro`, the
+/// `plan_*_arena_vs_arc` speedups, the top-level `arena` interning stats,
+/// and per-RMQ-run `arena_nodes` / `arena_dedup_rate`.
+const SCHEMA_VERSION: u32 = 2;
 
 #[derive(Serialize)]
 struct Baseline {
@@ -46,6 +51,8 @@ struct Baseline {
     /// Bucketed-vs-linear speedup ratios derived from `micro`
     /// (linear ns / bucketed ns; > 1 means the bucketed set is faster).
     speedups: Speedups,
+    /// Interning stats of the arena build kernel (schema v2).
+    arena: ArenaReport,
     /// End-to-end anytime RMQ runs.
     rmq: Vec<RmqResult>,
 }
@@ -66,6 +73,24 @@ struct MicroResult {
 struct Speedups {
     insert_approx_bucketed_vs_linear: f64,
     insert_climb_bucketed_vs_linear: f64,
+    /// Hash-consed arena vs `Arc<Plan>` on the same kernels (>1 = arena
+    /// faster). `plan_build`: 1024 random plans; `plan_mutate`: all root
+    /// mutations of each of the 1024 plans; `plan_eq`: structural equality.
+    plan_build_arena_vs_arc: f64,
+    plan_mutate_arena_vs_arc: f64,
+    plan_eq_arena_vs_arc: f64,
+}
+
+/// Interning statistics of the `plan_build_arena` kernel's arena
+/// (deterministic: fixed seeds, fixed workload).
+#[derive(Serialize)]
+struct ArenaReport {
+    /// Distinct nodes interned over the whole 1024-plan stream.
+    nodes: usize,
+    /// Intern requests answered without allocating.
+    dedup_hits: u64,
+    /// Fraction of intern requests deduplicated.
+    dedup_rate: f64,
 }
 
 #[derive(Serialize)]
@@ -79,6 +104,10 @@ struct RmqResult {
     median_path_length: f64,
     cache_table_sets: usize,
     cache_plans: usize,
+    /// Session-arena occupancy after the run (schema v2; deterministic).
+    arena_nodes: usize,
+    /// Session-arena interning dedup rate (schema v2; deterministic).
+    arena_dedup_rate: f64,
 }
 
 #[derive(Serialize)]
@@ -114,7 +143,30 @@ fn time_ns_per_op(
     }
 }
 
-fn run_micro(quick: bool) -> (Vec<MicroResult>, Speedups) {
+/// Structural equality of two `Arc<Plan>` trees — the deep comparison the
+/// arena replaces with a `PlanId` integer compare.
+fn deep_eq(a: &PlanRef, b: &PlanRef) -> bool {
+    match (a.kind(), b.kind()) {
+        (PlanKind::Scan { table: ta, op: oa }, PlanKind::Scan { table: tb, op: ob }) => {
+            ta == tb && oa == ob
+        }
+        (
+            PlanKind::Join {
+                outer: ao,
+                inner: ai,
+                op: oa,
+            },
+            PlanKind::Join {
+                outer: bo,
+                inner: bi,
+                op: ob,
+            },
+        ) => oa == ob && deep_eq(ao, bo) && deep_eq(ai, bi),
+        _ => false,
+    }
+}
+
+fn run_micro(quick: bool) -> (Vec<MicroResult>, Speedups, ArenaReport) {
     let rounds: u32 = if quick { 5 } else { 30 };
     let mut out = Vec::new();
 
@@ -187,6 +239,131 @@ fn run_micro(quick: bool) -> (Vec<MicroResult>, Speedups) {
         ));
     }));
 
+    // 4. Plan representation: hash-consed arena vs Arc<Plan> trees, on the
+    // paper-shaped kernels the arena was built for. All three pairs run the
+    // 1024-candidate stream of a 12-table cycle workload.
+    let (pmodel, pquery) = resource_model(12);
+    const PLAN_STREAM: u64 = 1024;
+
+    // 4a. Build: 1024 uniform random plans. The arena is created once and
+    // reused across rounds — the per-session steady state, where repeated
+    // subplans are intern hits instead of fresh Arc allocations.
+    out.push(time_ns_per_op(
+        "plan_build_arc",
+        rounds,
+        PLAN_STREAM,
+        || {
+            let mut rng = StdRng::seed_from_u64(31);
+            let mut plans = Vec::with_capacity(PLAN_STREAM as usize);
+            for _ in 0..PLAN_STREAM {
+                plans.push(random_plan(&pmodel, pquery, &mut rng));
+            }
+            std::hint::black_box(plans.len());
+        },
+    ));
+    let mut build_arena = PlanArena::new();
+    out.push(time_ns_per_op(
+        "plan_build_arena",
+        rounds,
+        PLAN_STREAM,
+        || {
+            let mut rng = StdRng::seed_from_u64(31);
+            let mut plans = Vec::with_capacity(PLAN_STREAM as usize);
+            for _ in 0..PLAN_STREAM {
+                plans.push(random_plan_in(&mut build_arena, &pmodel, pquery, &mut rng));
+            }
+            std::hint::black_box(plans.len());
+        },
+    ));
+    let arena_report = ArenaReport {
+        nodes: build_arena.stats().nodes,
+        dedup_hits: build_arena.stats().dedup_hits,
+        dedup_rate: build_arena.stats().dedup_rate(),
+    };
+
+    // 4b. Mutate: enumerate every root mutation (operator changes,
+    // commutativity, rotations, exchanges) of each plan in the same
+    // 1024-candidate stream — the transformation-rule kernel under every
+    // climbing step. The Arc path costs and allocates a fresh tree root
+    // per candidate every time; the arena path interns each candidate once
+    // and afterwards answers it with a hash probe returning the cached
+    // properties (memoized costing via hash-consing).
+    let mutate_stream: Vec<PlanRef> = {
+        let mut rng = StdRng::seed_from_u64(33);
+        (0..PLAN_STREAM)
+            .map(|_| random_plan(&pmodel, pquery, &mut rng))
+            .collect()
+    };
+    let mutate_rounds = rounds.min(10);
+    let mut arc_muts: Vec<PlanRef> = Vec::new();
+    out.push(time_ns_per_op(
+        "plan_mutate_arc",
+        mutate_rounds,
+        PLAN_STREAM,
+        || {
+            let mut total = 0usize;
+            for plan in &mutate_stream {
+                arc_muts.clear();
+                moqo_core::mutations::root_mutations(plan, &pmodel, &mut arc_muts);
+                total += arc_muts.len();
+            }
+            std::hint::black_box(total);
+        },
+    ));
+    let mut mutate_arena = PlanArena::new();
+    let mutate_ids: Vec<_> = mutate_stream
+        .iter()
+        .map(|p| mutate_arena.import(p))
+        .collect();
+    let mut arena_muts: Vec<moqo_core::arena::PlanId> = Vec::new();
+    out.push(time_ns_per_op(
+        "plan_mutate_arena",
+        mutate_rounds,
+        PLAN_STREAM,
+        || {
+            let mut total = 0usize;
+            for &id in &mutate_ids {
+                arena_muts.clear();
+                moqo_core::mutations::root_mutations_in(
+                    &mut mutate_arena,
+                    id,
+                    &pmodel,
+                    &mut arena_muts,
+                );
+                total += arena_muts.len();
+            }
+            std::hint::black_box(total);
+        },
+    ));
+
+    // 4c. Equality/hash: structural comparison of adjacent plans in the
+    // stream — a deep tree walk for Arc, an integer compare for PlanIds.
+    let eq_plans: Vec<PlanRef> = {
+        let mut rng = StdRng::seed_from_u64(35);
+        // Few tables → frequent structural collisions keep the comparison
+        // honest (equal pairs must walk the whole Arc tree).
+        let (m, q) = resource_model(6);
+        (0..PLAN_STREAM)
+            .map(|_| random_plan(&m, q, &mut rng))
+            .collect()
+    };
+    let mut eq_arena = PlanArena::new();
+    let eq_ids: Vec<_> = eq_plans.iter().map(|p| eq_arena.import(p)).collect();
+    out.push(time_ns_per_op("plan_eq_arc", rounds, PLAN_STREAM, || {
+        let mut n = 0usize;
+        for w in eq_plans.windows(2) {
+            n += usize::from(deep_eq(&w[0], &w[1]));
+        }
+        std::hint::black_box(n);
+    }));
+    out.push(time_ns_per_op("plan_eq_arena", rounds, PLAN_STREAM, || {
+        let mut n = 0usize;
+        for w in eq_ids.windows(2) {
+            n += usize::from(w[0] == w[1]);
+        }
+        std::hint::black_box(n);
+    }));
+
     let ns = |name: &str| {
         out.iter()
             .find(|m| m.name == name)
@@ -196,8 +373,11 @@ fn run_micro(quick: bool) -> (Vec<MicroResult>, Speedups) {
     let speedups = Speedups {
         insert_approx_bucketed_vs_linear: ns("insert_approx_linear") / ns("insert_approx_bucketed"),
         insert_climb_bucketed_vs_linear: ns("insert_climb_linear") / ns("insert_climb_bucketed"),
+        plan_build_arena_vs_arc: ns("plan_build_arc") / ns("plan_build_arena"),
+        plan_mutate_arena_vs_arc: ns("plan_mutate_arc") / ns("plan_mutate_arena"),
+        plan_eq_arena_vs_arc: ns("plan_eq_arc") / ns("plan_eq_arena"),
     };
-    (out, speedups)
+    (out, speedups, arena_report)
 }
 
 fn run_rmq(quick: bool) -> Vec<RmqResult> {
@@ -236,6 +416,8 @@ fn run_rmq(quick: bool) -> Vec<RmqResult> {
             median_path_length: rmq.stats().median_path_length().unwrap_or(0.0),
             cache_table_sets: rmq.cache().num_table_sets(),
             cache_plans: rmq.cache().total_plans(),
+            arena_nodes: rmq.arena().stats().nodes,
+            arena_dedup_rate: rmq.arena().stats().dedup_rate(),
         });
     }
     results
@@ -269,7 +451,7 @@ fn main() {
         "perf-baseline harness ({} mode)...",
         if quick { "quick" } else { "full" }
     );
-    let (micro, speedups) = run_micro(quick);
+    let (micro, speedups, arena) = run_micro(quick);
     for m in &micro {
         eprintln!("  {:<28} {:>12.1} ns/op", m.name, m.ns_per_op);
     }
@@ -280,6 +462,17 @@ fn main() {
     eprintln!(
         "  insert_climb  speedup (bucketed vs linear): {:.2}x",
         speedups.insert_climb_bucketed_vs_linear
+    );
+    eprintln!(
+        "  plan_build  speedup (arena vs Arc): {:.2}x   plan_mutate: {:.2}x   plan_eq: {:.2}x",
+        speedups.plan_build_arena_vs_arc,
+        speedups.plan_mutate_arena_vs_arc,
+        speedups.plan_eq_arena_vs_arc
+    );
+    eprintln!(
+        "  arena build kernel: {} nodes, dedup rate {:.1}%",
+        arena.nodes,
+        arena.dedup_rate * 100.0
     );
     let rmq = run_rmq(quick);
     for r in &rmq {
@@ -300,6 +493,7 @@ fn main() {
         mode: if quick { "quick" } else { "full" }.to_string(),
         micro,
         speedups,
+        arena,
         rmq,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");

@@ -31,6 +31,30 @@ pub fn resource_model(n: usize) -> (ResourceCostModel, TableSet) {
     )
 }
 
+/// The three-metric variant of [`resource_model`] (time/buffer/disk): the
+/// paper's many-objective configuration, used where heavier cost vectors
+/// matter (e.g. the arena-vs-Arc mutate kernel).
+pub fn resource_model_3d(n: usize) -> (ResourceCostModel, TableSet) {
+    let (catalog, query) = WorkloadSpec {
+        tables: n,
+        shape: GraphShape::Cycle,
+        selectivity: SelectivityMethod::Steinbrunn,
+        seed: 7,
+    }
+    .generate();
+    (
+        ResourceCostModel::new(
+            catalog,
+            &[
+                ResourceMetric::Time,
+                ResourceMetric::Buffer,
+                ResourceMetric::Disk,
+            ],
+        ),
+        query.tables(),
+    )
+}
+
 /// A deterministic stream of fabricated plans with random cost vectors and
 /// output formats — the candidate stream for the Pareto-insert benches.
 ///

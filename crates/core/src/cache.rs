@@ -17,14 +17,29 @@ use crate::plan::PlanRef;
 use crate::tables::TableSet;
 
 /// Plan cache: intermediate result (table set) → pruned partial plans.
-#[derive(Default, Debug)]
-pub struct PlanCache {
-    map: FxHashMap<TableSet, ParetoSet>,
+///
+/// Generic over the stored plan handle `P`, like [`ParetoSet`]: the RMQ
+/// main loop keys a `PlanCache<PlanId>` over its session arena (cache hits
+/// and insertions move `Copy` integers), while `PlanCache<PlanRef>` (the
+/// default) serves `Arc<Plan>` consumers and tests.
+#[derive(Debug)]
+pub struct PlanCache<P = PlanRef> {
+    map: FxHashMap<TableSet, ParetoSet<P>>,
     insertions: u64,
     rejections: u64,
 }
 
-impl PlanCache {
+impl<P> Default for PlanCache<P> {
+    fn default() -> Self {
+        PlanCache {
+            map: FxHashMap::default(),
+            insertions: 0,
+            rejections: 0,
+        }
+    }
+}
+
+impl<P> PlanCache<P> {
     /// Creates an empty cache.
     pub fn new() -> Self {
         PlanCache::default()
@@ -33,18 +48,8 @@ impl PlanCache {
     /// The cached frontier for table set `rel` (`P[rel]` in the paper);
     /// empty if the table set was never seen.
     #[inline]
-    pub fn frontier(&self, rel: TableSet) -> &[PlanRef] {
+    pub fn frontier(&self, rel: TableSet) -> &[P] {
         self.map.get(&rel).map_or(&[], |s| s.plans())
-    }
-
-    /// Inserts `plan` into the frontier of its own table set using
-    /// approximate pruning with factor `alpha` (Algorithm 3's `Prune`).
-    /// Returns `true` iff the plan was kept.
-    pub fn insert(&mut self, plan: PlanRef, alpha: f64) -> bool {
-        let rel = plan.rel();
-        let cost = *plan.cost();
-        let format = plan.format();
-        self.insert_with(rel, &cost, format, alpha, move || plan)
     }
 
     /// Inserts a candidate described by its table set, cost vector and
@@ -59,17 +64,13 @@ impl PlanCache {
         cost: &CostVector,
         format: OutputFormat,
         alpha: f64,
-        make: impl FnOnce() -> PlanRef,
+        make: impl FnOnce() -> P,
     ) -> bool {
         let kept = self
             .map
             .entry(rel)
             .or_default()
-            .insert_approx_with(cost, format, alpha, || {
-                let plan = make();
-                debug_assert_eq!(plan.rel(), rel, "plan filed under wrong table set");
-                plan
-            });
+            .insert_approx_with(cost, format, alpha, make);
         if kept {
             self.insertions += 1;
         } else {
@@ -99,13 +100,25 @@ impl PlanCache {
     }
 
     /// Iterates over `(table set, frontier)` entries in unspecified order.
-    pub fn entries(&self) -> impl Iterator<Item = (TableSet, &[PlanRef])> {
+    pub fn entries(&self) -> impl Iterator<Item = (TableSet, &[P])> {
         self.map.iter().map(|(k, v)| (*k, v.plans()))
     }
 
     /// Removes every cached entry (used by cache-ablation experiments).
     pub fn clear(&mut self) {
         self.map.clear();
+    }
+}
+
+impl PlanCache<PlanRef> {
+    /// Inserts `plan` into the frontier of its own table set using
+    /// approximate pruning with factor `alpha` (Algorithm 3's `Prune`).
+    /// Returns `true` iff the plan was kept.
+    pub fn insert(&mut self, plan: PlanRef, alpha: f64) -> bool {
+        let rel = plan.rel();
+        let cost = *plan.cost();
+        let format = plan.format();
+        self.insert_with(rel, &cost, format, alpha, move || plan)
     }
 
     /// Debug check: every stored plan is filed under its own table set and
@@ -131,7 +144,7 @@ mod tests {
 
     #[test]
     fn empty_cache_has_empty_frontiers() {
-        let cache = PlanCache::new();
+        let cache: PlanCache = PlanCache::new();
         assert!(cache.frontier(TableSet::prefix(2)).is_empty());
         assert_eq!(cache.num_table_sets(), 0);
         assert_eq!(cache.total_plans(), 0);

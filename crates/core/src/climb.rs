@@ -29,6 +29,7 @@
 //! whole climb (and the RMQ main loop carries across iterations) so the
 //! inner loops run allocation-free in steady state.
 
+use crate::arena::{PlanArena, PlanId, PlanNodeKind};
 use crate::model::CostModel;
 use crate::mutations::{all_neighbors, MutationSet};
 use crate::pareto::{ParetoSet, PrunePolicy};
@@ -126,9 +127,12 @@ where
             let inner_pareto = pareto_step_with(inner, model, policy, mutations, scratch);
             // Iterate over all improved sub-plan pairs.
             for o in &outer_pareto {
+                // One view copy per operand pair, reused across operators.
+                let vo = o.view();
                 for i in &inner_pareto {
+                    let vi = i.view();
                     scratch.ops.clear();
-                    model.join_ops(o, i, &mut scratch.ops);
+                    model.join_ops(vo, vi, &mut scratch.ops);
                     // The recombined plan (identity mutation at the root):
                     // the original operator when applicable, else the first
                     // applicable one — exactly `join_preferring`'s pick. A
@@ -142,14 +146,14 @@ where
                     else {
                         continue;
                     };
-                    let props = model.join_props(o, i, root_op);
+                    let props = model.join_props(vo, vi, root_op);
                     frontier.insert_climb_with(&props.cost, props.format, policy, || {
                         Plan::join_from_props(o.clone(), i.clone(), root_op, props)
                     });
                     // Operator changes at the root.
                     for &alt in &scratch.ops {
                         if alt != root_op {
-                            let props = model.join_props(o, i, alt);
+                            let props = model.join_props(vo, vi, alt);
                             frontier.insert_climb_with(&props.cost, props.format, policy, || {
                                 Plan::join_from_props(o.clone(), i.clone(), alt, props)
                             });
@@ -166,6 +170,94 @@ where
                         &mut |a, b, jop, props| {
                             frontier.insert_climb_with(&props.cost, props.format, policy, || {
                                 Plan::join_from_props(a.clone(), b.clone(), jop, props)
+                            });
+                        },
+                    );
+                }
+            }
+        }
+    }
+    frontier.into_plans()
+}
+
+/// Arena analogue of [`pareto_step_with`]: identical candidate enumeration
+/// order and pruning decisions, operating on interned [`PlanId`]s. Admitted
+/// candidates intern their root (an intern hit — the steady-state common
+/// case once a neighborhood has been visited — allocates nothing); rejected
+/// candidates touch neither the arena nor the heap.
+pub fn pareto_step_in<M>(
+    arena: &mut PlanArena,
+    p: PlanId,
+    model: &M,
+    policy: PrunePolicy,
+    mutations: MutationSet,
+    scratch: &mut StepScratch,
+) -> Vec<PlanId>
+where
+    M: CostModel + ?Sized,
+{
+    let mut frontier: ParetoSet<PlanId> = ParetoSet::new();
+    match arena.node(p).kind() {
+        PlanNodeKind::Scan { table, op } => {
+            // Identity first, then the scan-operator mutations.
+            let view = arena.view(p);
+            frontier.insert_climb_with(&view.cost, view.format, policy, || p);
+            for &alt in model.scan_ops(table) {
+                if alt != op {
+                    let props = model.scan_props(table, alt);
+                    frontier.insert_climb_with(&props.cost, props.format, policy, || {
+                        arena.scan_from_props(table, alt, props)
+                    });
+                }
+            }
+        }
+        PlanNodeKind::Join { outer, inner, op } => {
+            let outer_pareto = pareto_step_in(arena, outer, model, policy, mutations, scratch);
+            let inner_pareto = pareto_step_in(arena, inner, model, policy, mutations, scratch);
+            for &o in &outer_pareto {
+                // One view copy per operand pair, reused across operators.
+                let vo = arena.view(o);
+                for &i in &inner_pareto {
+                    let vi = arena.view(i);
+                    scratch.ops.clear();
+                    model.join_ops(&vo, &vi, &mut scratch.ops);
+                    let Some(root_op) = scratch
+                        .ops
+                        .iter()
+                        .find(|&&a| a == op)
+                        .or_else(|| scratch.ops.first())
+                        .copied()
+                    else {
+                        continue;
+                    };
+                    // Candidates are costed through the model (cheap,
+                    // cache-resident) and interned only on admission — see
+                    // the matching note in `approximate_frontiers_in`.
+                    let props = model.join_props(&vo, &vi, root_op);
+                    frontier.insert_climb_with(&props.cost, props.format, policy, || {
+                        arena.join_from_props(o, i, root_op, props)
+                    });
+                    // Operator changes at the root.
+                    for k in 0..scratch.ops.len() {
+                        let alt = scratch.ops[k];
+                        if alt != root_op {
+                            let props = model.join_props(&vo, &vi, alt);
+                            frontier.insert_climb_with(&props.cost, props.format, policy, || {
+                                arena.join_from_props(o, i, alt, props)
+                            });
+                        }
+                    }
+                    // Structural rules, root interning deferred to admission.
+                    mutations.visit_structural_in(
+                        arena,
+                        o,
+                        i,
+                        root_op,
+                        model,
+                        &mut scratch.structural_ops,
+                        &mut |arena, a, b, jop, props| {
+                            frontier.insert_climb_with(&props.cost, props.format, policy, || {
+                                arena.join_from_props(a, b, jop, props)
                             });
                         },
                     );
@@ -207,6 +299,38 @@ where
         match mutations
             .into_iter()
             .find(|m| m.cost().strictly_dominates(current.cost()))
+        {
+            Some(better) => {
+                current = better;
+                stats.steps += 1;
+            }
+            None => break,
+        }
+    }
+    (current, stats)
+}
+
+/// Arena analogue of [`pareto_climb_with`]: same moves, same local optimum,
+/// same path statistics for a given start plan (see the seed-determinism
+/// test pinning arena and legacy climbs to identical outcomes).
+pub fn pareto_climb_in<M>(
+    arena: &mut PlanArena,
+    start: PlanId,
+    model: &M,
+    cfg: &ClimbConfig,
+    scratch: &mut StepScratch,
+) -> (PlanId, ClimbStats)
+where
+    M: CostModel + ?Sized,
+{
+    let mut current = start;
+    let mut stats = ClimbStats::default();
+    while stats.steps < cfg.max_steps {
+        let mutations = pareto_step_in(arena, current, model, cfg.policy, cfg.mutations, scratch);
+        let current_cost = *arena.node(current).cost();
+        match mutations
+            .into_iter()
+            .find(|&m| arena.node(m).cost().strictly_dominates(&current_cost))
         {
             Some(better) => {
                 current = better;
@@ -351,6 +475,86 @@ mod tests {
                     .collect();
                 assert_eq!(fast, reference, "step diverged under {policy:?}");
             }
+        }
+    }
+
+    #[test]
+    fn arena_climb_matches_legacy_across_seeds_and_sizes() {
+        // Seed-determinism satellite: 3 seeds × 2 query sizes. Arena-built
+        // and Arc-built climbs must consume the RNG identically, make the
+        // same moves, and end on the same local optimum with the same final
+        // step frontier.
+        use crate::arena::PlanArena;
+        use crate::random_plan::random_plan_in;
+        for n in [6usize, 9] {
+            for seed in [1u64, 2, 3] {
+                let (m, q) = setup(n, 2, 17);
+                let start_arc = random_plan(&m, q, &mut StdRng::seed_from_u64(seed));
+                let mut arena = PlanArena::new();
+                let start_id = random_plan_in(&mut arena, &m, q, &mut StdRng::seed_from_u64(seed));
+                assert_eq!(
+                    arena.display(start_id, &m),
+                    start_arc.display(&m),
+                    "random generation diverged (n={n}, seed={seed})"
+                );
+                let cfg = ClimbConfig::default();
+                let mut scratch = StepScratch::default();
+                let (opt_arc, stats_arc) = pareto_climb(start_arc, &m, &cfg);
+                let (opt_id, stats_id) =
+                    pareto_climb_in(&mut arena, start_id, &m, &cfg, &mut scratch);
+                assert_eq!(stats_arc, stats_id, "path lengths diverged");
+                assert_eq!(
+                    arena.display(opt_id, &m),
+                    opt_arc.display(&m),
+                    "local optima diverged (n={n}, seed={seed})"
+                );
+                assert_eq!(
+                    arena.node(opt_id).cost().as_slice(),
+                    opt_arc.cost().as_slice()
+                );
+                // Identical final frontiers from one more step at the optimum.
+                for policy in [PrunePolicy::OnePerFormat, PrunePolicy::KeepIncomparable] {
+                    let legacy: Vec<String> = pareto_step(&opt_arc, &m, policy, MutationSet::Bushy)
+                        .iter()
+                        .map(|s| s.display(&m))
+                        .collect();
+                    let in_arena: Vec<String> = pareto_step_in(
+                        &mut arena,
+                        opt_id,
+                        &m,
+                        policy,
+                        MutationSet::Bushy,
+                        &mut scratch,
+                    )
+                    .iter()
+                    .map(|&s| arena.display(s, &m))
+                    .collect();
+                    assert_eq!(in_arena, legacy, "step frontier diverged under {policy:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_left_deep_climb_matches_legacy() {
+        use crate::arena::PlanArena;
+        use crate::random_plan::{random_left_deep_plan, random_left_deep_plan_in};
+        let (m, q) = setup(7, 2, 23);
+        let cfg = ClimbConfig {
+            mutations: MutationSet::LeftDeep,
+            ..ClimbConfig::default()
+        };
+        for seed in [5u64, 6] {
+            let start_arc = random_left_deep_plan(&m, q, &mut StdRng::seed_from_u64(seed));
+            let mut arena = PlanArena::new();
+            let start_id =
+                random_left_deep_plan_in(&mut arena, &m, q, &mut StdRng::seed_from_u64(seed));
+            let (opt_arc, stats_arc) = pareto_climb(start_arc, &m, &cfg);
+            let (opt_id, stats_id) =
+                pareto_climb_in(&mut arena, start_id, &m, &cfg, &mut StepScratch::default());
+            assert_eq!(stats_arc, stats_id);
+            assert_eq!(arena.display(opt_id, &m), opt_arc.display(&m));
+            assert!(arena.is_left_deep(opt_id));
         }
     }
 

@@ -17,6 +17,7 @@
 //! join orders are still being explored; late fine precision converges the
 //! cached frontiers towards the true Pareto sets.
 
+use crate::arena::{PlanArena, PlanId, PlanNodeKind};
 use crate::cache::PlanCache;
 use crate::model::{CostModel, JoinOpId};
 use crate::plan::{Plan, PlanKind, PlanRef};
@@ -77,11 +78,25 @@ impl Default for AlphaSchedule {
 /// whole traversal — the recursion uses the buffers transiently between
 /// recursive calls — and the RMQ main loop reuses one across iterations so
 /// the traversal runs allocation-free in steady state.
-#[derive(Debug, Default)]
-pub struct FrontierScratch {
-    outer_plans: Vec<PlanRef>,
-    inner_plans: Vec<PlanRef>,
+///
+/// Generic over the plan handle like [`PlanCache`]: the arena traversal
+/// ([`approximate_frontiers_in`]) snapshots `Copy` [`PlanId`]s instead of
+/// bumping `Arc` refcounts.
+#[derive(Debug)]
+pub struct FrontierScratch<P = PlanRef> {
+    outer_plans: Vec<P>,
+    inner_plans: Vec<P>,
     ops: Vec<JoinOpId>,
+}
+
+impl<P> Default for FrontierScratch<P> {
+    fn default() -> Self {
+        FrontierScratch {
+            outer_plans: Vec::new(),
+            inner_plans: Vec::new(),
+            ops: Vec::new(),
+        }
+    }
 }
 
 /// Approximates the Pareto frontiers of all intermediate results occurring
@@ -138,14 +153,82 @@ pub fn approximate_frontiers_with<M>(
             inner_plans.clear();
             inner_plans.extend_from_slice(cache.frontier(inner.rel()));
             for o in outer_plans.iter() {
+                // Views are hoisted out of the candidate loops: one copy
+                // per operand pair, reused across every operator.
+                let vo = o.view();
                 for i in inner_plans.iter() {
+                    let vi = i.view();
                     ops.clear();
-                    model.join_ops(o, i, ops);
+                    model.join_ops(vo, vi, ops);
                     let rel = o.rel().union(i.rel());
                     for &op in ops.iter() {
-                        let props = model.join_props(o, i, op);
+                        let props = model.join_props(vo, vi, op);
                         cache.insert_with(rel, &props.cost, props.format, alpha, || {
                             Plan::join_from_props(o.clone(), i.clone(), op, props)
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Arena analogue of [`approximate_frontiers_with`]: identical traversal
+/// order and pruning decisions over a `PlanCache<PlanId>` keyed into
+/// `arena`. Admitted candidates intern their root; rejected ones allocate
+/// nothing (and on an intern hit even admission is allocation-free).
+pub fn approximate_frontiers_in<M>(
+    arena: &mut PlanArena,
+    p: PlanId,
+    model: &M,
+    cache: &mut PlanCache<PlanId>,
+    alpha: f64,
+    scratch: &mut FrontierScratch<PlanId>,
+) where
+    M: CostModel + ?Sized,
+{
+    match arena.node(p).kind() {
+        PlanNodeKind::Scan { table, .. } => {
+            let rel = TableSet::singleton(table);
+            for &op in model.scan_ops(table) {
+                let props = model.scan_props(table, op);
+                cache.insert_with(rel, &props.cost, props.format, alpha, || {
+                    arena.scan_from_props(table, op, props)
+                });
+            }
+        }
+        PlanNodeKind::Join { outer, inner, .. } => {
+            // Post-order: operand frontiers first.
+            approximate_frontiers_in(arena, outer, model, cache, alpha, scratch);
+            approximate_frontiers_in(arena, inner, model, cache, alpha, scratch);
+            let FrontierScratch {
+                outer_plans,
+                inner_plans,
+                ops,
+            } = scratch;
+            let (outer_rel, inner_rel) = (arena.node(outer).rel(), arena.node(inner).rel());
+            outer_plans.clear();
+            outer_plans.extend_from_slice(cache.frontier(outer_rel));
+            inner_plans.clear();
+            inner_plans.extend_from_slice(cache.frontier(inner_rel));
+            let rel = outer_rel.union(inner_rel);
+            for &o in outer_plans.iter() {
+                // One view copy per operand pair, reused across operators.
+                let vo = arena.view(o);
+                for &i in inner_plans.iter() {
+                    let vi = arena.view(i);
+                    ops.clear();
+                    model.join_ops(&vo, &vi, ops);
+                    for &op in ops.iter() {
+                        // Candidates are costed through the model, not via
+                        // an intern-map probe: in a session-sized arena the
+                        // probe is a cache-missing hash lookup, measurably
+                        // slower than recomputing L1-resident model math.
+                        // Interning happens only on admission (the rare
+                        // path), where it replaces the old Arc allocation.
+                        let props = model.join_props(&vo, &vi, op);
+                        cache.insert_with(rel, &props.cost, props.format, alpha, || {
+                            arena.join_from_props(o, i, op, props)
                         });
                     }
                 }

@@ -19,8 +19,13 @@
 //!   paper's formal model (§3).
 //! * [`cost`] — cost vectors and the Pareto-dominance relations (`⪯`, `≺`,
 //!   `⪯_α`) of §3.
+//! * [`arena`] — the hash-consed plan arena ([`arena::PlanArena`] /
+//!   [`arena::PlanId`]): the optimizer-internal plan representation, where
+//!   structurally identical subplans are interned once and plan handles are
+//!   `Copy` integers.
 //! * [`plan`] — immutable, `Arc`-shared bushy plan trees (`ScanPlan` /
-//!   `JoinPlan`).
+//!   `JoinPlan`); the exchange format at API boundaries
+//!   ([`arena::PlanArena::export`]/[`arena::PlanArena::import`]).
 //! * [`model`] — the [`model::CostModel`] trait through which the optimizer
 //!   sees operators, costs, cardinalities and output formats.
 //! * [`pareto`] — the two `Prune` variants of Algorithms 2 and 3.
@@ -60,6 +65,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod arena;
 pub mod cache;
 pub mod climb;
 pub mod cost;
@@ -75,6 +81,7 @@ pub mod rmq;
 pub mod tables;
 pub mod theory;
 
+pub use arena::{PlanArena, PlanId};
 pub use cost::CostVector;
 pub use plan::{Plan, PlanRef};
 pub use tables::{TableId, TableSet};

@@ -14,8 +14,7 @@
 //! provides a small deterministic stub used throughout the test suites.
 
 use crate::cost::CostVector;
-use crate::plan::Plan;
-use crate::tables::TableId;
+use crate::tables::{TableId, TableSet};
 
 /// Identifier of an output data format (e.g. pipelined vs. materialized).
 ///
@@ -46,6 +45,44 @@ pub struct PlanProps {
     pub format: OutputFormat,
 }
 
+/// A borrowed, representation-agnostic view of a plan operand: the table
+/// set plus the cached derived properties a [`CostModel`] reads when costing
+/// a join over the operand.
+///
+/// Cost models never inspect a plan's *tree* — only its cached properties —
+/// so the optimizer can hand them operands stored as `Arc<Plan>` trees
+/// ([`Plan::view`](crate::plan::Plan::view)) or as hash-consed arena nodes
+/// ([`PlanArena::view`](crate::arena::PlanArena::view)) through one
+/// interface. The struct is `Copy` (a few dozen bytes), so call sites pass
+/// it by value or reference without lifetime entanglement.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanView {
+    /// The set of tables joined by the operand (`p.rel`).
+    pub rel: TableSet,
+    /// The operand's cost vector (`p.cost`).
+    pub cost: CostVector,
+    /// Estimated output cardinality in rows.
+    pub rows: f64,
+    /// Estimated output size in pages.
+    pub pages: f64,
+    /// The output data format (drives operator applicability).
+    pub format: OutputFormat,
+}
+
+impl PlanView {
+    /// Assembles a view from a table set and node properties.
+    #[inline]
+    pub fn new(rel: TableSet, props: &PlanProps) -> Self {
+        PlanView {
+            rel,
+            cost: props.cost,
+            rows: props.rows,
+            pages: props.pages,
+            format: props.format,
+        }
+    }
+}
+
 /// A multi-metric cost model: operator library + cost/cardinality estimation.
 ///
 /// # Contract
@@ -74,13 +111,13 @@ pub trait CostModel: Sync {
 
     /// Appends to `out` the join operator implementations applicable to the
     /// given operand plans (applicability may depend on operand formats).
-    fn join_ops(&self, outer: &Plan, inner: &Plan, out: &mut Vec<JoinOpId>);
+    fn join_ops(&self, outer: &PlanView, inner: &PlanView, out: &mut Vec<JoinOpId>);
 
     /// Properties of a scan of `table` with operator `op`.
     fn scan_props(&self, table: TableId, op: ScanOpId) -> PlanProps;
 
     /// Properties of a join of `outer` and `inner` with operator `op`.
-    fn join_props(&self, outer: &Plan, inner: &Plan, op: JoinOpId) -> PlanProps;
+    fn join_props(&self, outer: &PlanView, inner: &PlanView, op: JoinOpId) -> PlanProps;
 
     /// Human-readable name of a scan operator.
     fn scan_op_name(&self, op: ScanOpId) -> String;
@@ -116,13 +153,13 @@ macro_rules! delegate_cost_model {
         fn scan_ops(&self, table: TableId) -> &[ScanOpId] {
             (**self).scan_ops(table)
         }
-        fn join_ops(&self, outer: &Plan, inner: &Plan, out: &mut Vec<JoinOpId>) {
+        fn join_ops(&self, outer: &PlanView, inner: &PlanView, out: &mut Vec<JoinOpId>) {
             (**self).join_ops(outer, inner, out)
         }
         fn scan_props(&self, table: TableId, op: ScanOpId) -> PlanProps {
             (**self).scan_props(table, op)
         }
-        fn join_props(&self, outer: &Plan, inner: &Plan, op: JoinOpId) -> PlanProps {
+        fn join_props(&self, outer: &PlanView, inner: &PlanView, op: JoinOpId) -> PlanProps {
             (**self).join_props(outer, inner, op)
         }
         fn scan_op_name(&self, op: ScanOpId) -> String {
@@ -269,9 +306,9 @@ pub mod testing {
             &self.scan_ops
         }
 
-        fn join_ops(&self, _outer: &Plan, inner: &Plan, out: &mut Vec<JoinOpId>) {
+        fn join_ops(&self, _outer: &PlanView, inner: &PlanView, out: &mut Vec<JoinOpId>) {
             out.extend([JoinOpId(0), JoinOpId(1), JoinOpId(2)]);
-            if inner.format() == OutputFormat(1) {
+            if inner.format == OutputFormat(1) {
                 out.push(STUB_RESTRICTED_JOIN);
             }
         }
@@ -297,12 +334,12 @@ pub mod testing {
             }
         }
 
-        fn join_props(&self, outer: &Plan, inner: &Plan, op: JoinOpId) -> PlanProps {
-            let sel = self.selectivity(outer.rel(), inner.rel());
-            let rows = (outer.rows() * inner.rows() * sel).max(1.0);
+        fn join_props(&self, outer: &PlanView, inner: &PlanView, op: JoinOpId) -> PlanProps {
+            let sel = self.selectivity(outer.rel, inner.rel);
+            let rows = (outer.rows * inner.rows * sel).max(1.0);
             let pages = (rows / 100.0).max(0.01);
-            let work = outer.pages() + inner.pages() + pages;
-            let mut cost = outer.cost().add(inner.cost());
+            let work = outer.pages + inner.pages + pages;
+            let mut cost = outer.cost.add(&inner.cost);
             for k in 0..self.dim {
                 cost = cost.add_component(k, (self.op_weight(op.0, k) * work).max(MIN_COST));
             }
@@ -383,7 +420,7 @@ pub mod testing {
             let s0 = Plan::scan(&m, TableId::new(0), ScanOpId(0));
             let s1 = Plan::scan(&m, TableId::new(1), ScanOpId(0));
             let mut ops = Vec::new();
-            m.join_ops(&s0, &s1, &mut ops);
+            m.join_ops(s0.view(), s1.view(), &mut ops);
             assert!(!ops.contains(&STUB_RESTRICTED_JOIN));
 
             // A format-1 inner (built by the materializing join op 2)
@@ -392,7 +429,7 @@ pub mod testing {
             assert_eq!(j.format(), OutputFormat(1));
             let s2 = Plan::scan(&m, TableId::new(2), ScanOpId(0));
             ops.clear();
-            m.join_ops(&s2, &j, &mut ops);
+            m.join_ops(s2.view(), j.view(), &mut ops);
             assert!(ops.contains(&STUB_RESTRICTED_JOIN));
         }
 

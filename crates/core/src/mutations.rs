@@ -23,18 +23,20 @@
 
 use rand::Rng;
 
-use crate::model::{CostModel, JoinOpId, PlanProps};
+use crate::arena::{PlanArena, PlanId, PlanNodeKind};
+use crate::model::{CostModel, JoinOpId, PlanProps, PlanView};
 use crate::plan::{Plan, PlanKind, PlanRef};
 
 /// Resolves the operator for joining `outer` and `inner`: the first entry
 /// of `preferred` that is applicable, falling back to the first applicable
 /// implementation. `ops` is a reusable scratch buffer; it is clobbered.
 /// Returns `None` if the model offers no applicable operator (contract
-/// violation; callers treat it as "rule not applicable").
+/// violation; callers treat it as "rule not applicable"). Operands are
+/// [`PlanView`]s, so the `Arc<Plan>` and arena paths share this resolver.
 fn resolve_op<M>(
     model: &M,
-    outer: &PlanRef,
-    inner: &PlanRef,
+    outer: &PlanView,
+    inner: &PlanView,
     preferred: &[JoinOpId],
     ops: &mut Vec<JoinOpId>,
 ) -> Option<JoinOpId>
@@ -64,8 +66,30 @@ where
     M: CostModel + ?Sized,
 {
     let mut ops = Vec::new();
-    let op = resolve_op(model, outer, inner, preferred, &mut ops)?;
+    let op = resolve_op(model, outer.view(), inner.view(), preferred, &mut ops)?;
     Some(Plan::join(model, outer.clone(), inner.clone(), op))
+}
+
+/// Arena analogue of [`join_preferring`].
+pub fn join_preferring_in<M>(
+    arena: &mut PlanArena,
+    model: &M,
+    outer: PlanId,
+    inner: PlanId,
+    preferred: &[JoinOpId],
+) -> Option<PlanId>
+where
+    M: CostModel + ?Sized,
+{
+    let mut ops = Vec::new();
+    let op = resolve_op(
+        model,
+        &arena.view(outer),
+        &arena.view(inner),
+        preferred,
+        &mut ops,
+    )?;
+    Some(arena.join(model, outer, inner, op))
 }
 
 /// Which transformation rules local search applies at each node. The paper
@@ -129,13 +153,13 @@ impl MutationSet {
     {
         let mut candidate = |a: &PlanRef, b: &PlanRef, op: JoinOpId| {
             // One closure so every rule costs its root the same way.
-            f(a, b, op, model.join_props(a, b, op));
+            f(a, b, op, model.join_props(a.view(), b.view(), op));
         };
         // Intermediate nodes also resolve their operator through the shared
         // scratch (same preferred-else-first pick as `join_preferring`,
         // without its per-call Vec).
         let build = |a: &PlanRef, b: &PlanRef, preferred: &[JoinOpId], ops: &mut Vec<JoinOpId>| {
-            let op = resolve_op(model, a, b, preferred, ops)?;
+            let op = resolve_op(model, a.view(), b.view(), preferred, ops)?;
             Some(Plan::join(model, a.clone(), b.clone(), op))
         };
         // Commutativity: B ⋈ A. The left-deep rule set only commutes the
@@ -145,7 +169,7 @@ impl MutationSet {
             MutationSet::LeftDeep => !outer.is_join(),
         };
         if commute {
-            if let Some(op) = resolve_op(model, inner, outer, &[root_op], ops) {
+            if let Some(op) = resolve_op(model, inner.view(), outer.view(), &[root_op], ops) {
                 candidate(inner, outer, op);
             }
         }
@@ -159,7 +183,9 @@ impl MutationSet {
             if self == MutationSet::Bushy {
                 // Right rotation: (LL ⋈ LR) ⋈ R → LL ⋈ (LR ⋈ R).
                 if let Some(new_inner) = build(lr, inner, &[root_op, *lop], ops) {
-                    if let Some(op) = resolve_op(model, ll, &new_inner, &[*lop, root_op], ops) {
+                    if let Some(op) =
+                        resolve_op(model, ll.view(), new_inner.view(), &[*lop, root_op], ops)
+                    {
                         candidate(ll, &new_inner, op);
                     }
                 }
@@ -167,7 +193,9 @@ impl MutationSet {
             // Left join exchange: (LL ⋈ LR) ⋈ R → (LL ⋈ R) ⋈ LR (preserves
             // left-deep shape, so both rule sets apply it).
             if let Some(new_outer) = build(ll, inner, &[*lop, root_op], ops) {
-                if let Some(op) = resolve_op(model, &new_outer, lr, &[root_op, *lop], ops) {
+                if let Some(op) =
+                    resolve_op(model, new_outer.view(), lr.view(), &[root_op, *lop], ops)
+                {
                     candidate(&new_outer, lr, op);
                 }
             }
@@ -182,14 +210,144 @@ impl MutationSet {
             {
                 // Left rotation: L ⋈ (RL ⋈ RR) → (L ⋈ RL) ⋈ RR.
                 if let Some(new_outer) = build(outer, rl, &[root_op, *rop], ops) {
-                    if let Some(op) = resolve_op(model, &new_outer, rr, &[*rop, root_op], ops) {
+                    if let Some(op) =
+                        resolve_op(model, new_outer.view(), rr.view(), &[*rop, root_op], ops)
+                    {
                         candidate(&new_outer, rr, op);
                     }
                 }
                 // Right join exchange: L ⋈ (RL ⋈ RR) → RL ⋈ (L ⋈ RR).
                 if let Some(new_inner) = build(outer, rr, &[*rop, root_op], ops) {
-                    if let Some(op) = resolve_op(model, rl, &new_inner, &[root_op, *rop], ops) {
+                    if let Some(op) =
+                        resolve_op(model, rl.view(), new_inner.view(), &[root_op, *rop], ops)
+                    {
                         candidate(rl, &new_inner, op);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Arena analogue of [`MutationSet::visit_structural`]: identical rules,
+    /// identical candidate order, operands addressed by [`PlanId`].
+    /// Intermediate nodes a rotated sub-tree needs are interned into the
+    /// arena (an intern hit when the rotation was seen before — the common
+    /// steady-state case — allocates nothing). `f` receives the arena so an
+    /// admitted candidate can intern its root.
+    #[allow(clippy::too_many_arguments)]
+    pub fn visit_structural_in<M>(
+        self,
+        arena: &mut PlanArena,
+        outer: PlanId,
+        inner: PlanId,
+        root_op: JoinOpId,
+        model: &M,
+        ops: &mut Vec<JoinOpId>,
+        f: &mut impl FnMut(&mut PlanArena, PlanId, PlanId, JoinOpId, PlanProps),
+    ) where
+        M: CostModel + ?Sized,
+    {
+        fn candidate<M: CostModel + ?Sized>(
+            arena: &mut PlanArena,
+            model: &M,
+            a: PlanId,
+            b: PlanId,
+            op: JoinOpId,
+            f: &mut impl FnMut(&mut PlanArena, PlanId, PlanId, JoinOpId, PlanProps),
+        ) {
+            let props = model.join_props(&arena.view(a), &arena.view(b), op);
+            f(arena, a, b, op, props);
+        }
+        fn build<M: CostModel + ?Sized>(
+            arena: &mut PlanArena,
+            model: &M,
+            a: PlanId,
+            b: PlanId,
+            preferred: &[JoinOpId],
+            ops: &mut Vec<JoinOpId>,
+        ) -> Option<PlanId> {
+            let op = resolve_op(model, &arena.view(a), &arena.view(b), preferred, ops)?;
+            Some(arena.join(model, a, b, op))
+        }
+        let commute = match self {
+            MutationSet::Bushy => true,
+            MutationSet::LeftDeep => !arena.node(outer).is_join(),
+        };
+        if commute {
+            if let Some(op) = resolve_op(
+                model,
+                &arena.view(inner),
+                &arena.view(outer),
+                &[root_op],
+                ops,
+            ) {
+                candidate(arena, model, inner, outer, op, f);
+            }
+        }
+        // Rules consuming the outer child's structure.
+        if let PlanNodeKind::Join {
+            outer: ll,
+            inner: lr,
+            op: lop,
+        } = arena.node(outer).kind()
+        {
+            if self == MutationSet::Bushy {
+                // Right rotation: (LL ⋈ LR) ⋈ R → LL ⋈ (LR ⋈ R).
+                if let Some(new_inner) = build(arena, model, lr, inner, &[root_op, lop], ops) {
+                    if let Some(op) = resolve_op(
+                        model,
+                        &arena.view(ll),
+                        &arena.view(new_inner),
+                        &[lop, root_op],
+                        ops,
+                    ) {
+                        candidate(arena, model, ll, new_inner, op, f);
+                    }
+                }
+            }
+            // Left join exchange: (LL ⋈ LR) ⋈ R → (LL ⋈ R) ⋈ LR.
+            if let Some(new_outer) = build(arena, model, ll, inner, &[lop, root_op], ops) {
+                if let Some(op) = resolve_op(
+                    model,
+                    &arena.view(new_outer),
+                    &arena.view(lr),
+                    &[root_op, lop],
+                    ops,
+                ) {
+                    candidate(arena, model, new_outer, lr, op, f);
+                }
+            }
+        }
+        // Rules consuming the inner child's structure (bushy only).
+        if self == MutationSet::Bushy {
+            if let PlanNodeKind::Join {
+                outer: rl,
+                inner: rr,
+                op: rop,
+            } = arena.node(inner).kind()
+            {
+                // Left rotation: L ⋈ (RL ⋈ RR) → (L ⋈ RL) ⋈ RR.
+                if let Some(new_outer) = build(arena, model, outer, rl, &[root_op, rop], ops) {
+                    if let Some(op) = resolve_op(
+                        model,
+                        &arena.view(new_outer),
+                        &arena.view(rr),
+                        &[rop, root_op],
+                        ops,
+                    ) {
+                        candidate(arena, model, new_outer, rr, op, f);
+                    }
+                }
+                // Right join exchange: L ⋈ (RL ⋈ RR) → RL ⋈ (L ⋈ RR).
+                if let Some(new_inner) = build(arena, model, outer, rr, &[rop, root_op], ops) {
+                    if let Some(op) = resolve_op(
+                        model,
+                        &arena.view(rl),
+                        &arena.view(new_inner),
+                        &[root_op, rop],
+                        ops,
+                    ) {
+                        candidate(arena, model, rl, new_inner, op, f);
                     }
                 }
             }
@@ -237,7 +395,7 @@ where
         PlanKind::Join { outer, inner, op } => {
             // Operator change (always shape-preserving).
             let mut ops = Vec::new();
-            model.join_ops(outer, inner, &mut ops);
+            model.join_ops(outer.view(), inner.view(), &mut ops);
             for &alt in &ops {
                 if alt != *op {
                     out.push(Plan::join(model, outer.clone(), inner.clone(), alt));
@@ -251,6 +409,47 @@ where
                 &mut ops,
                 &mut |a, b, jop, props| {
                     out.push(Plan::join_from_props(a.clone(), b.clone(), jop, props));
+                },
+            );
+        }
+    }
+}
+
+/// Arena analogue of [`root_mutations`]: appends the [`PlanId`]s of every
+/// root mutation of `p` under the bushy rule set to `out` (same candidates,
+/// same order).
+pub fn root_mutations_in<M>(arena: &mut PlanArena, p: PlanId, model: &M, out: &mut Vec<PlanId>)
+where
+    M: CostModel + ?Sized,
+{
+    match arena.node(p).kind() {
+        PlanNodeKind::Scan { table, op } => {
+            for &alt in model.scan_ops(table) {
+                if alt != op {
+                    let id = arena.scan(model, table, alt);
+                    out.push(id);
+                }
+            }
+        }
+        PlanNodeKind::Join { outer, inner, op } => {
+            let mut ops = Vec::new();
+            model.join_ops(&arena.view(outer), &arena.view(inner), &mut ops);
+            for &alt in &ops {
+                if alt != op {
+                    let id = arena.join(model, outer, inner, alt);
+                    out.push(id);
+                }
+            }
+            MutationSet::Bushy.visit_structural_in(
+                arena,
+                outer,
+                inner,
+                op,
+                model,
+                &mut ops,
+                &mut |arena, a, b, jop, props| {
+                    let id = arena.join_from_props(a, b, jop, props);
+                    out.push(id);
                 },
             );
         }
@@ -316,6 +515,80 @@ where
             None
         } else {
             Some(scratch[rng.random_range(0..scratch.len())].clone())
+        }
+    })
+}
+
+/// Arena analogue of `rebuild_at`: rebuilds the plan rooted at `p` with the
+/// node at pre-order index `target` replaced by `replace`'s result,
+/// re-joining along the path with the original operators when applicable.
+fn rebuild_at_in<M, F>(
+    arena: &mut PlanArena,
+    p: PlanId,
+    model: &M,
+    target: usize,
+    replace: &mut F,
+) -> Option<PlanId>
+where
+    M: CostModel + ?Sized,
+    F: FnMut(&mut PlanArena, PlanId) -> Option<PlanId>,
+{
+    fn rec<M, F>(
+        arena: &mut PlanArena,
+        p: PlanId,
+        model: &M,
+        target: usize,
+        next: &mut usize,
+        replace: &mut F,
+    ) -> Option<Option<PlanId>>
+    where
+        M: CostModel + ?Sized,
+        F: FnMut(&mut PlanArena, PlanId) -> Option<PlanId>,
+    {
+        let idx = *next;
+        *next += 1;
+        if idx == target {
+            return Some(replace(arena, p));
+        }
+        if let PlanNodeKind::Join { outer, inner, op } = arena.node(p).kind() {
+            if let Some(new_outer) = rec(arena, outer, model, target, next, replace) {
+                return Some(
+                    new_outer.and_then(|no| join_preferring_in(arena, model, no, inner, &[op])),
+                );
+            }
+            if let Some(new_inner) = rec(arena, inner, model, target, next, replace) {
+                return Some(
+                    new_inner.and_then(|ni| join_preferring_in(arena, model, outer, ni, &[op])),
+                );
+            }
+        }
+        None
+    }
+    let mut next = 0;
+    rec(arena, p, model, target, &mut next, replace).flatten()
+}
+
+/// Arena analogue of [`random_neighbor`] (same neighborhood distribution
+/// and RNG consumption; used by the arena-threaded SA baseline).
+pub fn random_neighbor_in<M, R>(
+    arena: &mut PlanArena,
+    root: PlanId,
+    model: &M,
+    rng: &mut R,
+) -> Option<PlanId>
+where
+    M: CostModel + ?Sized,
+    R: Rng + ?Sized,
+{
+    let target = rng.random_range(0..arena.node_count(root));
+    let mut scratch = Vec::new();
+    rebuild_at_in(arena, root, model, target, &mut |arena, node| {
+        scratch.clear();
+        root_mutations_in(arena, node, model, &mut scratch);
+        if scratch.is_empty() {
+            None
+        } else {
+            Some(scratch[rng.random_range(0..scratch.len())])
         }
     })
 }

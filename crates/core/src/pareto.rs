@@ -108,16 +108,32 @@ impl Meta {
 /// a per-output-format index on the side so same-format probes never scan
 /// members of other formats. See the module docs for the full hot-path
 /// rationale.
-#[derive(Clone, Default, Debug)]
-pub struct ParetoSet {
-    plans: Vec<PlanRef>,
+///
+/// The member handle type `P` is generic: every pruning decision reads only
+/// the inline `(cost, key, format)` metadata, so the same code stores
+/// `Arc<Plan>` trees (`ParetoSet<PlanRef>`, the default) or hash-consed
+/// [`crate::arena::PlanId`]s (`ParetoSet<PlanId>`, where members are `Copy`
+/// integers and the set never touches an allocation).
+#[derive(Clone, Debug)]
+pub struct ParetoSet<P = PlanRef> {
+    plans: Vec<P>,
     /// Parallel to `plans`: inline cost metadata.
     meta: Vec<Meta>,
     /// Output format → ascending indices into `plans`/`meta`.
     buckets: FxHashMap<OutputFormat, Vec<u32>>,
 }
 
-impl ParetoSet {
+impl<P> Default for ParetoSet<P> {
+    fn default() -> Self {
+        ParetoSet {
+            plans: Vec::new(),
+            meta: Vec::new(),
+            buckets: FxHashMap::default(),
+        }
+    }
+}
+
+impl<P> ParetoSet<P> {
     /// Creates an empty set.
     pub fn new() -> Self {
         ParetoSet::default()
@@ -125,7 +141,7 @@ impl ParetoSet {
 
     /// The current members.
     #[inline]
-    pub fn plans(&self) -> &[PlanRef] {
+    pub fn plans(&self) -> &[P] {
         &self.plans
     }
 
@@ -151,13 +167,7 @@ impl ParetoSet {
     }
 
     #[inline]
-    fn push(&mut self, plan: PlanRef, meta: Meta) {
-        debug_assert_eq!(
-            meta.cost.as_slice(),
-            plan.cost().as_slice(),
-            "metadata disagrees with materialized plan cost"
-        );
-        debug_assert_eq!(meta.format, plan.format());
+    fn push(&mut self, plan: P, meta: Meta) {
         let idx = self.plans.len() as u32;
         self.plans.push(plan);
         self.buckets.entry(meta.format).or_default().push(idx);
@@ -200,24 +210,17 @@ impl ParetoSet {
         }
     }
 
-    /// Climb pruning (Algorithm 2's `Prune`). Returns `true` iff the plan
-    /// was inserted.
-    pub fn insert_climb(&mut self, new_plan: PlanRef, policy: PrunePolicy) -> bool {
-        let cost = *new_plan.cost();
-        let format = new_plan.format();
-        self.insert_climb_with(&cost, format, policy, move || new_plan)
-    }
-
     /// Climb pruning on a candidate described by its cost and output format
     /// alone: `make` is invoked — and the plan allocated — only if the
     /// candidate is admitted. The materialized plan must have exactly the
     /// given cost and format. Returns `true` iff the candidate was inserted.
+    #[inline]
     pub fn insert_climb_with(
         &mut self,
         cost: &CostVector,
         format: OutputFormat,
         policy: PrunePolicy,
-        make: impl FnOnce() -> PlanRef,
+        make: impl FnOnce() -> P,
     ) -> bool {
         match policy {
             PrunePolicy::KeepIncomparable => {
@@ -272,24 +275,17 @@ impl ParetoSet {
         }
     }
 
-    /// Approximate pruning (Algorithm 3's `Prune` with factor `alpha`).
-    /// Returns `true` iff the plan was inserted.
-    pub fn insert_approx(&mut self, new_plan: PlanRef, alpha: f64) -> bool {
-        let cost = *new_plan.cost();
-        let format = new_plan.format();
-        self.insert_approx_with(&cost, format, alpha, move || new_plan)
-    }
-
     /// Approximate pruning on a candidate described by its cost and output
     /// format alone; like [`insert_climb_with`](Self::insert_climb_with),
     /// `make` runs only on admission, so rejected candidates never
     /// allocate. Returns `true` iff the candidate was inserted.
+    #[inline]
     pub fn insert_approx_with(
         &mut self,
         cost: &CostVector,
         format: OutputFormat,
         alpha: f64,
-        make: impl FnOnce() -> PlanRef,
+        make: impl FnOnce() -> P,
     ) -> bool {
         // A member α-dominating the candidate satisfies
         // `m.key <= cost.scaled_agg_key(alpha)` exactly (see CostVector).
@@ -321,14 +317,19 @@ impl ParetoSet {
         true
     }
 
-    /// Inserts keeping the exact cost-Pareto frontier, ignoring output
-    /// formats (used for result archives where only cost tradeoffs matter).
-    /// Returns `true` iff the plan was inserted.
-    pub fn insert_cost_frontier(&mut self, new_plan: PlanRef) -> bool {
-        let key = new_plan.cost().agg_key();
-        let cost = *new_plan.cost();
+    /// Exact cost-Pareto-frontier insertion (format-agnostic) on a
+    /// candidate described by its cost and format alone; `make` runs only
+    /// on admission. Returns `true` iff the candidate was inserted.
+    #[inline]
+    pub fn insert_cost_frontier_with(
+        &mut self,
+        cost: &CostVector,
+        format: OutputFormat,
+        make: impl FnOnce() -> P,
+    ) -> bool {
+        let key = cost.agg_key();
         for m in &self.meta {
-            if m.key <= key && (m.cost.strictly_dominates(&cost) || m.cost == cost) {
+            if m.key <= key && (m.cost.strictly_dominates(cost) || m.cost == *cost) {
                 return false;
             }
         }
@@ -341,33 +342,31 @@ impl ParetoSet {
         if !dead.is_empty() {
             self.remove_sorted(&dead);
         }
-        let format = new_plan.format();
-        self.push(new_plan, Meta::of(&cost, format));
+        self.push(make(), Meta::of(cost, format));
         true
     }
 
     /// Consumes the set, returning the plans.
-    pub fn into_plans(self) -> Vec<PlanRef> {
+    pub fn into_plans(self) -> Vec<P> {
         self.plans
     }
 
     /// Iterates over members.
-    pub fn iter(&self) -> impl Iterator<Item = &PlanRef> {
+    pub fn iter(&self) -> impl Iterator<Item = &P> {
         self.plans.iter()
     }
 
-    /// Debug check of the set invariant: no member strictly dominates
-    /// another member with the same output format, and the inline metadata
-    /// and format index agree with the stored plans.
-    pub fn check_invariant(&self) -> bool {
+    /// Debug check of the handle-independent part of the set invariant: no
+    /// member strictly dominates another member with the same output
+    /// format, and the metadata/format index is internally consistent.
+    /// (`ParetoSet<PlanRef>::check_invariant` additionally cross-checks the
+    /// stored plans against the metadata.)
+    pub fn check_invariant_meta(&self) -> bool {
         if self.plans.len() != self.meta.len() {
             return false;
         }
-        for (p, m) in self.plans.iter().zip(&self.meta) {
-            if p.cost().as_slice() != m.cost.as_slice()
-                || p.format() != m.format
-                || m.key != m.cost.agg_key()
-            {
+        for m in &self.meta {
+            if m.key != m.cost.agg_key() {
                 return false;
             }
         }
@@ -394,6 +393,49 @@ impl ParetoSet {
     }
 }
 
+impl ParetoSet<PlanRef> {
+    /// Climb pruning (Algorithm 2's `Prune`). Returns `true` iff the plan
+    /// was inserted.
+    #[inline]
+    pub fn insert_climb(&mut self, new_plan: PlanRef, policy: PrunePolicy) -> bool {
+        let cost = *new_plan.cost();
+        let format = new_plan.format();
+        self.insert_climb_with(&cost, format, policy, move || new_plan)
+    }
+
+    /// Approximate pruning (Algorithm 3's `Prune` with factor `alpha`).
+    /// Returns `true` iff the plan was inserted.
+    #[inline]
+    pub fn insert_approx(&mut self, new_plan: PlanRef, alpha: f64) -> bool {
+        let cost = *new_plan.cost();
+        let format = new_plan.format();
+        self.insert_approx_with(&cost, format, alpha, move || new_plan)
+    }
+
+    /// Inserts keeping the exact cost-Pareto frontier, ignoring output
+    /// formats (used for result archives where only cost tradeoffs matter).
+    /// Returns `true` iff the plan was inserted.
+    #[inline]
+    pub fn insert_cost_frontier(&mut self, new_plan: PlanRef) -> bool {
+        let cost = *new_plan.cost();
+        let format = new_plan.format();
+        self.insert_cost_frontier_with(&cost, format, move || new_plan)
+    }
+
+    /// Debug check of the full set invariant: the handle-independent checks
+    /// of [`check_invariant_meta`](Self::check_invariant_meta) plus
+    /// agreement between every stored plan and its inline metadata.
+    pub fn check_invariant(&self) -> bool {
+        if !self.check_invariant_meta() {
+            return false;
+        }
+        self.plans
+            .iter()
+            .zip(&self.meta)
+            .all(|(p, m)| p.cost().as_slice() == m.cost.as_slice() && p.format() == m.format)
+    }
+}
+
 impl FromIterator<PlanRef> for ParetoSet {
     /// Collects plans into an exact cost-Pareto frontier (format-agnostic).
     fn from_iter<I: IntoIterator<Item = PlanRef>>(iter: I) -> Self {
@@ -412,12 +454,15 @@ impl FromIterator<PlanRef> for ParetoSet {
 /// Kept (verbatim from the original `ParetoSet`) for two purposes only:
 /// differential tests proving the bucketed set makes identical decisions,
 /// and the `pruning` micro-benchmark quantifying the speedup. Not used on
-/// any hot path.
+/// any hot path, and only compiled under the `diff-testing` feature (on in
+/// test and bench builds, off in plain release builds).
+#[cfg(any(test, feature = "diff-testing"))]
 #[derive(Clone, Default, Debug)]
 pub struct LinearParetoSet {
     plans: Vec<PlanRef>,
 }
 
+#[cfg(any(test, feature = "diff-testing"))]
 impl LinearParetoSet {
     /// Creates an empty set.
     pub fn new() -> Self {
@@ -507,7 +552,7 @@ impl LinearParetoSet {
 mod tests {
     use super::*;
     use crate::cost::CostVector;
-    use crate::model::{CostModel, JoinOpId, OutputFormat, PlanProps, ScanOpId};
+    use crate::model::{CostModel, JoinOpId, OutputFormat, PlanProps, PlanView, ScanOpId};
     use crate::plan::Plan;
     use crate::tables::TableId;
 
@@ -540,7 +585,7 @@ mod tests {
         fn scan_ops(&self, _table: TableId) -> &[ScanOpId] {
             &self.scan_ops
         }
-        fn join_ops(&self, _outer: &Plan, _inner: &Plan, out: &mut Vec<JoinOpId>) {
+        fn join_ops(&self, _outer: &PlanView, _inner: &PlanView, out: &mut Vec<JoinOpId>) {
             out.extend([JoinOpId(0), JoinOpId(1), JoinOpId(2)]);
         }
         fn scan_props(&self, _table: TableId, op: ScanOpId) -> PlanProps {
@@ -552,13 +597,13 @@ mod tests {
                 format: OutputFormat(0),
             }
         }
-        fn join_props(&self, outer: &Plan, inner: &Plan, op: JoinOpId) -> PlanProps {
+        fn join_props(&self, outer: &PlanView, inner: &PlanView, op: JoinOpId) -> PlanProps {
             let extra = match op.0 {
                 0 => [1.0, 2.0],
                 1 => [2.0, 1.0],
                 _ => [1.5, 1.5],
             };
-            let cost = outer.cost().add(inner.cost()).add(&CostVector::new(&extra));
+            let cost = outer.cost.add(&inner.cost).add(&CostVector::new(&extra));
             PlanProps {
                 cost,
                 rows: 100.0,
@@ -776,6 +821,7 @@ mod tests {
         )
     }
 
+    #[cfg(any(test, feature = "diff-testing"))]
     #[test]
     fn bucketed_matches_linear_on_handpicked_eviction_chain() {
         // A chain designed to hit rejection, replacement, and multi-member
@@ -805,11 +851,13 @@ mod tests {
         }
     }
 
+    #[cfg(any(test, feature = "diff-testing"))]
     mod differential {
-        //! Satellite: proptests that (a) both prune policies preserve the
-        //! Pareto-set invariant and (b) the bucketed implementation makes
-        //! exactly the decisions — and stores exactly the survivors, in the
-        //! same order — as the linear-scan reference.
+        //! Differential proptests (compiled under the `diff-testing`
+        //! feature): (a) both prune policies preserve the Pareto-set
+        //! invariant and (b) the bucketed implementation makes exactly the
+        //! decisions — and stores exactly the survivors, in the same order —
+        //! as the linear-scan reference.
 
         use super::*;
         use proptest::prelude::*;

@@ -10,13 +10,13 @@
 //!
 //! Every node caches derived properties — table set, cost vector, estimated
 //! output cardinality and pages, and output format — computed once at
-//! construction through a [`CostModel`](crate::model::CostModel).
+//! construction through a [`CostModel`].
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 
 use crate::cost::CostVector;
-use crate::model::{CostModel, JoinOpId, OutputFormat, PlanProps, ScanOpId};
+use crate::model::{CostModel, JoinOpId, OutputFormat, PlanProps, PlanView, ScanOpId};
 use crate::tables::{TableId, TableSet};
 
 /// Shared handle to an immutable plan node.
@@ -44,14 +44,13 @@ pub enum PlanKind {
 }
 
 /// An immutable query plan node with cached derived properties.
+///
+/// The derived properties live in an inline [`PlanView`], so handing an
+/// operand to a [`CostModel`] ([`Plan::view`]) is a reference, not a copy.
 #[derive(Clone, Debug)]
 pub struct Plan {
     kind: PlanKind,
-    rel: TableSet,
-    cost: CostVector,
-    rows: f64,
-    pages: f64,
-    format: OutputFormat,
+    view: PlanView,
 }
 
 impl Plan {
@@ -72,11 +71,7 @@ impl Plan {
         debug_assert!(props.cost.is_valid(), "scan produced invalid cost");
         Arc::new(Plan {
             kind: PlanKind::Scan { table, op },
-            rel: TableSet::singleton(table),
-            cost: props.cost,
-            rows: props.rows,
-            pages: props.pages,
-            format: props.format,
+            view: PlanView::new(TableSet::singleton(table), &props),
         })
     }
 
@@ -90,7 +85,7 @@ impl Plan {
         inner: PlanRef,
         op: JoinOpId,
     ) -> PlanRef {
-        let props = model.join_props(&outer, &inner, op);
+        let props = model.join_props(outer.view(), inner.view(), op);
         Plan::join_from_props(outer, inner, op, props)
     }
 
@@ -107,20 +102,16 @@ impl Plan {
         props: PlanProps,
     ) -> PlanRef {
         debug_assert!(
-            outer.rel.is_disjoint(inner.rel),
+            outer.rel().is_disjoint(inner.rel()),
             "join operands overlap: {} vs {}",
-            outer.rel,
-            inner.rel
+            outer.rel(),
+            inner.rel()
         );
         debug_assert!(props.cost.is_valid(), "join produced invalid cost");
-        let rel = outer.rel.union(inner.rel);
+        let rel = outer.rel().union(inner.rel());
         Arc::new(Plan {
             kind: PlanKind::Join { outer, inner, op },
-            rel,
-            cost: props.cost,
-            rows: props.rows,
-            pages: props.pages,
-            format: props.format,
+            view: PlanView::new(rel, &props),
         })
     }
 
@@ -133,31 +124,41 @@ impl Plan {
     /// The set of tables joined by this plan (`p.rel`).
     #[inline]
     pub fn rel(&self) -> TableSet {
-        self.rel
+        self.view.rel
     }
 
     /// The plan's cost vector (`p.cost`).
     #[inline]
     pub fn cost(&self) -> &CostVector {
-        &self.cost
+        &self.view.cost
     }
 
     /// Estimated output cardinality in rows.
     #[inline]
     pub fn rows(&self) -> f64 {
-        self.rows
+        self.view.rows
     }
 
     /// Estimated output size in pages.
     #[inline]
     pub fn pages(&self) -> f64 {
-        self.pages
+        self.view.pages
     }
 
     /// The output data format (used by `SameOutput` comparisons).
     #[inline]
     pub fn format(&self) -> OutputFormat {
-        self.format
+        self.view.format
+    }
+
+    /// The node's cached properties as a representation-agnostic
+    /// [`PlanView`] — the operand interface cost models consume (the
+    /// hash-consed [`crate::arena::PlanArena`] produces the same views for
+    /// its interned nodes). Borrowed, not copied: the view is stored
+    /// inline.
+    #[inline]
+    pub fn view(&self) -> &PlanView {
+        &self.view
     }
 
     /// `p.isJoin` of the paper: true iff this is an inner (join) node.
@@ -197,7 +198,7 @@ impl Plan {
     /// sub-plans only if they produce the same output data format.
     #[inline]
     pub fn same_output(&self, other: &Plan) -> bool {
-        self.format == other.format
+        self.view.format == other.view.format
     }
 
     /// Total number of nodes (scans + joins) in the plan tree.
@@ -241,7 +242,7 @@ impl Plan {
         match &self.kind {
             PlanKind::Scan { table, .. } => {
                 let s = TableSet::singleton(*table);
-                if s != self.rel {
+                if s != self.view.rel {
                     return Err(PlanError::CorruptRel);
                 }
                 Ok(s)
@@ -253,7 +254,7 @@ impl Plan {
                     return Err(PlanError::DuplicateTable(o.intersect(i)));
                 }
                 let u = o.union(i);
-                if u != self.rel {
+                if u != self.view.rel {
                     return Err(PlanError::CorruptRel);
                 }
                 Ok(u)
@@ -335,7 +336,7 @@ mod tests {
         let s0 = Plan::scan(model, TableId::new(0), model.scan_ops(TableId::new(0))[0]);
         let s1 = Plan::scan(model, TableId::new(1), model.scan_ops(TableId::new(1))[0]);
         let mut ops = Vec::new();
-        model.join_ops(&s0, &s1, &mut ops);
+        model.join_ops(s0.view(), s1.view(), &mut ops);
         Plan::join(model, s0, s1, ops[0])
     }
 

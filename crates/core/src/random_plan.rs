@@ -11,6 +11,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use crate::arena::{PlanArena, PlanId};
 use crate::model::CostModel;
 use crate::plan::{Plan, PlanRef};
 use crate::tables::{TableId, TableSet};
@@ -21,13 +22,13 @@ enum RNode {
     Internal { left: usize, right: usize },
 }
 
-/// Generates a uniform random bushy plan for `query` under `model`.
-///
-/// # Panics
-/// Panics if `query` is empty.
-pub fn random_plan<M, R>(model: &M, query: TableSet, rng: &mut R) -> PlanRef
+/// Draws the shared randomness of one uniform bushy plan: the shuffled
+/// table order and the Rémy tree shape. Both plan representations (the
+/// `Arc<Plan>` builder and the arena builder) consume the RNG through this
+/// one function, so a given seed yields the *same* plan on either path —
+/// the property the arena-vs-legacy differential tests pin down.
+fn random_shape<R>(query: TableSet, rng: &mut R) -> (Vec<TableId>, Vec<RNode>, usize)
 where
-    M: CostModel + ?Sized,
     R: Rng + ?Sized,
 {
     let mut tables: Vec<TableId> = query.iter().collect();
@@ -36,7 +37,7 @@ where
     let n = tables.len();
 
     if n == 1 {
-        return random_scan(model, tables[0], rng);
+        return (tables, Vec::new(), 0);
     }
 
     // Rémy's algorithm: grow a uniform binary tree with n leaves.
@@ -80,10 +81,49 @@ where
         parent[v] = internal;
         parent[leaf] = internal;
     }
+    (tables, nodes, root)
+}
 
+/// Generates a uniform random bushy plan for `query` under `model`.
+///
+/// # Panics
+/// Panics if `query` is empty.
+pub fn random_plan<M, R>(model: &M, query: TableSet, rng: &mut R) -> PlanRef
+where
+    M: CostModel + ?Sized,
+    R: Rng + ?Sized,
+{
+    let (tables, nodes, root) = random_shape(query, rng);
+    if tables.len() == 1 {
+        return random_scan(model, tables[0], rng);
+    }
     // Assign the shuffled tables to leaves and build the plan bottom-up.
     let mut next_table = 0usize;
     build(model, &nodes, root, &tables, &mut next_table, rng)
+}
+
+/// [`random_plan`] building into a hash-consed arena: same distribution,
+/// same RNG consumption, but already-seen subplans are interned instead of
+/// reallocated.
+///
+/// # Panics
+/// Panics if `query` is empty.
+pub fn random_plan_in<M, R>(
+    arena: &mut PlanArena,
+    model: &M,
+    query: TableSet,
+    rng: &mut R,
+) -> PlanId
+where
+    M: CostModel + ?Sized,
+    R: Rng + ?Sized,
+{
+    let (tables, nodes, root) = random_shape(query, rng);
+    if tables.len() == 1 {
+        return random_scan_in(arena, model, tables[0], rng);
+    }
+    let mut next_table = 0usize;
+    build_in(arena, model, &nodes, root, &tables, &mut next_table, rng)
 }
 
 fn build<M, R>(
@@ -112,6 +152,34 @@ where
     }
 }
 
+#[allow(clippy::too_many_arguments)]
+fn build_in<M, R>(
+    arena: &mut PlanArena,
+    model: &M,
+    nodes: &[RNode],
+    idx: usize,
+    tables: &[TableId],
+    next_table: &mut usize,
+    rng: &mut R,
+) -> PlanId
+where
+    M: CostModel + ?Sized,
+    R: Rng + ?Sized,
+{
+    match nodes[idx] {
+        RNode::Leaf => {
+            let t = tables[*next_table];
+            *next_table += 1;
+            random_scan_in(arena, model, t, rng)
+        }
+        RNode::Internal { left, right } => {
+            let outer = build_in(arena, model, nodes, left, tables, next_table, rng);
+            let inner = build_in(arena, model, nodes, right, tables, next_table, rng);
+            random_join_in(arena, model, outer, inner, rng)
+        }
+    }
+}
+
 /// Builds a scan of `table` with a uniformly chosen scan operator.
 pub fn random_scan<M, R>(model: &M, table: TableId, rng: &mut R) -> PlanRef
 where
@@ -135,13 +203,51 @@ where
     R: Rng + ?Sized,
 {
     let mut ops = Vec::new();
-    model.join_ops(&outer, &inner, &mut ops);
+    model.join_ops(outer.view(), inner.view(), &mut ops);
     assert!(
         !ops.is_empty(),
         "model must offer a join operator for every operand format pair"
     );
     let op = ops[rng.random_range(0..ops.len())];
     Plan::join(model, outer, inner, op)
+}
+
+/// Arena analogue of [`random_scan`].
+pub fn random_scan_in<M, R>(arena: &mut PlanArena, model: &M, table: TableId, rng: &mut R) -> PlanId
+where
+    M: CostModel + ?Sized,
+    R: Rng + ?Sized,
+{
+    let ops = model.scan_ops(table);
+    assert!(!ops.is_empty(), "model must offer a scan operator");
+    let op = ops[rng.random_range(0..ops.len())];
+    arena.scan(model, table, op)
+}
+
+/// Arena analogue of [`random_join`].
+///
+/// # Panics
+/// Panics if the model offers no applicable join operator (a violation of
+/// the [`CostModel`] contract).
+pub fn random_join_in<M, R>(
+    arena: &mut PlanArena,
+    model: &M,
+    outer: PlanId,
+    inner: PlanId,
+    rng: &mut R,
+) -> PlanId
+where
+    M: CostModel + ?Sized,
+    R: Rng + ?Sized,
+{
+    let mut ops = Vec::new();
+    model.join_ops(&arena.view(outer), &arena.view(inner), &mut ops);
+    assert!(
+        !ops.is_empty(),
+        "model must offer a join operator for every operand format pair"
+    );
+    let op = ops[rng.random_range(0..ops.len())];
+    arena.join(model, outer, inner, op)
 }
 
 /// Generates a random **left-deep** plan: the paper notes (§4.1) that the
@@ -159,6 +265,29 @@ where
     for &t in &tables[1..] {
         let scan = random_scan(model, t, rng);
         plan = random_join(model, plan, scan, rng);
+    }
+    plan
+}
+
+/// Arena analogue of [`random_left_deep_plan`] (same distribution and RNG
+/// consumption).
+pub fn random_left_deep_plan_in<M, R>(
+    arena: &mut PlanArena,
+    model: &M,
+    query: TableSet,
+    rng: &mut R,
+) -> PlanId
+where
+    M: CostModel + ?Sized,
+    R: Rng + ?Sized,
+{
+    let mut tables: Vec<TableId> = query.iter().collect();
+    assert!(!tables.is_empty(), "cannot plan an empty query");
+    tables.shuffle(rng);
+    let mut plan = random_scan_in(arena, model, tables[0], rng);
+    for &t in &tables[1..] {
+        let scan = random_scan_in(arena, model, t, rng);
+        plan = random_join_in(arena, model, plan, scan, rng);
     }
     plan
 }

@@ -19,15 +19,17 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::arena::{PlanArena, PlanId};
 use crate::cache::PlanCache;
-use crate::climb::{pareto_climb_with, ClimbConfig, ClimbStats, StepScratch};
-use crate::frontier::{approximate_frontiers_with, AlphaSchedule, FrontierScratch};
+use crate::climb::{pareto_climb_in, ClimbConfig, ClimbStats, StepScratch};
+use crate::frontier::{approximate_frontiers_in, AlphaSchedule, FrontierScratch};
+use crate::fxhash::FxHashMap;
 use crate::model::CostModel;
 use crate::mutations::MutationSet;
 use crate::optimizer::Optimizer;
 use crate::pareto::ParetoSet;
 use crate::plan::PlanRef;
-use crate::random_plan::{random_left_deep_plan, random_plan};
+use crate::random_plan::{random_left_deep_plan_in, random_plan_in};
 use crate::tables::TableSet;
 
 /// Which join-order space the optimizer explores (§4.1 notes the algorithm
@@ -119,13 +121,32 @@ impl RmqStats {
 /// borrowed one-shot usage, or an `Arc<Model>` to obtain a `'static`,
 /// `Send` optimizer that the optimization service can schedule across
 /// worker threads (see the blanket [`CostModel`] impls for `&M`/`Arc<M>`).
+///
+/// Internally every plan lives in a per-session hash-consed
+/// [`PlanArena`]: random generation, climbing, and the frontier
+/// approximation move `Copy` [`PlanId`]s, and structurally identical
+/// subplans rediscovered across iterations are interned once. `Arc<Plan>`
+/// trees appear only at the API boundary — [`Rmq::frontier`] exports
+/// (memoized) and [`Rmq::warm_start`] imports. The arena lives and dies
+/// with the optimizer (see [`crate::arena`] for the lifetime contract).
 pub struct Rmq<M: CostModel> {
     model: M,
     query: TableSet,
     cfg: RmqConfig,
-    cache: PlanCache,
+    /// Per-session plan arena: owns every plan that outlives an iteration
+    /// (cache members, result frontiers, warm starts).
+    arena: PlanArena,
+    /// Transient arena for random generation + hill climbing, cleared every
+    /// iteration: its intern map stays iteration-sized and cache-resident,
+    /// so climb transients cost hash probes in L1 instead of growing the
+    /// session arena. The surviving local optimum is adopted into
+    /// [`Rmq::arena`] before frontier approximation.
+    climb_arena: PlanArena,
+    /// Reused id-translation memo for that adoption.
+    adopt_memo: FxHashMap<PlanId, PlanId>,
+    cache: PlanCache<PlanId>,
     /// Result archive used when `share_cache` is disabled.
-    results: ParetoSet,
+    results: ParetoSet<PlanId>,
     iteration: u64,
     rng: StdRng,
     stats: RmqStats,
@@ -133,7 +154,7 @@ pub struct Rmq<M: CostModel> {
     /// climb's inner loops run allocation-free in steady state.
     climb_scratch: StepScratch,
     /// Frontier-approximation scratch buffers, likewise reused.
-    frontier_scratch: FrontierScratch,
+    frontier_scratch: FrontierScratch<PlanId>,
 }
 
 impl<M: CostModel> Rmq<M> {
@@ -148,6 +169,9 @@ impl<M: CostModel> Rmq<M> {
             query,
             rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
+            arena: PlanArena::new(),
+            climb_arena: PlanArena::new(),
+            adopt_memo: FxHashMap::default(),
             cache: PlanCache::new(),
             results: ParetoSet::new(),
             iteration: 0,
@@ -165,42 +189,80 @@ impl<M: CostModel> Rmq<M> {
         //    (§4.1: both are exchanged together).
         let (plan, climb_cfg) = match self.cfg.space {
             PlanSpace::Bushy => (
-                random_plan(&self.model, self.query, &mut self.rng),
+                random_plan_in(
+                    &mut self.climb_arena,
+                    &self.model,
+                    self.query,
+                    &mut self.rng,
+                ),
                 self.cfg.climb,
             ),
             PlanSpace::LeftDeep => (
-                random_left_deep_plan(&self.model, self.query, &mut self.rng),
+                random_left_deep_plan_in(
+                    &mut self.climb_arena,
+                    &self.model,
+                    self.query,
+                    &mut self.rng,
+                ),
                 ClimbConfig {
                     mutations: MutationSet::LeftDeep,
                     ..self.cfg.climb
                 },
             ),
         };
-        // 2. Improve the plan via fast local search.
-        let (opt_plan, climb_stats) =
-            pareto_climb_with(plan, &self.model, &climb_cfg, &mut self.climb_scratch);
+        // 2. Improve the plan via fast local search (in the transient
+        //    arena; see the field docs).
+        let (climb_opt, climb_stats) = pareto_climb_in(
+            &mut self.climb_arena,
+            plan,
+            &self.model,
+            &climb_cfg,
+            &mut self.climb_scratch,
+        );
         // 3. Approximate the Pareto frontiers of its intermediate results.
         let alpha = self.cfg.alpha.alpha(self.iteration);
+        self.adopt_memo.clear();
         if self.cfg.share_cache {
-            approximate_frontiers_with(
-                &opt_plan,
+            // Move the local optimum into the session arena, then drop
+            // every climb transient at once; the frontier approximation
+            // interns the admitted partial plans next to the cache that
+            // holds them.
+            let opt_plan = self
+                .arena
+                .adopt(&self.climb_arena, climb_opt, &mut self.adopt_memo);
+            self.climb_arena.clear();
+            approximate_frontiers_in(
+                &mut self.arena,
+                opt_plan,
                 &self.model,
                 &mut self.cache,
                 alpha,
                 &mut self.frontier_scratch,
             );
         } else {
+            // Cache ablation: the private per-iteration cache dies with
+            // the iteration, so its plans stay in the transient arena too —
+            // only the surviving query-frontier plans are adopted into the
+            // session arena (the old Arc path freed exactly the same way).
             let mut private = PlanCache::new();
-            approximate_frontiers_with(
-                &opt_plan,
+            approximate_frontiers_in(
+                &mut self.climb_arena,
+                climb_opt,
                 &self.model,
                 &mut private,
                 alpha,
                 &mut self.frontier_scratch,
             );
-            for p in private.frontier(self.query) {
-                self.results.insert_approx(p.clone(), alpha);
+            for &p in private.frontier(self.query) {
+                let view = self.climb_arena.view(p);
+                let (arena, climb_arena) = (&mut self.arena, &self.climb_arena);
+                let memo = &mut self.adopt_memo;
+                self.results
+                    .insert_approx_with(&view.cost, view.format, alpha, || {
+                        arena.adopt(climb_arena, p, memo)
+                    });
             }
+            self.climb_arena.clear();
         }
         self.stats.iterations = self.iteration;
         self.stats.path_lengths.push(climb_stats.steps);
@@ -208,13 +270,16 @@ impl<M: CostModel> Rmq<M> {
         climb_stats
     }
 
-    /// The current approximate Pareto plan set for the query (`P[q]`).
+    /// The current approximate Pareto plan set for the query (`P[q]`),
+    /// exported as shared `Arc<Plan>` trees (exports are memoized in the
+    /// arena, so repeated anytime snapshots cost one hash probe per plan).
     pub fn frontier(&self) -> Vec<PlanRef> {
-        if self.cfg.share_cache {
-            self.cache.frontier(self.query).to_vec()
+        let ids = if self.cfg.share_cache {
+            self.cache.frontier(self.query)
         } else {
-            self.results.plans().to_vec()
-        }
+            self.results.plans()
+        };
+        ids.iter().map(|&id| self.arena.export(id)).collect()
     }
 
     /// Run statistics (iterations, climb path lengths, last α).
@@ -222,9 +287,16 @@ impl<M: CostModel> Rmq<M> {
         &self.stats
     }
 
-    /// The partial-plan cache (read access for diagnostics and tests).
-    pub fn cache(&self) -> &PlanCache {
+    /// The partial-plan cache (read access for diagnostics and tests). The
+    /// cached handles are [`PlanId`]s into [`Rmq::arena`].
+    pub fn cache(&self) -> &PlanCache<PlanId> {
         &self.cache
+    }
+
+    /// The session's plan arena (read access for diagnostics: occupancy,
+    /// interning dedup rate, and exporting cached [`PlanId`]s).
+    pub fn arena(&self) -> &PlanArena {
+        &self.arena
     }
 
     /// The cost model the optimizer runs against.
@@ -252,7 +324,17 @@ impl<M: CostModel> Rmq<M> {
         }
         let mut absorbed = 0;
         for plan in plans {
-            if plan.rel().is_subset(self.query) && self.cache.insert(plan, 1.0) {
+            if !plan.rel().is_subset(self.query) {
+                continue;
+            }
+            let rel = plan.rel();
+            let cost = *plan.cost();
+            let format = plan.format();
+            let arena = &mut self.arena;
+            if self
+                .cache
+                .insert_with(rel, &cost, format, 1.0, || arena.import(&plan))
+            {
                 absorbed += 1;
             }
         }

@@ -1,11 +1,11 @@
 //! The approximate-query-processing (AQP) cost model: time vs. precision.
 //!
 //! The paper motivates MOQO with approximate query processing "where users
-//! care about execution time and result precision" (§1, citing BlinkDB [1]),
+//! care about execution time and result precision" (§1, citing BlinkDB \[1\]),
 //! and footnote 2 describes the operator-level realization: "we might
 //! introduce different scan operator versions associated with different
 //! sample densities". Result precision is a quality metric; following the
-//! paper (§3, citing [18]) we transform it into the **precision loss** cost
+//! paper (§3, citing \[18\]) we transform it into the **precision loss** cost
 //! metric so that lower is better for every component.
 //!
 //! This model is the workspace's concrete witness for the paper's §4.3
@@ -25,8 +25,7 @@ use std::sync::Arc;
 
 use moqo_catalog::Catalog;
 use moqo_core::cost::{CostVector, MIN_COST};
-use moqo_core::model::{CostModel, JoinOpId, OutputFormat, PlanProps, ScanOpId};
-use moqo_core::plan::Plan;
+use moqo_core::model::{CostModel, JoinOpId, OutputFormat, PlanProps, PlanView, ScanOpId};
 use moqo_core::tables::TableId;
 
 use crate::cardinality::rows_to_pages;
@@ -135,9 +134,9 @@ impl AqpCostModel {
     /// catalog's base cardinalities alone: the inputs' `rows()` already
     /// reflect sampling, so we apply the joint selectivity of the cut to
     /// the *observed* input sizes.
-    fn sampled_join_rows(&self, outer: &Plan, inner: &Plan) -> f64 {
-        let sel = self.catalog.joint_selectivity(outer.rel(), inner.rel());
-        (outer.rows() * inner.rows() * sel).max(1.0)
+    fn sampled_join_rows(&self, outer: &PlanView, inner: &PlanView) -> f64 {
+        let sel = self.catalog.joint_selectivity(outer.rel, inner.rel);
+        (outer.rows * inner.rows * sel).max(1.0)
     }
 }
 
@@ -161,7 +160,7 @@ impl CostModel for AqpCostModel {
         &self.scan_ops
     }
 
-    fn join_ops(&self, _outer: &Plan, _inner: &Plan, out: &mut Vec<JoinOpId>) {
+    fn join_ops(&self, _outer: &PlanView, _inner: &PlanView, out: &mut Vec<JoinOpId>) {
         out.extend_from_slice(&self.join_ops);
     }
 
@@ -182,23 +181,23 @@ impl CostModel for AqpCostModel {
         }
     }
 
-    fn join_props(&self, outer: &Plan, inner: &Plan, op: JoinOpId) -> PlanProps {
+    fn join_props(&self, outer: &PlanView, inner: &PlanView, op: JoinOpId) -> PlanProps {
         let rows = self.sampled_join_rows(outer, inner);
         let pages = rows_to_pages(rows, self.params.tuples_per_page);
         let time = self.params.startup
             + match Self::decode_join(op) {
                 // Build the inner, probe with the outer, emit the result.
-                AqpJoinKind::Hash => 1.2 * inner.pages() + outer.pages() + 0.1 * pages,
+                AqpJoinKind::Hash => 1.2 * inner.pages + outer.pages + 0.1 * pages,
                 // Scan the inner once per outer page (sampling makes tiny
                 // inners common, where this wins over the build cost).
                 AqpJoinKind::NestedLoop => {
-                    outer.pages() + outer.pages().max(1.0) * inner.pages() * 0.1 + 0.1 * pages
+                    outer.pages + outer.pages.max(1.0) * inner.pages * 0.1 + 0.1 * pages
                 }
             };
         // Joins combine samples; they add no precision loss of their own.
         let step = CostVector::new(&[time.max(MIN_COST), MIN_COST]);
         PlanProps {
-            cost: outer.cost().add(inner.cost()).add(&step),
+            cost: outer.cost.add(&inner.cost).add(&step),
             rows,
             pages,
             format: OutputFormat(0),
@@ -229,6 +228,7 @@ mod tests {
     use moqo_catalog::CatalogBuilder;
     use moqo_core::frontier::AlphaSchedule;
     use moqo_core::optimizer::{drive, Budget, NullObserver};
+    use moqo_core::plan::Plan;
     use moqo_core::rmq::{Rmq, RmqConfig};
     use moqo_core::tables::TableSet;
 

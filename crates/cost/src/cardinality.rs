@@ -8,15 +8,16 @@
 //! fraction so downstream cost ratios stay well-defined.
 
 use moqo_catalog::Catalog;
-use moqo_core::plan::Plan;
+use moqo_core::model::PlanView;
 
 /// Smallest page estimate (keeps per-metric costs strictly positive).
 pub const MIN_PAGES: f64 = 0.01;
 
-/// Estimates the output cardinality of joining `outer` with `inner`.
-pub fn join_rows(catalog: &Catalog, outer: &Plan, inner: &Plan) -> f64 {
-    let sel = catalog.joint_selectivity(outer.rel(), inner.rel());
-    (outer.rows() * inner.rows() * sel).max(1.0)
+/// Estimates the output cardinality of joining `outer` with `inner`
+/// (operands as representation-agnostic [`PlanView`]s).
+pub fn join_rows(catalog: &Catalog, outer: &PlanView, inner: &PlanView) -> f64 {
+    let sel = catalog.joint_selectivity(outer.rel, inner.rel);
+    (outer.rows * inner.rows * sel).max(1.0)
 }
 
 /// Converts a row estimate to pages given a tuples-per-page density.
@@ -50,7 +51,7 @@ mod tests {
         let stub = StubModel::line(2, 2, 1);
         let s0 = Plan::scan(&stub, TableId::new(0), stub.scan_ops(TableId::new(0))[0]);
         let s1 = Plan::scan(&stub, TableId::new(1), ScanOpId(0));
-        let rows = join_rows(&catalog, &s0, &s1);
+        let rows = join_rows(&catalog, s0.view(), s1.view());
         let expected = (s0.rows() * s1.rows() * 0.001).max(1.0);
         assert!((rows - expected).abs() < 1e-9);
     }
@@ -65,7 +66,7 @@ mod tests {
         let stub = StubModel::line(2, 2, 1);
         let s0 = Plan::scan(&stub, TableId::new(0), ScanOpId(0));
         let s1 = Plan::scan(&stub, TableId::new(1), ScanOpId(0));
-        assert_eq!(join_rows(&catalog, &s0, &s1), 1.0);
+        assert_eq!(join_rows(&catalog, s0.view(), s1.view()), 1.0);
     }
 
     #[test]

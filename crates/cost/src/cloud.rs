@@ -17,8 +17,7 @@ use std::sync::Arc;
 
 use moqo_catalog::Catalog;
 use moqo_core::cost::{CostVector, MIN_COST};
-use moqo_core::model::{CostModel, JoinOpId, OutputFormat, PlanProps, ScanOpId};
-use moqo_core::plan::Plan;
+use moqo_core::model::{CostModel, JoinOpId, OutputFormat, PlanProps, PlanView, ScanOpId};
 use moqo_core::tables::TableId;
 
 use crate::cardinality::{join_rows, rows_to_pages};
@@ -145,7 +144,7 @@ impl CostModel for CloudCostModel {
         &self.scan_ops
     }
 
-    fn join_ops(&self, _outer: &Plan, _inner: &Plan, out: &mut Vec<JoinOpId>) {
+    fn join_ops(&self, _outer: &PlanView, _inner: &PlanView, out: &mut Vec<JoinOpId>) {
         out.extend_from_slice(&self.join_ops);
     }
 
@@ -161,21 +160,21 @@ impl CostModel for CloudCostModel {
         }
     }
 
-    fn join_props(&self, outer: &Plan, inner: &Plan, op: JoinOpId) -> PlanProps {
+    fn join_props(&self, outer: &PlanView, inner: &PlanView, op: JoinOpId) -> PlanProps {
         let (kind, dop) = Self::decode_join(op);
         let rows = join_rows(&self.catalog, outer, inner);
         let pages = rows_to_pages(rows, self.params.tuples_per_page);
         let work = match kind {
             // Partition both sides, then probe.
-            CloudJoinKind::Hash => 1.5 * (outer.pages() + inner.pages()) + 0.1 * pages,
+            CloudJoinKind::Hash => 1.5 * (outer.pages + inner.pages) + 0.1 * pages,
             // Ship the inner to every worker: cheap for small inners.
-            CloudJoinKind::Broadcast => outer.pages() + inner.pages() * dop as f64 + 0.1 * pages,
+            CloudJoinKind::Broadcast => outer.pages + inner.pages * dop as f64 + 0.1 * pages,
         };
         let (time, money) = self.time_money(work, dop);
         PlanProps {
             cost: outer
-                .cost()
-                .add(inner.cost())
+                .cost
+                .add(&inner.cost)
                 .add(&CostVector::new(&[time, money])),
             rows,
             pages,
@@ -202,6 +201,7 @@ mod tests {
     use super::*;
     use moqo_catalog::CatalogBuilder;
     use moqo_core::optimizer::{drive, Budget, NullObserver};
+    use moqo_core::plan::Plan;
     use moqo_core::rmq::{Rmq, RmqConfig};
     use moqo_core::tables::TableSet;
 

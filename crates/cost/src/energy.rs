@@ -1,6 +1,6 @@
 //! The energy cost model: execution time vs. energy consumption.
 //!
-//! The paper lists "energy consumption [22]" among the cost metrics that
+//! The paper lists "energy consumption \[22\]" among the cost metrics that
 //! motivate multi-objective query optimization (§3, citing Xu et al.'s PET
 //! optimizer, *"PET: Reducing Database Energy Cost via Query Optimization"*,
 //! VLDB 2012). PET trades execution time against energy by running query
@@ -28,8 +28,7 @@ use std::sync::Arc;
 
 use moqo_catalog::Catalog;
 use moqo_core::cost::{CostVector, MIN_COST};
-use moqo_core::model::{CostModel, JoinOpId, OutputFormat, PlanProps, ScanOpId};
-use moqo_core::plan::Plan;
+use moqo_core::model::{CostModel, JoinOpId, OutputFormat, PlanProps, PlanView, ScanOpId};
 use moqo_core::tables::TableId;
 
 use crate::cardinality::{join_rows, rows_to_pages};
@@ -171,7 +170,7 @@ impl CostModel for EnergyCostModel {
         &self.scan_ops
     }
 
-    fn join_ops(&self, _outer: &Plan, _inner: &Plan, out: &mut Vec<JoinOpId>) {
+    fn join_ops(&self, _outer: &PlanView, _inner: &PlanView, out: &mut Vec<JoinOpId>) {
         out.extend_from_slice(&self.join_ops);
     }
 
@@ -187,22 +186,22 @@ impl CostModel for EnergyCostModel {
         }
     }
 
-    fn join_props(&self, outer: &Plan, inner: &Plan, op: JoinOpId) -> PlanProps {
+    fn join_props(&self, outer: &PlanView, inner: &PlanView, op: JoinOpId) -> PlanProps {
         let (kind, freq) = Self::decode_join(op);
         let rows = join_rows(&self.catalog, outer, inner);
         let pages = rows_to_pages(rows, self.params.tuples_per_page);
         let work = match kind {
-            EnergyJoinKind::Hash => 1.5 * inner.pages() + outer.pages() + 0.2 * pages,
+            EnergyJoinKind::Hash => 1.5 * inner.pages + outer.pages + 0.2 * pages,
             EnergyJoinKind::SortMerge => {
                 let sort = |p: f64| p * (1.0 + p.max(1.0).log2() * 0.2);
-                sort(outer.pages()) + sort(inner.pages()) + 0.1 * pages
+                sort(outer.pages) + sort(inner.pages) + 0.1 * pages
             }
         };
         let (time, energy) = self.time_energy(work, freq);
         PlanProps {
             cost: outer
-                .cost()
-                .add(inner.cost())
+                .cost
+                .add(&inner.cost)
                 .add(&CostVector::new(&[time, energy])),
             rows,
             pages,
@@ -230,6 +229,7 @@ mod tests {
     use moqo_catalog::CatalogBuilder;
     use moqo_core::frontier::AlphaSchedule;
     use moqo_core::optimizer::{drive, Budget, NullObserver};
+    use moqo_core::plan::Plan;
     use moqo_core::rmq::{Rmq, RmqConfig};
     use moqo_core::tables::TableSet;
 

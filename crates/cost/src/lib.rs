@@ -16,7 +16,7 @@
 //!   sample-density scan variants whose sampling shrinks cardinalities —
 //!   the paper's §4.3 witness that join order and operator selection
 //!   cannot be optimized separately.
-//! * [`energy::EnergyCostModel`] — the PET scenario (§3, citing [22]):
+//! * [`energy::EnergyCostModel`] — the PET scenario (§3, citing \[22\]):
 //!   execution **time** vs. **energy**, with frequency-graded operator
 //!   variants and an interior energy-optimal frequency.
 //! * [`cardinality`] — shared selectivity-based cardinality estimation.

@@ -20,8 +20,7 @@ use std::sync::Arc;
 
 use moqo_catalog::Catalog;
 use moqo_core::cost::{CostVector, MIN_COST};
-use moqo_core::model::{CostModel, JoinOpId, OutputFormat, PlanProps, ScanOpId};
-use moqo_core::plan::Plan;
+use moqo_core::model::{CostModel, JoinOpId, OutputFormat, PlanProps, PlanView, ScanOpId};
 use moqo_core::tables::TableId;
 
 use crate::cardinality::{join_rows, rows_to_pages};
@@ -159,8 +158,8 @@ impl CostModel for ResourceCostModel {
         &self.scan_ops
     }
 
-    fn join_ops(&self, _outer: &Plan, inner: &Plan, out: &mut Vec<JoinOpId>) {
-        if inner.format() == STORED {
+    fn join_ops(&self, _outer: &PlanView, inner: &PlanView, out: &mut Vec<JoinOpId>) {
+        if inner.format == STORED {
             out.extend_from_slice(&self.join_ops_stored_inner);
         } else {
             out.extend_from_slice(&self.join_ops_any);
@@ -180,18 +179,18 @@ impl CostModel for ResourceCostModel {
         }
     }
 
-    fn join_props(&self, outer: &Plan, inner: &Plan, op: JoinOpId) -> PlanProps {
+    fn join_props(&self, outer: &PlanView, inner: &PlanView, op: JoinOpId) -> PlanProps {
         let join_op = JoinOp::from_id(op);
         debug_assert!(
-            !join_op.kind.requires_stored_inner() || inner.format() == STORED,
+            !join_op.kind.requires_stored_inner() || inner.format == STORED,
             "{} applied to a pipelined inner",
             join_op.name()
         );
         let rows = join_rows(&self.catalog, outer, inner);
         let pages = rows_to_pages(rows, self.params.tuples_per_page);
-        let usage = join_use(join_op, outer.pages(), inner.pages(), pages, &self.params);
+        let usage = join_use(join_op, outer.pages, inner.pages, pages, &self.params);
         PlanProps {
-            cost: outer.cost().add(inner.cost()).add(&self.project(&usage)),
+            cost: outer.cost.add(&inner.cost).add(&self.project(&usage)),
             rows,
             pages,
             format: join_op.output_format(),
@@ -225,6 +224,7 @@ mod tests {
     use moqo_catalog::CatalogBuilder;
     use moqo_core::climb::{pareto_climb, ClimbConfig};
     use moqo_core::optimizer::{drive, Budget, NullObserver};
+    use moqo_core::plan::Plan;
     use moqo_core::random_plan::random_plan;
     use moqo_core::rmq::{Rmq, RmqConfig};
     use moqo_core::tables::TableSet;
@@ -291,7 +291,7 @@ mod tests {
         );
         assert_eq!(pipe.format(), STREAM);
         let mut ops = Vec::new();
-        m.join_ops(&s2, &pipe, &mut ops);
+        m.join_ops(s2.view(), pipe.view(), &mut ops);
         assert_eq!(ops.len(), 6, "3 non-BNL algorithms × 2 transfer modes");
         for op in &ops {
             assert!(!JoinOp::from_id(*op).kind.requires_stored_inner());
@@ -310,7 +310,7 @@ mod tests {
         assert_eq!(mat.format(), STORED);
         ops.clear();
         let s2b = Plan::scan(&m, TableId::new(2), ScanKind::Sequential.id());
-        m.join_ops(&s2b, &mat, &mut ops);
+        m.join_ops(s2b.view(), mat.view(), &mut ops);
         assert_eq!(ops.len(), 10);
     }
 

@@ -8,14 +8,14 @@
 //! * [`epsilon`] — the indicator itself plus exact Pareto filtering;
 //! * [`hypervolume`] — the hypervolume indicator (extension; a second
 //!   standard frontier-quality measure used for cross-checks);
-//! * [`reference`] — reference-frontier construction (union of all
+//! * [`reference`](mod@reference) — reference-frontier construction (union of all
 //!   algorithms' outputs, or an exact frontier for small queries);
 //! * [`trajectory`] — anytime recording: frontier snapshots at configurable
 //!   time checkpoints, turned into α-vs-time series;
 //! * [`preferences`] — automatic plan selection from a frontier via user
-//!   cost weights and cost bounds (the paper's §1 second consumer, [18]);
+//!   cost weights and cost bounds (the paper's §1 second consumer, \[18\]);
 //! * [`viz`] — ASCII scatter plots and frontier tables (the paper's §1
-//!   first consumer: visualize tradeoffs for manual selection, [19]).
+//!   first consumer: visualize tradeoffs for manual selection, \[19\]).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

@@ -2,9 +2,9 @@
 //!
 //! The paper's introduction describes the two ways a Pareto plan set is
 //! consumed: "the optimal cost tradeoffs can either be visualized to the
-//! user for a manual selection [19] or the best plan can be selected
+//! user for a manual selection \[19\] or the best plan can be selected
 //! automatically out of that set based on a specification of user
-//! preferences (i.e., in the form of cost weights and cost bounds [18])".
+//! preferences (i.e., in the form of cost weights and cost bounds \[18\])".
 //! This module implements the second consumer: a [`Preferences`]
 //! specification holding per-metric **weights** and optional per-metric
 //! **upper bounds**, and a selector that picks the frontier plan minimizing

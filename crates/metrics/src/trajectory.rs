@@ -1,6 +1,6 @@
 //! Anytime trajectory recording.
 //!
-//! The paper "measure[s] the approximation quality in regular intervals
+//! The paper "measure\[s\] the approximation quality in regular intervals
 //! during optimization" (§6.1) to compare algorithms over time.
 //! [`TrajectoryRecorder`] implements the core [`Observer`] interface: it
 //! snapshots the frontier's cost vectors at configurable wall-clock

@@ -1,6 +1,6 @@
 //! ASCII visualization of Pareto frontiers.
 //!
-//! The paper's interactive scenario (§1/§4.1, citing [19]) presents "a
+//! The paper's interactive scenario (§1/§4.1, citing \[19\]) presents "a
 //! visualization of the available tradeoffs" to the user, who then selects
 //! a plan. This module renders that visualization for terminals: a 2-D
 //! scatter plot of cost vectors on optionally log-scaled axes, and a

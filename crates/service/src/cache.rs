@@ -14,13 +14,38 @@
 //! [`context_fingerprint`](crate::context_fingerprint) to derive one from
 //! `Catalog::fingerprint` plus a model tag.
 //!
+//! # Arena-backed storage & eviction story
+//!
+//! Cached plans live in one hash-consed `PlanArena` owned by the cache, so
+//! structurally shared partial plans published by different sessions (and
+//! different queries!) are stored once, and a cached plan's identity is the
+//! integer pair **`(context fingerprint, PlanId)`** — publishing a plan the
+//! cache already holds is rejected by one hash-set probe, before any
+//! dominance scan runs.
+//!
+//! Of the two possible ownership designs — a shared epoch-swept arena that
+//! sessions intern into directly, versus per-session arenas with
+//! *compaction on cache insert* — we use the latter: each optimizer session
+//! owns its arena (lock-free, `Send`, dropped wholesale with the session),
+//! and `publish` re-interns only the surviving published plans into the
+//! cache's arena under the cache mutex. A shared arena would avoid the
+//! re-interning copy but would put an arena lock on every optimizer-internal
+//! plan construction and could never reclaim dead session plans; the
+//! per-session design keeps the hot path lock-free and bounds the shared
+//! arena by *published* (not explored) plans. Because the cache arena is
+//! append-only while entries are LRU-evicted, it is rebuilt from the live
+//! roots (dropping unreachable nodes) whenever it has grown well past the
+//! live plan count — see `maybe_compact`.
+//!
 //! The cache is bounded by total stored plans; eviction is
 //! least-recently-used at entry (table-set) granularity.
 
 use std::collections::HashMap;
 use std::sync::Mutex;
 
+use moqo_core::arena::{PlanArena, PlanId};
 use moqo_core::cost::CostVector;
+use moqo_core::fxhash::{FxHashMap, FxHashSet};
 use moqo_core::model::OutputFormat;
 use moqo_core::plan::PlanRef;
 use moqo_core::tables::TableSet;
@@ -63,6 +88,13 @@ pub struct CacheStats {
     pub published: u64,
     /// Plans evicted by the size bound.
     pub evicted: u64,
+    /// Publishes rejected by `(context, PlanId)` identity — exact
+    /// duplicates caught by one hash probe, no dominance scan.
+    pub identity_rejects: u64,
+    /// Interned nodes currently in the cache arena (occupancy).
+    pub arena_nodes: usize,
+    /// Times the cache arena was compacted (rebuilt from live roots).
+    pub compactions: u64,
 }
 
 impl CacheStats {
@@ -76,28 +108,15 @@ impl CacheStats {
     }
 }
 
-/// A cached plan with its pruning metadata held inline: publish-time
-/// dominance checks read the dense `(cost, key, format)` triple instead of
-/// dereferencing every member's `Arc<Plan>`, and the aggregate key rejects
-/// most comparisons outright (see `CostVector::agg_key` — the same
+/// A cached plan: its canonical [`PlanId`] in the cache arena plus pruning
+/// metadata held inline, so publish-time dominance checks read the dense
+/// `(cost, key, format)` triple and never touch the arena (the same
 /// representation `moqo_core::pareto::ParetoSet` uses in-optimizer).
 struct CachedPlan {
-    plan: PlanRef,
+    id: PlanId,
     cost: CostVector,
     key: f64,
     format: OutputFormat,
-}
-
-impl CachedPlan {
-    fn new(plan: PlanRef) -> Self {
-        let cost = *plan.cost();
-        CachedPlan {
-            key: cost.agg_key(),
-            format: plan.format(),
-            cost,
-            plan,
-        }
-    }
 }
 
 struct Entry {
@@ -111,12 +130,48 @@ struct CacheInner {
     /// of walking every cached context. (Global eviction still scans all
     /// entries — once per overflowing publish, see `publish`.)
     map: HashMap<u64, HashMap<TableSet, Entry>>,
+    /// The cache's hash-consed plan store: every cached plan's nodes,
+    /// shared across contexts and table sets.
+    arena: PlanArena,
+    /// Identity index `(context, PlanId)` of every stored plan: because
+    /// ids are canonical per arena, an exact re-publish is one hash probe.
+    ids: FxHashSet<(u64, PlanId)>,
+    /// Arena occupancy at the end of the last compaction (growth trigger).
+    compacted_len: usize,
+    compactions: u64,
+    identity_rejects: u64,
     clock: u64,
     total_plans: usize,
     lookups: u64,
     hits: u64,
     published: u64,
     evicted: u64,
+}
+
+impl CacheInner {
+    /// Rebuilds the arena from the live cached roots when it has grown well
+    /// past what those roots reach (entries were LRU-evicted but their
+    /// interned nodes are append-only). Amortized: runs at most once per
+    /// doubling of the arena, and remaps every stored id through one memo.
+    fn maybe_compact(&mut self) {
+        if self.arena.len() < 1024 || self.arena.len() < 2 * self.compacted_len.max(512) {
+            return;
+        }
+        let mut fresh = PlanArena::new();
+        let mut memo: FxHashMap<PlanId, PlanId> = FxHashMap::default();
+        self.ids.clear();
+        for (ctx, entries) in self.map.iter_mut() {
+            for entry in entries.values_mut() {
+                for cached in entry.plans.iter_mut() {
+                    cached.id = fresh.adopt(&self.arena, cached.id, &mut memo);
+                    self.ids.insert((*ctx, cached.id));
+                }
+            }
+        }
+        self.arena = fresh;
+        self.compacted_len = self.arena.len();
+        self.compactions += 1;
+    }
 }
 
 /// The shared, bounded cross-query plan cache.
@@ -131,6 +186,11 @@ impl SharedPlanCache {
             config,
             inner: Mutex::new(CacheInner {
                 map: HashMap::new(),
+                arena: PlanArena::new(),
+                ids: FxHashSet::default(),
+                compacted_len: 0,
+                compactions: 0,
+                identity_rejects: 0,
                 clock: 0,
                 total_plans: 0,
                 lookups: 0,
@@ -143,18 +203,20 @@ impl SharedPlanCache {
 
     /// Collects every cached plan for `context` whose table set is
     /// contained in `query` — the warm-start set for a new session. Only
-    /// the matching context's entries are scanned.
+    /// the matching context's entries are scanned; plans are exported from
+    /// the cache arena at the boundary (memoized per node).
     pub(crate) fn lookup(&self, context: u64, query: TableSet) -> Vec<PlanRef> {
         let mut inner = self.inner.lock().unwrap();
         inner.lookups += 1;
         inner.clock += 1;
         let clock = inner.clock;
         let mut out = Vec::new();
-        if let Some(entries) = inner.map.get_mut(&context) {
+        let CacheInner { map, arena, .. } = &mut *inner;
+        if let Some(entries) = map.get_mut(&context) {
             for (rel, entry) in entries.iter_mut() {
                 if rel.is_subset(query) {
                     entry.last_used = clock;
-                    out.extend(entry.plans.iter().map(|c| c.plan.clone()));
+                    out.extend(entry.plans.iter().map(|c| arena.export(c.id)));
                 }
             }
         }
@@ -178,11 +240,27 @@ impl SharedPlanCache {
         let per_entry_cap = self.config.max_plans_per_entry;
         for plan in plans {
             let rel = plan.rel();
-            let candidate = CachedPlan::new(plan);
+            // Compaction-on-cache-insert: re-intern the session's plan into
+            // the cache arena. The resulting id is canonical, so the
+            // `(context, PlanId)` index catches an exact re-publish with
+            // one probe — no dominance scan, no tree walk.
+            let id = inner.arena.import(&plan);
+            if inner.ids.contains(&(context, id)) {
+                inner.identity_rejects += 1;
+                continue;
+            }
+            let cost = *plan.cost();
+            let candidate = CachedPlan {
+                id,
+                key: cost.agg_key(),
+                format: plan.format(),
+                cost,
+            };
             let mut stored = false;
             let mut removed = 0usize;
             {
-                let entries = inner.map.entry(context).or_default();
+                let CacheInner { map, ids, .. } = &mut *inner;
+                let entries = map.entry(context).or_default();
                 let entry = entries.entry(rel).or_insert(Entry {
                     plans: Vec::new(),
                     last_used: clock,
@@ -203,14 +281,19 @@ impl SharedPlanCache {
                 if !dominated {
                     let before = entry.plans.len();
                     entry.plans.retain(|p| {
-                        !(p.format == candidate.format
+                        let evict = p.format == candidate.format
                             && candidate.key <= p.key
-                            && candidate.cost.strictly_dominates(&p.cost))
+                            && candidate.cost.strictly_dominates(&p.cost);
+                        if evict {
+                            ids.remove(&(context, p.id));
+                        }
+                        !evict
                     });
                     removed = before - entry.plans.len();
                     // Cap guard (rare once dominance-pruned): keep the
                     // established frontier, drop the newcomer.
                     if entry.plans.len() < per_entry_cap {
+                        ids.insert((context, candidate.id));
                         entry.plans.push(candidate);
                         stored = true;
                     }
@@ -248,10 +331,17 @@ impl SharedPlanCache {
                 if entries.is_empty() {
                     inner.map.remove(&ctx);
                 }
+                for p in &entry.plans {
+                    inner.ids.remove(&(ctx, p.id));
+                }
                 inner.total_plans -= entry.plans.len();
                 inner.evicted += entry.plans.len() as u64;
             }
         }
+        // Entries (and whole contexts) may now reference far fewer nodes
+        // than the append-only arena holds; rebuild from live roots once
+        // the garbage has doubled the arena.
+        inner.maybe_compact();
     }
 
     /// Current counters.
@@ -264,6 +354,9 @@ impl SharedPlanCache {
             entries: inner.map.values().map(HashMap::len).sum(),
             published: inner.published,
             evicted: inner.evicted,
+            identity_rejects: inner.identity_rejects,
+            arena_nodes: inner.arena.len(),
+            compactions: inner.compactions,
         }
     }
 }
@@ -384,6 +477,84 @@ mod tests {
             cache.lookup(1, TableSet::singleton(TableId::new(5))).len(),
             1,
             "newest entry survives"
+        );
+    }
+
+    #[test]
+    fn exact_republishes_are_identity_rejected() {
+        // A structurally identical plan re-interns onto the same PlanId, so
+        // the (context, PlanId) index rejects it before any dominance scan.
+        let model = StubModel::line(2, 2, 1);
+        let cache = SharedPlanCache::new(CacheConfig::default());
+        cache.publish(1, vec![scan(&model, 0, 0)]);
+        cache.publish(1, vec![scan(&model, 0, 0), scan(&model, 0, 0)]);
+        let stats = cache.stats();
+        assert_eq!(stats.plans, 1);
+        assert_eq!(stats.identity_rejects, 2);
+        // The same structure under a different context is a fresh key.
+        cache.publish(2, vec![scan(&model, 0, 0)]);
+        assert_eq!(cache.stats().plans, 2);
+        // ...and the arena stores the shared node once.
+        assert_eq!(cache.stats().arena_nodes, 1);
+    }
+
+    #[test]
+    fn shared_subplans_are_stored_once_across_publishers() {
+        use moqo_core::model::{JoinOpId, ScanOpId};
+        let model = StubModel::line(3, 2, 1);
+        let s = |t: usize| Plan::scan(&model, TableId::new(t), ScanOpId(0));
+        // Two different sessions publish overlapping join trees.
+        let j01 = Plan::join(&model, s(0), s(1), JoinOpId(0));
+        let j01_2 = Plan::join(&model, j01.clone(), s(2), JoinOpId(1));
+        let cache = SharedPlanCache::new(CacheConfig::default());
+        cache.publish(1, vec![j01.clone()]);
+        let before = cache.stats().arena_nodes;
+        cache.publish(1, vec![j01_2]);
+        let after = cache.stats().arena_nodes;
+        // The second publish added only its two new nodes (T2 scan + root):
+        // the shared (T0 ⋈ T1) subtree was interned already.
+        assert_eq!(after - before, 2, "subplan sharing failed");
+    }
+
+    #[test]
+    fn eviction_triggers_arena_compaction_and_preserves_lookups() {
+        let model = StubModel::line(10, 2, 1);
+        let cache = SharedPlanCache::new(CacheConfig {
+            max_plans: 2,
+            max_plans_per_entry: 8,
+        });
+        // Publish structurally distinct left-deep trees (the round's bits
+        // pick each leaf's scan operator → 1024 distinct shapes) to grow
+        // the arena past the compaction threshold while LRU-eviction keeps
+        // only 2 entries live.
+        use moqo_core::model::{JoinOpId, ScanOpId};
+        let mut round = 0u16;
+        while cache.stats().compactions == 0 && round < 2000 {
+            let mut plan = Plan::scan(&model, TableId::new(0), ScanOpId(round & 1));
+            for leaf in 1..10usize {
+                let op = ScanOpId((round >> leaf) & 1);
+                let scan = Plan::scan(&model, TableId::new(leaf), op);
+                plan = Plan::join(&model, plan, scan, JoinOpId(0));
+            }
+            cache.publish(u64::from(round), vec![plan]);
+            round += 1;
+        }
+        let stats = cache.stats();
+        assert!(stats.compactions >= 1, "compaction never ran");
+        assert!(stats.plans <= 2);
+        // Live plans survive compaction with valid ids: exporting them
+        // still yields structurally valid plans.
+        for ctx in (0..round as u64).rev() {
+            for plan in cache.lookup(ctx, TableSet::prefix(10)) {
+                assert!(plan.validate(plan.rel()).is_ok());
+            }
+        }
+        // Compaction dropped the dead nodes: occupancy is bounded by the
+        // live plans' structure, far below the total ever interned.
+        assert!(
+            cache.stats().arena_nodes < 128,
+            "arena not compacted: {} nodes",
+            cache.stats().arena_nodes
         );
     }
 

@@ -110,9 +110,11 @@ impl<M: CostModel + Send> ServiceOptimizer for Rmq<M> {
     }
 
     fn export_plans(&self) -> Vec<PlanRef> {
+        // Cached handles are PlanIds into the session arena; the cross-query
+        // cache speaks `Arc<Plan>`, so export at the boundary (memoized).
         let mut out = Vec::new();
         for (_, plans) in self.cache().entries() {
-            out.extend_from_slice(plans);
+            out.extend(plans.iter().map(|&id| self.arena().export(id)));
         }
         out
     }

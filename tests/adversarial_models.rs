@@ -8,9 +8,8 @@
 use moqo_baselines::{DpOptimizer, IterativeImprovement, Nsga2, SimulatedAnnealing};
 use moqo_core::climb::{pareto_climb, ClimbConfig};
 use moqo_core::cost::{CostVector, MAX_COST_DIM};
-use moqo_core::model::{CostModel, JoinOpId, OutputFormat, PlanProps, ScanOpId};
+use moqo_core::model::{CostModel, JoinOpId, OutputFormat, PlanProps, PlanView, ScanOpId};
 use moqo_core::optimizer::{drive, Budget, NullObserver, Optimizer};
-use moqo_core::plan::Plan;
 use moqo_core::random_plan::random_plan;
 use moqo_core::rmq::{Rmq, RmqConfig};
 use moqo_core::tables::{TableId, TableSet};
@@ -26,7 +25,7 @@ struct AdversarialModel {
     scan_ops: Vec<ScanOpId>,
     join_ops: Vec<JoinOpId>,
     scan_cost: fn(&AdversarialModel, TableId, ScanOpId) -> PlanProps,
-    join_cost: fn(&AdversarialModel, &Plan, &Plan, JoinOpId) -> PlanProps,
+    join_cost: fn(&AdversarialModel, &PlanView, &PlanView, JoinOpId) -> PlanProps,
 }
 
 impl AdversarialModel {
@@ -48,13 +47,13 @@ impl CostModel for AdversarialModel {
     fn scan_ops(&self, _table: TableId) -> &[ScanOpId] {
         &self.scan_ops
     }
-    fn join_ops(&self, _outer: &Plan, _inner: &Plan, out: &mut Vec<JoinOpId>) {
+    fn join_ops(&self, _outer: &PlanView, _inner: &PlanView, out: &mut Vec<JoinOpId>) {
         out.extend_from_slice(&self.join_ops);
     }
     fn scan_props(&self, table: TableId, op: ScanOpId) -> PlanProps {
         (self.scan_cost)(self, table, op)
     }
-    fn join_props(&self, outer: &Plan, inner: &Plan, op: JoinOpId) -> PlanProps {
+    fn join_props(&self, outer: &PlanView, inner: &PlanView, op: JoinOpId) -> PlanProps {
         (self.join_cost)(self, outer, inner, op)
     }
     fn scan_op_name(&self, op: ScanOpId) -> String {
@@ -85,10 +84,10 @@ fn tie_model(n: usize, dim: usize) -> AdversarialModel {
         },
         join_cost: |m, outer, inner, _op| PlanProps {
             cost: outer
-                .cost()
-                .add(inner.cost())
+                .cost
+                .add(&inner.cost)
                 .add(&CostVector::new(&vec![1.0; m.dim])),
-            rows: outer.rows() * inner.rows(),
+            rows: outer.rows * inner.rows,
             pages: 1.0,
             format: OutputFormat(0),
         },
@@ -116,10 +115,10 @@ fn huge_range_model(n: usize) -> AdversarialModel {
             let w = if op.0 == 0 { 1e-150 } else { 1e150 };
             PlanProps {
                 cost: outer
-                    .cost()
-                    .add(inner.cost())
+                    .cost
+                    .add(&inner.cost)
                     .add(&CostVector::new(&[w, 1.0 / w])),
-                rows: outer.rows() * inner.rows(),
+                rows: outer.rows * inner.rows,
                 pages: 1.0,
                 format: OutputFormat(0),
             }
@@ -144,12 +143,9 @@ fn single_metric_model(n: usize) -> AdversarialModel {
         join_cost: |_m, outer, inner, _op| {
             // Classic C_out-style cost: output cardinality accumulates, so
             // join order genuinely matters.
-            let rows = (outer.rows() * inner.rows() / 1_000.0).max(1.0);
+            let rows = (outer.rows * inner.rows / 1_000.0).max(1.0);
             PlanProps {
-                cost: outer
-                    .cost()
-                    .add(inner.cost())
-                    .add(&CostVector::new(&[rows])),
+                cost: outer.cost.add(&inner.cost).add(&CostVector::new(&[rows])),
                 rows,
                 pages: rows / 100.0,
                 format: OutputFormat(0),
@@ -194,8 +190,8 @@ fn max_dim_model(n: usize) -> AdversarialModel {
                 step = step.add_component(k, w);
             }
             PlanProps {
-                cost: outer.cost().add(inner.cost()).add(&step),
-                rows: outer.rows() * inner.rows(),
+                cost: outer.cost.add(&inner.cost).add(&step),
+                rows: outer.rows * inner.rows,
                 pages: 1.0,
                 format: OutputFormat(0),
             }
@@ -222,8 +218,8 @@ fn many_formats_model(n: usize, formats: usize) -> AdversarialModel {
             step = step.add_component(0, 1.0 + op.0 as f64 * 0.1);
             step = step.add_component(1, 1.0 + (m.formats as f64 - op.0 as f64) * 0.1);
             PlanProps {
-                cost: outer.cost().add(inner.cost()).add(&step),
-                rows: outer.rows() * inner.rows(),
+                cost: outer.cost.add(&inner.cost).add(&step),
+                rows: outer.rows * inner.rows,
                 pages: 1.0,
                 format: OutputFormat(op.0 as u8),
             }

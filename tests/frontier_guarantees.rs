@@ -42,7 +42,7 @@ fn restricted_space<M: CostModel + ?Sized>(skeleton: &PlanRef, model: &M) -> Vec
         for po in &outers {
             for pi in &inners {
                 ops.clear();
-                model.join_ops(po, pi, &mut ops);
+                model.join_ops(po.view(), pi.view(), &mut ops);
                 for &op in &ops {
                     out.push(Plan::join(model, po.clone(), pi.clone(), op));
                 }
