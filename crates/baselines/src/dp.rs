@@ -24,7 +24,7 @@
 use moqo_core::arena::{PlanArena, PlanId};
 use moqo_core::fxhash::FxHashMap;
 use moqo_core::model::CostModel;
-use moqo_core::optimizer::Optimizer;
+use moqo_core::optimizer::{Optimizer, PlanExchange};
 use moqo_core::pareto::ParetoSet;
 use moqo_core::plan::{Plan, PlanRef};
 use moqo_core::tables::{TableId, TableSet};
@@ -182,6 +182,10 @@ impl<M: CostModel> DpOptimizer<M> {
         }
     }
 }
+
+/// Served without plan exchange: the no-op [`PlanExchange`] defaults
+/// apply (nothing to absorb or export, fan-out 1).
+impl<M: CostModel + Send> PlanExchange for DpOptimizer<M> {}
 
 impl<M: CostModel> Optimizer for DpOptimizer<M> {
     fn name(&self) -> &str {

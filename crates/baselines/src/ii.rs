@@ -14,7 +14,7 @@ use rand::SeedableRng;
 use moqo_core::arena::{PlanArena, PlanId};
 use moqo_core::climb::{pareto_climb_in, ClimbConfig, StepScratch};
 use moqo_core::model::CostModel;
-use moqo_core::optimizer::Optimizer;
+use moqo_core::optimizer::{Optimizer, PlanExchange};
 use moqo_core::pareto::ParetoSet;
 use moqo_core::plan::PlanRef;
 use moqo_core::random_plan::random_plan_in;
@@ -58,6 +58,10 @@ impl<M: CostModel> IterativeImprovement<M> {
         self.iterations
     }
 }
+
+/// Served without plan exchange: the no-op [`PlanExchange`] defaults
+/// apply (nothing to absorb or export, fan-out 1).
+impl<M: CostModel + Send> PlanExchange for IterativeImprovement<M> {}
 
 impl<M: CostModel> Optimizer for IterativeImprovement<M> {
     fn name(&self) -> &str {

@@ -22,7 +22,7 @@ use rand::{Rng, SeedableRng};
 use moqo_core::arena::{PlanArena, PlanId};
 use moqo_core::cost::CostVector;
 use moqo_core::model::CostModel;
-use moqo_core::optimizer::Optimizer;
+use moqo_core::optimizer::{Optimizer, PlanExchange};
 use moqo_core::pareto::ParetoSet;
 use moqo_core::plan::PlanRef;
 use moqo_core::tables::{TableId, TableSet};
@@ -311,6 +311,10 @@ pub fn crowding_distances(costs: &[CostVector], front: &[usize]) -> Vec<f64> {
     }
     dist
 }
+
+/// Served without plan exchange: the no-op [`PlanExchange`] defaults
+/// apply (nothing to absorb or export, fan-out 1).
+impl<M: CostModel + Send> PlanExchange for Nsga2<M> {}
 
 impl<M: CostModel> Optimizer for Nsga2<M> {
     fn name(&self) -> &str {

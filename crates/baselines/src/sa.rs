@@ -23,7 +23,7 @@ use moqo_core::arena::{PlanArena, PlanId};
 use moqo_core::cost::CostVector;
 use moqo_core::model::CostModel;
 use moqo_core::mutations::random_neighbor_in;
-use moqo_core::optimizer::Optimizer;
+use moqo_core::optimizer::{Optimizer, PlanExchange};
 use moqo_core::pareto::ParetoSet;
 use moqo_core::plan::PlanRef;
 use moqo_core::random_plan::random_plan_in;
@@ -140,6 +140,10 @@ impl<M: CostModel> SimulatedAnnealing<M> {
         self.temperature
     }
 }
+
+/// Served without plan exchange: the no-op [`PlanExchange`] defaults
+/// apply (nothing to absorb or export, fan-out 1).
+impl<M: CostModel + Send> PlanExchange for SimulatedAnnealing<M> {}
 
 impl<M: CostModel> Optimizer for SimulatedAnnealing<M> {
     fn name(&self) -> &str {

@@ -17,7 +17,7 @@
 //! [`SimulatedAnnealing::restart_from`].
 
 use moqo_core::model::CostModel;
-use moqo_core::optimizer::Optimizer;
+use moqo_core::optimizer::{Optimizer, PlanExchange};
 use moqo_core::pareto::ParetoSet;
 use moqo_core::plan::PlanRef;
 use moqo_core::tables::TableSet;
@@ -89,6 +89,10 @@ impl<M: CostModel> TwoPhase<M> {
             .cloned()
     }
 }
+
+/// Served without plan exchange: the no-op [`PlanExchange`] defaults
+/// apply (nothing to absorb or export, fan-out 1).
+impl<M: CostModel + Send> PlanExchange for TwoPhase<M> {}
 
 impl<M: CostModel> Optimizer for TwoPhase<M> {
     fn name(&self) -> &str {

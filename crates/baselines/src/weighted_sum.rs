@@ -14,7 +14,7 @@ use rand::SeedableRng;
 
 use moqo_core::model::CostModel;
 use moqo_core::mutations::all_neighbors;
-use moqo_core::optimizer::Optimizer;
+use moqo_core::optimizer::{Optimizer, PlanExchange};
 use moqo_core::pareto::ParetoSet;
 use moqo_core::plan::PlanRef;
 use moqo_core::random_plan::random_plan;
@@ -111,6 +111,10 @@ pub fn weight_schedule(dim: usize) -> Vec<Vec<f64>> {
     }
     out
 }
+
+/// Served without plan exchange: the no-op [`PlanExchange`] defaults
+/// apply (nothing to absorb or export, fan-out 1).
+impl<M: CostModel + Send> PlanExchange for WeightedSum<M> {}
 
 impl<M: CostModel> Optimizer for WeightedSum<M> {
     fn name(&self) -> &str {

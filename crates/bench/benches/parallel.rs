@@ -1,0 +1,80 @@
+//! Thread-scaling micro-benchmarks of the intra-query parallel optimizer:
+//! `ParRmq` live-mode rounds at 1/2/4/8 workers, plus the exchange
+//! machinery in isolation (publishing a frontier into a `SharedFrontier`).
+//!
+//! The deterministic perf-baseline harness (`cargo run -p moqo-bench --bin
+//! harness`) measures the same fixture with the same seeds and archives
+//! iters/s + hypervolume per thread count in `BENCH_rmq.json` (schema v3);
+//! this target exists for interactive `cargo bench` exploration.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use moqo_bench::resource_model;
+use moqo_core::optimizer::Budget;
+use moqo_core::rmq::{Rmq, RmqConfig};
+use moqo_parallel::{ParRmq, ParRmqConfig, SharedFrontier};
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_rmq_scaling");
+    group
+        .measurement_time(Duration::from_secs(4))
+        .sample_size(10);
+    let (model, query) = resource_model(20);
+    let model = Arc::new(model);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("live_40_iters", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let mut par =
+                        ParRmq::new(Arc::clone(&model), query, ParRmqConfig::seeded(42, t));
+                    par.optimize(Budget::Iterations(40));
+                    black_box(par.frontier().len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shared_frontier");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    // A worker frontier to publish, produced once.
+    let (model, query) = resource_model(12);
+    let mut rmq = Rmq::new(&model, query, RmqConfig::seeded(7));
+    for _ in 0..30 {
+        rmq.iterate();
+    }
+    let set = rmq.frontier_set().expect("frontier exists");
+    group.bench_function("first_publish", |b| {
+        b.iter(|| {
+            let shared = SharedFrontier::new();
+            black_box(shared.publish(rmq.arena(), set))
+        })
+    });
+    group.bench_function("duplicate_publish", |b| {
+        // Steady state: the frontier is already merged, so a re-publish is
+        // pure dominance rejections — the exchange overhead a worker pays
+        // when it has found nothing new.
+        let shared = SharedFrontier::new();
+        shared.publish(rmq.arena(), set);
+        b.iter(|| black_box(shared.publish(rmq.arena(), set)))
+    });
+    group.bench_function("snapshot_read", |b| {
+        let shared = SharedFrontier::new();
+        shared.publish(rmq.arena(), set);
+        b.iter(|| black_box(shared.snapshot().plans.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_exchange);
+criterion_main!(benches);

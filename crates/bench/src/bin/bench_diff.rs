@@ -229,6 +229,66 @@ fn main() {
         }
     }
 
+    // Structural (schema v3): every baseline `par_rmq` thread-scaling entry
+    // must exist in the candidate with identical deterministic-mode fields.
+    // The live-mode fields (iters/s, live frontier, exchange counters)
+    // depend on timing and thread scheduling, so only their *presence* is
+    // required — dropping a field is a schema regression even though its
+    // value is free.
+    let par = |v: &Value| {
+        v.get("par_rmq")
+            .and_then(Value::as_array)
+            .cloned()
+            .unwrap_or_default()
+    };
+    for b in &par(&base) {
+        let tables = f64_field(b, "tables").unwrap_or(-1.0);
+        let threads = f64_field(b, "threads").unwrap_or(-1.0);
+        let seed = f64_field(b, "seed").unwrap_or(-1.0);
+        let tag = format!("par_rmq(tables={tables}, threads={threads}, seed={seed})");
+        let Some(c) = par(&cand).into_iter().find(|c| {
+            f64_field(c, "tables") == Some(tables)
+                && f64_field(c, "threads") == Some(threads)
+                && f64_field(c, "seed") == Some(seed)
+        }) else {
+            gate.violations
+                .push(format!("{tag}: missing from candidate"));
+            continue;
+        };
+        for key in ["det_iterations", "det_frontier_size", "det_hypervolume"] {
+            match (f64_field(b, key), f64_field(&c, key)) {
+                (Some(bv), Some(cv)) => gate.check(structural_eq(bv, cv), || {
+                    format!(
+                        "{tag}: structural field `{key}` drifted: baseline {bv} vs candidate {cv}"
+                    )
+                }),
+                (Some(_), None) => gate
+                    .violations
+                    .push(format!("{tag}: candidate dropped structural field `{key}`")),
+                _ => {}
+            }
+        }
+        for key in [
+            "iterations",
+            "iters_per_sec",
+            "live_frontier_size",
+            "live_hypervolume",
+            "exchange_publishes",
+            "exchange_offered",
+            "exchange_merged",
+            "exchange_epochs",
+            "exchange_absorbed",
+        ] {
+            gate.check(c.get(key).is_some(), || {
+                format!("{tag}: candidate dropped live-mode field `{key}`")
+            });
+        }
+    }
+    if !par(&base).is_empty() && par(&cand).is_empty() {
+        gate.violations
+            .push("candidate dropped the `par_rmq` section".to_string());
+    }
+
     if !skip_timing {
         // Per-kernel ns/op with a generous absolute margin.
         let micro = |v: &Value| {

@@ -27,11 +27,15 @@ use serde::Serialize;
 use moqo_bench::{candidate_stream, cost_pairs, resource_model};
 use moqo_core::arena::PlanArena;
 use moqo_core::climb::{pareto_step_with, StepScratch};
+use moqo_core::cost::CostVector;
 use moqo_core::mutations::MutationSet;
+use moqo_core::optimizer::Budget;
 use moqo_core::pareto::{LinearParetoSet, ParetoSet, PrunePolicy};
 use moqo_core::plan::{PlanKind, PlanRef};
 use moqo_core::random_plan::{random_plan, random_plan_in};
 use moqo_core::rmq::{Rmq, RmqConfig};
+use moqo_metrics::hypervolume::hypervolume;
+use moqo_parallel::{ParRmq, ParRmqConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -39,7 +43,11 @@ use rand::SeedableRng;
 /// v2 (additive over v1): arena-vs-Arc plan kernels in `micro`, the
 /// `plan_*_arena_vs_arc` speedups, the top-level `arena` interning stats,
 /// and per-RMQ-run `arena_nodes` / `arena_dedup_rate`.
-const SCHEMA_VERSION: u32 = 2;
+/// v3 (additive over v2): the `par_rmq` thread-scaling section — per
+/// thread count, live-mode iters/s + frontier hypervolume + exchange
+/// overhead counters, and deterministic-mode structural fields (gated
+/// bit-for-bit by `bench_diff`).
+const SCHEMA_VERSION: u32 = 3;
 
 #[derive(Serialize)]
 struct Baseline {
@@ -55,6 +63,8 @@ struct Baseline {
     arena: ArenaReport,
     /// End-to-end anytime RMQ runs.
     rmq: Vec<RmqResult>,
+    /// Intra-query thread-scaling runs of `ParRmq` (schema v3).
+    par_rmq: Vec<ParRmqResult>,
 }
 
 #[derive(Serialize)]
@@ -115,6 +125,37 @@ struct RmqCheckpoint {
     iterations: u64,
     elapsed_ms: f64,
     frontier_size: usize,
+}
+
+/// One `ParRmq` thread-scaling entry (schema v3). Live-mode fields are
+/// timing-dependent (not gated); `det_*` fields come from a deterministic-
+/// reduction run with the same total iteration budget and are bit-for-bit
+/// reproducible — `bench_diff` gates them exactly. Hypervolumes at one
+/// `tables` size share one reference point (the componentwise max over all
+/// deterministic frontiers of that size, × 1.1), so they are comparable
+/// across thread counts.
+#[derive(Serialize)]
+struct ParRmqResult {
+    tables: usize,
+    threads: usize,
+    seed: u64,
+    /// Live-mode iterations completed (== the configured budget).
+    iterations: u64,
+    elapsed_ms: f64,
+    /// The headline scaling number: live-mode iterations per second.
+    iters_per_sec: f64,
+    live_frontier_size: usize,
+    live_hypervolume: f64,
+    /// Exchange-overhead counters of the live run (see `ExchangeStats`).
+    exchange_publishes: u64,
+    exchange_offered: u64,
+    exchange_merged: u64,
+    exchange_epochs: u64,
+    exchange_absorbed: u64,
+    /// Deterministic-mode structural fields (gated exactly).
+    det_iterations: u64,
+    det_frontier_size: usize,
+    det_hypervolume: f64,
 }
 
 /// Times `op` over `rounds` rounds of `ops_per_round` operations each and
@@ -423,6 +464,78 @@ fn run_rmq(quick: bool) -> Vec<RmqResult> {
     results
 }
 
+/// Runs the `ParRmq` thread-scaling kernels on the standard bench fixture:
+/// the n=20 cycle workload (n=15 in quick mode), two metrics, at 1/2/4/8
+/// threads (1/2 in quick mode), all under the same total iteration budget.
+fn run_par_rmq(quick: bool) -> Vec<ParRmqResult> {
+    let (tables, iterations): (usize, u64) = if quick { (15, 40) } else { (20, 200) };
+    let threads: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let seed = 42u64;
+    let (model, query) = resource_model(tables);
+    let model = std::sync::Arc::new(model);
+
+    // Deterministic-mode runs first: their frontiers fix the shared
+    // hypervolume reference point for this fixture.
+    let det_frontiers: Vec<Vec<PlanRef>> = threads
+        .iter()
+        .map(|&t| {
+            let cfg = ParRmqConfig::seeded(seed, t).deterministic();
+            let mut par = ParRmq::new(std::sync::Arc::clone(&model), query, cfg);
+            par.optimize(Budget::Iterations(iterations));
+            par.frontier()
+        })
+        .collect();
+    let dim = det_frontiers[0][0].cost().dim();
+    let mut reference = vec![0.0f64; dim];
+    for frontier in &det_frontiers {
+        for plan in frontier {
+            for (k, r) in reference.iter_mut().enumerate() {
+                *r = r.max(plan.cost()[k]);
+            }
+        }
+    }
+    let reference = CostVector::new(&reference).scale(1.1);
+    let hv = |plans: &[PlanRef]| {
+        let costs: Vec<CostVector> = plans.iter().map(|p| *p.cost()).collect();
+        hypervolume(&costs, &reference)
+    };
+
+    threads
+        .iter()
+        .zip(det_frontiers)
+        .map(|(&t, det_frontier)| {
+            let mut par = ParRmq::new(
+                std::sync::Arc::clone(&model),
+                query,
+                ParRmqConfig::seeded(seed, t),
+            );
+            let start = Instant::now();
+            let stats = par.optimize(Budget::Iterations(iterations));
+            let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+            let live_frontier = par.frontier();
+            let ex = stats.exchange;
+            ParRmqResult {
+                tables,
+                threads: t,
+                seed,
+                iterations: stats.iterations,
+                elapsed_ms,
+                iters_per_sec: stats.iterations as f64 / (elapsed_ms / 1e3),
+                live_frontier_size: live_frontier.len(),
+                live_hypervolume: hv(&live_frontier),
+                exchange_publishes: ex.publishes,
+                exchange_offered: ex.offered,
+                exchange_merged: ex.merged,
+                exchange_epochs: ex.epochs,
+                exchange_absorbed: ex.absorbed,
+                det_iterations: iterations,
+                det_frontier_size: det_frontier.len(),
+                det_hypervolume: hv(&det_frontier),
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let mut quick = false;
     let mut out_path = String::from("BENCH_rmq.json");
@@ -487,6 +600,21 @@ fn main() {
             r.cache_plans
         );
     }
+    let par_rmq = run_par_rmq(quick);
+    let base_rate = par_rmq.first().map_or(f64::NAN, |p| p.iters_per_sec);
+    for p in &par_rmq {
+        eprintln!(
+            "  par_rmq n={} t={} {:.1} iters/s ({:.2}x vs 1 thread), det frontier {} (hv {:.3e}), exchange {}+{} merged/absorbed",
+            p.tables,
+            p.threads,
+            p.iters_per_sec,
+            p.iters_per_sec / base_rate,
+            p.det_frontier_size,
+            p.det_hypervolume,
+            p.exchange_merged,
+            p.exchange_absorbed,
+        );
+    }
 
     let baseline = Baseline {
         schema_version: SCHEMA_VERSION,
@@ -495,6 +623,7 @@ fn main() {
         speedups,
         arena,
         rmq,
+        par_rmq,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
     std::fs::write(&out_path, json + "\n").unwrap_or_else(|e| {

@@ -52,6 +52,16 @@ impl<P> PlanCache<P> {
         self.map.get(&rel).map_or(&[], |s| s.plans())
     }
 
+    /// The cached frontier for `rel` as the underlying [`ParetoSet`]
+    /// (members plus inline cost metadata), `None` if the table set was
+    /// never seen. The batch-merge entry point of the parallel optimizer:
+    /// [`ParetoSet::merge_approx_with`] reads candidate costs from here
+    /// without re-deriving them from plan handles.
+    #[inline]
+    pub fn frontier_set(&self, rel: TableSet) -> Option<&ParetoSet<P>> {
+        self.map.get(&rel)
+    }
+
     /// Inserts a candidate described by its table set, cost vector and
     /// output format, materializing it via `make` only on admission
     /// (`ParetoSet::insert_approx_with`) — the hot-path entry point of the

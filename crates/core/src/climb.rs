@@ -32,6 +32,7 @@
 use crate::arena::{PlanArena, PlanId, PlanNodeKind};
 use crate::model::CostModel;
 use crate::mutations::{all_neighbors, MutationSet};
+use crate::optimizer::AbortCheck;
 use crate::pareto::{ParetoSet, PrunePolicy};
 use crate::plan::{Plan, PlanKind, PlanRef};
 
@@ -323,9 +324,51 @@ pub fn pareto_climb_in<M>(
 where
     M: CostModel + ?Sized,
 {
+    let (opt, stats, _) = climb_loop_in(arena, start, model, cfg, scratch, None);
+    (opt, stats)
+}
+
+/// [`pareto_climb_in`] under a cooperative abort condition, the
+/// deadline-honoring entry point of concurrent climbers: `abort` is checked
+/// once per climbing step (the climb inner loop), so a climber observes a
+/// raised [`StopFlag`](crate::optimizer::StopFlag) — or raises it itself on
+/// a passed deadline — within **one climb step**. Returns the best plan
+/// reached so far plus `true` iff the climb was cut short (the plan is then
+/// improved-but-not-necessarily-locally-optimal).
+///
+/// An abort condition that never fires reproduces [`pareto_climb_in`]
+/// exactly: checking consumes no randomness and changes no decisions.
+pub fn pareto_climb_aborting_in<M>(
+    arena: &mut PlanArena,
+    start: PlanId,
+    model: &M,
+    cfg: &ClimbConfig,
+    scratch: &mut StepScratch,
+    abort: &AbortCheck,
+) -> (PlanId, ClimbStats, bool)
+where
+    M: CostModel + ?Sized,
+{
+    climb_loop_in(arena, start, model, cfg, scratch, Some(abort))
+}
+
+fn climb_loop_in<M>(
+    arena: &mut PlanArena,
+    start: PlanId,
+    model: &M,
+    cfg: &ClimbConfig,
+    scratch: &mut StepScratch,
+    abort: Option<&AbortCheck>,
+) -> (PlanId, ClimbStats, bool)
+where
+    M: CostModel + ?Sized,
+{
     let mut current = start;
     let mut stats = ClimbStats::default();
     while stats.steps < cfg.max_steps {
+        if abort.is_some_and(AbortCheck::should_abort) {
+            return (current, stats, true);
+        }
         let mutations = pareto_step_in(arena, current, model, cfg.policy, cfg.mutations, scratch);
         let current_cost = *arena.node(current).cost();
         match mutations
@@ -339,7 +382,7 @@ where
             None => break,
         }
     }
-    (current, stats)
+    (current, stats, false)
 }
 
 /// Naive hill climbing (§4.2's strawman, kept for ablations): every step
@@ -556,6 +599,55 @@ mod tests {
             assert_eq!(arena.display(opt_id, &m), opt_arc.display(&m));
             assert!(arena.is_left_deep(opt_id));
         }
+    }
+
+    #[test]
+    fn aborting_climb_with_never_condition_matches_plain_climb() {
+        use crate::arena::PlanArena;
+        use crate::random_plan::random_plan_in;
+        let (m, q) = setup(7, 2, 19);
+        for seed in [1u64, 4, 9] {
+            let mut a1 = PlanArena::new();
+            let mut a2 = PlanArena::new();
+            let s1 = random_plan_in(&mut a1, &m, q, &mut StdRng::seed_from_u64(seed));
+            let s2 = random_plan_in(&mut a2, &m, q, &mut StdRng::seed_from_u64(seed));
+            let cfg = ClimbConfig::default();
+            let (o1, st1) = pareto_climb_in(&mut a1, s1, &m, &cfg, &mut StepScratch::default());
+            let (o2, st2, aborted) = pareto_climb_aborting_in(
+                &mut a2,
+                s2,
+                &m,
+                &cfg,
+                &mut StepScratch::default(),
+                &crate::optimizer::AbortCheck::never(),
+            );
+            assert!(!aborted);
+            assert_eq!(st1, st2);
+            assert_eq!(a1.display(o1, &m), a2.display(o2, &m));
+        }
+    }
+
+    #[test]
+    fn aborting_climb_stops_before_the_first_step_when_flag_is_up() {
+        use crate::arena::PlanArena;
+        use crate::optimizer::StopFlag;
+        use crate::random_plan::random_plan_in;
+        let (m, q) = setup(8, 2, 29);
+        let mut arena = PlanArena::new();
+        let start = random_plan_in(&mut arena, &m, q, &mut StdRng::seed_from_u64(2));
+        let flag = StopFlag::new();
+        flag.stop();
+        let (opt, stats, aborted) = pareto_climb_aborting_in(
+            &mut arena,
+            start,
+            &m,
+            &ClimbConfig::default(),
+            &mut StepScratch::default(),
+            &crate::optimizer::AbortCheck::new(flag, None),
+        );
+        assert!(aborted);
+        assert_eq!(stats.steps, 0);
+        assert_eq!(opt, start, "no move may happen after the flag is raised");
     }
 
     #[test]

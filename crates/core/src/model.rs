@@ -217,7 +217,9 @@ pub mod testing {
     ///   tables, `1` otherwise (cross products allowed).
     ///
     /// All costs are additive, so the model satisfies the [`CostModel`]
-    /// contract including the principle of optimality.
+    /// contract including the principle of optimality. `Clone` so the
+    /// parallel optimizer's per-worker instances can each own a copy.
+    #[derive(Clone)]
     pub struct StubModel {
         n: usize,
         dim: usize,

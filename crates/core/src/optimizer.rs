@@ -8,7 +8,21 @@
 //! DP subsets, ...) and [`Optimizer::frontier`] returns the current result
 //! plan set. [`drive`] runs an optimizer under a [`Budget`], notifying an
 //! [`Observer`] after every step so harnesses can record trajectories.
+//!
+//! Two extensions serve the concurrent layers built on top of the core:
+//!
+//! * [`StopFlag`] / [`AbortCheck`] — cooperative cancellation for optimizer
+//!   work running on several threads at once. A deadline is enforced *inside*
+//!   the hill-climbing loop (one check per climbing step), so concurrent
+//!   climbers overshoot a deadline by at most one climb step instead of one
+//!   full iteration.
+//! * [`PlanExchange`] — the partial-plan exchange seam: optimizers that can
+//!   absorb previously optimized plans and export their own survivors. Both
+//!   the intra-query shared frontier of `moqo-parallel` and the cross-query
+//!   cache of `moqo-service` speak this trait.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::plan::PlanRef;
@@ -58,6 +72,92 @@ pub struct DriveStats {
     pub exhausted: bool,
 }
 
+/// A shared cooperative stop signal. Cloning yields another handle to the
+/// same flag; once [`StopFlag::stop`] is called every holder observes it.
+///
+/// The flag is the cross-thread cancellation primitive of the parallel
+/// optimizer: worker threads check it between iterations *and* between
+/// hill-climbing steps (through [`AbortCheck`]), so all concurrent climbers
+/// wind down within one climb step of the first `stop()`.
+#[derive(Clone, Debug, Default)]
+pub struct StopFlag(Arc<AtomicBool>);
+
+impl StopFlag {
+    /// Creates an unset flag.
+    pub fn new() -> Self {
+        StopFlag::default()
+    }
+
+    /// Raises the flag. Idempotent.
+    #[inline]
+    pub fn stop(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag has been raised.
+    #[inline]
+    pub fn is_stopped(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Lowers the flag again (between rounds of a reused worker pool).
+    #[inline]
+    pub fn clear(&self) {
+        self.0.store(false, Ordering::Relaxed);
+    }
+}
+
+/// A [`StopFlag`] armed with an optional wall-clock deadline: the abort
+/// condition threaded through budgeted hill climbs.
+///
+/// [`AbortCheck::should_abort`] is designed for *inner loops*: the common
+/// case is one relaxed atomic load. The clock is only consulted while the
+/// flag is still down, and the first checker to observe the deadline raises
+/// the shared flag — so sibling workers mid-climb abort on their next
+/// (atomic-load-only) check without ever reading the clock themselves.
+#[derive(Clone, Debug)]
+pub struct AbortCheck {
+    flag: StopFlag,
+    deadline: Option<Instant>,
+}
+
+impl AbortCheck {
+    /// An abort condition from a shared flag and an optional deadline.
+    pub fn new(flag: StopFlag, deadline: Option<Instant>) -> Self {
+        AbortCheck { flag, deadline }
+    }
+
+    /// An abort condition that never fires (for unguarded call sites that
+    /// share code with guarded ones).
+    pub fn never() -> Self {
+        AbortCheck {
+            flag: StopFlag::new(),
+            deadline: None,
+        }
+    }
+
+    /// The shared flag.
+    pub fn flag(&self) -> &StopFlag {
+        &self.flag
+    }
+
+    /// Whether work should stop: the shared flag is up, or the deadline has
+    /// passed (which raises the flag for every sibling).
+    #[inline]
+    pub fn should_abort(&self) -> bool {
+        if self.flag.is_stopped() {
+            return true;
+        }
+        match self.deadline {
+            Some(at) if Instant::now() >= at => {
+                self.flag.stop();
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
 /// An anytime multi-objective query optimizer.
 pub trait Optimizer {
     /// Short display name (e.g. `"RMQ"`, `"NSGA-II"`, `"DP(2)"`).
@@ -70,6 +170,40 @@ pub trait Optimizer {
     /// The current result frontier: plans for the full query produced so
     /// far. May be empty (e.g. DP before completion).
     fn frontier(&self) -> Vec<PlanRef>;
+}
+
+/// An anytime optimizer that can exchange partial plans with a shared
+/// store — the seam through which plans flow between concurrent optimizer
+/// instances.
+///
+/// Two layers speak this trait: the **intra-query** shared frontier of
+/// `moqo-parallel` (worker threads publishing local optima into one global
+/// frontier) and the **cross-query** plan cache of `moqo-service` (finished
+/// sessions seeding later overlapping sessions). The hooks default to
+/// no-ops so any `Optimizer + Send` — e.g. the NSGA-II / SA / II baselines —
+/// can be served by implementing the trait with an empty body; [`Rmq`]
+/// implements them natively through its partial-plan cache.
+///
+/// [`Rmq`]: crate::rmq::Rmq
+pub trait PlanExchange: Optimizer + Send {
+    /// Absorbs previously optimized partial plans (warm start). Returns how
+    /// many plans were actually incorporated.
+    fn absorb_plans(&mut self, plans: &[PlanRef]) -> usize {
+        let _ = plans;
+        0
+    }
+
+    /// Exports partial plans for reuse by other optimizer instances.
+    fn export_plans(&self) -> Vec<PlanRef> {
+        Vec::new()
+    }
+
+    /// How many worker threads this optimizer fans out over while being
+    /// stepped (`1` for sequential optimizers). Schedulers use this to
+    /// account for intra-query parallelism in admission decisions.
+    fn fan_out(&self) -> usize {
+        1
+    }
 }
 
 /// Observer notified after every optimizer step. The `frontier` closure
@@ -223,6 +357,53 @@ mod tests {
         drive(&mut opt, Budget::Iterations(4), &mut rec);
         assert_eq!(rec.steps_seen, vec![1, 2, 3, 4]);
         assert_eq!(rec.frontier_sizes, vec![2, 4]);
+    }
+
+    #[test]
+    fn stop_flag_is_shared_across_clones() {
+        let a = StopFlag::new();
+        let b = a.clone();
+        assert!(!b.is_stopped());
+        a.stop();
+        assert!(b.is_stopped());
+        b.clear();
+        assert!(!a.is_stopped());
+    }
+
+    #[test]
+    fn abort_check_raises_the_flag_on_deadline() {
+        let flag = StopFlag::new();
+        let armed = AbortCheck::new(
+            flag.clone(),
+            Some(Instant::now() - Duration::from_millis(1)),
+        );
+        // The deadline has passed: the check fires and raises the shared
+        // flag, so a sibling holding only the flag sees it too.
+        assert!(armed.should_abort());
+        assert!(flag.is_stopped());
+        assert!(AbortCheck::new(flag, None).should_abort());
+        assert!(!AbortCheck::never().should_abort());
+    }
+
+    #[test]
+    fn plan_exchange_defaults_are_noops() {
+        struct Bare(Counting);
+        impl Optimizer for Bare {
+            fn name(&self) -> &str {
+                self.0.name()
+            }
+            fn step(&mut self) -> bool {
+                self.0.step()
+            }
+            fn frontier(&self) -> Vec<PlanRef> {
+                self.0.frontier()
+            }
+        }
+        impl PlanExchange for Bare {}
+        let mut bare = Bare(Counting::new(3));
+        assert_eq!(bare.absorb_plans(&[]), 0);
+        assert!(bare.export_plans().is_empty());
+        assert_eq!(bare.fan_out(), 1);
     }
 
     #[test]

@@ -346,6 +346,33 @@ impl<P> ParetoSet<P> {
         true
     }
 
+    /// Merges every member of `other` into `self` under approximate pruning
+    /// with factor `alpha`, in `other`'s storage order. The candidate's cost
+    /// and format come from `other`'s inline metadata; `adopt` translates
+    /// the foreign handle into `self`'s handle type and runs **only for
+    /// admitted members** (rejected candidates cost one dominance probe and
+    /// nothing else). Returns the number of members inserted.
+    ///
+    /// This is the frontier-merge entry point of the parallel optimizer:
+    /// worker frontiers (`ParetoSet<PlanId>` over private arenas) batch-merge
+    /// into a shared global frontier, with `adopt` re-interning each
+    /// surviving plan into the shared arena
+    /// ([`PlanArena::adopt`](crate::arena::PlanArena::adopt)).
+    pub fn merge_approx_with<Q>(
+        &mut self,
+        other: &ParetoSet<Q>,
+        alpha: f64,
+        mut adopt: impl FnMut(&Q) -> P,
+    ) -> usize {
+        let mut inserted = 0;
+        for (plan, meta) in other.plans.iter().zip(&other.meta) {
+            if self.insert_approx_with(&meta.cost, meta.format, alpha, || adopt(plan)) {
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+
     /// Consumes the set, returning the plans.
     pub fn into_plans(self) -> Vec<P> {
         self.plans
@@ -761,6 +788,66 @@ mod tests {
         let set: ParetoSet = plans.into_iter().collect();
         assert_eq!(set.len(), 3);
         assert!(set.check_invariant());
+    }
+
+    #[test]
+    fn merge_preserves_union_semantics_and_defers_adoption() {
+        let (_, plans) = sample_plans();
+        // Set A holds the two incomparable format-0 plans; set B holds the
+        // dominated variant plus the format-1 plan.
+        let mut a: ParetoSet = ParetoSet::new();
+        assert!(a.insert_approx(plans[0].clone(), 1.0));
+        assert!(a.insert_approx(plans[1].clone(), 1.0));
+        let mut b: ParetoSet = ParetoSet::new();
+        assert!(b.insert_approx(plans[3].clone(), 1.0));
+        assert!(b.insert_approx(plans[2].clone(), 1.0));
+        let mut adoptions = 0;
+        let inserted = a.merge_approx_with(&b, 1.0, |p| {
+            adoptions += 1;
+            p.clone()
+        });
+        // plans[3] is dominated by plans[0] → rejected without adoption;
+        // plans[2] (format 1) is admitted.
+        assert_eq!(inserted, 1);
+        assert_eq!(adoptions, 1, "rejected members must not be adopted");
+        assert_eq!(a.len(), 3);
+        assert!(a.check_invariant());
+        // Merging the same set again changes nothing (idempotent union).
+        assert_eq!(a.merge_approx_with(&b, 1.0, |p| p.clone()), 0);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn merge_order_matches_sequential_insertion() {
+        // Merging B into A must make exactly the decisions of inserting B's
+        // members one by one in storage order — the property the parallel
+        // optimizer's deterministic reduction relies on.
+        let streams: [&[(&[f64], u8)]; 2] = [
+            &[(&[4.0, 4.0], 0), (&[2.0, 6.0], 0), (&[6.0, 2.0], 1)],
+            &[(&[3.0, 3.0], 0), (&[2.0, 6.0], 1), (&[9.0, 1.0], 0)],
+        ];
+        let mut sets: Vec<ParetoSet> = Vec::new();
+        for stream in streams {
+            let mut s = ParetoSet::new();
+            for (cost, format) in stream {
+                s.insert_approx(synthetic_plan(cost, *format), 1.0);
+            }
+            sets.push(s);
+        }
+        let mut merged = ParetoSet::new();
+        let mut sequential = ParetoSet::new();
+        for s in &sets {
+            merged.merge_approx_with(s, 1.0, |p| p.clone());
+            for p in s.iter() {
+                sequential.insert_approx(p.clone(), 1.0);
+            }
+        }
+        let render = |s: &ParetoSet| -> Vec<(Vec<f64>, u8)> {
+            s.iter()
+                .map(|p| (p.cost().as_slice().to_vec(), p.format().0))
+                .collect()
+        };
+        assert_eq!(render(&merged), render(&sequential));
     }
 
     #[test]

@@ -21,12 +21,14 @@ use rand::SeedableRng;
 
 use crate::arena::{PlanArena, PlanId};
 use crate::cache::PlanCache;
-use crate::climb::{pareto_climb_in, ClimbConfig, ClimbStats, StepScratch};
+use crate::climb::{
+    pareto_climb_aborting_in, pareto_climb_in, ClimbConfig, ClimbStats, StepScratch,
+};
 use crate::frontier::{approximate_frontiers_in, AlphaSchedule, FrontierScratch};
 use crate::fxhash::FxHashMap;
 use crate::model::CostModel;
 use crate::mutations::MutationSet;
-use crate::optimizer::Optimizer;
+use crate::optimizer::{AbortCheck, Optimizer, PlanExchange};
 use crate::pareto::ParetoSet;
 use crate::plan::PlanRef;
 use crate::random_plan::{random_left_deep_plan_in, random_plan_in};
@@ -183,7 +185,24 @@ impl<M: CostModel> Rmq<M> {
 
     /// Runs one iteration of the main loop; returns the climb statistics.
     pub fn iterate(&mut self) -> ClimbStats {
-        self.iteration += 1;
+        self.iterate_inner(None)
+            .expect("unguarded iteration cannot abort")
+    }
+
+    /// Runs one iteration under a cooperative abort condition, the
+    /// deadline-honoring entry point of the parallel optimizer. `abort` is
+    /// checked once per hill-climbing step *and* before the frontier
+    /// approximation, so a raised stop flag (or a passed deadline, which
+    /// raises it) cuts the iteration short within one climb step of the
+    /// signal. An aborted iteration is discarded wholesale — nothing is
+    /// archived, the iteration counter does not advance, and the optimizer
+    /// is left exactly as consistent as before the call — and `None` is
+    /// returned.
+    pub fn iterate_aborting(&mut self, abort: &AbortCheck) -> Option<ClimbStats> {
+        self.iterate_inner(Some(abort))
+    }
+
+    fn iterate_inner(&mut self, abort: Option<&AbortCheck>) -> Option<ClimbStats> {
         // 1. Generate a random bushy (or left-deep) query plan. The plan
         //    space governs both the generator and the climbing rule set
         //    (§4.1: both are exchanged together).
@@ -211,14 +230,38 @@ impl<M: CostModel> Rmq<M> {
             ),
         };
         // 2. Improve the plan via fast local search (in the transient
-        //    arena; see the field docs).
-        let (climb_opt, climb_stats) = pareto_climb_in(
-            &mut self.climb_arena,
-            plan,
-            &self.model,
-            &climb_cfg,
-            &mut self.climb_scratch,
-        );
+        //    arena; see the field docs). The abort condition bounds deadline
+        //    overshoot: checked per climb step, and again before the (also
+        //    non-trivial) frontier approximation below.
+        let (climb_opt, climb_stats, aborted) = match abort {
+            Some(abort) => pareto_climb_aborting_in(
+                &mut self.climb_arena,
+                plan,
+                &self.model,
+                &climb_cfg,
+                &mut self.climb_scratch,
+                abort,
+            ),
+            None => {
+                let (opt, stats) = pareto_climb_in(
+                    &mut self.climb_arena,
+                    plan,
+                    &self.model,
+                    &climb_cfg,
+                    &mut self.climb_scratch,
+                );
+                (opt, stats, false)
+            }
+        };
+        if aborted || abort.is_some_and(AbortCheck::should_abort) {
+            // Discard the partial iteration: drop the climb transients and
+            // leave every cross-iteration structure untouched. The RNG has
+            // advanced, but an aborted run is ending anyway.
+            let _ = climb_opt;
+            self.climb_arena.clear();
+            return None;
+        }
+        self.iteration += 1;
         // 3. Approximate the Pareto frontiers of its intermediate results.
         let alpha = self.cfg.alpha.alpha(self.iteration);
         self.adopt_memo.clear();
@@ -267,7 +310,7 @@ impl<M: CostModel> Rmq<M> {
         self.stats.iterations = self.iteration;
         self.stats.path_lengths.push(climb_stats.steps);
         self.stats.last_alpha = alpha;
-        climb_stats
+        Some(climb_stats)
     }
 
     /// The current approximate Pareto plan set for the query (`P[q]`),
@@ -280,6 +323,21 @@ impl<M: CostModel> Rmq<M> {
             self.results.plans()
         };
         ids.iter().map(|&id| self.arena.export(id)).collect()
+    }
+
+    /// The current query frontier as the internal `(set, arena)` pair:
+    /// members are [`PlanId`]s into [`Rmq::arena`] and the set carries their
+    /// inline cost metadata. `None` while no query plan has been archived.
+    /// This is the zero-export handoff the parallel optimizer merges from —
+    /// see [`ParetoSet::merge_approx_with`].
+    pub fn frontier_set(&self) -> Option<&ParetoSet<PlanId>> {
+        if self.cfg.share_cache {
+            self.cache.frontier_set(self.query)
+        } else if self.results.is_empty() {
+            None
+        } else {
+            Some(&self.results)
+        }
     }
 
     /// Run statistics (iterations, climb path lengths, last α).
@@ -313,16 +371,33 @@ impl<M: CostModel> Rmq<M> {
     /// start can never evict better plans found later. Returns the number
     /// of plans absorbed into the cache.
     ///
-    /// No effect when `share_cache` is disabled (the ablation mode has no
-    /// cross-iteration cache to seed).
+    /// With `share_cache` disabled (the cache ablation), there is no
+    /// partial-plan cache to seed, but **full-query** plans still enter the
+    /// result archive under the same exact pruning — so frontier exchange
+    /// (the parallel optimizer's island migration) keeps working in the
+    /// ablation configuration; sub-query partial plans are ignored there.
     pub fn warm_start<I>(&mut self, plans: I) -> usize
     where
         I: IntoIterator<Item = PlanRef>,
     {
-        if !self.cfg.share_cache {
-            return 0;
-        }
         let mut absorbed = 0;
+        if !self.cfg.share_cache {
+            for plan in plans {
+                if plan.rel() != self.query {
+                    continue;
+                }
+                let cost = *plan.cost();
+                let format = plan.format();
+                let arena = &mut self.arena;
+                if self
+                    .results
+                    .insert_approx_with(&cost, format, 1.0, || arena.import(&plan))
+                {
+                    absorbed += 1;
+                }
+            }
+            return absorbed;
+        }
         for plan in plans {
             if !plan.rel().is_subset(self.query) {
                 continue;
@@ -359,6 +434,25 @@ impl<M: CostModel> Optimizer for Rmq<M> {
 
     fn frontier(&self) -> Vec<PlanRef> {
         Rmq::frontier(self)
+    }
+}
+
+impl<M: CostModel + Send> PlanExchange for Rmq<M> {
+    fn absorb_plans(&mut self, plans: &[PlanRef]) -> usize {
+        // Guard against foreign cost dimensions: a mis-keyed exchange
+        // partner would otherwise corrupt the cache's Pareto invariant.
+        let dim = self.model.dim();
+        self.warm_start(plans.iter().filter(|p| p.cost().dim() == dim).cloned())
+    }
+
+    fn export_plans(&self) -> Vec<PlanRef> {
+        // Cached handles are PlanIds into the session arena; exchange
+        // partners speak `Arc<Plan>`, so export at the boundary (memoized).
+        let mut out = Vec::new();
+        for (_, plans) in self.cache().entries() {
+            out.extend(plans.iter().map(|&id| self.arena.export(id)));
+        }
+        out
     }
 }
 
@@ -495,6 +589,105 @@ mod tests {
                 .any(|l| l.cost().approx_dominates(e.cost(), 1.0 + 1e-9));
             assert!(covered, "later frontier lost coverage of an early plan");
         }
+    }
+
+    #[test]
+    fn aborting_iterate_with_never_condition_matches_plain_iterate() {
+        let model = StubModel::line(6, 2, 21);
+        let query = TableSet::prefix(6);
+        let mut plain = Rmq::new(&model, query, RmqConfig::seeded(12));
+        let mut guarded = Rmq::new(&model, query, RmqConfig::seeded(12));
+        let never = AbortCheck::never();
+        for _ in 0..15 {
+            let a = plain.iterate();
+            let b = guarded.iterate_aborting(&never).expect("never aborts");
+            assert_eq!(a, b);
+        }
+        let d1: Vec<String> = plain.frontier().iter().map(|p| p.display(&model)).collect();
+        let d2: Vec<String> = guarded
+            .frontier()
+            .iter()
+            .map(|p| p.display(&model))
+            .collect();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn aborted_iteration_is_discarded_wholesale() {
+        use crate::optimizer::StopFlag;
+        let model = StubModel::line(6, 2, 5);
+        let query = TableSet::prefix(6);
+        let mut rmq = Rmq::new(&model, query, RmqConfig::seeded(3));
+        for _ in 0..8 {
+            rmq.iterate();
+        }
+        let before_iters = rmq.stats().iterations;
+        let before_cache = rmq.cache().counters();
+        let before_frontier: Vec<String> =
+            rmq.frontier().iter().map(|p| p.display(&model)).collect();
+        let flag = StopFlag::new();
+        flag.stop();
+        assert!(rmq.iterate_aborting(&AbortCheck::new(flag, None)).is_none());
+        assert_eq!(rmq.stats().iterations, before_iters);
+        assert_eq!(rmq.cache().counters(), before_cache);
+        let after: Vec<String> = rmq.frontier().iter().map(|p| p.display(&model)).collect();
+        assert_eq!(after, before_frontier, "aborted work must leave no trace");
+        // The optimizer keeps working normally afterwards.
+        rmq.iterate();
+        assert_eq!(rmq.stats().iterations, before_iters + 1);
+    }
+
+    #[test]
+    fn plan_exchange_roundtrip_through_rmq() {
+        let model = StubModel::line(6, 2, 33);
+        let query = TableSet::prefix(6);
+        let mut donor = Rmq::new(&model, query, RmqConfig::seeded(1));
+        for _ in 0..10 {
+            donor.iterate();
+        }
+        let exported = donor.export_plans();
+        assert!(!exported.is_empty());
+        let mut fresh = Rmq::new(&model, query, RmqConfig::seeded(2));
+        let absorbed = fresh.absorb_plans(&exported);
+        assert!(absorbed > 0, "overlapping exports must warm-start");
+        assert_eq!(fresh.fan_out(), 1);
+        // Foreign dimensions are filtered, not absorbed.
+        let foreign_model = StubModel::line(6, 3, 33);
+        let mut foreign = Rmq::new(&foreign_model, query, RmqConfig::seeded(2));
+        assert_eq!(foreign.absorb_plans(&exported), 0);
+    }
+
+    #[test]
+    fn warm_start_seeds_the_result_archive_in_ablation_mode() {
+        let model = StubModel::line(6, 2, 33);
+        let query = TableSet::prefix(6);
+        let mut donor = Rmq::new(&model, query, RmqConfig::seeded(1));
+        for _ in 0..10 {
+            donor.iterate();
+        }
+        let full_query_plans = donor.frontier();
+        assert!(!full_query_plans.is_empty());
+        let ablation_cfg = RmqConfig {
+            share_cache: false,
+            ..RmqConfig::seeded(2)
+        };
+        let mut ablation = Rmq::new(&model, query, ablation_cfg);
+        // Contract: None until something is archived, in both configs.
+        assert!(ablation.frontier_set().is_none());
+        let absorbed = ablation.warm_start(full_query_plans.iter().cloned());
+        assert!(
+            absorbed > 0,
+            "frontier exchange must reach the ablation result archive"
+        );
+        assert!(ablation.frontier_set().is_some());
+        assert_eq!(ablation.frontier().len(), absorbed);
+        // Sub-query partial plans are ignored in ablation mode: a donor
+        // cache export adds nothing beyond the full-query survivors
+        // already absorbed.
+        let partials = PlanExchange::export_plans(&donor);
+        assert!(partials.iter().any(|p| p.rel() != query));
+        let again = ablation.warm_start(partials.into_iter().filter(|p| p.rel() != query));
+        assert_eq!(again, 0);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use moqo_core::optimizer::Optimizer;
 use moqo_core::rmq::{Rmq, RmqConfig};
 use moqo_core::tables::TableSet;
 use moqo_cost::ResourceCostModel;
+use moqo_parallel::{ParRmq, ParRmqConfig};
 
 use moqo_baselines::{
     DpOptimizer, IterativeImprovement, Nsga2, SimulatedAnnealing, TwoPhase, WeightedSum,
@@ -30,6 +31,9 @@ pub enum AlgorithmKind {
     Ii,
     /// The paper's randomized multi-objective query optimizer.
     Rmq,
+    /// RMQ fanned out over 4 intra-query worker threads with
+    /// shared-frontier exchange (extension; not in the paper's figures).
+    ParRmq,
     /// Weighted-sum scalarization (extension; not in the paper's figures).
     WeightedSum,
 }
@@ -60,6 +64,7 @@ impl AlgorithmKind {
             AlgorithmKind::NsgaII => "NSGA-II",
             AlgorithmKind::Ii => "II",
             AlgorithmKind::Rmq => "RMQ",
+            AlgorithmKind::ParRmq => "ParRMQ",
             AlgorithmKind::WeightedSum => "WS",
         }
     }
@@ -81,6 +86,11 @@ impl AlgorithmKind {
             AlgorithmKind::NsgaII => Box::new(Nsga2::new(model, query, seed)),
             AlgorithmKind::Ii => Box::new(IterativeImprovement::new(model, query, seed)),
             AlgorithmKind::Rmq => Box::new(Rmq::new(model, query, RmqConfig::seeded(seed))),
+            // The model is held by reference per worker (&ResourceCostModel
+            // is Copy + Send), so the fan-out borrows rather than clones.
+            AlgorithmKind::ParRmq => {
+                Box::new(ParRmq::new(model, query, ParRmqConfig::seeded(seed, 4)))
+            }
             AlgorithmKind::WeightedSum => Box::new(WeightedSum::new(model, query, seed)),
         }
     }
@@ -107,6 +117,7 @@ mod tests {
             AlgorithmKind::NsgaII,
             AlgorithmKind::Ii,
             AlgorithmKind::Rmq,
+            AlgorithmKind::ParRmq,
             AlgorithmKind::WeightedSum,
         ];
         for kind in all {

@@ -7,6 +7,7 @@
 //!   --model NAME       resource (default) | cloud | aqp | energy
 //!   --metrics LIST     resource model only: comma list of time,buffer,disk
 //!   --budget-ms N      optimization budget (default 500)
+//!   --parallel N       fan the query out over N worker threads (default 1)
 //!   --seed N           RNG seed (default 42)
 //!   --weights LIST     select a plan: comma list of per-metric weights
 //!   --bound K=V        upper bound on metric index K (repeatable)
@@ -38,6 +39,7 @@ use moqo_core::plan::PlanRef;
 use moqo_core::rmq::{Rmq, RmqConfig};
 use moqo_cost::{AqpCostModel, CloudCostModel, EnergyCostModel, ResourceCostModel, ResourceMetric};
 use moqo_metrics::{frontier_table, scatter_plans, Preferences, ScatterConfig};
+use moqo_parallel::{ParRmq, ParRmqConfig};
 use moqo_workload::WorkloadSpec;
 
 struct Options {
@@ -45,6 +47,7 @@ struct Options {
     model: String,
     metrics: Vec<ResourceMetric>,
     budget: Duration,
+    parallel: usize,
     seed: u64,
     weights: Option<Vec<f64>>,
     bounds: Vec<(usize, f64)>,
@@ -54,7 +57,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: optimize [--catalog FILE] [--model resource|cloud|aqp|energy] \
-         [--metrics time,buffer,disk] [--budget-ms N] [--seed N] \
+         [--metrics time,buffer,disk] [--budget-ms N] [--parallel N] [--seed N] \
          [--weights w0,w1,..] [--bound K=V]... [--scatter]"
     );
     exit(2)
@@ -71,6 +74,7 @@ fn parse_args() -> Options {
         model: "resource".to_string(),
         metrics: vec![ResourceMetric::Time, ResourceMetric::Buffer],
         budget: Duration::from_millis(500),
+        parallel: 1,
         seed: 42,
         weights: None,
         bounds: Vec::new(),
@@ -101,6 +105,12 @@ fn parse_args() -> Options {
             "--budget-ms" => {
                 let ms: u64 = value("--budget-ms").parse().unwrap_or_else(|_| usage());
                 opts.budget = Duration::from_millis(ms);
+            }
+            "--parallel" => {
+                opts.parallel = value("--parallel").parse().unwrap_or_else(|_| usage());
+                if opts.parallel == 0 {
+                    fail("--parallel needs at least one worker");
+                }
             }
             "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--weights" => {
@@ -149,16 +159,34 @@ fn load_catalog(opts: &Options) -> Arc<Catalog> {
 
 fn optimize_and_report<M: CostModel>(model: &M, opts: &Options) {
     let query = moqo_core::TableSet::prefix(model.num_tables());
-    let mut rmq = Rmq::new(model, query, RmqConfig::seeded(opts.seed));
-    let stats = drive(&mut rmq, Budget::Time(opts.budget), &mut NullObserver);
-    let mut frontier: Vec<PlanRef> = rmq.frontier();
+    let mut frontier: Vec<PlanRef> = if opts.parallel > 1 {
+        // Intra-query fan-out: each worker borrows the model (&M is
+        // Copy + Send because CostModel requires Sync).
+        let mut par = ParRmq::new(model, query, ParRmqConfig::seeded(opts.seed, opts.parallel));
+        let run = par.optimize(Budget::Time(opts.budget));
+        let ex = run.exchange;
+        println!(
+            "{} iterations in {:?} on {} workers ({} exchange epochs, {} plans merged); {} Pareto plan(s)\n",
+            run.iterations,
+            run.elapsed,
+            opts.parallel,
+            ex.epochs,
+            ex.merged,
+            par.frontier().len()
+        );
+        par.frontier()
+    } else {
+        let mut rmq = Rmq::new(model, query, RmqConfig::seeded(opts.seed));
+        let stats = drive(&mut rmq, Budget::Time(opts.budget), &mut NullObserver);
+        println!(
+            "{} iterations in {:?}; {} Pareto plan(s)\n",
+            stats.steps,
+            stats.elapsed,
+            rmq.frontier().len()
+        );
+        rmq.frontier()
+    };
     frontier.sort_by(|a, b| a.cost()[0].total_cmp(&b.cost()[0]));
-    println!(
-        "{} iterations in {:?}; {} Pareto plan(s)\n",
-        stats.steps,
-        stats.elapsed,
-        frontier.len()
-    );
     println!("{}", frontier_table(&frontier, model));
     if opts.scatter && model.dim() >= 2 {
         println!(

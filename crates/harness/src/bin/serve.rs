@@ -13,6 +13,9 @@
 //!   --max-tables N     maximum tables per query (default T)
 //!   --budget-ms MS     per-session time budget (default: iterations)
 //!   --iters N          per-session iteration budget (default 60)
+//!   --fan-out W        intra-query worker threads for latency-critical
+//!                      sessions (default 1 = all sequential)
+//!   --fan-out-every K  tag every K-th session latency-critical (default 4)
 //!   --seed S           RNG seed (default 42)
 //! ```
 //!
@@ -28,8 +31,10 @@ use moqo_catalog::Catalog;
 use moqo_core::optimizer::Budget;
 use moqo_core::rmq::{Rmq, RmqConfig};
 use moqo_cost::{ResourceCostModel, ResourceMetric};
+use moqo_parallel::{ParRmq, ParRmqConfig};
 use moqo_service::{
-    context_fingerprint, OptimizationService, ServiceConfig, SessionHandle, SessionRequest,
+    context_fingerprint, OptimizationService, PlanExchange, ServiceConfig, SessionHandle,
+    SessionRequest,
 };
 use moqo_workload::{GraphShape, SelectivityMethod, TrafficSpec};
 
@@ -42,13 +47,16 @@ struct Options {
     max_tables: Option<usize>,
     budget_ms: Option<u64>,
     iters: u64,
+    fan_out: usize,
+    fan_out_every: usize,
     seed: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--sessions N] [--waves K] [--workers W] [--tables T] \
-         [--min-tables N] [--max-tables N] [--budget-ms MS] [--iters N] [--seed S]"
+         [--min-tables N] [--max-tables N] [--budget-ms MS] [--iters N] \
+         [--fan-out W] [--fan-out-every K] [--seed S]"
     );
     exit(2)
 }
@@ -63,6 +71,8 @@ fn parse_args() -> Options {
         max_tables: None,
         budget_ms: None,
         iters: 60,
+        fan_out: 1,
+        fan_out_every: 4,
         seed: 42,
     };
     let mut args = std::env::args().skip(1);
@@ -93,6 +103,10 @@ fn parse_args() -> Options {
             }
             "--budget-ms" => opts.budget_ms = Some(parsed("--budget-ms", value("--budget-ms"))),
             "--iters" => opts.iters = parsed("--iters", value("--iters")),
+            "--fan-out" => opts.fan_out = parsed("--fan-out", value("--fan-out")).max(1) as usize,
+            "--fan-out-every" => {
+                opts.fan_out_every = parsed("--fan-out-every", value("--fan-out-every")) as usize
+            }
             "--seed" => opts.seed = parsed("--seed", value("--seed")),
             "--help" | "-h" => usage(),
             other => {
@@ -122,7 +136,13 @@ fn main() {
         max_query_tables: opts.max_tables.unwrap_or(opts.tables),
         seed: opts.seed,
     };
-    let (catalog, queries) = spec.generate();
+    // fan_out == 1 leaves every session sequential (tagging disabled).
+    let every = if opts.fan_out > 1 {
+        opts.fan_out_every
+    } else {
+        0
+    };
+    let (catalog, sessions) = spec.generate_with_fan_out(every, opts.fan_out);
     let metrics = [ResourceMetric::Time, ResourceMetric::Buffer];
     let model = Arc::new(ResourceCostModel::new(Arc::clone(&catalog), &metrics));
     let context = context_fingerprint(catalog.fingerprint(), "resource:time,buffer");
@@ -151,20 +171,33 @@ fn main() {
     let service = OptimizationService::new(config);
 
     let mut session_no = 0usize;
-    for (wave, chunk) in queries.chunks(wave_size.max(1)).enumerate() {
+    for (wave, chunk) in sessions.chunks(wave_size.max(1)).enumerate() {
         println!("-- wave {} ({} sessions)", wave + 1, chunk.len());
-        let handles: Vec<(usize, usize, SessionHandle)> = chunk
+        let handles: Vec<(usize, usize, usize, SessionHandle)> = chunk
             .iter()
-            .map(|query| {
+            .map(|session| {
                 let seed = opts.seed ^ (session_no as u64).wrapping_mul(0x9e37);
-                let request = SessionRequest {
-                    optimizer: Box::new(Rmq::new(
+                let tables = session.query.tables();
+                // Latency-critical sessions fan one query out over worker
+                // threads; the rest run the sequential optimizer. Both go
+                // through the same PlanExchange seam.
+                let optimizer: Box<dyn PlanExchange> = if session.fan_out > 1 {
+                    let mut cfg = ParRmqConfig::seeded(seed, session.fan_out);
+                    // Keep rounds short so iteration budgets stay exact per
+                    // scheduling slice.
+                    cfg.batch = 4;
+                    Box::new(ParRmq::new(Arc::clone(&model), tables, cfg))
+                } else {
+                    Box::new(Rmq::new(
                         Arc::clone(&model),
-                        query.tables(),
+                        tables,
                         RmqConfig::seeded(seed),
-                    )),
+                    ))
+                };
+                let request = SessionRequest {
+                    optimizer,
                     budget,
-                    query: query.tables(),
+                    query: tables,
                     context,
                 };
                 session_no += 1;
@@ -172,15 +205,15 @@ fn main() {
                     eprintln!("session rejected: {e}");
                     exit(1)
                 });
-                (session_no - 1, query.len(), handle)
+                (session_no - 1, session.query.len(), session.fan_out, handle)
             })
             .collect();
-        for (no, tables, handle) in handles {
+        for (no, tables, fan_out, handle) in handles {
             let done = handle
                 .wait_done(Duration::from_secs(600))
                 .expect("session completes");
             println!(
-                "  s{no:<3} tables={tables:<2} steps={:<5} frontier={:<3} warm-start={:<3} status={:?}",
+                "  s{no:<3} tables={tables:<2} width={fan_out} steps={:<5} frontier={:<3} warm-start={:<3} status={:?}",
                 done.steps,
                 done.plans.len(),
                 handle.absorbed_plans(),
@@ -195,6 +228,10 @@ fn main() {
     println!("  completed       {}", stats.completed);
     println!("  rejected        {}", stats.rejected);
     println!("  total steps     {}", stats.total_steps);
+    println!(
+        "  wide sessions   {} (fan-out sum {})",
+        stats.multi_worker_sessions, stats.fan_out_submitted
+    );
     println!(
         "  throughput      {:.1} sessions/s",
         stats.throughput_per_sec

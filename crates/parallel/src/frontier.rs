@@ -1,0 +1,270 @@
+//! The epoch-versioned shared global frontier worker threads exchange
+//! plans through.
+//!
+//! The structure is split into a **merge side** and a **read side** so the
+//! two never contend:
+//!
+//! * The merge side — a shared session [`PlanArena`] plus the master
+//!   `ParetoSet<PlanId>` — lives behind one mutex. Writers batch-merge a
+//!   whole worker frontier per lock acquisition
+//!   ([`ParetoSet::merge_approx_with`]): each candidate is admission-tested
+//!   against the global frontier by its inline cost metadata, and only
+//!   *survivors* are adopted into the shared arena
+//!   ([`PlanArena::adopt`] with a reused memo), so a publish whose plans
+//!   are all dominated costs a few dominance probes and no interning.
+//! * The read side is a double-buffered **snapshot**: an immutable
+//!   `Arc<FrontierSnapshot>` swapped wholesale whenever a merge changes the
+//!   frontier. Readers clone the `Arc` under a short lock that is never
+//!   held during merging or exporting, so anytime-frontier reads and
+//!   worker absorptions proceed at full speed while another worker merges.
+//!
+//! Every snapshot swap bumps the **exchange epoch**. Workers remember the
+//! last epoch they absorbed and skip the (already-seen) snapshot otherwise,
+//! which makes the absorb path O(1) between global improvements.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use moqo_core::arena::{PlanArena, PlanId};
+use moqo_core::fxhash::FxHashMap;
+use moqo_core::pareto::ParetoSet;
+use moqo_core::plan::PlanRef;
+
+/// An immutable point-in-time view of the shared global frontier.
+///
+/// Plans are exported `Arc<Plan>` trees (the cross-arena exchange format),
+/// so holders never touch the shared arena — reading a snapshot after it
+/// has been superseded is always safe and lock-free.
+#[derive(Clone, Debug, Default)]
+pub struct FrontierSnapshot {
+    /// Exchange epoch of this snapshot: strictly increases with every
+    /// frontier change. `0` means nothing has been published yet.
+    pub epoch: u64,
+    /// The global Pareto frontier at this epoch.
+    pub plans: Vec<PlanRef>,
+}
+
+/// Lifetime counters of the exchange machinery (cheap, monotone; reported
+/// by the perf-baseline harness as the exchange-overhead signal).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExchangeStats {
+    /// Publish calls (one per worker batch-merge).
+    pub publishes: u64,
+    /// Plans offered across all publishes.
+    pub offered: u64,
+    /// Offered plans that survived the merge into the global frontier.
+    pub merged: u64,
+    /// Snapshot swaps (= the current exchange epoch).
+    pub epochs: u64,
+    /// Plans workers absorbed back out of snapshots.
+    pub absorbed: u64,
+    /// Shared-arena occupancy (distinct interned nodes).
+    pub arena_nodes: usize,
+}
+
+/// Merge-side state: everything a publishing worker mutates under the lock.
+struct MergeState {
+    /// The shared session arena plans cross thread boundaries into.
+    arena: PlanArena,
+    /// The master global frontier, keyed into `arena`.
+    global: ParetoSet<PlanId>,
+    /// Reused id-translation memo for adoptions (cleared per publish;
+    /// source ids are arena-relative, so a memo never spans publishers).
+    memo: FxHashMap<PlanId, PlanId>,
+    epoch: u64,
+    publishes: u64,
+    offered: u64,
+    merged: u64,
+}
+
+/// The shared epoch-versioned global frontier (see the module docs).
+pub struct SharedFrontier {
+    merge: Mutex<MergeState>,
+    /// The published snapshot. The lock is held only to clone or replace
+    /// the `Arc` — never while merging or exporting — so readers are
+    /// effectively lock-free.
+    snapshot: Mutex<Arc<FrontierSnapshot>>,
+    /// Plans absorbed by workers (updated outside the merge lock).
+    absorbed: AtomicU64,
+}
+
+impl Default for SharedFrontier {
+    fn default() -> Self {
+        SharedFrontier::new()
+    }
+}
+
+impl SharedFrontier {
+    /// Creates an empty shared frontier at epoch 0.
+    pub fn new() -> Self {
+        SharedFrontier {
+            merge: Mutex::new(MergeState {
+                arena: PlanArena::new(),
+                global: ParetoSet::new(),
+                memo: FxHashMap::default(),
+                epoch: 0,
+                publishes: 0,
+                offered: 0,
+                merged: 0,
+            }),
+            snapshot: Mutex::new(Arc::new(FrontierSnapshot::default())),
+            absorbed: AtomicU64::new(0),
+        }
+    }
+
+    /// Batch-merges a worker frontier into the global frontier: every
+    /// member of `frontier` (ids into the worker's `src` arena) is
+    /// admission-tested against the global set with exact pruning (α = 1),
+    /// and survivors are adopted into the shared arena. If anything
+    /// changed, the epoch advances and a fresh snapshot is swapped in.
+    /// Returns the number of plans that survived the merge.
+    pub fn publish(&self, src: &PlanArena, frontier: &ParetoSet<PlanId>) -> usize {
+        let mut state = self.merge.lock().unwrap();
+        state.publishes += 1;
+        state.offered += frontier.len() as u64;
+        let MergeState {
+            arena,
+            global,
+            memo,
+            ..
+        } = &mut *state;
+        memo.clear();
+        let inserted = global.merge_approx_with(frontier, 1.0, |&id| arena.adopt(src, id, memo));
+        if inserted == 0 {
+            return 0;
+        }
+        state.merged += inserted as u64;
+        state.epoch += 1;
+        // Export under the merge lock (exports are memoized per node, so
+        // only newly adopted plans build trees), then swap the read-side
+        // Arc under its own short lock.
+        let plans: Vec<PlanRef> = state
+            .global
+            .iter()
+            .map(|&id| state.arena.export(id))
+            .collect();
+        let fresh = Arc::new(FrontierSnapshot {
+            epoch: state.epoch,
+            plans,
+        });
+        *self.snapshot.lock().unwrap() = fresh;
+        inserted
+    }
+
+    /// The current snapshot (clones one `Arc` under a short lock).
+    pub fn snapshot(&self) -> Arc<FrontierSnapshot> {
+        Arc::clone(&self.snapshot.lock().unwrap())
+    }
+
+    /// The current exchange epoch without cloning the snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.lock().unwrap().epoch
+    }
+
+    /// Records `n` plans absorbed by a worker (for [`ExchangeStats`]).
+    pub fn record_absorbed(&self, n: usize) {
+        self.absorbed.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Lifetime exchange counters.
+    pub fn stats(&self) -> ExchangeStats {
+        let state = self.merge.lock().unwrap();
+        ExchangeStats {
+            publishes: state.publishes,
+            offered: state.offered,
+            merged: state.merged,
+            epochs: state.epoch,
+            absorbed: self.absorbed.load(Ordering::Relaxed),
+            arena_nodes: state.arena.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqo_core::model::testing::StubModel;
+    use moqo_core::rmq::{Rmq, RmqConfig};
+    use moqo_core::tables::TableSet;
+
+    fn worker_frontier(seed: u64, iters: u64) -> (Rmq<StubModel>, usize) {
+        let model = StubModel::line(6, 2, 7);
+        let mut rmq = Rmq::new(model, TableSet::prefix(6), RmqConfig::seeded(seed));
+        for _ in 0..iters {
+            rmq.iterate();
+        }
+        let len = rmq.frontier_set().map_or(0, ParetoSet::len);
+        (rmq, len)
+    }
+
+    #[test]
+    fn publish_advances_the_epoch_and_snapshot() {
+        let shared = SharedFrontier::new();
+        assert_eq!(shared.epoch(), 0);
+        assert!(shared.snapshot().plans.is_empty());
+
+        let (rmq, len) = worker_frontier(1, 10);
+        assert!(len > 0);
+        let merged = shared.publish(rmq.arena(), rmq.frontier_set().unwrap());
+        assert!(merged > 0);
+        assert_eq!(shared.epoch(), 1);
+        let snap = shared.snapshot();
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.plans.len(), merged);
+        for p in &snap.plans {
+            assert!(p.validate(TableSet::prefix(6)).is_ok());
+        }
+
+        // Re-publishing the identical frontier changes nothing: every
+        // member is weakly dominated by its own copy.
+        let before = shared.stats();
+        assert_eq!(shared.publish(rmq.arena(), rmq.frontier_set().unwrap()), 0);
+        assert_eq!(shared.epoch(), 1, "no-op publish must not bump the epoch");
+        let after = shared.stats();
+        assert_eq!(after.publishes, before.publishes + 1);
+        assert_eq!(after.merged, before.merged);
+    }
+
+    #[test]
+    fn merge_keeps_the_pareto_invariant_across_publishers() {
+        let shared = SharedFrontier::new();
+        for seed in [1u64, 2, 3, 4] {
+            let (rmq, _) = worker_frontier(seed, 8);
+            shared.publish(rmq.arena(), rmq.frontier_set().unwrap());
+        }
+        let snap = shared.snapshot();
+        assert!(!snap.plans.is_empty());
+        for a in &snap.plans {
+            for b in &snap.plans {
+                if !Arc::ptr_eq(a, b) && a.same_output(b) {
+                    assert!(
+                        !a.cost().strictly_dominates(b.cost()),
+                        "global frontier holds a dominated plan"
+                    );
+                }
+            }
+        }
+        let stats = shared.stats();
+        assert_eq!(stats.publishes, 4);
+        assert!(stats.offered >= stats.merged);
+        assert!(stats.arena_nodes > 0);
+        assert!(stats.epochs >= 1);
+    }
+
+    #[test]
+    fn snapshots_are_immutable_under_later_publishes() {
+        let shared = SharedFrontier::new();
+        let (a, _) = worker_frontier(1, 6);
+        shared.publish(a.arena(), a.frontier_set().unwrap());
+        let old = shared.snapshot();
+        let old_rendered: Vec<String> = old.plans.iter().map(|p| format!("{}", p.cost())).collect();
+        let (b, _) = worker_frontier(9, 12);
+        shared.publish(b.arena(), b.frontier_set().unwrap());
+        // The old snapshot is untouched even though the global moved on.
+        let rendered_again: Vec<String> =
+            old.plans.iter().map(|p| format!("{}", p.cost())).collect();
+        assert_eq!(old_rendered, rendered_again);
+        shared.record_absorbed(3);
+        assert_eq!(shared.stats().absorbed, 3);
+    }
+}

@@ -1,0 +1,572 @@
+//! # moqo-parallel — intra-query parallel anytime optimization
+//!
+//! The paper's RMQ algorithm is a multi-start randomized hill climber whose
+//! restarts are independent: the anytime frontier is just the Pareto union
+//! of per-climb local optima, which makes a *single query* embarrassingly
+//! parallel. [`ParRmq`] exploits that: it runs RMQ for one query across `N`
+//! worker threads, each owning a private [`Rmq`] instance (its own session
+//! arena, transient climb arena, partial-plan cache, and RNG stream seeded
+//! deterministically as `seed ⊕ worker_id`), and periodically exchanges
+//! survivors through a shared epoch-versioned global frontier
+//! ([`SharedFrontier`]) — the island-model migration scheme of parallel
+//! evolutionary multi-objective optimizers, applied to RMQ's restart
+//! structure. Approximation-precision guarantees are unchanged: every plan
+//! still enters a frontier through the paper's `SigBetter` pruning rule.
+//!
+//! ## Execution model
+//!
+//! [`ParRmq::optimize`] fans the budget out over scoped worker threads:
+//!
+//! * [`Budget::Iterations`] is honored **exactly** by a shared atomic
+//!   counter — workers claim iterations until the counter reaches the
+//!   budget, so the total is independent of thread scheduling.
+//! * [`Budget::Time`] / [`Budget::Deadline`] are honored by wall clock with
+//!   a shared [`StopFlag`]: the first worker to observe the deadline raises
+//!   the flag, and every climber checks it once per hill-climbing step
+//!   (see [`Rmq::iterate_aborting`]) — so all threads wind down within one
+//!   climb step of the deadline instead of one full iteration.
+//!
+//! [`ParRmq`] also implements the anytime [`Optimizer`] trait:
+//! [`Optimizer::step`] runs one bounded *round* (`workers × batch`
+//! iterations), which is how the optimization service schedules it in
+//! slices alongside other sessions.
+//!
+//! ## Deterministic reduction mode
+//!
+//! With [`ParRmqConfig::deterministic`] set, workers never exchange plans
+//! mid-run and an iteration budget is split statically across workers
+//! (worker `w` runs `⌊n/N⌋ + (w < n mod N)` iterations). Each worker is
+//! then an independent, fully deterministic sequential RMQ run, and
+//! [`ParRmq::frontier`] reduces them in worker order through exact
+//! `SigBetter` pruning — producing a frontier **bit-identical to the
+//! sequential union of the per-worker runs**, regardless of thread
+//! scheduling. The differential test suite pins this equivalence against
+//! literally-sequential reference runs.
+//!
+//! ## When to prefer `ParRmq` over per-session parallelism
+//!
+//! The optimization service already parallelizes *across* sessions; fan a
+//! single session out with `ParRmq` when one query's time-to-frontier
+//! matters more than aggregate throughput — a latency-critical query under
+//! a tight deadline on an otherwise idle pool. Under saturation,
+//! per-session parallelism wastes no work on duplicate exploration and
+//! remains the better default.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod frontier;
+
+pub use frontier::{ExchangeStats, FrontierSnapshot, SharedFrontier};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use moqo_core::model::CostModel;
+use moqo_core::optimizer::{AbortCheck, Budget, Optimizer, PlanExchange, StopFlag};
+use moqo_core::pareto::ParetoSet;
+use moqo_core::plan::PlanRef;
+use moqo_core::rmq::{Rmq, RmqConfig};
+use moqo_core::tables::TableSet;
+
+/// Configuration of the parallel optimizer.
+#[derive(Clone, Copy, Debug)]
+pub struct ParRmqConfig {
+    /// Worker threads (≥ 1). Worker `w` runs an independent RMQ seeded
+    /// `base.seed ⊕ w`, so worker 0 reproduces the sequential run.
+    pub workers: usize,
+    /// Per-worker RMQ configuration (seed, climb rules, α schedule, plan
+    /// space). The seed is the *base* of the per-worker seed derivation.
+    pub base: RmqConfig,
+    /// Iterations per worker per [`Optimizer::step`] round.
+    pub batch: u64,
+    /// Live-mode exchange period: every worker publishes its query frontier
+    /// into the shared global frontier — and absorbs the latest global
+    /// snapshot — after this many completed iterations. Ignored (no
+    /// exchange) in deterministic mode.
+    pub exchange_period: u64,
+    /// Deterministic reduction mode: no mid-run exchange, static iteration
+    /// split, frontier bit-identical to the sequential union of the
+    /// per-worker runs (see the crate docs).
+    pub deterministic: bool,
+}
+
+impl Default for ParRmqConfig {
+    fn default() -> Self {
+        ParRmqConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            base: RmqConfig::default(),
+            batch: 16,
+            exchange_period: 8,
+            deterministic: false,
+        }
+    }
+}
+
+impl ParRmqConfig {
+    /// Default configuration with the given base seed and worker count.
+    pub fn seeded(seed: u64, workers: usize) -> Self {
+        ParRmqConfig {
+            workers,
+            base: RmqConfig::seeded(seed),
+            ..ParRmqConfig::default()
+        }
+    }
+
+    /// The same configuration in deterministic reduction mode.
+    pub fn deterministic(mut self) -> Self {
+        self.deterministic = true;
+        self
+    }
+}
+
+/// Statistics of one [`ParRmq::optimize`] call.
+#[derive(Clone, Debug, Default)]
+pub struct ParRunStats {
+    /// Iterations completed across all workers.
+    pub iterations: u64,
+    /// Iterations completed per worker (index = worker id).
+    pub per_worker: Vec<u64>,
+    /// Wall-clock time of the call.
+    pub elapsed: Duration,
+    /// Exchange counters at the end of the call (lifetime totals).
+    pub exchange: ExchangeStats,
+}
+
+/// One worker: a private sequential RMQ plus its exchange bookkeeping.
+struct Worker<M: CostModel> {
+    rmq: Rmq<M>,
+    /// Completed iterations over the optimizer's lifetime.
+    iterations: u64,
+    /// Iterations since the last exchange (live mode).
+    since_exchange: u64,
+    /// Last global epoch this worker absorbed.
+    last_seen_epoch: u64,
+    /// Plans absorbed from global snapshots over the lifetime.
+    absorbed: u64,
+}
+
+/// How a worker decides whether to run its next iteration.
+enum WorkPlan<'a> {
+    /// Run exactly this many iterations (deterministic split).
+    Fixed(u64),
+    /// Claim iterations from a shared counter until `total` are issued.
+    Claim { issued: &'a AtomicU64, total: u64 },
+    /// Run until the abort condition fires (deadline / stop flag).
+    Until(AbortCheck),
+}
+
+/// The worker thread body: iterate under the plan, exchanging through the
+/// shared frontier at the configured period (live mode). Returns the number
+/// of iterations completed by this call.
+fn run_worker<M: CostModel>(
+    worker: &mut Worker<M>,
+    plan: WorkPlan<'_>,
+    exchange: Option<(&SharedFrontier, u64)>,
+) -> u64 {
+    let mut done = 0u64;
+    loop {
+        match &plan {
+            WorkPlan::Fixed(n) => {
+                if done >= *n {
+                    break;
+                }
+            }
+            WorkPlan::Claim { issued, total } => {
+                if issued.fetch_add(1, Ordering::Relaxed) >= *total {
+                    break;
+                }
+            }
+            WorkPlan::Until(abort) => {
+                if abort.should_abort() {
+                    break;
+                }
+            }
+        }
+        let completed = match &plan {
+            // Deadline iterations run guarded: the abort condition is
+            // re-checked inside the climb, bounding overshoot to one step.
+            WorkPlan::Until(abort) => worker.rmq.iterate_aborting(abort).is_some(),
+            _ => {
+                worker.rmq.iterate();
+                true
+            }
+        };
+        if !completed {
+            break;
+        }
+        done += 1;
+        worker.iterations += 1;
+        if let Some((shared, period)) = exchange {
+            worker.since_exchange += 1;
+            if worker.since_exchange >= period {
+                worker.since_exchange = 0;
+                publish_frontier(worker, shared);
+                absorb_global(worker, shared);
+            }
+        }
+    }
+    // Survivors found since the last periodic exchange must not be lost:
+    // one final publish per worker per run.
+    if let Some((shared, _)) = exchange {
+        publish_frontier(worker, shared);
+    }
+    done
+}
+
+fn publish_frontier<M: CostModel>(worker: &Worker<M>, shared: &SharedFrontier) {
+    if let Some(set) = worker.rmq.frontier_set() {
+        if !set.is_empty() {
+            shared.publish(worker.rmq.arena(), set);
+        }
+    }
+}
+
+fn absorb_global<M: CostModel>(worker: &mut Worker<M>, shared: &SharedFrontier) {
+    let snap = shared.snapshot();
+    if snap.epoch <= worker.last_seen_epoch {
+        return;
+    }
+    worker.last_seen_epoch = snap.epoch;
+    // Same model on every worker, so no dimension filtering is needed;
+    // warm_start inserts with exact pruning and can never evict better
+    // plans the worker finds later.
+    let absorbed = worker.rmq.warm_start(snap.plans.iter().cloned());
+    worker.absorbed += absorbed as u64;
+    shared.record_absorbed(absorbed);
+}
+
+/// The parallel RMQ optimizer (see the crate docs).
+///
+/// Generic over how each worker holds the cost model: `M` is cloned once
+/// per worker, so pass `&model` for borrowed scoped usage (clones are
+/// pointer copies) or an `Arc<Model>` for a `'static + Send` optimizer the
+/// optimization service can schedule.
+pub struct ParRmq<M: CostModel + Clone + Send> {
+    query: TableSet,
+    cfg: ParRmqConfig,
+    workers: Vec<Worker<M>>,
+    shared: SharedFrontier,
+    stop: StopFlag,
+    rounds: u64,
+}
+
+impl<M: CostModel + Clone + Send> ParRmq<M> {
+    /// Creates a parallel optimizer for `query` over `model` — one private
+    /// [`Rmq`] per worker, seeded `cfg.base.seed ⊕ worker_id`.
+    ///
+    /// # Panics
+    /// Panics if `cfg.workers` is zero or `query` is empty.
+    pub fn new(model: M, query: TableSet, cfg: ParRmqConfig) -> Self {
+        assert!(cfg.workers >= 1, "ParRmq needs at least one worker");
+        let workers = (0..cfg.workers)
+            .map(|w| Worker {
+                rmq: Rmq::new(
+                    model.clone(),
+                    query,
+                    RmqConfig {
+                        seed: cfg.base.seed ^ w as u64,
+                        ..cfg.base
+                    },
+                ),
+                iterations: 0,
+                since_exchange: 0,
+                last_seen_epoch: 0,
+                absorbed: 0,
+            })
+            .collect();
+        ParRmq {
+            query,
+            cfg,
+            workers,
+            shared: SharedFrontier::new(),
+            stop: StopFlag::new(),
+            rounds: 0,
+        }
+    }
+
+    /// Runs the workers until `budget` is exhausted (see the crate docs for
+    /// how each budget kind is honored across threads). `Budget::Time`
+    /// counts from this call's entry. May be called repeatedly; worker
+    /// state (caches, arenas, RNG streams) persists across calls.
+    pub fn optimize(&mut self, budget: Budget) -> ParRunStats {
+        let start = Instant::now();
+        self.stop.clear();
+        let cfg = self.cfg;
+        let shared = &self.shared;
+        let stop = &self.stop;
+        let exchange = (!cfg.deterministic).then_some((shared, cfg.exchange_period.max(1)));
+        let issued = AtomicU64::new(0);
+        let per_worker: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .workers
+                .iter_mut()
+                .enumerate()
+                .map(|(w, worker)| {
+                    let plan = match budget {
+                        Budget::Iterations(n) if cfg.deterministic => {
+                            let (w, n, k) = (w as u64, n, cfg.workers as u64);
+                            WorkPlan::Fixed(n / k + u64::from(w < n % k))
+                        }
+                        Budget::Iterations(n) => WorkPlan::Claim {
+                            issued: &issued,
+                            total: n,
+                        },
+                        Budget::Time(d) => {
+                            WorkPlan::Until(AbortCheck::new(stop.clone(), Some(start + d)))
+                        }
+                        Budget::Deadline(at) => {
+                            WorkPlan::Until(AbortCheck::new(stop.clone(), Some(at)))
+                        }
+                    };
+                    s.spawn(move || run_worker(worker, plan, exchange))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("ParRmq worker panicked"))
+                .collect()
+        });
+        self.rounds += 1;
+        ParRunStats {
+            iterations: per_worker.iter().sum(),
+            per_worker,
+            elapsed: start.elapsed(),
+            exchange: self.shared.stats(),
+        }
+    }
+
+    /// Requests cooperative cancellation of a deadline-budget `optimize`
+    /// call running on the workers (cleared again at the next call).
+    pub fn stop(&self) {
+        self.stop.stop();
+    }
+
+    /// A movable handle onto the optimizer's stop flag, so another thread
+    /// can cancel a running deadline-budget [`ParRmq::optimize`] call while
+    /// the optimizer itself is mutably borrowed by it. Note the flag is
+    /// cleared at each `optimize` entry: arm cancellation after the call
+    /// has started (or between calls).
+    pub fn stop_handle(&self) -> StopFlag {
+        self.stop.clone()
+    }
+
+    /// The deterministic reduction: per-worker frontiers united in worker
+    /// order through exact `SigBetter` pruning — the frontier contract of
+    /// deterministic mode (also usable in live mode as a final merge that
+    /// includes not-yet-published survivors).
+    pub fn reduced_frontier(&self) -> Vec<PlanRef> {
+        let mut union: ParetoSet<PlanRef> = ParetoSet::new();
+        for worker in &self.workers {
+            for plan in worker.rmq.frontier() {
+                union.insert_approx(plan, 1.0);
+            }
+        }
+        union.into_plans()
+    }
+
+    /// The current global frontier: the published shared snapshot in live
+    /// mode, the deterministic reduction in deterministic mode.
+    pub fn frontier(&self) -> Vec<PlanRef> {
+        if self.cfg.deterministic {
+            self.reduced_frontier()
+        } else {
+            self.shared.snapshot().plans.clone()
+        }
+    }
+
+    /// Lifetime exchange counters of the shared frontier.
+    pub fn exchange_stats(&self) -> ExchangeStats {
+        self.shared.stats()
+    }
+
+    /// The current exchange epoch (0 until the first publish).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch()
+    }
+
+    /// Iterations completed per worker over the optimizer's lifetime.
+    pub fn worker_iterations(&self) -> Vec<u64> {
+        self.workers.iter().map(|w| w.iterations).collect()
+    }
+
+    /// Plans absorbed from global snapshots per worker.
+    pub fn worker_absorbed(&self) -> Vec<u64> {
+        self.workers.iter().map(|w| w.absorbed).collect()
+    }
+
+    /// Read access to the per-worker sequential optimizers (diagnostics
+    /// and differential tests).
+    pub fn worker_rmqs(&self) -> impl Iterator<Item = &Rmq<M>> {
+        self.workers.iter().map(|w| &w.rmq)
+    }
+
+    /// Completed [`Optimizer::step`] / [`ParRmq::optimize`] rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The query being optimized.
+    pub fn query(&self) -> TableSet {
+        self.query
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ParRmqConfig {
+        &self.cfg
+    }
+}
+
+impl<M: CostModel + Clone + Send> Optimizer for ParRmq<M> {
+    fn name(&self) -> &str {
+        "ParRMQ"
+    }
+
+    /// One bounded round: `workers × batch` iterations fanned out over the
+    /// worker threads (claimed dynamically in live mode, split statically
+    /// in deterministic mode).
+    fn step(&mut self) -> bool {
+        let round = self.cfg.batch.max(1) * self.cfg.workers as u64;
+        self.optimize(Budget::Iterations(round));
+        true
+    }
+
+    fn frontier(&self) -> Vec<PlanRef> {
+        ParRmq::frontier(self)
+    }
+}
+
+impl<M: CostModel + Clone + Send> PlanExchange for ParRmq<M> {
+    /// Warm-starts **every** worker with the given plans (each worker has
+    /// its own cache, so all of them benefit); returns the total absorbed
+    /// across workers.
+    fn absorb_plans(&mut self, plans: &[PlanRef]) -> usize {
+        self.workers
+            .iter_mut()
+            .map(|w| PlanExchange::absorb_plans(&mut w.rmq, plans))
+            .sum()
+    }
+
+    /// Exports the merged query frontier via the deterministic reduction
+    /// in **both** modes — in live mode the reduction covers the published
+    /// snapshot and additionally includes survivors workers found since
+    /// their last publish, so exports never trail the exchange period.
+    /// Unlike [`Rmq::export_plans`], partial plans of sub-queries are not
+    /// exported — the shared frontier only tracks full-query survivors.
+    fn export_plans(&self) -> Vec<PlanRef> {
+        self.reduced_frontier()
+    }
+
+    fn fan_out(&self) -> usize {
+        self.cfg.workers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqo_core::model::testing::StubModel;
+    use moqo_core::optimizer::{drive, NullObserver};
+
+    fn model(n: usize) -> StubModel {
+        StubModel::line(n, 2, 7)
+    }
+
+    #[test]
+    fn iteration_budget_is_exact_across_workers() {
+        for deterministic in [false, true] {
+            let mut cfg = ParRmqConfig::seeded(3, 3);
+            cfg.deterministic = deterministic;
+            let mut par = ParRmq::new(model(6), TableSet::prefix(6), cfg);
+            let stats = par.optimize(Budget::Iterations(31));
+            assert_eq!(stats.iterations, 31, "det={deterministic}");
+            assert_eq!(stats.per_worker.len(), 3);
+            assert_eq!(stats.per_worker.iter().sum::<u64>(), 31);
+            if deterministic {
+                // Static split: 31 = 11 + 10 + 10.
+                assert_eq!(stats.per_worker, vec![11, 10, 10]);
+            }
+            assert!(!par.frontier().is_empty());
+        }
+    }
+
+    #[test]
+    fn single_worker_deterministic_mode_matches_sequential_rmq() {
+        let m = model(6);
+        let cfg = ParRmqConfig::seeded(9, 1).deterministic();
+        let mut par = ParRmq::new(&m, TableSet::prefix(6), cfg);
+        par.optimize(Budget::Iterations(20));
+        let mut seq = Rmq::new(&m, TableSet::prefix(6), RmqConfig::seeded(9));
+        for _ in 0..20 {
+            seq.iterate();
+        }
+        let par_rendered: Vec<String> = par.frontier().iter().map(|p| p.display(&m)).collect();
+        let seq_rendered: Vec<String> = seq.frontier().iter().map(|p| p.display(&m)).collect();
+        assert_eq!(par_rendered, seq_rendered);
+    }
+
+    #[test]
+    fn live_mode_exchanges_plans_through_the_shared_frontier() {
+        let mut cfg = ParRmqConfig::seeded(5, 4);
+        cfg.exchange_period = 2;
+        let mut par = ParRmq::new(model(7), TableSet::prefix(7), cfg);
+        par.optimize(Budget::Iterations(60));
+        let ex = par.exchange_stats();
+        assert!(ex.publishes > 0, "workers must publish");
+        assert!(ex.merged > 0, "someone's survivors must merge");
+        assert!(ex.epochs > 0);
+        assert!(ex.arena_nodes > 0);
+        let frontier = par.frontier();
+        assert!(!frontier.is_empty());
+        for p in &frontier {
+            assert!(p.validate(TableSet::prefix(7)).is_ok());
+        }
+        // The snapshot equals the epoch the stats report.
+        assert_eq!(par.epoch(), ex.epochs);
+    }
+
+    #[test]
+    fn optimizer_trait_steps_in_rounds() {
+        let mut cfg = ParRmqConfig::seeded(2, 2);
+        cfg.batch = 5;
+        let mut par = ParRmq::new(model(6), TableSet::prefix(6), cfg);
+        let stats = drive(&mut par, Budget::Iterations(3), &mut NullObserver);
+        assert_eq!(stats.steps, 3);
+        assert_eq!(par.worker_iterations().iter().sum::<u64>(), 3 * 2 * 5);
+        assert_eq!(par.rounds(), 3);
+        assert_eq!(par.name(), "ParRMQ");
+        assert!(!Optimizer::frontier(&par).is_empty());
+    }
+
+    #[test]
+    fn plan_exchange_fans_out_and_reports_width() {
+        let m = model(6);
+        let mut donor = Rmq::new(&m, TableSet::prefix(6), RmqConfig::seeded(1));
+        for _ in 0..10 {
+            donor.iterate();
+        }
+        let exported = PlanExchange::export_plans(&donor);
+        let mut par = ParRmq::new(&m, TableSet::prefix(6), ParRmqConfig::seeded(8, 3));
+        assert_eq!(par.fan_out(), 3);
+        let absorbed = PlanExchange::absorb_plans(&mut par, &exported);
+        assert!(
+            absorbed > 0,
+            "every worker should absorb overlapping partial plans"
+        );
+        par.optimize(Budget::Iterations(12));
+        assert!(!PlanExchange::export_plans(&par).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let cfg = ParRmqConfig {
+            workers: 0,
+            ..ParRmqConfig::default()
+        };
+        let _ = ParRmq::new(model(3), TableSet::prefix(3), cfg);
+    }
+}

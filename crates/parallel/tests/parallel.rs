@@ -1,0 +1,238 @@
+//! Integration tests of the parallel optimizer: the deterministic-reduction
+//! contract (differential against literally-sequential reference runs),
+//! seed-determinism pins, and deadline enforcement across threads.
+
+use std::time::{Duration, Instant};
+
+use moqo_core::model::testing::StubModel;
+use moqo_core::optimizer::Budget;
+use moqo_core::pareto::ParetoSet;
+use moqo_core::plan::PlanRef;
+use moqo_core::rmq::{Rmq, RmqConfig};
+use moqo_core::tables::TableSet;
+use moqo_parallel::{ParRmq, ParRmqConfig};
+use proptest::prelude::*;
+
+/// The reference reduction: run `workers` *sequential* RMQ instances with
+/// the derived per-worker seeds and iteration splits, then unite their
+/// frontiers in worker order through exact `SigBetter` pruning — the
+/// "sequential union of the per-worker runs" the deterministic mode must
+/// reproduce bit-identically.
+fn sequential_union(
+    model: &StubModel,
+    query: TableSet,
+    seed: u64,
+    workers: usize,
+    total_iters: u64,
+) -> Vec<PlanRef> {
+    let mut union: ParetoSet<PlanRef> = ParetoSet::new();
+    for w in 0..workers as u64 {
+        let iters = total_iters / workers as u64 + u64::from(w < total_iters % workers as u64);
+        let mut rmq = Rmq::new(model, query, RmqConfig::seeded(seed ^ w));
+        for _ in 0..iters {
+            rmq.iterate();
+        }
+        for plan in rmq.frontier() {
+            union.insert_approx(plan, 1.0);
+        }
+    }
+    union.into_plans()
+}
+
+/// Renders a frontier as `(algebra string, exact cost bits)` pairs — the
+/// bit-identity relation of the deterministic contract.
+fn rendered(model: &StubModel, plans: &[PlanRef]) -> Vec<(String, Vec<u64>)> {
+    plans
+        .iter()
+        .map(|p| {
+            (
+                p.display(model),
+                p.cost().as_slice().iter().map(|c| c.to_bits()).collect(),
+            )
+        })
+        .collect()
+}
+
+fn det_frontier(
+    model: &StubModel,
+    query: TableSet,
+    seed: u64,
+    workers: usize,
+    total_iters: u64,
+) -> Vec<PlanRef> {
+    let cfg = ParRmqConfig::seeded(seed, workers).deterministic();
+    let mut par = ParRmq::new(model.clone(), query, cfg);
+    let stats = par.optimize(Budget::Iterations(total_iters));
+    assert_eq!(stats.iterations, total_iters);
+    par.frontier()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Differential: the parallel merged frontier in deterministic mode
+    /// equals the sequential `ParetoSet` union — same survivors, same
+    /// costs, same order — across seeds, query sizes, and 2–8 workers.
+    #[test]
+    fn deterministic_mode_equals_sequential_union(
+        seed in 0u64..1000,
+        tables in 3usize..8,
+        workers in 2usize..=8,
+        iters in 4u64..16,
+    ) {
+        let model = StubModel::line(tables, 2, 17);
+        let query = TableSet::prefix(tables);
+        let par = det_frontier(&model, query, seed, workers, iters);
+        let reference = sequential_union(&model, query, seed, workers, iters);
+        prop_assert_eq!(rendered(&model, &par), rendered(&model, &reference));
+    }
+}
+
+#[test]
+fn deterministic_frontiers_are_pinned_across_seeds_and_sizes() {
+    // Seed-determinism pins, mirroring the arena-vs-legacy pins in
+    // `moqo-core`: 3 seeds × 2 query sizes, 3 workers. Each deterministic
+    // frontier must (a) be bit-identical to the sequential union and
+    // (b) reproduce bit-identically on a second run — thread scheduling
+    // must leave no trace.
+    for tables in [6usize, 9] {
+        for seed in [1u64, 2, 3] {
+            let model = StubModel::line(tables, 2, 17);
+            let query = TableSet::prefix(tables);
+            let first = det_frontier(&model, query, seed, 3, 18);
+            let second = det_frontier(&model, query, seed, 3, 18);
+            assert_eq!(
+                rendered(&model, &first),
+                rendered(&model, &second),
+                "rerun diverged (n={tables}, seed={seed})"
+            );
+            let reference = sequential_union(&model, query, seed, 3, 18);
+            assert_eq!(
+                rendered(&model, &first),
+                rendered(&model, &reference),
+                "sequential union diverged (n={tables}, seed={seed})"
+            );
+            assert!(!first.is_empty());
+        }
+    }
+}
+
+#[test]
+fn deterministic_mode_is_step_granularity_invariant() {
+    // Driving the optimizer in rounds (the service's slicing) must land on
+    // the same frontier as one shot, as long as total per-worker
+    // iterations match: 3 rounds × (2 workers × 4 batch) == 24 one-shot.
+    let model = StubModel::line(6, 2, 17);
+    let query = TableSet::prefix(6);
+    let mut cfg = ParRmqConfig::seeded(5, 2).deterministic();
+    cfg.batch = 4;
+    let mut stepped = ParRmq::new(model.clone(), query, cfg);
+    for _ in 0..3 {
+        use moqo_core::optimizer::Optimizer;
+        stepped.step();
+    }
+    let one_shot = det_frontier(&model, query, 5, 2, 24);
+    assert_eq!(
+        rendered(&model, &stepped.frontier()),
+        rendered(&model, &one_shot)
+    );
+}
+
+#[test]
+fn live_mode_frontier_is_valid_and_exchange_converges_workers() {
+    // Live mode gives up bit-reproducibility for exchange; the invariants
+    // that must survive: every published plan is valid, the global frontier
+    // is mutually non-dominated per format, and absorbed plans show up in
+    // worker caches (the island-migration effect).
+    let model = StubModel::line(8, 2, 11);
+    let query = TableSet::prefix(8);
+    let mut cfg = ParRmqConfig::seeded(21, 4);
+    cfg.exchange_period = 3;
+    let mut par = ParRmq::new(model.clone(), query, cfg);
+    par.optimize(Budget::Iterations(80));
+    let frontier = par.frontier();
+    assert!(!frontier.is_empty());
+    for p in &frontier {
+        assert!(p.validate(query).is_ok());
+    }
+    for a in &frontier {
+        for b in &frontier {
+            if !std::sync::Arc::ptr_eq(a, b) && a.same_output(b) {
+                assert!(!a.cost().strictly_dominates(b.cost()));
+            }
+        }
+    }
+    let ex = par.exchange_stats();
+    assert!(ex.publishes >= 4, "every worker publishes at least once");
+    assert!(ex.merged > 0);
+    // The reduced frontier (which includes unpublished survivors) covers
+    // the published snapshot: nothing is lost by the final merge.
+    let reduced = par.reduced_frontier();
+    for p in &frontier {
+        assert!(
+            reduced
+                .iter()
+                .any(|r| r.cost().approx_dominates(p.cost(), 1.0 + 1e-9)),
+            "reduction lost coverage of a published plan"
+        );
+    }
+}
+
+#[test]
+fn deadline_overruns_are_bounded_on_eight_workers() {
+    // The deadline satellite: a 50 ms deadline on 8 threads must never run
+    // more than 2× over, because every climber checks the shared stop flag
+    // once per climb step. Query size is chosen so individual climb steps
+    // are far below the margin even on a loaded single-core CI box.
+    let model = StubModel::line(10, 2, 3);
+    let query = TableSet::prefix(10);
+    let deadline = Duration::from_millis(50);
+    let mut par = ParRmq::new(model, query, ParRmqConfig::seeded(7, 8));
+    let started = Instant::now();
+    let stats = par.optimize(Budget::Deadline(started + deadline));
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed <= deadline * 2,
+        "50 ms deadline ran {}ms (> 2x) on 8 workers",
+        elapsed.as_millis()
+    );
+    assert!(stats.iterations > 0, "some iterations must complete");
+    assert!(!par.frontier().is_empty());
+}
+
+#[test]
+fn time_budget_counts_from_call_entry() {
+    let model = StubModel::line(8, 2, 5);
+    let query = TableSet::prefix(8);
+    let mut par = ParRmq::new(model, query, ParRmqConfig::seeded(1, 2));
+    let started = Instant::now();
+    par.optimize(Budget::Time(Duration::from_millis(30)));
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(5),
+        "budget ended too early"
+    );
+    assert!(elapsed <= Duration::from_millis(300), "budget ran far over");
+}
+
+#[test]
+fn stop_handle_cancels_a_long_deadline_promptly() {
+    // Raise the flag from another thread mid-run: the workers must wind
+    // down long before the (distant) deadline.
+    let model = StubModel::line(9, 2, 13);
+    let query = TableSet::prefix(9);
+    let mut par = ParRmq::new(model, query, ParRmqConfig::seeded(4, 4));
+    let flag = par.stop_handle();
+    let started = Instant::now();
+    let canceller = std::thread::spawn(move || {
+        // Arm well after optimize() has started (and cleared the flag).
+        std::thread::sleep(Duration::from_millis(40));
+        flag.stop();
+    });
+    par.optimize(Budget::Deadline(started + Duration::from_secs(30)));
+    canceller.join().unwrap();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "stop() must end the run long before the deadline"
+    );
+}

@@ -16,12 +16,21 @@ pub struct AdmissionConfig {
     /// Maximum number of live (admitted, unfinished) sessions. Submissions
     /// beyond this are rejected with [`AdmissionError::QueueFull`].
     pub max_live_sessions: usize,
+    /// Maximum total **worker slots** held by live sessions. A sequential
+    /// session holds one slot; a fanned-out session (intra-query parallel
+    /// optimization, `PlanExchange::fan_out() > 1`) holds one per worker
+    /// thread it will run. Submissions that would exceed the bound are
+    /// rejected with [`AdmissionError::NoWorkerSlots`] — so a handful of
+    /// wide sessions cannot oversubscribe the machine that the pool and
+    /// the other sessions share.
+    pub max_worker_slots: usize,
 }
 
 impl Default for AdmissionConfig {
     fn default() -> Self {
         AdmissionConfig {
             max_live_sessions: 64,
+            max_worker_slots: 256,
         }
     }
 }
@@ -36,6 +45,16 @@ pub enum AdmissionError {
         /// The configured bound.
         limit: usize,
     },
+    /// The worker-slot bound would be exceeded by this session's fan-out;
+    /// retry after wide sessions finish (or submit with fewer workers).
+    NoWorkerSlots {
+        /// Worker slots held by live sessions at rejection time.
+        in_use: usize,
+        /// Slots the rejected session requested (its fan-out).
+        requested: usize,
+        /// The configured bound.
+        limit: usize,
+    },
     /// The service is shutting down and no longer accepts sessions.
     ShuttingDown,
 }
@@ -46,6 +65,14 @@ impl fmt::Display for AdmissionError {
             AdmissionError::QueueFull { live, limit } => {
                 write!(f, "admission queue full ({live}/{limit} live sessions)")
             }
+            AdmissionError::NoWorkerSlots {
+                in_use,
+                requested,
+                limit,
+            } => write!(
+                f,
+                "worker slots exhausted ({in_use}/{limit} in use, {requested} requested)"
+            ),
             AdmissionError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }

@@ -19,7 +19,10 @@
 //!   overlapping queries (the cross-query extension of the paper's §4.3
 //!   plan sharing; cf. optd's persisted re-optimization state).
 //! * **Admission control** ([`AdmissionConfig`], [`AdmissionError`]) — a
-//!   bounded live-session queue that rejects rather than backlogs.
+//!   bounded live-session queue that rejects rather than backlogs, with
+//!   **worker-slot accounting** for sessions that fan a single query out
+//!   over several intra-query threads (`moqo-parallel`'s `ParRmq`; see
+//!   [`PlanExchange::fan_out`]).
 //! * **Service statistics** ([`ServiceStats`]) — throughput, p50/p99
 //!   time-to-first-frontier, cache hit rate.
 //!
@@ -71,72 +74,26 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use moqo_core::model::CostModel;
-use moqo_core::optimizer::{Budget, Optimizer};
-use moqo_core::plan::PlanRef;
-use moqo_core::rmq::Rmq;
+use moqo_core::optimizer::Budget;
 use moqo_core::tables::TableSet;
 
 use scheduler::{finalize, worker_loop, ActiveSession, RemainingBudget, SchedState, ServiceCore};
 use session::SessionShared;
 
-/// An optimizer the service can schedule: anytime ([`Optimizer`]),
-/// movable across worker threads (`Send`), and optionally able to exchange
-/// partial plans with the cross-query cache.
+/// The exchange seam the service schedules: anytime, `Send`, optionally
+/// able to exchange partial plans with the cross-query cache, and
+/// reporting its intra-query fan-out for admission accounting.
 ///
-/// The exchange hooks default to no-ops so any `Optimizer + Send` can be
-/// served (wrap it in [`NoExchange`]); [`Rmq`] implements them natively
-/// through its partial-plan cache.
-pub trait ServiceOptimizer: Optimizer + Send {
-    /// Absorbs previously optimized partial plans (warm start). Returns
-    /// how many plans were actually incorporated.
-    fn absorb_plans(&mut self, plans: &[PlanRef]) -> usize {
-        let _ = plans;
-        0
-    }
-
-    /// Exports partial plans for reuse by future overlapping sessions.
-    fn export_plans(&self) -> Vec<PlanRef> {
-        Vec::new()
-    }
-}
-
-impl<M: CostModel + Send> ServiceOptimizer for Rmq<M> {
-    fn absorb_plans(&mut self, plans: &[PlanRef]) -> usize {
-        // Guard against foreign cost dimensions: a mis-keyed context would
-        // otherwise corrupt the cache's Pareto invariant.
-        let dim = self.model().dim();
-        self.warm_start(plans.iter().filter(|p| p.cost().dim() == dim).cloned())
-    }
-
-    fn export_plans(&self) -> Vec<PlanRef> {
-        // Cached handles are PlanIds into the session arena; the cross-query
-        // cache speaks `Arc<Plan>`, so export at the boundary (memoized).
-        let mut out = Vec::new();
-        for (_, plans) in self.cache().entries() {
-            out.extend(plans.iter().map(|&id| self.arena().export(id)));
-        }
-        out
-    }
-}
-
-/// Adapter serving any `Optimizer + Send` without cross-query plan
-/// exchange (e.g. the NSGA-II / SA / II baselines).
-pub struct NoExchange<T: Optimizer + Send>(pub T);
-
-impl<T: Optimizer + Send> Optimizer for NoExchange<T> {
-    fn name(&self) -> &str {
-        self.0.name()
-    }
-    fn step(&mut self) -> bool {
-        self.0.step()
-    }
-    fn frontier(&self) -> Vec<PlanRef> {
-        self.0.frontier()
-    }
-}
-
-impl<T: Optimizer + Send> ServiceOptimizer for NoExchange<T> {}
+/// This is `moqo-core`'s [`PlanExchange`] trait, re-exported: the same
+/// seam the intra-query shared frontier of `moqo-parallel` speaks (it
+/// replaced the old `NoExchange<T>` placeholder adapter — the default
+/// no-op hooks make a wrapper unnecessary). [`Rmq`](moqo_core::rmq::Rmq)
+/// implements it natively through its partial-plan cache;
+/// `moqo-parallel`'s `ParRmq` implements it with `fan_out() > 1`, letting
+/// one session spread a single query across several worker threads while
+/// admission control accounts for the extra concurrency; the baseline
+/// optimizers implement it with the no-op defaults.
+pub use moqo_core::optimizer::PlanExchange;
 
 /// Derives a cache **context fingerprint** from a catalog fingerprint
 /// (`Catalog::fingerprint`) and a cost-model discriminator. Partial plans
@@ -155,8 +112,11 @@ pub fn context_fingerprint(catalog_fingerprint: u64, model_tag: &str) -> u64 {
 
 /// One optimization request.
 pub struct SessionRequest {
-    /// The session's optimizer, already bound to its model and query.
-    pub optimizer: Box<dyn ServiceOptimizer>,
+    /// The session's optimizer, already bound to its model and query. Its
+    /// [`PlanExchange::fan_out`] declares how many intra-query worker
+    /// threads it will use while stepped (1 for sequential optimizers);
+    /// admission charges that many worker slots.
+    pub optimizer: Box<dyn PlanExchange>,
     /// Stopping criterion. `Budget::Time` counts from admission (queueing
     /// delay spends budget, like a request timeout); use
     /// `Budget::Deadline` for an absolute cutoff and
@@ -214,6 +174,7 @@ impl OptimizationService {
             sched: Mutex::new(SchedState {
                 ready: VecDeque::new(),
                 live: 0,
+                worker_slots: 0,
                 shutdown: false,
             }),
             sched_cond: Condvar::new(),
@@ -247,7 +208,12 @@ impl OptimizationService {
             query,
             context,
         } = request;
-        // Admission + live-slot reservation.
+        // Admission + live-session and worker-slot reservation. A session
+        // occupies one live slot and `fan_out` worker slots: a fanned-out
+        // session (e.g. ParRmq) runs that many intra-query threads while
+        // stepped, so the slot bound caps total worker concurrency the same
+        // way `max_live_sessions` caps session concurrency.
+        let fan_out = optimizer.fan_out().max(1);
         {
             let mut sched = self.core.sched.lock().unwrap();
             if sched.shutdown {
@@ -262,7 +228,19 @@ impl OptimizationService {
                 self.core.stats.record_rejected();
                 return Err(AdmissionError::QueueFull { live, limit });
             }
+            let slot_limit = self.core.config.admission.max_worker_slots;
+            if sched.worker_slots + fan_out > slot_limit {
+                let in_use = sched.worker_slots;
+                drop(sched);
+                self.core.stats.record_rejected();
+                return Err(AdmissionError::NoWorkerSlots {
+                    in_use,
+                    requested: fan_out,
+                    limit: slot_limit,
+                });
+            }
             sched.live += 1;
+            sched.worker_slots += fan_out;
         }
         // Warm start outside the scheduler lock: cache lookups and plan
         // absorption can be comparatively slow.
@@ -282,6 +260,7 @@ impl OptimizationService {
             shared: Arc::clone(&shared),
             context,
             last_sig: 0,
+            fan_out,
         };
         {
             let mut sched = self.core.sched.lock().unwrap();
@@ -289,6 +268,7 @@ impl OptimizationService {
                 // Shutdown raced in while we warm-started: undo the
                 // reservation and reject.
                 sched.live -= 1;
+                sched.worker_slots -= fan_out;
                 drop(sched);
                 self.core.stats.record_rejected();
                 return Err(AdmissionError::ShuttingDown);
@@ -296,14 +276,19 @@ impl OptimizationService {
             sched.ready.push_back(session);
         }
         self.core.sched_cond.notify_one();
-        self.core.stats.record_submitted();
+        self.core.stats.record_submitted(fan_out);
         Ok(SessionHandle { id, shared })
     }
 
     /// Current service statistics.
     pub fn stats(&self) -> ServiceStats {
-        let live = self.core.sched.lock().unwrap().live;
-        self.core.stats.snapshot(live, self.core.cache.stats())
+        let (live, worker_slots) = {
+            let sched = self.core.sched.lock().unwrap();
+            (sched.live, sched.worker_slots)
+        };
+        self.core
+            .stats
+            .snapshot(live, worker_slots, self.core.cache.stats())
     }
 
     /// Current cross-query cache counters.

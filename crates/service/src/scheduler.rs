@@ -24,7 +24,7 @@ use moqo_core::plan::PlanRef;
 use crate::cache::SharedPlanCache;
 use crate::session::{DoneReason, SessionShared, SessionStatus};
 use crate::stats::StatsCollector;
-use crate::{ServiceConfig, ServiceOptimizer};
+use crate::{PlanExchange, ServiceConfig};
 
 use std::hash::Hasher;
 use std::sync::Arc;
@@ -57,21 +57,27 @@ impl RemainingBudget {
 }
 
 /// A session owned by the scheduler (at most one worker holds it at a
-/// time, so the optimizer needs no internal synchronization).
+/// time, so the optimizer needs no internal synchronization — a fanned-out
+/// optimizer manages its own intra-step threads).
 pub(crate) struct ActiveSession {
-    pub optimizer: Box<dyn ServiceOptimizer>,
+    pub optimizer: Box<dyn PlanExchange>,
     pub remaining: RemainingBudget,
     pub shared: Arc<SessionShared>,
     pub context: u64,
     /// Signature of the last frontier reported to the session state, used
     /// to detect improvements cheaply.
     pub last_sig: u64,
+    /// Worker slots this session holds (its optimizer's fan-out), released
+    /// at finalization.
+    pub fan_out: usize,
 }
 
 /// Scheduler state behind the mutex.
 pub(crate) struct SchedState {
     pub ready: VecDeque<ActiveSession>,
     pub live: usize,
+    /// Worker slots held by live sessions (see `AdmissionConfig`).
+    pub worker_slots: usize,
     pub shutdown: bool,
 }
 
@@ -224,7 +230,11 @@ pub(crate) fn finalize(core: &ServiceCore, sess: ActiveSession, reason: DoneReas
     // `wait_done` must observe the completed counters.
     let aborted = matches!(reason, DoneReason::Cancelled | DoneReason::ServiceShutdown);
     core.stats.record_completed(steps, ttff, aborted);
-    core.sched.lock().unwrap().live -= 1;
+    {
+        let mut sched = core.sched.lock().unwrap();
+        sched.live -= 1;
+        sched.worker_slots -= sess.fan_out;
+    }
     sess.shared.state.lock().unwrap().status = SessionStatus::Done(reason);
     sess.shared.cond.notify_all();
 }

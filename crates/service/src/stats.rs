@@ -26,6 +26,14 @@ pub struct ServiceStats {
     pub cancelled: u64,
     /// Live sessions (admitted, not yet finished).
     pub live: usize,
+    /// Worker slots held by live sessions (each session holds its
+    /// optimizer's fan-out; sequential sessions hold one).
+    pub worker_slots: usize,
+    /// Admitted sessions that declared intra-query fan-out > 1.
+    pub multi_worker_sessions: u64,
+    /// Total worker slots requested by all admitted sessions (fan-out sum;
+    /// `fan_out_submitted / submitted` is the mean session width).
+    pub fan_out_submitted: u64,
     /// Total optimizer steps executed across all sessions.
     pub total_steps: u64,
     /// Completed sessions per second since service start.
@@ -48,6 +56,8 @@ const TTFF_SAMPLE_CAP: usize = 4096;
 
 struct StatsInner {
     submitted: u64,
+    multi_worker_sessions: u64,
+    fan_out_submitted: u64,
     rejected: u64,
     completed: u64,
     cancelled: u64,
@@ -69,6 +79,8 @@ impl StatsCollector {
             started: Instant::now(),
             inner: Mutex::new(StatsInner {
                 submitted: 0,
+                multi_worker_sessions: 0,
+                fan_out_submitted: 0,
                 rejected: 0,
                 completed: 0,
                 cancelled: 0,
@@ -79,8 +91,13 @@ impl StatsCollector {
         }
     }
 
-    pub(crate) fn record_submitted(&self) {
-        self.inner.lock().unwrap().submitted += 1;
+    pub(crate) fn record_submitted(&self, fan_out: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.submitted += 1;
+        inner.fan_out_submitted += fan_out as u64;
+        if fan_out > 1 {
+            inner.multi_worker_sessions += 1;
+        }
     }
 
     pub(crate) fn record_rejected(&self) {
@@ -105,7 +122,12 @@ impl StatsCollector {
         }
     }
 
-    pub(crate) fn snapshot(&self, live: usize, cache: CacheStats) -> ServiceStats {
+    pub(crate) fn snapshot(
+        &self,
+        live: usize,
+        worker_slots: usize,
+        cache: CacheStats,
+    ) -> ServiceStats {
         let inner = self.inner.lock().unwrap();
         let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
         let mut samples = inner.ttff_samples.clone();
@@ -116,6 +138,9 @@ impl StatsCollector {
             completed: inner.completed,
             cancelled: inner.cancelled,
             live,
+            worker_slots,
+            multi_worker_sessions: inner.multi_worker_sessions,
+            fan_out_submitted: inner.fan_out_submitted,
             total_steps: inner.total_steps,
             throughput_per_sec: inner.completed as f64 / elapsed,
             ttff_p50: percentile(&samples, 0.50),
@@ -168,13 +193,16 @@ mod tests {
     #[test]
     fn collector_aggregates() {
         let c = StatsCollector::new();
-        c.record_submitted();
-        c.record_submitted();
+        c.record_submitted(1);
+        c.record_submitted(4);
         c.record_rejected();
         c.record_completed(10, Some(Duration::from_millis(3)), false);
         c.record_completed(5, None, true);
-        let s = c.snapshot(1, CacheStats::default());
+        let s = c.snapshot(1, 4, CacheStats::default());
         assert_eq!(s.submitted, 2);
+        assert_eq!(s.multi_worker_sessions, 1);
+        assert_eq!(s.fan_out_submitted, 5);
+        assert_eq!(s.worker_slots, 4);
         assert_eq!(s.rejected, 1);
         assert_eq!(s.completed, 2);
         assert_eq!(s.cancelled, 1);

@@ -9,9 +9,9 @@ use moqo_core::model::testing::StubModel;
 use moqo_core::optimizer::Budget;
 use moqo_core::rmq::{Rmq, RmqConfig};
 use moqo_core::tables::TableSet;
+use moqo_parallel::{ParRmq, ParRmqConfig};
 use moqo_service::{
-    AdmissionError, DoneReason, NoExchange, OptimizationService, ServiceConfig, SessionRequest,
-    SessionStatus,
+    AdmissionError, DoneReason, OptimizationService, ServiceConfig, SessionRequest, SessionStatus,
 };
 
 /// Long enough that nothing times out under load, short enough to fail
@@ -196,11 +196,7 @@ fn exhausting_optimizers_finish_early() {
     let tables = TableSet::prefix(4);
     let handle = service
         .submit(SessionRequest {
-            optimizer: Box::new(NoExchange(DpOptimizer::new(
-                Arc::clone(&model),
-                tables,
-                1.0,
-            ))),
+            optimizer: Box::new(DpOptimizer::new(Arc::clone(&model), tables, 1.0)),
             budget: Budget::Iterations(u64::MAX),
             query: tables,
             context: 4,
@@ -221,6 +217,7 @@ fn admission_control_rejects_when_full() {
         workers: 0,
         admission: moqo_service::AdmissionConfig {
             max_live_sessions: 3,
+            ..Default::default()
         },
         ..ServiceConfig::default()
     });
@@ -382,9 +379,89 @@ fn streaming_updates_yield_monotone_epochs_and_end_at_completion() {
 #[test]
 fn service_optimizer_trait_objects_are_send() {
     fn assert_send<T: Send>() {}
-    assert_send::<Box<dyn moqo_service::ServiceOptimizer>>();
+    assert_send::<Box<dyn moqo_service::PlanExchange>>();
     assert_send::<Rmq<Arc<StubModel>>>();
     assert_send::<moqo_service::SessionHandle>();
+}
+
+#[test]
+fn fanned_out_sessions_run_through_the_service() {
+    // A ParRmq session is scheduled like any other optimizer: one pool
+    // worker steps it, and each step fans out over its own intra-query
+    // threads. Iteration budgets stay exact (counted in rounds).
+    let service = service(2);
+    let model = Arc::new(StubModel::line(7, 2, 17));
+    let tables = TableSet::prefix(7);
+    let mut cfg = ParRmqConfig::seeded(3, 2);
+    cfg.batch = 4;
+    let par = ParRmq::new(Arc::clone(&model), tables, cfg);
+    let handle = service
+        .submit(SessionRequest {
+            optimizer: Box::new(par),
+            budget: Budget::Iterations(6), // 6 rounds × (2 workers × 4 batch)
+            query: tables,
+            context: 31,
+        })
+        .expect("admitted");
+    // While live, the session holds its fan-out in worker slots.
+    let done = handle.wait_done(WAIT).expect("completes");
+    assert_eq!(
+        done.status,
+        SessionStatus::Done(DoneReason::BudgetExhausted)
+    );
+    assert_eq!(done.steps, 6);
+    assert!(!done.plans.is_empty());
+    for p in &done.plans {
+        assert!(p.validate(tables).is_ok());
+    }
+    let stats = service.stats();
+    assert_eq!(stats.multi_worker_sessions, 1);
+    assert_eq!(stats.fan_out_submitted, 2);
+    assert_eq!(stats.worker_slots, 0, "slots released at completion");
+}
+
+#[test]
+fn worker_slot_admission_rejects_oversubscription() {
+    // workers: 0 — sessions stay queued, so slot accounting is exact.
+    let service = OptimizationService::new(ServiceConfig {
+        workers: 0,
+        admission: moqo_service::AdmissionConfig {
+            max_live_sessions: 64,
+            max_worker_slots: 5,
+        },
+        ..ServiceConfig::default()
+    });
+    let model = Arc::new(StubModel::line(5, 2, 1));
+    let tables = TableSet::prefix(5);
+    let wide = |w: usize| SessionRequest {
+        optimizer: Box::new(ParRmq::new(
+            Arc::clone(&model),
+            tables,
+            ParRmqConfig::seeded(1, w),
+        )),
+        budget: Budget::Iterations(1),
+        query: tables,
+        context: 32,
+    };
+    service.submit(wide(4)).expect("4 of 5 slots");
+    assert_eq!(service.stats().worker_slots, 4);
+    // A 2-wide session no longer fits, but a sequential one does.
+    let err = service.submit(wide(2)).expect_err("would need 6 slots");
+    assert_eq!(
+        err,
+        AdmissionError::NoWorkerSlots {
+            in_use: 4,
+            requested: 2,
+            limit: 5
+        }
+    );
+    service
+        .submit(rmq_request(&model, tables, 9, Budget::Iterations(1), 32))
+        .expect("sequential session fits the last slot");
+    let stats = service.stats();
+    assert_eq!(stats.worker_slots, 5);
+    assert_eq!(stats.rejected, 1);
+    service.shutdown();
 }
 
 #[test]

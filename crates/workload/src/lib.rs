@@ -275,6 +275,46 @@ impl TrafficSpec {
             .collect();
         (catalog, queries)
     }
+
+    /// Like [`TrafficSpec::generate`], but tags every `every`-th session
+    /// (1-based; `0` disables tagging) as **latency-critical** with the
+    /// given intra-query fan-out — modeling the mixed traffic a serving
+    /// system sees, where most queries optimize sequentially but a few
+    /// must spread one query across `width` worker threads
+    /// (`moqo-parallel`'s `ParRmq`). The query stream is identical to
+    /// `generate`'s for the same seed; only the hints differ.
+    pub fn generate_with_fan_out(
+        &self,
+        every: usize,
+        width: usize,
+    ) -> (Arc<Catalog>, Vec<SessionPlan>) {
+        assert!(width >= 1, "fan-out width must be at least 1");
+        let (catalog, queries) = self.generate();
+        let sessions = queries
+            .into_iter()
+            .enumerate()
+            .map(|(i, query)| SessionPlan {
+                query,
+                fan_out: if every > 0 && (i + 1) % every == 0 {
+                    width
+                } else {
+                    1
+                },
+            })
+            .collect();
+        (catalog, sessions)
+    }
+}
+
+/// One session of a generated traffic stream: the query plus execution
+/// hints for the serving layer (see [`TrafficSpec::generate_with_fan_out`]).
+#[derive(Clone, Debug)]
+pub struct SessionPlan {
+    /// The query to optimize.
+    pub query: Query,
+    /// Intra-query worker threads the session should fan out over
+    /// (1 = sequential).
+    pub fan_out: usize,
 }
 
 /// Draws a connected `target`-table subset of the catalog's join graph by
@@ -465,6 +505,22 @@ mod tests {
                 assert!(catalog.is_connected(q.tables()), "disconnected query");
             }
         }
+    }
+
+    #[test]
+    fn fan_out_tagging_is_periodic_and_leaves_queries_unchanged() {
+        let spec = TrafficSpec::chain(10, 9, 5);
+        let (_, plain) = spec.generate();
+        let (_, sessions) = spec.generate_with_fan_out(3, 4);
+        assert_eq!(sessions.len(), 9);
+        for (i, s) in sessions.iter().enumerate() {
+            assert_eq!(s.query, plain[i], "hints must not perturb the stream");
+            let expected = if (i + 1) % 3 == 0 { 4 } else { 1 };
+            assert_eq!(s.fan_out, expected, "session {i}");
+        }
+        // every = 0 disables tagging entirely.
+        let (_, all_seq) = spec.generate_with_fan_out(0, 4);
+        assert!(all_seq.iter().all(|s| s.fan_out == 1));
     }
 
     #[test]
