@@ -184,6 +184,22 @@ fn main() {
         )
     });
 
+    // Host parallelism (schema v4): a mismatch only warns — timing fields
+    // are machine-relative anyway, but cross-core-count comparisons are
+    // worth flagging because thread-scaling numbers shift with the host.
+    if let (Some(bp), Some(cp)) = (
+        f64_field(&base, "host_parallelism"),
+        f64_field(&cand, "host_parallelism"),
+    ) {
+        if bp != cp {
+            eprintln!(
+                "bench_diff: warning — baseline generated on a host with \
+                 {bp} hardware threads, candidate on {cp}; timing and \
+                 thread-scaling fields are not directly comparable"
+            );
+        }
+    }
+
     // Structural: the build kernel's interning stats are deterministic
     // (fixed seeds, fixed workload), so the arena block must match exactly.
     match (base.get("arena"), cand.get("arena")) {
@@ -287,6 +303,56 @@ fn main() {
     if !par(&base).is_empty() && par(&cand).is_empty() {
         gate.violations
             .push("candidate dropped the `par_rmq` section".to_string());
+    }
+
+    // Structural (schema v4): the observability counter deltas of every
+    // baseline RMQ fixture are deterministic — drift means the screening
+    // or interning *behavior* of the hot path changed, not just its speed.
+    let obs = |v: &Value| {
+        v.get("obs")
+            .and_then(Value::as_array)
+            .cloned()
+            .unwrap_or_default()
+    };
+    for b in &obs(&base) {
+        let tables = f64_field(b, "tables").unwrap_or(-1.0);
+        let seed = f64_field(b, "seed").unwrap_or(-1.0);
+        let tag = format!("obs(tables={tables}, seed={seed})");
+        let Some(c) = obs(&cand)
+            .into_iter()
+            .find(|c| f64_field(c, "tables") == Some(tables) && f64_field(c, "seed") == Some(seed))
+        else {
+            gate.violations
+                .push(format!("{tag}: missing from candidate"));
+            continue;
+        };
+        for key in [
+            "iterations",
+            "climb_candidates",
+            "climb_agg_key_skips",
+            "climb_dominance_tests",
+            "climb_rejected",
+            "climb_admitted",
+            "climb_evicted",
+            "arena_interns",
+            "arena_dedup_hits",
+        ] {
+            match (f64_field(b, key), f64_field(&c, key)) {
+                (Some(bv), Some(cv)) => gate.check(structural_eq(bv, cv), || {
+                    format!(
+                        "{tag}: structural field `{key}` drifted: baseline {bv} vs candidate {cv}"
+                    )
+                }),
+                (Some(_), None) => gate
+                    .violations
+                    .push(format!("{tag}: candidate dropped structural field `{key}`")),
+                _ => {}
+            }
+        }
+    }
+    if !obs(&base).is_empty() && obs(&cand).is_empty() {
+        gate.violations
+            .push("candidate dropped the `obs` section".to_string());
     }
 
     if !skip_timing {

@@ -47,13 +47,21 @@ use rand::SeedableRng;
 /// thread count, live-mode iters/s + frontier hypervolume + exchange
 /// overhead counters, and deterministic-mode structural fields (gated
 /// bit-for-bit by `bench_diff`).
-const SCHEMA_VERSION: u32 = 3;
+/// v4 (additive over v3): the top-level `host_parallelism` field
+/// (`bench_diff` warns when baselines from different core counts are
+/// compared) and the `obs` section — per-RMQ-fixture observability
+/// counter deltas (climb-stage screening, arena interning), deterministic
+/// and gated bit-for-bit by `bench_diff`.
+const SCHEMA_VERSION: u32 = 4;
 
 #[derive(Serialize)]
 struct Baseline {
     schema_version: u32,
     /// "quick" (CI smoke) or "full" (checked-in baseline).
     mode: String,
+    /// `available_parallelism` of the generating host (schema v4): timing
+    /// fields are only comparable between runs on similar core counts.
+    host_parallelism: usize,
     /// Kernel micro-measurements (nanoseconds per operation).
     micro: Vec<MicroResult>,
     /// Bucketed-vs-linear speedup ratios derived from `micro`
@@ -65,6 +73,37 @@ struct Baseline {
     rmq: Vec<RmqResult>,
     /// Intra-query thread-scaling runs of `ParRmq` (schema v3).
     par_rmq: Vec<ParRmqResult>,
+    /// Observability counter deltas per RMQ fixture (schema v4): the
+    /// global `moqo-obs` registry sampled immediately before/after each
+    /// (sequential, fixed-seed) `rmq` run, so the deltas are exact and
+    /// deterministic — drift means hot-path *behavior* changed.
+    obs: Vec<ObsFixture>,
+}
+
+/// Deterministic observability counter deltas of one RMQ fixture
+/// (schema v4; every field gated bit-for-bit by `bench_diff`).
+#[derive(Serialize)]
+struct ObsFixture {
+    tables: usize,
+    seed: u64,
+    /// `rmq.iterations` delta (== the fixture's iteration budget).
+    iterations: u64,
+    /// Candidates generated and screened (`climb.candidates`).
+    climb_candidates: u64,
+    /// Rejections short-circuited by the aggregate-key band.
+    climb_agg_key_skips: u64,
+    /// Full component-wise dominance comparisons run.
+    climb_dominance_tests: u64,
+    /// Candidates rejected by dominance screening.
+    climb_rejected: u64,
+    /// Candidates admitted to a frontier.
+    climb_admitted: u64,
+    /// Incumbents evicted by admitted candidates.
+    climb_evicted: u64,
+    /// Plan-arena intern misses (fresh nodes).
+    arena_interns: u64,
+    /// Plan-arena intern hits (structural dedup).
+    arena_dedup_hits: u64,
 }
 
 #[derive(Serialize)]
@@ -421,16 +460,18 @@ fn run_micro(quick: bool) -> (Vec<MicroResult>, Speedups, ArenaReport) {
     (out, speedups, arena_report)
 }
 
-fn run_rmq(quick: bool) -> Vec<RmqResult> {
+fn run_rmq(quick: bool) -> (Vec<RmqResult>, Vec<ObsFixture>) {
     let configs: &[(usize, u64)] = if quick {
         &[(15, 40)]
     } else {
         &[(20, 200), (30, 100)]
     };
     let mut results = Vec::new();
+    let mut obs_fixtures = Vec::new();
     for &(tables, iterations) in configs {
         let (model, query) = resource_model(tables);
         let seed = 42u64;
+        let obs_before = moqo_obs::ObsSnapshot::capture();
         let mut rmq = Rmq::new(&model, query, RmqConfig::seeded(seed));
         let mut checkpoints = Vec::new();
         let marks: Vec<u64> = [10u64, 25, 50, 100, 200]
@@ -449,6 +490,23 @@ fn run_rmq(quick: bool) -> Vec<RmqResult> {
             }
         }
         checkpoints.dedup_by_key(|c| c.iterations);
+        // This run is sequential and only `Rmq::iterate` flushes climb and
+        // arena counters, so the registry delta around it is exact.
+        let obs_after = moqo_obs::ObsSnapshot::capture();
+        let delta = |name: &str| obs_after.counter(name) - obs_before.counter(name);
+        obs_fixtures.push(ObsFixture {
+            tables,
+            seed,
+            iterations: delta("rmq.iterations"),
+            climb_candidates: delta("climb.candidates"),
+            climb_agg_key_skips: delta("climb.agg_key_skips"),
+            climb_dominance_tests: delta("climb.dominance_tests"),
+            climb_rejected: delta("climb.rejected"),
+            climb_admitted: delta("climb.admitted"),
+            climb_evicted: delta("climb.evicted"),
+            arena_interns: delta("arena.interns"),
+            arena_dedup_hits: delta("arena.dedup_hits"),
+        });
         results.push(RmqResult {
             tables,
             metrics: 2,
@@ -461,7 +519,7 @@ fn run_rmq(quick: bool) -> Vec<RmqResult> {
             arena_dedup_rate: rmq.arena().stats().dedup_rate(),
         });
     }
-    results
+    (results, obs_fixtures)
 }
 
 /// Runs the `ParRmq` thread-scaling kernels on the standard bench fixture:
@@ -587,7 +645,7 @@ fn main() {
         arena.nodes,
         arena.dedup_rate * 100.0
     );
-    let rmq = run_rmq(quick);
+    let (rmq, obs) = run_rmq(quick);
     for r in &rmq {
         let last = r.checkpoints.last().expect("at least one checkpoint");
         eprintln!(
@@ -598,6 +656,21 @@ fn main() {
             last.iterations as f64 / (last.elapsed_ms / 1e3),
             last.frontier_size,
             r.cache_plans
+        );
+    }
+    for o in &obs {
+        eprintln!(
+            "  obs n={:<3} {} candidates: {} agg-key skips, {} dominance tests, \
+             {} rejected, {} admitted, {} evicted; arena {} interns / {} dedup hits",
+            o.tables,
+            o.climb_candidates,
+            o.climb_agg_key_skips,
+            o.climb_dominance_tests,
+            o.climb_rejected,
+            o.climb_admitted,
+            o.climb_evicted,
+            o.arena_interns,
+            o.arena_dedup_hits,
         );
     }
     let par_rmq = run_par_rmq(quick);
@@ -619,11 +692,13 @@ fn main() {
     let baseline = Baseline {
         schema_version: SCHEMA_VERSION,
         mode: if quick { "quick" } else { "full" }.to_string(),
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         micro,
         speedups,
         arena,
         rmq,
         par_rmq,
+        obs,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
     std::fs::write(&out_path, json + "\n").unwrap_or_else(|e| {

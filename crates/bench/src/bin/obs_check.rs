@@ -1,0 +1,140 @@
+//! Validates a telemetry snapshot emitted by `serve --obs-json` (or any
+//! `moqo_obs::ObsSnapshot::to_json` output): well-formed JSON, the
+//! expected schema version, the registry's counter/histogram layout, and
+//! — when counters are required — nonzero activity on the named seams.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p moqo-bench --bin obs_check -- FILE \
+//!     [--require COUNTER]... [--events-min N]
+//! ```
+//!
+//! Exit 0 when the snapshot is valid, 1 with one line per violation
+//! otherwise. CI's `bench-smoke` job runs it against the snapshot a short
+//! `serve --obs-json` replay produced, requiring the optimizer, exchange,
+//! and service seams to have recorded activity.
+
+use serde_json::Value;
+
+/// Schema version `ObsSnapshot::to_json` emits (see `moqo-obs`).
+const OBS_SCHEMA: u64 = 1;
+
+fn main() {
+    let mut path = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut events_min: u64 = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} requires an argument");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--require" => required.push(take("--require")),
+            "--events-min" => {
+                events_min = take("--events-min").parse().unwrap_or_else(|_| {
+                    eprintln!("--events-min must be a number");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                println!("usage: obs_check FILE [--require COUNTER]... [--events-min N]");
+                return;
+            }
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("obs_check: a snapshot FILE is required (see --help)");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let snap: Value = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("obs_check: {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+
+    let mut violations: Vec<String> = Vec::new();
+
+    if snap.get("schema").and_then(Value::as_u64) != Some(OBS_SCHEMA) {
+        violations.push(format!(
+            "schema must be {OBS_SCHEMA}, got {:?}",
+            snap.get("schema")
+        ));
+    }
+    let counters = snap.get("counters").and_then(Value::as_object);
+    match counters {
+        None => violations.push("missing `counters` object".to_string()),
+        Some(counters) => {
+            for (name, value) in counters {
+                if value.as_u64().is_none() {
+                    violations.push(format!("counter `{name}` is not a u64: {value:?}"));
+                }
+            }
+            for name in &required {
+                let value = counters
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .and_then(|(_, v)| v.as_u64());
+                match value {
+                    None => violations.push(format!("required counter `{name}` is missing")),
+                    Some(0) => violations.push(format!(
+                        "required counter `{name}` is zero — that seam recorded no activity"
+                    )),
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    match snap.get("histograms").and_then(Value::as_object) {
+        None => violations.push("missing `histograms` object".to_string()),
+        Some(histograms) => {
+            for (name, h) in histograms {
+                for key in ["count", "sum", "max", "p50", "p90", "p99"] {
+                    if h.get(key).and_then(Value::as_u64).is_none() {
+                        violations.push(format!("histogram `{name}` lacks u64 field `{key}`"));
+                    }
+                }
+            }
+        }
+    }
+    match snap.get("events").and_then(Value::as_array) {
+        None => violations.push("missing `events` array".to_string()),
+        Some(events) => {
+            if (events.len() as u64) < events_min {
+                violations.push(format!(
+                    "only {} events recorded, need at least {events_min}",
+                    events.len()
+                ));
+            }
+            for event in events {
+                for key in ["seq", "level", "target", "kind"] {
+                    if event.get(key).is_none() {
+                        violations.push(format!("event lacks field `{key}`: {event}"));
+                    }
+                }
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        let n_counters = counters.map_or(0, |c| c.len());
+        eprintln!("obs_check: OK — {path} valid ({n_counters} counters)");
+    } else {
+        eprintln!("obs_check: {} violation(s) in {path}:", violations.len());
+        for v in &violations {
+            eprintln!("  ✗ {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -75,6 +75,20 @@ pub struct ClimbStats {
 pub struct StepScratch {
     ops: Vec<crate::model::JoinOpId>,
     structural_ops: Vec<crate::model::JoinOpId>,
+    /// Screening tallies harvested from every step frontier this scratch
+    /// served (each `pareto_step*` call builds a fresh [`ParetoSet`] per
+    /// recursion node and drains its counters here before returning).
+    /// Pure observation — never read by the climb itself; the RMQ loop
+    /// takes the accumulated total once per iteration and flushes it to
+    /// the global `moqo-obs` registry.
+    pub screen: crate::pareto::ScreenCounters,
+}
+
+impl StepScratch {
+    /// Returns and resets the accumulated screening tallies.
+    pub fn take_screen(&mut self) -> crate::pareto::ScreenCounters {
+        std::mem::take(&mut self.screen)
+    }
 }
 
 /// One transformation step (`ParetoStep`): returns the pruned set of
@@ -178,6 +192,7 @@ where
             }
         }
     }
+    scratch.screen.absorb(&frontier.screen_counters());
     frontier.into_plans()
 }
 
@@ -266,6 +281,7 @@ where
             }
         }
     }
+    scratch.screen.absorb(&frontier.screen_counters());
     frontier.into_plans()
 }
 

@@ -77,6 +77,46 @@ pub enum PrunePolicy {
     KeepIncomparable,
 }
 
+/// Screening tallies accumulated by a [`ParetoSet`]'s insertion paths:
+/// how much work the two-stage screen (aggregate-key pre-filter, then
+/// full component-wise dominance) did, and how candidates fared.
+///
+/// The fields are plain `u64`s bumped inline — no atomics, no
+/// allocation — so counting is free relative to the dominance arithmetic
+/// it measures. Callers on instrumented paths harvest them with
+/// [`ParetoSet::take_screen_counters`] and flush the totals to the global
+/// `moqo-obs` registry at iteration granularity; because the tallies are
+/// pure observations (they never influence pruning, ordering, or RNG
+/// state), they are bit-for-bit deterministic for a seeded run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScreenCounters {
+    /// Candidates offered to the set (insertion probes).
+    pub probes: u64,
+    /// Member comparisons resolved by the aggregate-key pre-filter alone
+    /// (no full dominance test ran).
+    pub agg_key_skips: u64,
+    /// Full component-wise dominance tests executed.
+    pub dominance_tests: u64,
+    /// Candidates rejected (dominated, α-covered, or duplicate).
+    pub rejected: u64,
+    /// Candidates admitted.
+    pub admitted: u64,
+    /// Incumbent members evicted by admitted candidates.
+    pub evicted: u64,
+}
+
+impl ScreenCounters {
+    /// Adds `other`'s tallies into `self`.
+    pub fn absorb(&mut self, other: &ScreenCounters) {
+        self.probes += other.probes;
+        self.agg_key_skips += other.agg_key_skips;
+        self.dominance_tests += other.dominance_tests;
+        self.rejected += other.rejected;
+        self.admitted += other.admitted;
+        self.evicted += other.evicted;
+    }
+}
+
 /// Inline per-member pruning metadata: the cost vector, its cached
 /// aggregate key, and the output format. Dominance checks touch only this
 /// dense array; the member's `Arc<Plan>` is never dereferenced.
@@ -121,6 +161,8 @@ pub struct ParetoSet<P = PlanRef> {
     meta: Vec<Meta>,
     /// Output format → ascending indices into `plans`/`meta`.
     buckets: FxHashMap<OutputFormat, Vec<u32>>,
+    /// Screening tallies (observational only; see [`ScreenCounters`]).
+    screen: ScreenCounters,
 }
 
 impl<P> Default for ParetoSet<P> {
@@ -129,6 +171,7 @@ impl<P> Default for ParetoSet<P> {
             plans: Vec::new(),
             meta: Vec::new(),
             buckets: FxHashMap::default(),
+            screen: ScreenCounters::default(),
         }
     }
 }
@@ -222,6 +265,7 @@ impl<P> ParetoSet<P> {
         policy: PrunePolicy,
         make: impl FnOnce() -> P,
     ) -> bool {
+        self.screen.probes += 1;
         match policy {
             PrunePolicy::KeepIncomparable => {
                 let key = cost.agg_key();
@@ -232,7 +276,13 @@ impl<P> ParetoSet<P> {
                         // duplicate, which the paper's strict rule would
                         // accumulate without bound — cannot have a larger
                         // aggregate key than the candidate.
-                        if m.key <= key && (m.cost.strictly_dominates(cost) || m.cost == *cost) {
+                        if m.key > key {
+                            self.screen.agg_key_skips += 1;
+                            continue;
+                        }
+                        self.screen.dominance_tests += 1;
+                        if m.cost.strictly_dominates(cost) || m.cost == *cost {
+                            self.screen.rejected += 1;
                             return false;
                         }
                     }
@@ -243,14 +293,21 @@ impl<P> ParetoSet<P> {
                 if let Some(bucket) = self.buckets.get(&format) {
                     for &i in bucket {
                         let m = &self.meta[i as usize];
-                        if key <= m.key && cost.strictly_dominates(&m.cost) {
+                        if key > m.key {
+                            self.screen.agg_key_skips += 1;
+                            continue;
+                        }
+                        self.screen.dominance_tests += 1;
+                        if cost.strictly_dominates(&m.cost) {
                             dead.push(i);
                         }
                     }
                 }
                 if !dead.is_empty() {
+                    self.screen.evicted += dead.len() as u64;
                     self.remove_sorted(&dead);
                 }
+                self.screen.admitted += 1;
                 self.push(make(), Meta::of(cost, format));
                 true
             }
@@ -258,15 +315,20 @@ impl<P> ParetoSet<P> {
                 match self.buckets.get(&format).and_then(|b| b.first().copied()) {
                     Some(idx) => {
                         let incumbent = &self.meta[idx as usize];
+                        self.screen.dominance_tests += 1;
                         if cost.strictly_dominates(&incumbent.cost) {
                             self.meta[idx as usize] = Meta::of(cost, format);
                             self.plans[idx as usize] = make();
+                            self.screen.admitted += 1;
+                            self.screen.evicted += 1;
                             true
                         } else {
+                            self.screen.rejected += 1;
                             false
                         }
                     }
                     None => {
+                        self.screen.admitted += 1;
                         self.push(make(), Meta::of(cost, format));
                         true
                     }
@@ -289,11 +351,18 @@ impl<P> ParetoSet<P> {
     ) -> bool {
         // A member α-dominating the candidate satisfies
         // `m.key <= cost.scaled_agg_key(alpha)` exactly (see CostVector).
+        self.screen.probes += 1;
         let alpha_key = cost.scaled_agg_key(alpha);
         if let Some(bucket) = self.buckets.get(&format) {
             for &i in bucket {
                 let m = &self.meta[i as usize];
-                if m.key <= alpha_key && m.cost.approx_dominates(cost, alpha) {
+                if m.key > alpha_key {
+                    self.screen.agg_key_skips += 1;
+                    continue;
+                }
+                self.screen.dominance_tests += 1;
+                if m.cost.approx_dominates(cost, alpha) {
+                    self.screen.rejected += 1;
                     return false;
                 }
             }
@@ -305,14 +374,21 @@ impl<P> ParetoSet<P> {
         if let Some(bucket) = self.buckets.get(&format) {
             for &i in bucket {
                 let m = &self.meta[i as usize];
-                if key <= m.key && cost.dominates(&m.cost) {
+                if key > m.key {
+                    self.screen.agg_key_skips += 1;
+                    continue;
+                }
+                self.screen.dominance_tests += 1;
+                if cost.dominates(&m.cost) {
                     dead.push(i);
                 }
             }
         }
         if !dead.is_empty() {
+            self.screen.evicted += dead.len() as u64;
             self.remove_sorted(&dead);
         }
+        self.screen.admitted += 1;
         self.push(make(), Meta::of(cost, format));
         true
     }
@@ -327,21 +403,37 @@ impl<P> ParetoSet<P> {
         format: OutputFormat,
         make: impl FnOnce() -> P,
     ) -> bool {
+        self.screen.probes += 1;
         let key = cost.agg_key();
-        for m in &self.meta {
-            if m.key <= key && (m.cost.strictly_dominates(cost) || m.cost == *cost) {
+        for i in 0..self.meta.len() {
+            let m = &self.meta[i];
+            if m.key > key {
+                self.screen.agg_key_skips += 1;
+                continue;
+            }
+            self.screen.dominance_tests += 1;
+            if m.cost.strictly_dominates(cost) || m.cost == *cost {
+                self.screen.rejected += 1;
                 return false;
             }
         }
         let mut dead: Vec<u32> = Vec::new();
-        for (i, m) in self.meta.iter().enumerate() {
-            if key <= m.key && cost.strictly_dominates(&m.cost) {
+        for i in 0..self.meta.len() {
+            let m = &self.meta[i];
+            if key > m.key {
+                self.screen.agg_key_skips += 1;
+                continue;
+            }
+            self.screen.dominance_tests += 1;
+            if cost.strictly_dominates(&m.cost) {
                 dead.push(i as u32);
             }
         }
         if !dead.is_empty() {
+            self.screen.evicted += dead.len() as u64;
             self.remove_sorted(&dead);
         }
+        self.screen.admitted += 1;
         self.push(make(), Meta::of(cost, format));
         true
     }
@@ -371,6 +463,18 @@ impl<P> ParetoSet<P> {
             }
         }
         inserted
+    }
+
+    /// Screening tallies accumulated by this set's insertions so far.
+    pub fn screen_counters(&self) -> ScreenCounters {
+        self.screen
+    }
+
+    /// Returns and resets the screening tallies — the harvest point for
+    /// instrumented callers that aggregate per-step counters (the climb
+    /// scratch) and flush them at iteration granularity.
+    pub fn take_screen_counters(&mut self) -> ScreenCounters {
+        std::mem::take(&mut self.screen)
     }
 
     /// Consumes the set, returning the plans.
@@ -890,6 +994,47 @@ mod tests {
             plans[3].clone()
         }));
         assert!(!made, "rejected approx candidate was materialized");
+    }
+
+    #[test]
+    fn screen_counters_tally_probes_rejections_and_evictions() {
+        let (_, plans) = sample_plans();
+        let good = plans[0].clone();
+        let bad = plans[3].clone();
+
+        // OnePerFormat: admit, then reject a dominated candidate.
+        let mut set = ParetoSet::new();
+        assert!(set.insert_climb(good.clone(), PrunePolicy::OnePerFormat));
+        assert!(!set.insert_climb(bad.clone(), PrunePolicy::OnePerFormat));
+        let c = set.screen_counters();
+        assert_eq!(c.probes, 2);
+        assert_eq!(c.admitted, 1);
+        assert_eq!(c.rejected, 1);
+        assert_eq!(c.dominance_tests, 1);
+
+        // Eviction: dominated incumbent replaced under the literal policy.
+        let mut set = ParetoSet::new();
+        assert!(set.insert_climb(bad, PrunePolicy::KeepIncomparable));
+        assert!(set.insert_climb(good, PrunePolicy::KeepIncomparable));
+        let c = set.screen_counters();
+        assert_eq!(c.probes, 2);
+        assert_eq!(c.admitted, 2);
+        assert_eq!(c.evicted, 1);
+
+        // take_screen_counters drains; absorb sums.
+        let mut total = ScreenCounters::default();
+        total.absorb(&set.take_screen_counters());
+        assert_eq!(total.probes, 2);
+        assert_eq!(set.screen_counters(), ScreenCounters::default());
+
+        // The agg-key pre-filter screens members whose key already rules
+        // dominance out: a cheap member cannot be dominated by an
+        // expensive candidate, so the second probe skips it.
+        let mut set = ParetoSet::new();
+        assert!(set.insert_approx(synthetic_plan(&[1.0, 1.0, 1.0], 0), 1.0));
+        assert!(set.insert_approx(synthetic_plan(&[0.5, 4.0, 1.0], 0), 1.0));
+        let c = set.screen_counters();
+        assert!(c.agg_key_skips >= 1, "{c:?}");
     }
 
     /// Fabricates a plan with arbitrary cost and format through the

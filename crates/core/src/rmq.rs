@@ -157,6 +157,13 @@ pub struct Rmq<M: CostModel> {
     climb_scratch: StepScratch,
     /// Frontier-approximation scratch buffers, likewise reused.
     frontier_scratch: FrontierScratch<PlanId>,
+    /// Arena intern totals (session + climb arena) already flushed to the
+    /// global `moqo-obs` registry. The arenas' lifetime counters are
+    /// monotone (surviving `clear()`), so per-iteration deltas against
+    /// these copies are exact.
+    flushed_interns: u64,
+    /// Arena dedup-hit totals already flushed, likewise.
+    flushed_dedup_hits: u64,
 }
 
 impl<M: CostModel> Rmq<M> {
@@ -180,6 +187,8 @@ impl<M: CostModel> Rmq<M> {
             stats: RmqStats::default(),
             climb_scratch: StepScratch::default(),
             frontier_scratch: FrontierScratch::default(),
+            flushed_interns: 0,
+            flushed_dedup_hits: 0,
         }
     }
 
@@ -256,8 +265,11 @@ impl<M: CostModel> Rmq<M> {
         if aborted || abort.is_some_and(AbortCheck::should_abort) {
             // Discard the partial iteration: drop the climb transients and
             // leave every cross-iteration structure untouched. The RNG has
-            // advanced, but an aborted run is ending anyway.
+            // advanced, but an aborted run is ending anyway. The screening
+            // tallies of the partial climb are dropped with it — aborted
+            // iterations leave no trace in the obs registry either.
             let _ = climb_opt;
+            let _ = self.climb_scratch.take_screen();
             self.climb_arena.clear();
             return None;
         }
@@ -310,7 +322,47 @@ impl<M: CostModel> Rmq<M> {
         self.stats.iterations = self.iteration;
         self.stats.path_lengths.push(climb_stats.steps);
         self.stats.last_alpha = alpha;
+        self.flush_obs();
         Some(climb_stats)
+    }
+
+    /// Flushes this iteration's observation deltas — the climb scratch's
+    /// screening tallies and the arenas' intern deltas — to the global
+    /// `moqo-obs` registry, and emits one `Iteration` journal event when
+    /// the `climb` target is enabled. Called once per **completed**
+    /// iteration (aborted iterations are discarded wholesale), so the hot
+    /// candidate loops touch no atomics; everything here is pure
+    /// observation and consumes no randomness.
+    fn flush_obs(&mut self) {
+        use moqo_obs::{ctx, journal, metrics};
+        let m = metrics();
+        let screen = self.climb_scratch.take_screen();
+        m.rmq_iterations.incr();
+        m.climb_candidates.add(screen.probes);
+        m.climb_agg_key_skips.add(screen.agg_key_skips);
+        m.climb_dominance_tests.add(screen.dominance_tests);
+        m.climb_rejected.add(screen.rejected);
+        m.climb_admitted.add(screen.admitted);
+        m.climb_evicted.add(screen.evicted);
+        let (a, c) = (self.arena.stats(), self.climb_arena.stats());
+        let interns = a.misses + c.misses;
+        let dedup_hits = a.dedup_hits + c.dedup_hits;
+        m.arena_interns.add(interns - self.flushed_interns);
+        m.arena_dedup_hits.add(dedup_hits - self.flushed_dedup_hits);
+        self.flushed_interns = interns;
+        self.flushed_dedup_hits = dedup_hits;
+        if journal::enabled(journal::Target::Climb, journal::Level::Debug) {
+            ctx::set_iteration(self.iteration);
+            let frontier = self.frontier_set().map_or(0, ParetoSet::len) as u64;
+            journal::emit_with(journal::Target::Climb, journal::Level::Debug, || {
+                journal::EventKind::Iteration {
+                    mutations: screen.probes,
+                    admitted: screen.admitted,
+                    rejected: screen.rejected,
+                    frontier,
+                }
+            });
+        }
     }
 
     /// The current approximate Pareto plan set for the query (`P[q]`),
@@ -688,6 +740,24 @@ mod tests {
         assert!(partials.iter().any(|p| p.rel() != query));
         let again = ablation.warm_start(partials.into_iter().filter(|p| p.rel() != query));
         assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn iterations_flush_observation_counters() {
+        // Counters are process-global and other tests bump them
+        // concurrently, so assert only on the lower bound of the delta.
+        let m = moqo_obs::metrics::metrics();
+        let before_iters = m.rmq_iterations.get();
+        let before_candidates = m.climb_candidates.get();
+        let before_interns = m.arena_interns.get();
+        let model = StubModel::line(6, 2, 3);
+        let mut rmq = Rmq::new(&model, TableSet::prefix(6), RmqConfig::seeded(4));
+        for _ in 0..5 {
+            rmq.iterate();
+        }
+        assert!(m.rmq_iterations.get() >= before_iters + 5);
+        assert!(m.climb_candidates.get() > before_candidates);
+        assert!(m.arena_interns.get() > before_interns);
     }
 
     #[test]

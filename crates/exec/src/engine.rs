@@ -120,7 +120,28 @@ pub fn execute_with_limit(
     let mut stats = ExecStats::default();
     let mut result = engine.eval(plan, &mut stats)?;
     result.canonicalize();
+    flush_obs(&stats);
     Ok(Execution { result, stats })
+}
+
+/// Flushes one finished execution's measured usage into the global
+/// observability registry (counters + peak-buffer histogram) and journals
+/// an `ExecFinished` event when the exec target is enabled.
+fn flush_obs(stats: &ExecStats) {
+    use moqo_obs::journal::{self, EventKind, Level, Target};
+    let m = moqo_obs::metrics();
+    m.exec_runs.incr();
+    m.exec_tuples.add(stats.tuples_processed);
+    m.exec_spilled_rows.add(stats.spilled_rows);
+    m.exec_inner_rescans.add(stats.inner_rescans);
+    m.exec_peak_buffer_rows.record(stats.peak_buffer_rows);
+    if journal::enabled(Target::Exec, Level::Info) {
+        let (tuples, spilled) = (stats.tuples_processed, stats.spilled_rows);
+        journal::emit_with(Target::Exec, Level::Info, || EventKind::ExecFinished {
+            tuples,
+            spilled,
+        });
+    }
 }
 
 struct Engine<'a> {

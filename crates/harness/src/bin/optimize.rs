@@ -12,6 +12,8 @@
 //!   --weights LIST     select a plan: comma list of per-metric weights
 //!   --bound K=V        upper bound on metric index K (repeatable)
 //!   --scatter          also draw the ASCII frontier scatter plot
+//!   --trace            enable the observability journal; print the event
+//!                      tail and counter dump after the run
 //! ```
 //!
 //! Example catalog file:
@@ -52,13 +54,14 @@ struct Options {
     weights: Option<Vec<f64>>,
     bounds: Vec<(usize, f64)>,
     scatter: bool,
+    trace: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: optimize [--catalog FILE] [--model resource|cloud|aqp|energy] \
          [--metrics time,buffer,disk] [--budget-ms N] [--parallel N] [--seed N] \
-         [--weights w0,w1,..] [--bound K=V]... [--scatter]"
+         [--weights w0,w1,..] [--bound K=V]... [--scatter] [--trace]"
     );
     exit(2)
 }
@@ -79,6 +82,7 @@ fn parse_args() -> Options {
         weights: None,
         bounds: Vec::new(),
         scatter: false,
+        trace: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -131,6 +135,7 @@ fn parse_args() -> Options {
                 opts.bounds.push((k, v));
             }
             "--scatter" => opts.scatter = true,
+            "--trace" => opts.trace = true,
             "--help" | "-h" => usage(),
             other => fail(&format!("unknown argument '{other}'")),
         }
@@ -221,8 +226,43 @@ fn optimize_and_report<M: CostModel>(model: &M, opts: &Options) {
     }
 }
 
+/// Prints the observability trace: the journal's event tail (human
+/// rendering) followed by the nonzero counters and populated histograms.
+fn report_trace() {
+    let snap = moqo_obs::ObsSnapshot::capture();
+    println!("\n--- trace: event tail ---");
+    let events = moqo_obs::journal::events();
+    if events.is_empty() {
+        println!("(no events recorded)");
+    }
+    for event in &events {
+        println!("{event}");
+    }
+    println!("--- trace: metrics ---");
+    for (name, value) in &snap.counters {
+        if *value > 0 {
+            println!("{name} = {value}");
+        }
+    }
+    for (name, h) in &snap.histograms {
+        if h.count > 0 {
+            println!(
+                "{name}: count {} mean {:.1} p50 {} p99 {} max {}",
+                h.count,
+                h.mean(),
+                h.p50,
+                h.p99,
+                h.max
+            );
+        }
+    }
+}
+
 fn main() {
     let opts = parse_args();
+    if opts.trace {
+        moqo_obs::journal::enable_all(moqo_obs::journal::Level::Debug);
+    }
     let catalog = load_catalog(&opts);
     println!("{catalog}");
     match opts.model.as_str() {
@@ -234,5 +274,8 @@ fn main() {
         "aqp" => optimize_and_report(&AqpCostModel::new(catalog), &opts),
         "energy" => optimize_and_report(&EnergyCostModel::new(catalog), &opts),
         other => fail(&format!("unknown model '{other}'")),
+    }
+    if opts.trace {
+        report_trace();
     }
 }

@@ -17,6 +17,9 @@
 //!                      sessions (default 1 = all sequential)
 //!   --fan-out-every K  tag every K-th session latency-critical (default 4)
 //!   --seed S           RNG seed (default 42)
+//!   --obs-json PATH    enable the observability journal and periodically
+//!                      flush JSON telemetry snapshots to PATH (plus one
+//!                      final flush before exit)
 //! ```
 //!
 //! Prints one line per session (steps, frontier size, warm-start plans,
@@ -50,13 +53,14 @@ struct Options {
     fan_out: usize,
     fan_out_every: usize,
     seed: u64,
+    obs_json: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--sessions N] [--waves K] [--workers W] [--tables T] \
          [--min-tables N] [--max-tables N] [--budget-ms MS] [--iters N] \
-         [--fan-out W] [--fan-out-every K] [--seed S]"
+         [--fan-out W] [--fan-out-every K] [--seed S] [--obs-json PATH]"
     );
     exit(2)
 }
@@ -74,6 +78,7 @@ fn parse_args() -> Options {
         fan_out: 1,
         fan_out_every: 4,
         seed: 42,
+        obs_json: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -108,6 +113,7 @@ fn parse_args() -> Options {
                 opts.fan_out_every = parsed("--fan-out-every", value("--fan-out-every")) as usize
             }
             "--seed" => opts.seed = parsed("--seed", value("--seed")),
+            "--obs-json" => opts.obs_json = Some(value("--obs-json")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -125,8 +131,55 @@ fn fmt_ms(d: Option<Duration>) -> String {
     }
 }
 
+/// Writes one telemetry snapshot atomically (write-then-rename, so a
+/// concurrent reader never observes a half-written file).
+fn flush_obs_json(path: &str) {
+    let json = moqo_obs::ObsSnapshot::capture().to_json();
+    let tmp = format!("{path}.tmp");
+    if std::fs::write(&tmp, &json).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+/// Background telemetry flusher: writes a snapshot to `path` every
+/// `period` until `stop` flips, then once more for the final state.
+struct ObsFlusher {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+    path: String,
+}
+
+impl ObsFlusher {
+    fn start(path: String, period: Duration) -> Self {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let handle = {
+            let (stop, path) = (Arc::clone(&stop), path.clone());
+            std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    flush_obs_json(&path);
+                    std::thread::sleep(period);
+                }
+            })
+        };
+        ObsFlusher { stop, handle, path }
+    }
+
+    fn finish(self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = self.handle.join();
+        flush_obs_json(&self.path);
+        println!("  obs json        {}", self.path);
+    }
+}
+
 fn main() {
     let opts = parse_args();
+    let flusher = opts.obs_json.as_ref().map(|path| {
+        // Structured events feed the flushed snapshots; Info keeps the
+        // ring to session-lifecycle and exchange-progress events.
+        moqo_obs::journal::enable_all(moqo_obs::journal::Level::Info);
+        ObsFlusher::start(path.clone(), Duration::from_millis(250))
+    });
     let spec = TrafficSpec {
         catalog_tables: opts.tables,
         shape: GraphShape::Chain,
@@ -238,6 +291,8 @@ fn main() {
     );
     println!("  ttff p50        {}", fmt_ms(stats.ttff_p50));
     println!("  ttff p99        {}", fmt_ms(stats.ttff_p99));
+    println!("  queue delay p50 {}", fmt_ms(stats.queue_delay_p50));
+    println!("  queue delay p99 {}", fmt_ms(stats.queue_delay_p99));
     println!(
         "  cache           {} plans / {} entries, hit rate {:.0}% ({} hits / {} lookups)",
         stats.cache.plans,
@@ -246,6 +301,9 @@ fn main() {
         stats.cache.hits,
         stats.cache.lookups,
     );
+    if let Some(flusher) = flusher {
+        flusher.finish();
+    }
 }
 
 fn print_catalog_summary(catalog: &Catalog) {

@@ -1,0 +1,573 @@
+//! The structured event journal: a bounded ring buffer of typed events
+//! behind a packed atomic target/severity filter.
+//!
+//! The design goal is the `StopFlag` property: a **disabled** journal
+//! site costs one relaxed atomic load and an untaken branch — no lock, no
+//! allocation, no event construction. The filter packs a 16-bit target
+//! mask and the minimum severity into one `AtomicU32`, so
+//! [`enabled`] is a single load plus two integer tests, and the
+//! event-construction closure passed to [`emit_with`] only runs when the
+//! site is live. Enabled events go into a global ring of
+//! [`JOURNAL_CAPACITY`] entries; when full, the oldest event is
+//! overwritten (sequence numbers expose the gap).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::ctx::{self, Ctx};
+
+/// Event severity, ordered `Debug < Info < Warn`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// High-frequency detail (per-iteration events).
+    Debug = 0,
+    /// Milestones: publishes, session lifecycle, plan executions.
+    Info = 1,
+    /// Anomalies worth surfacing even in quiet runs.
+    Warn = 2,
+}
+
+impl Level {
+    /// Short lowercase name (`"debug"`, `"info"`, `"warn"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+}
+
+/// Subsystem an event belongs to; each target is one bit in the filter
+/// mask so tracing can be scoped to the seams under investigation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Target {
+    /// The Pareto climb loop and RMQ iterations.
+    Climb = 0,
+    /// Plan-arena interning.
+    Arena = 1,
+    /// Shared-frontier exchange between intra-query workers.
+    Exchange = 2,
+    /// The cross-query plan cache.
+    Cache = 3,
+    /// Service admission control.
+    Admission = 4,
+    /// Service session lifecycle and scheduling.
+    Service = 5,
+    /// The execution engine.
+    Exec = 6,
+}
+
+impl Target {
+    /// All targets, in bit order.
+    pub const ALL: [Target; 7] = [
+        Target::Climb,
+        Target::Arena,
+        Target::Exchange,
+        Target::Cache,
+        Target::Admission,
+        Target::Service,
+        Target::Exec,
+    ];
+
+    /// Short lowercase name (`"climb"`, `"exchange"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            Target::Climb => "climb",
+            Target::Arena => "arena",
+            Target::Exchange => "exchange",
+            Target::Cache => "cache",
+            Target::Admission => "admission",
+            Target::Service => "service",
+            Target::Exec => "exec",
+        }
+    }
+
+    /// This target's bit in the filter mask.
+    #[inline]
+    pub const fn bit(self) -> u32 {
+        1 << (self as u32)
+    }
+}
+
+/// What happened. Variants are plain integers (plus `&'static str`
+/// labels), so constructing one never allocates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// One RMQ iteration finished (target [`Target::Climb`], `Debug`).
+    Iteration {
+        /// Mutation candidates the climb generated.
+        mutations: u64,
+        /// Candidates admitted into climb frontiers.
+        admitted: u64,
+        /// Candidates rejected as dominated or duplicate.
+        rejected: u64,
+        /// Result-frontier size after the iteration.
+        frontier: u64,
+    },
+    /// A worker published its local frontier to the shared frontier.
+    ExchangePublish {
+        /// Plans offered in this publish.
+        offered: u64,
+        /// Plans admitted into the global frontier.
+        merged: u64,
+        /// Global snapshot epoch after the publish.
+        epoch: u64,
+    },
+    /// A worker absorbed the global snapshot into its local state.
+    ExchangeAbsorb {
+        /// Epoch of the snapshot absorbed.
+        epoch: u64,
+        /// Plans adopted from it.
+        absorbed: u64,
+    },
+    /// A cross-query cache lookup resolved.
+    CacheLookup {
+        /// Whether any warm-start plans were found.
+        hit: bool,
+        /// Plans returned.
+        plans: u64,
+    },
+    /// A session was admitted.
+    SessionSubmitted {
+        /// Worker slots the session reserved (its fan-out).
+        fan_out: u64,
+        /// Plans absorbed from the cache at warm start.
+        warm_plans: u64,
+    },
+    /// A submission was rejected by admission control.
+    SessionRejected {
+        /// Which admission bound rejected it.
+        reason: &'static str,
+    },
+    /// A session was stepped for the first time.
+    SessionFirstStep {
+        /// Queue delay (submission → first step) in microseconds.
+        delay_us: u64,
+    },
+    /// A session finished.
+    SessionDone {
+        /// Optimizer steps it ran.
+        steps: u64,
+        /// Why it finished.
+        reason: &'static str,
+        /// Time to first frontier in microseconds, if one was produced.
+        ttff_us: Option<u64>,
+    },
+    /// A physical plan finished executing.
+    ExecFinished {
+        /// Tuples processed across all operators.
+        tuples: u64,
+        /// Rows spilled under memory grants.
+        spilled: u64,
+    },
+    /// A free-form static note (used by examples and tests).
+    Note(&'static str),
+}
+
+impl EventKind {
+    fn describe(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Iteration {
+                mutations,
+                admitted,
+                rejected,
+                frontier,
+            } => write!(
+                f,
+                "iteration: {mutations} mutations, {admitted} admitted, \
+                 {rejected} rejected, frontier={frontier}"
+            ),
+            EventKind::ExchangePublish {
+                offered,
+                merged,
+                epoch,
+            } => write!(
+                f,
+                "publish: offered {offered}, merged {merged}, epoch {epoch}"
+            ),
+            EventKind::ExchangeAbsorb { epoch, absorbed } => {
+                write!(f, "absorb: epoch {epoch}, {absorbed} plans")
+            }
+            EventKind::CacheLookup { hit, plans } => {
+                let outcome = if *hit { "hit" } else { "miss" };
+                write!(f, "cache {outcome}: {plans} plans")
+            }
+            EventKind::SessionSubmitted {
+                fan_out,
+                warm_plans,
+            } => write!(f, "submitted: fan_out {fan_out}, warm {warm_plans}"),
+            EventKind::SessionRejected { reason } => write!(f, "rejected: {reason}"),
+            EventKind::SessionFirstStep { delay_us } => {
+                write!(f, "first step after {delay_us}us queued")
+            }
+            EventKind::SessionDone {
+                steps,
+                reason,
+                ttff_us,
+            } => {
+                write!(f, "done ({reason}): {steps} steps, ttff ")?;
+                match ttff_us {
+                    Some(us) => write!(f, "{us}us"),
+                    None => write!(f, "-"),
+                }
+            }
+            EventKind::ExecFinished { tuples, spilled } => {
+                write!(f, "executed: {tuples} tuples, {spilled} spilled")
+            }
+            EventKind::Note(note) => write!(f, "{note}"),
+        }
+    }
+
+    fn json_fields(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            EventKind::Iteration {
+                mutations,
+                admitted,
+                rejected,
+                frontier,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"kind\":\"iteration\",\"mutations\":{mutations},\
+                     \"admitted\":{admitted},\"rejected\":{rejected},\
+                     \"frontier\":{frontier}"
+                );
+            }
+            EventKind::ExchangePublish {
+                offered,
+                merged,
+                epoch,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"kind\":\"exchange_publish\",\"offered\":{offered},\
+                     \"merged\":{merged},\"epoch\":{epoch}"
+                );
+            }
+            EventKind::ExchangeAbsorb { epoch, absorbed } => {
+                let _ = write!(
+                    out,
+                    "\"kind\":\"exchange_absorb\",\"epoch\":{epoch},\
+                     \"absorbed\":{absorbed}"
+                );
+            }
+            EventKind::CacheLookup { hit, plans } => {
+                let _ = write!(
+                    out,
+                    "\"kind\":\"cache_lookup\",\"hit\":{hit},\"plans\":{plans}"
+                );
+            }
+            EventKind::SessionSubmitted {
+                fan_out,
+                warm_plans,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"kind\":\"session_submitted\",\"fan_out\":{fan_out},\
+                     \"warm_plans\":{warm_plans}"
+                );
+            }
+            EventKind::SessionRejected { reason } => {
+                let _ = write!(out, "\"kind\":\"session_rejected\",\"reason\":\"{reason}\"");
+            }
+            EventKind::SessionFirstStep { delay_us } => {
+                let _ = write!(
+                    out,
+                    "\"kind\":\"session_first_step\",\"delay_us\":{delay_us}"
+                );
+            }
+            EventKind::SessionDone {
+                steps,
+                reason,
+                ttff_us,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"kind\":\"session_done\",\"steps\":{steps},\
+                     \"reason\":\"{reason}\",\"ttff_us\":"
+                );
+                match ttff_us {
+                    Some(us) => {
+                        let _ = write!(out, "{us}");
+                    }
+                    None => out.push_str("null"),
+                }
+            }
+            EventKind::ExecFinished { tuples, spilled } => {
+                let _ = write!(
+                    out,
+                    "\"kind\":\"exec_finished\",\"tuples\":{tuples},\
+                     \"spilled\":{spilled}"
+                );
+            }
+            EventKind::Note(note) => {
+                out.push_str("\"kind\":\"note\",\"note\":\"");
+                crate::snapshot::escape_json_into(note, out);
+                out.push('"');
+            }
+        }
+    }
+}
+
+/// One journal entry: sequence number, severity, target, ambient
+/// [`Ctx`], and the typed payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone sequence number across the process (gaps mean the ring
+    /// overwrote events between two reads).
+    pub seq: u64,
+    /// Severity.
+    pub level: Level,
+    /// Subsystem.
+    pub target: Target,
+    /// Ambient thread context at emission time.
+    pub ctx: Ctx,
+    /// The typed payload.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>6}] {:<5} {:<9}",
+            self.seq,
+            self.level.name(),
+            self.target.name()
+        )?;
+        if self.ctx.session != 0 {
+            write!(f, " s{}", self.ctx.session)?;
+        }
+        if self.ctx.worker != 0 {
+            write!(f, " w{}", self.ctx.worker)?;
+        }
+        if self.ctx.iteration != 0 {
+            write!(f, " i{}", self.ctx.iteration)?;
+        }
+        if self.ctx.epoch != 0 {
+            write!(f, " e{}", self.ctx.epoch)?;
+        }
+        write!(f, " | ")?;
+        self.kind.describe(f)
+    }
+}
+
+impl Event {
+    /// Renders this event as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(160);
+        self.write_json(&mut out);
+        out
+    }
+
+    pub(crate) fn write_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"level\":\"{}\",\"target\":\"{}\",\
+             \"session\":{},\"worker\":{},\"iteration\":{},\"epoch\":{},",
+            self.seq,
+            self.level.name(),
+            self.target.name(),
+            self.ctx.session,
+            self.ctx.worker,
+            self.ctx.iteration,
+            self.ctx.epoch,
+        );
+        self.kind.json_fields(out);
+        out.push('}');
+    }
+}
+
+/// Ring capacity: events retained between drains.
+pub const JOURNAL_CAPACITY: usize = 1024;
+
+/// Packed filter: low 16 bits are the target mask, bits 16.. hold the
+/// minimum level. Zero (empty mask) disables everything — the default.
+static FILTER: AtomicU32 = AtomicU32::new(0);
+
+/// Next event sequence number.
+static SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// The ring. Only locked on the enabled path — a disabled journal never
+/// touches it.
+static RING: Mutex<VecDeque<Event>> = Mutex::new(VecDeque::new());
+
+/// Whether events for `(target, level)` are currently recorded. One
+/// relaxed load plus two integer tests — the check instrumented hot paths
+/// run before constructing anything.
+#[inline]
+pub fn enabled(target: Target, level: Level) -> bool {
+    let f = FILTER.load(Ordering::Relaxed);
+    // The mask test fails immediately for the all-zero (disabled) filter.
+    f & target.bit() != 0 && (level as u32) >= (f >> 16)
+}
+
+/// Enables recording for the given targets at `min_level` and above.
+pub fn enable(targets: &[Target], min_level: Level) {
+    let mut mask = 0u32;
+    for t in targets {
+        mask |= t.bit();
+    }
+    FILTER.store(mask | ((min_level as u32) << 16), Ordering::Relaxed);
+}
+
+/// Enables recording for every target at `min_level` and above.
+pub fn enable_all(min_level: Level) {
+    enable(&Target::ALL, min_level);
+}
+
+/// Disables all recording (the default state).
+pub fn disable() {
+    FILTER.store(0, Ordering::Relaxed);
+}
+
+/// Records an event if `(target, level)` is enabled, building the payload
+/// only in that case. This is the instrumentation entry point:
+///
+/// ```
+/// use moqo_obs::journal::{self, EventKind, Level, Target};
+/// journal::emit_with(Target::Exchange, Level::Info, || EventKind::ExchangePublish {
+///     offered: 4,
+///     merged: 2,
+///     epoch: 1,
+/// });
+/// ```
+#[inline]
+pub fn emit_with(target: Target, level: Level, kind: impl FnOnce() -> EventKind) {
+    if !enabled(target, level) {
+        return;
+    }
+    record(target, level, kind());
+}
+
+#[cold]
+fn record(target: Target, level: Level, kind: EventKind) {
+    let event = Event {
+        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        level,
+        target,
+        ctx: ctx::current(),
+        kind,
+    };
+    let mut ring = RING.lock().unwrap();
+    if ring.len() >= JOURNAL_CAPACITY {
+        ring.pop_front();
+    }
+    ring.push_back(event);
+}
+
+/// Copies the current ring contents (oldest first) without draining.
+pub fn events() -> Vec<Event> {
+    RING.lock().unwrap().iter().copied().collect()
+}
+
+/// Removes and returns the current ring contents (oldest first).
+pub fn drain() -> Vec<Event> {
+    RING.lock().unwrap().drain(..).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex as TestMutex, OnceLock};
+
+    /// The journal filter and ring are process-global; tests touching
+    /// them serialize here so `cargo test`'s parallel runner cannot
+    /// interleave enable/disable/drain sequences.
+    fn journal_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<TestMutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| TestMutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_filter_blocks_everything() {
+        let _guard = journal_lock();
+        disable();
+        drain();
+        assert!(!enabled(Target::Climb, Level::Warn));
+        emit_with(Target::Climb, Level::Warn, || {
+            panic!("payload must not be built when disabled")
+        });
+        assert!(events().is_empty());
+    }
+
+    #[test]
+    fn filter_scopes_by_target_and_level() {
+        let _guard = journal_lock();
+        enable(&[Target::Exchange], Level::Info);
+        assert!(enabled(Target::Exchange, Level::Info));
+        assert!(enabled(Target::Exchange, Level::Warn));
+        assert!(!enabled(Target::Exchange, Level::Debug));
+        assert!(!enabled(Target::Climb, Level::Warn));
+        disable();
+    }
+
+    #[test]
+    fn emitted_events_carry_ctx_and_render() {
+        let _guard = journal_lock();
+        enable_all(Level::Debug);
+        drain();
+        crate::ctx::set_session(9);
+        crate::ctx::set_iteration(3);
+        emit_with(Target::Climb, Level::Debug, || EventKind::Iteration {
+            mutations: 12,
+            admitted: 2,
+            rejected: 10,
+            frontier: 5,
+        });
+        crate::ctx::clear();
+        let evs = drain();
+        disable();
+        assert_eq!(evs.len(), 1);
+        let e = evs[0];
+        assert_eq!(e.ctx.session, 9);
+        assert_eq!(e.ctx.iteration, 3);
+        let text = e.to_string();
+        assert!(text.contains("s9"), "{text}");
+        assert!(text.contains("12 mutations"), "{text}");
+        let json = e.to_json();
+        assert!(json.contains("\"kind\":\"iteration\""), "{json}");
+        assert!(json.contains("\"session\":9"), "{json}");
+    }
+
+    #[test]
+    fn ring_is_bounded_and_seq_monotone() {
+        let _guard = journal_lock();
+        enable(&[Target::Arena], Level::Debug);
+        drain();
+        for _ in 0..(JOURNAL_CAPACITY + 50) {
+            emit_with(Target::Arena, Level::Debug, || EventKind::Note("x"));
+        }
+        let evs = drain();
+        disable();
+        assert_eq!(evs.len(), JOURNAL_CAPACITY);
+        for pair in evs.windows(2) {
+            assert!(pair[0].seq < pair[1].seq);
+        }
+    }
+
+    #[test]
+    fn session_done_json_renders_null_ttff() {
+        let e = Event {
+            seq: 1,
+            level: Level::Info,
+            target: Target::Service,
+            ctx: Ctx::default(),
+            kind: EventKind::SessionDone {
+                steps: 4,
+                reason: "cancelled",
+                ttff_us: None,
+            },
+        };
+        assert!(e.to_json().contains("\"ttff_us\":null"));
+    }
+}

@@ -1,0 +1,536 @@
+//! The metrics registry: lock-free counters, per-thread sharded counters,
+//! and fixed-bucket histograms, all `const`-constructible so the global
+//! registry lives in a `static` with zero initialization cost.
+//!
+//! Naming follows the conventional dotted scheme (`climb.rejected`,
+//! `exchange.merged`, …); [`Metrics::counters`] and
+//! [`Metrics::histograms`] enumerate every registered metric with its
+//! name, which is what [`crate::snapshot::ObsSnapshot`] exports.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A monotone counter: one relaxed atomic add per bump.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter (usable in `static` initializers).
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of shards in a [`ShardedCounter`]. Threads are assigned shards
+/// round-robin, so up to this many writers bump disjoint cache lines.
+const SHARDS: usize = 8;
+
+/// One cache line per shard: `#[repr(align(64))]` keeps concurrent
+/// writers from false-sharing each other's counters.
+#[repr(align(64))]
+#[derive(Debug)]
+struct Shard(AtomicU64);
+
+/// A counter sharded across cache-line-padded slots, one per writer
+/// thread (round-robin beyond `SHARDS` threads). Bumping costs one
+/// relaxed `fetch_add` on a line no other thread is writing — the right
+/// shape for counters bumped from every optimizer worker at iteration
+/// frequency. Reads sum the shards.
+#[derive(Debug)]
+pub struct ShardedCounter {
+    shards: [Shard; SHARDS],
+}
+
+thread_local! {
+    /// This thread's shard index; `usize::MAX` means "not yet assigned".
+    static SHARD_INDEX: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Round-robin assignment source for thread shard indices.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+#[inline]
+fn shard_index() -> usize {
+    SHARD_INDEX.with(|cell| {
+        let idx = cell.get();
+        if idx != usize::MAX {
+            idx
+        } else {
+            let idx = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            cell.set(idx);
+            idx
+        }
+    })
+}
+
+impl ShardedCounter {
+    /// A zeroed sharded counter (usable in `static` initializers).
+    pub const fn new() -> Self {
+        ShardedCounter {
+            shards: [const { Shard(AtomicU64::new(0)) }; SHARDS],
+        }
+    }
+
+    /// Adds `n` to this thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one to this thread's shard.
+    #[inline]
+    pub fn incr(&self) {
+        self.shards[shard_index()].0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sums all shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl Default for ShardedCounter {
+    fn default() -> Self {
+        ShardedCounter::new()
+    }
+}
+
+/// Number of histogram buckets: power-of-two boundaries cover the full
+/// `u64` range with `value → 64 - leading_zeros(value)` indexing, clamped
+/// into the last bucket.
+pub const HISTOGRAM_BUCKETS: usize = 44;
+
+/// A fixed-bucket histogram with power-of-two bucket boundaries: bucket
+/// `i` holds values in `[2^(i-1), 2^i)` (bucket 0 holds zero). Recording
+/// costs four relaxed atomic ops and never allocates; quantiles are
+/// approximate (reported as the bucket's upper bound), which is plenty for
+/// latency distributions spanning orders of magnitude.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A point-in-time summary of a [`Histogram`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Approximate median (bucket upper bound; 0 when empty).
+    pub p50: u64,
+    /// Approximate 90th percentile.
+    pub p90: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Upper bound of bucket `i` (inclusive).
+fn bucket_upper(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (usable in `static` initializers).
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Summarizes the current distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let max = self.max.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= target {
+                    // The true value never exceeds the observed max, which
+                    // tightens the last occupied bucket's upper bound.
+                    return bucket_upper(i).min(max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max,
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// The global metrics registry: every counter and histogram the
+/// instrumented crates bump, each with a stable dotted name.
+///
+/// `climb.*` counters are flushed once per RMQ iteration from plain
+/// per-iteration tallies (see `moqo-core`'s screening counters), so their
+/// values are deterministic for a seeded run — the bench harness pins them
+/// in its `obs` section to hard-pin hot-path behavior.
+#[derive(Debug)]
+pub struct Metrics {
+    /// RMQ iterations completed (aborted iterations are not counted).
+    pub rmq_iterations: ShardedCounter,
+    /// Mutation candidates generated by the climb loop (every candidate
+    /// is costed and offered to a Pareto frontier exactly once).
+    pub climb_candidates: ShardedCounter,
+    /// Member comparisons screened out by the aggregate-key pre-filter
+    /// before any full dominance test ran.
+    pub climb_agg_key_skips: ShardedCounter,
+    /// Full component-wise dominance tests executed.
+    pub climb_dominance_tests: ShardedCounter,
+    /// Candidates rejected as dominated (or duplicate) by a frontier.
+    pub climb_rejected: ShardedCounter,
+    /// Candidates admitted into a frontier.
+    pub climb_admitted: ShardedCounter,
+    /// Incumbent members evicted by an admitted candidate.
+    pub climb_evicted: ShardedCounter,
+    /// Plan-arena intern requests that allocated a new node.
+    pub arena_interns: ShardedCounter,
+    /// Plan-arena intern requests answered by an existing node.
+    pub arena_dedup_hits: ShardedCounter,
+    /// Shared-frontier publish calls.
+    pub exchange_publishes: Counter,
+    /// Plans offered to the shared frontier across all publishes.
+    pub exchange_offered: Counter,
+    /// Offered plans that were admitted (merged) into the global frontier.
+    pub exchange_merged: Counter,
+    /// Snapshot epoch bumps (one per publish that admitted anything).
+    pub exchange_epochs: Counter,
+    /// Plans absorbed from global snapshots by workers.
+    pub exchange_absorbed: Counter,
+    /// Sessions admitted by the service.
+    pub service_submitted: Counter,
+    /// Submissions rejected: live-session bound reached.
+    pub service_rejected_queue_full: Counter,
+    /// Submissions rejected: worker-slot bound would be exceeded.
+    pub service_rejected_no_slots: Counter,
+    /// Submissions rejected: service shutting down.
+    pub service_rejected_shutdown: Counter,
+    /// Sessions that finished (any done reason).
+    pub service_completed: Counter,
+    /// Finished sessions that were cancelled or aborted by shutdown.
+    pub service_cancelled: Counter,
+    /// Cross-query cache lookups that returned warm-start plans.
+    pub cache_hits: Counter,
+    /// Cross-query cache lookups that returned nothing.
+    pub cache_misses: Counter,
+    /// Executed physical plans.
+    pub exec_runs: Counter,
+    /// Tuples processed by execution engine operators.
+    pub exec_tuples: Counter,
+    /// Rows spilled by blocking operators under their memory grant.
+    pub exec_spilled_rows: Counter,
+    /// Inner-side rescans performed by nested-loop-style operators.
+    pub exec_inner_rescans: Counter,
+    /// Nanoseconds spent waiting for the shared-frontier merge mutex
+    /// (sampled: every 8th publish).
+    pub exchange_mutex_wait_ns: Histogram,
+    /// Queue delay in microseconds: submission to first optimizer step.
+    pub service_queue_delay_us: Histogram,
+    /// Scheduling-slice duration in microseconds (per-session step timing
+    /// at slice granularity — the sampled clock that avoids a per-step
+    /// `Instant::now`).
+    pub service_slice_us: Histogram,
+    /// Plans absorbed from the cross-query cache per warm-started session.
+    pub service_warm_start_depth: Histogram,
+    /// Peak buffered rows per executed plan.
+    pub exec_peak_buffer_rows: Histogram,
+}
+
+impl Metrics {
+    const fn new() -> Self {
+        Metrics {
+            rmq_iterations: ShardedCounter::new(),
+            climb_candidates: ShardedCounter::new(),
+            climb_agg_key_skips: ShardedCounter::new(),
+            climb_dominance_tests: ShardedCounter::new(),
+            climb_rejected: ShardedCounter::new(),
+            climb_admitted: ShardedCounter::new(),
+            climb_evicted: ShardedCounter::new(),
+            arena_interns: ShardedCounter::new(),
+            arena_dedup_hits: ShardedCounter::new(),
+            exchange_publishes: Counter::new(),
+            exchange_offered: Counter::new(),
+            exchange_merged: Counter::new(),
+            exchange_epochs: Counter::new(),
+            exchange_absorbed: Counter::new(),
+            service_submitted: Counter::new(),
+            service_rejected_queue_full: Counter::new(),
+            service_rejected_no_slots: Counter::new(),
+            service_rejected_shutdown: Counter::new(),
+            service_completed: Counter::new(),
+            service_cancelled: Counter::new(),
+            cache_hits: Counter::new(),
+            cache_misses: Counter::new(),
+            exec_runs: Counter::new(),
+            exec_tuples: Counter::new(),
+            exec_spilled_rows: Counter::new(),
+            exec_inner_rescans: Counter::new(),
+            exchange_mutex_wait_ns: Histogram::new(),
+            service_queue_delay_us: Histogram::new(),
+            service_slice_us: Histogram::new(),
+            service_warm_start_depth: Histogram::new(),
+            exec_peak_buffer_rows: Histogram::new(),
+        }
+    }
+
+    /// Every counter with its dotted name, in registration order.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("rmq.iterations", self.rmq_iterations.get()),
+            ("climb.candidates", self.climb_candidates.get()),
+            ("climb.agg_key_skips", self.climb_agg_key_skips.get()),
+            ("climb.dominance_tests", self.climb_dominance_tests.get()),
+            ("climb.rejected", self.climb_rejected.get()),
+            ("climb.admitted", self.climb_admitted.get()),
+            ("climb.evicted", self.climb_evicted.get()),
+            ("arena.interns", self.arena_interns.get()),
+            ("arena.dedup_hits", self.arena_dedup_hits.get()),
+            ("exchange.publishes", self.exchange_publishes.get()),
+            ("exchange.offered", self.exchange_offered.get()),
+            ("exchange.merged", self.exchange_merged.get()),
+            ("exchange.epochs", self.exchange_epochs.get()),
+            ("exchange.absorbed", self.exchange_absorbed.get()),
+            ("service.submitted", self.service_submitted.get()),
+            (
+                "service.rejected_queue_full",
+                self.service_rejected_queue_full.get(),
+            ),
+            (
+                "service.rejected_no_slots",
+                self.service_rejected_no_slots.get(),
+            ),
+            (
+                "service.rejected_shutdown",
+                self.service_rejected_shutdown.get(),
+            ),
+            ("service.completed", self.service_completed.get()),
+            ("service.cancelled", self.service_cancelled.get()),
+            ("cache.hits", self.cache_hits.get()),
+            ("cache.misses", self.cache_misses.get()),
+            ("exec.runs", self.exec_runs.get()),
+            ("exec.tuples", self.exec_tuples.get()),
+            ("exec.spilled_rows", self.exec_spilled_rows.get()),
+            ("exec.inner_rescans", self.exec_inner_rescans.get()),
+        ]
+    }
+
+    /// Every histogram with its dotted name, in registration order.
+    pub fn histograms(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        vec![
+            (
+                "exchange.mutex_wait_ns",
+                self.exchange_mutex_wait_ns.snapshot(),
+            ),
+            (
+                "service.queue_delay_us",
+                self.service_queue_delay_us.snapshot(),
+            ),
+            ("service.slice_us", self.service_slice_us.snapshot()),
+            (
+                "service.warm_start_depth",
+                self.service_warm_start_depth.snapshot(),
+            ),
+            (
+                "exec.peak_buffer_rows",
+                self.exec_peak_buffer_rows.snapshot(),
+            ),
+        ]
+    }
+}
+
+static METRICS: Metrics = Metrics::new();
+
+/// The process-global metrics registry. Counters are monotone for the
+/// process lifetime; consumers wanting per-phase numbers take before/after
+/// deltas (which is what the bench harness does per fixture).
+#[inline]
+pub fn metrics() -> &'static Metrics {
+    &METRICS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_sharded_counter_accumulate() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        c.add(0);
+        assert_eq!(c.get(), 42);
+
+        let s = ShardedCounter::new();
+        s.add(5);
+        s.incr();
+        assert_eq!(s.get(), 6);
+    }
+
+    #[test]
+    fn sharded_counter_sums_across_threads() {
+        let s = std::sync::Arc::new(ShardedCounter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.get(), 4000);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+        for v in [0u64, 1, 2, 3, 100, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.sum, 1_001_106);
+        assert_eq!(snap.max, 1_000_000);
+        // p50 falls in the bucket containing 3 → upper bound 3.
+        assert_eq!(snap.p50, 3);
+        // Quantiles are bucket upper bounds, tightened by the max.
+        assert!(snap.p99 >= 1000 && snap.p99 <= 1_000_000);
+        assert!(snap.mean() > 0.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_never_exceed_max() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(700);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.p50, 700);
+        assert_eq!(snap.p99, 700);
+        assert_eq!(snap.max, 700);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone() {
+        let mut last = 0;
+        for v in [0u64, 1, 2, 4, 16, 1024, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(idx >= last);
+            assert!(idx < HISTOGRAM_BUCKETS);
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn registry_enumerates_all_metrics() {
+        let names: Vec<&str> = metrics().counters().iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"rmq.iterations"));
+        assert!(names.contains(&"climb.agg_key_skips"));
+        assert!(names.contains(&"exchange.merged"));
+        assert!(names.contains(&"service.rejected_queue_full"));
+        assert!(names.contains(&"exec.tuples"));
+        let hists: Vec<&str> = metrics().histograms().iter().map(|(n, _)| *n).collect();
+        assert!(hists.contains(&"service.queue_delay_us"));
+        assert!(hists.contains(&"exchange.mutex_wait_ns"));
+    }
+}

@@ -24,6 +24,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use moqo_obs::{journal, metrics};
 
 use moqo_core::arena::{PlanArena, PlanId};
 use moqo_core::fxhash::FxHashMap;
@@ -86,7 +89,15 @@ pub struct SharedFrontier {
     snapshot: Mutex<Arc<FrontierSnapshot>>,
     /// Plans absorbed by workers (updated outside the merge lock).
     absorbed: AtomicU64,
+    /// Publish tick used to sample merge-mutex wait time (see
+    /// [`MUTEX_WAIT_SAMPLE`]); bumped before taking the lock.
+    publish_ticks: AtomicU64,
 }
+
+/// Every `N`th publish times its merge-mutex acquisition into the
+/// `exchange.mutex_wait_ns` histogram. Sampling keeps `Instant::now` off
+/// the common publish path while still exposing contention trends.
+const MUTEX_WAIT_SAMPLE: u64 = 8;
 
 impl Default for SharedFrontier {
     fn default() -> Self {
@@ -109,6 +120,7 @@ impl SharedFrontier {
             }),
             snapshot: Mutex::new(Arc::new(FrontierSnapshot::default())),
             absorbed: AtomicU64::new(0),
+            publish_ticks: AtomicU64::new(0),
         }
     }
 
@@ -119,9 +131,24 @@ impl SharedFrontier {
     /// changed, the epoch advances and a fresh snapshot is swapped in.
     /// Returns the number of plans that survived the merge.
     pub fn publish(&self, src: &PlanArena, frontier: &ParetoSet<PlanId>) -> usize {
-        let mut state = self.merge.lock().unwrap();
+        let obs = metrics();
+        // Sample merge-mutex wait time on every MUTEX_WAIT_SAMPLE'th
+        // publish: one `Instant` pair around the acquisition, off the
+        // common path.
+        let sampled = self.publish_ticks.fetch_add(1, Ordering::Relaxed) % MUTEX_WAIT_SAMPLE == 0;
+        let mut state = if sampled {
+            let before = Instant::now();
+            let state = self.merge.lock().unwrap();
+            obs.exchange_mutex_wait_ns
+                .record(before.elapsed().as_nanos() as u64);
+            state
+        } else {
+            self.merge.lock().unwrap()
+        };
         state.publishes += 1;
         state.offered += frontier.len() as u64;
+        obs.exchange_publishes.incr();
+        obs.exchange_offered.add(frontier.len() as u64);
         let MergeState {
             arena,
             global,
@@ -131,10 +158,23 @@ impl SharedFrontier {
         memo.clear();
         let inserted = global.merge_approx_with(frontier, 1.0, |&id| arena.adopt(src, id, memo));
         if inserted == 0 {
+            // No admission: the epoch must not move (the invariant the
+            // concurrent-exchange tests pin), so no snapshot swap either.
+            let epoch = state.epoch;
+            drop(state);
+            journal::emit_with(journal::Target::Exchange, journal::Level::Debug, || {
+                journal::EventKind::ExchangePublish {
+                    offered: frontier.len() as u64,
+                    merged: 0,
+                    epoch,
+                }
+            });
             return 0;
         }
         state.merged += inserted as u64;
         state.epoch += 1;
+        obs.exchange_merged.add(inserted as u64);
+        obs.exchange_epochs.incr();
         // Export under the merge lock (exports are memoized per node, so
         // only newly adopted plans build trees), then swap the read-side
         // Arc under its own short lock.
@@ -143,11 +183,17 @@ impl SharedFrontier {
             .iter()
             .map(|&id| state.arena.export(id))
             .collect();
-        let fresh = Arc::new(FrontierSnapshot {
-            epoch: state.epoch,
-            plans,
-        });
+        let epoch = state.epoch;
+        let fresh = Arc::new(FrontierSnapshot { epoch, plans });
         *self.snapshot.lock().unwrap() = fresh;
+        drop(state);
+        journal::emit_with(journal::Target::Exchange, journal::Level::Info, || {
+            journal::EventKind::ExchangePublish {
+                offered: frontier.len() as u64,
+                merged: inserted as u64,
+                epoch,
+            }
+        });
         inserted
     }
 
@@ -164,6 +210,7 @@ impl SharedFrontier {
     /// Records `n` plans absorbed by a worker (for [`ExchangeStats`]).
     pub fn record_absorbed(&self, n: usize) {
         self.absorbed.fetch_add(n as u64, Ordering::Relaxed);
+        metrics().exchange_absorbed.add(n as u64);
     }
 
     /// Lifetime exchange counters.
@@ -249,6 +296,42 @@ mod tests {
         assert!(stats.offered >= stats.merged);
         assert!(stats.arena_nodes > 0);
         assert!(stats.epochs >= 1);
+    }
+
+    #[test]
+    fn counters_consistent_under_concurrent_exchange() {
+        // Satellite invariants: merged ≤ offered, the epoch bumps only on
+        // admission (so epochs ≤ merged), and the published snapshot's
+        // epoch always equals the stats' epoch once the dust settles —
+        // regardless of how publishes interleave across threads.
+        let shared = SharedFrontier::new();
+        // `Rmq` is intentionally !Sync (interior RefCell caches), so each
+        // thread builds and owns its worker — as in real ParRmq usage.
+        std::thread::scope(|s| {
+            let shared = &shared;
+            for seed in 1..=4u64 {
+                s.spawn(move || {
+                    let (rmq, _) = worker_frontier(seed, 6);
+                    for _ in 0..3 {
+                        shared.publish(rmq.arena(), rmq.frontier_set().unwrap());
+                        let snap = shared.snapshot();
+                        shared.record_absorbed(snap.plans.len());
+                    }
+                });
+            }
+        });
+        let stats = shared.stats();
+        assert_eq!(stats.publishes, 12);
+        assert!(stats.merged <= stats.offered, "{stats:?}");
+        assert!(
+            stats.epochs <= stats.merged,
+            "every epoch bump must admit at least one plan: {stats:?}"
+        );
+        assert!(stats.epochs >= 1);
+        assert_eq!(shared.snapshot().epoch, stats.epochs);
+        assert!(stats.absorbed > 0);
+        // The surviving global frontier cannot exceed what was merged.
+        assert!(shared.snapshot().plans.len() as u64 <= stats.merged);
     }
 
     #[test]

@@ -237,6 +237,20 @@ fn absorb_global<M: CostModel>(worker: &mut Worker<M>, shared: &SharedFrontier) 
     let absorbed = worker.rmq.warm_start(snap.plans.iter().cloned());
     worker.absorbed += absorbed as u64;
     shared.record_absorbed(absorbed);
+    moqo_obs::ctx::set_epoch(snap.epoch);
+    if moqo_obs::journal::enabled(
+        moqo_obs::journal::Target::Exchange,
+        moqo_obs::journal::Level::Debug,
+    ) {
+        moqo_obs::journal::emit_with(
+            moqo_obs::journal::Target::Exchange,
+            moqo_obs::journal::Level::Debug,
+            || moqo_obs::journal::EventKind::ExchangeAbsorb {
+                epoch: snap.epoch,
+                absorbed: absorbed as u64,
+            },
+        );
+    }
 }
 
 /// The parallel RMQ optimizer (see the crate docs).
@@ -322,7 +336,12 @@ impl<M: CostModel + Clone + Send> ParRmq<M> {
                             WorkPlan::Until(AbortCheck::new(stop.clone(), Some(at)))
                         }
                     };
-                    s.spawn(move || run_worker(worker, plan, exchange))
+                    s.spawn(move || {
+                        // Tag the thread's observability context so journal
+                        // events carry the worker id (1-based; 0 = unset).
+                        moqo_obs::ctx::set_worker(w as u32 + 1);
+                        run_worker(worker, plan, exchange)
+                    })
                 })
                 .collect();
             handles

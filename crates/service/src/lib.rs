@@ -77,8 +77,21 @@ use std::time::{Duration, Instant};
 use moqo_core::optimizer::Budget;
 use moqo_core::tables::TableSet;
 
+use moqo_obs::journal::{self, EventKind, Level, Target};
+use moqo_obs::{ctx, metrics};
+
 use scheduler::{finalize, worker_loop, ActiveSession, RemainingBudget, SchedState, ServiceCore};
 use session::SessionShared;
+
+/// Emits an admission-rejection journal event (the matching rejection
+/// counter is bumped at the call site, which knows the branch).
+fn journal_rejected(reason: &'static str) {
+    if journal::enabled(Target::Admission, Level::Warn) {
+        journal::emit_with(Target::Admission, Level::Warn, || {
+            EventKind::SessionRejected { reason }
+        });
+    }
+}
 
 /// The exchange seam the service schedules: anytime, `Send`, optionally
 /// able to exchange partial plans with the cross-query cache, and
@@ -219,6 +232,8 @@ impl OptimizationService {
             if sched.shutdown {
                 drop(sched);
                 self.core.stats.record_rejected();
+                metrics().service_rejected_shutdown.incr();
+                journal_rejected("shutdown");
                 return Err(AdmissionError::ShuttingDown);
             }
             let limit = self.core.config.admission.max_live_sessions;
@@ -226,6 +241,8 @@ impl OptimizationService {
                 let live = sched.live;
                 drop(sched);
                 self.core.stats.record_rejected();
+                metrics().service_rejected_queue_full.incr();
+                journal_rejected("queue_full");
                 return Err(AdmissionError::QueueFull { live, limit });
             }
             let slot_limit = self.core.config.admission.max_worker_slots;
@@ -233,6 +250,8 @@ impl OptimizationService {
                 let in_use = sched.worker_slots;
                 drop(sched);
                 self.core.stats.record_rejected();
+                metrics().service_rejected_no_slots.incr();
+                journal_rejected("no_worker_slots");
                 return Err(AdmissionError::NoWorkerSlots {
                     in_use,
                     requested: fan_out,
@@ -250,11 +269,25 @@ impl OptimizationService {
         } else {
             optimizer.absorb_plans(&warm)
         };
+        let m = metrics();
+        if warm.is_empty() {
+            m.cache_misses.incr();
+        } else {
+            m.cache_hits.incr();
+        }
+        m.service_warm_start_depth.record(absorbed as u64);
+        if journal::enabled(Target::Cache, Level::Debug) {
+            journal::emit_with(Target::Cache, Level::Debug, || EventKind::CacheLookup {
+                hit: !warm.is_empty(),
+                plans: warm.len() as u64,
+            });
+        }
         let now = Instant::now();
         let id = SessionId(self.core.next_id.fetch_add(1, Ordering::Relaxed));
         let shared = SessionShared::new(now);
         shared.state.lock().unwrap().absorbed = absorbed;
         let session = ActiveSession {
+            id,
             optimizer,
             remaining: RemainingBudget::from_budget(budget, now),
             shared: Arc::clone(&shared),
@@ -271,12 +304,24 @@ impl OptimizationService {
                 sched.worker_slots -= fan_out;
                 drop(sched);
                 self.core.stats.record_rejected();
+                metrics().service_rejected_shutdown.incr();
+                journal_rejected("shutdown");
                 return Err(AdmissionError::ShuttingDown);
             }
             sched.ready.push_back(session);
         }
         self.core.sched_cond.notify_one();
         self.core.stats.record_submitted(fan_out);
+        m.service_submitted.incr();
+        if journal::enabled(Target::Admission, Level::Info) {
+            ctx::set_session(id.0);
+            journal::emit_with(Target::Admission, Level::Info, || {
+                EventKind::SessionSubmitted {
+                    fan_out: fan_out as u64,
+                    warm_plans: absorbed as u64,
+                }
+            });
+        }
         Ok(SessionHandle { id, shared })
     }
 

@@ -21,8 +21,11 @@ use moqo_core::fxhash::FxHasher;
 use moqo_core::optimizer::{drive, Budget, Observer};
 use moqo_core::plan::PlanRef;
 
+use moqo_obs::journal::{self, EventKind, Level, Target};
+use moqo_obs::{ctx, metrics};
+
 use crate::cache::SharedPlanCache;
-use crate::session::{DoneReason, SessionShared, SessionStatus};
+use crate::session::{DoneReason, SessionId, SessionShared, SessionStatus};
 use crate::stats::StatsCollector;
 use crate::{PlanExchange, ServiceConfig};
 
@@ -60,6 +63,7 @@ impl RemainingBudget {
 /// time, so the optimizer needs no internal synchronization — a fanned-out
 /// optimizer manages its own intra-step threads).
 pub(crate) struct ActiveSession {
+    pub id: SessionId,
     pub optimizer: Box<dyn PlanExchange>,
     pub remaining: RemainingBudget,
     pub shared: Arc<SessionShared>,
@@ -146,12 +150,28 @@ impl Observer for SliceObserver<'_> {
 /// Runs one scheduling slice. Returns `Some(reason)` when the session is
 /// finished and must be finalized.
 pub(crate) fn run_slice(core: &ServiceCore, sess: &mut ActiveSession) -> Option<DoneReason> {
+    ctx::set_session(sess.id.0);
     {
         let mut state = sess.shared.state.lock().unwrap();
         if state.cancel_requested {
             return Some(DoneReason::Cancelled);
         }
         state.status = SessionStatus::Running;
+        if state.first_step_at.is_none() {
+            // End of the session's queueing delay: its first slice starts.
+            let now = Instant::now();
+            state.first_step_at = Some(now);
+            let delay = now.duration_since(state.submitted_at);
+            drop(state);
+            core.stats.record_queue_delay(delay);
+            let delay_us = delay.as_micros() as u64;
+            metrics().service_queue_delay_us.record(delay_us);
+            if journal::enabled(Target::Service, Level::Debug) {
+                journal::emit_with(Target::Service, Level::Debug, || {
+                    EventKind::SessionFirstStep { delay_us }
+                });
+            }
+        }
     }
     let slice_budget = match sess.remaining {
         RemainingBudget::Steps { done, total } => {
@@ -172,7 +192,11 @@ pub(crate) fn run_slice(core: &ServiceCore, sess: &mut ActiveSession) -> Option<
         shared: &sess.shared,
         last_sig: &mut sess.last_sig,
     };
+    let slice_start = Instant::now();
     let stats = drive(sess.optimizer.as_mut(), slice_budget, &mut observer);
+    metrics()
+        .service_slice_us
+        .record(slice_start.elapsed().as_micros() as u64);
     sess.shared.state.lock().unwrap().steps += stats.steps;
     if stats.exhausted {
         return Some(DoneReason::OptimizerExhausted);
@@ -230,6 +254,26 @@ pub(crate) fn finalize(core: &ServiceCore, sess: ActiveSession, reason: DoneReas
     // `wait_done` must observe the completed counters.
     let aborted = matches!(reason, DoneReason::Cancelled | DoneReason::ServiceShutdown);
     core.stats.record_completed(steps, ttff, aborted);
+    let m = metrics();
+    m.service_completed.incr();
+    if aborted {
+        m.service_cancelled.incr();
+    }
+    if journal::enabled(Target::Service, Level::Info) {
+        ctx::set_session(sess.id.0);
+        let reason_str = match reason {
+            DoneReason::BudgetExhausted => "budget_exhausted",
+            DoneReason::OptimizerExhausted => "optimizer_exhausted",
+            DoneReason::Cancelled => "cancelled",
+            DoneReason::ServiceShutdown => "shutdown",
+        };
+        let ttff_us = ttff.map(|d| d.as_micros() as u64);
+        journal::emit_with(Target::Service, Level::Info, || EventKind::SessionDone {
+            steps,
+            reason: reason_str,
+            ttff_us,
+        });
+    }
     {
         let mut sched = core.sched.lock().unwrap();
         sched.live -= 1;

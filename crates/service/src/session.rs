@@ -78,6 +78,9 @@ pub(crate) struct SessionState {
     pub steps: u64,
     pub cancel_requested: bool,
     pub submitted_at: Instant,
+    /// When the first scheduling slice picked this session up — the end of
+    /// its queueing delay (`None` until first stepped).
+    pub first_step_at: Option<Instant>,
     pub first_frontier_at: Option<Instant>,
     /// Plans absorbed from the cross-query cache at warm-start.
     pub absorbed: usize,
@@ -99,6 +102,7 @@ impl SessionShared {
                 steps: 0,
                 cancel_requested: false,
                 submitted_at: now,
+                first_step_at: None,
                 first_frontier_at: None,
                 absorbed: 0,
             }),

@@ -43,16 +43,57 @@ pub struct ServiceStats {
     pub ttff_p50: Option<Duration>,
     /// 99th-percentile time to first non-empty frontier.
     pub ttff_p99: Option<Duration>,
+    /// Median queueing delay: submission → first optimizer step (`None`
+    /// until a session was stepped).
+    pub queue_delay_p50: Option<Duration>,
+    /// 99th-percentile queueing delay.
+    pub queue_delay_p99: Option<Duration>,
     /// Cross-query plan cache counters.
     pub cache: CacheStats,
 }
 
-/// Bound on retained TTFF samples. Percentiles are computed over a
-/// sliding window of the most recent samples (ring-buffer overwrite), so
-/// a long-running service neither grows without bound nor pays more than
-/// `O(CAP log CAP)` per stats snapshot — and recent-window percentiles
-/// are the conventional choice for serving latency metrics anyway.
+/// Bound on retained latency samples per window. Percentiles are computed
+/// over a sliding window of the most recent samples (ring-buffer
+/// overwrite), so a long-running service neither grows without bound nor
+/// pays more than `O(CAP log CAP)` per stats snapshot — and recent-window
+/// percentiles are the conventional choice for serving latency metrics
+/// anyway.
 const TTFF_SAMPLE_CAP: usize = 4096;
+
+/// A bounded sliding window of duration samples: the most recent
+/// [`TTFF_SAMPLE_CAP`] values, overwritten ring-buffer style. Used for
+/// both the TTFF and the queueing-delay percentile windows.
+struct SampleWindow {
+    samples: Vec<Duration>,
+    /// Samples ever recorded (ring-buffer write cursor).
+    count: u64,
+}
+
+impl SampleWindow {
+    const fn new() -> Self {
+        SampleWindow {
+            samples: Vec::new(),
+            count: 0,
+        }
+    }
+
+    fn record(&mut self, sample: Duration) {
+        let slot = (self.count % TTFF_SAMPLE_CAP as u64) as usize;
+        if self.samples.len() < TTFF_SAMPLE_CAP {
+            self.samples.push(sample);
+        } else {
+            self.samples[slot] = sample;
+        }
+        self.count += 1;
+    }
+
+    /// The window's samples, ascending — the input `percentile` expects.
+    fn sorted(&self) -> Vec<Duration> {
+        let mut samples = self.samples.clone();
+        samples.sort_unstable();
+        samples
+    }
+}
 
 struct StatsInner {
     submitted: u64,
@@ -62,9 +103,8 @@ struct StatsInner {
     completed: u64,
     cancelled: u64,
     total_steps: u64,
-    ttff_samples: Vec<Duration>,
-    /// TTFF samples ever recorded (ring-buffer write cursor).
-    ttff_count: u64,
+    ttff: SampleWindow,
+    queue_delay: SampleWindow,
 }
 
 /// Internal collector behind the service.
@@ -85,8 +125,8 @@ impl StatsCollector {
                 completed: 0,
                 cancelled: 0,
                 total_steps: 0,
-                ttff_samples: Vec::new(),
-                ttff_count: 0,
+                ttff: SampleWindow::new(),
+                queue_delay: SampleWindow::new(),
             }),
         }
     }
@@ -112,14 +152,13 @@ impl StatsCollector {
             inner.cancelled += 1;
         }
         if let Some(ttff) = ttff {
-            let slot = (inner.ttff_count % TTFF_SAMPLE_CAP as u64) as usize;
-            if inner.ttff_samples.len() < TTFF_SAMPLE_CAP {
-                inner.ttff_samples.push(ttff);
-            } else {
-                inner.ttff_samples[slot] = ttff;
-            }
-            inner.ttff_count += 1;
+            inner.ttff.record(ttff);
         }
+    }
+
+    /// Records one queueing delay (submission → first optimizer step).
+    pub(crate) fn record_queue_delay(&self, delay: Duration) {
+        self.inner.lock().unwrap().queue_delay.record(delay);
     }
 
     pub(crate) fn snapshot(
@@ -130,8 +169,8 @@ impl StatsCollector {
     ) -> ServiceStats {
         let inner = self.inner.lock().unwrap();
         let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
-        let mut samples = inner.ttff_samples.clone();
-        samples.sort_unstable();
+        let ttff = inner.ttff.sorted();
+        let queue_delay = inner.queue_delay.sorted();
         ServiceStats {
             submitted: inner.submitted,
             rejected: inner.rejected,
@@ -143,8 +182,10 @@ impl StatsCollector {
             fan_out_submitted: inner.fan_out_submitted,
             total_steps: inner.total_steps,
             throughput_per_sec: inner.completed as f64 / elapsed,
-            ttff_p50: percentile(&samples, 0.50),
-            ttff_p99: percentile(&samples, 0.99),
+            ttff_p50: percentile(&ttff, 0.50),
+            ttff_p99: percentile(&ttff, 0.99),
+            queue_delay_p50: percentile(&queue_delay, 0.50),
+            queue_delay_p99: percentile(&queue_delay, 0.99),
             cache,
         }
     }
@@ -181,13 +222,76 @@ mod tests {
             c.record_completed(1, Some(Duration::from_micros(i as u64)), false);
         }
         let inner = c.inner.lock().unwrap();
-        assert_eq!(inner.ttff_samples.len(), TTFF_SAMPLE_CAP);
-        assert_eq!(inner.ttff_count, (TTFF_SAMPLE_CAP + 100) as u64);
+        assert_eq!(inner.ttff.samples.len(), TTFF_SAMPLE_CAP);
+        assert_eq!(inner.ttff.count, (TTFF_SAMPLE_CAP + 100) as u64);
         // Ring overwrite: the oldest samples were replaced by the newest.
         assert!(inner
-            .ttff_samples
+            .ttff
+            .samples
             .contains(&Duration::from_micros((TTFF_SAMPLE_CAP + 99) as u64)));
-        assert!(!inner.ttff_samples.contains(&Duration::from_micros(0)));
+        assert!(!inner.ttff.samples.contains(&Duration::from_micros(0)));
+    }
+
+    #[test]
+    fn ttff_ring_wraps_to_exactly_the_most_recent_window() {
+        // Write 2.5 windows of increasing samples: the retained set must be
+        // exactly the last TTFF_SAMPLE_CAP values, independent of where the
+        // cursor sits inside the ring.
+        let total = TTFF_SAMPLE_CAP * 5 / 2;
+        let mut w = SampleWindow::new();
+        for i in 0..total {
+            w.record(Duration::from_micros(i as u64));
+        }
+        assert_eq!(w.samples.len(), TTFF_SAMPLE_CAP);
+        assert_eq!(w.count, total as u64);
+        let sorted = w.sorted();
+        let expect: Vec<Duration> = ((total - TTFF_SAMPLE_CAP)..total)
+            .map(|i| Duration::from_micros(i as u64))
+            .collect();
+        assert_eq!(sorted, expect, "window must hold exactly the newest CAP");
+    }
+
+    #[test]
+    fn percentiles_over_a_known_distribution_through_the_window() {
+        // Feed a shuffled 1..=1000µs distribution through record(): the
+        // window's sorted view must reproduce the exact nearest-rank
+        // percentiles of the underlying distribution.
+        let mut w = SampleWindow::new();
+        // Deterministic shuffle: a full-period multiplicative stride.
+        for i in 0..1000u64 {
+            let v = (i * 617) % 1000 + 1;
+            w.record(Duration::from_micros(v));
+        }
+        let sorted = w.sorted();
+        assert_eq!(percentile(&sorted, 0.50), Some(Duration::from_micros(500)));
+        assert_eq!(percentile(&sorted, 0.90), Some(Duration::from_micros(900)));
+        assert_eq!(percentile(&sorted, 0.99), Some(Duration::from_micros(990)));
+        assert_eq!(percentile(&sorted, 1.0), Some(Duration::from_micros(1000)));
+    }
+
+    #[test]
+    fn empty_windows_report_no_percentiles() {
+        let c = StatsCollector::new();
+        // A completion without a frontier records no TTFF sample.
+        c.record_completed(3, None, false);
+        let s = c.snapshot(0, 0, CacheStats::default());
+        assert_eq!(s.ttff_p50, None);
+        assert_eq!(s.ttff_p99, None);
+        assert_eq!(s.queue_delay_p50, None);
+        assert_eq!(s.queue_delay_p99, None);
+    }
+
+    #[test]
+    fn queue_delay_window_aggregates_independently_of_ttff() {
+        let c = StatsCollector::new();
+        c.record_queue_delay(Duration::from_micros(10));
+        c.record_queue_delay(Duration::from_micros(30));
+        c.record_queue_delay(Duration::from_micros(20));
+        c.record_completed(1, Some(Duration::from_millis(5)), false);
+        let s = c.snapshot(0, 0, CacheStats::default());
+        assert_eq!(s.queue_delay_p50, Some(Duration::from_micros(20)));
+        assert_eq!(s.queue_delay_p99, Some(Duration::from_micros(30)));
+        assert_eq!(s.ttff_p50, Some(Duration::from_millis(5)));
     }
 
     #[test]

@@ -4,10 +4,10 @@
 //! plan-space machinery ([`core`]), database catalogs ([`catalog`]),
 //! production cost models ([`cost`]), random workload generation
 //! ([`workload`]), baseline algorithms ([`baselines`]), a toy execution
-//! engine ([`exec`]), frontier-quality metrics ([`metrics`]), the paper's
-//! experiment harness ([`harness`]), intra-query parallel optimization
-//! ([`parallel`]), and the concurrent anytime optimization service
-//! ([`service`]).
+//! engine ([`exec`]), frontier-quality metrics ([`metrics`]), zero-overhead
+//! observability ([`obs`]), the paper's experiment harness ([`harness`]),
+//! intra-query parallel optimization ([`parallel`]), and the concurrent
+//! anytime optimization service ([`service`]).
 //!
 //! The root package also owns the workspace-wide integration tests
 //! (`tests/`) and runnable examples (`examples/`). See the repository
@@ -23,6 +23,7 @@ pub use moqo_cost as cost;
 pub use moqo_exec as exec;
 pub use moqo_harness as harness;
 pub use moqo_metrics as metrics;
+pub use moqo_obs as obs;
 pub use moqo_parallel as parallel;
 pub use moqo_service as service;
 pub use moqo_workload as workload;

@@ -57,6 +57,16 @@ impl Value {
         }
     }
 
+    /// The object's ordered key/value pairs, if this is an object. (The
+    /// real `serde_json` returns a `Map`; the shim exposes its ordered
+    /// pair list, which supports the same iteration patterns.)
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// Whether this value is `null`.
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
