@@ -21,6 +21,7 @@
 //! empty set until the computation has completed, reproducing the paper's
 //! "did not return any results within the time frame" semantics.
 
+use moqo_core::archive::Admission;
 use moqo_core::arena::{PlanArena, PlanId};
 use moqo_core::fxhash::FxHashMap;
 use moqo_core::model::CostModel;
@@ -116,12 +117,13 @@ impl<M: CostModel> DpOptimizer<M> {
         if mask.count_ones() == 1 {
             let t = self.tables[mask.trailing_zeros() as usize];
             // Cost each scan candidate first; intern on admission only
-            // (`insert_approx_with`): under a coarse α most candidates are
+            // ([`ParetoSet::admit`]): under a coarse α most candidates are
             // pruned without allocating.
+            let admission = Admission::approx(self.alpha);
             let mut entry = self.frontiers.remove(&mask).unwrap_or_default();
             for &op in model.scan_ops(t) {
                 let props = model.scan_props(t, op);
-                entry.insert_approx_with(&props.cost, props.format, self.alpha, || {
+                entry.admit(&props.cost, props.format, &admission, || {
                     arena.scan_from_props(t, op, props)
                 });
                 self.plans_costed += 1;
@@ -132,6 +134,7 @@ impl<M: CostModel> DpOptimizer<M> {
         // Enumerate every proper non-empty split (outer, inner): the
         // standard sub = (sub - 1) & mask walk visits each ordered pair
         // exactly once, covering join commutativity.
+        let admission = Admission::approx(self.alpha);
         let mut result: ParetoSet<PlanId> = ParetoSet::new();
         let mut ops = Vec::new();
         let mut sub = (mask.wrapping_sub(1)) & mask;
@@ -149,7 +152,7 @@ impl<M: CostModel> DpOptimizer<M> {
                     model.join_ops(&arena.view(o), &arena.view(i), &mut ops);
                     for &op in &ops {
                         let props = model.join_props(&arena.view(o), &arena.view(i), op);
-                        result.insert_approx_with(&props.cost, props.format, self.alpha, || {
+                        result.admit(&props.cost, props.format, &admission, || {
                             arena.join_from_props(o, i, op, props)
                         });
                         self.plans_costed += 1;

@@ -11,6 +11,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use moqo_core::archive::Admission;
 use moqo_core::arena::{PlanArena, PlanId};
 use moqo_core::climb::{pareto_climb_in, ClimbConfig, StepScratch};
 use moqo_core::model::CostModel;
@@ -79,7 +80,9 @@ impl<M: CostModel> Optimizer for IterativeImprovement<M> {
         );
         let view = self.arena.view(optimum);
         self.archive
-            .insert_cost_frontier_with(&view.cost, view.format, || optimum);
+            .admit(&view.cost, view.format, &Admission::cost_frontier(), || {
+                optimum
+            });
         self.iterations += 1;
         true
     }

@@ -19,6 +19,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use moqo_core::archive::Admission;
 use moqo_core::arena::{PlanArena, PlanId};
 use moqo_core::cost::CostVector;
 use moqo_core::model::CostModel;
@@ -368,7 +369,7 @@ impl<M: CostModel> Optimizer for Nsga2<M> {
         let mut set: ParetoSet<PlanId> = ParetoSet::new();
         for ind in self.population.iter().filter(|i| i.rank == 0) {
             let format = self.arena.node(ind.plan).format();
-            set.insert_cost_frontier_with(&ind.cost, format, || ind.plan);
+            set.admit(&ind.cost, format, &Admission::cost_frontier(), || ind.plan);
         }
         set.into_plans()
             .into_iter()

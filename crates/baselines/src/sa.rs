@@ -19,6 +19,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use moqo_core::archive::Admission;
 use moqo_core::arena::{PlanArena, PlanId};
 use moqo_core::cost::CostVector;
 use moqo_core::model::CostModel;
@@ -87,7 +88,9 @@ impl<M: CostModel> SimulatedAnnealing<M> {
         let current = random_plan_in(&mut arena, &model, query, &mut rng);
         let mut archive: ParetoSet<PlanId> = ParetoSet::new();
         let view = arena.view(current);
-        archive.insert_cost_frontier_with(&view.cost, view.format, || current);
+        archive.admit(&view.cost, view.format, &Admission::cost_frontier(), || {
+            current
+        });
         SimulatedAnnealing {
             model,
             query,
@@ -110,7 +113,7 @@ impl<M: CostModel> SimulatedAnnealing<M> {
         let id = self.arena.import(&plan);
         let view = self.arena.view(id);
         self.archive
-            .insert_cost_frontier_with(&view.cost, view.format, || id);
+            .admit(&view.cost, view.format, &Admission::cost_frontier(), || id);
         self.current = id;
         self.temperature = temperature;
     }
@@ -157,7 +160,7 @@ impl<M: CostModel> Optimizer for SimulatedAnnealing<M> {
             let view = self.arena.view(self.current);
             let id = self.current;
             self.archive
-                .insert_cost_frontier_with(&view.cost, view.format, || id);
+                .admit(&view.cost, view.format, &Admission::cost_frontier(), || id);
             self.temperature = self.params.initial_temperature;
         }
         let moves = self.params.moves_per_table * self.query.len().max(1);
@@ -177,7 +180,9 @@ impl<M: CostModel> Optimizer for SimulatedAnnealing<M> {
                 self.current = candidate;
                 let format = self.arena.node(candidate).format();
                 self.archive
-                    .insert_cost_frontier_with(&candidate_cost, format, || candidate);
+                    .admit(&candidate_cost, format, &Admission::cost_frontier(), || {
+                        candidate
+                    });
                 self.accepted += 1;
             }
         }

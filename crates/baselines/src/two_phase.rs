@@ -16,6 +16,7 @@
 //! exported from II's arena and re-interned into SA's via
 //! [`SimulatedAnnealing::restart_from`].
 
+use moqo_core::archive::Admission;
 use moqo_core::model::CostModel;
 use moqo_core::optimizer::{Optimizer, PlanExchange};
 use moqo_core::pareto::ParetoSet;
@@ -119,7 +120,7 @@ impl<M: CostModel> Optimizer for TwoPhase<M> {
         // Union of both phases' archives, Pareto-filtered.
         let mut all = ParetoSet::new();
         for p in self.ii.frontier().into_iter().chain(self.sa.frontier()) {
-            all.insert_cost_frontier(p);
+            all.insert(p, &Admission::cost_frontier());
         }
         all.into_plans()
     }

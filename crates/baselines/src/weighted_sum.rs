@@ -12,6 +12,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use moqo_core::archive::Admission;
 use moqo_core::model::CostModel;
 use moqo_core::mutations::all_neighbors;
 use moqo_core::optimizer::{Optimizer, PlanExchange};
@@ -126,7 +127,7 @@ impl<M: CostModel> Optimizer for WeightedSum<M> {
         self.next_weight = (self.next_weight + 1) % self.weights.len();
         let start = random_plan(&self.model, self.query, &mut self.rng);
         let optimum = self.scalar_climb(start, &weights);
-        self.archive.insert_cost_frontier(optimum);
+        self.archive.insert(optimum, &Admission::cost_frontier());
         true
     }
 

@@ -14,8 +14,8 @@
 
 use std::time::{Duration, Instant};
 
+use moqo_core::archive::ArchiveConfig;
 use moqo_core::climb::{naive_climb, pareto_climb, ClimbConfig};
-use moqo_core::frontier::AlphaSchedule;
 use moqo_core::mutations::random_neighbor;
 use moqo_core::optimizer::{drive, Budget, NullObserver};
 use moqo_core::plan::PlanRef;
@@ -96,7 +96,7 @@ fn rmq_alpha_with(cfg: RmqConfig, n: usize, budget: Duration) -> f64 {
         &model,
         query,
         RmqConfig {
-            alpha: AlphaSchedule::Fixed(1.0),
+            archive: ArchiveConfig::fixed(1.0),
             ..RmqConfig::seeded(99)
         },
     );
@@ -145,7 +145,7 @@ fn ablation_alpha_schedule() {
         let paper = rmq_alpha_with(RmqConfig::seeded(11), n, budget);
         let fine = rmq_alpha_with(
             RmqConfig {
-                alpha: AlphaSchedule::Fixed(1.05),
+                archive: ArchiveConfig::fixed(1.05),
                 ..RmqConfig::seeded(11)
             },
             n,
@@ -153,7 +153,7 @@ fn ablation_alpha_schedule() {
         );
         let coarse = rmq_alpha_with(
             RmqConfig {
-                alpha: AlphaSchedule::Fixed(25.0),
+                archive: ArchiveConfig::fixed(25.0),
                 ..RmqConfig::seeded(11)
             },
             n,

@@ -98,7 +98,12 @@ fn bench_frontier_approximation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let mut cache = PlanCache::new();
-                approximate_frontiers(&plan, &model, &mut cache, 2.0);
+                approximate_frontiers(
+                    &plan,
+                    &model,
+                    &mut cache,
+                    &moqo_core::Admission::approx(2.0),
+                );
                 black_box(cache.total_plans())
             })
         });

@@ -15,6 +15,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use moqo_bench::{candidate_stream, cost_pairs, resource_model};
+use moqo_core::archive::Admission;
 use moqo_core::climb::{pareto_step_with, StepScratch};
 use moqo_core::mutations::MutationSet;
 use moqo_core::pareto::{LinearParetoSet, ParetoSet, PrunePolicy};
@@ -67,7 +68,7 @@ fn bench_insert_approx(c: &mut Criterion) {
             b.iter(|| {
                 let mut set = ParetoSet::new();
                 for p in stream {
-                    set.insert_approx(p.clone(), 1.0);
+                    set.insert(p.clone(), &Admission::approx(1.0));
                 }
                 black_box(set.len())
             })
@@ -76,7 +77,7 @@ fn bench_insert_approx(c: &mut Criterion) {
             b.iter(|| {
                 let mut set = LinearParetoSet::new();
                 for p in stream {
-                    set.insert_approx(p.clone(), 1.0);
+                    set.admit(p.clone(), &Admission::approx(1.0));
                 }
                 black_box(set.len())
             })
@@ -97,7 +98,7 @@ fn bench_insert_climb(c: &mut Criterion) {
             b.iter(|| {
                 let mut set = ParetoSet::new();
                 for p in stream {
-                    set.insert_climb(p.clone(), policy);
+                    set.insert(p.clone(), &Admission::climb(policy));
                 }
                 black_box(set.len())
             })
@@ -106,7 +107,7 @@ fn bench_insert_climb(c: &mut Criterion) {
             b.iter(|| {
                 let mut set = LinearParetoSet::new();
                 for p in stream {
-                    set.insert_climb(p.clone(), policy);
+                    set.admit(p.clone(), &Admission::climb(policy));
                 }
                 black_box(set.len())
             })

@@ -334,6 +334,9 @@ fn main() {
             "climb_rejected",
             "climb_admitted",
             "climb_evicted",
+            "pareto_blocks_screened",
+            "pareto_eps_rejects",
+            "pareto_archive_size",
             "arena_interns",
             "arena_dedup_hits",
         ] {
@@ -353,6 +356,104 @@ fn main() {
     if !obs(&base).is_empty() && obs(&cand).is_empty() {
         gate.violations
             .push("candidate dropped the `obs` section".to_string());
+    }
+
+    // Structural (schema v5): the archive-size-vs-ε curve is fully
+    // deterministic (fixed stream, fixed factors) — any drift means the
+    // ε-box admission semantics changed.
+    match (base.get("eps_archive"), cand.get("eps_archive")) {
+        (Some(be), Some(ce)) => {
+            for key in ["dim", "stream_len", "exact_size", "exact_blowup"] {
+                match (f64_field(be, key), f64_field(ce, key)) {
+                    (Some(b), Some(c)) => gate.check(structural_eq(b, c), || {
+                        format!(
+                            "eps_archive: structural field `{key}` drifted: baseline {b} vs candidate {c}"
+                        )
+                    }),
+                    (Some(_), None) => gate
+                        .violations
+                        .push(format!("eps_archive: candidate dropped field `{key}`")),
+                    _ => {}
+                }
+            }
+            let points = |v: &Value| {
+                v.get("points")
+                    .and_then(Value::as_array)
+                    .cloned()
+                    .unwrap_or_default()
+            };
+            for b in &points(be) {
+                let eps = f64_field(b, "eps").unwrap_or(-1.0);
+                let tag = format!("eps_archive point(eps={eps})");
+                let Some(c) = points(ce)
+                    .into_iter()
+                    .find(|c| f64_field(c, "eps") == Some(eps))
+                else {
+                    gate.violations
+                        .push(format!("{tag}: missing from candidate"));
+                    continue;
+                };
+                for key in ["archive_size", "eps_rejects"] {
+                    if let (Some(bv), Some(cv)) = (f64_field(b, key), f64_field(&c, key)) {
+                        gate.check(structural_eq(bv, cv), || {
+                            format!(
+                                "{tag}: structural field `{key}` drifted: baseline {bv} vs candidate {cv}"
+                            )
+                        });
+                    }
+                }
+            }
+        }
+        (Some(_), None) => gate
+            .violations
+            .push("candidate dropped the `eps_archive` section".to_string()),
+        _ => {}
+    }
+
+    // Structural (schema v5): the RMQ dimension sweep's frontier and cache
+    // sizes are deterministic; timings are presence-checked only.
+    let rmq_dim = |v: &Value| {
+        v.get("rmq_dim")
+            .and_then(Value::as_array)
+            .cloned()
+            .unwrap_or_default()
+    };
+    for b in &rmq_dim(&base) {
+        let tables = f64_field(b, "tables").unwrap_or(-1.0);
+        let dim = f64_field(b, "dim").unwrap_or(-1.0);
+        let seed = f64_field(b, "seed").unwrap_or(-1.0);
+        let tag = format!("rmq_dim(tables={tables}, dim={dim}, seed={seed})");
+        let Some(c) = rmq_dim(&cand).into_iter().find(|c| {
+            f64_field(c, "tables") == Some(tables)
+                && f64_field(c, "dim") == Some(dim)
+                && f64_field(c, "seed") == Some(seed)
+        }) else {
+            gate.violations
+                .push(format!("{tag}: missing from candidate"));
+            continue;
+        };
+        for key in ["iterations", "frontier_size", "cache_plans"] {
+            match (f64_field(b, key), f64_field(&c, key)) {
+                (Some(bv), Some(cv)) => gate.check(structural_eq(bv, cv), || {
+                    format!(
+                        "{tag}: structural field `{key}` drifted: baseline {bv} vs candidate {cv}"
+                    )
+                }),
+                (Some(_), None) => gate
+                    .violations
+                    .push(format!("{tag}: candidate dropped structural field `{key}`")),
+                _ => {}
+            }
+        }
+        for key in ["elapsed_ms", "iters_per_sec"] {
+            gate.check(c.get(key).is_some(), || {
+                format!("{tag}: candidate dropped timing field `{key}`")
+            });
+        }
+    }
+    if !rmq_dim(&base).is_empty() && rmq_dim(&cand).is_empty() {
+        gate.violations
+            .push("candidate dropped the `rmq_dim` section".to_string());
     }
 
     if !skip_timing {
@@ -398,6 +499,7 @@ fn main() {
                     "plan_build_arena_vs_arc",
                     "plan_mutate_arena_vs_arc",
                     "plan_eq_arena_vs_arc",
+                    "dominance_soa_vs_scalar_d8",
                 ] {
                     match (f64_field(bs, key), f64_field(cs, key)) {
                         (Some(b), Some(c)) => gate.check(c >= b / speedup_margin, || {

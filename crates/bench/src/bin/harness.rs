@@ -25,15 +25,19 @@ use std::time::Instant;
 use serde::Serialize;
 
 use moqo_bench::{candidate_stream, cost_pairs, resource_model};
+use moqo_core::archive::{Admission, EpsFactors};
 use moqo_core::arena::PlanArena;
 use moqo_core::climb::{pareto_step_with, StepScratch};
 use moqo_core::cost::CostVector;
+use moqo_core::model::testing::StubModel;
+use moqo_core::model::OutputFormat;
 use moqo_core::mutations::MutationSet;
 use moqo_core::optimizer::Budget;
 use moqo_core::pareto::{LinearParetoSet, ParetoSet, PrunePolicy};
 use moqo_core::plan::{PlanKind, PlanRef};
 use moqo_core::random_plan::{random_plan, random_plan_in};
 use moqo_core::rmq::{Rmq, RmqConfig};
+use moqo_core::tables::TableSet;
 use moqo_metrics::hypervolume::hypervolume;
 use moqo_parallel::{ParRmq, ParRmqConfig};
 use rand::rngs::StdRng;
@@ -52,7 +56,14 @@ use rand::SeedableRng;
 /// compared) and the `obs` section — per-RMQ-fixture observability
 /// counter deltas (climb-stage screening, arena interning), deterministic
 /// and gated bit-for-bit by `bench_diff`.
-const SCHEMA_VERSION: u32 = 4;
+/// v5 (additive over v4): many-objective scaling — `dominance_screen_*`
+/// micro kernels (block SoA archive screening vs the legacy scalar loop at
+/// d ∈ {2,4,6,8,10}) with the `dominance_soa_vs_scalar_d8` speedup, the
+/// `eps_archive` section (archive-size-vs-ε curve on an anti-correlated
+/// d=8 stream, exact-archive blowup ratio), the `rmq_dim` end-to-end
+/// dimension sweep (d ∈ {2,4,6,8,10}), and the `pareto_*` fields of
+/// `ObsFixture` (SoA blocks screened, ε-rejects, final archive size).
+const SCHEMA_VERSION: u32 = 5;
 
 #[derive(Serialize)]
 struct Baseline {
@@ -69,8 +80,14 @@ struct Baseline {
     speedups: Speedups,
     /// Interning stats of the arena build kernel (schema v2).
     arena: ArenaReport,
+    /// Archive-size-vs-ε curve on an anti-correlated d=8 cost stream
+    /// (schema v5; deterministic, gated by `bench_diff`).
+    eps_archive: EpsArchiveReport,
     /// End-to-end anytime RMQ runs.
     rmq: Vec<RmqResult>,
+    /// End-to-end RMQ dimension sweep at d ∈ {2,4,6,8,10} (schema v5;
+    /// structural fields deterministic).
+    rmq_dim: Vec<RmqDimResult>,
     /// Intra-query thread-scaling runs of `ParRmq` (schema v3).
     par_rmq: Vec<ParRmqResult>,
     /// Observability counter deltas per RMQ fixture (schema v4): the
@@ -100,6 +117,15 @@ struct ObsFixture {
     climb_admitted: u64,
     /// Incumbents evicted by admitted candidates.
     climb_evicted: u64,
+    /// SoA dominance-kernel blocks screened across all archive admissions
+    /// (schema v5, `pareto.blocks_screened`).
+    pareto_blocks_screened: u64,
+    /// ε-box rejections exact dominance would not have made (schema v5,
+    /// `pareto.eps_rejects`; zero under the paper's α-schedule).
+    pareto_eps_rejects: u64,
+    /// Final query-frontier archive size (schema v5, `pareto.archive_size`
+    /// gauge after the run).
+    pareto_archive_size: u64,
     /// Plan-arena intern misses (fresh nodes).
     arena_interns: u64,
     /// Plan-arena intern hits (structural dedup).
@@ -128,6 +154,9 @@ struct Speedups {
     plan_build_arena_vs_arc: f64,
     plan_mutate_arena_vs_arc: f64,
     plan_eq_arena_vs_arc: f64,
+    /// Block SoA archive screening vs the legacy scalar member loop on the
+    /// same d=8 stream (schema v5; > 1 means the SoA kernel is faster).
+    dominance_soa_vs_scalar_d8: f64,
 }
 
 /// Interning statistics of the `plan_build_arena` kernel's arena
@@ -140,6 +169,47 @@ struct ArenaReport {
     dedup_hits: u64,
     /// Fraction of intern requests deduplicated.
     dedup_rate: f64,
+}
+
+/// One point of the archive-size-vs-ε curve (schema v5).
+#[derive(Serialize)]
+struct EpsArchivePoint {
+    /// Uniform per-metric ε factor of the box archive.
+    eps: f64,
+    /// Archive survivors after the whole stream.
+    archive_size: usize,
+    /// ε-box rejections that exact dominance would have admitted.
+    eps_rejects: u64,
+}
+
+/// Archive-size-vs-ε curve on one anti-correlated cost stream (schema
+/// v5): the bounded-archive evidence — the exact archive keeps nearly the
+/// whole stream while every ε > 1 archive stays precision-bounded.
+#[derive(Serialize)]
+struct EpsArchiveReport {
+    dim: usize,
+    stream_len: usize,
+    /// Survivors of the exact (ε = 1) archive on the same stream.
+    exact_size: usize,
+    points: Vec<EpsArchivePoint>,
+    /// `exact_size` over the coarsest ε-bounded archive in `points` —
+    /// ≥ 5 demonstrates the cardinality blowup ε-boxes avoid.
+    exact_blowup: f64,
+}
+
+/// One end-to-end RMQ run of the dimension sweep (schema v5). Structural
+/// fields (frontier/cache sizes) are deterministic; timings are not.
+#[derive(Serialize)]
+struct RmqDimResult {
+    tables: usize,
+    /// Cost-vector dimension of the synthetic model.
+    dim: usize,
+    seed: u64,
+    iterations: u64,
+    elapsed_ms: f64,
+    iters_per_sec: f64,
+    frontier_size: usize,
+    cache_plans: usize,
 }
 
 #[derive(Serialize)]
@@ -246,6 +316,110 @@ fn deep_eq(a: &PlanRef, b: &PlanRef) -> bool {
     }
 }
 
+/// A deterministic uniform cost stream (single format) for the archive
+/// screening kernels: `len` vectors of `dim` metrics in `[0.1, 100.1)`.
+fn screen_stream(len: usize, dim: usize, seed: u64) -> Vec<CostVector> {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let v: Vec<f64> = (0..dim)
+                .map(|_| rng.random::<f64>() * 100.0 + 0.1)
+                .collect();
+            CostVector::new(&v)
+        })
+        .collect()
+}
+
+/// An anti-correlated cost stream: points near the simplex
+/// `Σ c_k = 50·dim` with coordinates in `[1, 100)`. Nearly every pair is
+/// incomparable, so the exact Pareto archive keeps almost the whole
+/// stream — the adversarial case for frontier cardinality.
+fn anti_correlated_stream(len: usize, dim: usize, seed: u64) -> Vec<CostVector> {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total = 50.0 * dim as f64;
+    (0..len)
+        .map(|_| {
+            let mut v: Vec<f64> = (0..dim).map(|_| rng.random::<f64>() * 99.0 + 1.0).collect();
+            let sum: f64 = v.iter().sum();
+            let scale = total / sum;
+            for c in &mut v {
+                *c = (*c * scale).clamp(1.0, 100.0);
+            }
+            CostVector::new(&v)
+        })
+        .collect()
+}
+
+/// Builds the archive-size-vs-ε curve: the same anti-correlated d=8
+/// stream admitted under the exact rule and under ε-box archives of
+/// increasing coarseness. Fully deterministic.
+fn run_eps_archive(quick: bool) -> EpsArchiveReport {
+    let dim = 8usize;
+    let stream_len = if quick { 1024 } else { 4096 };
+    let costs = anti_correlated_stream(stream_len, dim, 23);
+    let archive_of = |admission: &Admission| {
+        let mut set: ParetoSet<u32> = ParetoSet::new();
+        for c in &costs {
+            set.admit(c, OutputFormat(0), admission, || 0u32);
+        }
+        let screen = set.take_screen_counters();
+        (set.len(), screen.eps_rejects)
+    };
+    let (exact_size, _) = archive_of(&Admission::exact());
+    let points: Vec<EpsArchivePoint> = [1.1f64, 1.25, 1.5, 2.0, 4.0, 8.0]
+        .into_iter()
+        .map(|eps| {
+            let (archive_size, eps_rejects) =
+                archive_of(&Admission::eps_box(EpsFactors::splat(eps)));
+            EpsArchivePoint {
+                eps,
+                archive_size,
+                eps_rejects,
+            }
+        })
+        .collect();
+    let coarsest = points.last().map_or(1, |p| p.archive_size).max(1);
+    EpsArchiveReport {
+        dim,
+        stream_len,
+        exact_size,
+        points,
+        exact_blowup: exact_size as f64 / coarsest as f64,
+    }
+}
+
+/// The end-to-end dimension sweep: RMQ under the paper configuration on
+/// the synthetic `StubModel::line` workload at d ∈ {2,4,6,8,10}.
+fn run_rmq_dim(quick: bool) -> Vec<RmqDimResult> {
+    let (tables, iterations): (usize, u64) = if quick { (10, 20) } else { (12, 100) };
+    let seed = 42u64;
+    [2usize, 4, 6, 8, 10]
+        .into_iter()
+        .map(|dim| {
+            let model = StubModel::line(tables, dim, seed);
+            let query = TableSet::prefix(tables);
+            let mut rmq = Rmq::new(&model, query, RmqConfig::seeded(seed));
+            let start = Instant::now();
+            for _ in 0..iterations {
+                rmq.iterate();
+            }
+            let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+            RmqDimResult {
+                tables,
+                dim,
+                seed,
+                iterations,
+                elapsed_ms,
+                iters_per_sec: iterations as f64 / (elapsed_ms / 1e3),
+                frontier_size: rmq.frontier().len(),
+                cache_plans: rmq.cache().total_plans(),
+            }
+        })
+        .collect()
+}
+
 fn run_micro(quick: bool) -> (Vec<MicroResult>, Speedups, ArenaReport) {
     let rounds: u32 = if quick { 5 } else { 30 };
     let mut out = Vec::new();
@@ -278,7 +452,7 @@ fn run_micro(quick: bool) -> (Vec<MicroResult>, Speedups, ArenaReport) {
         || {
             let mut set = ParetoSet::new();
             for p in &stream {
-                set.insert_approx(p.clone(), 1.0);
+                set.insert(p.clone(), &Admission::approx(1.0));
             }
             std::hint::black_box(set.len());
         },
@@ -286,24 +460,65 @@ fn run_micro(quick: bool) -> (Vec<MicroResult>, Speedups, ArenaReport) {
     out.push(time_ns_per_op("insert_approx_linear", rounds, ops, || {
         let mut set = LinearParetoSet::new();
         for p in &stream {
-            set.insert_approx(p.clone(), 1.0);
+            set.admit(p.clone(), &Admission::approx(1.0));
         }
         std::hint::black_box(set.len());
     }));
     out.push(time_ns_per_op("insert_climb_bucketed", rounds, ops, || {
         let mut set = ParetoSet::new();
         for p in &stream {
-            set.insert_climb(p.clone(), PrunePolicy::KeepIncomparable);
+            set.insert(p.clone(), &Admission::climb(PrunePolicy::KeepIncomparable));
         }
         std::hint::black_box(set.len());
     }));
     out.push(time_ns_per_op("insert_climb_linear", rounds, ops, || {
         let mut set = LinearParetoSet::new();
         for p in &stream {
-            set.insert_climb(p.clone(), PrunePolicy::KeepIncomparable);
+            set.admit(p.clone(), &Admission::climb(PrunePolicy::KeepIncomparable));
         }
         std::hint::black_box(set.len());
     }));
+
+    // 2b. Archive dominance screening across dimensions: the block SoA
+    // kernel inside `ParetoSet` vs the legacy scalar per-member loop
+    // (aggregate-key filter + component-wise dominance over a flat
+    // `Vec<CostVector>`), both building an exact archive from the same
+    // uniform single-format stream. Uniform costs at d ≥ 4 are almost all
+    // mutually incomparable, so the archive approaches the stream length —
+    // the many-objective regime the SoA layout targets.
+    for dim in [2usize, 4, 6, 8, 10] {
+        let costs = screen_stream(1024, dim, 19);
+        let ops = costs.len() as u64;
+        out.push(time_ns_per_op(
+            &format!("dominance_screen_scalar_d{dim}"),
+            rounds,
+            ops,
+            || {
+                let mut archive: Vec<(CostVector, f64)> = Vec::new();
+                for c in &costs {
+                    let key = c.agg_key();
+                    if archive.iter().any(|(m, mk)| *mk <= key && m.dominates(c)) {
+                        continue;
+                    }
+                    archive.retain(|(m, mk)| !(*mk >= key && c.dominates(m)));
+                    archive.push((*c, key));
+                }
+                std::hint::black_box(archive.len());
+            },
+        ));
+        out.push(time_ns_per_op(
+            &format!("dominance_screen_soa_d{dim}"),
+            rounds,
+            ops,
+            || {
+                let mut set: ParetoSet<u32> = ParetoSet::new();
+                for c in &costs {
+                    set.admit(c, OutputFormat(0), &Admission::exact(), || 0u32);
+                }
+                std::hint::black_box(set.len());
+            },
+        ));
+    }
 
     // 3. One ParetoStep with reused scratch on a 50-table cycle query.
     let (model, query) = resource_model(if quick { 20 } else { 50 });
@@ -456,6 +671,8 @@ fn run_micro(quick: bool) -> (Vec<MicroResult>, Speedups, ArenaReport) {
         plan_build_arena_vs_arc: ns("plan_build_arc") / ns("plan_build_arena"),
         plan_mutate_arena_vs_arc: ns("plan_mutate_arc") / ns("plan_mutate_arena"),
         plan_eq_arena_vs_arc: ns("plan_eq_arc") / ns("plan_eq_arena"),
+        dominance_soa_vs_scalar_d8: ns("dominance_screen_scalar_d8")
+            / ns("dominance_screen_soa_d8"),
     };
     (out, speedups, arena_report)
 }
@@ -504,6 +721,9 @@ fn run_rmq(quick: bool) -> (Vec<RmqResult>, Vec<ObsFixture>) {
             climb_rejected: delta("climb.rejected"),
             climb_admitted: delta("climb.admitted"),
             climb_evicted: delta("climb.evicted"),
+            pareto_blocks_screened: delta("pareto.blocks_screened"),
+            pareto_eps_rejects: delta("pareto.eps_rejects"),
+            pareto_archive_size: obs_after.counter("pareto.archive_size"),
             arena_interns: delta("arena.interns"),
             arena_dedup_hits: delta("arena.dedup_hits"),
         });
@@ -641,9 +861,26 @@ fn main() {
         speedups.plan_eq_arena_vs_arc
     );
     eprintln!(
+        "  dominance_screen speedup (SoA vs scalar, d=8): {:.2}x",
+        speedups.dominance_soa_vs_scalar_d8
+    );
+    eprintln!(
         "  arena build kernel: {} nodes, dedup rate {:.1}%",
         arena.nodes,
         arena.dedup_rate * 100.0
+    );
+    let eps_archive = run_eps_archive(quick);
+    eprintln!(
+        "  eps_archive d={} stream={}: exact {} survivors vs ε-bounded {:?} ({:.1}x blowup)",
+        eps_archive.dim,
+        eps_archive.stream_len,
+        eps_archive.exact_size,
+        eps_archive
+            .points
+            .iter()
+            .map(|p| p.archive_size)
+            .collect::<Vec<_>>(),
+        eps_archive.exact_blowup,
     );
     let (rmq, obs) = run_rmq(quick);
     for r in &rmq {
@@ -673,6 +910,13 @@ fn main() {
             o.arena_dedup_hits,
         );
     }
+    let rmq_dim = run_rmq_dim(quick);
+    for r in &rmq_dim {
+        eprintln!(
+            "  rmq_dim n={} d={:<2} {} iters in {:.1} ms, frontier {}, cache {} plans",
+            r.tables, r.dim, r.iterations, r.elapsed_ms, r.frontier_size, r.cache_plans
+        );
+    }
     let par_rmq = run_par_rmq(quick);
     let base_rate = par_rmq.first().map_or(f64::NAN, |p| p.iters_per_sec);
     for p in &par_rmq {
@@ -696,7 +940,9 @@ fn main() {
         micro,
         speedups,
         arena,
+        eps_archive,
         rmq,
+        rmq_dim,
         par_rmq,
         obs,
     };

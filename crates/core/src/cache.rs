@@ -9,10 +9,11 @@
 //! approximation schemes — but only for table sets that actually occur in
 //! locally Pareto-optimal plans.
 
+use crate::archive::Admission;
 use crate::cost::CostVector;
 use crate::fxhash::FxHashMap;
 use crate::model::OutputFormat;
-use crate::pareto::ParetoSet;
+use crate::pareto::{ParetoSet, ScreenCounters};
 use crate::plan::PlanRef;
 use crate::tables::TableSet;
 
@@ -27,6 +28,9 @@ pub struct PlanCache<P = PlanRef> {
     map: FxHashMap<TableSet, ParetoSet<P>>,
     insertions: u64,
     rejections: u64,
+    /// Screening tallies drained from the per-table-set frontiers after
+    /// every insertion (see [`PlanCache::take_screen_counters`]).
+    screen: ScreenCounters,
 }
 
 impl<P> Default for PlanCache<P> {
@@ -35,6 +39,7 @@ impl<P> Default for PlanCache<P> {
             map: FxHashMap::default(),
             insertions: 0,
             rejections: 0,
+            screen: ScreenCounters::default(),
         }
     }
 }
@@ -55,8 +60,8 @@ impl<P> PlanCache<P> {
     /// The cached frontier for `rel` as the underlying [`ParetoSet`]
     /// (members plus inline cost metadata), `None` if the table set was
     /// never seen. The batch-merge entry point of the parallel optimizer:
-    /// [`ParetoSet::merge_approx_with`] reads candidate costs from here
-    /// without re-deriving them from plan handles.
+    /// [`ParetoSet::merge_with`] reads candidate costs from here without
+    /// re-deriving them from plan handles.
     #[inline]
     pub fn frontier_set(&self, rel: TableSet) -> Option<&ParetoSet<P>> {
         self.map.get(&rel)
@@ -64,23 +69,21 @@ impl<P> PlanCache<P> {
 
     /// Inserts a candidate described by its table set, cost vector and
     /// output format, materializing it via `make` only on admission
-    /// (`ParetoSet::insert_approx_with`) — the hot-path entry point of the
-    /// frontier approximation, where most operator combinations are pruned
-    /// and must not allocate. The materialized plan must match `rel`,
-    /// `cost` and `format`. Returns `true` iff the candidate was kept.
+    /// ([`ParetoSet::admit`]) — the hot-path entry point of the frontier
+    /// approximation, where most operator combinations are pruned and must
+    /// not allocate. The materialized plan must match `rel`, `cost` and
+    /// `format`. Returns `true` iff the candidate was kept.
     pub fn insert_with(
         &mut self,
         rel: TableSet,
         cost: &CostVector,
         format: OutputFormat,
-        alpha: f64,
+        admission: &Admission,
         make: impl FnOnce() -> P,
     ) -> bool {
-        let kept = self
-            .map
-            .entry(rel)
-            .or_default()
-            .insert_approx_with(cost, format, alpha, make);
+        let set = self.map.entry(rel).or_default();
+        let kept = set.admit(cost, format, admission, make);
+        self.screen.absorb(&set.take_screen_counters());
         if kept {
             self.insertions += 1;
         } else {
@@ -109,6 +112,14 @@ impl<P> PlanCache<P> {
         (self.insertions, self.rejections)
     }
 
+    /// Returns and resets the screening tallies accumulated across all
+    /// per-table-set frontiers — the cache-side analogue of
+    /// [`ParetoSet::take_screen_counters`], flushed to the `moqo-obs`
+    /// registry at iteration granularity by the RMQ loop.
+    pub fn take_screen_counters(&mut self) -> ScreenCounters {
+        std::mem::take(&mut self.screen)
+    }
+
     /// Iterates over `(table set, frontier)` entries in unspecified order.
     pub fn entries(&self) -> impl Iterator<Item = (TableSet, &[P])> {
         self.map.iter().map(|(k, v)| (*k, v.plans()))
@@ -121,14 +132,14 @@ impl<P> PlanCache<P> {
 }
 
 impl PlanCache<PlanRef> {
-    /// Inserts `plan` into the frontier of its own table set using
-    /// approximate pruning with factor `alpha` (Algorithm 3's `Prune`).
+    /// Inserts `plan` into the frontier of its own table set under the
+    /// given admission (Algorithm 3's `Prune` for approximate rules).
     /// Returns `true` iff the plan was kept.
-    pub fn insert(&mut self, plan: PlanRef, alpha: f64) -> bool {
+    pub fn insert(&mut self, plan: PlanRef, admission: &Admission) -> bool {
         let rel = plan.rel();
         let cost = *plan.cost();
         let format = plan.format();
-        self.insert_with(rel, &cost, format, alpha, move || plan)
+        self.insert_with(rel, &cost, format, admission, move || plan)
     }
 
     /// Debug check: every stored plan is filed under its own table set and
@@ -168,9 +179,10 @@ mod tests {
         let s0 = Plan::scan(&m, TableId::new(0), ScanOpId(0));
         let s1 = Plan::scan(&m, TableId::new(1), ScanOpId(0));
         let j = Plan::join(&m, s0.clone(), s1.clone(), JoinOpId(0));
-        assert!(cache.insert(s0.clone(), 1.0));
-        assert!(cache.insert(s1, 1.0));
-        assert!(cache.insert(j.clone(), 1.0));
+        let exact = Admission::exact();
+        assert!(cache.insert(s0.clone(), &exact));
+        assert!(cache.insert(s1, &exact));
+        assert!(cache.insert(j.clone(), &exact));
         assert_eq!(cache.num_table_sets(), 3);
         assert_eq!(cache.frontier(j.rel()).len(), 1);
         assert_eq!(cache.frontier(s0.rel()).len(), 1);
@@ -186,7 +198,10 @@ mod tests {
         // With a huge alpha, at most one plan per output format survives
         // per table set, regardless of how many tradeoffs we insert.
         for op in 0..3u16 {
-            cache.insert(Plan::join(&m, s0.clone(), s1.clone(), JoinOpId(op)), 1e12);
+            cache.insert(
+                Plan::join(&m, s0.clone(), s1.clone(), JoinOpId(op)),
+                &Admission::approx(1e12),
+            );
         }
         // Ops 0 and 1 share format 0, op 2 has format 1.
         assert!(cache.frontier(TableSet::prefix(2)).len() <= 2);
@@ -194,7 +209,10 @@ mod tests {
         // With alpha = 1, the two incomparable format-0 plans both survive.
         let mut fine = PlanCache::new();
         for op in 0..3u16 {
-            fine.insert(Plan::join(&m, s0.clone(), s1.clone(), JoinOpId(op)), 1.0);
+            fine.insert(
+                Plan::join(&m, s0.clone(), s1.clone(), JoinOpId(op)),
+                &Admission::exact(),
+            );
         }
         assert_eq!(fine.frontier(TableSet::prefix(2)).len(), 3);
     }
@@ -204,10 +222,10 @@ mod tests {
         let m = model();
         let mut cache = PlanCache::new();
         let s0 = Plan::scan(&m, TableId::new(0), ScanOpId(0));
-        assert!(cache.insert(s0.clone(), 1.0));
+        assert!(cache.insert(s0.clone(), &Admission::exact()));
         // The original weakly dominates the duplicate (equal cost), so
         // SigBetter rejects the re-insertion.
-        assert!(!cache.insert(s0, 1.0));
+        assert!(!cache.insert(s0, &Admission::exact()));
         let (kept, rejected) = cache.counters();
         assert_eq!((kept, rejected), (1, 1));
         assert_eq!(cache.total_plans(), 1);
@@ -217,7 +235,10 @@ mod tests {
     fn clear_empties_cache() {
         let m = model();
         let mut cache = PlanCache::new();
-        cache.insert(Plan::scan(&m, TableId::new(0), ScanOpId(0)), 1.0);
+        cache.insert(
+            Plan::scan(&m, TableId::new(0), ScanOpId(0)),
+            &Admission::exact(),
+        );
         cache.clear();
         assert_eq!(cache.num_table_sets(), 0);
     }

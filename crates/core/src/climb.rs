@@ -23,12 +23,13 @@
 //! `ParetoStep` runs inside every climbing step, and most of the candidates
 //! it generates are rejected by pruning. The step therefore costs each
 //! candidate through the model *first* and probes the frontier via
-//! `ParetoSet::insert_climb_with`, materializing the `Arc<Plan>` only on
+//! [`ParetoSet::admit`], materializing the `Arc<Plan>` only on
 //! admission — a rejected candidate allocates nothing. Reusable buffers
 //! live in [`StepScratch`], which [`pareto_climb_with`] threads through the
 //! whole climb (and the RMQ main loop carries across iterations) so the
 //! inner loops run allocation-free in steady state.
 
+use crate::archive::Admission;
 use crate::arena::{PlanArena, PlanId, PlanNodeKind};
 use crate::model::CostModel;
 use crate::mutations::{all_neighbors, MutationSet};
@@ -121,15 +122,16 @@ where
     M: CostModel + ?Sized,
 {
     let mut frontier = ParetoSet::new();
+    let admission = Admission::climb(policy);
     match p.kind() {
         PlanKind::Scan { table, op } => {
             // Identity first, then the scan-operator mutations (identity
             // first so OnePerFormat keeps the incumbent on ties).
-            frontier.insert_climb(p.clone(), policy);
+            frontier.insert(p.clone(), &admission);
             for &alt in model.scan_ops(*table) {
                 if alt != *op {
                     let props = model.scan_props(*table, alt);
-                    frontier.insert_climb_with(&props.cost, props.format, policy, || {
+                    frontier.admit(&props.cost, props.format, &admission, || {
                         Plan::scan_from_props(*table, alt, props)
                     });
                 }
@@ -162,14 +164,14 @@ where
                         continue;
                     };
                     let props = model.join_props(vo, vi, root_op);
-                    frontier.insert_climb_with(&props.cost, props.format, policy, || {
+                    frontier.admit(&props.cost, props.format, &admission, || {
                         Plan::join_from_props(o.clone(), i.clone(), root_op, props)
                     });
                     // Operator changes at the root.
                     for &alt in &scratch.ops {
                         if alt != root_op {
                             let props = model.join_props(vo, vi, alt);
-                            frontier.insert_climb_with(&props.cost, props.format, policy, || {
+                            frontier.admit(&props.cost, props.format, &admission, || {
                                 Plan::join_from_props(o.clone(), i.clone(), alt, props)
                             });
                         }
@@ -183,7 +185,7 @@ where
                         model,
                         &mut scratch.structural_ops,
                         &mut |a, b, jop, props| {
-                            frontier.insert_climb_with(&props.cost, props.format, policy, || {
+                            frontier.admit(&props.cost, props.format, &admission, || {
                                 Plan::join_from_props(a.clone(), b.clone(), jop, props)
                             });
                         },
@@ -213,15 +215,16 @@ where
     M: CostModel + ?Sized,
 {
     let mut frontier: ParetoSet<PlanId> = ParetoSet::new();
+    let admission = Admission::climb(policy);
     match arena.node(p).kind() {
         PlanNodeKind::Scan { table, op } => {
             // Identity first, then the scan-operator mutations.
             let view = arena.view(p);
-            frontier.insert_climb_with(&view.cost, view.format, policy, || p);
+            frontier.admit(&view.cost, view.format, &admission, || p);
             for &alt in model.scan_ops(table) {
                 if alt != op {
                     let props = model.scan_props(table, alt);
-                    frontier.insert_climb_with(&props.cost, props.format, policy, || {
+                    frontier.admit(&props.cost, props.format, &admission, || {
                         arena.scan_from_props(table, alt, props)
                     });
                 }
@@ -250,7 +253,7 @@ where
                     // cache-resident) and interned only on admission — see
                     // the matching note in `approximate_frontiers_in`.
                     let props = model.join_props(&vo, &vi, root_op);
-                    frontier.insert_climb_with(&props.cost, props.format, policy, || {
+                    frontier.admit(&props.cost, props.format, &admission, || {
                         arena.join_from_props(o, i, root_op, props)
                     });
                     // Operator changes at the root.
@@ -258,7 +261,7 @@ where
                         let alt = scratch.ops[k];
                         if alt != root_op {
                             let props = model.join_props(&vo, &vi, alt);
-                            frontier.insert_climb_with(&props.cost, props.format, policy, || {
+                            frontier.admit(&props.cost, props.format, &admission, || {
                                 arena.join_from_props(o, i, alt, props)
                             });
                         }
@@ -272,7 +275,7 @@ where
                         model,
                         &mut scratch.structural_ops,
                         &mut |arena, a, b, jop, props| {
-                            frontier.insert_climb_with(&props.cost, props.format, policy, || {
+                            frontier.admit(&props.cost, props.format, &admission, || {
                                 arena.join_from_props(a, b, jop, props)
                             });
                         },
@@ -489,13 +492,14 @@ mod tests {
         // prune through a fresh ParetoSet.
         fn reference_step(p: &PlanRef, m: &StubModel, policy: PrunePolicy) -> Vec<PlanRef> {
             let mut frontier = ParetoSet::new();
+            let admission = Admission::climb(policy);
             let mut scratch = Vec::new();
             match p.kind() {
                 PlanKind::Scan { .. } => {
-                    frontier.insert_climb(p.clone(), policy);
+                    frontier.insert(p.clone(), &admission);
                     root_mutations(p, m, &mut scratch);
                     for mutation in scratch.drain(..) {
-                        frontier.insert_climb(mutation, policy);
+                        frontier.insert(mutation, &admission);
                     }
                 }
                 PlanKind::Join { outer, inner, op } => {
@@ -508,9 +512,9 @@ mod tests {
                             };
                             scratch.clear();
                             root_mutations(&rebuilt, m, &mut scratch);
-                            frontier.insert_climb(rebuilt, policy);
+                            frontier.insert(rebuilt, &admission);
                             for mutation in scratch.drain(..) {
-                                frontier.insert_climb(mutation, policy);
+                                frontier.insert(mutation, &admission);
                             }
                         }
                     }

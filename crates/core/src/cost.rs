@@ -15,8 +15,11 @@
 use std::fmt;
 use std::ops::Index;
 
-/// Maximum number of cost metrics supported (the paper evaluates `l ≤ 3`).
-pub const MAX_COST_DIM: usize = 6;
+/// Maximum number of cost metrics supported. The paper evaluates `l ≤ 3`;
+/// the many-objective cloud scenarios it motivates (latency / money /
+/// energy / memory / IO / …) push `l` to 10, which is where the ε-archive
+/// and the SoA dominance kernel in [`crate::pareto`] earn their keep.
+pub const MAX_COST_DIM: usize = 10;
 
 /// Smallest representable cost value. Cost models clamp every metric to at
 /// least this value: the approximation factor `α` compares cost *ratios*

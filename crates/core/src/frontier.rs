@@ -9,68 +9,23 @@
 //! discovered in earlier iterations, which is how information is shared
 //! across iterations of the main loop (§4.3).
 //!
-//! The per-table-set frontiers are pruned with an approximation factor that
-//! starts coarse and is refined as iterations progress:
-//! `α(i) = 25 · 0.99^⌊i/25⌋` (clamped below at 1; the paper's formula
-//! eventually drops below 1 where α-dominance is undefined). Coarse early
-//! precision keeps the dominant-cost frontier approximation cheap while many
-//! join orders are still being explored; late fine precision converges the
-//! cached frontiers towards the true Pareto sets.
+//! The per-table-set frontiers are pruned under a caller-supplied
+//! [`Admission`] — typically per-metric approximate pruning whose factors
+//! start coarse and are refined as iterations progress
+//! (`α(i) = 25 · 0.99^⌊i/25⌋`, clamped below at 1; see
+//! [`EpsSchedule`](crate::archive::EpsSchedule) and
+//! [`ArchiveConfig`](crate::archive::ArchiveConfig), which derive the
+//! admission per iteration). Coarse early precision keeps the dominant-cost
+//! frontier approximation cheap while many join orders are still being
+//! explored; late fine precision converges the cached frontiers towards the
+//! true Pareto sets.
 
+use crate::archive::Admission;
 use crate::arena::{PlanArena, PlanId, PlanNodeKind};
 use crate::cache::PlanCache;
 use crate::model::{CostModel, JoinOpId};
 use crate::plan::{Plan, PlanKind, PlanRef};
 use crate::tables::TableSet;
-
-/// Precision schedule for the approximation factor `α` as a function of the
-/// main-loop iteration counter.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum AlphaSchedule {
-    /// Geometric refinement `α(i) = max(1, start · decay^⌊i/period⌋)`.
-    Geometric {
-        /// Initial approximation factor.
-        start: f64,
-        /// Multiplicative decay applied every `period` iterations.
-        decay: f64,
-        /// Number of iterations between decay steps.
-        period: u64,
-    },
-    /// Constant approximation factor (used by the α-schedule ablation).
-    Fixed(f64),
-}
-
-impl AlphaSchedule {
-    /// The paper's schedule: `α(i) = 25 · 0.99^⌊i/25⌋`.
-    pub const fn paper() -> Self {
-        AlphaSchedule::Geometric {
-            start: 25.0,
-            decay: 0.99,
-            period: 25,
-        }
-    }
-
-    /// The approximation factor for iteration `i` (1-based), clamped at 1.
-    pub fn alpha(&self, iteration: u64) -> f64 {
-        match *self {
-            AlphaSchedule::Geometric {
-                start,
-                decay,
-                period,
-            } => {
-                let exponent = (iteration / period.max(1)) as f64;
-                (start * decay.powf(exponent)).max(1.0)
-            }
-            AlphaSchedule::Fixed(alpha) => alpha.max(1.0),
-        }
-    }
-}
-
-impl Default for AlphaSchedule {
-    fn default() -> Self {
-        AlphaSchedule::paper()
-    }
-}
 
 /// Reusable buffers for [`approximate_frontiers_with`]: the operand
 /// frontier snapshots (copied out because the cache is mutated while the
@@ -100,14 +55,19 @@ impl<P> Default for FrontierScratch<P> {
 }
 
 /// Approximates the Pareto frontiers of all intermediate results occurring
-/// in `p`, inserting the non-dominated partial plans into `cache` with
-/// approximation factor `alpha` (Algorithm 3, with the α choice hoisted to
-/// the caller so the same code serves the ablation schedules).
-pub fn approximate_frontiers<M>(p: &PlanRef, model: &M, cache: &mut PlanCache, alpha: f64)
-where
+/// in `p`, inserting the non-dominated partial plans into `cache` under the
+/// given admission (Algorithm 3, with the precision choice hoisted to the
+/// caller so the same code serves the ablation schedules and the ε-box
+/// archive policy).
+pub fn approximate_frontiers<M>(
+    p: &PlanRef,
+    model: &M,
+    cache: &mut PlanCache,
+    admission: &Admission,
+) where
     M: CostModel + ?Sized,
 {
-    approximate_frontiers_with(p, model, cache, alpha, &mut FrontierScratch::default())
+    approximate_frontiers_with(p, model, cache, admission, &mut FrontierScratch::default())
 }
 
 /// [`approximate_frontiers`] with caller-provided scratch buffers.
@@ -120,7 +80,7 @@ pub fn approximate_frontiers_with<M>(
     p: &PlanRef,
     model: &M,
     cache: &mut PlanCache,
-    alpha: f64,
+    admission: &Admission,
     scratch: &mut FrontierScratch,
 ) where
     M: CostModel + ?Sized,
@@ -130,7 +90,7 @@ pub fn approximate_frontiers_with<M>(
             let rel = TableSet::singleton(*table);
             for &op in model.scan_ops(*table) {
                 let props = model.scan_props(*table, op);
-                cache.insert_with(rel, &props.cost, props.format, alpha, || {
+                cache.insert_with(rel, &props.cost, props.format, admission, || {
                     Plan::scan_from_props(*table, op, props)
                 });
             }
@@ -138,8 +98,8 @@ pub fn approximate_frontiers_with<M>(
         PlanKind::Join { outer, inner, .. } => {
             // Approximate the operand frontiers first (post-order; both
             // recursive calls finish before this level uses the scratch).
-            approximate_frontiers_with(outer, model, cache, alpha, scratch);
-            approximate_frontiers_with(inner, model, cache, alpha, scratch);
+            approximate_frontiers_with(outer, model, cache, admission, scratch);
+            approximate_frontiers_with(inner, model, cache, admission, scratch);
             // Combine every cached outer/inner Pareto plan pair with every
             // applicable join operator. The cached plans may stem from
             // other join orders found in earlier iterations.
@@ -163,7 +123,7 @@ pub fn approximate_frontiers_with<M>(
                     let rel = o.rel().union(i.rel());
                     for &op in ops.iter() {
                         let props = model.join_props(vo, vi, op);
-                        cache.insert_with(rel, &props.cost, props.format, alpha, || {
+                        cache.insert_with(rel, &props.cost, props.format, admission, || {
                             Plan::join_from_props(o.clone(), i.clone(), op, props)
                         });
                     }
@@ -182,7 +142,7 @@ pub fn approximate_frontiers_in<M>(
     p: PlanId,
     model: &M,
     cache: &mut PlanCache<PlanId>,
-    alpha: f64,
+    admission: &Admission,
     scratch: &mut FrontierScratch<PlanId>,
 ) where
     M: CostModel + ?Sized,
@@ -192,15 +152,15 @@ pub fn approximate_frontiers_in<M>(
             let rel = TableSet::singleton(table);
             for &op in model.scan_ops(table) {
                 let props = model.scan_props(table, op);
-                cache.insert_with(rel, &props.cost, props.format, alpha, || {
+                cache.insert_with(rel, &props.cost, props.format, admission, || {
                     arena.scan_from_props(table, op, props)
                 });
             }
         }
         PlanNodeKind::Join { outer, inner, .. } => {
             // Post-order: operand frontiers first.
-            approximate_frontiers_in(arena, outer, model, cache, alpha, scratch);
-            approximate_frontiers_in(arena, inner, model, cache, alpha, scratch);
+            approximate_frontiers_in(arena, outer, model, cache, admission, scratch);
+            approximate_frontiers_in(arena, inner, model, cache, admission, scratch);
             let FrontierScratch {
                 outer_plans,
                 inner_plans,
@@ -227,7 +187,7 @@ pub fn approximate_frontiers_in<M>(
                         // Interning happens only on admission (the rare
                         // path), where it replaces the old Arc allocation.
                         let props = model.join_props(&vo, &vi, op);
-                        cache.insert_with(rel, &props.cost, props.format, alpha, || {
+                        cache.insert_with(rel, &props.cost, props.format, admission, || {
                             arena.join_from_props(o, i, op, props)
                         });
                     }
@@ -248,67 +208,12 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
-    fn paper_schedule_values() {
-        let s = AlphaSchedule::paper();
-        assert_eq!(s.alpha(1), 25.0);
-        assert_eq!(s.alpha(24), 25.0);
-        assert!((s.alpha(25) - 25.0 * 0.99).abs() < 1e-12);
-        assert!((s.alpha(250) - 25.0 * 0.99f64.powi(10)).abs() < 1e-12);
-        // Eventually clamped at 1 instead of dropping below.
-        assert_eq!(s.alpha(1_000_000), 1.0);
-    }
-
-    #[test]
-    fn fixed_schedule_is_constant_and_clamped() {
-        assert_eq!(AlphaSchedule::Fixed(2.5).alpha(1), 2.5);
-        assert_eq!(AlphaSchedule::Fixed(2.5).alpha(999), 2.5);
-        assert_eq!(AlphaSchedule::Fixed(0.5).alpha(1), 1.0);
-    }
-
-    #[test]
-    fn geometric_schedule_never_yields_alpha_below_one() {
-        // The doc contract says α is "clamped below at 1": α-dominance is
-        // undefined for α < 1 (`approx_dominates` debug-asserts α ≥ 1), so
-        // a sub-1 α would panic deep inside frontier pruning. Sweep the
-        // paper schedule far past its clamp point plus adversarial
-        // parameterizations (sub-1 start, zero decay, degenerate period,
-        // iteration extremes) and require α ≥ 1 everywhere.
-        let schedules = [
-            AlphaSchedule::paper(),
-            AlphaSchedule::Geometric {
-                start: 0.25, // starts below the clamp already
-                decay: 0.5,
-                period: 1,
-            },
-            AlphaSchedule::Geometric {
-                start: 1e9,
-                decay: 0.0, // collapses to 0 after one period
-                period: 3,
-            },
-            AlphaSchedule::Geometric {
-                start: 25.0,
-                decay: 0.99,
-                period: 0, // degenerate period must not divide by zero
-            },
-        ];
-        for schedule in schedules {
-            for i in (0..10_000).chain([100_000, 10_000_000, u64::MAX - 1, u64::MAX]) {
-                let alpha = schedule.alpha(i);
-                assert!(
-                    alpha >= 1.0,
-                    "{schedule:?} yielded alpha {alpha} < 1 at iteration {i}"
-                );
-            }
-        }
-    }
-
-    #[test]
     fn frontiers_cover_every_intermediate_result() {
         let m = StubModel::line(6, 2, 3);
         let q = TableSet::prefix(6);
         let p = random_plan(&m, q, &mut StdRng::seed_from_u64(1));
         let mut cache = PlanCache::new();
-        approximate_frontiers(&p, &m, &mut cache, 1.0);
+        approximate_frontiers(&p, &m, &mut cache, &Admission::exact());
         // Every node of p has a non-empty cached frontier.
         p.visit_post_order(&mut |node| {
             assert!(
@@ -329,7 +234,7 @@ mod tests {
         let q = TableSet::prefix(5);
         let p = random_plan(&m, q, &mut StdRng::seed_from_u64(2));
         let mut cache = PlanCache::new();
-        approximate_frontiers(&p, &m, &mut cache, 1.0);
+        approximate_frontiers(&p, &m, &mut cache, &Admission::exact());
         let frontier = cache.frontier(q);
         assert!(!frontier.is_empty());
         for plan in frontier {
@@ -350,9 +255,9 @@ mod tests {
         let q = TableSet::prefix(6);
         let p = random_plan(&m, q, &mut StdRng::seed_from_u64(3));
         let mut fine = PlanCache::new();
-        approximate_frontiers(&p, &m, &mut fine, 1.0);
+        approximate_frontiers(&p, &m, &mut fine, &Admission::exact());
         let mut coarse = PlanCache::new();
-        approximate_frontiers(&p, &m, &mut coarse, 10.0);
+        approximate_frontiers(&p, &m, &mut coarse, &Admission::approx(10.0));
         assert!(
             coarse.frontier(q).len() <= fine.frontier(q).len(),
             "coarse {} > fine {}",
@@ -376,7 +281,7 @@ mod tests {
         for _ in 0..5 {
             let p = random_plan(&m, q, &mut rng);
             let (opt, _) = pareto_climb(p, &m, &cfg);
-            approximate_frontiers(&opt, &m, &mut cache, 1.0);
+            approximate_frontiers(&opt, &m, &mut cache, &Admission::exact());
             let len = cache.frontier(q).len();
             assert!(len >= prev_len.min(len)); // never empty once filled
             prev_len = len;

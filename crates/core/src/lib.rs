@@ -19,6 +19,11 @@
 //!   paper's formal model (§3).
 //! * [`cost`] — cost vectors and the Pareto-dominance relations (`⪯`, `≺`,
 //!   `⪯_α`) of §3.
+//! * [`archive`] — the archive / admission API: the pluggable
+//!   [`archive::Dominance`] relation, per-metric approximation factors and
+//!   ε-Pareto boxes ([`archive::EpsFactors`]), admission rules
+//!   ([`archive::Admission`]), and the per-iteration factor schedule
+//!   ([`archive::ArchiveConfig`]).
 //! * [`arena`] — the hash-consed plan arena ([`arena::PlanArena`] /
 //!   [`arena::PlanId`]): the optimizer-internal plan representation, where
 //!   structurally identical subplans are interned once and plan handles are
@@ -34,8 +39,9 @@
 //! * [`mutations`] — the standard bushy-plan transformation rules.
 //! * [`climb`] — `ParetoStep` / `ParetoClimb` (Algorithm 2) plus the naive
 //!   climbing variant used for ablations.
-//! * [`frontier`] — `ApproximateFrontiers` (Algorithm 3) with the
-//!   `α(i) = 25 · 0.99^⌊i/25⌋` precision schedule.
+//! * [`frontier`] — `ApproximateFrontiers` (Algorithm 3); the
+//!   `α(i) = 25 · 0.99^⌊i/25⌋` precision schedule lives in
+//!   [`archive::EpsSchedule`].
 //! * [`rmq`] — the `RandomMOQO` main loop (Algorithm 1).
 //! * [`optimizer`] — the anytime [`optimizer::Optimizer`] interface and
 //!   budget-driven driver shared with the baseline algorithms.
@@ -65,6 +71,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod archive;
 pub mod arena;
 pub mod cache;
 pub mod climb;
@@ -81,6 +88,7 @@ pub mod rmq;
 pub mod tables;
 pub mod theory;
 
+pub use archive::{Admission, ArchiveConfig, EpsFactors};
 pub use arena::{PlanArena, PlanId};
 pub use cost::CostVector;
 pub use plan::{Plan, PlanRef};

@@ -19,12 +19,13 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::archive::{Admission, ArchiveConfig};
 use crate::arena::{PlanArena, PlanId};
 use crate::cache::PlanCache;
 use crate::climb::{
     pareto_climb_aborting_in, pareto_climb_in, ClimbConfig, ClimbStats, StepScratch,
 };
-use crate::frontier::{approximate_frontiers_in, AlphaSchedule, FrontierScratch};
+use crate::frontier::{approximate_frontiers_in, FrontierScratch};
 use crate::fxhash::FxHashMap;
 use crate::model::CostModel;
 use crate::mutations::MutationSet;
@@ -56,8 +57,10 @@ pub struct RmqConfig {
     pub seed: u64,
     /// Hill-climbing configuration.
     pub climb: ClimbConfig,
-    /// Approximation-precision schedule for the frontier approximation.
-    pub alpha: AlphaSchedule,
+    /// Archive configuration for the frontier approximation: admission
+    /// policy (per-metric approximate pruning or the ε-Pareto box archive),
+    /// per-iteration precision schedule, and optional capacity.
+    pub archive: ArchiveConfig,
     /// Whether the plan cache is shared across iterations (§4.3). Disabling
     /// this is the cache ablation: each iteration approximates frontiers in
     /// a private cache and only final query plans are archived.
@@ -71,7 +74,7 @@ impl Default for RmqConfig {
         RmqConfig {
             seed: 0,
             climb: ClimbConfig::default(),
-            alpha: AlphaSchedule::paper(),
+            archive: ArchiveConfig::paper(),
             share_cache: true,
             space: PlanSpace::Bushy,
         }
@@ -96,7 +99,8 @@ pub struct RmqStats {
     /// Climbing path length (improving moves) of every iteration — the
     /// quantity plotted in the paper's Figure 3 (left).
     pub path_lengths: Vec<usize>,
-    /// The approximation factor used by the most recent iteration.
+    /// The coarsest approximation factor of the admission used by the most
+    /// recent iteration ([`Admission::max_factor`]).
     pub last_alpha: f64,
 }
 
@@ -275,7 +279,7 @@ impl<M: CostModel> Rmq<M> {
         }
         self.iteration += 1;
         // 3. Approximate the Pareto frontiers of its intermediate results.
-        let alpha = self.cfg.alpha.alpha(self.iteration);
+        let admission = self.cfg.archive.admission(self.iteration);
         self.adopt_memo.clear();
         if self.cfg.share_cache {
             // Move the local optimum into the session arena, then drop
@@ -291,7 +295,7 @@ impl<M: CostModel> Rmq<M> {
                 opt_plan,
                 &self.model,
                 &mut self.cache,
-                alpha,
+                &admission,
                 &mut self.frontier_scratch,
             );
         } else {
@@ -305,23 +309,22 @@ impl<M: CostModel> Rmq<M> {
                 climb_opt,
                 &self.model,
                 &mut private,
-                alpha,
+                &admission,
                 &mut self.frontier_scratch,
             );
             for &p in private.frontier(self.query) {
                 let view = self.climb_arena.view(p);
                 let (arena, climb_arena) = (&mut self.arena, &self.climb_arena);
                 let memo = &mut self.adopt_memo;
-                self.results
-                    .insert_approx_with(&view.cost, view.format, alpha, || {
-                        arena.adopt(climb_arena, p, memo)
-                    });
+                self.results.admit(&view.cost, view.format, &admission, || {
+                    arena.adopt(climb_arena, p, memo)
+                });
             }
             self.climb_arena.clear();
         }
         self.stats.iterations = self.iteration;
         self.stats.path_lengths.push(climb_stats.steps);
-        self.stats.last_alpha = alpha;
+        self.stats.last_alpha = admission.max_factor();
         self.flush_obs();
         Some(climb_stats)
     }
@@ -344,6 +347,17 @@ impl<M: CostModel> Rmq<M> {
         m.climb_rejected.add(screen.rejected);
         m.climb_admitted.add(screen.admitted);
         m.climb_evicted.add(screen.evicted);
+        // Archive-kernel seams: blocks screened by the SoA kernels and
+        // precision-driven ε-box rejections, across the climb frontiers,
+        // the partial-plan cache, and the ablation result archive; plus the
+        // current query-frontier size as a gauge.
+        let mut archive_screen = self.cache.take_screen_counters();
+        archive_screen.absorb(&self.results.take_screen_counters());
+        archive_screen.absorb(&screen);
+        m.pareto_blocks_screened.add(archive_screen.blocks_screened);
+        m.pareto_eps_rejects.add(archive_screen.eps_rejects);
+        m.pareto_archive_size
+            .set(self.frontier_set().map_or(0, ParetoSet::len) as u64);
         let (a, c) = (self.arena.stats(), self.climb_arena.stats());
         let interns = a.misses + c.misses;
         let dedup_hits = a.dedup_hits + c.dedup_hits;
@@ -381,7 +395,7 @@ impl<M: CostModel> Rmq<M> {
     /// members are [`PlanId`]s into [`Rmq::arena`] and the set carries their
     /// inline cost metadata. `None` while no query plan has been archived.
     /// This is the zero-export handoff the parallel optimizer merges from —
-    /// see [`ParetoSet::merge_approx_with`].
+    /// see [`ParetoSet::merge_with`].
     pub fn frontier_set(&self) -> Option<&ParetoSet<PlanId>> {
         if self.cfg.share_cache {
             self.cache.frontier_set(self.query)
@@ -419,9 +433,9 @@ impl<M: CostModel> Rmq<M> {
     /// across queries: the optimization service injects partial plans from
     /// completed sessions over the same catalog). Only plans for strict
     /// subsets-or-equal of this query's table set are useful; others are
-    /// ignored. Plans are inserted with exact pruning (α = 1) so a warm
-    /// start can never evict better plans found later. Returns the number
-    /// of plans absorbed into the cache.
+    /// ignored. Plans are inserted with exact pruning
+    /// ([`Admission::exact`]) so a warm start can never evict better plans
+    /// found later. Returns the number of plans absorbed into the cache.
     ///
     /// With `share_cache` disabled (the cache ablation), there is no
     /// partial-plan cache to seed, but **full-query** plans still enter the
@@ -443,7 +457,7 @@ impl<M: CostModel> Rmq<M> {
                 let arena = &mut self.arena;
                 if self
                     .results
-                    .insert_approx_with(&cost, format, 1.0, || arena.import(&plan))
+                    .admit(&cost, format, &Admission::exact(), || arena.import(&plan))
                 {
                     absorbed += 1;
                 }
@@ -460,7 +474,9 @@ impl<M: CostModel> Rmq<M> {
             let arena = &mut self.arena;
             if self
                 .cache
-                .insert_with(rel, &cost, format, 1.0, || arena.import(&plan))
+                .insert_with(rel, &cost, format, &Admission::exact(), || {
+                    arena.import(&plan)
+                })
             {
                 absorbed += 1;
             }

@@ -260,7 +260,7 @@ mod tests {
         // during early iterations — too coarse to assert frontier richness
         // after only 80 iterations.
         let cfg = RmqConfig {
-            alpha: moqo_core::frontier::AlphaSchedule::Fixed(1.0),
+            archive: moqo_core::archive::ArchiveConfig::fixed(1.0),
             ..RmqConfig::seeded(3)
         };
         let mut rmq = Rmq::new(&m, q, cfg);

@@ -227,7 +227,7 @@ impl CostModel for EnergyCostModel {
 mod tests {
     use super::*;
     use moqo_catalog::CatalogBuilder;
-    use moqo_core::frontier::AlphaSchedule;
+    use moqo_core::archive::ArchiveConfig;
     use moqo_core::optimizer::{drive, Budget, NullObserver};
     use moqo_core::plan::Plan;
     use moqo_core::rmq::{Rmq, RmqConfig};
@@ -316,7 +316,7 @@ mod tests {
         let m = EnergyCostModel::new(catalog(4));
         let q = TableSet::prefix(4);
         let cfg = RmqConfig {
-            alpha: AlphaSchedule::Fixed(1.0),
+            archive: ArchiveConfig::fixed(1.0),
             ..RmqConfig::seeded(13)
         };
         let mut rmq = Rmq::new(&m, q, cfg);

@@ -16,6 +16,9 @@
 //!   --fan-out W        intra-query worker threads for latency-critical
 //!                      sessions (default 1 = all sequential)
 //!   --fan-out-every K  tag every K-th session latency-critical (default 4)
+//!   --eps FACTOR       run sessions with an ε-box archive at this uniform
+//!                      per-metric factor (> 1.0) instead of the paper's
+//!                      α-schedule; bounds every frontier by cost precision
 //!   --seed S           RNG seed (default 42)
 //!   --obs-json PATH    enable the observability journal and periodically
 //!                      flush JSON telemetry snapshots to PATH (plus one
@@ -31,8 +34,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use moqo_catalog::Catalog;
+use moqo_core::archive::ArchiveConfig;
 use moqo_core::optimizer::Budget;
 use moqo_core::rmq::{Rmq, RmqConfig};
+use moqo_core::EpsFactors;
 use moqo_cost::{ResourceCostModel, ResourceMetric};
 use moqo_parallel::{ParRmq, ParRmqConfig};
 use moqo_service::{
@@ -52,6 +57,9 @@ struct Options {
     iters: u64,
     fan_out: usize,
     fan_out_every: usize,
+    /// ε-box archive factor for every session's optimizer (None = paper
+    /// α-schedule).
+    eps: Option<f64>,
     seed: u64,
     obs_json: Option<String>,
 }
@@ -60,7 +68,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve [--sessions N] [--waves K] [--workers W] [--tables T] \
          [--min-tables N] [--max-tables N] [--budget-ms MS] [--iters N] \
-         [--fan-out W] [--fan-out-every K] [--seed S] [--obs-json PATH]"
+         [--fan-out W] [--fan-out-every K] [--eps FACTOR] [--seed S] \
+         [--obs-json PATH]"
     );
     exit(2)
 }
@@ -77,6 +86,7 @@ fn parse_args() -> Options {
         iters: 60,
         fan_out: 1,
         fan_out_every: 4,
+        eps: None,
         seed: 42,
         obs_json: None,
     };
@@ -111,6 +121,17 @@ fn parse_args() -> Options {
             "--fan-out" => opts.fan_out = parsed("--fan-out", value("--fan-out")).max(1) as usize,
             "--fan-out-every" => {
                 opts.fan_out_every = parsed("--fan-out-every", value("--fan-out-every")) as usize
+            }
+            "--eps" => {
+                let v: f64 = value("--eps").parse().unwrap_or_else(|_| {
+                    eprintln!("invalid value for --eps");
+                    usage()
+                });
+                if v.partial_cmp(&1.0) != Some(std::cmp::Ordering::Greater) {
+                    eprintln!("--eps requires a factor > 1.0");
+                    usage()
+                }
+                opts.eps = Some(v);
             }
             "--seed" => opts.seed = parsed("--seed", value("--seed")),
             "--obs-json" => opts.obs_json = Some(value("--obs-json")),
@@ -234,18 +255,19 @@ fn main() {
                 // Latency-critical sessions fan one query out over worker
                 // threads; the rest run the sequential optimizer. Both go
                 // through the same PlanExchange seam.
+                let mut rmq_cfg = RmqConfig::seeded(seed);
+                if let Some(eps) = opts.eps {
+                    rmq_cfg.archive = ArchiveConfig::eps_box(EpsFactors::splat(eps));
+                }
                 let optimizer: Box<dyn PlanExchange> = if session.fan_out > 1 {
                     let mut cfg = ParRmqConfig::seeded(seed, session.fan_out);
+                    cfg.base.archive = rmq_cfg.archive;
                     // Keep rounds short so iteration budgets stay exact per
                     // scheduling slice.
                     cfg.batch = 4;
                     Box::new(ParRmq::new(Arc::clone(&model), tables, cfg))
                 } else {
-                    Box::new(Rmq::new(
-                        Arc::clone(&model),
-                        tables,
-                        RmqConfig::seeded(seed),
-                    ))
+                    Box::new(Rmq::new(Arc::clone(&model), tables, rmq_cfg))
                 };
                 let request = SessionRequest {
                     optimizer,

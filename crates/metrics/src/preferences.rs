@@ -162,7 +162,7 @@ mod tests {
     fn frontier(n: usize, dim: usize) -> Vec<PlanRef> {
         let model = StubModel::line(n, dim, 23);
         let cfg = RmqConfig {
-            alpha: moqo_core::frontier::AlphaSchedule::Fixed(1.0),
+            archive: moqo_core::archive::ArchiveConfig::fixed(1.0),
             ..RmqConfig::seeded(3)
         };
         let mut rmq = Rmq::new(&model, TableSet::prefix(n), cfg);

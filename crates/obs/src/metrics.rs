@@ -120,6 +120,31 @@ impl Default for ShardedCounter {
     }
 }
 
+/// A last-value gauge: `set` overwrites, `get` reads. Used for
+/// point-in-time quantities (current archive size) that counters cannot
+/// express; exported through [`Metrics::counters`] like any other value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge (usable in `static` initializers).
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrites the current value.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// Number of histogram buckets: power-of-two boundaries cover the full
 /// `u64` range with `value → 64 - leading_zeros(value)` indexing, clamped
 /// into the last bucket.
@@ -278,6 +303,15 @@ pub struct Metrics {
     pub climb_admitted: ShardedCounter,
     /// Incumbent members evicted by an admitted candidate.
     pub climb_evicted: ShardedCounter,
+    /// Structure-of-arrays blocks screened by the Pareto dominance kernels
+    /// (blocks the aggregate-key range filter could not skip).
+    pub pareto_blocks_screened: ShardedCounter,
+    /// Candidates rejected by the ε-box archive rule that exact dominance
+    /// would have admitted (precision-driven rejections).
+    pub pareto_eps_rejects: ShardedCounter,
+    /// Current query-frontier (archive) size of the most recently flushed
+    /// optimizer iteration.
+    pub pareto_archive_size: Gauge,
     /// Plan-arena intern requests that allocated a new node.
     pub arena_interns: ShardedCounter,
     /// Plan-arena intern requests answered by an existing node.
@@ -341,6 +375,9 @@ impl Metrics {
             climb_rejected: ShardedCounter::new(),
             climb_admitted: ShardedCounter::new(),
             climb_evicted: ShardedCounter::new(),
+            pareto_blocks_screened: ShardedCounter::new(),
+            pareto_eps_rejects: ShardedCounter::new(),
+            pareto_archive_size: Gauge::new(),
             arena_interns: ShardedCounter::new(),
             arena_dedup_hits: ShardedCounter::new(),
             exchange_publishes: Counter::new(),
@@ -378,6 +415,9 @@ impl Metrics {
             ("climb.rejected", self.climb_rejected.get()),
             ("climb.admitted", self.climb_admitted.get()),
             ("climb.evicted", self.climb_evicted.get()),
+            ("pareto.blocks_screened", self.pareto_blocks_screened.get()),
+            ("pareto.eps_rejects", self.pareto_eps_rejects.get()),
+            ("pareto.archive_size", self.pareto_archive_size.get()),
             ("arena.interns", self.arena_interns.get()),
             ("arena.dedup_hits", self.arena_dedup_hits.get()),
             ("exchange.publishes", self.exchange_publishes.get()),
@@ -522,10 +562,22 @@ mod tests {
     }
 
     #[test]
+    fn gauge_overwrites_and_reads() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.set(17);
+        g.set(5);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
     fn registry_enumerates_all_metrics() {
         let names: Vec<&str> = metrics().counters().iter().map(|(n, _)| *n).collect();
         assert!(names.contains(&"rmq.iterations"));
         assert!(names.contains(&"climb.agg_key_skips"));
+        assert!(names.contains(&"pareto.blocks_screened"));
+        assert!(names.contains(&"pareto.eps_rejects"));
+        assert!(names.contains(&"pareto.archive_size"));
         assert!(names.contains(&"exchange.merged"));
         assert!(names.contains(&"service.rejected_queue_full"));
         assert!(names.contains(&"exec.tuples"));

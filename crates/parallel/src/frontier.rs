@@ -7,7 +7,7 @@
 //! * The merge side — a shared session [`PlanArena`] plus the master
 //!   `ParetoSet<PlanId>` — lives behind one mutex. Writers batch-merge a
 //!   whole worker frontier per lock acquisition
-//!   ([`ParetoSet::merge_approx_with`]): each candidate is admission-tested
+//!   ([`ParetoSet::merge_with`]): each candidate is admission-tested
 //!   against the global frontier by its inline cost metadata, and only
 //!   *survivors* are adopted into the shared arena
 //!   ([`PlanArena::adopt`] with a reused memo), so a publish whose plans
@@ -28,6 +28,7 @@ use std::time::Instant;
 
 use moqo_obs::{journal, metrics};
 
+use moqo_core::archive::Admission;
 use moqo_core::arena::{PlanArena, PlanId};
 use moqo_core::fxhash::FxHashMap;
 use moqo_core::pareto::ParetoSet;
@@ -156,7 +157,12 @@ impl SharedFrontier {
             ..
         } = &mut *state;
         memo.clear();
-        let inserted = global.merge_approx_with(frontier, 1.0, |&id| arena.adopt(src, id, memo));
+        let inserted = global.merge_with(frontier, &Admission::exact(), |&id| {
+            arena.adopt(src, id, memo)
+        });
+        let screen = global.take_screen_counters();
+        obs.pareto_blocks_screened.add(screen.blocks_screened);
+        obs.pareto_eps_rejects.add(screen.eps_rejects);
         if inserted == 0 {
             // No admission: the epoch must not move (the invariant the
             // concurrent-exchange tests pin), so no snapshot swap either.

@@ -62,6 +62,7 @@ pub use frontier::{ExchangeStats, FrontierSnapshot, SharedFrontier};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use moqo_core::archive::Admission;
 use moqo_core::model::CostModel;
 use moqo_core::optimizer::{AbortCheck, Budget, Optimizer, PlanExchange, StopFlag};
 use moqo_core::pareto::ParetoSet;
@@ -381,7 +382,7 @@ impl<M: CostModel + Clone + Send> ParRmq<M> {
         let mut union: ParetoSet<PlanRef> = ParetoSet::new();
         for worker in &self.workers {
             for plan in worker.rmq.frontier() {
-                union.insert_approx(plan, 1.0);
+                union.insert(plan, &Admission::exact());
             }
         }
         union.into_plans()

@@ -4,6 +4,7 @@
 
 use std::time::{Duration, Instant};
 
+use moqo_core::archive::Admission;
 use moqo_core::model::testing::StubModel;
 use moqo_core::optimizer::Budget;
 use moqo_core::pareto::ParetoSet;
@@ -33,7 +34,7 @@ fn sequential_union(
             rmq.iterate();
         }
         for plan in rmq.frontier() {
-            union.insert_approx(plan, 1.0);
+            union.insert(plan, &Admission::exact());
         }
     }
     union.into_plans()

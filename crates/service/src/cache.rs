@@ -43,6 +43,7 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
+use moqo_core::archive::Admission;
 use moqo_core::arena::{PlanArena, PlanId};
 use moqo_core::cost::CostVector;
 use moqo_core::fxhash::{FxHashMap, FxHashSet};
@@ -62,6 +63,14 @@ pub struct CacheConfig {
     /// cached plans always gets in, because its victims are evicted
     /// first). With dominance pruning, entries rarely approach the cap.
     pub max_plans_per_entry: usize,
+    /// Admission rule applied within each `(context, table set)` entry:
+    /// published plans are screened by [`Admission::rule`]
+    /// (reject-then-evict, the same contract as
+    /// `moqo_core::pareto::ParetoSet::admit`). The default exact rule keeps
+    /// every non-dominated tradeoff; an ε-box rule
+    /// ([`Admission::eps_box`]) bounds each entry by cost precision
+    /// instead.
+    pub admission: Admission,
 }
 
 impl Default for CacheConfig {
@@ -69,6 +78,7 @@ impl Default for CacheConfig {
         CacheConfig {
             max_plans: 50_000,
             max_plans_per_entry: 64,
+            admission: Admission::exact(),
         }
     }
 }
@@ -109,13 +119,12 @@ impl CacheStats {
 }
 
 /// A cached plan: its canonical [`PlanId`] in the cache arena plus pruning
-/// metadata held inline, so publish-time dominance checks read the dense
-/// `(cost, key, format)` triple and never touch the arena (the same
-/// representation `moqo_core::pareto::ParetoSet` uses in-optimizer).
+/// metadata held inline, so publish-time admission checks read the dense
+/// `(cost, format)` pair and never touch the arena (the same metadata
+/// `moqo_core::pareto::ParetoSet` keeps in-optimizer).
 struct CachedPlan {
     id: PlanId,
     cost: CostVector,
-    key: f64,
     format: OutputFormat,
 }
 
@@ -252,7 +261,6 @@ impl SharedPlanCache {
             let cost = *plan.cost();
             let candidate = CachedPlan {
                 id,
-                key: cost.agg_key(),
                 format: plan.format(),
                 cost,
             };
@@ -266,24 +274,23 @@ impl SharedPlanCache {
                     last_used: clock,
                 });
                 entry.last_used = clock;
-                // Dominance pruning mirrors the optimizer-internal Pareto
-                // sets: skip the new plan if an equal-format plan already
-                // (weakly) dominates it, otherwise evict the equal-format
-                // plans it strictly dominates. Entries therefore hold only
-                // mutually non-dominated plans per output format, across
-                // *all* publishing sessions. The aggregate key rules most
-                // pairs out before the component comparison runs.
-                let dominated = entry.plans.iter().any(|p| {
-                    p.format == candidate.format
-                        && p.key <= candidate.key
-                        && p.cost.dominates(&candidate.cost)
+                // Admission mirrors the optimizer-internal Pareto sets:
+                // the configured rule first gets a chance to reject the
+                // newcomer against every in-scope incumbent, then evicts
+                // the incumbents the newcomer displaces — so entries hold
+                // only mutually admissible plans (per output format for
+                // format-scoped rules), across *all* publishing sessions.
+                let rule = self.config.admission.rule;
+                let scoped = rule.format_scoped();
+                let rejected = entry.plans.iter().any(|p| {
+                    (!scoped || p.format == candidate.format)
+                        && rule.rejects(&p.cost, &candidate.cost)
                 });
-                if !dominated {
+                if !rejected {
                     let before = entry.plans.len();
                     entry.plans.retain(|p| {
-                        let evict = p.format == candidate.format
-                            && candidate.key <= p.key
-                            && candidate.cost.strictly_dominates(&p.cost);
+                        let evict = (!scoped || p.format == candidate.format)
+                            && rule.evicts(&candidate.cost, &p.cost);
                         if evict {
                             ids.remove(&(context, p.id));
                         }
@@ -454,6 +461,7 @@ mod tests {
         let cache = SharedPlanCache::new(CacheConfig {
             max_plans: 4,
             max_plans_per_entry: 8,
+            ..CacheConfig::default()
         });
         for t in 0..4 {
             cache.publish(1, vec![scan(&model, t, 0)]);
@@ -522,6 +530,7 @@ mod tests {
         let cache = SharedPlanCache::new(CacheConfig {
             max_plans: 2,
             max_plans_per_entry: 8,
+            ..CacheConfig::default()
         });
         // Publish structurally distinct left-deep trees (the round's bits
         // pick each leaf's scan operator → 1024 distinct shapes) to grow
@@ -564,6 +573,7 @@ mod tests {
         let cache = SharedPlanCache::new(CacheConfig {
             max_plans: 0,
             max_plans_per_entry: 8,
+            ..CacheConfig::default()
         });
         cache.publish(1, vec![scan(&model, 0, 0)]);
         assert_eq!(cache.stats().plans, 0);

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use moqo_catalog::CatalogBuilder;
-use moqo_core::frontier::AlphaSchedule;
+use moqo_core::archive::ArchiveConfig;
 use moqo_core::optimizer::{drive, Budget, NullObserver};
 use moqo_core::rmq::{Rmq, RmqConfig};
 use moqo_cost::AqpCostModel;
@@ -42,7 +42,7 @@ fn main() {
 
     let model = AqpCostModel::new(catalog);
     let cfg = RmqConfig {
-        alpha: AlphaSchedule::Fixed(1.0),
+        archive: ArchiveConfig::fixed(1.0),
         ..RmqConfig::seeded(2016)
     };
     let mut rmq = Rmq::new(&model, query, cfg);

@@ -9,7 +9,7 @@
 
 use std::time::Duration;
 
-use moqo_core::frontier::AlphaSchedule;
+use moqo_core::archive::ArchiveConfig;
 use moqo_core::optimizer::{drive, Budget, NullObserver};
 use moqo_core::plan::PlanRef;
 use moqo_core::rmq::{Rmq, RmqConfig};
@@ -43,7 +43,7 @@ fn main() {
     let model = CloudCostModel::new(catalog);
 
     let cfg = RmqConfig {
-        alpha: AlphaSchedule::Fixed(1.0),
+        archive: ArchiveConfig::fixed(1.0),
         ..RmqConfig::seeded(3)
     };
     let mut rmq = Rmq::new(&model, query.tables(), cfg);

@@ -15,7 +15,7 @@
 
 use std::time::Duration;
 
-use moqo_core::frontier::AlphaSchedule;
+use moqo_core::archive::ArchiveConfig;
 use moqo_core::optimizer::{drive, Budget, NullObserver};
 use moqo_core::rmq::{Rmq, RmqConfig};
 use moqo_cost::energy::EnergyParams;
@@ -38,7 +38,7 @@ fn main() {
     // frequency mixes; α = 1.2 yields a representative frontier (plans
     // within 20% of a kept tradeoff are collapsed).
     let cfg = RmqConfig {
-        alpha: AlphaSchedule::Fixed(1.2),
+        archive: ArchiveConfig::fixed(1.2),
         ..RmqConfig::seeded(12)
     };
     let mut rmq = Rmq::new(&model, query.tables(), cfg);

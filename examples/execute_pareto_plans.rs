@@ -10,7 +10,7 @@
 
 use std::time::Duration;
 
-use moqo_core::frontier::AlphaSchedule;
+use moqo_core::archive::ArchiveConfig;
 use moqo_core::optimizer::{drive, Budget, NullObserver};
 use moqo_core::rmq::{Rmq, RmqConfig};
 use moqo_cost::ResourceCostModel;
@@ -35,7 +35,7 @@ fn main() {
     );
 
     let cfg = RmqConfig {
-        alpha: AlphaSchedule::Fixed(1.0),
+        archive: ArchiveConfig::fixed(1.0),
         ..RmqConfig::seeded(4)
     };
     let mut rmq = Rmq::new(&model, query.tables(), cfg);

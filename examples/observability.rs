@@ -15,8 +15,10 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use moqo_core::archive::ArchiveConfig;
 use moqo_core::optimizer::{drive, Budget, NullObserver};
 use moqo_core::rmq::{Rmq, RmqConfig};
+use moqo_core::EpsFactors;
 use moqo_cost::{ResourceCostModel, ResourceMetric};
 use moqo_exec::{execute, DataGenConfig, Database};
 use moqo_obs::{journal, ObsSnapshot};
@@ -50,6 +52,18 @@ fn main() {
         ITERS,
         catalog.num_tables(),
         rmq.frontier().len()
+    );
+
+    // ---- 1b. ε-box archive: precision-bounded frontier + ε-rejects. ----
+    let eps_cfg = RmqConfig {
+        archive: ArchiveConfig::eps_box(EpsFactors::splat(1.5)),
+        ..RmqConfig::seeded(7)
+    };
+    let mut eps_rmq = Rmq::new(Arc::clone(&model), query.tables(), eps_cfg);
+    drive(&mut eps_rmq, Budget::Iterations(ITERS), &mut NullObserver);
+    println!(
+        "eps-box: same workload at ε = 1.5, frontier {} plan(s)",
+        eps_rmq.frontier().len()
     );
 
     // ---- 2. Parallel optimization: exchange offered/merged + epochs. ---
@@ -128,6 +142,14 @@ fn main() {
         ("rmq.iterations", "completed climb iterations"),
         ("climb.candidates", "mutations generated by the climb"),
         ("climb.rejected", "candidates screened out before admission"),
+        (
+            "pareto.blocks_screened",
+            "SoA blocks the dominance kernel swept",
+        ),
+        (
+            "pareto.eps_rejects",
+            "candidates folded into an occupied ε-box",
+        ),
         ("arena.interns", "plan nodes interned in the arena"),
         ("arena.dedup_hits", "structural duplicates the arena folded"),
         ("exchange.offered", "plans workers offered to the exchange"),
@@ -149,6 +171,12 @@ fn main() {
     println!(
         "  {:<22} {lookups:>9}  (cross-query cache probes)",
         "cache.*"
+    );
+    // The archive-size gauge reports the last flushed frontier size —
+    // some optimizer above must have left a nonzero final archive.
+    assert!(
+        snap.counter("pareto.archive_size") > 0,
+        "archive-size gauge stayed zero"
     );
 
     // The JSON export must round-trip through a parser with the documented

@@ -11,6 +11,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use moqo_core::archive::Admission;
 use moqo_core::optimizer::Budget;
 use moqo_core::pareto::ParetoSet;
 use moqo_core::plan::PlanRef;
@@ -57,7 +58,7 @@ fn main() {
             rmq.iterate();
         }
         for plan in rmq.frontier() {
-            union.insert_approx(plan, 1.0);
+            union.insert(plan, &Admission::exact());
         }
     }
     let reference = union.into_plans();

@@ -7,7 +7,7 @@
 
 use std::time::Duration;
 
-use moqo_core::frontier::AlphaSchedule;
+use moqo_core::archive::ArchiveConfig;
 use moqo_core::optimizer::{drive, Budget, NullObserver};
 use moqo_core::rmq::{Rmq, RmqConfig};
 use moqo_cost::ResourceCostModel;
@@ -28,7 +28,7 @@ fn main() {
     //    (alpha = 1) — for large queries prefer the paper's coarse-to-fine
     //    default schedule.
     let cfg = RmqConfig {
-        alpha: AlphaSchedule::Fixed(1.0),
+        archive: ArchiveConfig::fixed(1.0),
         ..RmqConfig::seeded(7)
     };
     let mut rmq = Rmq::new(&model, query.tables(), cfg);

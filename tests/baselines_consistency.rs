@@ -110,10 +110,10 @@ fn randomized_algorithms_beat_sa_on_mid_size_queries() {
     // for thousands of wall-clock iterations; a 30-iteration deterministic
     // test would still be at α = 25 (deliberately coarse frontiers).
     let rmq = {
-        use moqo_core::frontier::AlphaSchedule;
+        use moqo_core::archive::ArchiveConfig;
         use moqo_core::rmq::{Rmq, RmqConfig};
         let cfg = RmqConfig {
-            alpha: AlphaSchedule::Fixed(1.0),
+            archive: ArchiveConfig::fixed(1.0),
             ..RmqConfig::seeded(13)
         };
         let mut opt = Rmq::new(&model, query.tables(), cfg);

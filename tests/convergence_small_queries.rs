@@ -5,7 +5,7 @@
 //! guarantee.
 
 use moqo_baselines::{DpOptimizer, IterativeImprovement};
-use moqo_core::frontier::AlphaSchedule;
+use moqo_core::archive::ArchiveConfig;
 use moqo_core::optimizer::{drive, Budget, NullObserver, Optimizer};
 use moqo_core::rmq::{Rmq, RmqConfig};
 use moqo_cost::{ResourceCostModel, ResourceMetric};
@@ -42,7 +42,7 @@ fn rmq_reaches_perfect_approximation_on_four_tables() {
     for l in [2usize, 3] {
         let (model, query, reference) = setup(4, &ResourceMetric::ALL[..l], 41, 1.0);
         let cfg = RmqConfig {
-            alpha: AlphaSchedule::Fixed(1.0),
+            archive: ArchiveConfig::fixed(1.0),
             ..RmqConfig::seeded(5)
         };
         let mut rmq = Rmq::new(&model, query, cfg);
@@ -87,7 +87,7 @@ fn ii_converges_close_but_rmq_at_least_matches_it() {
     // lives in the fig9 bench target).
     let (model, query, reference) = setup(7, &ResourceMetric::ALL, 47, 1.01);
     let cfg = RmqConfig {
-        alpha: AlphaSchedule::Fixed(1.0),
+        archive: ArchiveConfig::fixed(1.0),
         ..RmqConfig::seeded(7)
     };
     let mut rmq = Rmq::new(&model, query, cfg);
@@ -123,7 +123,7 @@ fn frontier_plans_expose_executable_structure() {
     // operator tree a downstream executor could run.
     let (model, query, _) = setup(5, &ResourceMetric::ALL, 51, 1.01);
     let cfg = RmqConfig {
-        alpha: AlphaSchedule::Fixed(1.0),
+        archive: ArchiveConfig::fixed(1.0),
         ..RmqConfig::seeded(9)
     };
     let mut rmq = Rmq::new(&model, query, cfg);

@@ -3,7 +3,7 @@
 //! correctness claim behind the paper's Figures 8/9.
 
 use moqo_baselines::DpOptimizer;
-use moqo_core::frontier::AlphaSchedule;
+use moqo_core::archive::ArchiveConfig;
 use moqo_core::optimizer::{drive, Budget, NullObserver, Optimizer};
 use moqo_core::rmq::{Rmq, RmqConfig};
 use moqo_cost::{ResourceCostModel, ResourceMetric};
@@ -35,7 +35,7 @@ fn rmq_converges_to_exact_frontier_on_small_queries() {
 
         // RMQ with exact pruning: alpha must reach 1 (perfect coverage).
         let cfg = RmqConfig {
-            alpha: AlphaSchedule::Fixed(1.0),
+            archive: ArchiveConfig::fixed(1.0),
             ..RmqConfig::seeded(3)
         };
         let mut rmq = Rmq::new(&model, query.tables(), cfg);
@@ -56,7 +56,7 @@ fn rmq_alpha_improves_monotonically_with_more_iterations() {
     let reference = exact_frontier(&model, query.tables());
 
     let cfg = RmqConfig {
-        alpha: AlphaSchedule::Fixed(1.0),
+        archive: ArchiveConfig::fixed(1.0),
         ..RmqConfig::seeded(11)
     };
     let mut rmq = Rmq::new(&model, query.tables(), cfg);

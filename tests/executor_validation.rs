@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use moqo_catalog::Catalog;
-use moqo_core::frontier::AlphaSchedule;
+use moqo_core::archive::ArchiveConfig;
 use moqo_core::optimizer::{drive, Budget, NullObserver};
 use moqo_core::random_plan::random_plan;
 use moqo_core::rmq::{Rmq, RmqConfig};
@@ -49,7 +49,7 @@ fn setup(
 fn pareto_plans_execute_and_agree() {
     let (catalog, model, db, query) = setup(31, 5);
     let cfg = RmqConfig {
-        alpha: AlphaSchedule::Fixed(1.0),
+        archive: ArchiveConfig::fixed(1.0),
         ..RmqConfig::seeded(2)
     };
     let mut rmq = Rmq::new(&model, query, cfg);
@@ -116,7 +116,7 @@ fn buffer_lean_pareto_plans_measure_lean() {
     // the plan with the largest modeled buffer.
     let (catalog, model, db, query) = setup(41, 4);
     let cfg = RmqConfig {
-        alpha: AlphaSchedule::Fixed(1.0),
+        archive: ArchiveConfig::fixed(1.0),
         ..RmqConfig::seeded(6)
     };
     let mut rmq = Rmq::new(&model, query, cfg);

@@ -14,9 +14,10 @@
 use moqo_baselines::dp::enumerate_all_plans;
 use moqo_baselines::nsga2::fast_non_dominated_sort;
 use moqo_baselines::DpOptimizer;
+use moqo_core::archive::ArchiveConfig;
 use moqo_core::cache::PlanCache;
 use moqo_core::cost::CostVector;
-use moqo_core::frontier::{approximate_frontiers, AlphaSchedule};
+use moqo_core::frontier::approximate_frontiers;
 use moqo_core::model::testing::StubModel;
 use moqo_core::model::CostModel;
 use moqo_core::optimizer::{drive, Budget, NullObserver, Optimizer};
@@ -78,7 +79,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
         let skeleton = random_plan(&model, q, &mut rng);
         let mut cache = PlanCache::new();
-        approximate_frontiers(&skeleton, &model, &mut cache, alpha);
+        approximate_frontiers(&skeleton, &model, &mut cache, &moqo_core::Admission::approx(alpha));
 
         let frontier = cache.frontier(q);
         prop_assert!(!frontier.is_empty());
@@ -110,7 +111,7 @@ proptest! {
         for r in 0..rounds {
             let p = random_plan(&model, q, &mut rng);
             let alpha = [25.0, 4.0, 1.0][r % 3];
-            approximate_frontiers(&p, &model, &mut cache, alpha);
+            approximate_frontiers(&p, &model, &mut cache, &moqo_core::Admission::approx(alpha));
             prop_assert!(cache.check_invariant(), "invariant broken at round {r}");
         }
         // Every cached plan joins exactly the table set it is filed under.
@@ -218,18 +219,22 @@ proptest! {
 
 #[test]
 fn alpha_schedule_matches_paper_formula() {
-    // α(i) = 25 · 0.99^⌊i/25⌋, clamped at 1 (documented deviation).
-    let schedule = AlphaSchedule::paper();
-    assert_eq!(schedule.alpha(1), 25.0);
-    assert_eq!(schedule.alpha(24), 25.0);
+    // α(i) = 25 · 0.99^⌊i/25⌋, clamped at 1 (documented deviation). The
+    // schedule now emits per-metric factor vectors; the paper schedule is
+    // uniform, so every metric carries the scalar α.
+    let schedule = ArchiveConfig::paper().eps;
+    assert_eq!(schedule.factors(1).max(), 25.0);
+    assert_eq!(schedule.factors(24).max(), 25.0);
     let expected_50 = 25.0 * 0.99f64.powi(2);
-    assert!((schedule.alpha(50) - expected_50).abs() < 1e-12);
+    assert!((schedule.factors(50).max() - expected_50).abs() < 1e-12);
     // Far in the tail the formula drops below 1; we clamp.
-    assert_eq!(schedule.alpha(1_000_000), 1.0);
-    // Monotone non-increasing.
+    assert_eq!(schedule.factors(1_000_000).max(), 1.0);
+    // Monotone non-increasing, and uniform across metrics.
     let mut prev = f64::INFINITY;
     for i in (1..2_000).step_by(7) {
-        let a = schedule.alpha(i);
+        let f = schedule.factors(i);
+        let a = f.max();
+        assert_eq!(f, moqo_core::EpsFactors::splat(a));
         assert!(a <= prev);
         prev = a;
     }
@@ -246,7 +251,7 @@ fn rmq_with_exact_pruning_converges_to_enumerated_frontier() {
     let reference = ReferenceFrontier::from_costs(&all_costs);
 
     let cfg = RmqConfig {
-        alpha: AlphaSchedule::Fixed(1.0),
+        archive: ArchiveConfig::fixed(1.0),
         ..RmqConfig::seeded(5)
     };
     let mut rmq = Rmq::new(&model, q, cfg);
@@ -268,7 +273,7 @@ fn cache_frontier_sizes_respect_lemma6_growth() {
     let q = TableSet::prefix(8);
     let max_frontier = |alpha: f64| {
         let cfg = RmqConfig {
-            alpha: AlphaSchedule::Fixed(alpha),
+            archive: ArchiveConfig::fixed(alpha),
             ..RmqConfig::seeded(9)
         };
         let mut rmq = Rmq::new(&model, q, cfg);
