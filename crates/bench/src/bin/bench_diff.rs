@@ -15,6 +15,10 @@
 //!   `baseline × --timing-margin` (default 5, CI runners are noisy), and
 //!   each speedup ratio may not fall below `baseline ÷ --speedup-margin`
 //!   (default 2; ratios divide out the machine, so this is already lax).
+//!   Parallel-scaling ratios (`par_rmq` thread-scaling, the `exec_pool`
+//!   pooled-vs-scoped throughput) are demoted to warnings when either
+//!   file was generated at `host_parallelism == 1` — a single hardware
+//!   thread has no parallelism to measure.
 //!
 //! Usage:
 //!
@@ -43,6 +47,21 @@ impl Gate {
         self.checks += 1;
         if !ok {
             self.violations.push(msg());
+        }
+    }
+
+    /// A ratio gate that can be demoted to a warning: parallel-scaling
+    /// ratios are meaningless on a single hardware thread, so when either
+    /// file was generated at `host_parallelism == 1` the check still runs
+    /// but a failure only warns (schema v6).
+    fn check_ratio(&mut self, hard: bool, ok: bool, msg: impl FnOnce() -> String) {
+        if hard {
+            self.check(ok, msg);
+        } else {
+            self.checks += 1;
+            if !ok {
+                eprintln!("bench_diff: warning (host_parallelism == 1) — {}", msg());
+            }
         }
     }
 }
@@ -187,10 +206,12 @@ fn main() {
     // Host parallelism (schema v4): a mismatch only warns — timing fields
     // are machine-relative anyway, but cross-core-count comparisons are
     // worth flagging because thread-scaling numbers shift with the host.
-    if let (Some(bp), Some(cp)) = (
-        f64_field(&base, "host_parallelism"),
-        f64_field(&cand, "host_parallelism"),
-    ) {
+    // Schema v6: when either file was generated on a single hardware
+    // thread, parallel-scaling *ratio* gates (par_rmq, exec_pool) are
+    // demoted to warnings — there is no parallelism to measure.
+    let base_hp = f64_field(&base, "host_parallelism");
+    let cand_hp = f64_field(&cand, "host_parallelism");
+    if let (Some(bp), Some(cp)) = (base_hp, cand_hp) {
         if bp != cp {
             eprintln!(
                 "bench_diff: warning — baseline generated on a host with \
@@ -199,6 +220,7 @@ fn main() {
             );
         }
     }
+    let multicore = base_hp.is_none_or(|p| p > 1.0) && cand_hp.is_none_or(|p| p > 1.0);
 
     // Structural: the build kernel's interning stats are deterministic
     // (fixed seeds, fixed workload), so the arena block must match exactly.
@@ -299,10 +321,71 @@ fn main() {
                 format!("{tag}: candidate dropped live-mode field `{key}`")
             });
         }
+        // Partial-plan exchange counters (schema v6): presence only — the
+        // values depend on thread scheduling. Only required when the
+        // baseline has them (v6+).
+        for key in [
+            "exchange_partial_offered",
+            "exchange_partial_merged",
+            "exchange_partial_epochs",
+            "exchange_partial_table_sets",
+        ] {
+            if b.get(key).is_some() {
+                gate.check(c.get(key).is_some(), || {
+                    format!("{tag}: candidate dropped live-mode field `{key}`")
+                });
+            }
+        }
     }
     if !par(&base).is_empty() && par(&cand).is_empty() {
         gate.violations
             .push("candidate dropped the `par_rmq` section".to_string());
+    }
+
+    // Executor workload (schema v6): every field must stay present; the
+    // values (throughput, tail latency, steal counts) are timing- and
+    // scheduling-dependent, so only the headline pooled-vs-scoped ratio is
+    // gated — below, under the timing section, and demoted to a warning on
+    // single-core hosts.
+    match (base.get("exec_pool"), cand.get("exec_pool")) {
+        (Some(_), Some(ce)) => {
+            for key in [
+                "sessions",
+                "pool_workers",
+                "wide_fan_out",
+                "iterations_per_session",
+                "pooled_vs_scoped_iters_per_sec",
+                "pool_batches",
+                "pool_steals",
+                "pool_donations",
+                "exchange_backoff_level",
+            ] {
+                gate.check(ce.get(key).is_some(), || {
+                    format!("exec_pool: candidate dropped field `{key}`")
+                });
+            }
+            for run in ["pooled", "scoped"] {
+                let Some(cr) = ce.get(run) else {
+                    gate.violations
+                        .push(format!("exec_pool: candidate dropped the `{run}` run"));
+                    continue;
+                };
+                for key in [
+                    "elapsed_ms",
+                    "total_iterations",
+                    "iters_per_sec",
+                    "p99_ttff_ms",
+                ] {
+                    gate.check(cr.get(key).is_some(), || {
+                        format!("exec_pool.{run}: candidate dropped field `{key}`")
+                    });
+                }
+            }
+        }
+        (Some(_), None) => gate
+            .violations
+            .push("candidate dropped the `exec_pool` section".to_string()),
+        _ => {}
     }
 
     // Structural (schema v4): the observability counter deltas of every
@@ -518,6 +601,50 @@ fn main() {
                 .violations
                 .push("candidate dropped the `speedups` block".to_string()),
             _ => {}
+        }
+
+        // Parallel-scaling ratios (schema v6): `par_rmq` thread-scaling
+        // (iters/sec at t threads over t=1) and the exec_pool pooled-vs-
+        // scoped throughput ratio both divide out the machine, but not
+        // the core count — on `host_parallelism == 1` hosts they are
+        // scheduling noise, so failures there only warn.
+        let rate_of = |list: &[Value], threads: f64| {
+            list.iter()
+                .find(|e| f64_field(e, "threads") == Some(threads))
+                .and_then(|e| f64_field(e, "iters_per_sec"))
+        };
+        let (bpar, cpar) = (par(&base), par(&cand));
+        if let (Some(b1), Some(c1)) = (rate_of(&bpar, 1.0), rate_of(&cpar, 1.0)) {
+            for b in &bpar {
+                let threads = f64_field(b, "threads").unwrap_or(-1.0);
+                if threads <= 1.0 {
+                    continue;
+                }
+                let (Some(bt), Some(ct)) = (rate_of(&bpar, threads), rate_of(&cpar, threads))
+                else {
+                    continue;
+                };
+                let (bscale, cscale) = (bt / b1, ct / c1);
+                gate.check_ratio(multicore, cscale >= bscale / speedup_margin, || {
+                    format!(
+                        "par_rmq scaling @{threads} threads: {cscale:.2}x fell below \
+                         baseline {bscale:.2}x ÷ margin {speedup_margin}"
+                    )
+                });
+            }
+        }
+        if let (Some(be), Some(ce)) = (base.get("exec_pool"), cand.get("exec_pool")) {
+            if let (Some(b), Some(c)) = (
+                f64_field(be, "pooled_vs_scoped_iters_per_sec"),
+                f64_field(ce, "pooled_vs_scoped_iters_per_sec"),
+            ) {
+                gate.check_ratio(multicore, c >= b / speedup_margin, || {
+                    format!(
+                        "exec_pool pooled-vs-scoped throughput: {c:.2}x fell below \
+                         baseline {b:.2}x ÷ margin {speedup_margin}"
+                    )
+                });
+            }
         }
     }
 

@@ -63,7 +63,13 @@ use rand::SeedableRng;
 /// d=8 stream, exact-archive blowup ratio), the `rmq_dim` end-to-end
 /// dimension sweep (d ∈ {2,4,6,8,10}), and the `pareto_*` fields of
 /// `ObsFixture` (SoA blocks screened, ε-rejects, final archive size).
-const SCHEMA_VERSION: u32 = 5;
+/// v6 (additive over v5): the work-stealing executor — the `exec_pool`
+/// section (oversubscribed mixed-width workload on the shared executor vs
+/// per-session scoped threads: total iters/sec, p99 time-to-first-
+/// frontier, `exec_pool.*` counter deltas, `exchange.backoff_level`) and
+/// the `exchange_partial_*` fields of `par_rmq` entries (partial-plan
+/// frontier sharing).
+const SCHEMA_VERSION: u32 = 6;
 
 #[derive(Serialize)]
 struct Baseline {
@@ -90,6 +96,9 @@ struct Baseline {
     rmq_dim: Vec<RmqDimResult>,
     /// Intra-query thread-scaling runs of `ParRmq` (schema v3).
     par_rmq: Vec<ParRmqResult>,
+    /// Oversubscribed mixed-width workload on the shared work-stealing
+    /// executor vs per-session scoped threads (schema v6).
+    exec_pool: ExecPoolReport,
     /// Observability counter deltas per RMQ fixture (schema v4): the
     /// global `moqo-obs` registry sampled immediately before/after each
     /// (sequential, fixed-seed) `rmq` run, so the deltas are exact and
@@ -261,10 +270,51 @@ struct ParRmqResult {
     exchange_merged: u64,
     exchange_epochs: u64,
     exchange_absorbed: u64,
+    /// Partial-plan (sub-query frontier) exchange counters (schema v6).
+    exchange_partial_offered: u64,
+    exchange_partial_merged: u64,
+    exchange_partial_epochs: u64,
+    exchange_partial_table_sets: usize,
     /// Deterministic-mode structural fields (gated exactly).
     det_iterations: u64,
     det_frontier_size: usize,
     det_hypervolume: f64,
+}
+
+/// One configuration of the oversubscribed workload (schema v6): total
+/// throughput plus the p99 time-to-first-frontier across sessions —
+/// queueing delay included, so oversubscription shows up as tail latency.
+#[derive(Serialize)]
+struct ExecPoolRun {
+    elapsed_ms: f64,
+    total_iterations: u64,
+    iters_per_sec: f64,
+    p99_ttff_ms: f64,
+}
+
+/// The oversubscribed mixed-width workload (schema v6): `sessions`
+/// sessions alternating fan-out 1 and `wide_fan_out`, run once as root
+/// tasks on a shared `pool_workers`-wide work-stealing executor and once
+/// as one scoped OS thread per session (the pre-executor configuration,
+/// each wide session spawning its own private fan-out threads). Timing
+/// fields are machine-dependent; the counter fields depend on scheduling
+/// and are reported for visibility, not gated bit-for-bit.
+#[derive(Serialize)]
+struct ExecPoolReport {
+    sessions: usize,
+    pool_workers: usize,
+    wide_fan_out: usize,
+    iterations_per_session: u64,
+    pooled: ExecPoolRun,
+    scoped: ExecPoolRun,
+    /// Pooled over scoped iters/sec (> 1 means the executor wins).
+    pooled_vs_scoped_iters_per_sec: f64,
+    /// `exec_pool.*` registry deltas around the pooled run.
+    pool_batches: u64,
+    pool_steals: u64,
+    pool_donations: u64,
+    /// `exchange.backoff_level` gauge after the pooled run.
+    exchange_backoff_level: u64,
 }
 
 /// Times `op` over `rounds` rounds of `ops_per_round` operations each and
@@ -806,12 +856,163 @@ fn run_par_rmq(quick: bool) -> Vec<ParRmqResult> {
                 exchange_merged: ex.merged,
                 exchange_epochs: ex.epochs,
                 exchange_absorbed: ex.absorbed,
+                exchange_partial_offered: ex.partial_offered,
+                exchange_partial_merged: ex.partial_merged,
+                exchange_partial_epochs: ex.partial_epochs,
+                exchange_partial_table_sets: ex.partial_table_sets,
                 det_iterations: iterations,
                 det_frontier_size: det_frontier.len(),
                 det_hypervolume: hv(&det_frontier),
             }
         })
         .collect()
+}
+
+/// One session of the oversubscribed workload: a short first slice bounds
+/// the time-to-first-frontier (one climb round per worker), then the rest
+/// of the budget runs out. `started` is the workload epoch, so TTFF
+/// includes queueing delay. Whether the session fans out on the shared
+/// executor or on private scoped threads is decided by where this runs —
+/// on a pool worker `ParRmq` takes its pooled path, off-pool the scoped
+/// one.
+fn exec_pool_session(
+    model: std::sync::Arc<moqo_cost::ResourceCostModel>,
+    query: TableSet,
+    seed: u64,
+    fan_out: usize,
+    per_session: u64,
+    started: Instant,
+) -> (std::time::Duration, u64) {
+    let mut cfg = ParRmqConfig::seeded(seed, fan_out);
+    cfg.batch = 8;
+    let first_slice = (cfg.batch * fan_out as u64).min(per_session);
+    let mut par = ParRmq::new(model, query, cfg);
+    let s1 = par.optimize(Budget::Iterations(first_slice));
+    let ttff = started.elapsed();
+    let s2 = par.optimize(Budget::Iterations(per_session - s1.iterations));
+    (ttff, s1.iterations + s2.iterations)
+}
+
+/// p99 of a duration sample in milliseconds (nearest-rank; with 16
+/// sessions this is the slowest observation — exactly the tail the
+/// executor is meant to fix).
+fn p99_ms(samples: &mut [std::time::Duration]) -> f64 {
+    samples.sort_unstable();
+    let idx = ((samples.len() as f64 * 0.99).ceil() as usize).clamp(1, samples.len()) - 1;
+    samples[idx].as_secs_f64() * 1e3
+}
+
+/// The oversubscribed mixed-width workload: 16 sessions (8 in quick
+/// mode), fan-out alternating 1 and 4, on a 4-worker shared executor vs
+/// one OS thread per session with private scoped fan-out threads.
+fn run_exec_pool(quick: bool) -> ExecPoolReport {
+    use moqo_parallel::{ExecPool, TaskSpec, TaskStatus};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    let (tables, sessions, pool_workers, per_session): (usize, usize, usize, u64) = if quick {
+        (12, 8, 2, 48)
+    } else {
+        (15, 16, 4, 240)
+    };
+    let wide_fan_out = 4usize;
+    let seed = 42u64;
+    let (model, query) = resource_model(tables);
+    let model = Arc::new(model);
+    let fan_out_of = move |i: usize| if i % 2 == 0 { 1 } else { wide_fan_out };
+
+    // Scoped baseline first, so it cannot touch the executor counters the
+    // pooled run is measured by.
+    let scoped = {
+        let started = Instant::now();
+        let results: Vec<(std::time::Duration, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..sessions)
+                .map(|i| {
+                    let model = Arc::clone(&model);
+                    scope.spawn(move || {
+                        exec_pool_session(
+                            model,
+                            query,
+                            seed + i as u64,
+                            fan_out_of(i),
+                            per_session,
+                            started,
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        let total_iterations: u64 = results.iter().map(|(_, i)| i).sum();
+        let mut ttffs: Vec<_> = results.iter().map(|(t, _)| *t).collect();
+        ExecPoolRun {
+            elapsed_ms,
+            total_iterations,
+            iters_per_sec: total_iterations as f64 / (elapsed_ms / 1e3),
+            p99_ttff_ms: p99_ms(&mut ttffs),
+        }
+    };
+
+    let obs_before = moqo_obs::ObsSnapshot::capture();
+    let pooled = {
+        let pool = ExecPool::new(pool_workers);
+        let results: Arc<Mutex<Vec<(std::time::Duration, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let finished = Arc::new(AtomicUsize::new(0));
+        let started = Instant::now();
+        for i in 0..sessions {
+            let model = Arc::clone(&model);
+            let results = Arc::clone(&results);
+            let finished = Arc::clone(&finished);
+            let mut run = Some(move || {
+                exec_pool_session(
+                    model,
+                    query,
+                    seed + i as u64,
+                    fan_out_of(i),
+                    per_session,
+                    started,
+                )
+            });
+            pool.handle().spawn(TaskSpec::root(), move || {
+                let run = run.take().expect("session task runs once");
+                results.lock().unwrap().push(run());
+                finished.fetch_add(1, Ordering::SeqCst);
+                TaskStatus::Done
+            });
+        }
+        // The bench thread never helps: helping would run sessions off
+        // the pool and silently fall back to the scoped path.
+        while finished.load(Ordering::SeqCst) < sessions {
+            std::thread::yield_now();
+        }
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        let results = results.lock().unwrap();
+        let total_iterations: u64 = results.iter().map(|(_, i)| i).sum();
+        let mut ttffs: Vec<_> = results.iter().map(|(t, _)| *t).collect();
+        ExecPoolRun {
+            elapsed_ms,
+            total_iterations,
+            iters_per_sec: total_iterations as f64 / (elapsed_ms / 1e3),
+            p99_ttff_ms: p99_ms(&mut ttffs),
+        }
+    };
+    let obs_after = moqo_obs::ObsSnapshot::capture();
+    let delta = |name: &str| obs_after.counter(name) - obs_before.counter(name);
+
+    ExecPoolReport {
+        sessions,
+        pool_workers,
+        wide_fan_out,
+        iterations_per_session: per_session,
+        pooled_vs_scoped_iters_per_sec: pooled.iters_per_sec / scoped.iters_per_sec,
+        pooled,
+        scoped,
+        pool_batches: delta("exec_pool.batches"),
+        pool_steals: delta("exec_pool.steals"),
+        pool_donations: delta("exec_pool.donations"),
+        exchange_backoff_level: obs_after.counter("exchange.backoff_level"),
+    }
 }
 
 fn main() {
@@ -933,6 +1134,25 @@ fn main() {
         );
     }
 
+    let exec_pool = run_exec_pool(quick);
+    eprintln!(
+        "  exec_pool {} sessions (fan-out 1/{}) on {} workers: pooled {:.1} iters/s \
+         (p99 ttff {:.1} ms) vs scoped {:.1} iters/s (p99 ttff {:.1} ms) = {:.2}x; \
+         {} batches, {} steals, {} donations, backoff level {}",
+        exec_pool.sessions,
+        exec_pool.wide_fan_out,
+        exec_pool.pool_workers,
+        exec_pool.pooled.iters_per_sec,
+        exec_pool.pooled.p99_ttff_ms,
+        exec_pool.scoped.iters_per_sec,
+        exec_pool.scoped.p99_ttff_ms,
+        exec_pool.pooled_vs_scoped_iters_per_sec,
+        exec_pool.pool_batches,
+        exec_pool.pool_steals,
+        exec_pool.pool_donations,
+        exec_pool.exchange_backoff_level,
+    );
+
     let baseline = Baseline {
         schema_version: SCHEMA_VERSION,
         mode: if quick { "quick" } else { "full" }.to_string(),
@@ -944,6 +1164,7 @@ fn main() {
         rmq,
         rmq_dim,
         par_rmq,
+        exec_pool,
         obs,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");

@@ -125,6 +125,16 @@ impl<P> PlanCache<P> {
         self.map.iter().map(|(k, v)| (*k, v.plans()))
     }
 
+    /// Iterates over `(table set, frontier set)` entries in unspecified
+    /// order — the batch-merge view: unlike [`entries`](PlanCache::entries)
+    /// it exposes the [`ParetoSet`]s themselves (inline cost metadata
+    /// included), so a consumer can [`ParetoSet::merge_with`] a whole
+    /// sub-query frontier without re-deriving candidate costs. Used by the
+    /// parallel optimizer to exchange partial-plan frontiers.
+    pub fn entry_sets(&self) -> impl Iterator<Item = (TableSet, &ParetoSet<P>)> {
+        self.map.iter().map(|(k, v)| (*k, v))
+    }
+
     /// Removes every cached entry (used by cache-ablation experiments).
     pub fn clear(&mut self) {
         self.map.clear();

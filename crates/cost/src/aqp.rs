@@ -82,7 +82,8 @@ impl Default for AqpParams {
 /// Time/precision-loss cost model over a [`Catalog`].
 ///
 /// Metric 0 is execution time (page-I/O units), metric 1 is precision loss
-/// (lost bits, see module docs).
+/// (lost bits, see module docs). Cloning is cheap (Arc-shared catalog).
+#[derive(Clone)]
 pub struct AqpCostModel {
     catalog: Arc<Catalog>,
     params: AqpParams,

@@ -71,7 +71,9 @@ impl Default for CloudParams {
     }
 }
 
-/// Time/money cost model over a [`Catalog`].
+/// Time/money cost model over a [`Catalog`]. Cloning is cheap
+/// (Arc-shared catalog).
+#[derive(Clone)]
 pub struct CloudCostModel {
     catalog: Arc<Catalog>,
     params: CloudParams,

@@ -94,7 +94,9 @@ impl EnergyParams {
 
 /// Time/energy cost model over a [`Catalog`].
 ///
-/// Metric 0 is execution time, metric 1 is energy.
+/// Metric 0 is execution time, metric 1 is energy. Cloning is cheap
+/// (Arc-shared catalog).
+#[derive(Clone)]
 pub struct EnergyCostModel {
     catalog: Arc<Catalog>,
     params: EnergyParams,

@@ -65,7 +65,10 @@ impl ResourceMetric {
     }
 }
 
-/// Multi-metric resource cost model over a [`Catalog`].
+/// Multi-metric resource cost model over a [`Catalog`]. Cloning is cheap
+/// — the catalog is shared behind an `Arc` — which is how fan-out
+/// optimizers take an owned copy per session.
+#[derive(Clone)]
 pub struct ResourceCostModel {
     catalog: Arc<Catalog>,
     metrics: Vec<ResourceMetric>,

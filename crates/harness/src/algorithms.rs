@@ -86,11 +86,14 @@ impl AlgorithmKind {
             AlgorithmKind::NsgaII => Box::new(Nsga2::new(model, query, seed)),
             AlgorithmKind::Ii => Box::new(IterativeImprovement::new(model, query, seed)),
             AlgorithmKind::Rmq => Box::new(Rmq::new(model, query, RmqConfig::seeded(seed))),
-            // The model is held by reference per worker (&ResourceCostModel
-            // is Copy + Send), so the fan-out borrows rather than clones.
-            AlgorithmKind::ParRmq => {
-                Box::new(ParRmq::new(model, query, ParRmqConfig::seeded(seed, 4)))
-            }
+            // The fan-out takes an owned model (climb batches may outlive
+            // this borrow on the shared executor); the clone is cheap —
+            // the catalog inside is Arc-shared.
+            AlgorithmKind::ParRmq => Box::new(ParRmq::new(
+                model.clone(),
+                query,
+                ParRmqConfig::seeded(seed, 4),
+            )),
             AlgorithmKind::WeightedSum => Box::new(WeightedSum::new(model, query, seed)),
         }
     }

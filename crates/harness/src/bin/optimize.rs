@@ -162,12 +162,17 @@ fn load_catalog(opts: &Options) -> Arc<Catalog> {
     }
 }
 
-fn optimize_and_report<M: CostModel>(model: &M, opts: &Options) {
+fn optimize_and_report<M: CostModel + Clone + Send + 'static>(model: &M, opts: &Options) {
     let query = moqo_core::TableSet::prefix(model.num_tables());
     let mut frontier: Vec<PlanRef> = if opts.parallel > 1 {
-        // Intra-query fan-out: each worker borrows the model (&M is
-        // Copy + Send because CostModel requires Sync).
-        let mut par = ParRmq::new(model, query, ParRmqConfig::seeded(opts.seed, opts.parallel));
+        // Intra-query fan-out: each climb batch owns a model clone (cheap
+        // — the catalog inside is Arc-shared) so batches can run on the
+        // shared executor.
+        let mut par = ParRmq::new(
+            model.clone(),
+            query,
+            ParRmqConfig::seeded(opts.seed, opts.parallel),
+        );
         let run = par.optimize(Budget::Time(opts.budget));
         let ex = run.exchange;
         println!(

@@ -315,6 +315,23 @@ fn main() {
     println!("  ttff p99        {}", fmt_ms(stats.ttff_p99));
     println!("  queue delay p50 {}", fmt_ms(stats.queue_delay_p50));
     println!("  queue delay p99 {}", fmt_ms(stats.queue_delay_p99));
+    // Executor and adaptive-exchange visibility: climb batches executed,
+    // how many ran on a worker other than their session's (steals +
+    // donations), and where the exchange backoff sits now.
+    let obs = moqo_obs::ObsSnapshot::capture();
+    println!(
+        "  exec pool       {} batches, {} steals, {} donations",
+        obs.counter("exec_pool.batches"),
+        obs.counter("exec_pool.steals"),
+        obs.counter("exec_pool.donations"),
+    );
+    println!(
+        "  exchange        backoff level {}, {} merged / {} offered ({} partial merged)",
+        obs.counter("exchange.backoff_level"),
+        obs.counter("exchange.merged"),
+        obs.counter("exchange.offered"),
+        obs.counter("exchange.partial_merged"),
+    );
     println!(
         "  cache           {} plans / {} entries, hit rate {:.0}% ({} hits / {} lookups)",
         stats.cache.plans,

@@ -326,6 +326,22 @@ pub struct Metrics {
     pub exchange_epochs: Counter,
     /// Plans absorbed from global snapshots by workers.
     pub exchange_absorbed: Counter,
+    /// Sub-query (partial-plan) frontier members offered to the shared
+    /// frontier's table-set-keyed partial exchange.
+    pub exchange_partial_offered: Counter,
+    /// Offered partial plans admitted into a shared sub-query frontier.
+    pub exchange_partial_merged: Counter,
+    /// Current exchange backoff level of the most recent adaptive-exchange
+    /// decision (`0` = base period; level `k` = period `base << k`).
+    pub exchange_backoff_level: Gauge,
+    /// Climb batches executed by the work-stealing executor (every task
+    /// invocation runs at most one batch).
+    pub exec_pool_batches: ShardedCounter,
+    /// Tasks an idle pool worker stole from another worker's deque.
+    pub exec_pool_steals: Counter,
+    /// Batches a waiting helper donated to a *foreign* task group while
+    /// its own group drained (idle-wait work conservation).
+    pub exec_pool_donations: Counter,
     /// Sessions admitted by the service.
     pub service_submitted: Counter,
     /// Submissions rejected: live-session bound reached.
@@ -385,6 +401,12 @@ impl Metrics {
             exchange_merged: Counter::new(),
             exchange_epochs: Counter::new(),
             exchange_absorbed: Counter::new(),
+            exchange_partial_offered: Counter::new(),
+            exchange_partial_merged: Counter::new(),
+            exchange_backoff_level: Gauge::new(),
+            exec_pool_batches: ShardedCounter::new(),
+            exec_pool_steals: Counter::new(),
+            exec_pool_donations: Counter::new(),
             service_submitted: Counter::new(),
             service_rejected_queue_full: Counter::new(),
             service_rejected_no_slots: Counter::new(),
@@ -425,6 +447,18 @@ impl Metrics {
             ("exchange.merged", self.exchange_merged.get()),
             ("exchange.epochs", self.exchange_epochs.get()),
             ("exchange.absorbed", self.exchange_absorbed.get()),
+            (
+                "exchange.partial_offered",
+                self.exchange_partial_offered.get(),
+            ),
+            (
+                "exchange.partial_merged",
+                self.exchange_partial_merged.get(),
+            ),
+            ("exchange.backoff_level", self.exchange_backoff_level.get()),
+            ("exec_pool.batches", self.exec_pool_batches.get()),
+            ("exec_pool.steals", self.exec_pool_steals.get()),
+            ("exec_pool.donations", self.exec_pool_donations.get()),
             ("service.submitted", self.service_submitted.get()),
             (
                 "service.rejected_queue_full",
@@ -579,6 +613,11 @@ mod tests {
         assert!(names.contains(&"pareto.eps_rejects"));
         assert!(names.contains(&"pareto.archive_size"));
         assert!(names.contains(&"exchange.merged"));
+        assert!(names.contains(&"exchange.partial_merged"));
+        assert!(names.contains(&"exchange.backoff_level"));
+        assert!(names.contains(&"exec_pool.batches"));
+        assert!(names.contains(&"exec_pool.steals"));
+        assert!(names.contains(&"exec_pool.donations"));
         assert!(names.contains(&"service.rejected_queue_full"));
         assert!(names.contains(&"exec.tuples"));
         let hists: Vec<&str> = metrics().histograms().iter().map(|(n, _)| *n).collect();

@@ -1,0 +1,155 @@
+//! Adaptive exchange period: exponential backoff when publishes stop
+//! merging, immediate tightening after admissions.
+//!
+//! The exchange period governs how often each `ParRmq` worker pauses its
+//! climb loop to publish its local frontier into the [`SharedFrontier`]
+//! and absorb the global one. Early in a run almost every publish admits
+//! new survivors, so a short period spreads good plans fast; late in a
+//! run frontiers converge and publishes become pure synchronization
+//! overhead. [`AdaptiveExchange`] tracks the live `exchange.offered` /
+//! `exchange.merged` outcome of each publish:
+//!
+//! * **Back off** — when a full *window* of consecutive publishes merges
+//!   nothing (`merged == 0`), double the period (up to `base << MAX_LEVEL`)
+//!   and record the new level in the `exchange.backoff_level` gauge, with
+//!   a `Note` journal event so `serve --obs-json` makes the adaptation
+//!   visible.
+//! * **Tighten** — the moment any publish merges at least one plan, reset
+//!   to the base period: an admission means the frontiers are moving
+//!   again and information is worth spreading.
+//!
+//! The policy is shared by all workers of one `ParRmq` (one publish
+//! anywhere that merges resets everyone), which is what makes the
+//! backoff an estimate of *global* convergence rather than one worker's
+//! luck. Deterministic mode never consults it — its exchange schedule is
+//! part of the reproducible contract.
+//!
+//! [`SharedFrontier`]: crate::SharedFrontier
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+use moqo_obs::journal::{self, EventKind, Level, Target};
+use moqo_obs::metrics;
+
+/// Highest backoff level: the period saturates at `base << MAX_LEVEL`
+/// (64× the configured period).
+pub const MAX_BACKOFF_LEVEL: u32 = 6;
+
+/// Shared adaptive-exchange state for one parallel optimizer run. See the
+/// module docs for the policy.
+#[derive(Debug)]
+pub struct AdaptiveExchange {
+    base_period: u64,
+    /// Publishes with `merged == 0` required to escalate one level.
+    window: u32,
+    /// Current backoff level; period = `base_period << level`.
+    level: AtomicU32,
+    /// Consecutive zero-merge publishes in the current window.
+    dry_publishes: Mutex<u32>,
+}
+
+impl AdaptiveExchange {
+    /// Creates the policy for a run with the given configured period and
+    /// worker count (the window scales with the fan-out so one full round
+    /// of dry publishes — every worker reporting nothing — escalates).
+    pub fn new(base_period: u64, workers: usize) -> Self {
+        AdaptiveExchange {
+            base_period: base_period.max(1),
+            window: (workers.max(1)) as u32,
+            level: AtomicU32::new(0),
+            dry_publishes: Mutex::new(0),
+        }
+    }
+
+    /// The current exchange period in iterations. Cheap (one relaxed
+    /// load); called on every climb iteration.
+    #[inline]
+    pub fn period(&self) -> u64 {
+        self.base_period << self.level.load(Ordering::Relaxed)
+    }
+
+    /// The current backoff level (0 = base period).
+    pub fn level(&self) -> u32 {
+        self.level.load(Ordering::Relaxed)
+    }
+
+    /// Records the outcome of one publish: `merged` plans admitted into
+    /// the global frontier. Tightens to the base period on any admission;
+    /// escalates one level after a full window of dry publishes.
+    pub fn on_publish(&self, merged: usize) {
+        if merged > 0 {
+            let mut dry = self.dry_publishes.lock().unwrap();
+            *dry = 0;
+            if self.level.swap(0, Ordering::Relaxed) != 0 {
+                metrics().exchange_backoff_level.set(0);
+            }
+            return;
+        }
+        let mut dry = self.dry_publishes.lock().unwrap();
+        *dry += 1;
+        if *dry < self.window {
+            return;
+        }
+        *dry = 0;
+        let level = self.level.load(Ordering::Relaxed);
+        if level >= MAX_BACKOFF_LEVEL {
+            return;
+        }
+        let next = level + 1;
+        self.level.store(next, Ordering::Relaxed);
+        metrics().exchange_backoff_level.set(next as u64);
+        journal::emit_with(Target::Exchange, Level::Info, || {
+            EventKind::Note("exchange backoff: window of publishes merged nothing")
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_starts_at_base_and_doubles_per_window() {
+        let adapt = AdaptiveExchange::new(8, 2);
+        assert_eq!(adapt.period(), 8);
+        // One dry publish is not a full window of two.
+        adapt.on_publish(0);
+        assert_eq!(adapt.period(), 8);
+        adapt.on_publish(0);
+        assert_eq!(adapt.period(), 16);
+        assert_eq!(adapt.level(), 1);
+        // Two more dry publishes: next level.
+        adapt.on_publish(0);
+        adapt.on_publish(0);
+        assert_eq!(adapt.period(), 32);
+    }
+
+    #[test]
+    fn any_merge_resets_to_base() {
+        let adapt = AdaptiveExchange::new(4, 1);
+        for _ in 0..3 {
+            adapt.on_publish(0);
+        }
+        assert!(adapt.period() > 4);
+        adapt.on_publish(2);
+        assert_eq!(adapt.period(), 4);
+        assert_eq!(adapt.level(), 0);
+    }
+
+    #[test]
+    fn backoff_saturates_at_max_level() {
+        let adapt = AdaptiveExchange::new(1, 1);
+        for _ in 0..100 {
+            adapt.on_publish(0);
+        }
+        assert_eq!(adapt.level(), MAX_BACKOFF_LEVEL);
+        assert_eq!(adapt.period(), 1 << MAX_BACKOFF_LEVEL);
+    }
+
+    #[test]
+    fn zero_base_period_is_clamped() {
+        let adapt = AdaptiveExchange::new(0, 0);
+        assert_eq!(adapt.period(), 1);
+    }
+}

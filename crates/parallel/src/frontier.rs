@@ -21,6 +21,15 @@
 //! Every snapshot swap bumps the **exchange epoch**. Workers remember the
 //! last epoch they absorbed and skip the (already-seen) snapshot otherwise,
 //! which makes the absorb path O(1) between global improvements.
+//!
+//! Besides the full-query frontier, the structure keeps **partial-plan
+//! frontiers**: per-table-set Pareto sets of sub-query plans
+//! ([`SharedFrontier::publish_partials`]), merged through the same
+//! [`Admission`] entry point and snapshotted under their own epoch. This is
+//! where the redundant work across workers actually hides — the
+//! approximation-scheme line shows intermediate frontiers, not full-query
+//! survivors, carry most of the reusable information — so workers absorb
+//! them straight into their partial-plan caches via `warm_start`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -33,6 +42,7 @@ use moqo_core::arena::{PlanArena, PlanId};
 use moqo_core::fxhash::FxHashMap;
 use moqo_core::pareto::ParetoSet;
 use moqo_core::plan::PlanRef;
+use moqo_core::tables::TableSet;
 
 /// An immutable point-in-time view of the shared global frontier.
 ///
@@ -64,6 +74,14 @@ pub struct ExchangeStats {
     pub absorbed: u64,
     /// Shared-arena occupancy (distinct interned nodes).
     pub arena_nodes: usize,
+    /// Sub-query plans offered across all partial-frontier publishes.
+    pub partial_offered: u64,
+    /// Offered sub-query plans that survived their per-table-set merge.
+    pub partial_merged: u64,
+    /// Partial-snapshot swaps (= the current partial-frontier epoch).
+    pub partial_epochs: u64,
+    /// Distinct table sets with a shared partial frontier.
+    pub partial_table_sets: usize,
 }
 
 /// Merge-side state: everything a publishing worker mutates under the lock.
@@ -79,6 +97,23 @@ struct MergeState {
     publishes: u64,
     offered: u64,
     merged: u64,
+    /// Per-table-set sub-query frontiers, keyed into the same `arena`.
+    partials: FxHashMap<TableSet, ParetoSet<PlanId>>,
+    partial_epoch: u64,
+    partial_offered: u64,
+    partial_merged: u64,
+}
+
+/// An immutable point-in-time view of the shared partial-plan frontiers,
+/// flattened for absorption: `Rmq::warm_start` re-files each plan under its
+/// own table set with subset filtering, so consumers need no keying here.
+#[derive(Clone, Debug, Default)]
+pub struct PartialSnapshot {
+    /// Partial-frontier epoch: strictly increases with every change to any
+    /// per-table-set frontier. `0` means nothing has been published yet.
+    pub epoch: u64,
+    /// Every shared sub-query survivor across all table sets.
+    pub plans: Vec<PlanRef>,
 }
 
 /// The shared epoch-versioned global frontier (see the module docs).
@@ -88,6 +123,8 @@ pub struct SharedFrontier {
     /// the `Arc` — never while merging or exporting — so readers are
     /// effectively lock-free.
     snapshot: Mutex<Arc<FrontierSnapshot>>,
+    /// The published partial-plan snapshot, same locking discipline.
+    partial_snapshot: Mutex<Arc<PartialSnapshot>>,
     /// Plans absorbed by workers (updated outside the merge lock).
     absorbed: AtomicU64,
     /// Publish tick used to sample merge-mutex wait time (see
@@ -118,8 +155,13 @@ impl SharedFrontier {
                 publishes: 0,
                 offered: 0,
                 merged: 0,
+                partials: FxHashMap::default(),
+                partial_epoch: 0,
+                partial_offered: 0,
+                partial_merged: 0,
             }),
             snapshot: Mutex::new(Arc::new(FrontierSnapshot::default())),
+            partial_snapshot: Mutex::new(Arc::new(PartialSnapshot::default())),
             absorbed: AtomicU64::new(0),
             publish_ticks: AtomicU64::new(0),
         }
@@ -203,9 +245,78 @@ impl SharedFrontier {
         inserted
     }
 
+    /// Batch-merges a worker's partial-plan (sub-query) frontiers into the
+    /// shared per-table-set frontiers: each `(table set, frontier)` pair —
+    /// ids into the worker's `src` arena, typically
+    /// `PlanCache::entry_sets` filtered to proper sub-queries — is merged
+    /// into the matching shared frontier through the same exact
+    /// [`Admission`] entry point as the full-query path, with survivors
+    /// adopted into the shared arena. If anything changed, the partial
+    /// epoch advances and a fresh [`PartialSnapshot`] is swapped in.
+    /// Returns the number of sub-query plans that survived.
+    pub fn publish_partials<'a>(
+        &self,
+        src: &PlanArena,
+        sets: impl Iterator<Item = (TableSet, &'a ParetoSet<PlanId>)>,
+    ) -> usize {
+        let obs = metrics();
+        let mut state = self.merge.lock().unwrap();
+        let MergeState {
+            arena,
+            memo,
+            partials,
+            partial_offered,
+            partial_merged,
+            ..
+        } = &mut *state;
+        let mut offered = 0usize;
+        let mut inserted = 0usize;
+        for (rel, frontier) in sets {
+            offered += frontier.len();
+            memo.clear();
+            let shared_set = partials.entry(rel).or_default();
+            inserted += shared_set.merge_with(frontier, &Admission::exact(), |&id| {
+                arena.adopt(src, id, memo)
+            });
+            let screen = shared_set.take_screen_counters();
+            obs.pareto_blocks_screened.add(screen.blocks_screened);
+            obs.pareto_eps_rejects.add(screen.eps_rejects);
+        }
+        *partial_offered += offered as u64;
+        *partial_merged += inserted as u64;
+        obs.exchange_partial_offered.add(offered as u64);
+        obs.exchange_partial_merged.add(inserted as u64);
+        if inserted == 0 {
+            return 0;
+        }
+        state.partial_epoch += 1;
+        let plans: Vec<PlanRef> = state
+            .partials
+            .values()
+            .flat_map(|set| set.iter().map(|&id| state.arena.export(id)))
+            .collect();
+        let fresh = Arc::new(PartialSnapshot {
+            epoch: state.partial_epoch,
+            plans,
+        });
+        *self.partial_snapshot.lock().unwrap() = fresh;
+        inserted
+    }
+
     /// The current snapshot (clones one `Arc` under a short lock).
     pub fn snapshot(&self) -> Arc<FrontierSnapshot> {
         Arc::clone(&self.snapshot.lock().unwrap())
+    }
+
+    /// The current partial-plan snapshot (clones one `Arc` under a short
+    /// lock).
+    pub fn partial_snapshot(&self) -> Arc<PartialSnapshot> {
+        Arc::clone(&self.partial_snapshot.lock().unwrap())
+    }
+
+    /// The current partial-frontier epoch without cloning the snapshot.
+    pub fn partial_epoch(&self) -> u64 {
+        self.partial_snapshot.lock().unwrap().epoch
     }
 
     /// The current exchange epoch without cloning the snapshot.
@@ -229,6 +340,10 @@ impl SharedFrontier {
             epochs: state.epoch,
             absorbed: self.absorbed.load(Ordering::Relaxed),
             arena_nodes: state.arena.len(),
+            partial_offered: state.partial_offered,
+            partial_merged: state.partial_merged,
+            partial_epochs: state.partial_epoch,
+            partial_table_sets: state.partials.len(),
         }
     }
 }
@@ -338,6 +453,44 @@ mod tests {
         assert!(stats.absorbed > 0);
         // The surviving global frontier cannot exceed what was merged.
         assert!(shared.snapshot().plans.len() as u64 <= stats.merged);
+    }
+
+    #[test]
+    fn partial_publish_merges_subquery_frontiers_per_table_set() {
+        let shared = SharedFrontier::new();
+        assert_eq!(shared.partial_epoch(), 0);
+        let (rmq, _) = worker_frontier(1, 12);
+        let query = TableSet::prefix(6);
+        fn subs(
+            r: &Rmq<StubModel>,
+            query: TableSet,
+        ) -> impl Iterator<Item = (TableSet, &ParetoSet<PlanId>)> + '_ {
+            r.cache().entry_sets().filter(move |(rel, _)| *rel != query)
+        }
+        let merged = shared.publish_partials(rmq.arena(), subs(&rmq, query));
+        assert!(merged > 0, "sub-query frontiers must merge");
+        assert_eq!(shared.partial_epoch(), 1);
+        let snap = shared.partial_snapshot();
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.plans.len(), merged);
+        assert!(snap.plans.iter().all(|p| p.rel() != query));
+
+        // Re-publishing the identical partial frontiers merges nothing and
+        // leaves the epoch alone.
+        assert_eq!(shared.publish_partials(rmq.arena(), subs(&rmq, query)), 0);
+        assert_eq!(shared.partial_epoch(), 1);
+
+        // A different worker's partials contribute under the same keys.
+        let (other, _) = worker_frontier(7, 12);
+        shared.publish_partials(other.arena(), subs(&other, query));
+        let stats = shared.stats();
+        assert!(stats.partial_offered >= stats.partial_merged);
+        assert!(stats.partial_table_sets > 0);
+        assert_eq!(stats.partial_epochs, shared.partial_epoch());
+
+        // Full-query exchange state is untouched by partial publishes.
+        assert_eq!(shared.epoch(), 0);
+        assert_eq!(stats.publishes, 0);
     }
 
     #[test]

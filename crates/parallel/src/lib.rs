@@ -4,7 +4,7 @@
 //! restarts are independent: the anytime frontier is just the Pareto union
 //! of per-climb local optima, which makes a *single query* embarrassingly
 //! parallel. [`ParRmq`] exploits that: it runs RMQ for one query across `N`
-//! worker threads, each owning a private [`Rmq`] instance (its own session
+//! workers, each owning a private [`Rmq`] instance (its own session
 //! arena, transient climb arena, partial-plan cache, and RNG stream seeded
 //! deterministically as `seed ⊕ worker_id`), and periodically exchanges
 //! survivors through a shared epoch-versioned global frontier
@@ -13,18 +13,56 @@
 //! structure. Approximation-precision guarantees are unchanged: every plan
 //! still enters a frontier through the paper's `SigBetter` pruning rule.
 //!
+//! ## The work-stealing executor
+//!
+//! The crate also hosts [`ExecPool`], the shared work-stealing executor
+//! whose unit of work is a **climb batch** (see the [`pool`] module docs
+//! for the deque/steal diagram). [`ParRmq::optimize`] runs in one of two
+//! modes depending on where it is called:
+//!
+//! * **Standalone** (not on a pool worker): the classic PR 4 shape — one
+//!   scoped OS thread per worker, joined before the call returns.
+//! * **Pooled** (called from a pool worker thread, detected via
+//!   [`ExecPool::current`]): the fan-out becomes a group of resumable
+//!   batch tasks on the *shared* pool. The calling thread waits by
+//!   helping — running its own batches and donating spare capacity to
+//!   other sessions' batches — and idle pool workers steal batches, so a
+//!   wide session never holds threads it is not using. This is how the
+//!   optimization service schedules every session (fan-out ≥ 1) through
+//!   one executor instead of nested private thread pools.
+//!
+//! In pooled mode the *effective* fan-out is elastic: the service grants a
+//! width per scheduled slice via [`PlanExchange::set_effective_fan_out`]
+//! (clamped to `1..=workers`), and only that many workers climb during the
+//! slice. Correctness never depends on the granted width — iteration
+//! budgets are claimed from a shared [`ClaimCounter`], so totals stay
+//! exact at any width.
+//!
 //! ## Execution model
 //!
-//! [`ParRmq::optimize`] fans the budget out over scoped worker threads:
-//!
-//! * [`Budget::Iterations`] is honored **exactly** by a shared atomic
-//!   counter — workers claim iterations until the counter reaches the
-//!   budget, so the total is independent of thread scheduling.
+//! * [`Budget::Iterations`] is honored **exactly** by a shared
+//!   [`ClaimCounter`] — workers claim batches until the counter is
+//!   exhausted, so the total is independent of thread scheduling and of
+//!   the granted width.
 //! * [`Budget::Time`] / [`Budget::Deadline`] are honored by wall clock with
 //!   a shared [`StopFlag`]: the first worker to observe the deadline raises
 //!   the flag, and every climber checks it once per hill-climbing step
-//!   (see [`Rmq::iterate_aborting`]) — so all threads wind down within one
-//!   climb step of the deadline instead of one full iteration.
+//!   (see [`Rmq::iterate_aborting`]) — so all workers (including stolen
+//!   batches on foreign pool threads) wind down within one climb step of
+//!   the deadline instead of one full iteration.
+//!
+//! ## Adaptive exchange and partial-plan sharing
+//!
+//! Live-mode workers exchange through [`SharedFrontier`] at an **adaptive
+//! period** ([`AdaptiveExchange`]): starting from
+//! [`ParRmqConfig::exchange_period`], the period doubles each time a full
+//! window of publishes merges nothing (the frontiers have converged;
+//! publishing is pure overhead) and snaps back to the base the moment any
+//! publish merges (information is moving again). Alongside the full-query
+//! frontier, workers publish their **partial-plan (sub-query) frontiers**
+//! — the per-table-set survivors of their private caches — and absorb the
+//! shared ones via subset-filtered `warm_start`, so workers stop
+//! rediscovering each other's intermediate frontiers.
 //!
 //! [`ParRmq`] also implements the anytime [`Optimizer`] trait:
 //! [`Optimizer::step`] runs one bounded *round* (`workers × batch`
@@ -40,31 +78,40 @@
 //! [`ParRmq::frontier`] reduces them in worker order through exact
 //! `SigBetter` pruning — producing a frontier **bit-identical to the
 //! sequential union of the per-worker runs**, regardless of thread
-//! scheduling. The differential test suite pins this equivalence against
-//! literally-sequential reference runs.
+//! scheduling. On the pool, deterministic batches are **unstealable**
+//! (pinned to their deque; only their own session's waiting thread runs
+//! them), the exchange period stays fixed, and the effective fan-out is
+//! always the configured width — the mode is the differential oracle, so
+//! its schedule must stay inert. The differential test suite pins the
+//! equivalence against literally-sequential reference runs.
 //!
 //! ## When to prefer `ParRmq` over per-session parallelism
 //!
 //! The optimization service already parallelizes *across* sessions; fan a
 //! single session out with `ParRmq` when one query's time-to-frontier
 //! matters more than aggregate throughput — a latency-critical query under
-//! a tight deadline on an otherwise idle pool. Under saturation,
-//! per-session parallelism wastes no work on duplicate exploration and
-//! remains the better default.
+//! a tight deadline. On the shared pool the old caveat about wasted
+//! duplicate exploration under saturation is softened: a wide session
+//! shrinks to its granted width, and its batches only occupy workers that
+//! would otherwise idle.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+mod adaptive;
 mod frontier;
+pub mod pool;
 
-pub use frontier::{ExchangeStats, FrontierSnapshot, SharedFrontier};
+pub use adaptive::{AdaptiveExchange, MAX_BACKOFF_LEVEL};
+pub use frontier::{ExchangeStats, FrontierSnapshot, PartialSnapshot, SharedFrontier};
+pub use pool::{ExecPool, PoolHandle, TaskGroup, TaskSpec, TaskStatus};
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use moqo_core::archive::Admission;
 use moqo_core::model::CostModel;
-use moqo_core::optimizer::{AbortCheck, Budget, Optimizer, PlanExchange, StopFlag};
+use moqo_core::optimizer::{AbortCheck, Budget, ClaimCounter, Optimizer, PlanExchange, StopFlag};
 use moqo_core::pareto::ParetoSet;
 use moqo_core::plan::PlanRef;
 use moqo_core::rmq::{Rmq, RmqConfig};
@@ -73,22 +120,28 @@ use moqo_core::tables::TableSet;
 /// Configuration of the parallel optimizer.
 #[derive(Clone, Copy, Debug)]
 pub struct ParRmqConfig {
-    /// Worker threads (≥ 1). Worker `w` runs an independent RMQ seeded
-    /// `base.seed ⊕ w`, so worker 0 reproduces the sequential run.
+    /// Worker count (≥ 1). Worker `w` runs an independent RMQ seeded
+    /// `base.seed ⊕ w`, so worker 0 reproduces the sequential run. This is
+    /// the *maximum* fan-out; in pooled live mode the effective width per
+    /// round may be lower (see [`PlanExchange::set_effective_fan_out`]).
     pub workers: usize,
     /// Per-worker RMQ configuration (seed, climb rules, α schedule, plan
     /// space). The seed is the *base* of the per-worker seed derivation.
     pub base: RmqConfig,
-    /// Iterations per worker per [`Optimizer::step`] round.
+    /// Iterations per worker per [`Optimizer::step`] round — also the
+    /// climb-batch granularity on the shared executor: pooled tasks yield
+    /// back to the pool after this many iterations, and iteration budgets
+    /// are claimed from the shared counter in chunks of this size.
     pub batch: u64,
-    /// Live-mode exchange period: every worker publishes its query frontier
-    /// into the shared global frontier — and absorbs the latest global
-    /// snapshot — after this many completed iterations. Ignored (no
-    /// exchange) in deterministic mode.
+    /// Live-mode **base** exchange period: every worker publishes its
+    /// frontiers into the shared global frontier — and absorbs the latest
+    /// global snapshots — after this many completed iterations. The live
+    /// period adapts upward from here when publishes stop merging (see
+    /// [`AdaptiveExchange`]). Ignored (no exchange) in deterministic mode.
     pub exchange_period: u64,
     /// Deterministic reduction mode: no mid-run exchange, static iteration
-    /// split, frontier bit-identical to the sequential union of the
-    /// per-worker runs (see the crate docs).
+    /// split, no stealing, frontier bit-identical to the sequential union
+    /// of the per-worker runs (see the crate docs).
     pub deterministic: bool,
 }
 
@@ -146,84 +199,126 @@ struct Worker<M: CostModel> {
     since_exchange: u64,
     /// Last global epoch this worker absorbed.
     last_seen_epoch: u64,
+    /// Last partial-frontier epoch this worker absorbed.
+    last_seen_partial_epoch: u64,
     /// Plans absorbed from global snapshots over the lifetime.
     absorbed: u64,
 }
 
-/// How a worker decides whether to run its next iteration.
-enum WorkPlan<'a> {
-    /// Run exactly this many iterations (deterministic split).
+/// How a worker decides whether to run its next iterations. Owned (no
+/// borrows) so pooled tasks can carry their plan across yields.
+enum WorkPlan {
+    /// Run exactly this many more iterations (deterministic split).
     Fixed(u64),
-    /// Claim iterations from a shared counter until `total` are issued.
-    Claim { issued: &'a AtomicU64, total: u64 },
+    /// Claim chunks from a shared counter until the budget is issued.
+    Claim { counter: ClaimCounter, chunk: u64 },
     /// Run until the abort condition fires (deadline / stop flag).
     Until(AbortCheck),
 }
 
-/// The worker thread body: iterate under the plan, exchanging through the
-/// shared frontier at the configured period (live mode). Returns the number
-/// of iterations completed by this call.
-fn run_worker<M: CostModel>(
-    worker: &mut Worker<M>,
-    plan: WorkPlan<'_>,
-    exchange: Option<(&SharedFrontier, u64)>,
-) -> u64 {
-    let mut done = 0u64;
-    loop {
-        match &plan {
-            WorkPlan::Fixed(n) => {
-                if done >= *n {
-                    break;
-                }
+impl WorkPlan {
+    /// Permission for up to `room` more iterations; `0` means the plan is
+    /// exhausted. Deadline plans grant one iteration at a time (the abort
+    /// flag is also re-checked inside the climb); claim plans pay one
+    /// fetch-add per chunk.
+    fn next_quota(&mut self, room: u64) -> u64 {
+        match self {
+            WorkPlan::Fixed(remaining) => {
+                let quota = (*remaining).min(room);
+                *remaining -= quota;
+                quota
             }
-            WorkPlan::Claim { issued, total } => {
-                if issued.fetch_add(1, Ordering::Relaxed) >= *total {
-                    break;
-                }
-            }
+            WorkPlan::Claim { counter, chunk } => counter.claim_batch(room.min(*chunk)),
             WorkPlan::Until(abort) => {
                 if abort.should_abort() {
-                    break;
+                    0
+                } else {
+                    1
                 }
             }
         }
-        let completed = match &plan {
-            // Deadline iterations run guarded: the abort condition is
-            // re-checked inside the climb, bounding overshoot to one step.
-            WorkPlan::Until(abort) => worker.rmq.iterate_aborting(abort).is_some(),
-            _ => {
-                worker.rmq.iterate();
-                true
-            }
-        };
-        if !completed {
-            break;
-        }
-        done += 1;
-        worker.iterations += 1;
-        if let Some((shared, period)) = exchange {
-            worker.since_exchange += 1;
-            if worker.since_exchange >= period {
-                worker.since_exchange = 0;
-                publish_frontier(worker, shared);
-                absorb_global(worker, shared);
-            }
-        }
     }
-    // Survivors found since the last periodic exchange must not be lost:
-    // one final publish per worker per run.
-    if let Some((shared, _)) = exchange {
-        publish_frontier(worker, shared);
-    }
-    done
 }
 
-fn publish_frontier<M: CostModel>(worker: &Worker<M>, shared: &SharedFrontier) {
-    if let Some(set) = worker.rmq.frontier_set() {
-        if !set.is_empty() {
-            shared.publish(worker.rmq.arena(), set);
+/// Everything a live-mode exchange point needs.
+struct ExchangeCtx<'a> {
+    shared: &'a SharedFrontier,
+    adaptive: &'a AdaptiveExchange,
+    query: TableSet,
+}
+
+/// Runs up to `max_iters` iterations of `worker` under `plan`, exchanging
+/// through the shared frontier at the adaptive period (live mode). Returns
+/// `(completed, finished)` where `finished` means the plan is exhausted
+/// (budget done or abort observed) as opposed to the chunk limit.
+fn run_chunk<M: CostModel>(
+    worker: &mut Worker<M>,
+    plan: &mut WorkPlan,
+    max_iters: u64,
+    exchange: Option<&ExchangeCtx<'_>>,
+) -> (u64, bool) {
+    let mut done = 0u64;
+    while done < max_iters {
+        let quota = plan.next_quota(max_iters - done);
+        if quota == 0 {
+            return (done, true);
+        }
+        for _ in 0..quota {
+            let completed = match plan {
+                // Deadline iterations run guarded: the abort condition is
+                // re-checked inside the climb, bounding overshoot to one
+                // step — also on pool threads running stolen batches.
+                WorkPlan::Until(abort) => worker.rmq.iterate_aborting(abort).is_some(),
+                _ => {
+                    worker.rmq.iterate();
+                    true
+                }
+            };
+            if !completed {
+                return (done, true);
+            }
+            done += 1;
+            worker.iterations += 1;
+            if let Some(ex) = exchange {
+                worker.since_exchange += 1;
+                if worker.since_exchange >= ex.adaptive.period() {
+                    worker.since_exchange = 0;
+                    exchange_point(worker, ex);
+                }
+            }
         }
     }
+    (done, false)
+}
+
+/// One full exchange: publish the query frontier and the sub-query
+/// (partial-plan) frontiers, feed the merge outcome to the adaptive
+/// period, then absorb whatever the rest of the run published.
+fn exchange_point<M: CostModel>(worker: &mut Worker<M>, ex: &ExchangeCtx<'_>) {
+    let merged = publish_frontier(worker, ex.shared) + publish_partials(worker, ex);
+    ex.adaptive.on_publish(merged);
+    absorb_global(worker, ex.shared);
+    absorb_partials(worker, ex);
+}
+
+fn publish_frontier<M: CostModel>(worker: &Worker<M>, shared: &SharedFrontier) -> usize {
+    match worker.rmq.frontier_set() {
+        Some(set) if !set.is_empty() => shared.publish(worker.rmq.arena(), set),
+        _ => 0,
+    }
+}
+
+/// Publishes the worker's multi-table *sub*-query frontiers (single-table
+/// frontiers are trivial to rediscover; the full query goes through
+/// [`publish_frontier`]).
+fn publish_partials<M: CostModel>(worker: &Worker<M>, ex: &ExchangeCtx<'_>) -> usize {
+    let query = ex.query;
+    let sets = worker
+        .rmq
+        .cache()
+        .entry_sets()
+        .filter(|(rel, _)| *rel != query && rel.iter().count() > 1);
+    ex.shared.publish_partials(worker.rmq.arena(), sets)
 }
 
 fn absorb_global<M: CostModel>(worker: &mut Worker<M>, shared: &SharedFrontier) {
@@ -254,22 +349,55 @@ fn absorb_global<M: CostModel>(worker: &mut Worker<M>, shared: &SharedFrontier) 
     }
 }
 
+fn absorb_partials<M: CostModel>(worker: &mut Worker<M>, ex: &ExchangeCtx<'_>) {
+    let snap = ex.shared.partial_snapshot();
+    if snap.epoch <= worker.last_seen_partial_epoch {
+        return;
+    }
+    worker.last_seen_partial_epoch = snap.epoch;
+    // warm_start files each plan under its own table set (subset-filtered),
+    // so the flattened partial snapshot lands straight in the cache.
+    let absorbed = worker.rmq.warm_start(snap.plans.iter().cloned());
+    worker.absorbed += absorbed as u64;
+    ex.shared.record_absorbed(absorbed);
+}
+
+/// The scoped-thread worker body (standalone mode): iterate until the plan
+/// is exhausted, then flush a final publish so survivors found since the
+/// last periodic exchange are not lost. Returns iterations completed.
+fn run_worker<M: CostModel>(
+    worker: &mut Worker<M>,
+    mut plan: WorkPlan,
+    exchange: Option<&ExchangeCtx<'_>>,
+) -> u64 {
+    let (done, _) = run_chunk(worker, &mut plan, u64::MAX, exchange);
+    if let Some(ex) = exchange {
+        let merged = publish_frontier(worker, ex.shared) + publish_partials(worker, ex);
+        ex.adaptive.on_publish(merged);
+    }
+    done
+}
+
 /// The parallel RMQ optimizer (see the crate docs).
 ///
 /// Generic over how each worker holds the cost model: `M` is cloned once
-/// per worker, so pass `&model` for borrowed scoped usage (clones are
-/// pointer copies) or an `Arc<Model>` for a `'static + Send` optimizer the
-/// optimization service can schedule.
-pub struct ParRmq<M: CostModel + Clone + Send> {
+/// per worker. Pooled execution moves workers into `'static` tasks, so `M`
+/// must be owned — pass the model by value or behind an `Arc`.
+pub struct ParRmq<M: CostModel + Clone + Send + 'static> {
     query: TableSet,
     cfg: ParRmqConfig,
-    workers: Vec<Worker<M>>,
-    shared: SharedFrontier,
+    /// Worker slots; `None` only while a pooled round has the worker
+    /// checked out on the executor.
+    workers: Vec<Option<Worker<M>>>,
+    shared: Arc<SharedFrontier>,
+    adaptive: Arc<AdaptiveExchange>,
     stop: StopFlag,
     rounds: u64,
+    /// Live-mode fan-out granted for the next round (1..=cfg.workers).
+    effective_workers: usize,
 }
 
-impl<M: CostModel + Clone + Send> ParRmq<M> {
+impl<M: CostModel + Clone + Send + 'static> ParRmq<M> {
     /// Creates a parallel optimizer for `query` over `model` — one private
     /// [`Rmq`] per worker, seeded `cfg.base.seed ⊕ worker_id`.
     ///
@@ -278,84 +406,195 @@ impl<M: CostModel + Clone + Send> ParRmq<M> {
     pub fn new(model: M, query: TableSet, cfg: ParRmqConfig) -> Self {
         assert!(cfg.workers >= 1, "ParRmq needs at least one worker");
         let workers = (0..cfg.workers)
-            .map(|w| Worker {
-                rmq: Rmq::new(
-                    model.clone(),
-                    query,
-                    RmqConfig {
-                        seed: cfg.base.seed ^ w as u64,
-                        ..cfg.base
-                    },
-                ),
-                iterations: 0,
-                since_exchange: 0,
-                last_seen_epoch: 0,
-                absorbed: 0,
+            .map(|w| {
+                Some(Worker {
+                    rmq: Rmq::new(
+                        model.clone(),
+                        query,
+                        RmqConfig {
+                            seed: cfg.base.seed ^ w as u64,
+                            ..cfg.base
+                        },
+                    ),
+                    iterations: 0,
+                    since_exchange: 0,
+                    last_seen_epoch: 0,
+                    last_seen_partial_epoch: 0,
+                    absorbed: 0,
+                })
             })
             .collect();
         ParRmq {
             query,
             cfg,
             workers,
-            shared: SharedFrontier::new(),
+            shared: Arc::new(SharedFrontier::new()),
+            adaptive: Arc::new(AdaptiveExchange::new(
+                cfg.exchange_period.max(1),
+                cfg.workers,
+            )),
             stop: StopFlag::new(),
             rounds: 0,
+            effective_workers: cfg.workers,
+        }
+    }
+
+    /// Builds the per-worker plans for `budget`. `active` workers
+    /// participate; an iteration budget is shared exactly among them.
+    fn make_plans(&self, budget: Budget, start: Instant, active: usize) -> Vec<WorkPlan> {
+        let chunk = self.cfg.batch.max(1);
+        match budget {
+            Budget::Iterations(n) if self.cfg.deterministic => {
+                let k = active as u64;
+                (0..active as u64)
+                    .map(|w| WorkPlan::Fixed(n / k + u64::from(w < n % k)))
+                    .collect()
+            }
+            Budget::Iterations(n) => {
+                let counter = ClaimCounter::new(n);
+                (0..active)
+                    .map(|_| WorkPlan::Claim {
+                        counter: counter.clone(),
+                        chunk,
+                    })
+                    .collect()
+            }
+            Budget::Time(d) => (0..active)
+                .map(|_| WorkPlan::Until(AbortCheck::new(self.stop.clone(), Some(start + d))))
+                .collect(),
+            Budget::Deadline(at) => (0..active)
+                .map(|_| WorkPlan::Until(AbortCheck::new(self.stop.clone(), Some(at))))
+                .collect(),
         }
     }
 
     /// Runs the workers until `budget` is exhausted (see the crate docs for
-    /// how each budget kind is honored across threads). `Budget::Time`
-    /// counts from this call's entry. May be called repeatedly; worker
-    /// state (caches, arenas, RNG streams) persists across calls.
+    /// how each budget kind is honored across workers and for the
+    /// standalone vs. pooled dispatch). `Budget::Time` counts from this
+    /// call's entry. May be called repeatedly; worker state (caches,
+    /// arenas, RNG streams) persists across calls.
     pub fn optimize(&mut self, budget: Budget) -> ParRunStats {
         let start = Instant::now();
         self.stop.clear();
-        let cfg = self.cfg;
-        let shared = &self.shared;
-        let stop = &self.stop;
-        let exchange = (!cfg.deterministic).then_some((shared, cfg.exchange_period.max(1)));
-        let issued = AtomicU64::new(0);
-        let per_worker: Vec<u64> = std::thread::scope(|s| {
-            let handles: Vec<_> = self
-                .workers
-                .iter_mut()
-                .enumerate()
-                .map(|(w, worker)| {
-                    let plan = match budget {
-                        Budget::Iterations(n) if cfg.deterministic => {
-                            let (w, n, k) = (w as u64, n, cfg.workers as u64);
-                            WorkPlan::Fixed(n / k + u64::from(w < n % k))
-                        }
-                        Budget::Iterations(n) => WorkPlan::Claim {
-                            issued: &issued,
-                            total: n,
-                        },
-                        Budget::Time(d) => {
-                            WorkPlan::Until(AbortCheck::new(stop.clone(), Some(start + d)))
-                        }
-                        Budget::Deadline(at) => {
-                            WorkPlan::Until(AbortCheck::new(stop.clone(), Some(at)))
-                        }
-                    };
-                    s.spawn(move || {
-                        // Tag the thread's observability context so journal
-                        // events carry the worker id (1-based; 0 = unset).
-                        moqo_obs::ctx::set_worker(w as u32 + 1);
-                        run_worker(worker, plan, exchange)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("ParRmq worker panicked"))
-                .collect()
-        });
+        let before: Vec<u64> = self
+            .workers
+            .iter()
+            .map(|w| w.as_ref().expect("worker checked in").iterations)
+            .collect();
+        match ExecPool::current() {
+            Some(pool) => self.optimize_pooled(&pool, budget, start),
+            None => self.optimize_scoped(budget, start),
+        }
         self.rounds += 1;
+        let per_worker: Vec<u64> = self
+            .workers
+            .iter()
+            .zip(&before)
+            .map(|(w, b)| w.as_ref().expect("worker checked in").iterations - b)
+            .collect();
         ParRunStats {
             iterations: per_worker.iter().sum(),
             per_worker,
             elapsed: start.elapsed(),
             exchange: self.shared.stats(),
+        }
+    }
+
+    /// Standalone execution: one scoped OS thread per active worker.
+    fn optimize_scoped(&mut self, budget: Budget, start: Instant) {
+        let cfg = self.cfg;
+        let active = if cfg.deterministic {
+            cfg.workers
+        } else {
+            self.effective_workers
+        };
+        let mut plans = self.make_plans(budget, start, active);
+        let shared = Arc::clone(&self.shared);
+        let adaptive = Arc::clone(&self.adaptive);
+        let query = self.query;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .workers
+                .iter_mut()
+                .take(active)
+                .zip(plans.drain(..))
+                .enumerate()
+                .map(|(w, (worker, plan))| {
+                    let worker = worker.as_mut().expect("worker checked in");
+                    let (shared, adaptive) = (&shared, &adaptive);
+                    s.spawn(move || {
+                        // Tag the thread's observability context so journal
+                        // events carry the worker id (1-based; 0 = unset).
+                        moqo_obs::ctx::set_worker(w as u32 + 1);
+                        let ex = ExchangeCtx {
+                            shared,
+                            adaptive,
+                            query,
+                        };
+                        let exchange = (!cfg.deterministic).then_some(&ex);
+                        run_worker(worker, plan, exchange);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("ParRmq worker panicked");
+            }
+        });
+    }
+
+    /// Pooled execution: the fan-out becomes a group of resumable batch
+    /// tasks on the shared executor; the calling (pool-worker) thread waits
+    /// by helping. Deterministic batches are pinned (unstealable).
+    fn optimize_pooled(&mut self, pool: &PoolHandle, budget: Budget, start: Instant) {
+        let cfg = self.cfg;
+        let active = if cfg.deterministic {
+            cfg.workers
+        } else {
+            self.effective_workers
+        };
+        let mut plans = self.make_plans(budget, start, active);
+        let spec = if cfg.deterministic {
+            TaskSpec::pinned_batch()
+        } else {
+            TaskSpec::batch()
+        };
+        let batch = cfg.batch.max(1);
+        let checked_in: Arc<Mutex<Vec<Option<Worker<M>>>>> =
+            Arc::new(Mutex::new((0..active).map(|_| None).collect()));
+        let group = pool.group();
+        for (w, plan) in plans.drain(..).enumerate() {
+            let mut slot = self.workers[w].take();
+            let mut plan = plan;
+            let checked_in = Arc::clone(&checked_in);
+            let shared = Arc::clone(&self.shared);
+            let adaptive = Arc::clone(&self.adaptive);
+            let query = self.query;
+            let det = cfg.deterministic;
+            pool.spawn_in(&group, spec, move || {
+                let worker = slot.as_mut().expect("worker moved into this task");
+                moqo_obs::ctx::set_worker(w as u32 + 1);
+                let ex = ExchangeCtx {
+                    shared: &shared,
+                    adaptive: &adaptive,
+                    query,
+                };
+                let exchange = (!det).then_some(&ex);
+                let (_, finished) = run_chunk(worker, &mut plan, batch, exchange);
+                if !finished {
+                    return TaskStatus::Yield;
+                }
+                if !det {
+                    let merged = publish_frontier(worker, &shared) + publish_partials(worker, &ex);
+                    adaptive.on_publish(merged);
+                }
+                checked_in.lock().unwrap()[w] = slot.take();
+                TaskStatus::Done
+            });
+        }
+        pool.help_until(&group);
+        let mut checked_in = checked_in.lock().unwrap();
+        for (w, slot) in checked_in.iter_mut().enumerate() {
+            self.workers[w] = Some(slot.take().expect("finished task returned its worker"));
         }
     }
 
@@ -381,6 +620,7 @@ impl<M: CostModel + Clone + Send> ParRmq<M> {
     pub fn reduced_frontier(&self) -> Vec<PlanRef> {
         let mut union: ParetoSet<PlanRef> = ParetoSet::new();
         for worker in &self.workers {
+            let worker = worker.as_ref().expect("worker checked in");
             for plan in worker.rmq.frontier() {
                 union.insert(plan, &Admission::exact());
             }
@@ -408,20 +648,40 @@ impl<M: CostModel + Clone + Send> ParRmq<M> {
         self.shared.epoch()
     }
 
+    /// The current adaptive exchange-backoff level (0 = base period;
+    /// always 0 in deterministic mode).
+    pub fn backoff_level(&self) -> u32 {
+        self.adaptive.level()
+    }
+
+    /// The fan-out the next live-mode round will actually use
+    /// (1..=`cfg.workers`; deterministic mode always runs full width).
+    pub fn effective_fan_out(&self) -> usize {
+        self.effective_workers
+    }
+
     /// Iterations completed per worker over the optimizer's lifetime.
     pub fn worker_iterations(&self) -> Vec<u64> {
-        self.workers.iter().map(|w| w.iterations).collect()
+        self.workers
+            .iter()
+            .map(|w| w.as_ref().expect("worker checked in").iterations)
+            .collect()
     }
 
     /// Plans absorbed from global snapshots per worker.
     pub fn worker_absorbed(&self) -> Vec<u64> {
-        self.workers.iter().map(|w| w.absorbed).collect()
+        self.workers
+            .iter()
+            .map(|w| w.as_ref().expect("worker checked in").absorbed)
+            .collect()
     }
 
     /// Read access to the per-worker sequential optimizers (diagnostics
     /// and differential tests).
     pub fn worker_rmqs(&self) -> impl Iterator<Item = &Rmq<M>> {
-        self.workers.iter().map(|w| &w.rmq)
+        self.workers
+            .iter()
+            .map(|w| &w.as_ref().expect("worker checked in").rmq)
     }
 
     /// Completed [`Optimizer::step`] / [`ParRmq::optimize`] rounds.
@@ -440,16 +700,21 @@ impl<M: CostModel + Clone + Send> ParRmq<M> {
     }
 }
 
-impl<M: CostModel + Clone + Send> Optimizer for ParRmq<M> {
+impl<M: CostModel + Clone + Send + 'static> Optimizer for ParRmq<M> {
     fn name(&self) -> &str {
         "ParRMQ"
     }
 
-    /// One bounded round: `workers × batch` iterations fanned out over the
-    /// worker threads (claimed dynamically in live mode, split statically
-    /// in deterministic mode).
+    /// One bounded round: `effective × batch` iterations fanned out over
+    /// the active workers (claimed dynamically in live mode, split
+    /// statically over the full width in deterministic mode).
     fn step(&mut self) -> bool {
-        let round = self.cfg.batch.max(1) * self.cfg.workers as u64;
+        let width = if self.cfg.deterministic {
+            self.cfg.workers
+        } else {
+            self.effective_workers
+        };
+        let round = self.cfg.batch.max(1) * width as u64;
         self.optimize(Budget::Iterations(round));
         true
     }
@@ -459,14 +724,17 @@ impl<M: CostModel + Clone + Send> Optimizer for ParRmq<M> {
     }
 }
 
-impl<M: CostModel + Clone + Send> PlanExchange for ParRmq<M> {
+impl<M: CostModel + Clone + Send + 'static> PlanExchange for ParRmq<M> {
     /// Warm-starts **every** worker with the given plans (each worker has
     /// its own cache, so all of them benefit); returns the total absorbed
     /// across workers.
     fn absorb_plans(&mut self, plans: &[PlanRef]) -> usize {
         self.workers
             .iter_mut()
-            .map(|w| PlanExchange::absorb_plans(&mut w.rmq, plans))
+            .map(|w| {
+                let w = w.as_mut().expect("worker checked in");
+                PlanExchange::absorb_plans(&mut w.rmq, plans)
+            })
             .sum()
     }
 
@@ -475,13 +743,22 @@ impl<M: CostModel + Clone + Send> PlanExchange for ParRmq<M> {
     /// snapshot and additionally includes survivors workers found since
     /// their last publish, so exports never trail the exchange period.
     /// Unlike [`Rmq::export_plans`], partial plans of sub-queries are not
-    /// exported — the shared frontier only tracks full-query survivors.
+    /// exported — those travel through the shared frontier's partial-plan
+    /// channel instead.
     fn export_plans(&self) -> Vec<PlanRef> {
         self.reduced_frontier()
     }
 
     fn fan_out(&self) -> usize {
         self.cfg.workers
+    }
+
+    /// Elastic width grant from the scheduler: the next live-mode round
+    /// runs `workers` (clamped to `1..=cfg.workers`) of the configured
+    /// workers. Deterministic mode ignores the grant — its static split is
+    /// part of the reproducibility contract.
+    fn set_effective_fan_out(&mut self, workers: usize) {
+        self.effective_workers = workers.clamp(1, self.cfg.workers);
     }
 }
 
@@ -517,7 +794,7 @@ mod tests {
     fn single_worker_deterministic_mode_matches_sequential_rmq() {
         let m = model(6);
         let cfg = ParRmqConfig::seeded(9, 1).deterministic();
-        let mut par = ParRmq::new(&m, TableSet::prefix(6), cfg);
+        let mut par = ParRmq::new(m.clone(), TableSet::prefix(6), cfg);
         par.optimize(Budget::Iterations(20));
         let mut seq = Rmq::new(&m, TableSet::prefix(6), RmqConfig::seeded(9));
         for _ in 0..20 {
@@ -539,6 +816,12 @@ mod tests {
         assert!(ex.merged > 0, "someone's survivors must merge");
         assert!(ex.epochs > 0);
         assert!(ex.arena_nodes > 0);
+        assert!(
+            ex.partial_offered > 0,
+            "sub-query frontiers must be offered: {ex:?}"
+        );
+        assert!(ex.partial_merged > 0, "sub-query frontiers must merge");
+        assert!(ex.partial_table_sets > 0);
         let frontier = par.frontier();
         assert!(!frontier.is_empty());
         for p in &frontier {
@@ -546,6 +829,54 @@ mod tests {
         }
         // The snapshot equals the epoch the stats report.
         assert_eq!(par.epoch(), ex.epochs);
+    }
+
+    #[test]
+    fn elastic_fan_out_limits_active_workers() {
+        let mut cfg = ParRmqConfig::seeded(11, 4);
+        cfg.batch = 4;
+        let mut par = ParRmq::new(model(6), TableSet::prefix(6), cfg);
+        PlanExchange::set_effective_fan_out(&mut par, 2);
+        assert_eq!(par.effective_fan_out(), 2);
+        let stats = par.optimize(Budget::Iterations(24));
+        assert_eq!(stats.iterations, 24, "budget stays exact at any width");
+        assert_eq!(stats.per_worker.len(), 4);
+        assert_eq!(stats.per_worker[2], 0, "ungranted workers must not run");
+        assert_eq!(stats.per_worker[3], 0);
+        // Grants clamp into 1..=workers.
+        PlanExchange::set_effective_fan_out(&mut par, 0);
+        assert_eq!(par.effective_fan_out(), 1);
+        PlanExchange::set_effective_fan_out(&mut par, 99);
+        assert_eq!(par.effective_fan_out(), 4);
+    }
+
+    #[test]
+    fn pooled_mode_runs_rounds_on_the_shared_executor() {
+        let pool = ExecPool::new(2);
+        let handle = pool.handle();
+        let result: Arc<Mutex<Option<(u64, usize, bool)>>> = Arc::new(Mutex::new(None));
+        let out = Arc::clone(&result);
+        // Plain spawn + polling: the test thread must not help, or the
+        // session could run here (off-pool) and take the scoped path.
+        handle.spawn(TaskSpec::root(), move || {
+            let on_pool = ExecPool::current().is_some();
+            let mut cfg = ParRmqConfig::seeded(6, 3);
+            cfg.batch = 4;
+            let mut par = ParRmq::new(model(6), TableSet::prefix(6), cfg);
+            let stats = par.optimize(Budget::Iterations(25));
+            *out.lock().unwrap() = Some((stats.iterations, par.frontier().len(), on_pool));
+            TaskStatus::Done
+        });
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while result.lock().unwrap().is_none() {
+            assert!(Instant::now() < deadline, "pooled session made no progress");
+            std::thread::yield_now();
+        }
+        let (iterations, frontier, on_pool) = result.lock().unwrap().expect("session ran");
+        assert!(on_pool, "the session must have run on a pool worker");
+        assert_eq!(iterations, 25, "pooled budgets stay exact");
+        assert!(frontier > 0);
+        pool.shutdown();
     }
 
     #[test]
@@ -569,7 +900,7 @@ mod tests {
             donor.iterate();
         }
         let exported = PlanExchange::export_plans(&donor);
-        let mut par = ParRmq::new(&m, TableSet::prefix(6), ParRmqConfig::seeded(8, 3));
+        let mut par = ParRmq::new(m.clone(), TableSet::prefix(6), ParRmqConfig::seeded(8, 3));
         assert_eq!(par.fan_out(), 3);
         let absorbed = PlanExchange::absorb_plans(&mut par, &exported);
         assert!(
@@ -578,6 +909,23 @@ mod tests {
         );
         par.optimize(Budget::Iterations(12));
         assert!(!PlanExchange::export_plans(&par).is_empty());
+    }
+
+    #[test]
+    fn adaptive_backoff_engages_once_frontiers_converge() {
+        let mut cfg = ParRmqConfig::seeded(13, 2);
+        cfg.exchange_period = 1;
+        cfg.batch = 8;
+        let mut par = ParRmq::new(model(4), TableSet::prefix(4), cfg);
+        // A tiny query converges almost immediately; with a period of 1
+        // every subsequent iteration publishes a no-op, so the backoff
+        // must engage well within this budget.
+        par.optimize(Budget::Iterations(400));
+        assert!(
+            par.backoff_level() > 0,
+            "dry publishes must raise the backoff level: {:?}",
+            par.exchange_stats()
+        );
     }
 
     #[test]

@@ -1,0 +1,668 @@
+//! The shared work-stealing executor: one pool for every session and every
+//! intra-query worker.
+//!
+//! The unit of work is a **climb batch**: a task is a resumable closure
+//! that runs at most one batch of hill-climbing iterations per invocation
+//! and returns [`TaskStatus::Yield`] (more work left) or
+//! [`TaskStatus::Done`]. Scheduling is classic work stealing adapted to the
+//! crate's `#![deny(unsafe_code)]` policy — per-worker deques are
+//! `Mutex<VecDeque>` rather than Chase–Lev arrays, which is the right
+//! trade here because tasks are batch-granular (hundreds of microseconds to
+//! milliseconds), so queue operations are far off the hot path:
+//!
+//! ```text
+//!            submit()                 spawn_in() from a pool worker
+//!               │                            │
+//!               ▼                            ▼
+//!          ┌─────────┐   pop-front   ┌──────────────┐
+//!          │injector │──────────────▶│ worker deque │◀─ yield re-push
+//!          └─────────┘               └──────┬───────┘   (own back)
+//!               ▲                           │ steal-on-idle
+//!               │                           ▼
+//!        external threads          other idle workers
+//! ```
+//!
+//! * A pool worker takes, in order: the **injector** (global FIFO — new
+//!   sessions are admitted oldest-first), its **own deque** (front;
+//!   yielded tasks re-enter at the back, so a worker round-robins its
+//!   resident tasks), and finally **steals** the oldest *stealable* task
+//!   from another worker's deque (`exec_pool.steals`).
+//! * A thread that must wait for a [`TaskGroup`] (e.g. a `ParRmq` round
+//!   fanned out as sub-tasks) never blocks idle: [`PoolHandle::help_until`]
+//!   runs its own group's tasks first and otherwise **donates** batches to
+//!   foreign groups (`exec_pool.donations`), so a waiting wide session is
+//!   itself a worker.
+//! * Tasks submitted with `stealable: false` (deterministic-mode `ParRmq`
+//!   splits) never migrate between worker deques; only their own group's
+//!   helper may claim them from afar. Determinism never *depends* on this —
+//!   per-worker RNG streams are thread-independent — but it keeps the
+//!   deterministic mode's scheduling inert, as its differential-oracle role
+//!   demands.
+//!
+//! Worker threads advertise the pool through a thread local;
+//! [`ExecPool::current`] is how `ParRmq` discovers it is being stepped *on*
+//! the pool (by the optimization service) and routes its fan-out through
+//! shared workers instead of spawning private scoped threads.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use moqo_obs::metrics;
+
+/// What a task invocation reports back to the executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// The task has more batches to run: re-queue it.
+    Yield,
+    /// The task is finished: drop it (and credit its group, if any).
+    Done,
+}
+
+/// Scheduling attributes of a task.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskSpec {
+    /// Whether idle workers may steal the task off another worker's deque.
+    /// Deterministic-mode splits set `false` to keep scheduling inert.
+    pub stealable: bool,
+    /// Whether a helper waiting on a *different* group may run the task as
+    /// a donation. Leaf batch tasks set `true`; tasks that may themselves
+    /// wait on a group (session slices) must set `false`, which bounds the
+    /// helper recursion depth to one nested task frame.
+    pub helpable: bool,
+}
+
+impl TaskSpec {
+    /// A leaf climb-batch task: stealable and donation-eligible.
+    pub fn batch() -> Self {
+        TaskSpec {
+            stealable: true,
+            helpable: true,
+        }
+    }
+
+    /// A deterministic-mode batch: pinned to its deque, claimable only by
+    /// its own group's helper.
+    pub fn pinned_batch() -> Self {
+        TaskSpec {
+            stealable: false,
+            helpable: false,
+        }
+    }
+
+    /// A top-level task that may itself fan out and wait on a group (a
+    /// service session slice): stealable between workers, but never run
+    /// inside another task's helping wait.
+    pub fn root() -> Self {
+        TaskSpec {
+            stealable: true,
+            helpable: false,
+        }
+    }
+}
+
+struct Task {
+    run: Box<dyn FnMut() -> TaskStatus + Send>,
+    spec: TaskSpec,
+    /// Group membership: `0` = none. Kept separately from `group` so
+    /// helpers can match without touching the `Arc`.
+    group_id: u64,
+    group: Option<Arc<GroupInner>>,
+}
+
+struct GroupInner {
+    id: u64,
+    /// Tasks spawned into the group that have not yet reported `Done`.
+    remaining: AtomicUsize,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl GroupInner {
+    fn complete_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.lock.lock().unwrap();
+            self.cond.notify_all();
+        }
+    }
+}
+
+/// A completion latch over a set of tasks spawned with
+/// [`PoolHandle::spawn_in`]. Wait for it with [`PoolHandle::help_until`]
+/// (which lends the waiting thread to the pool) — there is deliberately no
+/// blocking `wait()`: a pool worker that parked on its own sub-tasks would
+/// deadlock a saturated pool.
+#[derive(Clone)]
+pub struct TaskGroup {
+    inner: Arc<GroupInner>,
+}
+
+impl TaskGroup {
+    /// Whether every task in the group has completed.
+    pub fn is_done(&self) -> bool {
+        self.inner.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// Briefly parks the calling thread until the group *may* be done (a
+    /// completion notification or a short timeout). Used between helping
+    /// attempts; never a substitute for [`PoolHandle::help_until`].
+    fn wait_brief(&self) {
+        let guard = self.inner.lock.lock().unwrap();
+        if !self.is_done() {
+            let _ = self
+                .inner
+                .cond
+                .wait_timeout(guard, Duration::from_micros(200))
+                .unwrap();
+        }
+    }
+}
+
+thread_local! {
+    /// The pool whose worker loop is running on this thread, if any.
+    static CURRENT_POOL: RefCell<Option<Weak<PoolInner>>> = const { RefCell::new(None) };
+    /// This thread's worker index within [`CURRENT_POOL`].
+    static CURRENT_WORKER: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+struct PoolInner {
+    /// Per-worker deques (resident tasks; steal targets).
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Global FIFO for external submissions and helper re-queues.
+    injector: Mutex<VecDeque<Task>>,
+    /// Parking condvar, paired with the injector mutex.
+    park: Condvar,
+    /// Tasks currently sitting in the injector or any deque. Pushers bump
+    /// it *before* notifying; parkers re-check it under the injector lock,
+    /// which closes the missed-wakeup race.
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+    next_group: AtomicU64,
+}
+
+impl PoolInner {
+    fn push_task(&self, task: Task, prefer: Option<usize>) {
+        match prefer {
+            Some(w) if w < self.deques.len() => {
+                self.deques[w].lock().unwrap().push_back(task);
+            }
+            _ => {
+                self.injector.lock().unwrap().push_back(task);
+            }
+        }
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        // Notify under the injector lock so a parker that checked `pending`
+        // before our increment is already inside `wait` and gets woken.
+        let _guard = self.injector.lock().unwrap();
+        self.park.notify_one();
+    }
+
+    fn take_pending(&self) {
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Next task for pool worker `me`: injector, own deque, then steal.
+    fn next_task(&self, me: usize) -> Option<Task> {
+        if let Some(task) = self.injector.lock().unwrap().pop_front() {
+            self.take_pending();
+            return Some(task);
+        }
+        if let Some(task) = self.deques[me].lock().unwrap().pop_front() {
+            self.take_pending();
+            return Some(task);
+        }
+        let n = self.deques.len();
+        for off in 1..n {
+            let victim = (me + off) % n;
+            let mut deque = self.deques[victim].lock().unwrap();
+            if let Some(pos) = deque.iter().position(|t| t.spec.stealable) {
+                let task = deque.remove(pos).expect("position is in range");
+                drop(deque);
+                self.take_pending();
+                metrics().exec_pool_steals.incr();
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Next task for a helper waiting on group `gid`: its own group's tasks
+    /// from anywhere first (work conservation — not a steal), then any
+    /// donation-eligible foreign task. Returns the task and whether running
+    /// it is a donation.
+    fn claim_for_helper(&self, gid: u64) -> Option<(Task, bool)> {
+        let take = |queue: &Mutex<VecDeque<Task>>, pred: &dyn Fn(&Task) -> bool| {
+            let mut queue = queue.lock().unwrap();
+            let pos = queue.iter().position(pred)?;
+            queue.remove(pos)
+        };
+        let own: &dyn Fn(&Task) -> bool = &|t: &Task| t.group_id == gid;
+        for queue in std::iter::once(&self.injector).chain(self.deques.iter()) {
+            if let Some(task) = take(queue, own) {
+                self.take_pending();
+                return Some((task, false));
+            }
+        }
+        let foreign: &dyn Fn(&Task) -> bool = &|t: &Task| t.spec.helpable;
+        for queue in std::iter::once(&self.injector).chain(self.deques.iter()) {
+            if let Some(task) = take(queue, foreign) {
+                self.take_pending();
+                return Some((task, true));
+            }
+        }
+        None
+    }
+
+    /// Runs one task invocation; re-queues on yield (to `requeue_to`'s
+    /// deque when given, else the injector), credits the group on done.
+    fn run_task(&self, mut task: Task, requeue_to: Option<usize>) {
+        metrics().exec_pool_batches.incr();
+        match (task.run)() {
+            TaskStatus::Yield => self.push_task(task, requeue_to),
+            TaskStatus::Done => {
+                if let Some(group) = task.group.take() {
+                    group.complete_one();
+                }
+            }
+        }
+    }
+
+    fn worker_loop(self: &Arc<Self>, me: usize) {
+        CURRENT_POOL.with(|c| *c.borrow_mut() = Some(Arc::downgrade(self)));
+        CURRENT_WORKER.with(|c| c.set(Some(me)));
+        loop {
+            if let Some(task) = self.next_task(me) {
+                self.run_task(task, Some(me));
+                continue;
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let guard = self.injector.lock().unwrap();
+            if self.pending.load(Ordering::SeqCst) == 0 && !self.shutdown.load(Ordering::Acquire) {
+                // Timed, not indefinite: belt-and-braces against any wakeup
+                // path this module grows later.
+                let _ = self
+                    .park
+                    .wait_timeout(guard, Duration::from_millis(10))
+                    .unwrap();
+            }
+        }
+    }
+
+    /// Pops any queued task (shutdown drain).
+    fn pop_any(&self) -> Option<Task> {
+        if let Some(task) = self.injector.lock().unwrap().pop_front() {
+            self.take_pending();
+            return Some(task);
+        }
+        for deque in &self.deques {
+            if let Some(task) = deque.lock().unwrap().pop_front() {
+                self.take_pending();
+                return Some(task);
+            }
+        }
+        None
+    }
+}
+
+/// A cheap cloneable handle for submitting work to an [`ExecPool`].
+#[derive(Clone)]
+pub struct PoolHandle {
+    inner: Arc<PoolInner>,
+}
+
+impl PoolHandle {
+    /// Number of pool worker threads.
+    pub fn workers(&self) -> usize {
+        self.inner.deques.len()
+    }
+
+    /// Tasks currently queued (injector + deques), excluding tasks being
+    /// executed right now.
+    pub fn queued_tasks(&self) -> usize {
+        self.inner.pending.load(Ordering::SeqCst)
+    }
+
+    /// Creates an empty task group.
+    pub fn group(&self) -> TaskGroup {
+        TaskGroup {
+            inner: Arc::new(GroupInner {
+                id: self.inner.next_group.fetch_add(1, Ordering::Relaxed) + 1,
+                remaining: AtomicUsize::new(0),
+                lock: Mutex::new(()),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Submits a free-standing resumable task (no group). When called from
+    /// a pool worker the task lands on that worker's deque (locality);
+    /// otherwise it enters the global injector.
+    pub fn spawn(&self, spec: TaskSpec, run: impl FnMut() -> TaskStatus + Send + 'static) {
+        self.inner.push_task(
+            Task {
+                run: Box::new(run),
+                spec,
+                group_id: 0,
+                group: None,
+            },
+            current_worker_of(&self.inner),
+        );
+    }
+
+    /// Submits a task into `group`; the group completes when every spawned
+    /// task has returned [`TaskStatus::Done`]. Spawned from a pool worker,
+    /// the task lands on that worker's own deque (steal targets for idle
+    /// workers); otherwise it enters the injector.
+    pub fn spawn_in(
+        &self,
+        group: &TaskGroup,
+        spec: TaskSpec,
+        run: impl FnMut() -> TaskStatus + Send + 'static,
+    ) {
+        group.inner.remaining.fetch_add(1, Ordering::AcqRel);
+        self.inner.push_task(
+            Task {
+                run: Box::new(run),
+                spec,
+                group_id: group.inner.id,
+                group: Some(Arc::clone(&group.inner)),
+            },
+            current_worker_of(&self.inner),
+        );
+    }
+
+    /// Waits for `group` to complete by **helping**: the calling thread
+    /// runs the group's queued tasks itself, and donates batches to foreign
+    /// groups when its own group's tasks are all in flight elsewhere. This
+    /// is the only wait primitive — it keeps a saturated pool deadlock-free
+    /// (a worker waiting on sub-tasks executes them) and turns waiting wide
+    /// sessions into extra workers.
+    pub fn help_until(&self, group: &TaskGroup) {
+        while !group.is_done() {
+            match self.inner.claim_for_helper(group.inner.id) {
+                Some((task, donation)) => {
+                    if donation {
+                        metrics().exec_pool_donations.incr();
+                    }
+                    self.inner.run_task(task, current_worker_of(&self.inner));
+                }
+                None => group.wait_brief(),
+            }
+        }
+    }
+}
+
+/// Returns the calling thread's worker index if it is a worker of `inner`.
+fn current_worker_of(inner: &Arc<PoolInner>) -> Option<usize> {
+    let ours = CURRENT_POOL.with(|c| {
+        c.borrow()
+            .as_ref()
+            .and_then(Weak::upgrade)
+            .is_some_and(|p| Arc::ptr_eq(&p, inner))
+    });
+    if ours {
+        CURRENT_WORKER.with(Cell::get)
+    } else {
+        None
+    }
+}
+
+/// The owning side of the executor: worker threads plus shutdown. See the
+/// module docs for the scheduling model.
+pub struct ExecPool {
+    inner: Arc<PoolInner>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ExecPool {
+    /// Starts a pool with `workers` threads. `0` is allowed: tasks queue
+    /// until an external thread drains them via [`PoolHandle::help_until`]
+    /// or [`ExecPool::shutdown`] (admission tests, manual draining).
+    pub fn new(workers: usize) -> Self {
+        let inner = Arc::new(PoolInner {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            park: Condvar::new(),
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            next_group: AtomicU64::new(0),
+        });
+        let threads = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("moqo-exec-{i}"))
+                    .spawn(move || inner.worker_loop(i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ExecPool {
+            inner,
+            threads: Mutex::new(threads),
+        }
+    }
+
+    /// A submission handle.
+    pub fn handle(&self) -> PoolHandle {
+        PoolHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// The pool whose worker loop is running on the calling thread, if any
+    /// — how `ParRmq` detects it is being stepped on shared workers and
+    /// fans out through them instead of private scoped threads.
+    pub fn current() -> Option<PoolHandle> {
+        CURRENT_POOL.with(|c| {
+            c.borrow()
+                .as_ref()
+                .and_then(Weak::upgrade)
+                .map(|inner| PoolHandle { inner })
+        })
+    }
+
+    /// Shuts the pool down: workers finish draining the queues and exit;
+    /// any tasks left behind (or submitted to a zero-worker pool) are run
+    /// to completion inline. Tasks are responsible for observing their
+    /// external shutdown signals and finishing promptly once asked.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = self.inner.injector.lock().unwrap();
+            self.inner.park.notify_all();
+        }
+        for thread in self.threads.lock().unwrap().drain(..) {
+            let _ = thread.join();
+        }
+        while let Some(mut task) = self.inner.pop_any() {
+            loop {
+                match (task.run)() {
+                    TaskStatus::Yield => continue,
+                    TaskStatus::Done => {
+                        if let Some(group) = task.group.take() {
+                            group.complete_one();
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ExecPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn delta(read: impl Fn() -> u64, body: impl FnOnce()) -> u64 {
+        let before = read();
+        body();
+        read().saturating_sub(before)
+    }
+
+    /// Spin-waits (yielding) until `done` holds, with a generous timeout —
+    /// used where a task must run on a pool worker, so the test thread
+    /// cannot help without perturbing placement.
+    fn spin_until(done: impl Fn() -> bool) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !done() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "pool made no progress"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn groups_complete_and_yield_requeues() {
+        let pool = ExecPool::new(2);
+        let handle = pool.handle();
+        let group = handle.group();
+        let total = Arc::new(AtomicU32::new(0));
+        for _ in 0..8 {
+            let total = Arc::clone(&total);
+            let mut left = 3u32;
+            handle.spawn_in(&group, TaskSpec::batch(), move || {
+                total.fetch_add(1, Ordering::SeqCst);
+                left -= 1;
+                if left == 0 {
+                    TaskStatus::Done
+                } else {
+                    TaskStatus::Yield
+                }
+            });
+        }
+        handle.help_until(&group);
+        assert!(group.is_done());
+        // Every task ran all three of its batches.
+        assert_eq!(total.load(Ordering::SeqCst), 24);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_everything_through_helpers() {
+        let pool = ExecPool::new(0);
+        let handle = pool.handle();
+        assert_eq!(handle.workers(), 0);
+        let group = handle.group();
+        let ran = Arc::new(AtomicU32::new(0));
+        for _ in 0..4 {
+            let ran = Arc::clone(&ran);
+            handle.spawn_in(&group, TaskSpec::batch(), move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+                TaskStatus::Done
+            });
+        }
+        assert_eq!(handle.queued_tasks(), 4);
+        handle.help_until(&group);
+        assert_eq!(ran.load(Ordering::SeqCst), 4);
+        assert_eq!(handle.queued_tasks(), 0);
+    }
+
+    #[test]
+    fn idle_workers_steal_queued_batches() {
+        // One worker busy-holds the pool's attention with a long task while
+        // batches pile onto its deque; the other worker must steal them.
+        // The test thread never helps — placement must stay on the pool.
+        let pool = ExecPool::new(2);
+        let handle = pool.handle();
+        let steals = delta(
+            || metrics().exec_pool_steals.get(),
+            || {
+                let done = Arc::new(AtomicBool::new(false));
+                // A root task that, once running on some worker, spawns its
+                // sub-tasks (landing on that worker's own deque) and then
+                // spins without helping until everything else finished —
+                // forcing the other worker to steal.
+                let inner_handle = handle.clone();
+                let inner_group = handle.group();
+                let done_in = Arc::clone(&done);
+                handle.spawn(TaskSpec::root(), move || {
+                    for _ in 0..6 {
+                        inner_handle.spawn_in(&inner_group, TaskSpec::batch(), || TaskStatus::Done);
+                    }
+                    while !inner_group.is_done() {
+                        std::hint::spin_loop();
+                    }
+                    done_in.store(true, Ordering::SeqCst);
+                    TaskStatus::Done
+                });
+                spin_until(|| done.load(Ordering::SeqCst));
+            },
+        );
+        assert!(steals > 0, "the idle worker must have stolen batches");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn unstealable_tasks_stay_put_but_helpers_claim_them() {
+        let pool = ExecPool::new(1);
+        let handle = pool.handle();
+        let group = handle.group();
+        let ran = Arc::new(AtomicU32::new(0));
+        for _ in 0..3 {
+            let ran = Arc::clone(&ran);
+            handle.spawn_in(&group, TaskSpec::pinned_batch(), move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+                TaskStatus::Done
+            });
+        }
+        handle.help_until(&group);
+        assert_eq!(ran.load(Ordering::SeqCst), 3);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_tasks_inline() {
+        let pool = ExecPool::new(0);
+        let handle = pool.handle();
+        let ran = Arc::new(AtomicU32::new(0));
+        for _ in 0..5 {
+            let ran = Arc::clone(&ran);
+            let mut yielded = false;
+            handle.spawn(TaskSpec::root(), move || {
+                if !yielded {
+                    yielded = true;
+                    return TaskStatus::Yield;
+                }
+                ran.fetch_add(1, Ordering::SeqCst);
+                TaskStatus::Done
+            });
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 5);
+        assert_eq!(handle.queued_tasks(), 0);
+    }
+
+    #[test]
+    fn current_is_none_off_pool_and_some_on_workers() {
+        assert!(ExecPool::current().is_none());
+        let pool = ExecPool::new(1);
+        let handle = pool.handle();
+        let saw = Arc::new(AtomicU32::new(0));
+        let saw_in = Arc::clone(&saw);
+        // Plain spawn + spin-wait: the test thread must not help, or the
+        // task could run here (off-pool) instead of on the worker.
+        handle.spawn(TaskSpec::root(), move || {
+            let on_pool = ExecPool::current().is_some();
+            saw_in.store(if on_pool { 1 } else { 2 }, Ordering::SeqCst);
+            TaskStatus::Done
+        });
+        spin_until(|| saw.load(Ordering::SeqCst) != 0);
+        assert_eq!(saw.load(Ordering::SeqCst), 1, "workers advertise the pool");
+        pool.shutdown();
+    }
+}

@@ -1,7 +1,11 @@
 //! Integration tests of the parallel optimizer: the deterministic-reduction
 //! contract (differential against literally-sequential reference runs),
-//! seed-determinism pins, and deadline enforcement across threads.
+//! seed-determinism pins, deadline enforcement across threads, and the
+//! same contracts when sessions run as climb batches on the shared
+//! work-stealing executor.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use moqo_core::archive::Admission;
@@ -11,8 +15,32 @@ use moqo_core::pareto::ParetoSet;
 use moqo_core::plan::PlanRef;
 use moqo_core::rmq::{Rmq, RmqConfig};
 use moqo_core::tables::TableSet;
-use moqo_parallel::{ParRmq, ParRmqConfig};
+use moqo_parallel::{ExecPool, ParRmq, ParRmqConfig, TaskSpec, TaskStatus};
 use proptest::prelude::*;
+
+/// Runs `f` as a root task on a fresh `workers`-wide executor and returns
+/// its result. The test thread never helps — placement stays on pool
+/// workers, so `f` observes `ExecPool::current()` and `ParRmq::optimize`
+/// takes its pooled path.
+fn run_on_pool<T: Send + 'static>(workers: usize, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let pool = ExecPool::new(workers);
+    let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let mut f = Some(f);
+    pool.handle().spawn(TaskSpec::root(), move || {
+        let f = f.take().expect("root task runs once");
+        *slot.lock().unwrap() = Some(f());
+        TaskStatus::Done
+    });
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Some(v) = result.lock().unwrap().take() {
+            return v;
+        }
+        assert!(Instant::now() < deadline, "pool task timed out");
+        std::thread::yield_now();
+    }
+}
 
 /// The reference reduction: run `workers` *sequential* RMQ instances with
 /// the derived per-worker seeds and iteration splits, then unite their
@@ -86,6 +114,58 @@ proptest! {
         let par = det_frontier(&model, query, seed, workers, iters);
         let reference = sequential_union(&model, query, seed, workers, iters);
         prop_assert_eq!(rendered(&model, &par), rendered(&model, &reference));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Differential, executor edition: deterministic mode pins its climb
+    /// batches (no stealing), so running the session as a pool task must
+    /// produce the same bit-identical sequential union as the scoped
+    /// path — across seeds, fan-outs, and pool widths (including a pool
+    /// narrower than the fan-out, which forces batch queueing).
+    #[test]
+    fn deterministic_mode_on_the_pool_equals_sequential_union(
+        seed in 0u64..1000,
+        workers in 2usize..=6,
+        pool_workers in 1usize..=4,
+        iters in 4u64..16,
+    ) {
+        let model = StubModel::line(6, 2, 17);
+        let query = TableSet::prefix(6);
+        let pooled_model = model.clone();
+        let par = run_on_pool(pool_workers, move || {
+            let cfg = ParRmqConfig::seeded(seed, workers).deterministic();
+            let mut par = ParRmq::new(pooled_model, query, cfg);
+            let stats = par.optimize(Budget::Iterations(iters));
+            assert_eq!(stats.iterations, iters);
+            par.frontier()
+        });
+        let reference = sequential_union(&model, query, seed, workers, iters);
+        prop_assert_eq!(rendered(&model, &par), rendered(&model, &reference));
+    }
+
+    /// Iteration budgets are exact on the pool in live mode too: workers
+    /// pull quotas from one shared claim counter, so awkward totals that
+    /// don't divide by fan-out or batch size still land exactly.
+    #[test]
+    fn live_iteration_budget_is_exact_under_the_shared_claim_counter(
+        seed in 0u64..1000,
+        workers in 2usize..=4,
+        total in 1u64..64,
+    ) {
+        let (iterations, frontier_len) = run_on_pool(2, move || {
+            let model = StubModel::line(7, 2, 19);
+            let query = TableSet::prefix(7);
+            let mut cfg = ParRmqConfig::seeded(seed, workers);
+            cfg.batch = 4;
+            let mut par = ParRmq::new(model, query, cfg);
+            let stats = par.optimize(Budget::Iterations(total));
+            (stats.iterations, par.frontier().len())
+        });
+        prop_assert_eq!(iterations, total);
+        prop_assert!(frontier_len > 0);
     }
 }
 
@@ -199,6 +279,104 @@ fn deadline_overruns_are_bounded_on_eight_workers() {
     );
     assert!(stats.iterations > 0, "some iterations must complete");
     assert!(!par.frontier().is_empty());
+}
+
+#[test]
+fn deadline_is_bounded_on_an_oversubscribed_pool() {
+    // The deadline satellite, executor edition: 8 sessions × fan-out 2 on
+    // a 4-worker pool — four times as many climb batches as workers, so
+    // batches queue, get stolen, and get donated. Every batch checks the
+    // deadline per iteration, so the whole oversubscribed mix must still
+    // land within 2× of a 50 ms deadline.
+    let pool = ExecPool::new(4);
+    let model = StubModel::line(10, 2, 3);
+    let query = TableSet::prefix(10);
+    let finished = Arc::new(AtomicUsize::new(0));
+    let results: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+    let started = Instant::now();
+    let deadline = Duration::from_millis(50);
+    let stop_at = started + deadline;
+    for s in 0..8u64 {
+        let model = model.clone();
+        let finished = Arc::clone(&finished);
+        let results = Arc::clone(&results);
+        let mut par = Some(ParRmq::new(model, query, ParRmqConfig::seeded(100 + s, 2)));
+        pool.handle().spawn(TaskSpec::root(), move || {
+            let mut par = par.take().expect("session task runs once");
+            let stats = par.optimize(Budget::Deadline(stop_at));
+            results
+                .lock()
+                .unwrap()
+                .push((stats.iterations, par.frontier().len()));
+            finished.fetch_add(1, Ordering::SeqCst);
+            TaskStatus::Done
+        });
+    }
+    while finished.load(Ordering::SeqCst) < 8 {
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "oversubscribed sessions never finished"
+        );
+        std::thread::yield_now();
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed <= deadline * 2,
+        "50 ms deadline ran {}ms (> 2x) with 8 sessions on 4 workers",
+        elapsed.as_millis()
+    );
+    let results = results.lock().unwrap();
+    assert_eq!(results.len(), 8);
+    let total_iters: u64 = results.iter().map(|(i, _)| i).sum();
+    assert!(total_iters > 0, "some iterations must complete");
+    for (iters, frontier) in results.iter() {
+        // A session that got iterations must have produced plans.
+        assert!(*iters == 0 || *frontier > 0);
+    }
+}
+
+#[test]
+fn stop_flag_cancels_stolen_batches_on_the_pool() {
+    // Fan-out 4 on a 2-worker pool: the session's root task cannot run all
+    // four climb batches itself, so at least some execute on the other
+    // worker via stealing or donation. Raising the stop flag must cancel
+    // those remotely-executing batches too — the run ends promptly even
+    // though the deadline is half a minute out.
+    let pool = ExecPool::new(2);
+    let model = StubModel::line(9, 2, 13);
+    let query = TableSet::prefix(9);
+    let par = ParRmq::new(model, query, ParRmqConfig::seeded(4, 4));
+    let flag = par.stop_handle();
+    let result: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let started = Instant::now();
+    let mut par = Some(par);
+    pool.handle().spawn(TaskSpec::root(), move || {
+        let mut par = par.take().expect("session task runs once");
+        let stats = par.optimize(Budget::Deadline(Instant::now() + Duration::from_secs(30)));
+        *slot.lock().unwrap() = Some(stats.iterations);
+        TaskStatus::Done
+    });
+    // Let the climbers get going, then raise the flag — repeatedly, so the
+    // signal sticks even if optimize() entry (which clears the flag) races
+    // with the first stop().
+    std::thread::sleep(Duration::from_millis(40));
+    let iterations = loop {
+        flag.stop();
+        if let Some(iters) = result.lock().unwrap().take() {
+            break iters;
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "stop() must cancel batches running on other workers"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "stop() must end the run long before the deadline"
+    );
+    assert!(iterations > 0, "the session ran before being cancelled");
 }
 
 #[test]

@@ -16,13 +16,15 @@ pub struct AdmissionConfig {
     /// Maximum number of live (admitted, unfinished) sessions. Submissions
     /// beyond this are rejected with [`AdmissionError::QueueFull`].
     pub max_live_sessions: usize,
-    /// Maximum total **worker slots** held by live sessions. A sequential
-    /// session holds one slot; a fanned-out session (intra-query parallel
-    /// optimization, `PlanExchange::fan_out() > 1`) holds one per worker
-    /// thread it will run. Submissions that would exceed the bound are
-    /// rejected with [`AdmissionError::NoWorkerSlots`] — so a handful of
-    /// wide sessions cannot oversubscribe the machine that the pool and
-    /// the other sessions share.
+    /// Maximum total **worker slots** held by concurrently *running*
+    /// slices. Slot accounting is elastic: a session holds slots only
+    /// while one of its slices executes — one for a sequential optimizer,
+    /// up to its fan-out for a fanned-out one
+    /// (`PlanExchange::fan_out() > 1`), clamped to whatever is free at
+    /// slice start (`PlanExchange::set_effective_fan_out`). The bound
+    /// therefore caps *concurrent width*, not admissions: only a session
+    /// whose fan-out exceeds the bound outright — it could never be
+    /// granted — is rejected with [`AdmissionError::NoWorkerSlots`].
     pub max_worker_slots: usize,
 }
 
@@ -45,10 +47,12 @@ pub enum AdmissionError {
         /// The configured bound.
         limit: usize,
     },
-    /// The worker-slot bound would be exceeded by this session's fan-out;
-    /// retry after wide sessions finish (or submit with fewer workers).
+    /// The session's fan-out exceeds the worker-slot bound outright, so
+    /// even an otherwise-idle service could never grant it; resubmit with
+    /// fewer workers. (Contention below the bound is handled elastically —
+    /// slices are clamped to the free width, never rejected.)
     NoWorkerSlots {
-        /// Worker slots held by live sessions at rejection time.
+        /// Worker slots held by running slices at rejection time.
         in_use: usize,
         /// Slots the rejected session requested (its fan-out).
         requested: usize,

@@ -6,10 +6,12 @@
 //! deadline, multiplexed over a fixed worker pool. This crate is that
 //! serving layer:
 //!
-//! * [`OptimizationService`] — a long-running scheduler stepping many
-//!   concurrent sessions' optimizers cooperatively (round-robin slices on
-//!   a bounded worker pool; see [`scheduler`'s docs](self) for why anytime
-//!   algorithms need no preemption).
+//! * [`OptimizationService`] — a long-running scheduler running many
+//!   concurrent sessions cooperatively: every session is a resumable task
+//!   on one shared **work-stealing executor** (`moqo-parallel`'s
+//!   `ExecPool`), sliced round-robin; fanned-out sessions spread their
+//!   climb batches over the *same* pool, so idle workers steal work from
+//!   wide sessions instead of sitting behind per-session thread pools.
 //! * [`SessionHandle`] — the client view: on-demand frontier snapshots,
 //!   epoch-numbered improvement notifications, a streaming
 //!   [`updates`](SessionHandle::updates) subscription, cancellation.
@@ -20,9 +22,11 @@
 //!   plan sharing; cf. optd's persisted re-optimization state).
 //! * **Admission control** ([`AdmissionConfig`], [`AdmissionError`]) — a
 //!   bounded live-session queue that rejects rather than backlogs, with
-//!   **worker-slot accounting** for sessions that fan a single query out
-//!   over several intra-query threads (`moqo-parallel`'s `ParRmq`; see
-//!   [`PlanExchange::fan_out`]).
+//!   **elastic worker-slot accounting** for sessions that fan a single
+//!   query out (`moqo-parallel`'s `ParRmq`; see [`PlanExchange::fan_out`]):
+//!   slots are held per scheduled slice, not for a session's lifetime, and
+//!   a wide session under load simply runs narrower
+//!   ([`PlanExchange::set_effective_fan_out`]).
 //! * **Service statistics** ([`ServiceStats`]) — throughput, p50/p99
 //!   time-to-first-frontier, cache hit rate.
 //!
@@ -68,10 +72,8 @@ pub use session::{
 };
 pub use stats::ServiceStats;
 
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use moqo_core::optimizer::Budget;
@@ -80,7 +82,9 @@ use moqo_core::tables::TableSet;
 use moqo_obs::journal::{self, EventKind, Level, Target};
 use moqo_obs::{ctx, metrics};
 
-use scheduler::{finalize, worker_loop, ActiveSession, RemainingBudget, SchedState, ServiceCore};
+use moqo_parallel::{ExecPool, TaskSpec};
+
+use scheduler::{session_tick, ActiveSession, RemainingBudget, SchedState, ServiceCore};
 use session::SessionShared;
 
 /// Emits an admission-rejection journal event (the matching rejection
@@ -144,8 +148,10 @@ pub struct SessionRequest {
 /// Configuration of the optimization service.
 #[derive(Clone, Copy, Debug)]
 pub struct ServiceConfig {
-    /// Worker threads stepping sessions. `0` admits sessions without
-    /// running them (useful for admission tests and manual draining).
+    /// Worker threads of the shared executor — they step session slices
+    /// *and* run fanned-out sessions' climb batches. `0` admits sessions
+    /// without running them (useful for admission tests and manual
+    /// draining).
     pub workers: usize,
     /// Optimizer steps per scheduling slice for iteration-budget sessions.
     pub steps_per_slice: u64,
@@ -172,11 +178,10 @@ impl Default for ServiceConfig {
 }
 
 /// The concurrent anytime optimization service. Dropping it shuts the
-/// worker pool down; unfinished sessions complete with
+/// shared executor down; unfinished sessions complete with
 /// [`DoneReason::ServiceShutdown`].
 pub struct OptimizationService {
     core: Arc<ServiceCore>,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl OptimizationService {
@@ -185,26 +190,17 @@ impl OptimizationService {
         let core = Arc::new(ServiceCore {
             config,
             sched: Mutex::new(SchedState {
-                ready: VecDeque::new(),
                 live: 0,
-                worker_slots: 0,
+                running: 0,
+                held_slots: 0,
                 shutdown: false,
             }),
-            sched_cond: Condvar::new(),
+            pool: ExecPool::new(config.workers),
             cache: cache::SharedPlanCache::new(config.cache),
             stats: stats::StatsCollector::new(),
             next_id: AtomicU64::new(1),
         });
-        let workers = (0..config.workers)
-            .map(|i| {
-                let core = Arc::clone(&core);
-                std::thread::Builder::new()
-                    .name(format!("moqo-worker-{i}"))
-                    .spawn(move || worker_loop(core))
-                    .expect("spawn service worker")
-            })
-            .collect();
-        OptimizationService { core, workers }
+        OptimizationService { core }
     }
 
     /// Submits a session. On admission the optimizer is warm-started from
@@ -221,11 +217,11 @@ impl OptimizationService {
             query,
             context,
         } = request;
-        // Admission + live-session and worker-slot reservation. A session
-        // occupies one live slot and `fan_out` worker slots: a fanned-out
-        // session (e.g. ParRmq) runs that many intra-query threads while
-        // stepped, so the slot bound caps total worker concurrency the same
-        // way `max_live_sessions` caps session concurrency.
+        // Admission + live-session reservation. Worker slots are elastic —
+        // held per scheduled slice, not for the session's lifetime — so
+        // admission only rejects a fan-out that could *never* be granted
+        // within the slot limit; a wide session admitted under load just
+        // runs narrower until slots free up.
         let fan_out = optimizer.fan_out().max(1);
         {
             let mut sched = self.core.sched.lock().unwrap();
@@ -246,8 +242,8 @@ impl OptimizationService {
                 return Err(AdmissionError::QueueFull { live, limit });
             }
             let slot_limit = self.core.config.admission.max_worker_slots;
-            if sched.worker_slots + fan_out > slot_limit {
-                let in_use = sched.worker_slots;
+            if fan_out > slot_limit {
+                let in_use = sched.held_slots;
                 drop(sched);
                 self.core.stats.record_rejected();
                 metrics().service_rejected_no_slots.incr();
@@ -259,7 +255,6 @@ impl OptimizationService {
                 });
             }
             sched.live += 1;
-            sched.worker_slots += fan_out;
         }
         // Warm start outside the scheduler lock: cache lookups and plan
         // absorption can be comparatively slow.
@@ -301,16 +296,28 @@ impl OptimizationService {
                 // Shutdown raced in while we warm-started: undo the
                 // reservation and reject.
                 sched.live -= 1;
-                sched.worker_slots -= fan_out;
                 drop(sched);
                 self.core.stats.record_rejected();
                 metrics().service_rejected_shutdown.incr();
                 journal_rejected("shutdown");
                 return Err(AdmissionError::ShuttingDown);
             }
-            sched.ready.push_back(session);
+            // The session becomes a recurring task on the shared executor:
+            // each invocation runs one slice at an elastically granted
+            // width, then yields. A `Weak` back-reference keeps
+            // `ServiceCore → pool → task` from cycling. Spawned under the
+            // scheduler lock: shutdown flips under the same lock, so the
+            // pool cannot start its final drain before this task is queued.
+            let weak = Arc::downgrade(&self.core);
+            let mut slot = Some(session);
+            self.core
+                .pool
+                .handle()
+                .spawn(TaskSpec::root(), move || match weak.upgrade() {
+                    Some(core) => session_tick(&core, &mut slot),
+                    None => moqo_parallel::TaskStatus::Done,
+                });
         }
-        self.core.sched_cond.notify_one();
         self.core.stats.record_submitted(fan_out);
         m.service_submitted.incr();
         if journal::enabled(Target::Admission, Level::Info) {
@@ -325,15 +332,17 @@ impl OptimizationService {
         Ok(SessionHandle { id, shared })
     }
 
-    /// Current service statistics.
+    /// Current service statistics. `worker_slots_in_use` reports the slots
+    /// held by currently *running* slices (elastic accounting), not the
+    /// summed fan-out of live sessions.
     pub fn stats(&self) -> ServiceStats {
-        let (live, worker_slots) = {
+        let (live, held_slots) = {
             let sched = self.core.sched.lock().unwrap();
-            (sched.live, sched.worker_slots)
+            (sched.live, sched.held_slots)
         };
         self.core
             .stats
-            .snapshot(live, worker_slots, self.core.cache.stats())
+            .snapshot(live, held_slots, self.core.cache.stats())
     }
 
     /// Current cross-query cache counters.
@@ -341,13 +350,15 @@ impl OptimizationService {
         self.core.cache.stats()
     }
 
-    /// Number of sessions waiting in the ready queue right now.
+    /// Number of live sessions not currently executing a slice (waiting on
+    /// the executor's queues between slices).
     pub fn queued(&self) -> usize {
-        self.core.sched.lock().unwrap().ready.len()
+        let sched = self.core.sched.lock().unwrap();
+        sched.live - sched.running
     }
 
     /// Shuts the service down (equivalent to dropping it): stops
-    /// admitting, aborts queued sessions, joins the workers.
+    /// admitting, aborts queued sessions, joins the executor workers.
     pub fn shutdown(self) {
         drop(self);
     }
@@ -355,17 +366,10 @@ impl OptimizationService {
 
 impl Drop for OptimizationService {
     fn drop(&mut self) {
-        let drained: Vec<ActiveSession> = {
-            let mut sched = self.core.sched.lock().unwrap();
-            sched.shutdown = true;
-            sched.ready.drain(..).collect()
-        };
-        self.core.sched_cond.notify_all();
-        for session in drained {
-            finalize(&self.core, session, DoneReason::ServiceShutdown);
-        }
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        self.core.sched.lock().unwrap().shutdown = true;
+        // Joins the executor workers, then drains any still-queued session
+        // tasks inline; each sees the shutdown flag and finalizes with
+        // `DoneReason::ServiceShutdown`.
+        self.core.pool.shutdown();
     }
 }

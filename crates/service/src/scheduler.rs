@@ -1,20 +1,31 @@
-//! The cooperative scheduler: a fixed worker pool stepping many anytime
-//! optimizers round-robin.
+//! The cooperative scheduler: every session is a resumable task on the
+//! shared work-stealing executor.
 //!
-//! Sessions live in a single ready queue. Each worker pops the
-//! longest-waiting session, runs one bounded **slice** of its optimizer
-//! (`steps_per_slice` iterations, or `slice_duration` wall-clock for
-//! deadline budgets) through the core [`drive`] loop, then requeues it.
-//! Because every algorithm behind the [`Optimizer`] trait is *anytime*
-//! with polynomial per-step cost (the paper's headline property of RMQ),
-//! slicing needs no preemption: a slice is short by construction, so a
-//! fixed pool interleaves hundreds of sessions with bounded latency per
-//! session — the property that makes RMQ suited to serving interleaved
+//! Each session becomes one recurring [`ExecPool`] task
+//! ([`session_tick`]): every invocation runs one bounded **slice** of its
+//! optimizer (`steps_per_slice` iterations, or `slice_duration` wall-clock
+//! for deadline budgets) through the core [`drive`] loop, then yields back
+//! to the pool. Because every algorithm behind the [`Optimizer`] trait is
+//! *anytime* with polynomial per-step cost (the paper's headline property
+//! of RMQ), slicing needs no preemption: a slice is short by construction,
+//! so a fixed pool interleaves hundreds of sessions with bounded latency
+//! per session — the property that makes RMQ suited to serving interleaved
 //! optimization requests under deadlines.
+//!
+//! Because slices execute *on* pool workers, fanned-out optimizers
+//! (`ParRmq`) detect the ambient pool and spread their climb batches over
+//! the same workers instead of spawning private threads — idle workers
+//! steal the batches, and the session's waiting thread helps. Worker-slot
+//! accounting is **elastic**: slots are acquired per scheduled slice at
+//! whatever width is available ([`acquire_width`]) and released the moment
+//! the slice ends, so a session between slices holds nothing and a wide
+//! session admitted under load simply runs narrower until the pool drains.
+//!
+//! [`ExecPool`]: moqo_parallel::ExecPool
+//! [`Optimizer`]: moqo_core::optimizer::Optimizer
 
-use std::collections::VecDeque;
 use std::sync::atomic::AtomicU64;
-use std::sync::{Condvar, Mutex};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use moqo_core::fxhash::FxHasher;
@@ -23,6 +34,8 @@ use moqo_core::plan::PlanRef;
 
 use moqo_obs::journal::{self, EventKind, Level, Target};
 use moqo_obs::{ctx, metrics};
+
+use moqo_parallel::{ExecPool, TaskStatus};
 
 use crate::cache::SharedPlanCache;
 use crate::session::{DoneReason, SessionId, SessionShared, SessionStatus};
@@ -59,9 +72,9 @@ impl RemainingBudget {
     }
 }
 
-/// A session owned by the scheduler (at most one worker holds it at a
-/// time, so the optimizer needs no internal synchronization — a fanned-out
-/// optimizer manages its own intra-step threads).
+/// A session owned by the scheduler (at most one task invocation holds it
+/// at a time, so the optimizer needs no internal synchronization — a
+/// fanned-out optimizer spreads its intra-slice batches over the pool).
 pub(crate) struct ActiveSession {
     pub id: SessionId,
     pub optimizer: Box<dyn PlanExchange>,
@@ -71,28 +84,53 @@ pub(crate) struct ActiveSession {
     /// Signature of the last frontier reported to the session state, used
     /// to detect improvements cheaply.
     pub last_sig: u64,
-    /// Worker slots this session holds (its optimizer's fan-out), released
-    /// at finalization.
+    /// The optimizer's *maximum* fan-out; the width actually granted per
+    /// slice is elastic (see [`acquire_width`]).
     pub fan_out: usize,
 }
 
 /// Scheduler state behind the mutex.
 pub(crate) struct SchedState {
-    pub ready: VecDeque<ActiveSession>,
+    /// Admitted, not yet finalized sessions.
     pub live: usize,
-    /// Worker slots held by live sessions (see `AdmissionConfig`).
-    pub worker_slots: usize,
+    /// Sessions currently executing a slice on the pool.
+    pub running: usize,
+    /// Worker slots held by currently running slices. Unlike the pre-pool
+    /// scheduler — which debited a session's full fan-out for its whole
+    /// lifetime — slots are held only while a slice executes.
+    pub held_slots: usize,
     pub shutdown: bool,
 }
 
-/// Everything the workers share.
+/// Everything the session tasks share.
 pub(crate) struct ServiceCore {
     pub config: ServiceConfig,
     pub sched: Mutex<SchedState>,
-    pub sched_cond: Condvar,
+    pub pool: ExecPool,
     pub cache: SharedPlanCache,
     pub stats: StatsCollector,
     pub next_id: AtomicU64,
+}
+
+/// Acquires an elastic width for one slice: the session's fan-out, clamped
+/// to the worker slots still free — but always at least 1, so a scheduled
+/// slice can never starve (the slot limit bounds *extra* width, not
+/// progress).
+pub(crate) fn acquire_width(core: &ServiceCore, fan_out: usize) -> usize {
+    let mut sched = core.sched.lock().unwrap();
+    sched.running += 1;
+    let limit = core.config.admission.max_worker_slots;
+    let avail = limit.saturating_sub(sched.held_slots);
+    let width = fan_out.clamp(1, avail.max(1));
+    sched.held_slots += width;
+    width
+}
+
+/// Releases a slice's width (the exact value [`acquire_width`] granted).
+pub(crate) fn release_width(core: &ServiceCore, width: usize) {
+    let mut sched = core.sched.lock().unwrap();
+    sched.running -= 1;
+    sched.held_slots -= width;
 }
 
 /// Order-independent signature of a plan set: used to detect frontier
@@ -274,47 +312,41 @@ pub(crate) fn finalize(core: &ServiceCore, sess: ActiveSession, reason: DoneReas
             ttff_us,
         });
     }
-    {
-        let mut sched = core.sched.lock().unwrap();
-        sched.live -= 1;
-        sched.worker_slots -= sess.fan_out;
-    }
+    // Elastic accounting: the session never holds slots between slices, so
+    // completion only releases its live-session slot.
+    core.sched.lock().unwrap().live -= 1;
     sess.shared.state.lock().unwrap().status = SessionStatus::Done(reason);
     sess.shared.cond.notify_all();
 }
 
-/// The worker thread body: pop, slice, requeue (or finalize) — forever,
-/// until shutdown.
-pub(crate) fn worker_loop(core: Arc<ServiceCore>) {
-    loop {
-        let popped = {
-            let mut sched = core.sched.lock().unwrap();
-            loop {
-                if let Some(sess) = sched.ready.pop_front() {
-                    break Some(sess);
-                }
-                if sched.shutdown {
-                    break None;
-                }
-                sched = core.sched_cond.wait(sched).unwrap();
-            }
-        };
-        let Some(mut sess) = popped else {
-            return;
-        };
-        match run_slice(&core, &mut sess) {
-            Some(reason) => finalize(&core, sess, reason),
-            None => {
-                let mut sched = core.sched.lock().unwrap();
-                if sched.shutdown {
-                    drop(sched);
-                    finalize(&core, sess, DoneReason::ServiceShutdown);
-                } else {
-                    sched.ready.push_back(sess);
-                    drop(sched);
-                    core.sched_cond.notify_one();
-                }
-            }
+/// One invocation of a session's pool task: run one slice (at an
+/// elastically granted width), then yield — or finalize and complete the
+/// task. `slot` carries the session across yields; it is `None` only after
+/// finalization.
+pub(crate) fn session_tick(
+    core: &Arc<ServiceCore>,
+    slot: &mut Option<ActiveSession>,
+) -> TaskStatus {
+    let Some(sess) = slot.as_mut() else {
+        return TaskStatus::Done;
+    };
+    if core.sched.lock().unwrap().shutdown {
+        let sess = slot.take().expect("session present");
+        finalize(core, sess, DoneReason::ServiceShutdown);
+        return TaskStatus::Done;
+    }
+    let width = acquire_width(core, sess.fan_out);
+    // The grant is advisory: a fanned-out optimizer shrinks its next round
+    // to the granted width, a sequential one ignores it.
+    sess.optimizer.set_effective_fan_out(width);
+    let done = run_slice(core, sess);
+    release_width(core, width);
+    match done {
+        Some(reason) => {
+            let sess = slot.take().expect("session present");
+            finalize(core, sess, reason);
+            TaskStatus::Done
         }
+        None => TaskStatus::Yield,
     }
 }

@@ -422,7 +422,10 @@ fn fanned_out_sessions_run_through_the_service() {
 
 #[test]
 fn worker_slot_admission_rejects_oversubscription() {
-    // workers: 0 — sessions stay queued, so slot accounting is exact.
+    // Slot accounting is elastic: sessions hold slots only while a slice
+    // runs, so contention below the bound is clamped, not rejected. Only a
+    // fan-out the bound could never grant is turned away. workers: 0 —
+    // nothing runs, so no slice ever holds a slot.
     let service = OptimizationService::new(ServiceConfig {
         workers: 0,
         admission: moqo_service::AdmissionConfig {
@@ -443,24 +446,80 @@ fn worker_slot_admission_rejects_oversubscription() {
         query: tables,
         context: 32,
     };
-    service.submit(wide(4)).expect("4 of 5 slots");
-    assert_eq!(service.stats().worker_slots, 4);
-    // A 2-wide session no longer fits, but a sequential one does.
-    let err = service.submit(wide(2)).expect_err("would need 6 slots");
+    // Two wide sessions whose combined fan-out exceeds the bound are both
+    // admitted — they would time-share the width elastically.
+    service.submit(wide(4)).expect("fits the bound");
+    service
+        .submit(wide(2))
+        .expect("admitted; width is clamped at run time");
+    assert_eq!(
+        service.stats().worker_slots,
+        0,
+        "queued sessions hold no slots"
+    );
+    // A session the bound could never grant is rejected outright.
+    let err = service
+        .submit(wide(6))
+        .expect_err("exceeds the bound outright");
     assert_eq!(
         err,
         AdmissionError::NoWorkerSlots {
-            in_use: 4,
-            requested: 2,
+            in_use: 0,
+            requested: 6,
             limit: 5
         }
     );
     service
         .submit(rmq_request(&model, tables, 9, Budget::Iterations(1), 32))
-        .expect("sequential session fits the last slot");
+        .expect("sequential session always fits");
     let stats = service.stats();
-    assert_eq!(stats.worker_slots, 5);
+    assert_eq!(stats.worker_slots, 0);
     assert_eq!(stats.rejected, 1);
+    service.shutdown();
+}
+
+#[test]
+fn wide_sessions_are_clamped_to_free_width_not_rejected() {
+    // Two fan-out-4 sessions against a 5-slot bound used to be rejected at
+    // admission (4 + 4 > 5); under elastic accounting both are admitted
+    // and concurrent slices are clamped to the free width. Budgets stay
+    // exact because rounds, not width, are counted.
+    let service = OptimizationService::new(ServiceConfig {
+        workers: 2,
+        admission: moqo_service::AdmissionConfig {
+            max_live_sessions: 64,
+            max_worker_slots: 5,
+        },
+        ..ServiceConfig::default()
+    });
+    let model = Arc::new(StubModel::line(6, 2, 11));
+    let tables = TableSet::prefix(6);
+    let wide = |seed: u64| {
+        let mut cfg = ParRmqConfig::seeded(seed, 4);
+        cfg.batch = 2;
+        SessionRequest {
+            optimizer: Box::new(ParRmq::new(Arc::clone(&model), tables, cfg)),
+            budget: Budget::Iterations(4),
+            query: tables,
+            context: 33,
+        }
+    };
+    let handles: Vec<_> = (0..2)
+        .map(|s| service.submit(wide(5 + s)).expect("admitted"))
+        .collect();
+    for handle in handles {
+        let done = handle.wait_done(WAIT).expect("completes");
+        assert_eq!(
+            done.status,
+            SessionStatus::Done(DoneReason::BudgetExhausted)
+        );
+        assert_eq!(done.steps, 4);
+        assert!(!done.plans.is_empty());
+    }
+    let stats = service.stats();
+    assert_eq!(stats.multi_worker_sessions, 2);
+    assert_eq!(stats.fan_out_submitted, 8);
+    assert_eq!(stats.worker_slots, 0, "slots released at completion");
     service.shutdown();
 }
 
