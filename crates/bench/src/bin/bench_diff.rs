@@ -8,9 +8,11 @@
 //!
 //! * **Structural** (exact): the deterministic fields — RMQ frontier sizes
 //!   per checkpoint, median climbing path lengths, plan-cache occupancy,
-//!   arena occupancy and dedup rate. These are bit-for-bit reproducible on
-//!   any machine, so *any* drift is a behavior change that must be
-//!   explained (and the baseline regenerated deliberately).
+//!   arena occupancy and dedup rate, and the anytime convergence curves
+//!   (checkpoint marks, frontier sizes, hypervolumes; schema v7). These
+//!   are bit-for-bit reproducible on any machine, so *any* drift is a
+//!   behavior change that must be explained (and the baseline regenerated
+//!   deliberately).
 //! * **Timing** (generous noise margins): per-kernel ns/op may not exceed
 //!   `baseline × --timing-margin` (default 5, CI runners are noisy), and
 //!   each speedup ratio may not fall below `baseline ÷ --speedup-margin`
@@ -537,6 +539,78 @@ fn main() {
     if !rmq_dim(&base).is_empty() && rmq_dim(&cand).is_empty() {
         gate.violations
             .push("candidate dropped the `rmq_dim` section".to_string());
+    }
+
+    // Structural (schema v7): the anytime convergence curves come from the
+    // deterministic RMQ fixtures — the checkpoint marks, frontier sizes,
+    // and hypervolumes are bit-for-bit reproducible; `elapsed_ms` and
+    // `time_to_90_ms` are timing-only (presence-checked).
+    let convergence = |v: &Value| {
+        v.get("convergence")
+            .and_then(Value::as_array)
+            .cloned()
+            .unwrap_or_default()
+    };
+    for b in &convergence(&base) {
+        let tables = f64_field(b, "tables").unwrap_or(-1.0);
+        let seed = f64_field(b, "seed").unwrap_or(-1.0);
+        let tag = format!("convergence(tables={tables}, seed={seed})");
+        let Some(c) = convergence(&cand)
+            .into_iter()
+            .find(|c| f64_field(c, "tables") == Some(tables) && f64_field(c, "seed") == Some(seed))
+        else {
+            gate.violations
+                .push(format!("{tag}: missing from candidate"));
+            continue;
+        };
+        if let (Some(bv), Some(cv)) = (
+            f64_field(b, "final_hypervolume"),
+            f64_field(&c, "final_hypervolume"),
+        ) {
+            gate.check(structural_eq(bv, cv), || {
+                format!(
+                    "{tag}: structural field `final_hypervolume` drifted: \
+                     baseline {bv} vs candidate {cv}"
+                )
+            });
+        }
+        gate.check(c.get("time_to_90_ms").is_some(), || {
+            format!("{tag}: candidate dropped timing field `time_to_90_ms`")
+        });
+        let points = |v: &Value| {
+            v.get("points")
+                .and_then(Value::as_array)
+                .cloned()
+                .unwrap_or_default()
+        };
+        let (bp, cp) = (points(b), points(&c));
+        gate.check(bp.len() == cp.len(), || {
+            format!(
+                "{tag}: checkpoint count changed: {} vs {}",
+                bp.len(),
+                cp.len()
+            )
+        });
+        for (bpt, cpt) in bp.iter().zip(&cp) {
+            let iters = f64_field(bpt, "iteration").unwrap_or(-1.0);
+            for key in ["iteration", "frontier_size", "hypervolume"] {
+                if let (Some(bv), Some(cv)) = (f64_field(bpt, key), f64_field(cpt, key)) {
+                    gate.check(structural_eq(bv, cv), || {
+                        format!(
+                            "{tag} checkpoint @{iters}: `{key}` drifted: \
+                             baseline {bv} vs candidate {cv}"
+                        )
+                    });
+                }
+            }
+            gate.check(cpt.get("elapsed_ms").is_some(), || {
+                format!("{tag} checkpoint @{iters}: candidate dropped timing field `elapsed_ms`")
+            });
+        }
+    }
+    if !convergence(&base).is_empty() && convergence(&cand).is_empty() {
+        gate.violations
+            .push("candidate dropped the `convergence` section".to_string());
     }
 
     if !skip_timing {

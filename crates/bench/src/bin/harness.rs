@@ -32,13 +32,14 @@ use moqo_core::cost::CostVector;
 use moqo_core::model::testing::StubModel;
 use moqo_core::model::OutputFormat;
 use moqo_core::mutations::MutationSet;
-use moqo_core::optimizer::Budget;
+use moqo_core::optimizer::{Budget, ConvergencePoint, PlanExchange};
 use moqo_core::pareto::{LinearParetoSet, ParetoSet, PrunePolicy};
 use moqo_core::plan::{PlanKind, PlanRef};
 use moqo_core::random_plan::{random_plan, random_plan_in};
 use moqo_core::rmq::{Rmq, RmqConfig};
 use moqo_core::tables::TableSet;
 use moqo_metrics::hypervolume::hypervolume;
+use moqo_metrics::{time_to_fraction, HvTracker};
 use moqo_parallel::{ParRmq, ParRmqConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -69,7 +70,13 @@ use rand::SeedableRng;
 /// frontier, `exec_pool.*` counter deltas, `exchange.backoff_level`) and
 /// the `exchange_partial_*` fields of `par_rmq` entries (partial-plan
 /// frontier sharing).
-const SCHEMA_VERSION: u32 = 6;
+/// v7 (additive over v6): anytime convergence telemetry — the
+/// `convergence` section: per RMQ fixture, the optimizer's exponentially
+/// spaced quality-over-time checkpoints reduced to a hypervolume curve
+/// (structural fields — iteration marks, frontier sizes, hypervolumes —
+/// deterministic and gated bit-for-bit; `elapsed_ms` / `time_to_90_ms`
+/// timing-only).
+const SCHEMA_VERSION: u32 = 7;
 
 #[derive(Serialize)]
 struct Baseline {
@@ -104,6 +111,37 @@ struct Baseline {
     /// (sequential, fixed-seed) `rmq` run, so the deltas are exact and
     /// deterministic — drift means hot-path *behavior* changed.
     obs: Vec<ObsFixture>,
+    /// Anytime convergence curves per RMQ fixture (schema v7): the
+    /// optimizer's own exponentially spaced checkpoints reduced to a
+    /// running hypervolume curve. Structural fields deterministic.
+    convergence: Vec<ConvergenceFixture>,
+}
+
+/// One checkpoint of a convergence curve (schema v7). `iteration`,
+/// `frontier_size`, and `hypervolume` are deterministic (gated);
+/// `elapsed_ms` is timing.
+#[derive(Serialize)]
+struct ConvergenceCheckpoint {
+    iteration: u64,
+    elapsed_ms: f64,
+    frontier_size: usize,
+    /// Running hypervolume of the frontier at this checkpoint, against the
+    /// fixture's curve-derived reference point (componentwise max over all
+    /// checkpointed costs × 1.1) — nondecreasing along the curve.
+    hypervolume: f64,
+}
+
+/// The anytime convergence curve of one RMQ fixture (schema v7).
+#[derive(Serialize)]
+struct ConvergenceFixture {
+    tables: usize,
+    seed: u64,
+    points: Vec<ConvergenceCheckpoint>,
+    /// Final (last-checkpoint) hypervolume — deterministic, gated.
+    final_hypervolume: f64,
+    /// Time to 90% of `final_hypervolume` (timing-only; `None` when the
+    /// curve is degenerate).
+    time_to_90_ms: Option<f64>,
 }
 
 /// Deterministic observability counter deltas of one RMQ fixture
@@ -727,7 +765,55 @@ fn run_micro(quick: bool) -> (Vec<MicroResult>, Speedups, ArenaReport) {
     (out, speedups, arena_report)
 }
 
-fn run_rmq(quick: bool) -> (Vec<RmqResult>, Vec<ObsFixture>) {
+/// Reduces an optimizer's convergence checkpoints to the schema-v7 curve:
+/// a running hypervolume against a reference point derived from the curve
+/// itself (componentwise max over every checkpointed cost, × 1.1). All
+/// non-timing outputs are deterministic for a fixed-seed fixture.
+fn reduce_convergence(tables: usize, seed: u64, points: &[ConvergencePoint]) -> ConvergenceFixture {
+    let dim = points
+        .iter()
+        .flat_map(|p| p.frontier_costs.iter())
+        .map(|c| c.dim())
+        .next()
+        .unwrap_or(0);
+    let mut upper = vec![f64::NEG_INFINITY; dim];
+    for p in points {
+        for cost in &p.frontier_costs {
+            for (u, v) in upper.iter_mut().zip(cost.as_slice()) {
+                *u = u.max(*v);
+            }
+        }
+    }
+    let mut out = ConvergenceFixture {
+        tables,
+        seed,
+        points: Vec::with_capacity(points.len()),
+        final_hypervolume: 0.0,
+        time_to_90_ms: None,
+    };
+    if dim == 0 || upper.iter().any(|u| !u.is_finite()) {
+        return out;
+    }
+    let reference = CostVector::new(&upper).scale(1.1);
+    let mut tracker = HvTracker::new(reference);
+    let mut curve = Vec::with_capacity(points.len());
+    for p in points {
+        tracker.insert_all(&p.frontier_costs);
+        let hv = tracker.hypervolume();
+        curve.push((p.elapsed.as_secs_f64(), hv));
+        out.points.push(ConvergenceCheckpoint {
+            iteration: p.iteration,
+            elapsed_ms: p.elapsed.as_secs_f64() * 1e3,
+            frontier_size: p.frontier_size,
+            hypervolume: hv,
+        });
+    }
+    out.final_hypervolume = out.points.last().map_or(0.0, |p| p.hypervolume);
+    out.time_to_90_ms = time_to_fraction(&curve, 0.9).map(|s| s * 1e3);
+    out
+}
+
+fn run_rmq(quick: bool) -> (Vec<RmqResult>, Vec<ObsFixture>, Vec<ConvergenceFixture>) {
     let configs: &[(usize, u64)] = if quick {
         &[(15, 40)]
     } else {
@@ -735,6 +821,7 @@ fn run_rmq(quick: bool) -> (Vec<RmqResult>, Vec<ObsFixture>) {
     };
     let mut results = Vec::new();
     let mut obs_fixtures = Vec::new();
+    let mut convergence = Vec::new();
     for &(tables, iterations) in configs {
         let (model, query) = resource_model(tables);
         let seed = 42u64;
@@ -757,6 +844,11 @@ fn run_rmq(quick: bool) -> (Vec<RmqResult>, Vec<ObsFixture>) {
             }
         }
         checkpoints.dedup_by_key(|c| c.iterations);
+        // The optimizer sampled its own exponentially spaced convergence
+        // checkpoints during the loop; force one final sample so the curve
+        // ends at the delivered frontier, then reduce it (schema v7).
+        rmq.sample_convergence_now();
+        convergence.push(reduce_convergence(tables, seed, rmq.convergence_points()));
         // This run is sequential and only `Rmq::iterate` flushes climb and
         // arena counters, so the registry delta around it is exact.
         let obs_after = moqo_obs::ObsSnapshot::capture();
@@ -789,7 +881,7 @@ fn run_rmq(quick: bool) -> (Vec<RmqResult>, Vec<ObsFixture>) {
             arena_dedup_rate: rmq.arena().stats().dedup_rate(),
         });
     }
-    (results, obs_fixtures)
+    (results, obs_fixtures, convergence)
 }
 
 /// Runs the `ParRmq` thread-scaling kernels on the standard bench fixture:
@@ -1083,7 +1175,7 @@ fn main() {
             .collect::<Vec<_>>(),
         eps_archive.exact_blowup,
     );
-    let (rmq, obs) = run_rmq(quick);
+    let (rmq, obs, convergence) = run_rmq(quick);
     for r in &rmq {
         let last = r.checkpoints.last().expect("at least one checkpoint");
         eprintln!(
@@ -1109,6 +1201,17 @@ fn main() {
             o.climb_evicted,
             o.arena_interns,
             o.arena_dedup_hits,
+        );
+    }
+    for c in &convergence {
+        eprintln!(
+            "  convergence n={:<3} {} checkpoints at iters {:?}, final hv {:.3e}, tt90 {}",
+            c.tables,
+            c.points.len(),
+            c.points.iter().map(|p| p.iteration).collect::<Vec<_>>(),
+            c.final_hypervolume,
+            c.time_to_90_ms
+                .map_or("-".to_string(), |ms| format!("{ms:.2} ms")),
         );
     }
     let rmq_dim = run_rmq_dim(quick);
@@ -1166,6 +1269,7 @@ fn main() {
         par_rmq,
         exec_pool,
         obs,
+        convergence,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
     std::fs::write(&out_path, json + "\n").unwrap_or_else(|e| {

@@ -2,20 +2,199 @@
 //! `moqo_obs::ObsSnapshot::to_json` output): well-formed JSON, the
 //! expected schema version, the registry's counter/histogram layout, and
 //! — when counters are required — nonzero activity on the named seams.
+//! Optionally also validates a causal span trace (`--trace`, the Chrome
+//! trace-event JSON `serve --trace-out` / `optimize --trace-out` write)
+//! and the anytime-convergence section of a schema-v7 bench baseline
+//! (`--convergence`).
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run -p moqo-bench --bin obs_check -- FILE \
-//!     [--require COUNTER]... [--events-min N]
+//!     [--require COUNTER]... [--events-min N] \
+//!     [--trace TRACE.json [--spans-min N]] [--convergence BENCH.json]
 //! ```
 //!
-//! Exit 0 when the snapshot is valid, 1 with one line per violation
-//! otherwise. CI's `bench-smoke` job runs it against the snapshot a short
-//! `serve --obs-json` replay produced, requiring the optimizer, exchange,
-//! and service seams to have recorded activity.
+//! Exit 0 when everything is valid, 1 with one line per violation
+//! otherwise. CI's `bench-smoke` job runs it against the snapshot and
+//! trace a short `serve` replay produced, requiring the optimizer,
+//! exchange, and service seams to have recorded activity.
 
 use serde_json::Value;
+
+/// Validates a Chrome trace-event JSON file: every event carries the
+/// writer's fields, complete (`"X"`) events are sorted by timestamp with
+/// nonnegative durations, and every nonzero parent reference resolves to a
+/// complete event in the file — the causal graph has no dangling edges.
+fn check_trace(path: &str, spans_min: u64, violations: &mut Vec<String>) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            violations.push(format!("cannot read trace {path}: {e}"));
+            return;
+        }
+    };
+    let trace: Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            violations.push(format!("trace {path} is not valid JSON: {e}"));
+            return;
+        }
+    };
+    let Some(events) = trace.get("traceEvents").and_then(Value::as_array) else {
+        violations.push(format!("trace {path}: missing `traceEvents` array"));
+        return;
+    };
+    if (events.len() as u64) < spans_min {
+        violations.push(format!(
+            "trace {path}: only {} span(s), need at least {spans_min}",
+            events.len()
+        ));
+    }
+    let mut complete_ids = std::collections::HashSet::new();
+    let mut last_ts = f64::NEG_INFINITY;
+    for event in events {
+        let ph = event.get("ph").and_then(Value::as_str).unwrap_or("");
+        if !matches!(ph, "X" | "i") {
+            violations.push(format!("trace event has unexpected phase `{ph}`: {event}"));
+            continue;
+        }
+        for key in ["name", "ts", "pid", "tid"] {
+            if event.get(key).is_none() {
+                violations.push(format!("trace event lacks field `{key}`: {event}"));
+            }
+        }
+        let Some(args) = event.get("args") else {
+            violations.push(format!("trace event lacks `args`: {event}"));
+            continue;
+        };
+        for key in ["id", "parent", "session", "arg"] {
+            if args.get(key).and_then(Value::as_u64).is_none() {
+                violations.push(format!("trace event args lack u64 `{key}`: {event}"));
+            }
+        }
+        let ts = event.get("ts").and_then(Value::as_f64).unwrap_or(-1.0);
+        if ts < last_ts {
+            violations.push(format!(
+                "trace events not sorted by timestamp: {ts} after {last_ts}"
+            ));
+        }
+        last_ts = ts;
+        if ph == "X" {
+            if event
+                .get("dur")
+                .and_then(Value::as_f64)
+                .is_none_or(|d| d < 0.0)
+            {
+                violations.push(format!("complete trace event lacks `dur` >= 0: {event}"));
+            }
+            if let Some(id) = args.get("id").and_then(Value::as_u64) {
+                complete_ids.insert(id);
+            }
+        }
+    }
+    for event in events {
+        let parent = event
+            .get("args")
+            .and_then(|a| a.get("parent"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        if parent != 0 && !complete_ids.contains(&parent) {
+            violations.push(format!(
+                "trace event parent {parent} resolves to no complete span: {event}"
+            ));
+        }
+    }
+}
+
+/// Validates the `convergence` section of a schema-v7 bench baseline:
+/// present and nonempty, strictly increasing iteration marks, and a
+/// nondecreasing hypervolume curve ending at `final_hypervolume` — the
+/// anytime guarantee, checked on the emitted artifact.
+fn check_convergence(path: &str, violations: &mut Vec<String>) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            violations.push(format!("cannot read baseline {path}: {e}"));
+            return;
+        }
+    };
+    let bench: Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            violations.push(format!("baseline {path} is not valid JSON: {e}"));
+            return;
+        }
+    };
+    if bench
+        .get("schema_version")
+        .and_then(Value::as_u64)
+        .is_none_or(|v| v < 7)
+    {
+        violations.push(format!(
+            "baseline {path}: schema_version must be >= 7 for a convergence section"
+        ));
+    }
+    let Some(fixtures) = bench.get("convergence").and_then(Value::as_array) else {
+        violations.push(format!("baseline {path}: missing `convergence` array"));
+        return;
+    };
+    if fixtures.is_empty() {
+        violations.push(format!("baseline {path}: `convergence` is empty"));
+    }
+    for fixture in fixtures {
+        let tables = fixture.get("tables").and_then(Value::as_u64).unwrap_or(0);
+        let tag = format!("convergence(tables={tables})");
+        let Some(points) = fixture.get("points").and_then(Value::as_array) else {
+            violations.push(format!("{tag}: missing `points` array"));
+            continue;
+        };
+        if points.is_empty() {
+            violations.push(format!("{tag}: no checkpoints"));
+            continue;
+        }
+        let mut last_iter = 0u64;
+        let mut last_hv = f64::NEG_INFINITY;
+        for p in points {
+            let iter = p.get("iteration").and_then(Value::as_u64).unwrap_or(0);
+            if iter <= last_iter && last_iter != 0 {
+                violations.push(format!(
+                    "{tag}: iteration marks not strictly increasing at {iter}"
+                ));
+            }
+            last_iter = iter;
+            let hv = p
+                .get("hypervolume")
+                .and_then(Value::as_f64)
+                .unwrap_or(f64::NAN);
+            if hv.is_nan() || hv < 0.0 {
+                violations.push(format!("{tag} @{iter}: hypervolume {hv} is not >= 0"));
+            }
+            if hv < last_hv {
+                violations.push(format!(
+                    "{tag} @{iter}: hypervolume regressed ({hv} < {last_hv}) — \
+                     the anytime curve must be nondecreasing"
+                ));
+            }
+            last_hv = hv;
+            if p.get("frontier_size").and_then(Value::as_u64).is_none() {
+                violations.push(format!("{tag} @{iter}: missing u64 `frontier_size`"));
+            }
+            if p.get("elapsed_ms").and_then(Value::as_f64).is_none() {
+                violations.push(format!("{tag} @{iter}: missing `elapsed_ms`"));
+            }
+        }
+        let final_hv = fixture
+            .get("final_hypervolume")
+            .and_then(Value::as_f64)
+            .unwrap_or(f64::NAN);
+        if final_hv != last_hv {
+            violations.push(format!(
+                "{tag}: final_hypervolume {final_hv} != last checkpoint {last_hv}"
+            ));
+        }
+    }
+}
 
 /// Schema version `ObsSnapshot::to_json` emits (see `moqo-obs`).
 const OBS_SCHEMA: u64 = 1;
@@ -24,6 +203,9 @@ fn main() {
     let mut path = None;
     let mut required: Vec<String> = Vec::new();
     let mut events_min: u64 = 0;
+    let mut trace_path: Option<String> = None;
+    let mut spans_min: u64 = 1;
+    let mut convergence_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |what: &str| {
@@ -40,8 +222,19 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--trace" => trace_path = Some(take("--trace")),
+            "--spans-min" => {
+                spans_min = take("--spans-min").parse().unwrap_or_else(|_| {
+                    eprintln!("--spans-min must be a number");
+                    std::process::exit(2);
+                })
+            }
+            "--convergence" => convergence_path = Some(take("--convergence")),
             "--help" | "-h" => {
-                println!("usage: obs_check FILE [--require COUNTER]... [--events-min N]");
+                println!(
+                    "usage: obs_check FILE [--require COUNTER]... [--events-min N] \
+                     [--trace TRACE.json] [--spans-min N] [--convergence BENCH.json]"
+                );
                 return;
             }
             other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
@@ -127,9 +320,30 @@ fn main() {
         }
     }
 
+    if let Some(trace) = &trace_path {
+        check_trace(trace, spans_min, &mut violations);
+    }
+    if let Some(bench) = &convergence_path {
+        check_convergence(bench, &mut violations);
+    }
+
     if violations.is_empty() {
         let n_counters = counters.map_or(0, |c| c.len());
-        eprintln!("obs_check: OK — {path} valid ({n_counters} counters)");
+        let extras = [
+            trace_path.as_deref().map(|t| format!("trace {t}")),
+            convergence_path
+                .as_deref()
+                .map(|b| format!("convergence {b}")),
+        ]
+        .into_iter()
+        .flatten()
+        .collect::<Vec<_>>()
+        .join(", ");
+        if extras.is_empty() {
+            eprintln!("obs_check: OK — {path} valid ({n_counters} counters)");
+        } else {
+            eprintln!("obs_check: OK — {path} valid ({n_counters} counters); {extras}");
+        }
     } else {
         eprintln!("obs_check: {} violation(s) in {path}:", violations.len());
         for v in &violations {

@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::cost::CostVector;
 use crate::plan::PlanRef;
 
 /// A stopping criterion for [`drive`].
@@ -213,6 +214,34 @@ impl ClaimCounter {
     }
 }
 
+/// One anytime-convergence checkpoint: a deterministic snapshot of the
+/// result frontier taken inside the optimizer's iterate loop at
+/// exponentially spaced iteration marks (1, 2, 4, 8, ...).
+///
+/// The checkpoint stores the frontier's **cost vectors**, not a quality
+/// scalar: quality measures like the hypervolume depend on a reference
+/// point that only the consumer knows (`moqo-metrics` computes them, and
+/// `moqo-core` cannot depend on it). Everything except `elapsed` is
+/// bit-for-bit reproducible for a fixed seed — sampling consumes no
+/// randomness and never mutates optimizer state — so benchmark baselines
+/// can gate on iterations, frontier sizes, and costs structurally while
+/// treating the wall-clock column as timing-only.
+#[derive(Clone, Debug)]
+pub struct ConvergencePoint {
+    /// Completed iterations when the checkpoint was taken (1-based).
+    pub iteration: u64,
+    /// Wall-clock time since the optimizer was created (timing-only; not
+    /// deterministic).
+    pub elapsed: Duration,
+    /// Last exchange epoch observed by the sampling thread (0 when the
+    /// optimizer runs outside an exchange).
+    pub epoch: u64,
+    /// Number of plans on the result frontier.
+    pub frontier_size: usize,
+    /// The frontier members' cost vectors (insertion order).
+    pub frontier_costs: Vec<CostVector>,
+}
+
 /// An anytime multi-objective query optimizer.
 pub trait Optimizer {
     /// Short display name (e.g. `"RMQ"`, `"NSGA-II"`, `"DP(2)"`).
@@ -270,6 +299,19 @@ pub trait PlanExchange: Optimizer + Send {
     fn set_effective_fan_out(&mut self, workers: usize) {
         let _ = workers;
     }
+
+    /// The anytime-convergence checkpoints recorded so far (oldest first;
+    /// implementations keep a bounded ring). Defaults to empty for
+    /// optimizers that do not sample convergence.
+    fn convergence(&self) -> Vec<ConvergencePoint> {
+        Vec::new()
+    }
+
+    /// Forces a convergence checkpoint at the current iteration (a
+    /// "final" sample so quality-over-time curves end at the frontier the
+    /// caller actually received). No-op by default and for optimizers that
+    /// have not completed any iteration.
+    fn sample_convergence_now(&mut self) {}
 }
 
 /// Observer notified after every optimizer step. The `frontier` closure

@@ -384,6 +384,11 @@ impl<P> ParetoSet<P> {
         &self.plans
     }
 
+    /// The members' cost vectors, parallel to [`ParetoSet::plans`].
+    pub fn costs(&self) -> impl Iterator<Item = &CostVector> + '_ {
+        self.meta.iter().map(|m| &m.cost)
+    }
+
     /// Number of members.
     #[inline]
     pub fn len(&self) -> usize {

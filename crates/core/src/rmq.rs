@@ -16,6 +16,8 @@
 //! `P[q]`. The optimizer is *anytime*: it implements
 //! [`crate::optimizer::Optimizer`] and can be run under any budget.
 
+use std::time::Instant;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -29,7 +31,7 @@ use crate::frontier::{approximate_frontiers_in, FrontierScratch};
 use crate::fxhash::FxHashMap;
 use crate::model::CostModel;
 use crate::mutations::MutationSet;
-use crate::optimizer::{AbortCheck, Optimizer, PlanExchange};
+use crate::optimizer::{AbortCheck, ConvergencePoint, Optimizer, PlanExchange};
 use crate::pareto::ParetoSet;
 use crate::plan::PlanRef;
 use crate::random_plan::{random_left_deep_plan_in, random_plan_in};
@@ -168,7 +170,22 @@ pub struct Rmq<M: CostModel> {
     flushed_interns: u64,
     /// Arena dedup-hit totals already flushed, likewise.
     flushed_dedup_hits: u64,
+    /// Creation instant; anchors the `elapsed` column of convergence
+    /// checkpoints.
+    started: Instant,
+    /// Anytime-convergence checkpoints, oldest first, bounded at
+    /// [`CONVERGENCE_CAPACITY`].
+    convergence: Vec<ConvergencePoint>,
+    /// Next iteration count at which a checkpoint is due (doubles after
+    /// every sample: 1, 2, 4, 8, ...).
+    next_checkpoint: u64,
 }
+
+/// Maximum retained convergence checkpoints per optimizer instance. With
+/// exponentially spaced marks this bound is unreachable in practice (64
+/// checkpoints cover 2^63 iterations); it exists so the ring is provably
+/// bounded even if a forced sample is taken every iteration.
+pub const CONVERGENCE_CAPACITY: usize = 64;
 
 impl<M: CostModel> Rmq<M> {
     /// Creates an optimizer for `query` over `model`.
@@ -193,6 +210,9 @@ impl<M: CostModel> Rmq<M> {
             frontier_scratch: FrontierScratch::default(),
             flushed_interns: 0,
             flushed_dedup_hits: 0,
+            started: Instant::now(),
+            convergence: Vec::new(),
+            next_checkpoint: 1,
         }
     }
 
@@ -326,7 +346,51 @@ impl<M: CostModel> Rmq<M> {
         self.stats.path_lengths.push(climb_stats.steps);
         self.stats.last_alpha = admission.max_factor();
         self.flush_obs();
+        // Anytime-convergence checkpoint at exponentially spaced marks.
+        // Like `flush_obs` this is pure observation: it consumes no
+        // randomness and runs only for completed iterations, so seeded
+        // determinism and the abort contract are unaffected.
+        if self.iteration >= self.next_checkpoint {
+            self.take_convergence_sample();
+            while self.next_checkpoint <= self.iteration {
+                self.next_checkpoint = self.next_checkpoint.saturating_mul(2);
+            }
+        }
         Some(climb_stats)
+    }
+
+    /// Appends one convergence checkpoint for the current state, evicting
+    /// the oldest if the bounded ring is full. Skips exact duplicates (a
+    /// forced final sample at an iteration that just hit a mark).
+    fn take_convergence_sample(&mut self) {
+        if self
+            .convergence
+            .last()
+            .is_some_and(|p| p.iteration == self.iteration)
+        {
+            return;
+        }
+        let frontier_costs: Vec<_> = self
+            .frontier_set()
+            .map(|set| set.costs().copied().collect())
+            .unwrap_or_default();
+        if self.convergence.len() >= CONVERGENCE_CAPACITY {
+            self.convergence.remove(0);
+        }
+        self.convergence.push(ConvergencePoint {
+            iteration: self.iteration,
+            elapsed: self.started.elapsed(),
+            epoch: moqo_obs::ctx::current().epoch,
+            frontier_size: frontier_costs.len(),
+            frontier_costs,
+        });
+    }
+
+    /// The anytime-convergence checkpoints recorded so far (oldest first).
+    /// Everything except the `elapsed` column is deterministic for a fixed
+    /// seed; see [`ConvergencePoint`].
+    pub fn convergence_points(&self) -> &[ConvergencePoint] {
+        &self.convergence
     }
 
     /// Flushes this iteration's observation deltas — the climb scratch's
@@ -522,6 +586,16 @@ impl<M: CostModel + Send> PlanExchange for Rmq<M> {
         }
         out
     }
+
+    fn convergence(&self) -> Vec<ConvergencePoint> {
+        self.convergence.clone()
+    }
+
+    fn sample_convergence_now(&mut self) {
+        if self.iteration > 0 {
+            self.take_convergence_sample();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -570,6 +644,58 @@ mod tests {
         let d1: Vec<String> = f1.iter().map(|p| p.display(&m1)).collect();
         let d2: Vec<String> = f2.iter().map(|p| p.display(&m1)).collect();
         assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn convergence_checkpoints_are_exponential_and_deterministic() {
+        let sample = |seed: u64| {
+            let model = StubModel::line(6, 2, 17);
+            let mut rmq = Rmq::new(&model, TableSet::prefix(6), RmqConfig::seeded(seed));
+            for _ in 0..20 {
+                rmq.iterate();
+            }
+            rmq.sample_convergence_now();
+            rmq.convergence_points().to_vec()
+        };
+        let a = sample(9);
+        let b = sample(9);
+        // Marks are 1, 2, 4, 8, 16 plus the forced final sample at 20.
+        let iters: Vec<u64> = a.iter().map(|p| p.iteration).collect();
+        assert_eq!(iters, vec![1, 2, 4, 8, 16, 20]);
+        // Everything except the wall-clock column is bit-identical across
+        // runs with the same seed: sampling consumes no randomness.
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.iteration, y.iteration);
+            assert_eq!(x.frontier_size, y.frontier_size);
+            assert_eq!(x.frontier_costs.len(), y.frontier_costs.len());
+            for (cx, cy) in x.frontier_costs.iter().zip(&y.frontier_costs) {
+                assert_eq!(cx.as_slice(), cy.as_slice());
+            }
+        }
+        // Frontier sizes in each checkpoint match the stored cost lists.
+        for p in &a {
+            assert_eq!(p.frontier_size, p.frontier_costs.len());
+        }
+    }
+
+    #[test]
+    fn forced_convergence_sample_is_idempotent_at_marks() {
+        let model = StubModel::line(5, 2, 3);
+        let mut rmq = Rmq::new(&model, TableSet::prefix(5), RmqConfig::seeded(4));
+        // No iterations yet: forcing a sample records nothing.
+        rmq.sample_convergence_now();
+        assert!(rmq.convergence_points().is_empty());
+        for _ in 0..4 {
+            rmq.iterate();
+        }
+        // Iteration 4 is a mark, so the forced sample is a duplicate and
+        // must be skipped.
+        let before = rmq.convergence_points().len();
+        rmq.sample_convergence_now();
+        rmq.sample_convergence_now();
+        assert_eq!(rmq.convergence_points().len(), before);
+        assert_eq!(rmq.convergence_points().last().unwrap().iteration, 4);
     }
 
     #[test]

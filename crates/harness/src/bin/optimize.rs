@@ -14,6 +14,8 @@
 //!   --scatter          also draw the ASCII frontier scatter plot
 //!   --trace            enable the observability journal; print the event
 //!                      tail and counter dump after the run
+//!   --trace-out FILE   record causal spans and write them as Chrome
+//!                      trace-event JSON (load in Perfetto / chrome://tracing)
 //! ```
 //!
 //! Example catalog file:
@@ -55,13 +57,14 @@ struct Options {
     bounds: Vec<(usize, f64)>,
     scatter: bool,
     trace: bool,
+    trace_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: optimize [--catalog FILE] [--model resource|cloud|aqp|energy] \
          [--metrics time,buffer,disk] [--budget-ms N] [--parallel N] [--seed N] \
-         [--weights w0,w1,..] [--bound K=V]... [--scatter] [--trace]"
+         [--weights w0,w1,..] [--bound K=V]... [--scatter] [--trace] [--trace-out FILE]"
     );
     exit(2)
 }
@@ -83,6 +86,7 @@ fn parse_args() -> Options {
         bounds: Vec::new(),
         scatter: false,
         trace: false,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -136,6 +140,7 @@ fn parse_args() -> Options {
             }
             "--scatter" => opts.scatter = true,
             "--trace" => opts.trace = true,
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")),
             "--help" | "-h" => usage(),
             other => fail(&format!("unknown argument '{other}'")),
         }
@@ -163,7 +168,13 @@ fn load_catalog(opts: &Options) -> Arc<Catalog> {
 }
 
 fn optimize_and_report<M: CostModel + Clone + Send + 'static>(model: &M, opts: &Options) {
+    use moqo_obs::spans;
     let query = moqo_core::TableSet::prefix(model.num_tables());
+    // Root the whole run in one Session span: fanned-out climb batches
+    // inherit it as their parent through the ambient span the executor
+    // propagates across worker threads and steals.
+    let mut session = spans::begin(spans::SpanKind::Session, spans::SpanId::NONE);
+    let prev = session.as_ref().map(|s| spans::set_current(s.id()));
     let mut frontier: Vec<PlanRef> = if opts.parallel > 1 {
         // Intra-query fan-out: each climb batch owns a model clone (cheap
         // — the catalog inside is Arc-shared) so batches can run on the
@@ -196,6 +207,13 @@ fn optimize_and_report<M: CostModel + Clone + Send + 'static>(model: &M, opts: &
         );
         rmq.frontier()
     };
+    if let Some(prev) = prev {
+        spans::set_current(prev);
+    }
+    if let Some(s) = session.as_mut() {
+        s.set_arg(frontier.len() as u64);
+    }
+    spans::finish(session);
     frontier.sort_by(|a, b| a.cost()[0].total_cmp(&b.cost()[0]));
     println!("{}", frontier_table(&frontier, model));
     if opts.scatter && model.dim() >= 2 {
@@ -263,10 +281,27 @@ fn report_trace() {
     }
 }
 
+/// Drains the span ring and writes it as Chrome trace-event JSON.
+fn write_trace(path: &str) {
+    use moqo_obs::spans;
+    spans::disable();
+    let records = spans::drain();
+    let json = spans::to_chrome_trace(&records);
+    std::fs::write(path, json)
+        .unwrap_or_else(|e| fail(&format!("cannot write trace to {path}: {e}")));
+    println!(
+        "\nwrote {} span(s) to {path} (Chrome trace-event JSON)",
+        records.len()
+    );
+}
+
 fn main() {
     let opts = parse_args();
     if opts.trace {
         moqo_obs::journal::enable_all(moqo_obs::journal::Level::Debug);
+    }
+    if opts.trace_out.is_some() {
+        moqo_obs::spans::enable();
     }
     let catalog = load_catalog(&opts);
     println!("{catalog}");
@@ -282,5 +317,8 @@ fn main() {
     }
     if opts.trace {
         report_trace();
+    }
+    if let Some(path) = &opts.trace_out {
+        write_trace(path);
     }
 }

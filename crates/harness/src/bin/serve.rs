@@ -23,11 +23,19 @@
 //!   --obs-json PATH    enable the observability journal and periodically
 //!                      flush JSON telemetry snapshots to PATH (plus one
 //!                      final flush before exit)
+//!   --trace-out PATH   record causal spans (sessions, slices, climb
+//!                      batches, exchanges, cache lookups) and write them
+//!                      as Chrome trace-event JSON on exit
+//!   --slo-ttff-ms N    SLO target: p99 time-to-first-frontier (ms)
+//!   --slo-queue-ms N   SLO target: p99 queueing delay (ms)
+//!   --slo-shed N       SLO target: shed rate (rejected per mille offered)
 //! ```
 //!
 //! Prints one line per session (steps, frontier size, warm-start plans,
 //! time to first frontier) and a closing service summary: throughput,
-//! p50/p99 time-to-first-frontier, and the cross-query cache hit rate.
+//! p50/p99 time-to-first-frontier, time-to-90%-of-final-hypervolume, the
+//! cross-query cache hit rate, and — when any `--slo-*` target is set —
+//! the SLO verdict.
 
 use std::process::exit;
 use std::sync::Arc;
@@ -42,7 +50,7 @@ use moqo_cost::{ResourceCostModel, ResourceMetric};
 use moqo_parallel::{ParRmq, ParRmqConfig};
 use moqo_service::{
     context_fingerprint, OptimizationService, PlanExchange, ServiceConfig, SessionHandle,
-    SessionRequest,
+    SessionRequest, SloConfig, SLO_BIT_QUEUE_DELAY, SLO_BIT_SHED, SLO_BIT_TTFF,
 };
 use moqo_workload::{GraphShape, SelectivityMethod, TrafficSpec};
 
@@ -62,6 +70,8 @@ struct Options {
     eps: Option<f64>,
     seed: u64,
     obs_json: Option<String>,
+    trace_out: Option<String>,
+    slo: SloConfig,
 }
 
 fn usage() -> ! {
@@ -69,7 +79,8 @@ fn usage() -> ! {
         "usage: serve [--sessions N] [--waves K] [--workers W] [--tables T] \
          [--min-tables N] [--max-tables N] [--budget-ms MS] [--iters N] \
          [--fan-out W] [--fan-out-every K] [--eps FACTOR] [--seed S] \
-         [--obs-json PATH]"
+         [--obs-json PATH] [--trace-out PATH] [--slo-ttff-ms N] \
+         [--slo-queue-ms N] [--slo-shed N]"
     );
     exit(2)
 }
@@ -89,6 +100,8 @@ fn parse_args() -> Options {
         eps: None,
         seed: 42,
         obs_json: None,
+        trace_out: None,
+        slo: SloConfig::default(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -135,6 +148,22 @@ fn parse_args() -> Options {
             }
             "--seed" => opts.seed = parsed("--seed", value("--seed")),
             "--obs-json" => opts.obs_json = Some(value("--obs-json")),
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")),
+            "--slo-ttff-ms" => {
+                opts.slo.ttff_p99 = Some(Duration::from_millis(parsed(
+                    "--slo-ttff-ms",
+                    value("--slo-ttff-ms"),
+                )))
+            }
+            "--slo-queue-ms" => {
+                opts.slo.queue_delay_p99 = Some(Duration::from_millis(parsed(
+                    "--slo-queue-ms",
+                    value("--slo-queue-ms"),
+                )))
+            }
+            "--slo-shed" => {
+                opts.slo.shed_per_mille = Some(parsed("--slo-shed", value("--slo-shed")))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -195,6 +224,9 @@ impl ObsFlusher {
 
 fn main() {
     let opts = parse_args();
+    if opts.trace_out.is_some() {
+        moqo_obs::spans::enable();
+    }
     let flusher = opts.obs_json.as_ref().map(|path| {
         // Structured events feed the flushed snapshots; Info keeps the
         // ring to session-lifecycle and exchange-progress events.
@@ -237,6 +269,7 @@ fn main() {
     let wave_size = opts.sessions.div_ceil(opts.waves);
     let mut config = ServiceConfig {
         workers: opts.workers,
+        slo: opts.slo,
         ..ServiceConfig::default()
     };
     // A whole wave is submitted before waiting, so admission must have
@@ -315,6 +348,25 @@ fn main() {
     println!("  ttff p99        {}", fmt_ms(stats.ttff_p99));
     println!("  queue delay p50 {}", fmt_ms(stats.queue_delay_p50));
     println!("  queue delay p99 {}", fmt_ms(stats.queue_delay_p99));
+    println!("  tt90 p50        {}", fmt_ms(stats.tt90_p50));
+    println!("  tt90 p99        {}", fmt_ms(stats.tt90_p99));
+    if opts.slo.is_enabled() {
+        if stats.slo_breached == 0 {
+            println!("  slo             ok (all targets holding)");
+        } else {
+            let mut breached = Vec::new();
+            if stats.slo_breached & SLO_BIT_TTFF != 0 {
+                breached.push("ttff p99");
+            }
+            if stats.slo_breached & SLO_BIT_QUEUE_DELAY != 0 {
+                breached.push("queue delay p99");
+            }
+            if stats.slo_breached & SLO_BIT_SHED != 0 {
+                breached.push("shed rate");
+            }
+            println!("  slo             BREACHED: {}", breached.join(", "));
+        }
+    }
     // Executor and adaptive-exchange visibility: climb batches executed,
     // how many ran on a worker other than their session's (steals +
     // donations), and where the exchange backoff sits now.
@@ -342,6 +394,17 @@ fn main() {
     );
     if let Some(flusher) = flusher {
         flusher.finish();
+    }
+    if let Some(path) = &opts.trace_out {
+        use moqo_obs::spans;
+        spans::disable();
+        let records = spans::drain();
+        let json = spans::to_chrome_trace(&records);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write trace to {path}: {e}");
+            exit(1);
+        }
+        println!("  trace json      {path} ({} spans)", records.len());
     }
 }
 

@@ -33,6 +33,99 @@ pub fn hypervolume(points: &[CostVector], reference: &CostVector) -> f64 {
     hv_rec(&clamped, reference.as_slice())
 }
 
+/// An incremental hypervolume tracker: feeds a stream of cost vectors,
+/// maintains only the non-dominated survivors, and recomputes the
+/// hypervolume lazily — and only when an insertion actually changed the
+/// frontier. This is the shape convergence telemetry needs: checkpoints
+/// ask for the hypervolume many times, but between checkpoints most
+/// candidate points are dominated and cost one screening pass, no
+/// recompute.
+#[derive(Clone, Debug)]
+pub struct HvTracker {
+    reference: CostVector,
+    frontier: Vec<CostVector>,
+    cached: f64,
+    dirty: bool,
+}
+
+impl HvTracker {
+    /// A tracker with the given reference point (worse than every point it
+    /// will see, in every metric).
+    pub fn new(reference: CostVector) -> Self {
+        HvTracker {
+            reference,
+            frontier: Vec::new(),
+            cached: 0.0,
+            dirty: false,
+        }
+    }
+
+    /// Offers one point. Returns `true` if the frontier changed (the point
+    /// was non-dominated); dominated or duplicate points are screened out
+    /// in one pass without touching the cached volume.
+    ///
+    /// # Panics
+    /// Panics if the point's dimension differs from the reference point's.
+    pub fn insert(&mut self, point: &CostVector) -> bool {
+        assert_eq!(point.dim(), self.reference.dim());
+        if self.frontier.iter().any(|m| m.dominates(point)) {
+            return false;
+        }
+        self.frontier.retain(|m| !point.dominates(m));
+        self.frontier.push(*point);
+        self.dirty = true;
+        true
+    }
+
+    /// Offers every point in `points`; returns how many changed the
+    /// frontier.
+    pub fn insert_all(&mut self, points: &[CostVector]) -> usize {
+        points.iter().filter(|p| self.insert(p)).count()
+    }
+
+    /// The hypervolume of the current frontier, recomputed only if an
+    /// insertion changed it since the last call.
+    pub fn hypervolume(&mut self) -> f64 {
+        if self.dirty {
+            self.cached = hypervolume(&self.frontier, &self.reference);
+            self.dirty = false;
+        }
+        self.cached
+    }
+
+    /// Current non-dominated survivors (unordered).
+    pub fn frontier(&self) -> &[CostVector] {
+        &self.frontier
+    }
+
+    /// Number of non-dominated survivors.
+    pub fn len(&self) -> usize {
+        self.frontier.len()
+    }
+
+    /// Whether no point has survived yet.
+    pub fn is_empty(&self) -> bool {
+        self.frontier.is_empty()
+    }
+}
+
+/// Given a quality-over-time curve of `(instant, hypervolume)` samples
+/// with non-decreasing instants, returns the first instant at which the
+/// hypervolume reached `fraction` of the final sample's value (`None` for
+/// an empty curve or a final hypervolume of zero). This is the
+/// time-to-90%-of-final-hypervolume statistic when called with 0.9.
+pub fn time_to_fraction(curve: &[(f64, f64)], fraction: f64) -> Option<f64> {
+    let (_, last) = curve.last()?;
+    if *last <= 0.0 {
+        return None;
+    }
+    let threshold = last * fraction;
+    curve
+        .iter()
+        .find(|(_, hv)| *hv >= threshold)
+        .map(|(t, _)| *t)
+}
+
 fn hv_rec(points: &[Vec<f64>], reference: &[f64]) -> f64 {
     let dim = reference.len();
     match dim {
@@ -136,6 +229,53 @@ mod tests {
             &cv(&[3.0, 3.0, 3.0]),
         );
         assert!((hv - 8.5).abs() < 1e-9, "hv = {hv}");
+    }
+
+    #[test]
+    fn tracker_matches_batch_hypervolume() {
+        let reference = cv(&[10.0, 10.0]);
+        let stream = [
+            cv(&[5.0, 5.0]),
+            cv(&[6.0, 6.0]), // dominated
+            cv(&[2.0, 8.0]),
+            cv(&[5.0, 5.0]), // duplicate
+            cv(&[8.0, 2.0]),
+            cv(&[1.0, 1.0]), // dominates everything so far
+        ];
+        let mut tracker = HvTracker::new(reference);
+        assert!(tracker.is_empty());
+        assert_eq!(tracker.hypervolume(), 0.0);
+        let mut changes = 0;
+        for p in &stream {
+            if tracker.insert(p) {
+                changes += 1;
+            }
+            let recomputed = hypervolume(tracker.frontier(), &reference);
+            assert!((tracker.hypervolume() - recomputed).abs() < 1e-12);
+        }
+        assert_eq!(changes, 4, "two offers were screened out");
+        assert_eq!(tracker.len(), 1, "the last point dominates the rest");
+        let batch = hypervolume(&stream, &reference);
+        assert!((tracker.hypervolume() - batch).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_insert_all_counts_survivors() {
+        let mut tracker = HvTracker::new(cv(&[4.0, 4.0]));
+        let n = tracker.insert_all(&[cv(&[1.0, 3.0]), cv(&[2.0, 1.0]), cv(&[3.0, 3.0])]);
+        assert_eq!(n, 2);
+        assert_eq!(tracker.len(), 2);
+        assert!((tracker.hypervolume() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_to_fraction_finds_first_crossing() {
+        let curve = [(1.0, 0.0), (2.0, 5.0), (4.0, 9.5), (8.0, 10.0)];
+        assert_eq!(time_to_fraction(&curve, 0.9), Some(4.0));
+        assert_eq!(time_to_fraction(&curve, 0.5), Some(2.0));
+        assert_eq!(time_to_fraction(&curve, 1.0), Some(8.0));
+        assert_eq!(time_to_fraction(&[], 0.9), None);
+        assert_eq!(time_to_fraction(&[(1.0, 0.0)], 0.9), None);
     }
 
     proptest! {

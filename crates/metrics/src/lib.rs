@@ -6,7 +6,7 @@
 //! of Zitzler & Thiele with `α = 1 + ε`. This crate implements:
 //!
 //! * [`epsilon`] — the indicator itself plus exact Pareto filtering;
-//! * [`hypervolume`] — the hypervolume indicator (extension; a second
+//! * [`hypervolume`](mod@hypervolume) — the hypervolume indicator (extension; a second
 //!   standard frontier-quality measure used for cross-checks);
 //! * [`reference`](mod@reference) — reference-frontier construction (union of all
 //!   algorithms' outputs, or an exact frontier for small queries);
@@ -28,6 +28,7 @@ pub mod trajectory;
 pub mod viz;
 
 pub use epsilon::{epsilon_indicator, pareto_filter};
+pub use hypervolume::{hypervolume, time_to_fraction, HvTracker};
 pub use preferences::{Preferences, SelectionError};
 pub use reference::ReferenceFrontier;
 pub use trajectory::{checkpoints, Trajectory, TrajectoryRecorder};

@@ -7,13 +7,14 @@
 //! mask and the minimum severity into one `AtomicU32`, so
 //! [`enabled`] is a single load plus two integer tests, and the
 //! event-construction closure passed to [`emit_with`] only runs when the
-//! site is live. Enabled events go into a global ring of
-//! [`JOURNAL_CAPACITY`] entries; when full, the oldest event is
-//! overwritten (sequence numbers expose the gap).
+//! site is live. Enabled events go into a global ring of [`capacity`]
+//! entries ([`JOURNAL_CAPACITY`] by default, overridable at runtime via
+//! [`set_capacity`] or `MOQO_JOURNAL_CAPACITY`); when full, the oldest
+//! event is overwritten (sequence numbers expose the gap).
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::ctx::{self, Ctx};
@@ -385,8 +386,13 @@ impl Event {
     }
 }
 
-/// Ring capacity: events retained between drains.
+/// Default ring capacity: events retained between drains. Override at
+/// runtime with [`set_capacity`] or the `MOQO_JOURNAL_CAPACITY`
+/// environment variable; the default keeps the fixed-size fast path.
 pub const JOURNAL_CAPACITY: usize = 1024;
+
+/// Effective ring capacity; 0 means "not yet resolved" (env or default).
+static CAPACITY: AtomicUsize = AtomicUsize::new(0);
 
 /// Packed filter: low 16 bits are the target mask, bits 16.. hold the
 /// minimum level. Zero (empty mask) disables everything — the default.
@@ -447,6 +453,35 @@ pub fn emit_with(target: Target, level: Level, kind: impl FnOnce() -> EventKind)
     record(target, level, kind());
 }
 
+/// The effective ring capacity: the last [`set_capacity`] value, else
+/// `MOQO_JOURNAL_CAPACITY`, else [`JOURNAL_CAPACITY`]. Only consulted on
+/// the (cold) enabled recording path — the disabled fast path never reads
+/// it.
+pub fn capacity() -> usize {
+    let cap = CAPACITY.load(Ordering::Relaxed);
+    if cap != 0 {
+        return cap;
+    }
+    let cap = std::env::var("MOQO_JOURNAL_CAPACITY")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(JOURNAL_CAPACITY);
+    CAPACITY.store(cap, Ordering::Relaxed);
+    cap
+}
+
+/// Overrides the ring capacity (clamped to at least 1) and trims the ring
+/// if it already holds more than the new bound.
+pub fn set_capacity(events: usize) {
+    let cap = events.max(1);
+    CAPACITY.store(cap, Ordering::Relaxed);
+    let mut ring = RING.lock().unwrap();
+    while ring.len() > cap {
+        ring.pop_front();
+    }
+}
+
 #[cold]
 fn record(target: Target, level: Level, kind: EventKind) {
     let event = Event {
@@ -457,7 +492,7 @@ fn record(target: Target, level: Level, kind: EventKind) {
         kind,
     };
     let mut ring = RING.lock().unwrap();
-    if ring.len() >= JOURNAL_CAPACITY {
+    if ring.len() >= capacity() {
         ring.pop_front();
     }
     ring.push_back(event);
@@ -553,6 +588,25 @@ mod tests {
         for pair in evs.windows(2) {
             assert!(pair[0].seq < pair[1].seq);
         }
+    }
+
+    #[test]
+    fn capacity_is_runtime_configurable() {
+        let _guard = journal_lock();
+        enable(&[Target::Cache], Level::Debug);
+        drain();
+        set_capacity(4);
+        assert_eq!(capacity(), 4);
+        for _ in 0..10 {
+            emit_with(Target::Cache, Level::Debug, || EventKind::Note("y"));
+        }
+        let evs = drain();
+        // Restore the default before releasing the lock so sibling tests
+        // see the documented fixed-size behavior.
+        set_capacity(JOURNAL_CAPACITY);
+        disable();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(capacity(), JOURNAL_CAPACITY);
     }
 
     #[test]

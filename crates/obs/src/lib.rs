@@ -24,6 +24,11 @@
 //!   capture of every registered metric plus the journal tail,
 //!   serializable to JSON (hand-rolled, no dependencies) or a plain-text
 //!   exposition dump.
+//! * [`mod@spans`] — causal span tracing: begin/end records for session
+//!   slices, climb batches, exchange operations, and cache lookups, with
+//!   parent links that survive work stealing, exportable as Chrome
+//!   trace-event JSON (Perfetto-loadable). Same disabled-path discipline
+//!   as the journal: one relaxed load per site when off.
 //!
 //! ## Overhead contract
 //!
@@ -55,8 +60,10 @@ pub mod ctx;
 pub mod journal;
 pub mod metrics;
 pub mod snapshot;
+pub mod spans;
 
 pub use ctx::Ctx;
 pub use journal::{Event, EventKind, Level, Target};
 pub use metrics::{metrics, Counter, Histogram, HistogramSnapshot, Metrics, ShardedCounter};
 pub use snapshot::ObsSnapshot;
+pub use spans::{SpanId, SpanKind, SpanRecord};

@@ -152,9 +152,10 @@ pub const HISTOGRAM_BUCKETS: usize = 44;
 
 /// A fixed-bucket histogram with power-of-two bucket boundaries: bucket
 /// `i` holds values in `[2^(i-1), 2^i)` (bucket 0 holds zero). Recording
-/// costs four relaxed atomic ops and never allocates; quantiles are
-/// approximate (reported as the bucket's upper bound), which is plenty for
-/// latency distributions spanning orders of magnitude.
+/// costs four relaxed atomic ops and never allocates; quantiles linearly
+/// interpolate inside the containing bucket (assuming its mass is evenly
+/// spread), which keeps microsecond-scale percentiles honest even though
+/// bucket widths double.
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
@@ -172,11 +173,11 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Largest recorded value (0 when empty).
     pub max: u64,
-    /// Approximate median (bucket upper bound; 0 when empty).
+    /// Approximate median (sub-bucket linear interpolation; 0 when empty).
     pub p50: u64,
-    /// Approximate 90th percentile.
+    /// Approximate 90th percentile (interpolated).
     pub p90: u64,
-    /// Approximate 99th percentile.
+    /// Approximate 99th percentile (interpolated).
     pub p99: u64,
 }
 
@@ -252,12 +253,22 @@ impl Histogram {
             let target = ((q * count as f64).ceil() as u64).clamp(1, count);
             let mut seen = 0u64;
             for (i, &n) in buckets.iter().enumerate() {
-                seen += n;
-                if seen >= target {
-                    // The true value never exceeds the observed max, which
-                    // tightens the last occupied bucket's upper bound.
-                    return bucket_upper(i).min(max);
+                if n == 0 {
+                    continue;
                 }
+                if seen + n >= target {
+                    // Linear interpolation inside the containing bucket,
+                    // assuming its `n` values spread evenly over the
+                    // bucket range. The observed max tightens the last
+                    // occupied bucket's upper bound.
+                    let lower = if i == 0 { 0 } else { bucket_upper(i - 1) + 1 };
+                    let upper = bucket_upper(i).min(max);
+                    let lower = lower.min(upper);
+                    let need = target - seen; // in 1..=n
+                    let width = (upper - lower) as f64;
+                    return lower + (width * need as f64 / n as f64).round() as u64;
+                }
+                seen += n;
             }
             max
         };
@@ -358,6 +369,24 @@ pub struct Metrics {
     pub cache_hits: Counter,
     /// Cross-query cache lookups that returned nothing.
     pub cache_misses: Counter,
+    /// Span records pushed into the tracing ring (spans and instants).
+    pub spans_recorded: Counter,
+    /// Span records evicted because the tracing ring was full.
+    pub spans_dropped: Counter,
+    /// Observed p99 time-to-first-frontier of the SLO monitor's sliding
+    /// window, microseconds (0 until the monitor has samples).
+    pub slo_ttff_p99_us: Gauge,
+    /// Observed p99 queue delay of the SLO monitor's sliding window,
+    /// microseconds.
+    pub slo_queue_p99_us: Gauge,
+    /// Observed shed (rejection) rate of the SLO monitor, per mille of
+    /// submissions.
+    pub slo_shed_per_mille: Gauge,
+    /// Bitmask of currently breached SLO targets (bit 0 = TTFF, bit 1 =
+    /// queue delay, bit 2 = shed rate); 0 when all targets hold.
+    pub slo_breached: Gauge,
+    /// Transitions of any SLO target from holding to breached.
+    pub slo_breaches: Counter,
     /// Executed physical plans.
     pub exec_runs: Counter,
     /// Tuples processed by execution engine operators.
@@ -415,6 +444,13 @@ impl Metrics {
             service_cancelled: Counter::new(),
             cache_hits: Counter::new(),
             cache_misses: Counter::new(),
+            spans_recorded: Counter::new(),
+            spans_dropped: Counter::new(),
+            slo_ttff_p99_us: Gauge::new(),
+            slo_queue_p99_us: Gauge::new(),
+            slo_shed_per_mille: Gauge::new(),
+            slo_breached: Gauge::new(),
+            slo_breaches: Counter::new(),
             exec_runs: Counter::new(),
             exec_tuples: Counter::new(),
             exec_spilled_rows: Counter::new(),
@@ -476,6 +512,13 @@ impl Metrics {
             ("service.cancelled", self.service_cancelled.get()),
             ("cache.hits", self.cache_hits.get()),
             ("cache.misses", self.cache_misses.get()),
+            ("spans.recorded", self.spans_recorded.get()),
+            ("spans.dropped", self.spans_dropped.get()),
+            ("slo.ttff_p99_us", self.slo_ttff_p99_us.get()),
+            ("slo.queue_p99_us", self.slo_queue_p99_us.get()),
+            ("slo.shed_per_mille", self.slo_shed_per_mille.get()),
+            ("slo.breached", self.slo_breached.get()),
+            ("slo.breaches", self.slo_breaches.get()),
             ("exec.runs", self.exec_runs.get()),
             ("exec.tuples", self.exec_tuples.get()),
             ("exec.spilled_rows", self.exec_spilled_rows.get()),
@@ -565,9 +608,9 @@ mod tests {
         assert_eq!(snap.count, 7);
         assert_eq!(snap.sum, 1_001_106);
         assert_eq!(snap.max, 1_000_000);
-        // p50 falls in the bucket containing 3 → upper bound 3.
+        // p50 falls in the bucket containing {2, 3} → interpolates to 3.
         assert_eq!(snap.p50, 3);
-        // Quantiles are bucket upper bounds, tightened by the max.
+        // Quantiles interpolate within their bucket, tightened by the max.
         assert!(snap.p99 >= 1000 && snap.p99 <= 1_000_000);
         assert!(snap.mean() > 0.0);
     }
@@ -579,9 +622,39 @@ mod tests {
             h.record(700);
         }
         let snap = h.snapshot();
-        assert_eq!(snap.p50, 700);
-        assert_eq!(snap.p99, 700);
+        // All mass sits in bucket [512, 1023], whose upper bound the max
+        // tightens to 700; interpolation stays inside [512, 700].
+        assert!(snap.p50 >= 512 && snap.p50 <= 700);
+        assert!(snap.p99 >= snap.p50 && snap.p99 <= 700);
         assert_eq!(snap.max, 700);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate_within_buckets() {
+        // Known distribution: 1..=1000 uniformly. Pure bucket upper
+        // bounds would report p50 = 511 and p90 = 1000; sub-bucket
+        // interpolation must land near the true percentiles.
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert!(
+            (498..=502).contains(&snap.p50),
+            "p50 {} not near 500",
+            snap.p50
+        );
+        assert!(
+            (895..=905).contains(&snap.p90),
+            "p90 {} not near 900",
+            snap.p90
+        );
+        assert!(
+            (985..=1000).contains(&snap.p99),
+            "p99 {} not near 990",
+            snap.p99
+        );
+        assert!(snap.p50 <= snap.p90 && snap.p90 <= snap.p99);
     }
 
     #[test]
@@ -620,6 +693,13 @@ mod tests {
         assert!(names.contains(&"exec_pool.donations"));
         assert!(names.contains(&"service.rejected_queue_full"));
         assert!(names.contains(&"exec.tuples"));
+        assert!(names.contains(&"spans.recorded"));
+        assert!(names.contains(&"spans.dropped"));
+        assert!(names.contains(&"slo.ttff_p99_us"));
+        assert!(names.contains(&"slo.queue_p99_us"));
+        assert!(names.contains(&"slo.shed_per_mille"));
+        assert!(names.contains(&"slo.breached"));
+        assert!(names.contains(&"slo.breaches"));
         let hists: Vec<&str> = metrics().histograms().iter().map(|(n, _)| *n).collect();
         assert!(hists.contains(&"service.queue_delay_us"));
         assert!(hists.contains(&"exchange.mutex_wait_ns"));

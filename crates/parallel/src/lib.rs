@@ -111,11 +111,14 @@ use std::time::{Duration, Instant};
 
 use moqo_core::archive::Admission;
 use moqo_core::model::CostModel;
-use moqo_core::optimizer::{AbortCheck, Budget, ClaimCounter, Optimizer, PlanExchange, StopFlag};
+use moqo_core::optimizer::{
+    AbortCheck, Budget, ClaimCounter, ConvergencePoint, Optimizer, PlanExchange, StopFlag,
+};
 use moqo_core::pareto::ParetoSet;
 use moqo_core::plan::PlanRef;
 use moqo_core::rmq::{Rmq, RmqConfig};
 use moqo_core::tables::TableSet;
+use moqo_obs::spans::{self, SpanId, SpanKind};
 
 /// Configuration of the parallel optimizer.
 #[derive(Clone, Copy, Debug)]
@@ -293,12 +296,31 @@ fn run_chunk<M: CostModel>(
 
 /// One full exchange: publish the query frontier and the sub-query
 /// (partial-plan) frontiers, feed the merge outcome to the adaptive
-/// period, then absorb whatever the rest of the run published.
+/// period, then absorb whatever the rest of the run published. Both halves
+/// are traced as spans (publish arg = plans merged, absorb arg = plans
+/// absorbed), parented to the ambient batch/session span.
 fn exchange_point<M: CostModel>(worker: &mut Worker<M>, ex: &ExchangeCtx<'_>) {
-    let merged = publish_frontier(worker, ex.shared) + publish_partials(worker, ex);
-    ex.adaptive.on_publish(merged);
+    publish_point(worker, ex);
+    let mut span = spans::begin(SpanKind::ExchangeAbsorb, SpanId::NONE);
+    let before = worker.absorbed;
     absorb_global(worker, ex.shared);
     absorb_partials(worker, ex);
+    if let Some(s) = span.as_mut() {
+        s.set_arg(worker.absorbed - before);
+    }
+    spans::finish(span);
+}
+
+/// One publish half (periodic or final flush): offer the query and
+/// sub-query frontiers, feed the merge outcome to the adaptive period.
+fn publish_point<M: CostModel>(worker: &Worker<M>, ex: &ExchangeCtx<'_>) {
+    let mut span = spans::begin(SpanKind::ExchangePublish, SpanId::NONE);
+    let merged = publish_frontier(worker, ex.shared) + publish_partials(worker, ex);
+    if let Some(s) = span.as_mut() {
+        s.set_arg(merged as u64);
+    }
+    spans::finish(span);
+    ex.adaptive.on_publish(merged);
 }
 
 fn publish_frontier<M: CostModel>(worker: &Worker<M>, shared: &SharedFrontier) -> usize {
@@ -370,11 +392,21 @@ fn run_worker<M: CostModel>(
     mut plan: WorkPlan,
     exchange: Option<&ExchangeCtx<'_>>,
 ) -> u64 {
+    let mut span = spans::begin(SpanKind::Batch, SpanId::NONE);
+    // Make the batch span ambient so exchange spans inside the chunk
+    // parent to it (restored below; elided entirely when tracing is off).
+    let prev = span.as_ref().map(|s| spans::set_current(s.id()));
     let (done, _) = run_chunk(worker, &mut plan, u64::MAX, exchange);
     if let Some(ex) = exchange {
-        let merged = publish_frontier(worker, ex.shared) + publish_partials(worker, ex);
-        ex.adaptive.on_publish(merged);
+        publish_point(worker, ex);
     }
+    if let Some(prev) = prev {
+        spans::set_current(prev);
+    }
+    if let Some(s) = span.as_mut() {
+        s.set_arg(done);
+    }
+    spans::finish(span);
     done
 }
 
@@ -512,6 +544,9 @@ impl<M: CostModel + Clone + Send + 'static> ParRmq<M> {
         let shared = Arc::clone(&self.shared);
         let adaptive = Arc::clone(&self.adaptive);
         let query = self.query;
+        // Scoped threads start with an empty ambient span; hand them the
+        // caller's so their batch spans parent to the enclosing session.
+        let parent_span = spans::current();
         std::thread::scope(|s| {
             let handles: Vec<_> = self
                 .workers
@@ -526,6 +561,7 @@ impl<M: CostModel + Clone + Send + 'static> ParRmq<M> {
                         // Tag the thread's observability context so journal
                         // events carry the worker id (1-based; 0 = unset).
                         moqo_obs::ctx::set_worker(w as u32 + 1);
+                        spans::set_current(parent_span);
                         let ex = ExchangeCtx {
                             shared,
                             adaptive,
@@ -573,20 +609,35 @@ impl<M: CostModel + Clone + Send + 'static> ParRmq<M> {
             pool.spawn_in(&group, spec, move || {
                 let worker = slot.as_mut().expect("worker moved into this task");
                 moqo_obs::ctx::set_worker(w as u32 + 1);
+                // One batch span per invocation: the executor installed the
+                // spawner's ambient span, so even a stolen batch parents to
+                // the session that fanned it out.
+                let mut span = spans::begin(SpanKind::Batch, SpanId::NONE);
+                let prev = span.as_ref().map(|s| spans::set_current(s.id()));
                 let ex = ExchangeCtx {
                     shared: &shared,
                     adaptive: &adaptive,
                     query,
                 };
                 let exchange = (!det).then_some(&ex);
-                let (_, finished) = run_chunk(worker, &mut plan, batch, exchange);
+                let (done, finished) = run_chunk(worker, &mut plan, batch, exchange);
+                if let Some(s) = span.as_mut() {
+                    s.set_arg(done);
+                }
                 if !finished {
+                    if let Some(prev) = prev {
+                        spans::set_current(prev);
+                    }
+                    spans::finish(span);
                     return TaskStatus::Yield;
                 }
                 if !det {
-                    let merged = publish_frontier(worker, &shared) + publish_partials(worker, &ex);
-                    adaptive.on_publish(merged);
+                    publish_point(worker, &ex);
                 }
+                if let Some(prev) = prev {
+                    spans::set_current(prev);
+                }
+                spans::finish(span);
                 checked_in.lock().unwrap()[w] = slot.take();
                 TaskStatus::Done
             });
@@ -759,6 +810,42 @@ impl<M: CostModel + Clone + Send + 'static> PlanExchange for ParRmq<M> {
     /// part of the reproducibility contract.
     fn set_effective_fan_out(&mut self, workers: usize) {
         self.effective_workers = workers.clamp(1, self.cfg.workers);
+    }
+
+    /// The union of every worker's checkpoint stream, ordered by elapsed
+    /// time (workers are created together, so their clocks are
+    /// comparable). Each point carries that worker's *local* frontier
+    /// snapshot; consumers building a session-level quality curve should
+    /// feed the points into an incremental tracker in order, so the curve
+    /// reflects the running union across workers.
+    fn convergence(&self) -> Vec<ConvergencePoint> {
+        let mut points: Vec<ConvergencePoint> = self
+            .workers
+            .iter()
+            .flat_map(|w| {
+                w.as_ref()
+                    .expect("worker checked in")
+                    .rmq
+                    .convergence_points()
+                    .iter()
+                    .cloned()
+            })
+            .collect();
+        points.sort_by(|a, b| {
+            a.elapsed
+                .cmp(&b.elapsed)
+                .then(a.iteration.cmp(&b.iteration))
+        });
+        points
+    }
+
+    fn sample_convergence_now(&mut self) {
+        for w in &mut self.workers {
+            w.as_mut()
+                .expect("worker checked in")
+                .rmq
+                .sample_convergence_now();
+        }
     }
 }
 

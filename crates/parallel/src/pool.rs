@@ -52,6 +52,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use moqo_obs::metrics;
+use moqo_obs::spans::{self, SpanId, SpanKind};
 
 /// What a task invocation reports back to the executor.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -111,6 +112,22 @@ struct Task {
     /// helpers can match without touching the `Arc`.
     group_id: u64,
     group: Option<Arc<GroupInner>>,
+    /// The spawner's ambient span, captured at submission when tracing is
+    /// enabled ([`SpanId::NONE`] otherwise). The executor re-installs it as
+    /// the running thread's ambient span around every invocation, so spans
+    /// begun inside a stolen or donated batch still parent to the session
+    /// that spawned the work — causality survives migration.
+    span: SpanId,
+}
+
+/// The spawner's ambient span when tracing is on; the disabled path is the
+/// one relaxed load of [`spans::enabled`].
+fn spawn_span() -> SpanId {
+    if spans::enabled() {
+        spans::current()
+    } else {
+        SpanId::NONE
+    }
 }
 
 struct GroupInner {
@@ -223,6 +240,14 @@ impl PoolInner {
                 drop(deque);
                 self.take_pending();
                 metrics().exec_pool_steals.incr();
+                // Link the migration into the stolen task's causal tree:
+                // arg packs (stealer + 1) << 32 | (victim + 1), pool-worker
+                // indices 1-based so 0 keeps meaning "unknown".
+                spans::instant(
+                    SpanKind::Steal,
+                    task.span,
+                    ((me as u64 + 1) << 32) | (victim as u64 + 1),
+                );
                 return Some(task);
             }
         }
@@ -260,7 +285,19 @@ impl PoolInner {
     /// deque when given, else the injector), credits the group on done.
     fn run_task(&self, mut task: Task, requeue_to: Option<usize>) {
         metrics().exec_pool_batches.incr();
-        match (task.run)() {
+        // Re-install the spawner's ambient span for the invocation so
+        // spans begun inside the task parent correctly even after a steal
+        // or donation; restore the runner's own ambient span afterwards.
+        let prev = if spans::enabled() {
+            Some(spans::set_current(task.span))
+        } else {
+            None
+        };
+        let status = (task.run)();
+        if let Some(prev) = prev {
+            spans::set_current(prev);
+        }
+        match status {
             TaskStatus::Yield => self.push_task(task, requeue_to),
             TaskStatus::Done => {
                 if let Some(group) = task.group.take() {
@@ -349,6 +386,7 @@ impl PoolHandle {
                 spec,
                 group_id: 0,
                 group: None,
+                span: spawn_span(),
             },
             current_worker_of(&self.inner),
         );
@@ -371,6 +409,7 @@ impl PoolHandle {
                 spec,
                 group_id: group.inner.id,
                 group: Some(Arc::clone(&group.inner)),
+                span: spawn_span(),
             },
             current_worker_of(&self.inner),
         );
@@ -388,6 +427,7 @@ impl PoolHandle {
                 Some((task, donation)) => {
                     if donation {
                         metrics().exec_pool_donations.incr();
+                        spans::instant(SpanKind::Donation, task.span, task.group_id);
                     }
                     self.inner.run_task(task, current_worker_of(&self.inner));
                 }
@@ -645,6 +685,76 @@ mod tests {
         pool.shutdown();
         assert_eq!(ran.load(Ordering::SeqCst), 5);
         assert_eq!(handle.queued_tasks(), 0);
+    }
+
+    #[test]
+    fn span_causality_survives_stealing() {
+        // An oversubscribed scenario: the root session task occupies one of
+        // the two workers and spins without helping, so every batch it
+        // spawned onto its own deque must be *stolen* by the other worker.
+        // Causality contract: batch spans begun on the stealing worker
+        // still parent to the session span, and every steal instant links
+        // into the session's tree with a stealer/victim pair.
+        spans::set_capacity(1024);
+        spans::drain();
+        spans::enable();
+        let pool = ExecPool::new(2);
+        let handle = pool.handle();
+        let session_id = Arc::new(AtomicU64::new(0));
+        let done = Arc::new(AtomicBool::new(false));
+        let (sid_in, done_in) = (Arc::clone(&session_id), Arc::clone(&done));
+        let inner_handle = handle.clone();
+        handle.spawn(TaskSpec::root(), move || {
+            let session = spans::begin(SpanKind::Session, SpanId::NONE);
+            sid_in.store(spans::id_of(&session).raw(), Ordering::SeqCst);
+            let prev = spans::set_current(spans::id_of(&session));
+            let group = inner_handle.group();
+            for _ in 0..6 {
+                inner_handle.spawn_in(&group, TaskSpec::batch(), || {
+                    let span = spans::begin(SpanKind::Batch, SpanId::NONE);
+                    spans::finish(span);
+                    TaskStatus::Done
+                });
+            }
+            while !group.is_done() {
+                std::hint::spin_loop();
+            }
+            spans::set_current(prev);
+            spans::finish(session);
+            done_in.store(true, Ordering::SeqCst);
+            TaskStatus::Done
+        });
+        spin_until(|| done.load(Ordering::SeqCst));
+        pool.shutdown();
+        spans::disable();
+        let records = spans::drain();
+        let session = session_id.load(Ordering::SeqCst);
+        assert_ne!(session, 0, "the session span must have been recorded");
+        let batches: Vec<_> = records
+            .iter()
+            .filter(|r| r.kind == SpanKind::Batch)
+            .collect();
+        assert_eq!(batches.len(), 6, "every stolen batch must record a span");
+        for b in &batches {
+            assert_eq!(
+                b.parent, session,
+                "a stolen batch must still parent to its session span"
+            );
+        }
+        let steals: Vec<_> = records
+            .iter()
+            .filter(|r| r.kind == SpanKind::Steal && r.parent == session)
+            .collect();
+        assert!(
+            !steals.is_empty(),
+            "the idle worker must have stolen session batches"
+        );
+        for s in steals {
+            let stealer = (s.arg >> 32) as u32;
+            let victim = (s.arg & 0xffff_ffff) as u32;
+            assert!(stealer >= 1 && victim >= 1, "packed 1-based indices");
+            assert_ne!(stealer, victim, "a steal links two distinct workers");
+        }
     }
 
     #[test]

@@ -28,7 +28,13 @@
 //!   a wide session under load simply runs narrower
 //!   ([`PlanExchange::set_effective_fan_out`]).
 //! * **Service statistics** ([`ServiceStats`]) — throughput, p50/p99
-//!   time-to-first-frontier, cache hit rate.
+//!   time-to-first-frontier, time-to-90%-of-final-hypervolume, cache hit
+//!   rate.
+//! * A **continuous SLO monitor** ([`SloConfig`]) — configurable targets
+//!   for p99 TTFF, p99 queueing delay, and shed rate, evaluated over the
+//!   sliding statistics windows on every completion and rejection;
+//!   observed values export as `slo.*` gauges and breach-state
+//!   transitions are journaled and counted.
 //!
 //! ## Quick start
 //!
@@ -70,7 +76,7 @@ pub use cache::{CacheConfig, CacheStats};
 pub use session::{
     DoneReason, FrontierSnapshot, FrontierUpdates, SessionHandle, SessionId, SessionStatus,
 };
-pub use stats::ServiceStats;
+pub use stats::{ServiceStats, SloConfig, SLO_BIT_QUEUE_DELAY, SLO_BIT_SHED, SLO_BIT_TTFF};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -80,6 +86,7 @@ use moqo_core::optimizer::Budget;
 use moqo_core::tables::TableSet;
 
 use moqo_obs::journal::{self, EventKind, Level, Target};
+use moqo_obs::spans::{self, SpanId, SpanKind};
 use moqo_obs::{ctx, metrics};
 
 use moqo_parallel::{ExecPool, TaskSpec};
@@ -161,6 +168,9 @@ pub struct ServiceConfig {
     pub admission: AdmissionConfig,
     /// Cross-query plan cache sizing.
     pub cache: CacheConfig,
+    /// Service-level objective targets, monitored continuously over the
+    /// statistics windows (disabled by default — no target set).
+    pub slo: SloConfig,
 }
 
 impl Default for ServiceConfig {
@@ -173,6 +183,7 @@ impl Default for ServiceConfig {
             slice_duration: Duration::from_millis(2),
             admission: AdmissionConfig::default(),
             cache: CacheConfig::default(),
+            slo: SloConfig::default(),
         }
     }
 }
@@ -228,6 +239,7 @@ impl OptimizationService {
             if sched.shutdown {
                 drop(sched);
                 self.core.stats.record_rejected();
+                self.core.stats.evaluate_slo(&self.core.config.slo);
                 metrics().service_rejected_shutdown.incr();
                 journal_rejected("shutdown");
                 return Err(AdmissionError::ShuttingDown);
@@ -237,6 +249,7 @@ impl OptimizationService {
                 let live = sched.live;
                 drop(sched);
                 self.core.stats.record_rejected();
+                self.core.stats.evaluate_slo(&self.core.config.slo);
                 metrics().service_rejected_queue_full.incr();
                 journal_rejected("queue_full");
                 return Err(AdmissionError::QueueFull { live, limit });
@@ -246,6 +259,7 @@ impl OptimizationService {
                 let in_use = sched.held_slots;
                 drop(sched);
                 self.core.stats.record_rejected();
+                self.core.stats.evaluate_slo(&self.core.config.slo);
                 metrics().service_rejected_no_slots.incr();
                 journal_rejected("no_worker_slots");
                 return Err(AdmissionError::NoWorkerSlots {
@@ -256,14 +270,26 @@ impl OptimizationService {
             }
             sched.live += 1;
         }
+        // Identity and causal root first: the session span opened here is
+        // the parent every slice, climb batch, and exchange span of this
+        // session links back to, across executor steals and donations.
+        let now = Instant::now();
+        let id = SessionId(self.core.next_id.fetch_add(1, Ordering::Relaxed));
+        ctx::set_session(id.0);
+        let session_span = spans::begin(SpanKind::Session, SpanId::NONE);
         // Warm start outside the scheduler lock: cache lookups and plan
         // absorption can be comparatively slow.
+        let mut lookup_span = spans::begin(SpanKind::CacheLookup, spans::id_of(&session_span));
         let warm = self.core.cache.lookup(context, query);
         let absorbed = if warm.is_empty() {
             0
         } else {
             optimizer.absorb_plans(&warm)
         };
+        if let Some(s) = lookup_span.as_mut() {
+            s.set_arg(absorbed as u64);
+        }
+        spans::finish(lookup_span);
         let m = metrics();
         if warm.is_empty() {
             m.cache_misses.incr();
@@ -277,8 +303,6 @@ impl OptimizationService {
                 plans: warm.len() as u64,
             });
         }
-        let now = Instant::now();
-        let id = SessionId(self.core.next_id.fetch_add(1, Ordering::Relaxed));
         let shared = SessionShared::new(now);
         shared.state.lock().unwrap().absorbed = absorbed;
         let session = ActiveSession {
@@ -289,15 +313,19 @@ impl OptimizationService {
             context,
             last_sig: 0,
             fan_out,
+            span: session_span,
         };
         {
             let mut sched = self.core.sched.lock().unwrap();
             if sched.shutdown {
                 // Shutdown raced in while we warm-started: undo the
-                // reservation and reject.
+                // reservation, close the session span, and reject.
                 sched.live -= 1;
                 drop(sched);
+                let mut session = session;
+                spans::finish(session.span.take());
                 self.core.stats.record_rejected();
+                self.core.stats.evaluate_slo(&self.core.config.slo);
                 metrics().service_rejected_shutdown.incr();
                 journal_rejected("shutdown");
                 return Err(AdmissionError::ShuttingDown);
@@ -321,7 +349,6 @@ impl OptimizationService {
         self.core.stats.record_submitted(fan_out);
         m.service_submitted.incr();
         if journal::enabled(Target::Admission, Level::Info) {
-            ctx::set_session(id.0);
             journal::emit_with(Target::Admission, Level::Info, || {
                 EventKind::SessionSubmitted {
                     fan_out: fan_out as u64,

@@ -32,7 +32,9 @@ use moqo_core::fxhash::FxHasher;
 use moqo_core::optimizer::{drive, Budget, Observer};
 use moqo_core::plan::PlanRef;
 
+use moqo_metrics::{time_to_fraction, HvTracker};
 use moqo_obs::journal::{self, EventKind, Level, Target};
+use moqo_obs::spans::{self, Span, SpanKind};
 use moqo_obs::{ctx, metrics};
 
 use moqo_parallel::{ExecPool, TaskStatus};
@@ -87,6 +89,12 @@ pub(crate) struct ActiveSession {
     /// The optimizer's *maximum* fan-out; the width actually granted per
     /// slice is elastic (see [`acquire_width`]).
     pub fan_out: usize,
+    /// The session's causal root span (open from admission to
+    /// finalization; `None` while tracing is disabled). Every slice span —
+    /// and, through the ambient span the executor propagates across
+    /// steals, every climb-batch and exchange span the session's work
+    /// produces — parents back to it.
+    pub span: Option<Span>,
 }
 
 /// Scheduler state behind the mutex.
@@ -230,8 +238,20 @@ pub(crate) fn run_slice(core: &ServiceCore, sess: &mut ActiveSession) -> Option<
         shared: &sess.shared,
         last_sig: &mut sess.last_sig,
     };
+    // The slice span parents to the session's root span; installing it as
+    // the ambient span means every climb batch the optimizer spawns onto
+    // the pool inherits it — even when another worker steals the batch.
+    let mut slice_span = spans::begin(SpanKind::Slice, spans::id_of(&sess.span));
+    let prev_span = slice_span.as_ref().map(|s| spans::set_current(s.id()));
     let slice_start = Instant::now();
     let stats = drive(sess.optimizer.as_mut(), slice_budget, &mut observer);
+    if let Some(prev) = prev_span {
+        spans::set_current(prev);
+    }
+    if let Some(s) = slice_span.as_mut() {
+        s.set_arg(stats.steps);
+    }
+    spans::finish(slice_span);
     metrics()
         .service_slice_us
         .record(slice_start.elapsed().as_micros() as u64);
@@ -258,10 +278,51 @@ pub(crate) fn run_slice(core: &ServiceCore, sess: &mut ActiveSession) -> Option<
     None
 }
 
+/// Reduces a session's anytime-convergence checkpoints to its time to 90%
+/// of final hypervolume. The checkpoints carry raw frontier cost vectors
+/// (the core crate cannot depend on the metrics crate); the hypervolume
+/// reference point is derived from the curve itself — the componentwise
+/// maximum over every checkpointed cost, padded 10% — so the measure needs
+/// no externally supplied nadir. Feeding the checkpoints through one
+/// running [`HvTracker`] union makes the session curve nondecreasing even
+/// when a fanned-out optimizer contributes interleaved per-worker
+/// snapshots.
+fn time_to_90(points: &[moqo_core::optimizer::ConvergencePoint]) -> Option<Duration> {
+    let dim = points
+        .iter()
+        .flat_map(|p| p.frontier_costs.iter())
+        .next()?
+        .dim();
+    let mut upper = vec![f64::NEG_INFINITY; dim];
+    for p in points {
+        for cost in &p.frontier_costs {
+            for (u, v) in upper.iter_mut().zip(cost.as_slice()) {
+                *u = u.max(*v);
+            }
+        }
+    }
+    if upper.iter().any(|u| !u.is_finite()) {
+        return None;
+    }
+    let reference = moqo_core::cost::CostVector::new(&upper).scale(1.1);
+    let mut tracker = HvTracker::new(reference);
+    let mut curve = Vec::with_capacity(points.len());
+    for p in points {
+        tracker.insert_all(&p.frontier_costs);
+        curve.push((p.elapsed.as_secs_f64(), tracker.hypervolume()));
+    }
+    time_to_fraction(&curve, 0.9).map(Duration::from_secs_f64)
+}
+
 /// Completes a session: publishes its partial plans to the cross-query
 /// cache (unless it was aborted), installs the final frontier, flips the
-/// status, and updates service statistics.
-pub(crate) fn finalize(core: &ServiceCore, sess: ActiveSession, reason: DoneReason) {
+/// status, closes the session span, and updates service statistics — the
+/// convergence-latency sample and the SLO re-evaluation included.
+pub(crate) fn finalize(core: &ServiceCore, mut sess: ActiveSession, reason: DoneReason) {
+    // Force a final convergence checkpoint so the quality curve ends at
+    // the frontier the session actually delivered, then reduce it.
+    sess.optimizer.sample_convergence_now();
+    let tt90 = time_to_90(&sess.optimizer.convergence());
     let publish = matches!(
         reason,
         DoneReason::BudgetExhausted | DoneReason::OptimizerExhausted
@@ -292,6 +353,14 @@ pub(crate) fn finalize(core: &ServiceCore, sess: ActiveSession, reason: DoneReas
     // `wait_done` must observe the completed counters.
     let aborted = matches!(reason, DoneReason::Cancelled | DoneReason::ServiceShutdown);
     core.stats.record_completed(steps, ttff, aborted);
+    if let Some(tt90) = tt90 {
+        core.stats.record_tt90(tt90);
+    }
+    core.stats.evaluate_slo(&core.config.slo);
+    if let Some(s) = sess.span.as_mut() {
+        s.set_arg(steps);
+    }
+    spans::finish(sess.span.take());
     let m = metrics();
     m.service_completed.incr();
     if aborted {

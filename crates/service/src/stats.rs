@@ -1,5 +1,6 @@
 //! Service-level statistics: throughput, time-to-first-frontier
-//! percentiles, and session counters.
+//! percentiles, convergence latency, session counters, and the continuous
+//! SLO monitor.
 //!
 //! *Time to first frontier* (TTFF) is the anytime-optimizer analogue of
 //! time-to-first-byte: how long after submission a session first had a
@@ -7,11 +8,55 @@
 //! claim — RMQ produces usable frontiers within milliseconds while
 //! refining forever — makes TTFF the service's headline latency metric;
 //! p50/p99 summarize it the way serving systems conventionally do.
+//! Beside it sits *time to 90% of final hypervolume* (TT90): how long a
+//! session took to reach 90% of the frontier quality it eventually
+//! delivered, computed from the optimizer's anytime-convergence
+//! checkpoints — TTFF measures "anything usable", TT90 measures "almost
+//! as good as it gets".
+//!
+//! The [`SloConfig`] targets are evaluated continuously over the same
+//! sliding [`SampleWindow`]s at every completion and rejection: observed
+//! values export as `slo.*` gauges, target violations flip bits in the
+//! `slo.breached` bitmask, and each holding→breached transition bumps
+//! `slo.breaches` and emits a journal note.
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use moqo_obs::journal::{self, EventKind, Level, Target};
+use moqo_obs::metrics::metrics;
+
 use crate::cache::CacheStats;
+
+/// Service-level objective targets, evaluated continuously over the
+/// sliding statistics windows. Unset targets are not monitored; with every
+/// target unset the monitor is disabled entirely (no gauge writes).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SloConfig {
+    /// Target p99 time-to-first-frontier (breaches set bit 0 of
+    /// `slo.breached`).
+    pub ttff_p99: Option<Duration>,
+    /// Target p99 queueing delay, submission → first optimizer step
+    /// (breaches set bit 1).
+    pub queue_delay_p99: Option<Duration>,
+    /// Target shed rate: admission rejections per mille of offered
+    /// sessions (breaches set bit 2).
+    pub shed_per_mille: Option<u64>,
+}
+
+impl SloConfig {
+    /// Whether any target is set (the monitor only runs when one is).
+    pub fn is_enabled(&self) -> bool {
+        self.ttff_p99.is_some() || self.queue_delay_p99.is_some() || self.shed_per_mille.is_some()
+    }
+}
+
+/// `slo.breached` bit for the TTFF target.
+pub const SLO_BIT_TTFF: u64 = 1;
+/// `slo.breached` bit for the queue-delay target.
+pub const SLO_BIT_QUEUE_DELAY: u64 = 2;
+/// `slo.breached` bit for the shed-rate target.
+pub const SLO_BIT_SHED: u64 = 4;
 
 /// A point-in-time snapshot of service statistics.
 #[derive(Clone, Copy, Debug)]
@@ -48,6 +93,15 @@ pub struct ServiceStats {
     pub queue_delay_p50: Option<Duration>,
     /// 99th-percentile queueing delay.
     pub queue_delay_p99: Option<Duration>,
+    /// Median time to 90% of the session's final hypervolume, from the
+    /// optimizer's anytime-convergence checkpoints (`None` until a
+    /// completed session had a measurable convergence curve).
+    pub tt90_p50: Option<Duration>,
+    /// 99th-percentile time to 90% of final hypervolume.
+    pub tt90_p99: Option<Duration>,
+    /// Current SLO breach bitmask ([`SLO_BIT_TTFF`] | [`SLO_BIT_QUEUE_DELAY`]
+    /// | [`SLO_BIT_SHED`]); 0 when all targets hold or none are set.
+    pub slo_breached: u64,
     /// Cross-query plan cache counters.
     pub cache: CacheStats,
 }
@@ -105,6 +159,9 @@ struct StatsInner {
     total_steps: u64,
     ttff: SampleWindow,
     queue_delay: SampleWindow,
+    tt90: SampleWindow,
+    /// Current SLO breach bitmask; transitions are detected against it.
+    slo_breached_mask: u64,
 }
 
 /// Internal collector behind the service.
@@ -127,6 +184,8 @@ impl StatsCollector {
                 total_steps: 0,
                 ttff: SampleWindow::new(),
                 queue_delay: SampleWindow::new(),
+                tt90: SampleWindow::new(),
+                slo_breached_mask: 0,
             }),
         }
     }
@@ -161,6 +220,87 @@ impl StatsCollector {
         self.inner.lock().unwrap().queue_delay.record(delay);
     }
 
+    /// Records one time-to-90%-of-final-hypervolume sample.
+    pub(crate) fn record_tt90(&self, tt90: Duration) {
+        self.inner.lock().unwrap().tt90.record(tt90);
+    }
+
+    /// Evaluates the SLO targets against the current sliding windows,
+    /// exports the observed values as `slo.*` gauges, and journals every
+    /// breach-state transition. Called on every completion and rejection;
+    /// a no-op when no target is configured.
+    pub(crate) fn evaluate_slo(&self, slo: &SloConfig) {
+        if !slo.is_enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let ttff_p99 = percentile(&inner.ttff.sorted(), 0.99);
+        let queue_p99 = percentile(&inner.queue_delay.sorted(), 0.99);
+        let offered = inner.submitted + inner.rejected;
+        let shed_per_mille = (inner.rejected * 1000).checked_div(offered).unwrap_or(0);
+
+        let m = metrics();
+        m.slo_ttff_p99_us
+            .set(ttff_p99.map_or(0, |d| d.as_micros() as u64));
+        m.slo_queue_p99_us
+            .set(queue_p99.map_or(0, |d| d.as_micros() as u64));
+        m.slo_shed_per_mille.set(shed_per_mille);
+
+        let mut mask = 0u64;
+        if let (Some(target), Some(observed)) = (slo.ttff_p99, ttff_p99) {
+            if observed > target {
+                mask |= SLO_BIT_TTFF;
+            }
+        }
+        if let (Some(target), Some(observed)) = (slo.queue_delay_p99, queue_p99) {
+            if observed > target {
+                mask |= SLO_BIT_QUEUE_DELAY;
+            }
+        }
+        if let Some(target) = slo.shed_per_mille {
+            if shed_per_mille > target {
+                mask |= SLO_BIT_SHED;
+            }
+        }
+
+        let prev = inner.slo_breached_mask;
+        inner.slo_breached_mask = mask;
+        drop(inner);
+
+        m.slo_breached.set(mask);
+        let newly_breached = mask & !prev;
+        if newly_breached != 0 {
+            m.slo_breaches.add(u64::from(newly_breached.count_ones()));
+        }
+        for (bit, breach_note, recover_note) in [
+            (
+                SLO_BIT_TTFF,
+                "slo breach: ttff p99 over target",
+                "slo recovered: ttff p99 within target",
+            ),
+            (
+                SLO_BIT_QUEUE_DELAY,
+                "slo breach: queue delay p99 over target",
+                "slo recovered: queue delay p99 within target",
+            ),
+            (
+                SLO_BIT_SHED,
+                "slo breach: shed rate over target",
+                "slo recovered: shed rate within target",
+            ),
+        ] {
+            if newly_breached & bit != 0 {
+                journal::emit_with(Target::Service, Level::Warn, || {
+                    EventKind::Note(breach_note)
+                });
+            } else if prev & bit != 0 && mask & bit == 0 {
+                journal::emit_with(Target::Service, Level::Info, || {
+                    EventKind::Note(recover_note)
+                });
+            }
+        }
+    }
+
     pub(crate) fn snapshot(
         &self,
         live: usize,
@@ -171,6 +311,7 @@ impl StatsCollector {
         let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
         let ttff = inner.ttff.sorted();
         let queue_delay = inner.queue_delay.sorted();
+        let tt90 = inner.tt90.sorted();
         ServiceStats {
             submitted: inner.submitted,
             rejected: inner.rejected,
@@ -186,6 +327,9 @@ impl StatsCollector {
             ttff_p99: percentile(&ttff, 0.99),
             queue_delay_p50: percentile(&queue_delay, 0.50),
             queue_delay_p99: percentile(&queue_delay, 0.99),
+            tt90_p50: percentile(&tt90, 0.50),
+            tt90_p99: percentile(&tt90, 0.99),
+            slo_breached: inner.slo_breached_mask,
             cache,
         }
     }
@@ -292,6 +436,86 @@ mod tests {
         assert_eq!(s.queue_delay_p50, Some(Duration::from_micros(20)));
         assert_eq!(s.queue_delay_p99, Some(Duration::from_micros(30)));
         assert_eq!(s.ttff_p50, Some(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn tt90_window_feeds_snapshot_percentiles() {
+        let c = StatsCollector::new();
+        let s = c.snapshot(0, 0, CacheStats::default());
+        assert_eq!(s.tt90_p50, None);
+        c.record_tt90(Duration::from_millis(4));
+        c.record_tt90(Duration::from_millis(2));
+        c.record_tt90(Duration::from_millis(9));
+        let s = c.snapshot(0, 0, CacheStats::default());
+        assert_eq!(s.tt90_p50, Some(Duration::from_millis(4)));
+        assert_eq!(s.tt90_p99, Some(Duration::from_millis(9)));
+    }
+
+    #[test]
+    fn slo_monitor_tracks_breach_transitions() {
+        let c = StatsCollector::new();
+        let slo = SloConfig {
+            ttff_p99: Some(Duration::from_millis(10)),
+            queue_delay_p99: None,
+            shed_per_mille: Some(500),
+        };
+        let mask = |c: &StatsCollector| c.snapshot(0, 0, CacheStats::default()).slo_breached;
+
+        // Healthy: one fast completion, nothing rejected.
+        c.record_submitted(1);
+        c.record_completed(1, Some(Duration::from_millis(1)), false);
+        c.evaluate_slo(&slo);
+        assert_eq!(mask(&c), 0);
+
+        // A slow completion pushes TTFF p99 over the 10ms target.
+        c.record_completed(1, Some(Duration::from_millis(50)), false);
+        c.evaluate_slo(&slo);
+        assert_eq!(mask(&c), SLO_BIT_TTFF);
+
+        // Shedding most of the offered load breaches the shed target too
+        // (10 rejected of 11 offered = 909 per mille > 500).
+        for _ in 0..10 {
+            c.record_rejected();
+        }
+        c.evaluate_slo(&slo);
+        assert_eq!(mask(&c), SLO_BIT_TTFF | SLO_BIT_SHED);
+
+        // Admitting a burst dilutes the shed rate back under target; the
+        // TTFF breach persists because the slow sample stays in window.
+        for _ in 0..100 {
+            c.record_submitted(1);
+        }
+        c.evaluate_slo(&slo);
+        assert_eq!(mask(&c), SLO_BIT_TTFF);
+    }
+
+    #[test]
+    fn slo_monitor_is_inert_without_targets() {
+        let c = StatsCollector::new();
+        c.record_completed(1, Some(Duration::from_secs(60)), false);
+        for _ in 0..10 {
+            c.record_rejected();
+        }
+        c.evaluate_slo(&SloConfig::default());
+        assert_eq!(c.snapshot(0, 0, CacheStats::default()).slo_breached, 0);
+    }
+
+    #[test]
+    fn slo_queue_delay_target_uses_its_own_window() {
+        let c = StatsCollector::new();
+        let slo = SloConfig {
+            queue_delay_p99: Some(Duration::from_micros(100)),
+            ..SloConfig::default()
+        };
+        c.record_queue_delay(Duration::from_micros(50));
+        c.evaluate_slo(&slo);
+        assert_eq!(c.snapshot(0, 0, CacheStats::default()).slo_breached, 0);
+        c.record_queue_delay(Duration::from_micros(900));
+        c.evaluate_slo(&slo);
+        assert_eq!(
+            c.snapshot(0, 0, CacheStats::default()).slo_breached,
+            SLO_BIT_QUEUE_DELAY
+        );
     }
 
     #[test]

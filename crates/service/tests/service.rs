@@ -12,6 +12,7 @@ use moqo_core::tables::TableSet;
 use moqo_parallel::{ParRmq, ParRmqConfig};
 use moqo_service::{
     AdmissionError, DoneReason, OptimizationService, ServiceConfig, SessionRequest, SessionStatus,
+    SloConfig, SLO_BIT_SHED, SLO_BIT_TTFF,
 };
 
 /// Long enough that nothing times out under load, short enough to fail
@@ -521,6 +522,63 @@ fn wide_sessions_are_clamped_to_free_width_not_rejected() {
     assert_eq!(stats.fan_out_submitted, 8);
     assert_eq!(stats.worker_slots, 0, "slots released at completion");
     service.shutdown();
+}
+
+#[test]
+fn completed_sessions_record_convergence_latency() {
+    // A finished session reduces its anytime-convergence checkpoints to a
+    // time-to-90%-of-final-hypervolume sample, surfaced beside TTFF.
+    let service = service(2);
+    let model = Arc::new(StubModel::line(7, 2, 29));
+    let handle = service
+        .submit(rmq_request(
+            &model,
+            TableSet::prefix(7),
+            4,
+            Budget::Iterations(40),
+            13,
+        ))
+        .expect("admitted");
+    handle.wait_done(WAIT).expect("completes");
+    let stats = service.stats();
+    let tt90 = stats.tt90_p50.expect("convergence curve yields a tt90");
+    assert_eq!(stats.tt90_p99, Some(tt90), "one sample: p50 == p99");
+    assert_eq!(stats.slo_breached, 0, "no SLO targets configured");
+}
+
+#[test]
+fn slo_breaches_surface_in_service_stats() {
+    // A zero TTFF target is unmeetable (every real TTFF is positive), and
+    // rejecting half the offered load breaches a 100-per-mille shed
+    // target: both bits must show in the stats snapshot.
+    let service = OptimizationService::new(ServiceConfig {
+        workers: 2,
+        steps_per_slice: 4,
+        admission: moqo_service::AdmissionConfig {
+            max_live_sessions: 1,
+            ..Default::default()
+        },
+        slo: SloConfig {
+            ttff_p99: Some(Duration::ZERO),
+            shed_per_mille: Some(100),
+            ..SloConfig::default()
+        },
+        ..ServiceConfig::default()
+    });
+    let model = Arc::new(StubModel::line(5, 2, 7));
+    let tables = TableSet::prefix(5);
+    let handle = service
+        .submit(rmq_request(&model, tables, 1, Budget::Iterations(20), 14))
+        .expect("admitted");
+    // The live-session bound is 1, so this offer is shed.
+    service
+        .submit(rmq_request(&model, tables, 2, Budget::Iterations(20), 14))
+        .expect_err("second live session exceeds the bound");
+    handle.wait_done(WAIT).expect("completes");
+    // Re-evaluation happens at completion; both targets are now breached.
+    let stats = service.stats();
+    assert_eq!(stats.slo_breached & SLO_BIT_TTFF, SLO_BIT_TTFF);
+    assert_eq!(stats.slo_breached & SLO_BIT_SHED, SLO_BIT_SHED);
 }
 
 #[test]
