@@ -8,19 +8,21 @@
 //!
 //! * **Structural** (exact): the deterministic fields — RMQ frontier sizes
 //!   per checkpoint, median climbing path lengths, plan-cache occupancy,
-//!   arena occupancy and dedup rate, and the anytime convergence curves
-//!   (checkpoint marks, frontier sizes, hypervolumes; schema v7). These
-//!   are bit-for-bit reproducible on any machine, so *any* drift is a
-//!   behavior change that must be explained (and the baseline regenerated
-//!   deliberately).
+//!   arena occupancy and dedup rate, the anytime convergence curves
+//!   (checkpoint marks, frontier sizes, hypervolumes; schema v7), and the
+//!   front-door replay's traffic shape (tenant/template skew
+//!   concentrations; schema v8). These are bit-for-bit reproducible on
+//!   any machine, so *any* drift is a behavior change that must be
+//!   explained (and the baseline regenerated deliberately).
 //! * **Timing** (generous noise margins): per-kernel ns/op may not exceed
 //!   `baseline × --timing-margin` (default 5, CI runners are noisy), and
 //!   each speedup ratio may not fall below `baseline ÷ --speedup-margin`
 //!   (default 2; ratios divide out the machine, so this is already lax).
 //!   Parallel-scaling ratios (`par_rmq` thread-scaling, the `exec_pool`
-//!   pooled-vs-scoped throughput) are demoted to warnings when either
-//!   file was generated at `host_parallelism == 1` — a single hardware
-//!   thread has no parallelism to measure.
+//!   pooled-vs-scoped throughput, the front-door degraded-vs-plain shed
+//!   ratio) are demoted to warnings when either file was generated at
+//!   `host_parallelism == 1` — a single hardware thread has no
+//!   parallelism to measure.
 //!
 //! Usage:
 //!
@@ -390,6 +392,70 @@ fn main() {
         _ => {}
     }
 
+    // Front-door heavy-traffic replay (schema v8): the traffic shape is
+    // generated from fixed seeds, so its fields are bit-for-bit
+    // reproducible — drift means the skew generators changed behavior.
+    // The serving fields of the two runs are load- and machine-dependent
+    // (presence only); the headline degraded-vs-plain shed ratio is gated
+    // below, under the timing section.
+    match (base.get("frontdoor"), cand.get("frontdoor")) {
+        (Some(bf), Some(cf)) => {
+            for key in [
+                "sessions",
+                "tenants",
+                "shards",
+                "templates",
+                "seed",
+                "tenant_skew",
+                "query_skew",
+                "top_tenant_per_mille",
+                "top_template_per_mille",
+                "distinct_templates",
+            ] {
+                match (f64_field(bf, key), f64_field(cf, key)) {
+                    (Some(b), Some(c)) => gate.check(structural_eq(b, c), || {
+                        format!("frontdoor.{key}: {c} differs from baseline {b}")
+                    }),
+                    (Some(_), None) => gate
+                        .violations
+                        .push(format!("frontdoor: candidate dropped field `{key}`")),
+                    _ => {}
+                }
+            }
+            gate.check(cf.get("degraded_vs_plain_shed").is_some(), || {
+                "frontdoor: candidate dropped field `degraded_vs_plain_shed`".to_string()
+            });
+            for run in ["degraded_run", "plain_run"] {
+                let Some(cr) = cf.get(run) else {
+                    gate.violations
+                        .push(format!("frontdoor: candidate dropped the `{run}` run"));
+                    continue;
+                };
+                for key in [
+                    "elapsed_ms",
+                    "offered",
+                    "admitted",
+                    "coalesced",
+                    "degraded",
+                    "shed",
+                    "shed_per_mille",
+                    "coalesce_per_mille",
+                    "degraded_per_mille",
+                    "ttff_p50_ms",
+                    "ttff_p99_ms",
+                ] {
+                    gate.check(cr.get(key).is_some(), || {
+                        format!("frontdoor.{run}: candidate dropped field `{key}`")
+                    });
+                }
+            }
+        }
+        (Some(_), None) => gate
+            .violations
+            .push("candidate dropped the `frontdoor` section".to_string()),
+        _ => {}
+    }
+
     // Structural (schema v4): the observability counter deltas of every
     // baseline RMQ fixture are deterministic — drift means the screening
     // or interning *behavior* of the hot path changed, not just its speed.
@@ -716,6 +782,25 @@ fn main() {
                     format!(
                         "exec_pool pooled-vs-scoped throughput: {c:.2}x fell below \
                          baseline {b:.2}x ÷ margin {speedup_margin}"
+                    )
+                });
+            }
+        }
+
+        // Front-door degrade-before-shed (schema v8): shed rate with the
+        // degradation ladder enabled over shed rate with it disabled —
+        // lower is better, and a candidate may not drift above the
+        // baseline ratio by more than the speedup margin. Load dynamics
+        // depend on real parallelism, so single-core hosts only warn.
+        if let (Some(bf), Some(cf)) = (base.get("frontdoor"), cand.get("frontdoor")) {
+            if let (Some(b), Some(c)) = (
+                f64_field(bf, "degraded_vs_plain_shed"),
+                f64_field(cf, "degraded_vs_plain_shed"),
+            ) {
+                gate.check_ratio(multicore, c <= b * speedup_margin, || {
+                    format!(
+                        "frontdoor degraded-vs-plain shed ratio: {c:.2} exceeds \
+                         baseline {b:.2} × margin {speedup_margin}"
                     )
                 });
             }

@@ -76,7 +76,18 @@ use rand::SeedableRng;
 /// (structural fields — iteration marks, frontier sizes, hypervolumes —
 /// deterministic and gated bit-for-bit; `elapsed_ms` / `time_to_90_ms`
 /// timing-only).
-const SCHEMA_VERSION: u32 = 7;
+/// v8 (additive over v7): the multi-tenant front door — the `frontdoor`
+/// section: a zipfian-skewed heavy-traffic replay (100k sessions in full
+/// mode) through the sharded front door, run twice with the degradation
+/// ladder enabled (`degraded_run`) and disabled (`plain_run`). The
+/// traffic-shape fields (sessions, tenants, shards, templates, skews,
+/// `top_tenant_per_mille`, `top_template_per_mille`, `distinct_templates`)
+/// are deterministic and gated bit-for-bit; the serving fields of both
+/// runs (TTFF percentiles, shed/coalesce/degrade counts) are load- and
+/// machine-dependent (presence-checked), and the headline
+/// `degraded_vs_plain_shed` ratio is gated like the parallel-scaling
+/// ratios — demoted to a warning at `host_parallelism == 1`.
+const SCHEMA_VERSION: u32 = 8;
 
 #[derive(Serialize)]
 struct Baseline {
@@ -115,6 +126,57 @@ struct Baseline {
     /// optimizer's own exponentially spaced checkpoints reduced to a
     /// running hypervolume curve. Structural fields deterministic.
     convergence: Vec<ConvergenceFixture>,
+    /// Heavy-traffic replay through the sharded multi-tenant front door
+    /// (schema v8): traffic-shape fields deterministic, serving fields
+    /// load-dependent.
+    frontdoor: FrontdoorReport,
+}
+
+/// One front-door replay of the skewed session stream (schema v8). All
+/// fields depend on load and scheduling — `bench_diff` checks presence,
+/// not values; only the degraded-vs-plain shed ratio is gated (as a
+/// warning-demoted ratio on single-core hosts).
+#[derive(Serialize)]
+struct FrontdoorRun {
+    elapsed_ms: f64,
+    offered: u64,
+    admitted: u64,
+    coalesced: u64,
+    degraded: u64,
+    shed: u64,
+    shed_per_mille: u64,
+    coalesce_per_mille: u64,
+    degraded_per_mille: u64,
+    /// Worst-shard (max over shards) TTFF percentiles, milliseconds.
+    ttff_p50_ms: f64,
+    ttff_p99_ms: f64,
+}
+
+/// The heavy-traffic front-door section (schema v8): one zipfian-skewed
+/// session stream replayed twice through identically configured front
+/// doors — once with the SLO-aware degradation ladder enabled, once
+/// disabled (shed-only overload handling). The stream itself is
+/// deterministic; the serving outcomes are not.
+#[derive(Serialize)]
+struct FrontdoorReport {
+    sessions: usize,
+    tenants: usize,
+    shards: usize,
+    templates: usize,
+    seed: u64,
+    tenant_skew: f64,
+    query_skew: f64,
+    /// Share of the stream issued by the hottest tenant (deterministic).
+    top_tenant_per_mille: u64,
+    /// Share of the stream using the hottest query template (deterministic).
+    top_template_per_mille: u64,
+    /// Distinct query shapes actually drawn (deterministic).
+    distinct_templates: usize,
+    degraded_run: FrontdoorRun,
+    plain_run: FrontdoorRun,
+    /// Degraded-run shed per mille over plain-run shed per mille; < 1
+    /// means degrade-before-shed served traffic shedding would have lost.
+    degraded_vs_plain_shed: f64,
 }
 
 /// One checkpoint of a convergence curve (schema v7). `iteration`,
@@ -1107,6 +1169,268 @@ fn run_exec_pool(quick: bool) -> ExecPoolReport {
     }
 }
 
+/// Per-shard live-session cap of the front-door replay. Small enough that
+/// saturation (not quota) is the shed mechanism under test, large enough
+/// to absorb a zipf-hot tenant's arrival bursts while the degradation
+/// ladder (whose thresholds are fractions of this cap) drains the queue.
+const FRONTDOOR_SHARD_CAP: usize = 32;
+
+/// The front-door replay's session budget.
+const FRONTDOOR_BUDGET: Budget = Budget::Iterations(8);
+
+/// Builds the replay's front door: `shards` single-worker shards with a
+/// small live-session cap and a tight TTFF SLO (so the SLO-driven
+/// `CoarseEps` tier engages alongside the pressure-driven tiers).
+fn frontdoor_door(shards: usize, cap: usize, degrade_enabled: bool) -> moqo_frontdoor::FrontDoor {
+    use moqo_frontdoor::{DegradationConfig, FrontDoor, FrontDoorConfig};
+    use moqo_service::{AdmissionConfig, ServiceConfig, SloConfig};
+    FrontDoor::new(FrontDoorConfig {
+        shards,
+        shard: ServiceConfig {
+            workers: 1,
+            admission: AdmissionConfig {
+                max_live_sessions: cap,
+                ..AdmissionConfig::default()
+            },
+            slo: SloConfig {
+                ttff_p99: Some(std::time::Duration::from_millis(25)),
+                ..SloConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+        degradation: DegradationConfig {
+            enabled: degrade_enabled,
+            ..DegradationConfig::default()
+        },
+        ..FrontDoorConfig::default()
+    })
+}
+
+/// Measures the full-precision per-session drain time on this machine:
+/// `n` distinct-key sessions through a single-worker door (serial service),
+/// run twice — the first pass is warm-up — returning wall time per session.
+fn frontdoor_calibrate(
+    sessions: &[moqo_workload::SessionPlan],
+    model: &std::sync::Arc<moqo_cost::ResourceCostModel>,
+    n: usize,
+) -> std::time::Duration {
+    use moqo_frontdoor::FrontRequest;
+    let n = n.min(sessions.len()).max(1);
+    let mut per_session = std::time::Duration::ZERO;
+    for pass in 0..2 {
+        let door = frontdoor_door(1, n, false);
+        let start = Instant::now();
+        let mut handles = Vec::new();
+        for (i, session) in sessions[..n].iter().enumerate() {
+            let tables = session.query.tables();
+            let request = FrontRequest {
+                tenant: i as u64,
+                query: tables,
+                // Distinct contexts defeat coalescing: every request must
+                // become (and drain as) its own session.
+                context: i as u64,
+                budget: FRONTDOOR_BUDGET,
+            };
+            let admitted = door
+                .submit(request, |_| {
+                    Box::new(Rmq::new(
+                        std::sync::Arc::clone(model),
+                        tables,
+                        RmqConfig::seeded(i as u64),
+                    ))
+                })
+                .expect("calibration session admitted");
+            handles.push(admitted.handle);
+        }
+        for handle in &handles {
+            handle
+                .wait_done(std::time::Duration::from_secs(600))
+                .expect("calibration session completes");
+        }
+        if pass == 1 {
+            per_session = start.elapsed() / n as u32;
+        }
+        door.shutdown();
+    }
+    per_session.max(std::time::Duration::from_micros(1))
+}
+
+/// Replays one skewed session stream through a front door and reduces the
+/// outcome to a [`FrontdoorRun`].
+///
+/// The submitter paces *session demand*, not raw requests: coalesced
+/// requests pass through for free (they join an in-flight session), while
+/// every non-coalesced outcome — a new session or a shed — waits one
+/// `pace` interval. With `pace` derived from the calibrated full-precision
+/// drain time (see [`frontdoor_calibrate`]), demand is pinned above the
+/// plain door's capacity but below what the degradation ladder's reduced
+/// budgets can drain — which is exactly the degrade-before-shed contract
+/// the two runs compare.
+fn run_frontdoor_once(
+    sessions: &[moqo_workload::SessionPlan],
+    model: &std::sync::Arc<moqo_cost::ResourceCostModel>,
+    context: u64,
+    shards: usize,
+    pace: std::time::Duration,
+    degrade_enabled: bool,
+) -> FrontdoorRun {
+    use moqo_core::archive::ArchiveConfig;
+    use moqo_frontdoor::FrontRequest;
+
+    let door = frontdoor_door(shards, FRONTDOOR_SHARD_CAP, degrade_enabled);
+    let start = Instant::now();
+    let mut next_arrival = start + pace;
+    let mut handles = Vec::new();
+    for (i, session) in sessions.iter().enumerate() {
+        let tables = session.query.tables();
+        let request = FrontRequest {
+            tenant: session.tenant,
+            query: tables,
+            context,
+            budget: FRONTDOOR_BUDGET,
+        };
+        let outcome = door.submit(request, |grant| {
+            let mut cfg = RmqConfig::seeded(i as u64);
+            if let Some(eps) = grant.eps {
+                cfg.archive = ArchiveConfig::eps_box(EpsFactors::splat(eps));
+            }
+            Box::new(Rmq::new(std::sync::Arc::clone(model), tables, cfg))
+        });
+        let coalesced = match outcome {
+            Ok(admitted) => {
+                let coalesced = admitted.coalesced;
+                // Coalesced handles share their leader's session; waiting
+                // on them twice is cheap.
+                handles.push(admitted.handle);
+                coalesced
+            }
+            Err(_) => false,
+        };
+        if !coalesced {
+            // Yield-wait: `pace` is far below sleep granularity, and on a
+            // host with fewer cores than shards a spinning submitter would
+            // starve the very workers it is pacing against.
+            while Instant::now() < next_arrival {
+                std::thread::yield_now();
+            }
+            next_arrival += pace;
+        }
+    }
+    for handle in &handles {
+        handle
+            .wait_done(std::time::Duration::from_secs(600))
+            .expect("front-door session completes");
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let ttff = |p: &dyn Fn(&moqo_service::ServiceStats) -> Option<std::time::Duration>| {
+        door.shard_stats()
+            .iter()
+            .filter_map(p)
+            .max()
+            .map_or(0.0, |d| d.as_secs_f64() * 1e3)
+    };
+    let stats = door.stats();
+    let run = FrontdoorRun {
+        elapsed_ms,
+        offered: stats.offered,
+        admitted: stats.admitted,
+        coalesced: stats.coalesced,
+        degraded: stats.degraded,
+        shed: stats.shed,
+        shed_per_mille: stats.shed_per_mille(),
+        coalesce_per_mille: stats.coalesce_per_mille(),
+        degraded_per_mille: (stats.degraded * 1000)
+            .checked_div(stats.offered)
+            .unwrap_or(0),
+        ttff_p50_ms: ttff(&|s| s.ttff_p50),
+        ttff_p99_ms: ttff(&|s| s.ttff_p99),
+    };
+    door.shutdown();
+    run
+}
+
+/// The heavy-traffic front-door replay (schema v8): a zipfian-skewed
+/// multi-tenant stream (100k sessions in full mode) replayed twice —
+/// degradation ladder on vs off — through otherwise identical front doors.
+fn run_frontdoor(quick: bool) -> FrontdoorReport {
+    use moqo_service::context_fingerprint;
+    use moqo_workload::{GraphShape, SelectivityMethod, TrafficSpec};
+
+    let (sessions, tenants, shards, templates): (usize, usize, usize, usize) = if quick {
+        (8_000, 16, 2, 12)
+    } else {
+        (100_000, 64, 4, 24)
+    };
+    let (tenant_skew, query_skew) = (1.0f64, 1.0f64);
+    let seed = 42u64;
+    let spec = TrafficSpec {
+        catalog_tables: 12,
+        shape: GraphShape::Chain,
+        selectivity: SelectivityMethod::Steinbrunn,
+        queries: sessions,
+        min_query_tables: 3,
+        max_query_tables: 5,
+        seed,
+    };
+    let (catalog, stream) = spec.generate_skewed(tenants, tenant_skew, templates, query_skew);
+    let metrics = [
+        moqo_cost::ResourceMetric::Time,
+        moqo_cost::ResourceMetric::Buffer,
+    ];
+    let model = std::sync::Arc::new(moqo_cost::ResourceCostModel::new(
+        std::sync::Arc::clone(&catalog),
+        &metrics,
+    ));
+    let context = context_fingerprint(catalog.fingerprint(), "resource:time,buffer");
+
+    // Deterministic traffic-shape stats: the gated evidence the generated
+    // stream is actually skewed.
+    let mut tenant_counts = std::collections::HashMap::new();
+    let mut template_counts = std::collections::HashMap::new();
+    for s in &stream {
+        *tenant_counts.entry(s.tenant).or_insert(0u64) += 1;
+        *template_counts.entry(s.query.tables()).or_insert(0u64) += 1;
+    }
+    fn top_per_mille<K>(counts: &std::collections::HashMap<K, u64>, total: usize) -> u64 {
+        counts.values().copied().max().unwrap_or(0) * 1000 / total.max(1) as u64
+    }
+
+    // Calibrate the full-precision drain time on this machine, then pin
+    // session demand at 1.5x the plain door's aggregate capacity: above
+    // what full-precision sessions can drain, below what the ladder's
+    // halved budgets can. Capacity scales with *effective* worker
+    // parallelism — on a host with fewer cores than shards the workers
+    // timeshare, so pacing against `shards` alone would bury both runs.
+    let calib_n = if quick { 32 } else { 64 };
+    let per_session = frontdoor_calibrate(&stream, &model, calib_n);
+    let effective_workers = shards.min(std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let pace = per_session.div_f64(1.5 * effective_workers as f64);
+
+    let degraded_run = run_frontdoor_once(&stream, &model, context, shards, pace, true);
+    let plain_run = run_frontdoor_once(&stream, &model, context, shards, pace, false);
+    let ratio = if plain_run.shed_per_mille == 0 {
+        1.0
+    } else {
+        degraded_run.shed_per_mille as f64 / plain_run.shed_per_mille as f64
+    };
+    FrontdoorReport {
+        sessions,
+        tenants,
+        shards,
+        templates,
+        seed,
+        tenant_skew,
+        query_skew,
+        top_tenant_per_mille: top_per_mille(&tenant_counts, sessions),
+        top_template_per_mille: top_per_mille(&template_counts, sessions),
+        distinct_templates: template_counts.len(),
+        degraded_run,
+        plain_run,
+        degraded_vs_plain_shed: ratio,
+    }
+}
+
 fn main() {
     let mut quick = false;
     let mut out_path = String::from("BENCH_rmq.json");
@@ -1256,6 +1580,24 @@ fn main() {
         exec_pool.exchange_backoff_level,
     );
 
+    let frontdoor = run_frontdoor(quick);
+    eprintln!(
+        "  frontdoor {} sessions / {} tenants / {} shards / {} templates \
+         (top tenant {}‰, top template {}‰): degraded run {} coalesced, {} degraded, \
+         {}‰ shed vs plain {}‰ shed ({:.2}x)",
+        frontdoor.sessions,
+        frontdoor.tenants,
+        frontdoor.shards,
+        frontdoor.templates,
+        frontdoor.top_tenant_per_mille,
+        frontdoor.top_template_per_mille,
+        frontdoor.degraded_run.coalesced,
+        frontdoor.degraded_run.degraded,
+        frontdoor.degraded_run.shed_per_mille,
+        frontdoor.plain_run.shed_per_mille,
+        frontdoor.degraded_vs_plain_shed,
+    );
+
     let baseline = Baseline {
         schema_version: SCHEMA_VERSION,
         mode: if quick { "quick" } else { "full" }.to_string(),
@@ -1270,6 +1612,7 @@ fn main() {
         exec_pool,
         obs,
         convergence,
+        frontdoor,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
     std::fs::write(&out_path, json + "\n").unwrap_or_else(|e| {

@@ -1,0 +1,68 @@
+//! Request coalescing: concurrent sessions for an identical
+//! `(tenant, context fingerprint, table set)` share one optimization.
+//!
+//! The fan-back contract is structural, not copied: a coalesced subscriber
+//! receives a *clone* of the leader's [`SessionHandle`], and cloned handles
+//! share the leader session's state — so every subscriber observes the
+//! **same epoch-numbered frontier snapshots** by construction, and a late
+//! subscriber's first `snapshot()` starts at the leader's *current* epoch
+//! (catch-up is a read, not a replay). When the leader finishes, its map
+//! entry is dropped lazily on the next lookup and the next identical
+//! request starts a fresh optimization (warm-started from the cross-query
+//! cache the finished leader published into).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use moqo_core::tables::TableSet;
+use moqo_service::SessionHandle;
+
+/// Coalescing key: requests are only merged when the *tenant*, the cache
+/// context (catalog + cost model fingerprint), and the exact table set all
+/// match. Tenant membership in the key keeps isolation intact even when
+/// two tenants hash to the same shard.
+pub(crate) type CoalesceKey = (u64, u64, TableSet);
+
+/// Above this many live entries a lookup sweeps finished leaders out of
+/// the map (entries are otherwise removed lazily on key collision).
+const SWEEP_THRESHOLD: usize = 4096;
+
+/// One shard's coalescing map.
+pub(crate) struct CoalesceMap {
+    inflight: Mutex<HashMap<CoalesceKey, SessionHandle>>,
+}
+
+impl CoalesceMap {
+    pub(crate) fn new() -> Self {
+        CoalesceMap {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns a clone of the in-flight leader's handle for `key`, if one
+    /// exists and is still running. Finished leaders are evicted.
+    pub(crate) fn join(&self, key: &CoalesceKey) -> Option<SessionHandle> {
+        let mut map = self.inflight.lock().unwrap();
+        if map.len() > SWEEP_THRESHOLD {
+            map.retain(|_, h| !h.status().is_done());
+        }
+        match map.get(key) {
+            Some(handle) if !handle.status().is_done() => Some(handle.clone()),
+            Some(_) => {
+                map.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Registers `handle` as the in-flight leader for `key`.
+    pub(crate) fn lead(&self, key: CoalesceKey, handle: SessionHandle) {
+        self.inflight.lock().unwrap().insert(key, handle);
+    }
+
+    /// Live (not yet swept) entries — for introspection and tests.
+    pub(crate) fn len(&self) -> usize {
+        self.inflight.lock().unwrap().len()
+    }
+}

@@ -1,0 +1,249 @@
+//! The SLO-aware degradation ladder: full precision → coarser ε-box
+//! precision → reduced budget → shed.
+//!
+//! The paper's anytime contract is what makes this ladder possible: RMQ
+//! trades plan quality for response time *continuously*, so an overloaded
+//! serving system has two useful intermediate positions between "serve at
+//! full quality" and "reject the request". The ε-Pareto box archive
+//! (Trummer & Koch 2014) is the principled first step down — the frontier
+//! stays within a per-metric factor of the true one while the archive (and
+//! therefore per-iteration work) shrinks — and a reduced budget is the
+//! second: sessions finish sooner, the shard's live-session queue drains
+//! faster, and admission stops hitting its hard cap. Only when both steps
+//! are exhausted does the front door shed.
+
+use std::time::Duration;
+
+use moqo_core::optimizer::Budget;
+
+/// How far down the ladder a new session is admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum DegradeLevel {
+    /// Requested precision and budget.
+    Full = 0,
+    /// Coarser ε-box archive precision; budget unchanged.
+    CoarseEps = 1,
+    /// Coarser ε-box precision *and* a reduced budget.
+    ReducedBudget = 2,
+}
+
+impl DegradeLevel {
+    /// Numeric level (journaled and exported as a gauge).
+    pub fn as_u64(self) -> u64 {
+        self as u64
+    }
+
+    /// Level from its numeric encoding (saturates at the deepest tier).
+    pub(crate) fn from_u64(v: u64) -> Self {
+        match v {
+            0 => DegradeLevel::Full,
+            1 => DegradeLevel::CoarseEps,
+            _ => DegradeLevel::ReducedBudget,
+        }
+    }
+}
+
+/// Configuration of the degradation ladder.
+#[derive(Clone, Copy, Debug)]
+pub struct DegradationConfig {
+    /// Whether the ladder is active at all. Disabled, every session is
+    /// admitted at [`DegradeLevel::Full`] until the shard's admission
+    /// control sheds outright — the ablation the bench harness measures
+    /// degrade-before-shed against.
+    pub enabled: bool,
+    /// Uniform per-metric ε-box factor degraded sessions are built with
+    /// (must be > 1; see `ArchiveConfig::eps_box`).
+    pub eps: f64,
+    /// Budget multiplier (percent) applied at
+    /// [`DegradeLevel::ReducedBudget`]; clamped to `1..=100`.
+    pub budget_pct: u32,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        DegradationConfig {
+            enabled: true,
+            // The paper's α-schedule starts very coarse (α = 25) and
+            // tightens as a session converges; a degraded grant pins
+            // precision at the coarse end instead, so per-iteration work
+            // stays flat rather than growing with the frontier. A factor
+            // *below* the schedule's starting point would make degraded
+            // sessions carry *larger* archives than full-precision ones —
+            // degrading into more work.
+            eps: 32.0,
+            budget_pct: 50,
+        }
+    }
+}
+
+/// What a session was actually granted: the ladder position plus the
+/// concrete parameters the optimizer must be built with.
+#[derive(Clone, Copy, Debug)]
+pub struct Grant {
+    /// Ladder position.
+    pub level: DegradeLevel,
+    /// ε-box factor the optimizer must use (`None` = requested precision).
+    pub eps: Option<f64>,
+    /// The (possibly reduced) budget the session runs under.
+    pub budget: Budget,
+}
+
+impl Grant {
+    /// A full-precision grant for the requested budget.
+    pub(crate) fn full(budget: Budget) -> Self {
+        Grant {
+            level: DegradeLevel::Full,
+            eps: None,
+            budget,
+        }
+    }
+
+    /// The grant for `level` under `config`.
+    pub(crate) fn at(level: DegradeLevel, budget: Budget, config: &DegradationConfig) -> Self {
+        match level {
+            DegradeLevel::Full => Grant::full(budget),
+            DegradeLevel::CoarseEps => Grant {
+                level,
+                eps: Some(config.eps),
+                budget,
+            },
+            DegradeLevel::ReducedBudget => Grant {
+                level,
+                eps: Some(config.eps),
+                budget: reduce_budget(budget, config.budget_pct),
+            },
+        }
+    }
+}
+
+/// Scales a budget down to `pct` percent. Iteration budgets keep at least
+/// one iteration; time budgets scale their duration; absolute deadlines
+/// are left untouched (the cutoff is the client's contract).
+pub(crate) fn reduce_budget(budget: Budget, pct: u32) -> Budget {
+    let pct = pct.clamp(1, 100) as u64;
+    match budget {
+        Budget::Iterations(n) => Budget::Iterations((n * pct / 100).max(1)),
+        Budget::Time(d) => Budget::Time(Duration::from_nanos((d.as_nanos() as u64 / 100) * pct)),
+        Budget::Deadline(at) => Budget::Deadline(at),
+    }
+}
+
+/// Picks the ladder position for a new session on a shard with `live` of
+/// `cap` admission slots occupied and the given SLO breach mask.
+///
+/// The policy is deliberately simple and deterministic — and it engages
+/// *early*. Degradation only averts sheds if the sessions already queued
+/// when the cap is finally hit were admitted with reduced budgets; a
+/// ladder that waits until the queue is nearly full degrades only the
+/// last few admissions and drains no faster than no ladder at all.
+///
+/// * at ≥ 1/2 of the live-session cap, new sessions take the deepest tier
+///   (reduced budget), so a queue that does fill is half cheap sessions
+///   and drains well before the backlog turns into sheds;
+/// * under an SLO breach, or at ≥ 1/4 of the cap, precision is coarsened
+///   (the archive stays at the α-schedule's coarse end) while budgets
+///   stay intact;
+/// * otherwise the session runs at full precision.
+pub(crate) fn decide(
+    config: &DegradationConfig,
+    slo_breached: u64,
+    live: usize,
+    cap: usize,
+) -> DegradeLevel {
+    if !config.enabled || cap == 0 {
+        return DegradeLevel::Full;
+    }
+    if live * 2 >= cap {
+        DegradeLevel::ReducedBudget
+    } else if slo_breached != 0 || live * 4 >= cap {
+        DegradeLevel::CoarseEps
+    } else {
+        DegradeLevel::Full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_escalates_with_pressure_and_breach() {
+        let cfg = DegradationConfig::default();
+        assert_eq!(decide(&cfg, 0, 0, 64), DegradeLevel::Full);
+        assert_eq!(decide(&cfg, 0, 15, 64), DegradeLevel::Full);
+        // Quarter-full coarsens precision even without a breach.
+        assert_eq!(decide(&cfg, 0, 16, 64), DegradeLevel::CoarseEps);
+        // Any SLO breach coarsens precision immediately.
+        assert_eq!(decide(&cfg, 1, 0, 64), DegradeLevel::CoarseEps);
+        // From half-full on, budgets are cut so the queue drains before
+        // the backlog turns into sheds.
+        assert_eq!(decide(&cfg, 0, 32, 64), DegradeLevel::ReducedBudget);
+        assert_eq!(decide(&cfg, 7, 64, 64), DegradeLevel::ReducedBudget);
+    }
+
+    #[test]
+    fn disabled_ladder_always_grants_full() {
+        let cfg = DegradationConfig {
+            enabled: false,
+            ..DegradationConfig::default()
+        };
+        assert_eq!(decide(&cfg, 7, 64, 64), DegradeLevel::Full);
+    }
+
+    #[test]
+    fn grants_carry_eps_and_reduced_budget() {
+        let cfg = DegradationConfig::default();
+        let full = Grant::at(DegradeLevel::Full, Budget::Iterations(40), &cfg);
+        assert_eq!(full.eps, None);
+        assert_eq!(full.budget, Budget::Iterations(40));
+
+        let coarse = Grant::at(DegradeLevel::CoarseEps, Budget::Iterations(40), &cfg);
+        assert_eq!(coarse.eps, Some(32.0));
+        assert_eq!(coarse.budget, Budget::Iterations(40), "budget intact");
+
+        let reduced = Grant::at(DegradeLevel::ReducedBudget, Budget::Iterations(40), &cfg);
+        assert_eq!(reduced.eps, Some(32.0));
+        assert_eq!(reduced.budget, Budget::Iterations(20));
+    }
+
+    #[test]
+    fn budget_reduction_floors_and_scales() {
+        assert_eq!(
+            reduce_budget(Budget::Iterations(1), 50),
+            Budget::Iterations(1),
+            "at least one iteration survives"
+        );
+        assert_eq!(
+            reduce_budget(Budget::Time(Duration::from_millis(100)), 25),
+            Budget::Time(Duration::from_millis(25))
+        );
+        let at = std::time::Instant::now() + Duration::from_secs(5);
+        assert_eq!(
+            reduce_budget(Budget::Deadline(at), 50),
+            Budget::Deadline(at),
+            "absolute deadlines are the client's contract"
+        );
+        // Out-of-range percentages clamp instead of zeroing budgets.
+        assert_eq!(
+            reduce_budget(Budget::Iterations(100), 0),
+            Budget::Iterations(1)
+        );
+        assert_eq!(
+            reduce_budget(Budget::Iterations(100), 700),
+            Budget::Iterations(100)
+        );
+    }
+
+    #[test]
+    fn level_roundtrips_through_u64() {
+        for level in [
+            DegradeLevel::Full,
+            DegradeLevel::CoarseEps,
+            DegradeLevel::ReducedBudget,
+        ] {
+            assert_eq!(DegradeLevel::from_u64(level.as_u64()), level);
+        }
+        assert_eq!(DegradeLevel::from_u64(99), DegradeLevel::ReducedBudget);
+    }
+}

@@ -29,13 +29,28 @@
 //!   --slo-ttff-ms N    SLO target: p99 time-to-first-frontier (ms)
 //!   --slo-queue-ms N   SLO target: p99 queueing delay (ms)
 //!   --slo-shed N       SLO target: shed rate (rejected per mille offered)
+//!
+//! Front-door mode (enabled by --tenants > 0; replays zipfian multi-tenant
+//! traffic through the sharded front door instead of one bare service):
+//!
+//!   --tenants N        number of tenants (default 0 = single-service mode)
+//!   --tenant-skew F    Zipf exponent of the tenant distribution (default 1)
+//!   --templates N      distinct query templates in the pool (default 16)
+//!   --query-skew F     Zipf exponent of the template distribution (default 1)
+//!   --shards K         independent service shards (default 4)
+//!   --quota-burst N    per-tenant token-bucket burst (default 0 = no quota)
+//!   --quota-refill F   per-tenant refill rate, tokens/sec (default 0)
+//!   --no-degrade       disable the SLO-aware degradation ladder (the
+//!                      ablation: shed outright instead of degrading first)
 //! ```
 //!
 //! Prints one line per session (steps, frontier size, warm-start plans,
 //! time to first frontier) and a closing service summary: throughput,
 //! p50/p99 time-to-first-frontier, time-to-90%-of-final-hypervolume, the
 //! cross-query cache hit rate, and — when any `--slo-*` target is set —
-//! the SLO verdict.
+//! the SLO verdict. Front-door mode prints per-wave progress plus a front
+//! door summary (coalescing hits, degraded admissions, shed counts, and
+//! per-shard service stats) instead of per-session lines.
 
 use std::process::exit;
 use std::sync::Arc;
@@ -47,6 +62,9 @@ use moqo_core::optimizer::Budget;
 use moqo_core::rmq::{Rmq, RmqConfig};
 use moqo_core::EpsFactors;
 use moqo_cost::{ResourceCostModel, ResourceMetric};
+use moqo_frontdoor::{
+    DegradationConfig, FrontDoor, FrontDoorConfig, FrontRequest, FrontdoorError, QuotaConfig,
+};
 use moqo_parallel::{ParRmq, ParRmqConfig};
 use moqo_service::{
     context_fingerprint, OptimizationService, PlanExchange, ServiceConfig, SessionHandle,
@@ -72,6 +90,15 @@ struct Options {
     obs_json: Option<String>,
     trace_out: Option<String>,
     slo: SloConfig,
+    /// Tenants in front-door mode (0 = classic single-service replay).
+    tenants: usize,
+    tenant_skew: f64,
+    templates: usize,
+    query_skew: f64,
+    shards: usize,
+    quota_burst: u64,
+    quota_refill: f64,
+    degrade: bool,
 }
 
 fn usage() -> ! {
@@ -80,7 +107,9 @@ fn usage() -> ! {
          [--min-tables N] [--max-tables N] [--budget-ms MS] [--iters N] \
          [--fan-out W] [--fan-out-every K] [--eps FACTOR] [--seed S] \
          [--obs-json PATH] [--trace-out PATH] [--slo-ttff-ms N] \
-         [--slo-queue-ms N] [--slo-shed N]"
+         [--slo-queue-ms N] [--slo-shed N] [--tenants N] [--tenant-skew F] \
+         [--templates N] [--query-skew F] [--shards K] [--quota-burst N] \
+         [--quota-refill F] [--no-degrade]"
     );
     exit(2)
 }
@@ -102,6 +131,14 @@ fn parse_args() -> Options {
         obs_json: None,
         trace_out: None,
         slo: SloConfig::default(),
+        tenants: 0,
+        tenant_skew: 1.0,
+        templates: 16,
+        query_skew: 1.0,
+        shards: 4,
+        quota_burst: 0,
+        quota_refill: 0.0,
+        degrade: true,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -116,6 +153,17 @@ fn parse_args() -> Options {
                 eprintln!("invalid value for {name}");
                 usage()
             })
+        };
+        let parsed_f64 = |name: &str, v: String| -> f64 {
+            let f: f64 = v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for {name}");
+                usage()
+            });
+            if !f.is_finite() || f < 0.0 {
+                eprintln!("{name} must be finite and non-negative");
+                usage()
+            }
+            f
         };
         match arg.as_str() {
             "--sessions" => opts.sessions = parsed("--sessions", value("--sessions")) as usize,
@@ -164,6 +212,20 @@ fn parse_args() -> Options {
             "--slo-shed" => {
                 opts.slo.shed_per_mille = Some(parsed("--slo-shed", value("--slo-shed")))
             }
+            "--tenants" => opts.tenants = parsed("--tenants", value("--tenants")) as usize,
+            "--tenant-skew" => {
+                opts.tenant_skew = parsed_f64("--tenant-skew", value("--tenant-skew"))
+            }
+            "--templates" => {
+                opts.templates = parsed("--templates", value("--templates")).max(1) as usize
+            }
+            "--query-skew" => opts.query_skew = parsed_f64("--query-skew", value("--query-skew")),
+            "--shards" => opts.shards = parsed("--shards", value("--shards")).max(1) as usize,
+            "--quota-burst" => opts.quota_burst = parsed("--quota-burst", value("--quota-burst")),
+            "--quota-refill" => {
+                opts.quota_refill = parsed_f64("--quota-refill", value("--quota-refill"))
+            }
+            "--no-degrade" => opts.degrade = false,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -233,6 +295,29 @@ fn main() {
         moqo_obs::journal::enable_all(moqo_obs::journal::Level::Info);
         ObsFlusher::start(path.clone(), Duration::from_millis(250))
     });
+    if opts.tenants > 0 {
+        run_front_door(&opts);
+    } else {
+        run_single_service(&opts);
+    }
+    if let Some(flusher) = flusher {
+        flusher.finish();
+    }
+    if let Some(path) = &opts.trace_out {
+        use moqo_obs::spans;
+        spans::disable();
+        let records = spans::drain();
+        let json = spans::to_chrome_trace(&records);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write trace to {path}: {e}");
+            exit(1);
+        }
+        println!("  trace json      {path} ({} spans)", records.len());
+    }
+}
+
+/// The classic replay: every session through one [`OptimizationService`].
+fn run_single_service(opts: &Options) {
     let spec = TrafficSpec {
         catalog_tables: opts.tables,
         shape: GraphShape::Chain,
@@ -392,19 +477,152 @@ fn main() {
         stats.cache.hits,
         stats.cache.lookups,
     );
-    if let Some(flusher) = flusher {
-        flusher.finish();
-    }
-    if let Some(path) = &opts.trace_out {
-        use moqo_obs::spans;
-        spans::disable();
-        let records = spans::drain();
-        let json = spans::to_chrome_trace(&records);
-        if let Err(e) = std::fs::write(path, json) {
-            eprintln!("cannot write trace to {path}: {e}");
-            exit(1);
+}
+
+/// Front-door mode: zipfian multi-tenant traffic through the sharded
+/// [`FrontDoor`] — coalescing, quotas, and the degradation ladder active.
+fn run_front_door(opts: &Options) {
+    let spec = TrafficSpec {
+        catalog_tables: opts.tables,
+        shape: GraphShape::Chain,
+        selectivity: SelectivityMethod::Steinbrunn,
+        queries: opts.sessions,
+        min_query_tables: opts.min_tables.unwrap_or((opts.tables / 2).max(2)),
+        max_query_tables: opts.max_tables.unwrap_or(opts.tables),
+        seed: opts.seed,
+    };
+    let templates = opts.templates.min(opts.sessions.max(1));
+    let (catalog, sessions) =
+        spec.generate_skewed(opts.tenants, opts.tenant_skew, templates, opts.query_skew);
+    let metrics = [ResourceMetric::Time, ResourceMetric::Buffer];
+    let model = Arc::new(ResourceCostModel::new(Arc::clone(&catalog), &metrics));
+    let context = context_fingerprint(catalog.fingerprint(), "resource:time,buffer");
+    let budget = match opts.budget_ms {
+        Some(ms) => Budget::Time(Duration::from_millis(ms)),
+        None => Budget::Iterations(opts.iters),
+    };
+
+    println!(
+        "serve: front door, {} sessions, {} tenants (skew {}), {} templates (skew {}), {} shards x {} workers",
+        opts.sessions, opts.tenants, opts.tenant_skew, templates, opts.query_skew,
+        opts.shards, opts.workers,
+    );
+    print_catalog_summary(&catalog);
+
+    let door = FrontDoor::new(FrontDoorConfig {
+        shards: opts.shards,
+        shard: ServiceConfig {
+            workers: opts.workers,
+            slo: opts.slo,
+            ..ServiceConfig::default()
+        },
+        quota: QuotaConfig {
+            burst: opts.quota_burst,
+            refill_per_sec: opts.quota_refill,
+        },
+        degradation: DegradationConfig {
+            enabled: opts.degrade,
+            ..DegradationConfig::default()
+        },
+    });
+
+    let wave_size = opts.sessions.div_ceil(opts.waves.max(1));
+    let mut session_no = 0usize;
+    let mut timeouts = 0usize;
+    for (wave, chunk) in sessions.chunks(wave_size.max(1)).enumerate() {
+        let mut handles = Vec::new();
+        let mut wave_shed = 0usize;
+        for session in chunk {
+            let seed = opts.seed ^ (session_no as u64).wrapping_mul(0x9e37);
+            session_no += 1;
+            let tables = session.query.tables();
+            let request = FrontRequest {
+                tenant: session.tenant,
+                query: tables,
+                context,
+                budget,
+            };
+            let submitted = door.submit(request, |grant| {
+                let mut cfg = RmqConfig::seeded(seed);
+                // A degraded grant dictates its ε factor; otherwise the
+                // explicit --eps (if any) applies.
+                if let Some(eps) = grant.eps.or(opts.eps) {
+                    cfg.archive = ArchiveConfig::eps_box(EpsFactors::splat(eps));
+                }
+                Box::new(Rmq::new(Arc::clone(&model), tables, cfg))
+            });
+            match submitted {
+                Ok(admitted) => handles.push(admitted.handle),
+                // Shed requests (quota or saturation) are the expected
+                // overload outcome here, not an error: count and continue.
+                Err(FrontdoorError::QuotaExhausted { .. }) | Err(FrontdoorError::Saturated(_)) => {
+                    wave_shed += 1
+                }
+            }
         }
-        println!("  trace json      {path} ({} spans)", records.len());
+        let admitted = handles.len();
+        for handle in handles {
+            if handle.wait_done(Duration::from_secs(600)).is_none() {
+                timeouts += 1;
+            }
+        }
+        println!(
+            "-- wave {} done: {} admitted, {} shed",
+            wave + 1,
+            admitted,
+            wave_shed
+        );
+    }
+    if timeouts > 0 {
+        eprintln!("{timeouts} sessions timed out");
+        exit(1);
+    }
+
+    let fd = door.stats();
+    println!("-- front door summary");
+    println!("  offered         {}", fd.offered);
+    println!("  admitted        {}", fd.admitted);
+    println!(
+        "  coalesced       {} ({} per mille)",
+        fd.coalesced,
+        fd.coalesce_per_mille()
+    );
+    println!("  degraded        {}", fd.degraded);
+    println!(
+        "  shed            {} ({} per mille; {} by quota)",
+        fd.shed,
+        fd.shed_per_mille(),
+        fd.quota_rejected
+    );
+    println!("  degrade level   {}", fd.degrade_level);
+    let mut breached_any = 0u64;
+    for (i, stats) in door.shard_stats().iter().enumerate() {
+        breached_any |= stats.slo_breached;
+        println!(
+            "  shard {i}         {} done / {} submitted, ttff p99 {}, queue p99 {}, cache hit {:.0}%",
+            stats.completed,
+            stats.submitted,
+            fmt_ms(stats.ttff_p99),
+            fmt_ms(stats.queue_delay_p99),
+            stats.cache.hit_rate() * 100.0,
+        );
+    }
+    if opts.slo.is_enabled() {
+        if breached_any == 0 {
+            println!("  slo             ok (all targets holding on every shard)");
+        } else {
+            let mut breached = Vec::new();
+            if breached_any & SLO_BIT_TTFF != 0 {
+                breached.push("ttff p99");
+            }
+            if breached_any & SLO_BIT_QUEUE_DELAY != 0 {
+                breached.push("queue delay p99");
+            }
+            if breached_any & SLO_BIT_SHED != 0 {
+                breached.push("shed rate");
+            }
+            println!("  slo             BREACHED: {}", breached.join(", "));
+        }
     }
 }
 

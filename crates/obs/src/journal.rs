@@ -61,11 +61,14 @@ pub enum Target {
     Service = 5,
     /// The execution engine.
     Exec = 6,
+    /// The multi-tenant front door: shard routing, request coalescing,
+    /// per-tenant quotas, and SLO-aware degradation.
+    Frontdoor = 7,
 }
 
 impl Target {
     /// All targets, in bit order.
-    pub const ALL: [Target; 7] = [
+    pub const ALL: [Target; 8] = [
         Target::Climb,
         Target::Arena,
         Target::Exchange,
@@ -73,6 +76,7 @@ impl Target {
         Target::Admission,
         Target::Service,
         Target::Exec,
+        Target::Frontdoor,
     ];
 
     /// Short lowercase name (`"climb"`, `"exchange"`, …).
@@ -85,6 +89,7 @@ impl Target {
             Target::Admission => "admission",
             Target::Service => "service",
             Target::Exec => "exec",
+            Target::Frontdoor => "frontdoor",
         }
     }
 
@@ -166,6 +171,32 @@ pub enum EventKind {
         /// Rows spilled under memory grants.
         spilled: u64,
     },
+    /// A tenant's admission token bucket ran dry and the request was
+    /// shed (target [`Target::Frontdoor`], `Warn`).
+    QuotaBreach {
+        /// The tenant whose quota was exhausted.
+        tenant: u64,
+        /// Requests this tenant has had shed by quota so far.
+        shed: u64,
+    },
+    /// A front-door shard changed its degradation level (target
+    /// [`Target::Frontdoor`], `Warn` when escalating, `Info` on recovery).
+    DegradeTransition {
+        /// The shard whose admission ladder moved.
+        shard: u64,
+        /// Previous level (0 full, 1 coarse ε, 2 reduced budget).
+        from: u64,
+        /// New level.
+        to: u64,
+    },
+    /// A request was coalesced onto an in-flight identical optimization
+    /// (target [`Target::Frontdoor`], `Debug`).
+    SessionCoalesced {
+        /// The subscribing tenant.
+        tenant: u64,
+        /// Frontier epoch of the leader session at join time.
+        epoch: u64,
+    },
     /// A free-form static note (used by examples and tests).
     Note(&'static str),
 }
@@ -219,6 +250,15 @@ impl EventKind {
             }
             EventKind::ExecFinished { tuples, spilled } => {
                 write!(f, "executed: {tuples} tuples, {spilled} spilled")
+            }
+            EventKind::QuotaBreach { tenant, shed } => {
+                write!(f, "quota breach: tenant {tenant}, {shed} shed")
+            }
+            EventKind::DegradeTransition { shard, from, to } => {
+                write!(f, "degrade: shard {shard} level {from} -> {to}")
+            }
+            EventKind::SessionCoalesced { tenant, epoch } => {
+                write!(f, "coalesced: tenant {tenant} at epoch {epoch}")
             }
             EventKind::Note(note) => write!(f, "{note}"),
         }
@@ -305,6 +345,26 @@ impl EventKind {
                     out,
                     "\"kind\":\"exec_finished\",\"tuples\":{tuples},\
                      \"spilled\":{spilled}"
+                );
+            }
+            EventKind::QuotaBreach { tenant, shed } => {
+                let _ = write!(
+                    out,
+                    "\"kind\":\"quota_breach\",\"tenant\":{tenant},\"shed\":{shed}"
+                );
+            }
+            EventKind::DegradeTransition { shard, from, to } => {
+                let _ = write!(
+                    out,
+                    "\"kind\":\"degrade_transition\",\"shard\":{shard},\
+                     \"from\":{from},\"to\":{to}"
+                );
+            }
+            EventKind::SessionCoalesced { tenant, epoch } => {
+                let _ = write!(
+                    out,
+                    "\"kind\":\"session_coalesced\",\"tenant\":{tenant},\
+                     \"epoch\":{epoch}"
                 );
             }
             EventKind::Note(note) => {
@@ -623,5 +683,34 @@ mod tests {
             },
         };
         assert!(e.to_json().contains("\"ttff_us\":null"));
+    }
+
+    #[test]
+    fn frontdoor_events_render_text_and_json() {
+        let mk = |kind| Event {
+            seq: 1,
+            level: Level::Warn,
+            target: Target::Frontdoor,
+            ctx: Ctx::default(),
+            kind,
+        };
+        let q = mk(EventKind::QuotaBreach { tenant: 7, shed: 3 });
+        assert!(q.to_string().contains("quota breach: tenant 7"));
+        assert!(q.to_json().contains("\"kind\":\"quota_breach\""), "{q}");
+        let d = mk(EventKind::DegradeTransition {
+            shard: 2,
+            from: 0,
+            to: 1,
+        });
+        assert!(d.to_string().contains("shard 2 level 0 -> 1"));
+        assert!(d.to_json().contains("\"kind\":\"degrade_transition\""));
+        let c = mk(EventKind::SessionCoalesced {
+            tenant: 5,
+            epoch: 4,
+        });
+        assert!(c.to_json().contains("\"kind\":\"session_coalesced\""));
+        assert_eq!(Target::Frontdoor.name(), "frontdoor");
+        assert_eq!(Target::ALL.len(), 8);
+        assert_eq!(Target::Frontdoor.bit(), 1 << 7);
     }
 }

@@ -387,6 +387,22 @@ pub struct Metrics {
     pub slo_breached: Gauge,
     /// Transitions of any SLO target from holding to breached.
     pub slo_breaches: Counter,
+    /// Requests offered to the front door (admitted, coalesced, or shed).
+    pub frontdoor_offered: Counter,
+    /// Requests the front door coalesced onto an in-flight identical
+    /// optimization (same tenant, context fingerprint, and table set).
+    pub frontdoor_coalesced: Counter,
+    /// Sessions admitted at a degraded tier (coarser ε-box precision
+    /// and/or a reduced budget) instead of being shed.
+    pub frontdoor_degraded: Counter,
+    /// Requests the front door shed outright (quota exhaustion or a
+    /// saturated shard), after the degradation ladder ran out.
+    pub frontdoor_shed: Counter,
+    /// Shed requests attributable to per-tenant quota exhaustion.
+    pub frontdoor_quota_rejected: Counter,
+    /// Highest degradation level currently active on any shard (0 full,
+    /// 1 coarse ε, 2 reduced budget).
+    pub frontdoor_degrade_level: Gauge,
     /// Executed physical plans.
     pub exec_runs: Counter,
     /// Tuples processed by execution engine operators.
@@ -451,6 +467,12 @@ impl Metrics {
             slo_shed_per_mille: Gauge::new(),
             slo_breached: Gauge::new(),
             slo_breaches: Counter::new(),
+            frontdoor_offered: Counter::new(),
+            frontdoor_coalesced: Counter::new(),
+            frontdoor_degraded: Counter::new(),
+            frontdoor_shed: Counter::new(),
+            frontdoor_quota_rejected: Counter::new(),
+            frontdoor_degrade_level: Gauge::new(),
             exec_runs: Counter::new(),
             exec_tuples: Counter::new(),
             exec_spilled_rows: Counter::new(),
@@ -519,6 +541,18 @@ impl Metrics {
             ("slo.shed_per_mille", self.slo_shed_per_mille.get()),
             ("slo.breached", self.slo_breached.get()),
             ("slo.breaches", self.slo_breaches.get()),
+            ("frontdoor.offered", self.frontdoor_offered.get()),
+            ("frontdoor.coalesced", self.frontdoor_coalesced.get()),
+            ("frontdoor.degraded", self.frontdoor_degraded.get()),
+            ("frontdoor.shed", self.frontdoor_shed.get()),
+            (
+                "frontdoor.quota_rejected",
+                self.frontdoor_quota_rejected.get(),
+            ),
+            (
+                "frontdoor.degrade_level",
+                self.frontdoor_degrade_level.get(),
+            ),
             ("exec.runs", self.exec_runs.get()),
             ("exec.tuples", self.exec_tuples.get()),
             ("exec.spilled_rows", self.exec_spilled_rows.get()),
@@ -700,6 +734,12 @@ mod tests {
         assert!(names.contains(&"slo.shed_per_mille"));
         assert!(names.contains(&"slo.breached"));
         assert!(names.contains(&"slo.breaches"));
+        assert!(names.contains(&"frontdoor.offered"));
+        assert!(names.contains(&"frontdoor.coalesced"));
+        assert!(names.contains(&"frontdoor.degraded"));
+        assert!(names.contains(&"frontdoor.shed"));
+        assert!(names.contains(&"frontdoor.quota_rejected"));
+        assert!(names.contains(&"frontdoor.degrade_level"));
         let hists: Vec<&str> = metrics().histograms().iter().map(|(n, _)| *n).collect();
         assert!(hists.contains(&"service.queue_delay_us"));
         assert!(hists.contains(&"exchange.mutex_wait_ns"));

@@ -384,6 +384,25 @@ impl OptimizationService {
         sched.live - sched.running
     }
 
+    /// Number of live sessions (admitted, not yet finished).
+    pub fn live_sessions(&self) -> usize {
+        self.core.sched.lock().unwrap().live
+    }
+
+    /// The admission configuration this service runs with.
+    pub fn admission_config(&self) -> AdmissionConfig {
+        self.core.config.admission
+    }
+
+    /// The current SLO breach bitmask ([`SLO_BIT_TTFF`] |
+    /// [`SLO_BIT_QUEUE_DELAY`] | [`SLO_BIT_SHED`]) without the percentile
+    /// computation a full [`stats`](Self::stats) snapshot pays — cheap
+    /// enough to consult on every admission decision, which is what the
+    /// front door's degradation ladder does.
+    pub fn slo_breached(&self) -> u64 {
+        self.core.stats.breach_mask()
+    }
+
     /// Shuts the service down (equivalent to dropping it): stops
     /// admitting, aborts queued sessions, joins the executor workers.
     pub fn shutdown(self) {

@@ -301,6 +301,12 @@ impl StatsCollector {
         }
     }
 
+    /// The current SLO breach bitmask without computing percentiles — the
+    /// cheap read a front door consults on every admission decision.
+    pub(crate) fn breach_mask(&self) -> u64 {
+        self.inner.lock().unwrap().slo_breached_mask
+    }
+
     pub(crate) fn snapshot(
         &self,
         live: usize,

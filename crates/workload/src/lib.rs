@@ -276,6 +276,65 @@ impl TrafficSpec {
         (catalog, queries)
     }
 
+    /// Like [`TrafficSpec::generate`], but models **multi-tenant traffic
+    /// skew**: `self.queries` sessions are drawn over a pool of `templates`
+    /// distinct query shapes and `tenants` tenants, both sampled from
+    /// (independent) Zipf distributions. Real serving traffic is skewed on
+    /// both axes — a few tenants generate most requests, and a few query
+    /// shapes dominate each tenant's stream — and that skew is exactly what
+    /// a front door's coalescing (hot shapes repeat while still in flight)
+    /// and per-tenant quotas (hot tenants flood) exist to exploit.
+    ///
+    /// The template pool is drawn from the **same derived stream** as
+    /// [`TrafficSpec::generate`] — template `t` is identical to `generate`'s
+    /// query `t` for the same seed, so skew sampling never perturbs query
+    /// generation. Tenant/template assignment uses a second derived stream;
+    /// everything is deterministic given the seed.
+    ///
+    /// `skew` exponents of `0.0` are uniform; `1.0` is the classic Zipf
+    /// most serving studies assume. All sessions are sequential
+    /// (`fan_out = 1`).
+    ///
+    /// # Panics
+    /// Panics when `tenants` or `templates` is zero, when
+    /// `templates > self.queries` would be required but isn't available
+    /// (the pool is capped at `self.queries`), or on the same query-size
+    /// bound violations as [`TrafficSpec::generate`].
+    pub fn generate_skewed(
+        &self,
+        tenants: usize,
+        tenant_skew: f64,
+        templates: usize,
+        query_skew: f64,
+    ) -> (Arc<Catalog>, Vec<SessionPlan>) {
+        assert!(tenants >= 1, "need at least one tenant");
+        assert!(templates >= 1, "need at least one query template");
+        // Draw the template pool exactly as `generate` draws its first
+        // `templates` queries: same spec, same derived stream.
+        let pool_spec = TrafficSpec {
+            queries: templates,
+            ..*self
+        };
+        let (catalog, pool) = pool_spec.generate();
+        // A second derived stream assigns (tenant, template) per session,
+        // so skew parameters never perturb the query shapes themselves.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5ca1_ab1e);
+        let tenant_dist = Zipf::new(tenants, tenant_skew);
+        let template_dist = Zipf::new(templates, query_skew);
+        let sessions = (0..self.queries)
+            .map(|_| {
+                let tenant = tenant_dist.sample(&mut rng) as u64;
+                let template = template_dist.sample(&mut rng);
+                SessionPlan {
+                    query: pool[template],
+                    fan_out: 1,
+                    tenant,
+                }
+            })
+            .collect();
+        (catalog, sessions)
+    }
+
     /// Like [`TrafficSpec::generate`], but tags every `every`-th session
     /// (1-based; `0` disables tagging) as **latency-critical** with the
     /// given intra-query fan-out — modeling the mixed traffic a serving
@@ -300,6 +359,7 @@ impl TrafficSpec {
                 } else {
                     1
                 },
+                tenant: 0,
             })
             .collect();
         (catalog, sessions)
@@ -315,6 +375,72 @@ pub struct SessionPlan {
     /// Intra-query worker threads the session should fan out over
     /// (1 = sequential).
     pub fan_out: usize,
+    /// The tenant issuing the session (0 for single-tenant streams; see
+    /// [`TrafficSpec::generate_skewed`]).
+    pub tenant: u64,
+}
+
+/// A precomputed Zipf distribution over ranks `0..n`: rank `i` is drawn
+/// with probability proportional to `1 / (i + 1)^exponent`. An exponent of
+/// `0.0` degenerates to uniform; `1.0` is classic Zipf. Sampling is one
+/// uniform draw plus a binary search over the cumulative weights, so even
+/// 100k+-session streams generate quickly and deterministically.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[i]` = P(rank ≤ i). Last entry is 1.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `n` ranks with the given exponent.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or the exponent is negative or non-finite.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(
+            exponent >= 0.0 && exponent.is_finite(),
+            "Zipf exponent must be finite and non-negative, got {exponent}"
+        );
+        let mut cdf: Vec<f64> = (0..n)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
+            .collect();
+        let mut acc = 0.0;
+        for w in cdf.iter_mut() {
+            acc += *w;
+            *w = acc;
+        }
+        for w in cdf.iter_mut() {
+            *w /= acc;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is empty (never: `new` requires `n >= 1`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability of drawing rank `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = rng.random::<f64>();
+        // partition_point: first rank whose cumulative weight covers `u`.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
 }
 
 /// Draws a connected `target`-table subset of the catalog's join graph by
@@ -521,6 +647,114 @@ mod tests {
         // every = 0 disables tagging entirely.
         let (_, all_seq) = spec.generate_with_fan_out(0, 4);
         assert!(all_seq.iter().all(|s| s.fan_out == 1));
+    }
+
+    #[test]
+    fn zipf_shape_is_heavy_headed_and_normalized() {
+        let z = Zipf::new(20, 1.0);
+        assert_eq!(z.len(), 20);
+        // Probabilities are decreasing and sum to 1.
+        let total: f64 = (0..20).map(|i| z.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "not normalized: {total}");
+        for i in 1..20 {
+            assert!(z.probability(i) < z.probability(i - 1), "not decreasing");
+        }
+        // Classic Zipf head: rank 0 carries 1/H_20 ≈ 0.278.
+        assert!((z.probability(0) - 0.278).abs() < 0.01);
+
+        // Exponent 0 degenerates to uniform.
+        let u = Zipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((u.probability(i) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_match_the_analytic_distribution() {
+        let z = Zipf::new(8, 1.0);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut counts = [0usize; 8];
+        let draws = 40_000;
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (i, &n) in counts.iter().enumerate() {
+            let expected = z.probability(i) * draws as f64;
+            let got = n as f64;
+            assert!(
+                (got - expected).abs() < expected * 0.15 + 30.0,
+                "rank {i}: expected ~{expected:.0}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_traffic_concentrates_on_hot_tenants_and_templates() {
+        let spec = TrafficSpec::chain(12, 10_000, 21);
+        let (_, sessions) = spec.generate_skewed(20, 1.0, 16, 1.0);
+        assert_eq!(sessions.len(), 10_000);
+
+        let mut tenant_counts = std::collections::HashMap::new();
+        let mut template_counts = std::collections::HashMap::new();
+        for s in &sessions {
+            assert!(s.tenant < 20);
+            assert_eq!(s.fan_out, 1);
+            *tenant_counts.entry(s.tenant).or_insert(0usize) += 1;
+            *template_counts.entry(s.query.tables()).or_insert(0usize) += 1;
+        }
+        // The hottest tenant carries the Zipf head (~27.8% for n=20, s=1),
+        // far above the 5% a uniform assignment would give it.
+        let top_tenant = *tenant_counts.values().max().unwrap();
+        assert!(
+            top_tenant > 2_000,
+            "no tenant skew: hottest tenant has {top_tenant}/10000"
+        );
+        // Yet the tail is populated: most tenants appear at least once.
+        assert!(tenant_counts.len() >= 15, "tail tenants missing");
+        // Query-shape skew: the hottest template dominates, which is what
+        // makes request coalescing land hits under concurrency.
+        let top_template = *template_counts.values().max().unwrap();
+        assert!(
+            top_template > 2_000,
+            "no template skew: hottest template has {top_template}/10000"
+        );
+        assert!(template_counts.len() >= 2, "pool collapsed to one shape");
+    }
+
+    #[test]
+    fn skewed_traffic_is_deterministic_and_leaves_templates_unchanged() {
+        let spec = TrafficSpec::chain(12, 500, 33);
+        let (c1, s1) = spec.generate_skewed(8, 1.0, 10, 0.8);
+        let (c2, s2) = spec.generate_skewed(8, 1.0, 10, 0.8);
+        assert_eq!(c1.fingerprint(), c2.fingerprint());
+        assert_eq!(s1.len(), s2.len());
+        for (a, b) in s1.iter().zip(&s2) {
+            assert_eq!(a.query, b.query);
+            assert_eq!(a.tenant, b.tenant);
+        }
+
+        // The template pool is generate()'s own stream: every skewed query
+        // appears among the first 10 queries of the plain stream.
+        let (_, plain) = TrafficSpec {
+            queries: 10,
+            ..spec
+        }
+        .generate();
+        for s in &s1 {
+            assert!(
+                plain.contains(&s.query),
+                "skewed session uses a query not in the template pool"
+            );
+        }
+
+        // Different seeds produce different assignments.
+        let (_, s3) = TrafficSpec::chain(12, 500, 34).generate_skewed(8, 1.0, 10, 0.8);
+        assert!(
+            s1.iter()
+                .zip(&s3)
+                .any(|(a, b)| a.tenant != b.tenant || a.query != b.query),
+            "seed change did not perturb the skewed stream"
+        );
     }
 
     #[test]

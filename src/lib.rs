@@ -6,8 +6,9 @@
 //! ([`workload`]), baseline algorithms ([`baselines`]), a toy execution
 //! engine ([`exec`]), frontier-quality metrics ([`metrics`]), zero-overhead
 //! observability ([`obs`]), the paper's experiment harness ([`harness`]),
-//! intra-query parallel optimization ([`parallel`]), and the concurrent
-//! anytime optimization service ([`service`]).
+//! intra-query parallel optimization ([`parallel`]), the concurrent
+//! anytime optimization service ([`service`]), and the sharded
+//! multi-tenant front door ([`frontdoor`]).
 //!
 //! The root package also owns the workspace-wide integration tests
 //! (`tests/`) and runnable examples (`examples/`). See the repository
@@ -21,6 +22,7 @@ pub use moqo_catalog as catalog;
 pub use moqo_core as core;
 pub use moqo_cost as cost;
 pub use moqo_exec as exec;
+pub use moqo_frontdoor as frontdoor;
 pub use moqo_harness as harness;
 pub use moqo_metrics as metrics;
 pub use moqo_obs as obs;
